@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Shared plumbing for the figure-regeneration benches.
+ *
+ * Every bench prints (a) the paper's qualitative expectation for the
+ * figure it regenerates and (b) the measured series, as an aligned
+ * ASCII table followed by machine-readable CSV.  Run lengths default
+ * to the calibrated values and can be scaled through environment
+ * variables for quick smoke runs:
+ *
+ *   CAPSIM_REFS    data-cache references per (app, config) run
+ *   CAPSIM_INSTRS  instructions per (app, config) run
+ */
+
+#ifndef CAPSIM_BENCH_COMMON_H
+#define CAPSIM_BENCH_COMMON_H
+
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "util/table.h"
+
+namespace cap::bench {
+
+/** Calibrated default reference count for the cache study. */
+constexpr uint64_t kDefaultRefs = 600000;
+
+/** Calibrated default instruction count for the IQ study. */
+constexpr uint64_t kDefaultInstrs = 400000;
+
+inline uint64_t
+envOr(const char *name, uint64_t fallback)
+{
+    const char *value = std::getenv(name);
+    if (!value)
+        return fallback;
+    char *end = nullptr;
+    uint64_t parsed = std::strtoull(value, &end, 10);
+    return (end && *end == '\0' && parsed > 0) ? parsed : fallback;
+}
+
+inline uint64_t
+cacheRefs()
+{
+    return envOr("CAPSIM_REFS", kDefaultRefs);
+}
+
+inline uint64_t
+iqInstrs()
+{
+    return envOr("CAPSIM_INSTRS", kDefaultInstrs);
+}
+
+/** Print a bench banner with the paper's expectation. */
+inline void
+banner(const std::string &figure, const std::string &expectation)
+{
+    std::cout << "================================================"
+                 "=============================\n"
+              << figure << '\n'
+              << "Paper expectation: " << expectation << '\n'
+              << "================================================"
+                 "=============================\n";
+}
+
+/** Emit a table in both human and machine form. */
+inline void
+emit(const TableWriter &table)
+{
+    table.renderAscii(std::cout);
+    std::cout << "--- CSV ---\n";
+    table.renderCsv(std::cout);
+    std::cout << '\n';
+}
+
+} // namespace cap::bench
+
+#endif // CAPSIM_BENCH_COMMON_H

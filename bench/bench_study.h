@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Shared study runners for the Figure 7-11 benches.
+ */
+
+#ifndef CAPSIM_BENCH_STUDY_H
+#define CAPSIM_BENCH_STUDY_H
+
+#include "bench_common.h"
+#include "core/experiment.h"
+#include "trace/workloads.h"
+
+namespace cap::bench {
+
+/** Run the paper's cache study at the bench's configured scale. */
+inline core::CacheStudy
+paperCacheStudy()
+{
+    core::AdaptiveCacheModel model;
+    return core::runCacheStudy(model, trace::cacheStudyApps(),
+                               cacheRefs(), 8);
+}
+
+/** Run the paper's instruction-queue study. */
+inline core::IqStudy
+paperIqStudy()
+{
+    core::AdaptiveIqModel model;
+    return core::runIqStudy(model, trace::iqStudyApps(), iqInstrs());
+}
+
+/** Configuration label like "16KB/4way". */
+inline std::string
+boundaryLabel(const core::CacheBoundaryTiming &t)
+{
+    return std::to_string(t.l1_bytes / 1024) + "KB/" +
+           std::to_string(t.l1_assoc) + "way";
+}
+
+} // namespace cap::bench
+
+#endif // CAPSIM_BENCH_STUDY_H

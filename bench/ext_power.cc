@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Extension bench: performance/power design points of a CAP
+ * (Section 4.1) quantified across the suite.
+ *
+ * For every application, compares the performance-optimal adaptive
+ * configuration against the energy-per-instruction-optimal one and
+ * the dedicated low-power mode (minimum structures, slowest clock).
+ */
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/adaptive_iq.h"
+#include "core/machine.h"
+#include "core/power_model.h"
+#include "trace/workloads.h"
+
+int
+main()
+{
+    using namespace cap;
+    using namespace cap::bench;
+
+    banner("Extension: performance/power design points (Section 4.1)",
+           "one CAP implementation spans server to laptop operating "
+           "points: the EPI-optimal configuration is usually smaller "
+           "than the TPI-optimal one, and the low-power mode cuts power "
+           "~8x for ~2x TPI");
+
+    core::AdaptiveIqModel model;
+    core::PowerModel power;
+    uint64_t instrs = iqInstrs() / 2;
+    double fastest = model.cycleNs(core::IqMachine::kMinEntries);
+    double slowest = model.cycleNs(core::IqMachine::kMaxEntries);
+
+    TableWriter table("Per-application operating points "
+                      "(power/EPI normalized)");
+    table.setHeader({"app", "perf_cfg", "perf_tpi", "perf_power",
+                     "epi_cfg", "epi_tpi", "epi_power", "lowpower_tpi",
+                     "lowpower_power"});
+
+    double perf_power_mean = 0.0, low_power_mean = 0.0;
+    auto apps = trace::iqStudyApps();
+    for (const trace::AppProfile &app : apps) {
+        int best_tpi_cfg = 16;
+        double best_tpi = 0.0;
+        int best_epi_cfg = 16;
+        double best_epi = 0.0, best_epi_tpi = 0.0, best_epi_power = 0.0;
+        double ipc16 = 0.0;
+        for (int entries : core::AdaptiveIqModel::studySizes()) {
+            core::IqPerf perf = model.evaluate(app, entries, instrs);
+            if (entries == 16)
+                ipc16 = perf.ipc;
+            core::PowerEstimate estimate = power.estimate(
+                entries, core::IqMachine::kMaxEntries,
+                model.cycleNs(entries), fastest);
+            double epi =
+                power.energyPerInstruction(estimate, perf.tpi_ns);
+            if (best_tpi == 0.0 || perf.tpi_ns < best_tpi) {
+                best_tpi = perf.tpi_ns;
+                best_tpi_cfg = entries;
+            }
+            if (best_epi == 0.0 || epi < best_epi) {
+                best_epi = epi;
+                best_epi_cfg = entries;
+                best_epi_tpi = perf.tpi_ns;
+                best_epi_power = estimate.total();
+            }
+        }
+        core::PowerEstimate perf_estimate = power.estimate(
+            best_tpi_cfg, core::IqMachine::kMaxEntries,
+            model.cycleNs(best_tpi_cfg), fastest);
+        // Low-power: 16 entries at the slowest table clock.
+        core::PowerEstimate low_estimate = power.estimate(
+            16, core::IqMachine::kMaxEntries, slowest, fastest);
+        double low_tpi = slowest / ipc16;
+
+        perf_power_mean += perf_estimate.total();
+        low_power_mean += low_estimate.total();
+        table.addRow({Cell(app.name), Cell(best_tpi_cfg),
+                      Cell(best_tpi, 3), Cell(perf_estimate.total(), 3),
+                      Cell(best_epi_cfg), Cell(best_epi_tpi, 3),
+                      Cell(best_epi_power, 3), Cell(low_tpi, 3),
+                      Cell(low_estimate.total(), 3)});
+    }
+    emit(table);
+    std::cout << "mean power: performance mode "
+              << perf_power_mean / static_cast<double>(apps.size())
+              << ", low-power mode "
+              << low_power_mean / static_cast<double>(apps.size())
+              << " (normalized)\n";
+    return 0;
+}

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Extension bench: compiler profile-guided reconfiguration schedules
+ * versus the hardware interval controller (paper Section 4's two
+ * configuration-management options).
+ */
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/adaptive_iq.h"
+#include "core/interval_controller.h"
+#include "core/machine.h"
+#include "core/profile_guided.h"
+#include "trace/workloads.h"
+
+int
+main()
+{
+    using namespace cap;
+    using namespace cap::bench;
+
+    banner("Extension: compiler schedules vs hardware prediction "
+           "(Section 4)",
+           "profile-guided schedules win on long, regular phases "
+           "(turb3d); short or irregular phases defeat them (vortex) "
+           "and favor staying put; both sit between best-fixed and the "
+           "per-interval oracle");
+
+    core::AdaptiveIqModel model;
+    uint64_t instrs = iqInstrs() * 4;
+    std::cout << "instructions per policy run: " << instrs << "\n\n";
+
+    TableWriter table("TPI (ns) by configuration-management scheme");
+    table.setHeader({"app", "best_fixed", "compiler", "segments",
+                     "hw_interval", "oracle"});
+    for (const char *name : {"li", "compress", "appcg", "vortex",
+                             "turb3d"}) {
+        const trace::AppProfile &app = trace::findApp(name);
+
+        double best_fixed = 0.0;
+        for (int entries : core::AdaptiveIqModel::studySizes()) {
+            double tpi = model.evaluate(app, entries, instrs).tpi_ns;
+            if (best_fixed == 0.0 || tpi < best_fixed)
+                best_fixed = tpi;
+        }
+
+        core::ConfigSchedule schedule = core::buildScheduleFromProfile(
+            model, app, instrs, core::AdaptiveIqModel::studySizes());
+        core::IntervalRunResult compiler =
+            core::runWithSchedule(model, app, instrs, schedule);
+
+        core::IntervalPolicyParams params;
+        core::IntervalRunResult hardware =
+            core::IntervalAdaptiveIq(model, params).run(app, instrs, 64);
+
+        core::IntervalRunResult oracle = core::runIntervalOracle(
+            model, app, instrs, core::AdaptiveIqModel::studySizes(),
+            core::kIntervalInstructions, true);
+
+        table.addRow({Cell(name), Cell(best_fixed, 3),
+                      Cell(compiler.tpi(), 3),
+                      Cell(static_cast<int>(schedule.size())),
+                      Cell(hardware.tpi(), 3), Cell(oracle.tpi(), 3)});
+    }
+    emit(table);
+    return 0;
+}

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Regenerates Figure 10: average TPI as a function of the (fixed)
+ * instruction-queue size for every application, split into integer
+ * (a) and floating-point (b) panels.
+ */
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "bench_study.h"
+
+namespace {
+
+using namespace cap;
+using namespace cap::bench;
+
+void
+panel(const core::IqStudy &study, char label, bool integer_panel)
+{
+    TableWriter table(std::string("Figure 10") + label +
+                      ": avg TPI (ns) vs instruction-queue size -- " +
+                      (integer_panel ? "integer" : "floating-point") +
+                      " benchmarks");
+    std::vector<std::string> header{"app"};
+    for (const core::IqTiming &t : study.timings)
+        header.push_back(std::to_string(t.entries));
+    header.push_back("best");
+    table.setHeader(header);
+
+    for (size_t a = 0; a < study.apps.size(); ++a) {
+        bool is_int = study.apps[a].suite == trace::Suite::SpecInt;
+        if (is_int != integer_panel)
+            continue;
+        std::vector<Cell> row{Cell(study.apps[a].name)};
+        size_t best = 0;
+        for (size_t c = 0; c < study.perf[a].size(); ++c) {
+            row.emplace_back(study.perf[a][c].tpi_ns, 3);
+            if (study.perf[a][c].tpi_ns < study.perf[a][best].tpi_ns)
+                best = c;
+        }
+        row.emplace_back(std::to_string(study.timings[best].entries));
+        table.addRow(row);
+    }
+    emit(table);
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Figure 10: diversity of instruction-queue requirements",
+           "most applications perform best with the 64-entry queue; "
+           "compress favors 128; radar, fpppp and appcg favor 16");
+    core::IqStudy study = paperIqStudy();
+    std::cout << "instructions per (app, config): " << iqInstrs() << "\n\n";
+
+    TableWriter clocks("Queue cycle-time table (wakeup+select, 0.18um)");
+    clocks.setHeader({"entries", "cycle_ns"});
+    for (const core::IqTiming &t : study.timings)
+        clocks.addRow({t.entries, Cell(t.cycle_ns, 3)});
+    emit(clocks);
+
+    panel(study, 'a', true);
+    panel(study, 'b', false);
+    return 0;
+}

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Regenerates Figure 1: cache address-bus wire delay as a function of
+ * the number of subarrays and technology generation, for (a) 2 KB and
+ * (b) 4 KB subarrays.
+ */
+
+#include "bench_common.h"
+#include "timing/area.h"
+#include "timing/technology.h"
+#include "timing/wire.h"
+#include "util/units.h"
+
+namespace {
+
+using namespace cap;
+using namespace cap::timing;
+
+void
+runPanel(char panel, uint64_t subarray_bytes)
+{
+    WireModel w250(Technology::um250());
+    WireModel w180(Technology::um180());
+    WireModel w120(Technology::um120());
+
+    TableWriter table(std::string("Figure 1") + panel + ": " +
+                      std::to_string(subarray_bytes / 1024) +
+                      "KB subarrays, address-bus wire delay (ns)");
+    table.setHeader({"subarrays", "total_KB", "wire_mm", "unbuffered",
+                     "buffered_0.25u", "buffered_0.18u",
+                     "buffered_0.12u"});
+    double pitch = AreaModel::subarrayPitchMm(subarray_bytes);
+    for (int n = 4; n <= 16; n += 2) {
+        double len = pitch * n;
+        table.addRow({n,
+                      static_cast<int>(n * subarray_bytes / 1024),
+                      Cell(len, 3),
+                      Cell(w250.unbufferedDelay(len), 3),
+                      Cell(w250.bufferedDelay(len), 3),
+                      Cell(w180.bufferedDelay(len), 3),
+                      Cell(w120.bufferedDelay(len), 3)});
+    }
+    bench::emit(table);
+}
+
+} // namespace
+
+int
+main()
+{
+    cap::bench::banner(
+        "Figure 1: cache wire delay vs subarray count and feature size",
+        "one technology-independent unbuffered curve growing "
+        "superlinearly; buffered curves linear, improving with smaller "
+        "features; with 2KB subarrays, buffering wins for >=16KB caches "
+        "at 0.18um; with 4KB subarrays, clearly for >=32KB");
+    runPanel('a', cap::kib(2));
+    runPanel('b', cap::kib(4));
+    return 0;
+}

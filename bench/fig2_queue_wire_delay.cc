@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Regenerates Figure 2: integer instruction-queue wire delay as a
+ * function of queue entries and technology generation.  Each R10000
+ * queue entry is modelled as ~60 bytes of single-ported RAM (52 b
+ * 1-port RAM + 12 b 3-port CAM + 6 b 4-port CAM, ports scaling
+ * quadratically).
+ */
+
+#include "bench_common.h"
+#include "timing/area.h"
+#include "timing/technology.h"
+#include "timing/wire.h"
+
+namespace {
+
+using namespace cap;
+using namespace cap::timing;
+
+} // namespace
+
+int
+main()
+{
+    bench::banner(
+        "Figure 2: integer-queue wire delay vs entries and feature size",
+        "unbuffered best at 16 entries; buffering wins from ~32 entries "
+        "at 0.12um; larger queues clearly favor buffering at 0.18um");
+
+    WireModel w250(Technology::um250());
+    WireModel w180(Technology::um180());
+    WireModel w120(Technology::um120());
+
+    TableWriter table("Figure 2: queue tag/data bus wire delay (ns)");
+    table.setHeader({"entries", "stack_mm", "unbuffered",
+                     "buffered_0.25u", "buffered_0.18u",
+                     "buffered_0.12u"});
+    for (int entries = 16; entries <= 64; entries += 8) {
+        double len = AreaModel::iqStackHeightMm(entries);
+        table.addRow({entries, Cell(len, 3),
+                      Cell(w250.unbufferedDelay(len), 3),
+                      Cell(w250.bufferedDelay(len), 3),
+                      Cell(w180.bufferedDelay(len), 3),
+                      Cell(w120.bufferedDelay(len), 3)});
+    }
+    bench::emit(table);
+
+    TableWriter entry("R10000 queue-entry area model");
+    entry.setHeader({"quantity", "value"});
+    entry.addRow({Cell("single-ported-RAM-equivalent bits"),
+                  Cell(static_cast<int>(AreaModel::iqEntryEquivalentBits()))});
+    entry.addRow({Cell("equivalent bytes (paper: ~60)"),
+                  Cell(static_cast<int>(
+                      AreaModel::iqEntryEquivalentBytes()))});
+    bench::emit(entry);
+    return 0;
+}

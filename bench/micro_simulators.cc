@@ -1,0 +1,107 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator substrates:
+ * simulation throughput (not simulated performance).  Useful when
+ * optimizing CAPsim itself.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "cache/exclusive_hierarchy.h"
+#include "core/adaptive_cache.h"
+#include "ooo/core_model.h"
+#include "timing/cacti.h"
+#include "timing/wire.h"
+#include "trace/stream.h"
+#include "trace/workloads.h"
+
+namespace {
+
+using namespace cap;
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    cache::HierarchyGeometry geo;
+    cache::ExclusiveHierarchy cache(geo,
+                                    static_cast<int>(state.range(0)));
+    Rng rng(7);
+    std::vector<trace::TraceRecord> records(4096);
+    for (auto &record : records)
+        record = {rng.below(kib(256)), rng.chance(0.3)};
+    size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cache.access(records[i]));
+        i = (i + 1) & 4095;
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CacheAccess)->Arg(2)->Arg(8);
+
+void
+BM_TraceGeneration(benchmark::State &state)
+{
+    const trace::AppProfile &app = trace::findApp("gcc");
+    trace::SyntheticTraceSource source(app.cache, app.seed, 0);
+    trace::TraceRecord record;
+    for (auto _ : state) {
+        source.next(record);
+        benchmark::DoNotOptimize(record.addr);
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TraceGeneration);
+
+void
+BM_CoreModelCycles(benchmark::State &state)
+{
+    const trace::AppProfile &app = trace::findApp("li");
+    ooo::InstructionStream stream(app.ilp, app.seed);
+    ooo::CoreParams params;
+    params.queue_entries = static_cast<int>(state.range(0));
+    ooo::CoreModel model(stream, params);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(model.step(256).cycles);
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 256);
+}
+BENCHMARK(BM_CoreModelCycles)->Arg(16)->Arg(64)->Arg(128);
+
+void
+BM_WireModel(benchmark::State &state)
+{
+    timing::WireModel wires(timing::Technology::um180());
+    double len = 0.5;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(wires.bufferedDelay(len));
+        len = len < 16.0 ? len + 0.1 : 0.5;
+    }
+}
+BENCHMARK(BM_WireModel);
+
+void
+BM_CactiAccessTime(benchmark::State &state)
+{
+    timing::CactiLite cacti(timing::Technology::um180());
+    timing::CacheOrg org{kib(8), 2, 32, 2};
+    for (auto _ : state)
+        benchmark::DoNotOptimize(cacti.accessTime(org));
+}
+BENCHMARK(BM_CactiAccessTime);
+
+void
+BM_CacheEvaluate(benchmark::State &state)
+{
+    core::AdaptiveCacheModel model;
+    const trace::AppProfile &app = trace::findApp("li");
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            model.evaluate(app, 2, 20000).tpi_ns);
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            20000);
+}
+BENCHMARK(BM_CacheEvaluate);
+
+} // namespace
+
+BENCHMARK_MAIN();

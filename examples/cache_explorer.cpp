@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Cache-hierarchy design-space explorer.
+ *
+ * For a chosen application (or the whole suite), sweeps the L1/L2
+ * boundary of the complexity-adaptive cache and reports the full
+ * IPC/clock-rate tradeoff: cycle time, L2 latency, miss ratios, TPI
+ * and TPImiss -- plus the configuration a CAP would select.
+ *
+ *   ./cache_explorer [app|all] [refs]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/adaptive_cache.h"
+#include "core/config_manager.h"
+#include "core/experiment.h"
+#include "trace/workloads.h"
+
+namespace {
+
+using namespace cap;
+
+void
+exploreOne(const core::AdaptiveCacheModel &model,
+           const trace::AppProfile &app, uint64_t refs)
+{
+    std::printf("\n--- %s (%s), %llu refs, refs/instr %.2f ---\n",
+                app.name.c_str(), trace::suiteName(app.suite),
+                static_cast<unsigned long long>(refs),
+                app.cache.refs_per_instr);
+    std::printf("%-12s %-9s %-8s %-8s %-9s %-9s %-9s\n", "L1", "cycle_ns",
+                "L2hit_cy", "miss_cy", "L1miss%", "TPI", "TPImiss");
+    std::vector<core::CachePerf> sweep = model.sweep(app, 8, refs);
+    size_t best = 0;
+    for (size_t i = 1; i < sweep.size(); ++i) {
+        if (sweep[i].tpi_ns < sweep[best].tpi_ns)
+            best = i;
+    }
+    for (size_t i = 0; i < sweep.size(); ++i) {
+        core::CacheBoundaryTiming t =
+            model.boundaryTiming(static_cast<int>(i) + 1);
+        std::printf("%3lluKB/%-2dway %8.3f %8llu %8llu %8.2f%% %8.3f "
+                    "%8.3f %s\n",
+                    static_cast<unsigned long long>(t.l1_bytes / 1024),
+                    t.l1_assoc, t.cycle_ns,
+                    static_cast<unsigned long long>(t.l2_hit_cycles),
+                    static_cast<unsigned long long>(t.miss_cycles),
+                    100.0 * sweep[i].l1_miss_ratio, sweep[i].tpi_ns,
+                    sweep[i].tpi_miss_ns, i == best ? "<- CAP choice" : "");
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string which = argc > 1 ? argv[1] : "all";
+    uint64_t refs = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 150000;
+
+    core::AdaptiveCacheModel model;
+    std::printf("increment access %.3f ns; bus to increment 16: %.3f ns\n",
+                model.incrementAccessNs(), model.busDelayNs(16));
+
+    if (which == "all") {
+        for (const trace::AppProfile &app : trace::cacheStudyApps())
+            exploreOne(model, app, refs);
+    } else {
+        exploreOne(model, trace::findApp(which), refs);
+    }
+    return 0;
+}

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Instruction-queue design-space explorer.
+ *
+ * Sweeps the complexity-adaptive instruction queue (16-128 entries in
+ * 16-entry increments) for a chosen application and reports the
+ * wakeup/select-limited cycle time, the window-limited IPC, and the
+ * resulting TPI -- the IPC/clock-rate tradeoff of paper Section 5.3.
+ *
+ *   ./iq_explorer [app|all] [instructions]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/adaptive_iq.h"
+#include "timing/issue_logic.h"
+#include "trace/workloads.h"
+
+namespace {
+
+using namespace cap;
+
+void
+exploreOne(const core::AdaptiveIqModel &model,
+           const trace::AppProfile &app, uint64_t instrs)
+{
+    std::printf("\n--- %s (%s), %llu instructions ---\n", app.name.c_str(),
+                trace::suiteName(app.suite),
+                static_cast<unsigned long long>(instrs));
+    std::printf("%-8s %-9s %-7s %-7s %-8s\n", "entries", "cycle_ns",
+                "levels", "IPC", "TPI");
+    auto sweep = model.sweep(app, instrs);
+    size_t best = 0;
+    for (size_t i = 1; i < sweep.size(); ++i) {
+        if (sweep[i].tpi_ns < sweep[best].tpi_ns)
+            best = i;
+    }
+    for (size_t i = 0; i < sweep.size(); ++i) {
+        std::printf("%7d %9.3f %6d %7.2f %8.3f %s\n", sweep[i].entries,
+                    model.cycleNs(sweep[i].entries),
+                    timing::IssueLogicModel::selectTreeLevels(
+                        sweep[i].entries),
+                    sweep[i].ipc, sweep[i].tpi_ns,
+                    i == best ? "<- CAP choice" : "");
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string which = argc > 1 ? argv[1] : "all";
+    uint64_t instrs =
+        argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 120000;
+
+    core::AdaptiveIqModel model;
+    if (which == "all") {
+        for (const trace::AppProfile &app : trace::iqStudyApps())
+            exploreOne(model, app, instrs);
+    } else {
+        exploreOne(model, trace::findApp(which), instrs);
+    }
+    return 0;
+}

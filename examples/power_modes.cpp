@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Performance/power operating points of a CAP -- paper Section 4.1.
+ *
+ * "The lowest-power mode can be enabled by setting all
+ * complexity-adaptive structures to their minimum size, and selecting
+ * the slowest clock... a single CAP design can be configured for
+ * product environments ranging from high-end servers to low power
+ * laptops."
+ *
+ * This example enumerates instruction-queue operating points for one
+ * application and reports normalized power, performance (TPI) and
+ * energy per instruction.  Unused queue entries are disabled; the
+ * clock can also be deliberately slowed below a configuration's
+ * potential for further savings.
+ *
+ *   ./power_modes [app]
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "core/adaptive_iq.h"
+#include "core/machine.h"
+#include "core/power_model.h"
+#include "trace/workloads.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace cap;
+
+    std::string app_name = argc > 1 ? argv[1] : "li";
+    const trace::AppProfile &app = trace::findApp(app_name);
+
+    core::AdaptiveIqModel model;
+    core::PowerModel power;
+    uint64_t instrs = 150000;
+
+    double fastest = model.cycleNs(core::IqMachine::kMinEntries);
+    double slowest = model.cycleNs(core::IqMachine::kMaxEntries);
+
+    std::printf("CAP power/performance design points: %s\n\n",
+                app.name.c_str());
+    std::printf("%-26s %-8s %-8s %-8s %-8s %-8s\n", "mode", "entries",
+                "cycle", "TPI", "power", "EPI");
+
+    auto report = [&](const char *mode, int entries,
+                      double cycle_override) {
+        core::IqPerf perf = model.evaluate(app, entries, instrs);
+        double cycle = cycle_override > 0.0 ? cycle_override
+                                            : model.cycleNs(entries);
+        double tpi = cycle / perf.ipc;
+        core::PowerEstimate estimate =
+            power.estimate(entries, core::IqMachine::kMaxEntries, cycle,
+                           fastest);
+        std::printf("%-26s %7d %7.3f %7.3f %7.3f %7.3f\n", mode, entries,
+                    cycle, tpi, estimate.total(),
+                    power.energyPerInstruction(estimate, tpi));
+    };
+
+    // Performance mode: the configuration a CAP would pick for speed.
+    int best_entries = 16;
+    double best_tpi = 0.0;
+    for (int entries : core::AdaptiveIqModel::studySizes()) {
+        core::IqPerf perf = model.evaluate(app, entries, instrs);
+        if (best_tpi == 0.0 || perf.tpi_ns < best_tpi) {
+            best_tpi = perf.tpi_ns;
+            best_entries = entries;
+        }
+    }
+    report("performance", best_entries, 0.0);
+    report("max structure", core::IqMachine::kMaxEntries, 0.0);
+    report("balanced (64-entry)", 64, 0.0);
+    report("min structure", core::IqMachine::kMinEntries, 0.0);
+    // Low-power mode: minimum structure AND the slowest clock in the
+    // table (e.g. on UPS power).
+    report("low-power (slow clock)", core::IqMachine::kMinEntries,
+           slowest);
+    report("standby (half clock)", core::IqMachine::kMinEntries,
+           2.0 * slowest);
+
+    std::printf("\npower and EPI are normalized to the all-enabled, "
+                "fastest-clock point\n");
+    return 0;
+}

@@ -1,0 +1,216 @@
+#include "exclusive_hierarchy.h"
+
+#include <algorithm>
+
+#include "util/status.h"
+
+namespace cap::cache {
+
+CacheStats &
+CacheStats::operator+=(const CacheStats &other)
+{
+    refs += other.refs;
+    l1_hits += other.l1_hits;
+    l2_hits += other.l2_hits;
+    misses += other.misses;
+    writebacks += other.writebacks;
+    swaps += other.swaps;
+    return *this;
+}
+
+CacheStats
+CacheStats::operator-(const CacheStats &other) const
+{
+    CacheStats diff;
+    diff.refs = refs - other.refs;
+    diff.l1_hits = l1_hits - other.l1_hits;
+    diff.l2_hits = l2_hits - other.l2_hits;
+    diff.misses = misses - other.misses;
+    diff.writebacks = writebacks - other.writebacks;
+    diff.swaps = swaps - other.swaps;
+    return diff;
+}
+
+ExclusiveHierarchy::ExclusiveHierarchy(const HierarchyGeometry &geometry,
+                                       int l1_increments)
+    : geometry_(geometry), l1_increments_(l1_increments)
+{
+    geometry_.validate();
+    capAssert(l1_increments >= 1 &&
+              l1_increments < geometry_.increments,
+              "boundary %d out of range", l1_increments);
+    sets_.assign(geometry_.sets(), SetVector(geometry_.totalWays()));
+}
+
+void
+ExclusiveHierarchy::setBoundary(int l1_increments)
+{
+    capAssert(l1_increments >= 1 &&
+              l1_increments < geometry_.increments,
+              "boundary %d out of range", l1_increments);
+    // No data motion: exclusion plus the fixed index/tag mapping makes
+    // the boundary a pure re-labelling of increments (paper 5.2).
+    l1_increments_ = l1_increments;
+}
+
+int
+ExclusiveHierarchy::lruWay(const SetVector &set, int first, int last) const
+{
+    int victim = -1;
+    uint64_t oldest = UINT64_MAX;
+    for (int way = first; way < last; ++way) {
+        if (!set[way].valid)
+            continue;
+        if (set[way].stamp < oldest) {
+            oldest = set[way].stamp;
+            victim = way;
+        }
+    }
+    return victim;
+}
+
+int
+ExclusiveHierarchy::invalidWay(const SetVector &set, int first,
+                               int last) const
+{
+    for (int way = first; way < last; ++way) {
+        if (!set[way].valid)
+            return way;
+    }
+    return -1;
+}
+
+AccessOutcome
+ExclusiveHierarchy::access(const trace::TraceRecord &record)
+{
+    return accessDetailed(record).outcome;
+}
+
+AccessDetail
+ExclusiveHierarchy::accessDetailed(const trace::TraceRecord &record)
+{
+    ++clock_;
+    ++stats_.refs;
+
+    uint64_t index = geometry_.setIndex(record.addr);
+    uint64_t tag = geometry_.tag(record.addr);
+    SetVector &set = sets_[index];
+    int l1_ways = geometry_.l1Ways(l1_increments_);
+    int total_ways = geometry_.totalWays();
+
+    // Because of exclusion at most one way can match; search L1's ways
+    // first (they are also the physically closest increments).
+    int match = -1;
+    for (int way = 0; way < total_ways; ++way) {
+        if (set[way].valid && set[way].tag == tag) {
+            match = way;
+            break;
+        }
+    }
+
+    if (match >= 0 && match < l1_ways) {
+        // L1 hit: local increment services the access.
+        ++stats_.l1_hits;
+        set[match].stamp = clock_;
+        set[match].dirty |= record.is_write;
+        return {AccessOutcome::L1Hit, match};
+    }
+
+    if (match >= 0) {
+        // L2 hit: swap the block with the L1 victim so the hot block
+        // moves close while exclusion is preserved (one copy total).
+        ++stats_.l2_hits;
+        int victim = invalidWay(set, 0, l1_ways);
+        if (victim < 0) {
+            victim = lruWay(set, 0, l1_ways);
+            // The demoted L1 block takes over the vacated L2 way.
+            std::swap(set[victim], set[match]);
+            ++stats_.swaps;
+        } else {
+            // L1 had room: move the block up, leaving L2 way empty.
+            set[victim] = set[match];
+            set[match] = Way();
+        }
+        set[victim].stamp = clock_;
+        set[victim].dirty |= record.is_write;
+        return {AccessOutcome::L2Hit, match};
+    }
+
+    // Total miss: fill into L1; demote the L1 victim to L2 if needed.
+    ++stats_.misses;
+    int fill = invalidWay(set, 0, l1_ways);
+    if (fill < 0) {
+        int l1_victim = lruWay(set, 0, l1_ways);
+        capAssert(l1_victim >= 0, "full L1 partition with no victim");
+        int l2_slot = invalidWay(set, l1_ways, total_ways);
+        if (l2_slot < 0) {
+            l2_slot = lruWay(set, l1_ways, total_ways);
+            capAssert(l2_slot >= 0, "full L2 partition with no victim");
+            if (set[l2_slot].dirty)
+                ++stats_.writebacks;
+            set[l2_slot] = Way();
+        }
+        // Demote keeps the block's recency so it competes fairly for
+        // promotion later.
+        set[l2_slot] = set[l1_victim];
+        fill = l1_victim;
+    }
+    set[fill].valid = true;
+    set[fill].dirty = record.is_write;
+    set[fill].tag = tag;
+    set[fill].stamp = clock_;
+    return {AccessOutcome::Miss, -1};
+}
+
+void
+ExclusiveHierarchy::flush()
+{
+    for (SetVector &set : sets_)
+        std::fill(set.begin(), set.end(), Way());
+    resetStats();
+}
+
+bool
+ExclusiveHierarchy::auditExclusion() const
+{
+    for (const SetVector &set : sets_) {
+        for (size_t a = 0; a < set.size(); ++a) {
+            if (!set[a].valid)
+                continue;
+            for (size_t b = a + 1; b < set.size(); ++b) {
+                if (set[b].valid && set[b].tag == set[a].tag)
+                    return false;
+            }
+        }
+    }
+    return true;
+}
+
+uint64_t
+ExclusiveHierarchy::residentBlocks() const
+{
+    uint64_t count = 0;
+    for (const SetVector &set : sets_) {
+        for (const Way &way : set)
+            count += way.valid ? 1 : 0;
+    }
+    return count;
+}
+
+bool
+ExclusiveHierarchy::probe(Addr addr, int &level) const
+{
+    uint64_t index = geometry_.setIndex(addr);
+    uint64_t tag = geometry_.tag(addr);
+    const SetVector &set = sets_[index];
+    for (int way = 0; way < geometry_.totalWays(); ++way) {
+        if (set[way].valid && set[way].tag == tag) {
+            level = wayInL1(way) ? 1 : 2;
+            return true;
+        }
+    }
+    level = 0;
+    return false;
+}
+
+} // namespace cap::cache

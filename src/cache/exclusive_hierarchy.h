@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Two-level blocking exclusive cache simulator with a movable L1/L2
+ * boundary (the complexity-adaptive D-cache hierarchy of paper
+ * Section 5.2).
+ *
+ * Exclusion means a block lives in exactly one level at a time, which
+ * is what lets the boundary move without invalidating or copying any
+ * data: a block that was in an increment just re-assigned from L2 to
+ * L1 simply *is* now an L1 block.  On an L1 miss that hits in L2, the
+ * block is swapped with the L1 victim; on a total miss the fill goes
+ * to L1 and the L1 victim is demoted to L2 (possibly evicting the L2
+ * victim to memory).
+ *
+ * Like the paper's trace-driven evaluation, the simulator models
+ * blocking caches and ignores port/bank conflicts.
+ */
+
+#ifndef CAPSIM_CACHE_EXCLUSIVE_HIERARCHY_H
+#define CAPSIM_CACHE_EXCLUSIVE_HIERARCHY_H
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/geometry.h"
+#include "trace/record.h"
+#include "util/units.h"
+
+namespace cap::cache {
+
+/** Where a reference was serviced. */
+enum class AccessOutcome {
+    L1Hit,
+    L2Hit,
+    Miss,
+};
+
+/** Outcome plus the physical location that serviced the reference. */
+struct AccessDetail
+{
+    AccessOutcome outcome = AccessOutcome::Miss;
+    /**
+     * Way that held the block when the access arrived (-1 on a total
+     * miss).  The increment along the bus is way / increment_assoc;
+     * asynchronous designs charge each access its own increment's
+     * delay (paper Section 4.1).
+     */
+    int service_way = -1;
+};
+
+/** Cumulative event counts of a simulation run. */
+struct CacheStats
+{
+    uint64_t refs = 0;
+    uint64_t l1_hits = 0;
+    uint64_t l2_hits = 0;
+    uint64_t misses = 0;
+    uint64_t writebacks = 0;
+    /** Block swaps performed for L2 hits (promote + demote pairs). */
+    uint64_t swaps = 0;
+
+    double l1MissRatio() const
+    {
+        return refs ? static_cast<double>(refs - l1_hits) /
+                      static_cast<double>(refs)
+                    : 0.0;
+    }
+
+    double globalMissRatio() const
+    {
+        return refs ? static_cast<double>(misses) /
+                      static_cast<double>(refs)
+                    : 0.0;
+    }
+
+    CacheStats &operator+=(const CacheStats &other);
+    CacheStats operator-(const CacheStats &other) const;
+};
+
+/** The movable-boundary exclusive hierarchy. */
+class ExclusiveHierarchy
+{
+  public:
+    /**
+     * @param geometry Increment-pool geometry; validated on entry.
+     * @param l1_increments Initial boundary (increments assigned to L1).
+     */
+    ExclusiveHierarchy(const HierarchyGeometry &geometry, int l1_increments);
+
+    const HierarchyGeometry &geometry() const { return geometry_; }
+
+    int l1Increments() const { return l1_increments_; }
+
+    /**
+     * Move the L1/L2 boundary.  No data is moved or invalidated --
+     * this is the low-overhead reconfiguration the CAP design enables.
+     * @param l1_increments New boundary in [1, increments-1].
+     */
+    void setBoundary(int l1_increments);
+
+    /** Simulate one reference and update statistics. */
+    AccessOutcome access(const trace::TraceRecord &record);
+
+    /** As access(), additionally reporting the servicing location. */
+    AccessDetail accessDetailed(const trace::TraceRecord &record);
+
+    const CacheStats &stats() const { return stats_; }
+
+    /** Zero the statistics (configuration and contents are kept). */
+    void resetStats() { stats_ = CacheStats(); }
+
+    /** Drop all cached blocks (cold start) and reset statistics. */
+    void flush();
+
+    /**
+     * Exhaustively verify the exclusion invariant: every (set, tag)
+     * pair appears in at most one way.  O(sets * ways^2); test use.
+     * @retval true The invariant holds.
+     */
+    bool auditExclusion() const;
+
+    /** Number of valid blocks currently resident (test support). */
+    uint64_t residentBlocks() const;
+
+    /**
+     * True if the block containing @p addr is resident, and reports
+     * the level (1 or 2) through @p level (test support).
+     */
+    bool probe(Addr addr, int &level) const;
+
+  private:
+    struct Way
+    {
+        bool valid = false;
+        bool dirty = false;
+        uint64_t tag = 0;
+        /** Recency stamp; larger = more recently used. */
+        uint64_t stamp = 0;
+    };
+
+    /** Ways of one set, indexed [way]. */
+    using SetVector = std::vector<Way>;
+
+    bool wayInL1(int way) const
+    {
+        return way < geometry_.l1Ways(l1_increments_);
+    }
+
+    /** Least-recently-used valid way of a set within [first, last). */
+    int lruWay(const SetVector &set, int first, int last) const;
+
+    /** Any invalid way in [first, last), or -1. */
+    int invalidWay(const SetVector &set, int first, int last) const;
+
+    HierarchyGeometry geometry_;
+    int l1_increments_;
+    std::vector<SetVector> sets_;
+    CacheStats stats_;
+    uint64_t clock_ = 0;
+};
+
+} // namespace cap::cache
+
+#endif // CAPSIM_CACHE_EXCLUSIVE_HIERARCHY_H

@@ -1,0 +1,21 @@
+#include "geometry.h"
+
+#include "util/status.h"
+
+namespace cap::cache {
+
+void
+HierarchyGeometry::validate() const
+{
+    capAssert(increments >= 2, "need at least two increments (L1+L2)");
+    capAssert(increment_assoc >= 1, "increment associativity must be >= 1");
+    capAssert(block_bytes > 0 && isPowerOfTwo(block_bytes),
+              "block size must be a positive power of two");
+    capAssert(increment_bytes %
+                  (static_cast<uint64_t>(increment_assoc) * block_bytes) ==
+              0, "increment size must divide into sets");
+    capAssert(isPowerOfTwo(sets()), "set count must be a power of two");
+    capAssert(increment_banks >= 1, "banking must be >= 1");
+}
+
+} // namespace cap::cache

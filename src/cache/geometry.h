@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Geometry of the complexity-adaptive cache hierarchy (paper Figure 6).
+ *
+ * The structure is a single pool of identical cache increments, each a
+ * complete subcache (tag + data + local hit logic), stacked along
+ * repeater-buffered global address/data buses.  A movable boundary
+ * assigns the first K increments to the L1 D-cache and the rest to the
+ * L2.  The paper's mapping rule -- adding an increment to L1 grows its
+ * size *and* associativity by the increment's -- is realized by giving
+ * the whole pool one fixed set index: increments contribute ways, so
+ * the index and tag bits never change when the boundary moves and no
+ * data needs to be invalidated or copied on reconfiguration.
+ */
+
+#ifndef CAPSIM_CACHE_GEOMETRY_H
+#define CAPSIM_CACHE_GEOMETRY_H
+
+#include <cstdint>
+
+#include "util/units.h"
+
+namespace cap::cache {
+
+/** Static geometry of the increment pool. */
+struct HierarchyGeometry
+{
+    /** Number of identical cache increments in the pool. */
+    int increments = 16;
+    /** Capacity of one increment, bytes. */
+    uint64_t increment_bytes = kib(8);
+    /** Associativity contributed by one increment. */
+    int increment_assoc = 2;
+    /** Cache-block size, bytes. */
+    uint64_t block_bytes = 32;
+    /** Internal banking of each increment. */
+    int increment_banks = 2;
+
+    /** Total pool capacity, bytes. */
+    uint64_t totalBytes() const
+    {
+        return static_cast<uint64_t>(increments) * increment_bytes;
+    }
+
+    /** Set count shared by every boundary placement. */
+    uint64_t sets() const
+    {
+        return increment_bytes /
+               (static_cast<uint64_t>(increment_assoc) * block_bytes);
+    }
+
+    /** Total ways across the pool. */
+    int totalWays() const { return increments * increment_assoc; }
+
+    /** Ways belonging to L1 when the boundary is at @p l1_increments. */
+    int l1Ways(int l1_increments) const
+    {
+        return l1_increments * increment_assoc;
+    }
+
+    /** L1 capacity at a boundary, bytes. */
+    uint64_t l1Bytes(int l1_increments) const
+    {
+        return static_cast<uint64_t>(l1_increments) * increment_bytes;
+    }
+
+    /** Set index of an address (fixed for every configuration). */
+    uint64_t setIndex(Addr addr) const
+    {
+        return (addr / block_bytes) % sets();
+    }
+
+    /** Tag of an address (fixed for every configuration). */
+    uint64_t tag(Addr addr) const
+    {
+        return (addr / block_bytes) / sets();
+    }
+
+    /** The increment that physically holds a given way. */
+    int incrementOfWay(int way) const { return way / increment_assoc; }
+
+    /** Validate and panic on inconsistent geometry. */
+    void validate() const;
+};
+
+} // namespace cap::cache
+
+#endif // CAPSIM_CACHE_GEOMETRY_H

@@ -1,0 +1,54 @@
+#include "tlb.h"
+
+#include "util/status.h"
+
+namespace cap::cache {
+
+Tlb::Tlb(int entries, uint64_t page_bytes)
+    : entries_(entries), page_bytes_(page_bytes)
+{
+    capAssert(entries >= 1, "TLB needs at least one entry");
+    capAssert(page_bytes > 0 && isPowerOfTwo(page_bytes),
+              "page size must be a positive power of two");
+}
+
+bool
+Tlb::access(Addr addr)
+{
+    return accessPage(addr / page_bytes_);
+}
+
+bool
+Tlb::accessPage(uint64_t page)
+{
+    ++stats_.accesses;
+    auto it = map_.find(page);
+    if (it != map_.end()) {
+        // Move to MRU.
+        lru_.splice(lru_.begin(), lru_, it->second);
+        return true;
+    }
+    ++stats_.misses;
+    if (static_cast<int>(lru_.size()) >= entries_) {
+        uint64_t victim = lru_.back();
+        lru_.pop_back();
+        map_.erase(victim);
+    }
+    lru_.push_front(page);
+    map_[page] = lru_.begin();
+    return false;
+}
+
+void
+Tlb::resize(int entries)
+{
+    capAssert(entries >= 1, "TLB needs at least one entry");
+    entries_ = entries;
+    while (static_cast<int>(lru_.size()) > entries_) {
+        uint64_t victim = lru_.back();
+        lru_.pop_back();
+        map_.erase(victim);
+    }
+}
+
+} // namespace cap::cache

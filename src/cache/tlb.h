@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Fully-associative translation lookaside buffer simulator.
+ *
+ * TLBs are among the "other critical parts of the machine" the paper
+ * proposes making complexity-adaptive (Section 5.4): a larger CAM
+ * covers more pages but lengthens the match delay.  The simulator
+ * supports live resizing; shrinking evicts the LRU tail (the cleanup
+ * operation of paper Section 4.2).
+ */
+
+#ifndef CAPSIM_CACHE_TLB_H
+#define CAPSIM_CACHE_TLB_H
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "util/units.h"
+
+namespace cap::cache {
+
+/** TLB event counts. */
+struct TlbStats
+{
+    uint64_t accesses = 0;
+    uint64_t misses = 0;
+
+    double missRatio() const
+    {
+        return accesses ? static_cast<double>(misses) /
+                          static_cast<double>(accesses)
+                        : 0.0;
+    }
+};
+
+/** Fully-associative, LRU-replaced TLB over page numbers. */
+class Tlb
+{
+  public:
+    /**
+     * @param entries Number of page translations held.
+     * @param page_bytes Page size (paper-era Alpha default: 8 KB).
+     */
+    explicit Tlb(int entries, uint64_t page_bytes = 8192);
+
+    int entries() const { return entries_; }
+    uint64_t pageBytes() const { return page_bytes_; }
+
+    /** Translate the page containing @p addr; true on a hit. */
+    bool access(Addr addr);
+
+    /** Translate a raw page number; true on a hit. */
+    bool accessPage(uint64_t page);
+
+    /**
+     * Resize the TLB.  Growing keeps all translations; shrinking
+     * evicts least-recently-used translations until the new capacity
+     * fits (the disabled elements' cleanup).
+     */
+    void resize(int entries);
+
+    const TlbStats &stats() const { return stats_; }
+    void resetStats() { stats_ = TlbStats(); }
+
+    /** Number of translations currently held (test support). */
+    int occupancy() const { return static_cast<int>(lru_.size()); }
+
+  private:
+    int entries_;
+    uint64_t page_bytes_;
+    /** MRU-first list of resident page numbers. */
+    std::list<uint64_t> lru_;
+    /** page -> list position. */
+    std::unordered_map<uint64_t, std::list<uint64_t>::iterator> map_;
+    TlbStats stats_;
+};
+
+} // namespace cap::cache
+
+#endif // CAPSIM_CACHE_TLB_H

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * CAPsim umbrella header: the public API in one include.
+ *
+ * Fine-grained headers remain available (and preferable for build
+ * times); this header is for quick starts and downstream projects
+ * that want everything.
+ */
+
+#ifndef CAPSIM_CAPSIM_H
+#define CAPSIM_CAPSIM_H
+
+// Substrates.
+#include "cache/exclusive_hierarchy.h"  // movable-boundary exclusive cache
+#include "cache/tlb.h"                  // fully-associative TLB
+#include "ooo/branch_predictor.h"       // bimodal/gshare + branch streams
+#include "ooo/core_model.h"             // window-constrained OoO core
+#include "ooo/two_level_queue.h"        // on-deck + backup queue
+#include "ooo/value_predictor.h"        // on-deck + backup queue
+#include "timing/cacti.h"               // cache access-time model
+#include "timing/clock_table.h"         // worst-case dynamic clock
+#include "timing/issue_logic.h"         // wakeup + select delays
+#include "timing/technology.h"          // process generations
+#include "timing/wire.h"                // Bakoglu repeated wires
+#include "trace/analysis.h"             // stack-distance analysis
+#include "trace/file_trace.h"           // din-style trace files
+#include "trace/stream.h"               // synthetic traces
+#include "trace/workloads.h"            // the 22-application suite
+
+// The complexity-adaptive processor layer.
+#include "core/adaptive_bpred.h"
+#include "core/adaptive_cache.h"
+#include "core/adaptive_iq.h"
+#include "core/adaptive_structure.h"
+#include "core/adaptive_tlb.h"
+#include "core/adaptive_vpred.h"
+#include "core/async_cache.h"
+#include "core/backup_queue.h"
+#include "core/concert.h"
+#include "core/config_manager.h"
+#include "core/experiment.h"
+#include "core/interval_cache.h"
+#include "core/interval_controller.h"
+#include "core/latency_adaptive.h"
+#include "core/machine.h"
+#include "core/multiprogram.h"
+#include "core/power_model.h"
+#include "core/profile_guided.h"
+#include "core/structures.h"
+
+#endif // CAPSIM_CAPSIM_H

@@ -1,0 +1,313 @@
+#include "cli.h"
+
+#include <cstdlib>
+
+#include "core/adaptive_cache.h"
+#include "core/adaptive_iq.h"
+#include "trace/analysis.h"
+#include "trace/file_trace.h"
+#include "trace/stream.h"
+#include "trace/workloads.h"
+#include "util/table.h"
+#include "util/units.h"
+
+namespace cap::cli {
+
+std::string
+Options::get(const std::string &key, const std::string &fallback) const
+{
+    auto it = flags.find(key);
+    return it == flags.end() ? fallback : it->second;
+}
+
+uint64_t
+Options::getU64(const std::string &key, uint64_t fallback) const
+{
+    auto it = flags.find(key);
+    if (it == flags.end())
+        return fallback;
+    char *end = nullptr;
+    uint64_t value = std::strtoull(it->second.c_str(), &end, 10);
+    return (end && *end == '\0') ? value : fallback;
+}
+
+Options
+parseArgs(const std::vector<std::string> &args)
+{
+    Options options;
+    for (size_t i = 0; i < args.size(); ++i) {
+        const std::string &arg = args[i];
+        if (arg.rfind("--", 0) != 0) {
+            options.positional.push_back(arg);
+            continue;
+        }
+        std::string key = arg.substr(2);
+        std::string value;
+        size_t eq = key.find('=');
+        if (eq != std::string::npos) {
+            value = key.substr(eq + 1);
+            key = key.substr(0, eq);
+        } else if (i + 1 < args.size() &&
+                   args[i + 1].rfind("--", 0) != 0) {
+            value = args[++i];
+        }
+        options.flags[key] = value;
+    }
+    return options;
+}
+
+namespace {
+
+int
+cmdHelp(std::ostream &out)
+{
+    out << "capsim -- Complexity-Adaptive Processor simulator\n"
+           "\n"
+           "usage: capsim <command> [options]\n"
+           "\n"
+           "commands:\n"
+           "  apps                         list the 22-application suite\n"
+           "  timing                       print the clock tables\n"
+           "  cache-sweep <app|all>        TPI vs L1/L2 boundary\n"
+           "      [--refs N]               references per run\n"
+           "  iq-sweep <app|all>           TPI vs instruction-queue size\n"
+           "      [--instrs N]             instructions per run\n"
+           "  gen-trace <app> <path>       export a synthetic trace file\n"
+           "      [--refs N]               records to write\n"
+           "  analyze <path>               characterize a trace file\n"
+           "      [--limit N] [--block B]  records to read, block bytes\n"
+           "  help                         this text\n";
+    return 0;
+}
+
+int
+cmdApps(std::ostream &out)
+{
+    TableWriter table("Workload suite");
+    table.setHeader({"app", "suite", "refs/instr", "cache_mix",
+                     "ilp_phases", "cache_study"});
+    for (const trace::AppProfile &app : trace::workloadSuite()) {
+        table.addRow({Cell(app.name), Cell(trace::suiteName(app.suite)),
+                      Cell(app.cache.refs_per_instr, 2),
+                      Cell(static_cast<int>(app.cache.mix.size())),
+                      Cell(static_cast<int>(app.ilp.phases.size())),
+                      Cell(app.in_cache_study ? "yes" : "no")});
+    }
+    table.renderAscii(out);
+    return 0;
+}
+
+int
+cmdTiming(std::ostream &out)
+{
+    core::AdaptiveCacheModel cache_model;
+    TableWriter cache_table("Adaptive D-cache hierarchy clock table");
+    cache_table.setHeader({"L1_config", "cycle_ns", "clock_GHz",
+                           "L2_hit_cycles", "miss_cycles"});
+    for (const core::CacheBoundaryTiming &t :
+         cache_model.allBoundaryTimings()) {
+        cache_table.addRow(
+            {Cell(std::to_string(t.l1_bytes / 1024) + "KB/" +
+                  std::to_string(t.l1_assoc) + "way"),
+             Cell(t.cycle_ns, 3), Cell(1.0 / t.cycle_ns, 2),
+             Cell(static_cast<int>(t.l2_hit_cycles)),
+             Cell(static_cast<int>(t.miss_cycles))});
+    }
+    cache_table.renderAscii(out);
+
+    core::AdaptiveIqModel iq_model;
+    TableWriter iq_table("Adaptive instruction-queue clock table");
+    iq_table.setHeader({"entries", "cycle_ns", "clock_GHz"});
+    for (const core::IqTiming &t : iq_model.allTimings()) {
+        iq_table.addRow({Cell(t.entries), Cell(t.cycle_ns, 3),
+                         Cell(1.0 / t.cycle_ns, 2)});
+    }
+    iq_table.renderAscii(out);
+    return 0;
+}
+
+std::vector<trace::AppProfile>
+selectApps(const std::string &which, bool cache_study, std::ostream &err,
+           bool &ok)
+{
+    ok = true;
+    if (which == "all") {
+        return cache_study ? trace::cacheStudyApps()
+                           : trace::iqStudyApps();
+    }
+    for (const trace::AppProfile &app : trace::workloadSuite()) {
+        if (app.name == which)
+            return {app};
+    }
+    err << "capsim: unknown application '" << which
+        << "' (try 'capsim apps')\n";
+    ok = false;
+    return {};
+}
+
+int
+cmdCacheSweep(const Options &options, std::ostream &out, std::ostream &err)
+{
+    if (options.positional.empty()) {
+        err << "capsim: cache-sweep needs an application (or 'all')\n";
+        return 2;
+    }
+    bool ok = false;
+    auto apps = selectApps(options.positional[0], true, err, ok);
+    if (!ok)
+        return 2;
+    uint64_t refs = options.getU64("refs", 150000);
+
+    core::AdaptiveCacheModel model;
+    TableWriter table("avg TPI (ns) vs L1 size, " + std::to_string(refs) +
+                      " refs per run");
+    std::vector<std::string> header{"app"};
+    for (int k = 1; k <= 8; ++k)
+        header.push_back(std::to_string(8 * k) + "KB");
+    header.push_back("best");
+    table.setHeader(header);
+    for (const trace::AppProfile &app : apps) {
+        std::vector<Cell> row{Cell(app.name)};
+        auto sweep = model.sweep(app, 8, refs);
+        size_t best = 0;
+        for (size_t i = 0; i < sweep.size(); ++i) {
+            row.emplace_back(sweep[i].tpi_ns, 3);
+            if (sweep[i].tpi_ns < sweep[best].tpi_ns)
+                best = i;
+        }
+        row.emplace_back(std::to_string(8 * (best + 1)) + "KB");
+        table.addRow(row);
+    }
+    table.renderAscii(out);
+    return 0;
+}
+
+int
+cmdIqSweep(const Options &options, std::ostream &out, std::ostream &err)
+{
+    if (options.positional.empty()) {
+        err << "capsim: iq-sweep needs an application (or 'all')\n";
+        return 2;
+    }
+    bool ok = false;
+    auto apps = selectApps(options.positional[0], false, err, ok);
+    if (!ok)
+        return 2;
+    uint64_t instrs = options.getU64("instrs", 120000);
+
+    core::AdaptiveIqModel model;
+    TableWriter table("avg TPI (ns) vs queue size, " +
+                      std::to_string(instrs) + " instructions per run");
+    std::vector<std::string> header{"app"};
+    for (int entries : core::AdaptiveIqModel::studySizes())
+        header.push_back(std::to_string(entries));
+    header.push_back("best");
+    table.setHeader(header);
+    for (const trace::AppProfile &app : apps) {
+        std::vector<Cell> row{Cell(app.name)};
+        auto sweep = model.sweep(app, instrs);
+        size_t best = 0;
+        for (size_t i = 0; i < sweep.size(); ++i) {
+            row.emplace_back(sweep[i].tpi_ns, 3);
+            if (sweep[i].tpi_ns < sweep[best].tpi_ns)
+                best = i;
+        }
+        row.emplace_back(std::to_string(sweep[best].entries));
+        table.addRow(row);
+    }
+    table.renderAscii(out);
+    return 0;
+}
+
+int
+cmdGenTrace(const Options &options, std::ostream &out, std::ostream &err)
+{
+    if (options.positional.size() < 2) {
+        err << "capsim: gen-trace needs an application and a path\n";
+        return 2;
+    }
+    bool ok = false;
+    auto apps = selectApps(options.positional[0], true, err, ok);
+    if (!ok || apps.size() != 1) {
+        if (ok)
+            err << "capsim: gen-trace needs a single application\n";
+        return 2;
+    }
+    uint64_t refs = options.getU64("refs", 100000);
+    trace::SyntheticTraceSource source(apps[0].cache, apps[0].seed, refs);
+    uint64_t written =
+        trace::writeTraceFile(options.positional[1], source, refs);
+    out << "wrote " << written << " records of " << apps[0].name
+        << " to " << options.positional[1] << '\n';
+    return 0;
+}
+
+int
+cmdAnalyze(const Options &options, std::ostream &out, std::ostream &err)
+{
+    if (options.positional.empty()) {
+        err << "capsim: analyze needs a trace file\n";
+        return 2;
+    }
+    uint64_t limit = options.getU64("limit", 0);
+    uint64_t block = options.getU64("block", trace::kBlockBytes);
+
+    trace::FileTraceSource source(options.positional[0]);
+    trace::TraceCharacter character =
+        trace::analyzeTrace(source, limit, block);
+
+    TableWriter table("Trace character: " + options.positional[0]);
+    table.setHeader({"quantity", "value"});
+    table.addRow({Cell("references"), Cell(character.refs)});
+    table.addRow({Cell("write fraction"),
+                  Cell(character.writeFraction(), 3)});
+    table.addRow({Cell("footprint (blocks)"),
+                  Cell(character.footprint_blocks)});
+    table.addRow({Cell("footprint (KB)"),
+                  Cell(character.footprint_blocks * block / 1024)});
+    table.addRow({Cell("cold references"), Cell(character.cold_refs)});
+    table.renderAscii(out);
+
+    TableWriter curve("Fully-associative LRU miss-ratio curve");
+    curve.setHeader({"capacity", "miss_ratio"});
+    for (uint64_t kb : {4ull, 8ull, 16ull, 32ull, 64ull, 128ull, 256ull}) {
+        curve.addRow({Cell(std::to_string(kb) + "KB"),
+                      Cell(character.missRatioAtBytes(kib(kb)), 4)});
+    }
+    curve.renderAscii(out);
+    return 0;
+}
+
+} // namespace
+
+int
+runCommand(const std::vector<std::string> &args, std::ostream &out,
+           std::ostream &err)
+{
+    if (args.empty())
+        return cmdHelp(out);
+    const std::string &command = args[0];
+    Options options =
+        parseArgs(std::vector<std::string>(args.begin() + 1, args.end()));
+
+    if (command == "help" || command == "--help")
+        return cmdHelp(out);
+    if (command == "apps")
+        return cmdApps(out);
+    if (command == "timing")
+        return cmdTiming(out);
+    if (command == "cache-sweep")
+        return cmdCacheSweep(options, out, err);
+    if (command == "iq-sweep")
+        return cmdIqSweep(options, out, err);
+    if (command == "gen-trace")
+        return cmdGenTrace(options, out, err);
+    if (command == "analyze")
+        return cmdAnalyze(options, out, err);
+
+    err << "capsim: unknown command '" << command
+        << "' (try 'capsim help')\n";
+    return 2;
+}
+
+} // namespace cap::cli

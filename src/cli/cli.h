@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Command-line driver for CAPsim: one binary exposing the workload
+ * suite, the design-space sweeps, trace generation and trace
+ * characterization.  The dispatch layer is a library so the commands
+ * are unit-testable; tools/capsim.cc is a thin main().
+ */
+
+#ifndef CAPSIM_CLI_CLI_H
+#define CAPSIM_CLI_CLI_H
+
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace cap::cli {
+
+/** Parsed command line: --key value / --key=value flags + positionals. */
+struct Options
+{
+    std::map<std::string, std::string> flags;
+    std::vector<std::string> positional;
+
+    /** Flag value or @p fallback when absent. */
+    std::string get(const std::string &key,
+                    const std::string &fallback = "") const;
+
+    /** Flag parsed as u64; @p fallback when absent or malformed. */
+    uint64_t getU64(const std::string &key, uint64_t fallback) const;
+};
+
+/**
+ * Parse arguments (excluding argv[0] and the command word).
+ * Unknown flags are kept; values may be attached with '='.
+ */
+Options parseArgs(const std::vector<std::string> &args);
+
+/**
+ * Execute a CAPsim command.  args[0] is the command word:
+ *   apps                          list the workload suite
+ *   timing                        print the clock tables
+ *   cache-sweep <app|all>         TPI vs L1/L2 boundary
+ *   iq-sweep <app|all>            TPI vs queue size
+ *   gen-trace <app> <path>        export a synthetic trace file
+ *   analyze <path>                characterize a trace file
+ *   help                          usage
+ *
+ * @return Process exit code (0 on success).
+ */
+int runCommand(const std::vector<std::string> &args, std::ostream &out,
+               std::ostream &err);
+
+} // namespace cap::cli
+
+#endif // CAPSIM_CLI_CLI_H

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Complexity-adaptive branch predictor (the Section 5.4 extension).
+ *
+ * Branch predictor tables are RAM arrays; with buffered word/bit
+ * lines their size becomes a runtime configuration.  The prediction
+ * must complete within a fetch cycle, so a large table can set the
+ * clock, while a small table suffers aliasing among the application's
+ * static branches -- the familiar IPC/clock-rate tradeoff.
+ *
+ * Branch behaviour is a separate synthetic profile per application
+ * (see bpredBehaviorFor()); the generators are deterministic.
+ */
+
+#ifndef CAPSIM_CORE_ADAPTIVE_BPRED_H
+#define CAPSIM_CORE_ADAPTIVE_BPRED_H
+
+#include <string>
+#include <vector>
+
+#include "ooo/branch_predictor.h"
+#include "timing/technology.h"
+#include "trace/profile.h"
+#include "util/units.h"
+
+namespace cap::core {
+
+/** Branch-side character of an application. */
+struct BpredBehavior
+{
+    /** Dynamic conditional branches per instruction. */
+    double branch_fraction = 0.14;
+    /** Stream parameters (sites, bias, patterns). */
+    ooo::BranchBehavior stream;
+};
+
+/** Synthetic branch profile for an application (by name). */
+BpredBehavior bpredBehaviorFor(const std::string &app_name);
+
+/** Outcome of evaluating one table size for one application. */
+struct BpredPerf
+{
+    int entries = 0;
+    double mispredict_ratio = 0.0;
+    /** Single-cycle prediction-lookup requirement, ns. */
+    Nanoseconds lookup_ns = 0.0;
+};
+
+/** Timing + behaviour evaluation of the adaptive predictor. */
+class AdaptiveBpredModel
+{
+  public:
+    explicit AdaptiveBpredModel(
+        const timing::Technology &tech = timing::Technology::um180());
+
+    /** The table sizes the extension study sweeps. */
+    static std::vector<int> studySizes();
+
+    /** Table read delay of a @p entries 2-bit-counter table, ns. */
+    Nanoseconds lookupNs(int entries) const;
+
+    /** Branch misprediction penalty, cycles (4-way machine). */
+    static constexpr int kMispredictPenaltyCycles = 5;
+
+    /** Run @p branches branches of @p app through a bimodal table. */
+    BpredPerf evaluate(const trace::AppProfile &app, int entries,
+                       uint64_t branches) const;
+
+  private:
+    const timing::Technology *tech_;
+};
+
+} // namespace cap::core
+
+#endif // CAPSIM_CORE_ADAPTIVE_BPRED_H

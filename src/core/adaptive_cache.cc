@@ -1,0 +1,154 @@
+#include "adaptive_cache.h"
+
+#include <cmath>
+
+#include "timing/area.h"
+#include "trace/stream.h"
+#include "util/status.h"
+
+namespace cap::core {
+
+namespace {
+
+// Tag + status storage makes each increment slightly larger than its
+// data capacity when computing physical pitch.
+constexpr double kTagAreaOverhead = 1.25;
+
+// Serialization overhead of an L2 access beyond bus + increment
+// delays (bank selection, way steering, fill alignment), ns.  Chosen
+// so the 30 ns miss latency is 2-3x the L2 hit latency, as the paper
+// states.
+constexpr double kL2FixedNs = 5.0;
+
+} // namespace
+
+AdaptiveCacheModel::AdaptiveCacheModel(
+    const cache::HierarchyGeometry &geometry,
+    const timing::Technology &tech)
+    : geometry_(geometry), tech_(&tech), wires_(tech)
+{
+    geometry_.validate();
+
+    timing::CactiLite cacti(tech);
+    timing::CacheOrg org{geometry_.increment_bytes,
+                         geometry_.increment_assoc,
+                         geometry_.block_bytes,
+                         geometry_.increment_banks};
+    increment_access_ns_ = cacti.accessTime(org);
+
+    double data_pitch =
+        timing::AreaModel::subarrayPitchMm(geometry_.increment_bytes);
+    increment_pitch_mm_ = data_pitch * std::sqrt(kTagAreaOverhead);
+}
+
+Nanoseconds
+AdaptiveCacheModel::busDelayNs(int n) const
+{
+    capAssert(n >= 1 && n <= geometry_.increments,
+              "increment index %d out of range", n);
+    return wires_.bufferedDelay(increment_pitch_mm_ * n);
+}
+
+CacheBoundaryTiming
+AdaptiveCacheModel::boundaryTiming(int l1_increments) const
+{
+    capAssert(l1_increments >= 1 &&
+              l1_increments < geometry_.increments,
+              "boundary %d out of range", l1_increments);
+
+    CacheBoundaryTiming t;
+    t.l1_increments = l1_increments;
+    t.l1_bytes = geometry_.l1Bytes(l1_increments);
+    t.l1_assoc = geometry_.l1Ways(l1_increments);
+
+    // The slowest L1 increment (the one farthest along the bus)
+    // determines the L1 access time; pipelined over three cycles, it
+    // sets the processor cycle (paper Section 5.1).
+    Nanoseconds l1_access = increment_access_ns_ + busDelayNs(l1_increments);
+    Nanoseconds raw_cycle =
+        l1_access / static_cast<double>(CacheMachine::kL1PipelineDepth);
+    t.cycle_ns = clock_table_.cycleFor(raw_cycle);
+
+    // An L2 access traverses the address bus to the farthest
+    // increment, performs a local access, and returns data; tag and
+    // data phases are serialized in the L2 region.
+    Nanoseconds l2_access = 2.0 * increment_access_ns_ +
+                            2.0 * busDelayNs(geometry_.increments) +
+                            kL2FixedNs;
+    t.l2_hit_cycles =
+        static_cast<Cycles>(std::ceil(l2_access / t.cycle_ns - 1e-9));
+    t.miss_cycles = static_cast<Cycles>(
+        std::ceil(CacheMachine::kL2MissNs / t.cycle_ns - 1e-9));
+    return t;
+}
+
+std::vector<CacheBoundaryTiming>
+AdaptiveCacheModel::allBoundaryTimings() const
+{
+    std::vector<CacheBoundaryTiming> timings;
+    for (int k = 1; k < geometry_.increments; ++k)
+        timings.push_back(boundaryTiming(k));
+    return timings;
+}
+
+CachePerf
+AdaptiveCacheModel::perfFromStats(const cache::CacheStats &stats,
+                                  const CacheBoundaryTiming &timing,
+                                  double refs_per_instr) const
+{
+    capAssert(refs_per_instr > 0.0, "refs_per_instr must be positive");
+    CachePerf perf;
+    perf.l1_increments = timing.l1_increments;
+    perf.refs = stats.refs;
+    perf.instructions = static_cast<uint64_t>(
+        static_cast<double>(stats.refs) / refs_per_instr);
+    perf.l1_miss_ratio = stats.l1MissRatio();
+    perf.global_miss_ratio = stats.globalMissRatio();
+    if (perf.instructions == 0)
+        return perf;
+
+    double base_cycles =
+        static_cast<double>(perf.instructions) / CacheMachine::kBaseIpc;
+    double stall_cycles =
+        static_cast<double>(stats.l2_hits) *
+            static_cast<double>(timing.l2_hit_cycles) +
+        static_cast<double>(stats.misses) *
+            static_cast<double>(timing.miss_cycles);
+
+    double instrs = static_cast<double>(perf.instructions);
+    perf.tpi_ns = timing.cycle_ns * (base_cycles + stall_cycles) / instrs;
+    perf.tpi_miss_ns = timing.cycle_ns * stall_cycles / instrs;
+    return perf;
+}
+
+CachePerf
+AdaptiveCacheModel::evaluate(const trace::AppProfile &app,
+                             int l1_increments, uint64_t refs) const
+{
+    capAssert(refs > 0, "evaluation needs references");
+    CacheBoundaryTiming timing = boundaryTiming(l1_increments);
+
+    cache::ExclusiveHierarchy hierarchy(geometry_, l1_increments);
+    trace::SyntheticTraceSource source(app.cache, app.seed, refs);
+    trace::TraceRecord record;
+    while (source.next(record))
+        hierarchy.access(record);
+
+    return perfFromStats(hierarchy.stats(), timing,
+                         app.cache.refs_per_instr);
+}
+
+std::vector<CachePerf>
+AdaptiveCacheModel::sweep(const trace::AppProfile &app,
+                          int max_l1_increments, uint64_t refs) const
+{
+    capAssert(max_l1_increments >= 1 &&
+              max_l1_increments < geometry_.increments,
+              "sweep bound out of range");
+    std::vector<CachePerf> results;
+    for (int k = 1; k <= max_l1_increments; ++k)
+        results.push_back(evaluate(app, k, refs));
+    return results;
+}
+
+} // namespace cap::core

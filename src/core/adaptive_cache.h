@@ -1,0 +1,126 @@
+/**
+ * @file
+ * The complexity-adaptive D-cache hierarchy: timing derivation plus
+ * trace-driven performance evaluation (paper Section 5.2).
+ *
+ * Timing follows the paper's methodology: increment delays come from
+ * the CACTI-style model, global address/data bus delays from Bakoglu
+ * optimal buffering, the L1 increment delay sets the processor cycle
+ * (pipelined over three cycles), L2 hit latency is
+ * ceil(L2 access / cycle), and the average L2 miss costs 30 ns.
+ */
+
+#ifndef CAPSIM_CORE_ADAPTIVE_CACHE_H
+#define CAPSIM_CORE_ADAPTIVE_CACHE_H
+
+#include <vector>
+
+#include "cache/exclusive_hierarchy.h"
+#include "core/machine.h"
+#include "timing/cacti.h"
+#include "timing/clock_table.h"
+#include "timing/technology.h"
+#include "timing/wire.h"
+#include "trace/profile.h"
+#include "util/units.h"
+
+namespace cap::core {
+
+/** Timing of one boundary placement. */
+struct CacheBoundaryTiming
+{
+    /** Increments assigned to L1. */
+    int l1_increments;
+    /** L1 capacity, bytes. */
+    uint64_t l1_bytes;
+    /** L1 associativity under the mapping rule. */
+    int l1_assoc;
+    /** Processor cycle time, ns. */
+    Nanoseconds cycle_ns;
+    /** L2 hit latency, cycles. */
+    Cycles l2_hit_cycles;
+    /** L2 miss service latency, cycles. */
+    Cycles miss_cycles;
+};
+
+/** Performance of one application under one boundary placement. */
+struct CachePerf
+{
+    int l1_increments = 0;
+    uint64_t refs = 0;
+    uint64_t instructions = 0;
+    double l1_miss_ratio = 0.0;
+    double global_miss_ratio = 0.0;
+    /** Average time per instruction, ns. */
+    double tpi_ns = 0.0;
+    /** Miss-stall component of TPI, ns. */
+    double tpi_miss_ns = 0.0;
+};
+
+/**
+ * Binds geometry, timing and the exclusive-hierarchy simulator into
+ * the adaptive cache CAS.
+ */
+class AdaptiveCacheModel
+{
+  public:
+    /**
+     * @param geometry Increment-pool geometry (default: the paper's
+     *        128 KB pool of 16 8KB 2-way increments).
+     * @param tech Implementation technology (paper: 0.18 um).
+     */
+    explicit AdaptiveCacheModel(
+        const cache::HierarchyGeometry &geometry = {},
+        const timing::Technology &tech = timing::Technology::um180());
+
+    const cache::HierarchyGeometry &geometry() const { return geometry_; }
+
+    /** Access time of one increment (local tag+data), ns. */
+    Nanoseconds incrementAccessNs() const { return increment_access_ns_; }
+
+    /** Global bus delay to reach increment @p n (1-based), ns. */
+    Nanoseconds busDelayNs(int n) const;
+
+    /** Timing of a boundary placement (1..increments-1). */
+    CacheBoundaryTiming boundaryTiming(int l1_increments) const;
+
+    /** Timings of every boundary the study sweeps. */
+    std::vector<CacheBoundaryTiming> allBoundaryTimings() const;
+
+    /** The clock table (exposed for quantization experiments). */
+    timing::ClockTable &clockTable() { return clock_table_; }
+
+    /**
+     * Trace-driven evaluation: run @p refs references of @p app with
+     * the boundary fixed at @p l1_increments and derive TPI/TPImiss.
+     */
+    CachePerf evaluate(const trace::AppProfile &app, int l1_increments,
+                       uint64_t refs) const;
+
+    /** Evaluate every boundary in [1, max_l1_increments]. */
+    std::vector<CachePerf> sweep(const trace::AppProfile &app,
+                                 int max_l1_increments,
+                                 uint64_t refs) const;
+
+    /**
+     * Derive TPI from raw event counts (shared by evaluate() and the
+     * latency-adaptive variant; also used by tests to check the
+     * accounting identity).
+     */
+    CachePerf perfFromStats(const cache::CacheStats &stats,
+                            const CacheBoundaryTiming &timing,
+                            double refs_per_instr) const;
+
+  private:
+    cache::HierarchyGeometry geometry_;
+    const timing::Technology *tech_;
+    timing::WireModel wires_;
+    timing::ClockTable clock_table_;
+    Nanoseconds increment_access_ns_;
+    /** Physical pitch of one increment along the bus, mm. */
+    double increment_pitch_mm_;
+};
+
+} // namespace cap::core
+
+#endif // CAPSIM_CORE_ADAPTIVE_CACHE_H

@@ -1,0 +1,96 @@
+#include "adaptive_iq.h"
+
+#include "util/status.h"
+
+namespace cap::core {
+
+AdaptiveIqModel::AdaptiveIqModel(const timing::Technology &tech)
+    : issue_logic_(tech)
+{
+}
+
+std::vector<int>
+AdaptiveIqModel::studySizes()
+{
+    std::vector<int> sizes;
+    for (int n = IqMachine::kMinEntries; n <= IqMachine::kMaxEntries;
+         n += IqMachine::kEntryStep) {
+        sizes.push_back(n);
+    }
+    return sizes;
+}
+
+Nanoseconds
+AdaptiveIqModel::cycleNs(int entries) const
+{
+    return clock_table_.cycleFor(issue_logic_.cycleTime(entries));
+}
+
+std::vector<IqTiming>
+AdaptiveIqModel::allTimings() const
+{
+    std::vector<IqTiming> timings;
+    for (int entries : studySizes())
+        timings.push_back({entries, cycleNs(entries)});
+    return timings;
+}
+
+IqPerf
+AdaptiveIqModel::evaluate(const trace::AppProfile &app, int entries,
+                          uint64_t instructions) const
+{
+    capAssert(instructions > 0, "evaluation needs instructions");
+    ooo::InstructionStream stream(app.ilp, app.seed);
+    ooo::CoreParams params;
+    params.queue_entries = entries;
+    params.dispatch_width = IqMachine::kDispatchWidth;
+    params.issue_width = IqMachine::kIssueWidth;
+    ooo::CoreModel model(stream, params);
+
+    ooo::RunResult run = model.step(instructions);
+
+    IqPerf perf;
+    perf.entries = entries;
+    perf.instructions = run.instructions;
+    perf.cycles = run.cycles;
+    perf.ipc = run.ipc();
+    perf.tpi_ns = perf.ipc > 0.0 ? cycleNs(entries) / perf.ipc : 0.0;
+    return perf;
+}
+
+std::vector<IqPerf>
+AdaptiveIqModel::sweep(const trace::AppProfile &app,
+                       uint64_t instructions) const
+{
+    std::vector<IqPerf> results;
+    for (int entries : studySizes())
+        results.push_back(evaluate(app, entries, instructions));
+    return results;
+}
+
+IntervalSeries
+AdaptiveIqModel::intervalSeries(const trace::AppProfile &app, int entries,
+                                uint64_t instructions,
+                                uint64_t interval_instrs) const
+{
+    capAssert(interval_instrs > 0, "interval length must be positive");
+    ooo::InstructionStream stream(app.ilp, app.seed);
+    ooo::CoreParams params;
+    params.queue_entries = entries;
+    params.dispatch_width = IqMachine::kDispatchWidth;
+    params.issue_width = IqMachine::kIssueWidth;
+    ooo::CoreModel model(stream, params);
+
+    Nanoseconds cycle = cycleNs(entries);
+    IntervalSeries series;
+    for (uint64_t done = 0; done + interval_instrs <= instructions;
+         done += interval_instrs) {
+        ooo::RunResult run = model.step(interval_instrs);
+        double tpi = cycle * static_cast<double>(run.cycles) /
+                     static_cast<double>(run.instructions);
+        series.add(tpi);
+    }
+    return series;
+}
+
+} // namespace cap::core

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Abstract view of a complexity-adaptive structure (CAS) as the
+ * Configuration Manager sees it (paper Figure 5): an ordered set of
+ * configurations, each with a worst-case cycle-time requirement.
+ *
+ * The Configuration Manager combines the requirements of every CAS
+ * with the fixed structures' floor to pick the processor clock
+ * (worst-case rule), which is also how the paper's Section 5.4 caveat
+ * arises: one slow structure can limit the useful configuration range
+ * of another.
+ */
+
+#ifndef CAPSIM_CORE_ADAPTIVE_STRUCTURE_H
+#define CAPSIM_CORE_ADAPTIVE_STRUCTURE_H
+
+#include <string>
+
+#include "util/units.h"
+
+namespace cap::core {
+
+/** One configurable hardware structure. */
+class AdaptiveStructure
+{
+  public:
+    virtual ~AdaptiveStructure() = default;
+
+    /** Display name ("dcache-hierarchy", "instruction-queue"). */
+    virtual std::string name() const = 0;
+
+    /** Number of configurations (ordered small/fast -> large/slow). */
+    virtual int configCount() const = 0;
+
+    /** Human-readable name of a configuration. */
+    virtual std::string configName(int config) const = 0;
+
+    /** Worst-case cycle-time requirement of a configuration, ns. */
+    virtual Nanoseconds cycleRequirement(int config) const = 0;
+
+    /**
+     * Cycles needed to clean up when switching @p from -> @p to
+     * (e.g. draining queue entries), excluding the clock-switch pause.
+     */
+    virtual Cycles reconfigureCleanupCycles(int from, int to) const
+    {
+        (void)from;
+        (void)to;
+        return 0;
+    }
+};
+
+} // namespace cap::core
+
+#endif // CAPSIM_CORE_ADAPTIVE_STRUCTURE_H

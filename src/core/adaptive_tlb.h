@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Complexity-adaptive data TLB (the Section 5.4 extension).
+ *
+ * A fully-associative TLB is a CAM whose match delay grows with its
+ * entry count; with buffered match lines the entry count becomes a
+ * runtime configuration.  The lookup must complete within a processor
+ * cycle, so a large TLB can set the clock -- the same IPC/clock-rate
+ * tradeoff as the cache and queue studies.
+ *
+ * Page-level behaviour is a separate synthetic profile per
+ * application (the cache profiles compress working sets and do not
+ * preserve page counts; an Atom trace would provide real page
+ * streams).  See tlbBehaviorFor().
+ */
+
+#ifndef CAPSIM_CORE_ADAPTIVE_TLB_H
+#define CAPSIM_CORE_ADAPTIVE_TLB_H
+
+#include <string>
+#include <vector>
+
+#include "timing/technology.h"
+#include "trace/profile.h"
+#include "util/units.h"
+
+namespace cap::core {
+
+/** Page-access character of one application. */
+struct TlbBehavior
+{
+    /** Resident page working set (8 KB pages). */
+    int pages = 24;
+    /** Zipf exponent of page popularity. */
+    double zipf_s = 1.1;
+    /**
+     * Fraction of references that stream through fresh pages
+     * (compulsory TLB misses no capacity can absorb).
+     */
+    double stream_fraction = 0.0;
+    /** Pages touched consecutively by one streaming burst. */
+    int stream_touches = 256;
+};
+
+/** Synthetic page profile for an application (by name). */
+TlbBehavior tlbBehaviorFor(const std::string &app_name);
+
+/** Outcome of evaluating one TLB size for one application. */
+struct TlbPerf
+{
+    int entries = 0;
+    double miss_ratio = 0.0;
+    /** Single-cycle lookup requirement, ns. */
+    Nanoseconds lookup_ns = 0.0;
+};
+
+/** Timing + behaviour evaluation of the adaptive TLB. */
+class AdaptiveTlbModel
+{
+  public:
+    explicit AdaptiveTlbModel(
+        const timing::Technology &tech = timing::Technology::um180());
+
+    /** The entry counts the extension study sweeps. */
+    static std::vector<int> studySizes();
+
+    /** CAM match delay of a TLB with @p entries, ns. */
+    Nanoseconds lookupNs(int entries) const;
+
+    /** Page-table walk service time, ns. */
+    static constexpr Nanoseconds kWalkNs = 20.0;
+
+    /** Simulate @p accesses page translations of @p app. */
+    TlbPerf evaluate(const trace::AppProfile &app, int entries,
+                     uint64_t accesses) const;
+
+  private:
+    const timing::Technology *tech_;
+};
+
+} // namespace cap::core
+
+#endif // CAPSIM_CORE_ADAPTIVE_TLB_H

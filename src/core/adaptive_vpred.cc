@@ -1,0 +1,115 @@
+#include "adaptive_vpred.h"
+
+#include <algorithm>
+#include <map>
+
+#include "core/adaptive_iq.h"
+#include "core/machine.h"
+#include "ooo/core_model.h"
+#include "timing/issue_logic.h"
+#include "util/status.h"
+
+namespace cap::core {
+
+namespace {
+
+// Table read path at the 0.25 um reference, ns.  Value-prediction
+// rows are wide (64-bit value + stride + confidence), so the read is
+// slower than a branch-counter table of equal entry count; tables up
+// to 2K entries fit under the 64-entry queue's cycle at 0.18 um.
+constexpr double kReadFixed = 0.42;
+constexpr double kReadPerLog2Entry = 0.030;
+constexpr double kReadWirePerKEntry = 0.040;
+
+} // namespace
+
+ooo::ValueBehavior
+vpredBehaviorFor(const std::string &app_name)
+{
+    using ooo::ValueBehavior;
+    static const std::map<std::string, ValueBehavior> exceptions = {
+        // Loop-dominated fp codes: few sites, strongly strided.
+        {"tomcatv", {256, 0.85, 0.7}},
+        {"swim", {256, 0.85, 0.7}},
+        {"mgrid", {320, 0.80, 0.7}},
+        {"applu", {384, 0.78, 0.7}},
+        {"appcg", {192, 0.80, 0.7}},
+        {"fpppp", {224, 0.75, 0.7}},
+        {"turb3d", {512, 0.70, 0.8}},
+        // Irregular integer codes: many sites, less stride structure.
+        {"gcc", {4096, 0.40, 0.8}},
+        {"go", {4096, 0.35, 0.8}},
+        {"vortex", {3072, 0.45, 0.8}},
+        {"perl", {2048, 0.45, 0.8}},
+        {"compress", {768, 0.50, 0.8}},
+    };
+    auto it = exceptions.find(app_name);
+    if (it != exceptions.end())
+        return it->second;
+    return ValueBehavior{};
+}
+
+AdaptiveVpredModel::AdaptiveVpredModel(const timing::Technology &tech)
+    : tech_(&tech)
+{
+}
+
+std::vector<int>
+AdaptiveVpredModel::studySizes()
+{
+    return {256, 512, 1024, 2048, 4096};
+}
+
+Nanoseconds
+AdaptiveVpredModel::lookupNs(int entries) const
+{
+    capAssert(entries >= 2 && isPowerOfTwo(static_cast<uint64_t>(entries)),
+              "table entries must be a power of two");
+    double log2_entries =
+        static_cast<double>(floorLog2(static_cast<uint64_t>(entries)));
+    return tech_->deviceScale() *
+               (kReadFixed + kReadPerLog2Entry * log2_entries) +
+           kReadWirePerKEntry * static_cast<double>(entries) / 1024.0;
+}
+
+VpredPerf
+AdaptiveVpredModel::evaluate(const trace::AppProfile &app, int entries,
+                             uint64_t instructions,
+                             int queue_entries) const
+{
+    capAssert(instructions > 0, "evaluation needs instructions");
+
+    // Coverage from the application's value stream.
+    ooo::ValueBehavior behavior = vpredBehaviorFor(app.name);
+    ooo::ValueStream value_stream(behavior, app.seed ^ 0x5a1eULL);
+    ooo::StrideValuePredictor predictor(entries);
+    uint64_t value_samples = std::max<uint64_t>(instructions / 4, 20000);
+    for (uint64_t i = 0; i < value_samples; ++i)
+        predictor.predictAndUpdate(value_stream.next());
+
+    VpredPerf perf;
+    perf.entries = entries;
+    perf.coverage = predictor.stats().coverage();
+    perf.lookup_ns = lookupNs(entries);
+    perf.dep_break_prob = perf.coverage * kOperandFactor;
+
+    // Machine run with prediction applied.
+    ooo::InstructionStream stream(app.ilp, app.seed);
+    ooo::CoreParams params;
+    params.queue_entries = queue_entries;
+    params.dispatch_width = IqMachine::kDispatchWidth;
+    params.issue_width = IqMachine::kIssueWidth;
+    params.dep_break_prob = perf.dep_break_prob;
+    params.seed = app.seed ^ 0xdeb1ULL;
+    ooo::CoreModel model(stream, params);
+    perf.ipc = model.step(instructions).ipc();
+
+    // Joint worst-case clock: queue wakeup/select vs table read.
+    timing::IssueLogicModel issue_logic(*tech_);
+    Nanoseconds cycle =
+        std::max(issue_logic.cycleTime(queue_entries), perf.lookup_ns);
+    perf.tpi_ns = cycle / perf.ipc;
+    return perf;
+}
+
+} // namespace cap::core

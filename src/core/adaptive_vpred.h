@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Complexity-adaptive value-prediction table (the Section 2 mention,
+ * realized): a stride-predictor table whose capacity trades coverage
+ * of the value-producing instruction working set against read delay.
+ *
+ * Confidently predicted operands break dependence edges at dispatch,
+ * so value prediction is the one structure whose payoff *grows* as
+ * the queue-size study's dataflow limits bind -- tight-chain codes
+ * (appcg, fpppp) gain the most IPC, but they also favor the fastest
+ * clock, recreating the paper's IPC/clock tension on a new structure.
+ */
+
+#ifndef CAPSIM_CORE_ADAPTIVE_VPRED_H
+#define CAPSIM_CORE_ADAPTIVE_VPRED_H
+
+#include <string>
+#include <vector>
+
+#include "ooo/value_predictor.h"
+#include "timing/technology.h"
+#include "trace/profile.h"
+#include "util/units.h"
+
+namespace cap::core {
+
+/** Value-producing character of an application (by name). */
+ooo::ValueBehavior vpredBehaviorFor(const std::string &app_name);
+
+/** Outcome of evaluating one table size for one application. */
+struct VpredPerf
+{
+    int entries = 0;
+    /** Fraction of dynamic values confidently and correctly
+     *  predicted. */
+    double coverage = 0.0;
+    /** Single-cycle table-read requirement, ns. */
+    Nanoseconds lookup_ns = 0.0;
+    /** Dependence-break probability this coverage implies. */
+    double dep_break_prob = 0.0;
+    /** IPC of the 64-entry-queue machine with prediction applied. */
+    double ipc = 0.0;
+    /** TPI at the joint worst-case clock, ns. */
+    double tpi_ns = 0.0;
+};
+
+/** Timing + behaviour evaluation of the adaptive value predictor. */
+class AdaptiveVpredModel
+{
+  public:
+    explicit AdaptiveVpredModel(
+        const timing::Technology &tech = timing::Technology::um180());
+
+    /** The table sizes the extension study sweeps. */
+    static std::vector<int> studySizes();
+
+    /** Table read delay (value + stride + confidence row), ns. */
+    Nanoseconds lookupNs(int entries) const;
+
+    /**
+     * Fraction of a covered value's consumers whose operand edge the
+     * prediction actually breaks (some consumers need the value
+     * before the predictor confirms).
+     */
+    static constexpr double kOperandFactor = 0.5;
+
+    /**
+     * Evaluate one table size: measure coverage on the application's
+     * value stream, then run the 64-entry-queue machine with the
+     * implied dependence-break probability.
+     * @param queue_entries Queue configuration to pair with.
+     */
+    VpredPerf evaluate(const trace::AppProfile &app, int entries,
+                       uint64_t instructions,
+                       int queue_entries = 64) const;
+
+  private:
+    const timing::Technology *tech_;
+};
+
+} // namespace cap::core
+
+#endif // CAPSIM_CORE_ADAPTIVE_VPRED_H

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Asynchronous (handshaking) realization of the adaptive cache
+ * hierarchy -- paper Section 4.1.
+ *
+ * "Complexity-adaptive structures can be easily implemented in
+ * asynchronous processor designs... With a complexity-adaptive
+ * approach, very large structures can be designed, yet the average
+ * stage delay can be much lower than the worst-case delay if faster
+ * elements are frequently accessed.  Thus, stage delays are
+ * automatically adjusted according to the location of elements,
+ * obviating the need for a Configuration Manager."
+ *
+ * Model: stages communicate by handshake instead of a global clock.
+ * Non-memory work proceeds at the delay of the *nearest* increment
+ * (the fixed structures' floor); each data-cache access takes the
+ * physical access time of the increment that actually services it.
+ * Because the exclusive hierarchy promotes hot blocks toward the L1
+ * partition (the near increments), the average access time sits well
+ * below the worst-case increment delay a synchronous design would
+ * clock at.
+ */
+
+#ifndef CAPSIM_CORE_ASYNC_CACHE_H
+#define CAPSIM_CORE_ASYNC_CACHE_H
+
+#include "core/adaptive_cache.h"
+
+namespace cap::core {
+
+/** Performance of one application under the asynchronous scheme. */
+struct AsyncCachePerf
+{
+    int l1_increments = 0;
+    uint64_t refs = 0;
+    uint64_t instructions = 0;
+    /** Mean physical L1-region access time actually paid, ns. */
+    double avg_access_ns = 0.0;
+    /** Worst-case increment access time (what a clock would use), ns. */
+    double worst_access_ns = 0.0;
+    double tpi_ns = 0.0;
+};
+
+/** Evaluator for the asynchronous realization. */
+class AsyncCacheModel
+{
+  public:
+    explicit AsyncCacheModel(const AdaptiveCacheModel &model)
+        : model_(&model)
+    {
+    }
+
+    /**
+     * Run @p refs references of @p app with the boundary at
+     * @p l1_increments under handshaking timing.
+     */
+    AsyncCachePerf evaluate(const trace::AppProfile &app,
+                            int l1_increments, uint64_t refs) const;
+
+  private:
+    const AdaptiveCacheModel *model_;
+};
+
+} // namespace cap::core
+
+#endif // CAPSIM_CORE_ASYNC_CACHE_H

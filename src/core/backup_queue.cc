@@ -1,0 +1,41 @@
+#include "backup_queue.h"
+
+#include "util/status.h"
+
+namespace cap::core {
+
+BackupQueueModel::BackupQueueModel(const timing::Technology &tech,
+                                   double transfer_overhead)
+    : issue_logic_(tech), transfer_overhead_(transfer_overhead)
+{
+    capAssert(transfer_overhead >= 1.0,
+              "transfer overhead cannot speed the queue up");
+}
+
+Nanoseconds
+BackupQueueModel::cycleNs(int ondeck_entries) const
+{
+    return clock_table_.cycleFor(transfer_overhead_ *
+                                 issue_logic_.cycleTime(ondeck_entries));
+}
+
+BackupQueuePerf
+BackupQueueModel::evaluate(const trace::AppProfile &app,
+                           const ooo::TwoLevelParams &params,
+                           uint64_t instructions) const
+{
+    capAssert(instructions > 0, "evaluation needs instructions");
+    ooo::InstructionStream stream(app.ilp, app.seed);
+    ooo::TwoLevelCoreModel model(stream, params);
+    ooo::RunResult run = model.step(instructions);
+
+    BackupQueuePerf perf;
+    perf.ondeck_entries = params.ondeck_entries;
+    perf.backup_entries = params.backup_entries;
+    perf.ipc = run.ipc();
+    perf.cycle_ns = cycleNs(params.ondeck_entries);
+    perf.tpi_ns = perf.ipc > 0.0 ? perf.cycle_ns / perf.ipc : 0.0;
+    return perf;
+}
+
+} // namespace cap::core

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Evaluation wrapper for the two-level ("backup") instruction queue
+ * of paper Section 4.2.
+ *
+ * The on-deck section alone is on the wakeup/select critical path, so
+ * the configuration clocks like a small queue while the backup
+ * section preserves a large queue's lookahead.  A configurable cycle
+ * overhead accounts for the transfer ports between the sections.
+ */
+
+#ifndef CAPSIM_CORE_BACKUP_QUEUE_H
+#define CAPSIM_CORE_BACKUP_QUEUE_H
+
+#include "core/adaptive_iq.h"
+#include "ooo/two_level_queue.h"
+
+namespace cap::core {
+
+/** Performance of one two-level configuration. */
+struct BackupQueuePerf
+{
+    int ondeck_entries = 0;
+    int backup_entries = 0;
+    double ipc = 0.0;
+    Nanoseconds cycle_ns = 0.0;
+    double tpi_ns = 0.0;
+};
+
+/** Binds TwoLevelCoreModel to the issue-logic timing. */
+class BackupQueueModel
+{
+  public:
+    /**
+     * @param tech Implementation technology.
+     * @param transfer_overhead Multiplicative cycle-time overhead of
+     *        the backup-transfer ports on the on-deck section.
+     */
+    explicit BackupQueueModel(
+        const timing::Technology &tech = timing::Technology::um180(),
+        double transfer_overhead = 1.05);
+
+    /** Cycle time of a two-level configuration, ns. */
+    Nanoseconds cycleNs(int ondeck_entries) const;
+
+    /** Run one application on one configuration. */
+    BackupQueuePerf evaluate(const trace::AppProfile &app,
+                             const ooo::TwoLevelParams &params,
+                             uint64_t instructions) const;
+
+  private:
+    timing::IssueLogicModel issue_logic_;
+    timing::ClockTable clock_table_;
+    double transfer_overhead_;
+};
+
+} // namespace cap::core
+
+#endif // CAPSIM_CORE_BACKUP_QUEUE_H

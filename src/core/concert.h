@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Applying complexity-adaptive techniques in concert -- the extension
+ * the paper motivates in Section 5.4: "these techniques may be
+ * applied in concert to other critical parts of the machine (such as
+ * TLBs and branch predictors) to yield even greater performance
+ * improvements (although the number of configurations for a given
+ * structure might be limited due to larger delays in other
+ * structures)."
+ *
+ * The concert study jointly configures the D-cache hierarchy boundary,
+ * the data-TLB entry count and the branch-predictor table size on the
+ * 4-way cache-study machine.  One worst-case clock rules them all, so
+ * enlarging any structure can tax every instruction -- exactly the
+ * coupling the paper warns about.
+ */
+
+#ifndef CAPSIM_CORE_CONCERT_H
+#define CAPSIM_CORE_CONCERT_H
+
+#include <string>
+#include <vector>
+
+#include "core/adaptive_bpred.h"
+#include "core/adaptive_cache.h"
+#include "core/adaptive_tlb.h"
+#include "core/config_manager.h"
+
+namespace cap::core {
+
+/** One joint configuration of the three structures. */
+struct ConcertConfig
+{
+    int cache_boundary = 2;
+    int tlb_entries = 64;
+    int bpred_entries = 2048;
+
+    std::string label() const;
+};
+
+/** TPI of one application under one joint configuration. */
+struct ConcertPerf
+{
+    ConcertConfig config;
+    Nanoseconds cycle_ns = 0.0;
+    double tpi_ns = 0.0;
+    /** Component breakdown (ns/instr). */
+    double base_ns = 0.0;
+    double cache_miss_ns = 0.0;
+    double tlb_walk_ns = 0.0;
+    double mispredict_ns = 0.0;
+};
+
+/** Complete concert study over a set of applications. */
+struct ConcertStudy
+{
+    std::vector<trace::AppProfile> apps;
+    std::vector<ConcertConfig> configs;
+    /** perf[app][config]. */
+    std::vector<std::vector<ConcertPerf>> perf;
+    SelectionResult selection;
+
+    /**
+     * Mean TPI when only one structure adapts per application and the
+     * other two stay at the conventional joint configuration's
+     * setting.  @p which is 0 = cache, 1 = TLB, 2 = predictor.
+     */
+    double singleStructureAdaptiveMeanTpi(int which) const;
+
+    std::vector<std::vector<double>> tpiMatrix() const;
+};
+
+/**
+ * Run the concert study.
+ * @param refs Data references per (app, cache boundary) run; TLB and
+ *        predictor streams are scaled from it.
+ */
+ConcertStudy runConcertStudy(const std::vector<trace::AppProfile> &apps,
+                             uint64_t refs);
+
+} // namespace cap::core
+
+#endif // CAPSIM_CORE_CONCERT_H

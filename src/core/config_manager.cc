@@ -1,0 +1,117 @@
+#include "config_manager.h"
+
+#include <algorithm>
+
+#include "util/status.h"
+
+namespace cap::core {
+
+SelectionResult
+selectConfigurations(const std::vector<std::vector<double>> &tpi)
+{
+    capAssert(!tpi.empty(), "selection needs at least one application");
+    size_t configs = tpi.front().size();
+    capAssert(configs > 0, "selection needs at least one configuration");
+    for (const auto &row : tpi) {
+        capAssert(row.size() == configs,
+                  "ragged TPI matrix: %zu vs %zu", row.size(), configs);
+    }
+
+    SelectionResult result;
+    size_t apps = tpi.size();
+
+    // Conventional: the single configuration with the lowest mean TPI
+    // across all applications (how a fixed design is chosen).
+    double best_mean = 0.0;
+    for (size_t c = 0; c < configs; ++c) {
+        double mean = 0.0;
+        for (size_t a = 0; a < apps; ++a)
+            mean += tpi[a][c];
+        mean /= static_cast<double>(apps);
+        if (c == 0 || mean < best_mean) {
+            best_mean = mean;
+            result.best_conventional = c;
+        }
+    }
+    result.conventional_mean_tpi = best_mean;
+
+    // Process-level adaptive: per-application argmin.
+    double adaptive_mean = 0.0;
+    result.per_app_best.resize(apps);
+    for (size_t a = 0; a < apps; ++a) {
+        size_t best = 0;
+        for (size_t c = 1; c < configs; ++c) {
+            if (tpi[a][c] < tpi[a][best])
+                best = c;
+        }
+        result.per_app_best[a] = best;
+        adaptive_mean += tpi[a][best];
+    }
+    result.adaptive_mean_tpi = adaptive_mean / static_cast<double>(apps);
+    return result;
+}
+
+ConfigurationManager::ConfigurationManager(timing::ClockTable clock_table)
+    : clock_table_(std::move(clock_table))
+{
+}
+
+size_t
+ConfigurationManager::addStructure(
+    std::shared_ptr<AdaptiveStructure> structure)
+{
+    capAssert(structure != nullptr, "null adaptive structure");
+    capAssert(structure->configCount() > 0,
+              "structure '%s' has no configurations",
+              structure->name().c_str());
+    structures_.push_back(std::move(structure));
+    return structures_.size() - 1;
+}
+
+const AdaptiveStructure &
+ConfigurationManager::structure(size_t handle) const
+{
+    capAssert(handle < structures_.size(), "bad structure handle");
+    return *structures_[handle];
+}
+
+Nanoseconds
+ConfigurationManager::cycleFor(const std::vector<int> &joint) const
+{
+    capAssert(joint.size() == structures_.size(),
+              "joint configuration width %zu != structure count %zu",
+              joint.size(), structures_.size());
+    std::vector<timing::ClockRequirement> reqs;
+    reqs.reserve(joint.size());
+    for (size_t i = 0; i < joint.size(); ++i) {
+        capAssert(joint[i] >= 0 && joint[i] < structures_[i]->configCount(),
+                  "config %d out of range for '%s'", joint[i],
+                  structures_[i]->name().c_str());
+        reqs.push_back({structures_[i]->name(),
+                        structures_[i]->cycleRequirement(joint[i])});
+    }
+    return clock_table_.cycleFor(reqs);
+}
+
+Cycles
+ConfigurationManager::switchOverhead(const std::vector<int> &from,
+                                     const std::vector<int> &to) const
+{
+    capAssert(from.size() == structures_.size() &&
+              to.size() == structures_.size(),
+              "joint configuration width mismatch");
+    Cycles overhead = 0;
+    bool any_change = false;
+    for (size_t i = 0; i < structures_.size(); ++i) {
+        if (from[i] != to[i]) {
+            any_change = true;
+            overhead +=
+                structures_[i]->reconfigureCleanupCycles(from[i], to[i]);
+        }
+    }
+    if (any_change && cycleFor(from) != cycleFor(to))
+        overhead += clock_table_.switchPenaltyCycles();
+    return overhead;
+}
+
+} // namespace cap::core

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Configuration-management policies (paper Sections 4 and 5.1).
+ *
+ * The paper's evaluation uses a *process-level adaptive* scheme: the
+ * configuration is fixed for the duration of each application (the
+ * configuration registers are saved/restored by the OS on context
+ * switches), and a CAP compiler or runtime environment is assumed to
+ * identify the best overall organization per application.  That
+ * selection is expressed here over a TPI matrix, alongside the
+ * conventional baseline selection (the single configuration that is
+ * best on average -- how a fixed design would be chosen).
+ *
+ * The Configuration Manager itself coordinates multiple adaptive
+ * structures against one clock using the worst-case rule.
+ */
+
+#ifndef CAPSIM_CORE_CONFIG_MANAGER_H
+#define CAPSIM_CORE_CONFIG_MANAGER_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/adaptive_structure.h"
+#include "timing/clock_table.h"
+#include "util/units.h"
+
+namespace cap::core {
+
+/** Outcome of selecting configurations over a TPI matrix. */
+struct SelectionResult
+{
+    /** Configuration index a fixed design would pick (min mean TPI). */
+    size_t best_conventional = 0;
+    /** Per-application best configuration (process-level adaptive). */
+    std::vector<size_t> per_app_best;
+    /** Mean TPI of the conventional choice. */
+    double conventional_mean_tpi = 0.0;
+    /** Mean TPI under process-level adaptation. */
+    double adaptive_mean_tpi = 0.0;
+
+    /** Mean relative TPI reduction of adaptive vs conventional. */
+    double meanReduction() const
+    {
+        return conventional_mean_tpi > 0.0
+                   ? 1.0 - adaptive_mean_tpi / conventional_mean_tpi
+                   : 0.0;
+    }
+};
+
+/**
+ * Select the conventional and process-level-adaptive configurations
+ * from @p tpi, a matrix indexed [application][configuration].  Every
+ * application row must have the same width.
+ */
+SelectionResult selectConfigurations(
+    const std::vector<std::vector<double>> &tpi);
+
+/**
+ * The runtime Configuration Manager: owns the clock table and the
+ * registered adaptive structures, and resolves joint configurations
+ * to clock speeds via worst-case analysis.
+ */
+class ConfigurationManager
+{
+  public:
+    explicit ConfigurationManager(timing::ClockTable clock_table = {});
+
+    /** Register a structure; returns its handle (index). */
+    size_t addStructure(std::shared_ptr<AdaptiveStructure> structure);
+
+    size_t structureCount() const { return structures_.size(); }
+
+    const AdaptiveStructure &structure(size_t handle) const;
+
+    /**
+     * Processor cycle time when structure @p i runs configuration
+     * joint[i]: the worst-case rule over all requirements plus the
+     * fixed floor.
+     */
+    Nanoseconds cycleFor(const std::vector<int> &joint) const;
+
+    /**
+     * Total overhead, in cycles at the new clock, of switching from
+     * one joint configuration to another: per-structure cleanup plus
+     * the clock-switch pause if the clock changes.
+     */
+    Cycles switchOverhead(const std::vector<int> &from,
+                          const std::vector<int> &to) const;
+
+    const timing::ClockTable &clockTable() const { return clock_table_; }
+    timing::ClockTable &clockTable() { return clock_table_; }
+
+  private:
+    timing::ClockTable clock_table_;
+    std::vector<std::shared_ptr<AdaptiveStructure>> structures_;
+};
+
+} // namespace cap::core
+
+#endif // CAPSIM_CORE_CONFIG_MANAGER_H

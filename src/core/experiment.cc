@@ -1,0 +1,95 @@
+#include "experiment.h"
+
+#include "util/status.h"
+
+namespace cap::core {
+
+std::vector<std::vector<double>>
+CacheStudy::tpiMatrix() const
+{
+    std::vector<std::vector<double>> matrix;
+    for (const auto &row : perf) {
+        std::vector<double> values;
+        for (const CachePerf &p : row)
+            values.push_back(p.tpi_ns);
+        matrix.push_back(std::move(values));
+    }
+    return matrix;
+}
+
+std::vector<std::vector<double>>
+CacheStudy::tpiMissMatrix() const
+{
+    std::vector<std::vector<double>> matrix;
+    for (const auto &row : perf) {
+        std::vector<double> values;
+        for (const CachePerf &p : row)
+            values.push_back(p.tpi_miss_ns);
+        matrix.push_back(std::move(values));
+    }
+    return matrix;
+}
+
+double
+CacheStudy::conventionalMeanTpiMiss() const
+{
+    double sum = 0.0;
+    for (const auto &row : perf)
+        sum += row[selection.best_conventional].tpi_miss_ns;
+    return perf.empty() ? 0.0 : sum / static_cast<double>(perf.size());
+}
+
+double
+CacheStudy::adaptiveMeanTpiMiss() const
+{
+    double sum = 0.0;
+    for (size_t a = 0; a < perf.size(); ++a)
+        sum += perf[a][selection.per_app_best[a]].tpi_miss_ns;
+    return perf.empty() ? 0.0 : sum / static_cast<double>(perf.size());
+}
+
+CacheStudy
+runCacheStudy(const AdaptiveCacheModel &model,
+              const std::vector<trace::AppProfile> &apps, uint64_t refs,
+              int max_l1_increments)
+{
+    capAssert(!apps.empty(), "cache study needs applications");
+    CacheStudy study;
+    study.apps = apps;
+    for (int k = 1; k <= max_l1_increments; ++k)
+        study.timings.push_back(model.boundaryTiming(k));
+    for (const trace::AppProfile &app : apps)
+        study.perf.push_back(model.sweep(app, max_l1_increments, refs));
+    study.selection = selectConfigurations(study.tpiMatrix());
+    return study;
+}
+
+std::vector<std::vector<double>>
+IqStudy::tpiMatrix() const
+{
+    std::vector<std::vector<double>> matrix;
+    for (const auto &row : perf) {
+        std::vector<double> values;
+        for (const IqPerf &p : row)
+            values.push_back(p.tpi_ns);
+        matrix.push_back(std::move(values));
+    }
+    return matrix;
+}
+
+IqStudy
+runIqStudy(const AdaptiveIqModel &model,
+           const std::vector<trace::AppProfile> &apps,
+           uint64_t instructions)
+{
+    capAssert(!apps.empty(), "IQ study needs applications");
+    IqStudy study;
+    study.apps = apps;
+    study.timings = model.allTimings();
+    for (const trace::AppProfile &app : apps)
+        study.perf.push_back(model.sweep(app, instructions));
+    study.selection = selectConfigurations(study.tpiMatrix());
+    return study;
+}
+
+} // namespace cap::core

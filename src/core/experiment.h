@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Experiment runners that produce the data behind the paper's figures.
+ *
+ * A "study" sweeps every application of the relevant suite across
+ * every configuration, then applies the selection policies: the best
+ * conventional configuration (minimum mean TPI -- the fixed design a
+ * conventional methodology would ship) and the process-level adaptive
+ * choice (per-application argmin).
+ */
+
+#ifndef CAPSIM_CORE_EXPERIMENT_H
+#define CAPSIM_CORE_EXPERIMENT_H
+
+#include <vector>
+
+#include "core/adaptive_cache.h"
+#include "core/adaptive_iq.h"
+#include "core/config_manager.h"
+#include "trace/profile.h"
+
+namespace cap::core {
+
+/** Complete result of the cache study (Figures 7-9). */
+struct CacheStudy
+{
+    std::vector<trace::AppProfile> apps;
+    std::vector<CacheBoundaryTiming> timings;
+    /** perf[app][config]. */
+    std::vector<std::vector<CachePerf>> perf;
+    SelectionResult selection;
+
+    /** TPI matrix [app][config]. */
+    std::vector<std::vector<double>> tpiMatrix() const;
+    /** TPImiss matrix [app][config]. */
+    std::vector<std::vector<double>> tpiMissMatrix() const;
+
+    /** Mean TPImiss under the conventional / adaptive selections. */
+    double conventionalMeanTpiMiss() const;
+    double adaptiveMeanTpiMiss() const;
+};
+
+/**
+ * Run the cache study over @p apps.
+ * @param refs References simulated per (application, configuration).
+ * @param max_l1_increments Largest boundary swept (paper: 8 = 64 KB).
+ */
+CacheStudy runCacheStudy(const AdaptiveCacheModel &model,
+                         const std::vector<trace::AppProfile> &apps,
+                         uint64_t refs, int max_l1_increments = 8);
+
+/** Complete result of the instruction-queue study (Figures 10-11). */
+struct IqStudy
+{
+    std::vector<trace::AppProfile> apps;
+    std::vector<IqTiming> timings;
+    /** perf[app][config]. */
+    std::vector<std::vector<IqPerf>> perf;
+    SelectionResult selection;
+
+    std::vector<std::vector<double>> tpiMatrix() const;
+};
+
+/**
+ * Run the instruction-queue study over @p apps.
+ * @param instructions Instructions simulated per (app, configuration).
+ */
+IqStudy runIqStudy(const AdaptiveIqModel &model,
+                   const std::vector<trace::AppProfile> &apps,
+                   uint64_t instructions);
+
+} // namespace cap::core
+
+#endif // CAPSIM_CORE_EXPERIMENT_H

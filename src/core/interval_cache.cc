@@ -1,0 +1,358 @@
+#include "interval_cache.h"
+
+#include <algorithm>
+#include <limits>
+#include <memory>
+
+#include "cache/exclusive_hierarchy.h"
+#include "trace/stream.h"
+#include "util/status.h"
+
+namespace cap::core {
+
+namespace {
+
+constexpr Cycles kClockSwitchCycles = 30;
+
+/** Run one interval on a live hierarchy; returns the time in ns. */
+double
+runInterval(const AdaptiveCacheModel &model,
+            cache::ExclusiveHierarchy &hierarchy,
+            trace::SyntheticTraceSource &source, uint64_t interval_refs,
+            const CacheBoundaryTiming &timing, double refs_per_instr,
+            uint64_t &instructions_out)
+{
+    cache::CacheStats before = hierarchy.stats();
+    trace::TraceRecord record;
+    for (uint64_t i = 0; i < interval_refs && source.next(record); ++i)
+        hierarchy.access(record);
+    cache::CacheStats delta = hierarchy.stats() - before;
+    CachePerf perf = model.perfFromStats(delta, timing, refs_per_instr);
+    instructions_out = perf.instructions;
+    return perf.tpi_ns * static_cast<double>(perf.instructions);
+}
+
+} // namespace
+
+IntervalAdaptiveCache::IntervalAdaptiveCache(const AdaptiveCacheModel &model,
+                                             CacheIntervalParams params)
+    : model_(&model), params_(params)
+{
+    capAssert(params.ewma_alpha > 0.0 && params.ewma_alpha <= 1.0,
+              "ewma_alpha must be in (0,1]");
+    capAssert(params.probe_period >= 2, "probe period too short");
+    capAssert(params.confidence_needed >= 1, "confidence must be >= 1");
+    capAssert(params.interval_refs > 0, "empty interval");
+}
+
+CacheIntervalResult
+IntervalAdaptiveCache::run(const trace::AppProfile &app, uint64_t refs,
+                           int initial_boundary, int max_boundary) const
+{
+    capAssert(initial_boundary >= 1 && initial_boundary <= max_boundary,
+              "initial boundary out of range");
+    capAssert(max_boundary < model_->geometry().increments,
+              "max boundary out of range");
+
+    cache::ExclusiveHierarchy hierarchy(model_->geometry(),
+                                        initial_boundary);
+    trace::SyntheticTraceSource source(app.cache, app.seed, refs);
+
+    int current = initial_boundary;
+    std::vector<double> estimate(static_cast<size_t>(max_boundary) + 1,
+                                 -1.0);
+    auto fold = [&](int boundary, double tpi) {
+        double &e = estimate[static_cast<size_t>(boundary)];
+        e = e < 0.0 ? tpi
+                    : (1.0 - params_.ewma_alpha) * e +
+                          params_.ewma_alpha * tpi;
+    };
+
+    CacheIntervalResult result;
+
+    auto reconfigure = [&](int to) {
+        if (to == current)
+            return;
+        hierarchy.setBoundary(to);
+        // No data motion or draining; only the clock pause, at the
+        // incoming configuration's clock.
+        result.total_time_ns +=
+            static_cast<double>(kClockSwitchCycles) *
+            model_->boundaryTiming(to).cycle_ns;
+        ++result.reconfigurations;
+        current = to;
+    };
+
+    auto measureInterval = [&]() {
+        CacheBoundaryTiming timing = model_->boundaryTiming(current);
+        uint64_t instrs = 0;
+        double time_ns =
+            runInterval(*model_, hierarchy, source, params_.interval_refs,
+                        timing, app.cache.refs_per_instr, instrs);
+        result.total_time_ns += time_ns;
+        result.refs += params_.interval_refs;
+        result.instructions += instrs;
+        result.boundary_trace.push_back(current);
+        double tpi = instrs ? time_ns / static_cast<double>(instrs) : 0.0;
+        fold(current, tpi);
+        return tpi;
+    };
+
+    uint64_t total_intervals = refs / params_.interval_refs;
+    int probe_direction = 1;
+    int confidence = 0;
+    int pending_move = current;
+
+    for (uint64_t interval = 0; interval < total_intervals; ++interval) {
+        bool probe_now =
+            interval % static_cast<uint64_t>(params_.probe_period) ==
+            static_cast<uint64_t>(params_.probe_period) - 1;
+        if (!probe_now) {
+            measureInterval();
+            continue;
+        }
+
+        int home = current;
+        int neighbour = home + probe_direction;
+        probe_direction = -probe_direction;
+        if (neighbour < 1 || neighbour > max_boundary) {
+            measureInterval();
+            continue;
+        }
+
+        reconfigure(neighbour);
+        measureInterval();
+
+        double home_est = estimate[static_cast<size_t>(home)];
+        double nb_est = estimate[static_cast<size_t>(neighbour)];
+        bool neighbour_better =
+            nb_est >= 0.0 && home_est >= 0.0 &&
+            nb_est < home_est * (1.0 - params_.switch_margin);
+
+        if (!params_.use_confidence) {
+            if (!neighbour_better)
+                reconfigure(home);
+            else
+                ++result.committed_moves;
+            continue;
+        }
+
+        if (neighbour_better && pending_move == neighbour) {
+            ++confidence;
+        } else if (neighbour_better) {
+            pending_move = neighbour;
+            confidence = 1;
+        } else if (pending_move == neighbour) {
+            pending_move = home;
+            confidence = 0;
+        }
+
+        if (!(neighbour_better && confidence >= params_.confidence_needed)) {
+            reconfigure(home);
+        } else {
+            confidence = 0;
+            pending_move = neighbour;
+            ++result.committed_moves;
+        }
+    }
+    return result;
+}
+
+
+PhasePredictiveCache::PhasePredictiveCache(const AdaptiveCacheModel &model,
+                                           PhasePredictorParams params)
+    : model_(&model), params_(params)
+{
+    capAssert(params.jump_threshold > 0.0, "jump threshold must be > 0");
+    capAssert(params.min_stable_intervals >= 1,
+              "need a positive stability guard");
+    capAssert(params.interval_refs > 0, "empty interval");
+}
+
+CacheIntervalResult
+PhasePredictiveCache::run(const trace::AppProfile &app, uint64_t refs,
+                          int initial_boundary, int max_boundary) const
+{
+    capAssert(initial_boundary >= 1 && initial_boundary <= max_boundary,
+              "initial boundary out of range");
+
+    cache::ExclusiveHierarchy hierarchy(model_->geometry(),
+                                        initial_boundary);
+    trace::SyntheticTraceSource source(app.cache, app.seed, refs);
+
+    int current = initial_boundary;
+    CacheIntervalResult result;
+
+    auto reconfigure = [&](int to) {
+        if (to == current)
+            return;
+        hierarchy.setBoundary(to);
+        result.total_time_ns +=
+            static_cast<double>(kClockSwitchCycles) *
+            model_->boundaryTiming(to).cycle_ns;
+        ++result.reconfigurations;
+        current = to;
+    };
+
+    // Per-boundary expectation within the current phase.
+    std::vector<double> estimate(static_cast<size_t>(max_boundary) + 1,
+                                 -1.0);
+    auto fold = [&](int boundary, double tpi) {
+        double &e = estimate[static_cast<size_t>(boundary)];
+        e = e < 0.0 ? tpi
+                    : (1.0 - params_.ewma_alpha) * e +
+                          params_.ewma_alpha * tpi;
+    };
+
+    // Two-phase memory: best boundary remembered per phase id.
+    int phase = 0;
+    std::vector<int> phase_best{current, current};
+    int since_jump = 0;
+    int jump_votes = 0;
+    int probe_direction = 1;
+    int trial_home = -1; // >= 0 while measuring a one-interval trial
+
+    uint64_t total_intervals = refs / params_.interval_refs;
+    for (uint64_t interval = 0; interval < total_intervals; ++interval) {
+        CacheBoundaryTiming timing = model_->boundaryTiming(current);
+        uint64_t instrs = 0;
+        double time_ns =
+            runInterval(*model_, hierarchy, source, params_.interval_refs,
+                        timing, app.cache.refs_per_instr, instrs);
+        result.total_time_ns += time_ns;
+        result.refs += params_.interval_refs;
+        result.instructions += instrs;
+        result.boundary_trace.push_back(current);
+        double tpi = instrs ? time_ns / static_cast<double>(instrs) : 0.0;
+        ++since_jump;
+        fold(current, tpi);
+
+        // --- Finish a one-interval trial: commit or go home. ---
+        if (trial_home >= 0) {
+            double nb_est = estimate[static_cast<size_t>(current)];
+            double home_est = estimate[static_cast<size_t>(trial_home)];
+            if (home_est > 0.0 && nb_est > 0.0 &&
+                nb_est < home_est * (1.0 - params_.switch_margin)) {
+                phase_best[static_cast<size_t>(phase)] = current;
+                ++result.committed_moves;
+            } else {
+                reconfigure(trial_home);
+            }
+            trial_home = -1;
+            continue;
+        }
+
+        // --- Phase-change detection against the current boundary's
+        // expectation; two consecutive deviating intervals are
+        // required (the confidence idea of Section 6 applied to the
+        // detector itself, so noise cannot scramble the phase memory).
+        double expected = estimate[static_cast<size_t>(current)];
+        if (expected > 0.0 && since_jump >= params_.min_stable_intervals) {
+            double deviation = std::abs(tpi - expected) / expected;
+            if (deviation > params_.jump_threshold)
+                ++jump_votes;
+            else
+                jump_votes = 0;
+            if (jump_votes >= 2) {
+                jump_votes = 0;
+                since_jump = 0;
+                // Identify the incoming phase by the jump direction
+                // (a TPI increase means the demanding phase).  This
+                // is idempotent under spurious re-detections, unlike
+                // a parity flip.
+                int new_phase = tpi > expected ? 1 : 0;
+                // Expectations belong to the old phase: discard them.
+                std::fill(estimate.begin(), estimate.end(), -1.0);
+                if (new_phase != phase) {
+                    phase_best[static_cast<size_t>(phase)] = current;
+                    phase = new_phase;
+                    int target = phase_best[static_cast<size_t>(phase)];
+                    if (target != current) {
+                        reconfigure(target);
+                        ++result.committed_moves;
+                    }
+                }
+                continue;
+            }
+        }
+
+        // --- Local refinement: trial a neighbour for one interval. ---
+        bool probe_now =
+            interval % static_cast<uint64_t>(params_.probe_period) ==
+            static_cast<uint64_t>(params_.probe_period) - 1;
+        if (probe_now) {
+            int neighbour = current + probe_direction;
+            probe_direction = -probe_direction;
+            if (neighbour >= 1 && neighbour <= max_boundary) {
+                trial_home = current;
+                reconfigure(neighbour);
+            }
+        }
+    }
+    return result;
+}
+
+CacheIntervalResult
+runCacheIntervalOracle(const AdaptiveCacheModel &model,
+                       const trace::AppProfile &app, uint64_t refs,
+                       const std::vector<int> &boundaries,
+                       uint64_t interval_refs, bool charge_switches)
+{
+    capAssert(!boundaries.empty(), "oracle needs boundaries");
+    capAssert(interval_refs > 0, "empty interval");
+
+    struct Lane
+    {
+        std::unique_ptr<cache::ExclusiveHierarchy> hierarchy;
+        std::unique_ptr<trace::SyntheticTraceSource> source;
+        CacheBoundaryTiming timing;
+        int boundary;
+    };
+    std::vector<Lane> lanes;
+    for (int boundary : boundaries) {
+        Lane lane;
+        lane.hierarchy = std::make_unique<cache::ExclusiveHierarchy>(
+            model.geometry(), boundary);
+        lane.source = std::make_unique<trace::SyntheticTraceSource>(
+            app.cache, app.seed, refs);
+        lane.timing = model.boundaryTiming(boundary);
+        lane.boundary = boundary;
+        lanes.push_back(std::move(lane));
+    }
+
+    CacheIntervalResult result;
+    int previous = -1;
+    uint64_t total_intervals = refs / interval_refs;
+    for (uint64_t interval = 0; interval < total_intervals; ++interval) {
+        double best_time = std::numeric_limits<double>::infinity();
+        uint64_t best_instrs = 0;
+        int winner = boundaries.front();
+        for (Lane &lane : lanes) {
+            uint64_t instrs = 0;
+            double time_ns = runInterval(model, *lane.hierarchy,
+                                         *lane.source, interval_refs,
+                                         lane.timing,
+                                         app.cache.refs_per_instr, instrs);
+            if (time_ns < best_time) {
+                best_time = time_ns;
+                best_instrs = instrs;
+                winner = lane.boundary;
+            }
+        }
+        result.total_time_ns += best_time;
+        result.refs += interval_refs;
+        result.instructions += best_instrs;
+        result.boundary_trace.push_back(winner);
+        if (previous >= 0 && winner != previous) {
+            ++result.reconfigurations;
+            if (charge_switches) {
+                result.total_time_ns +=
+                    30.0 * model.boundaryTiming(winner).cycle_ns;
+            }
+        }
+        previous = winner;
+    }
+    return result;
+}
+
+} // namespace cap::core

@@ -1,0 +1,206 @@
+#include "interval_controller.h"
+
+#include <algorithm>
+#include <limits>
+#include <memory>
+
+#include "util/status.h"
+
+namespace cap::core {
+
+IntervalAdaptiveIq::IntervalAdaptiveIq(const AdaptiveIqModel &model,
+                                       IntervalPolicyParams params)
+    : model_(&model), params_(params)
+{
+    capAssert(params.ewma_alpha > 0.0 && params.ewma_alpha <= 1.0,
+              "ewma_alpha must be in (0,1]");
+    capAssert(params.probe_period >= 2, "probe period too short");
+    capAssert(params.confidence_needed >= 1, "confidence must be >= 1");
+    capAssert(params.interval_instrs > 0, "empty interval");
+}
+
+IntervalRunResult
+IntervalAdaptiveIq::run(const trace::AppProfile &app, uint64_t instructions,
+                        int initial_entries) const
+{
+    std::vector<int> candidates = AdaptiveIqModel::studySizes();
+    auto pos = std::find(candidates.begin(), candidates.end(),
+                         initial_entries);
+    capAssert(pos != candidates.end(),
+              "initial queue size %d is not a study configuration",
+              initial_entries);
+    size_t current = static_cast<size_t>(pos - candidates.begin());
+
+    ooo::InstructionStream stream(app.ilp, app.seed);
+    ooo::CoreParams core_params;
+    core_params.queue_entries = candidates[current];
+    core_params.dispatch_width = IqMachine::kDispatchWidth;
+    core_params.issue_width = IqMachine::kIssueWidth;
+    ooo::CoreModel core(stream, core_params);
+
+    // EWMA TPI estimate per candidate; negative = no estimate yet.
+    std::vector<double> estimate(candidates.size(), -1.0);
+    auto fold = [&](size_t cfg, double tpi) {
+        estimate[cfg] = estimate[cfg] < 0.0
+                            ? tpi
+                            : (1.0 - params_.ewma_alpha) * estimate[cfg] +
+                              params_.ewma_alpha * tpi;
+    };
+
+    IntervalRunResult result;
+    Cycles switch_penalty = 30;
+
+    // Reconfigure the live core, charging drain cycles at the old
+    // clock and the clock-switch pause at the new clock.
+    auto reconfigure = [&](size_t to) {
+        if (to == current)
+            return;
+        Nanoseconds old_cycle = model_->cycleNs(candidates[current]);
+        Cycles drained = core.resize(candidates[to]);
+        result.total_time_ns += static_cast<double>(drained) * old_cycle;
+        result.total_time_ns += static_cast<double>(switch_penalty) *
+                                model_->cycleNs(candidates[to]);
+        ++result.reconfigurations;
+        current = to;
+    };
+
+    // Run one interval at the current configuration; returns its TPI.
+    auto runInterval = [&]() {
+        ooo::RunResult run = core.step(params_.interval_instrs);
+        Nanoseconds cycle = model_->cycleNs(candidates[current]);
+        double time_ns = static_cast<double>(run.cycles) * cycle;
+        result.total_time_ns += time_ns;
+        result.instructions += run.instructions;
+        result.config_trace.push_back(candidates[current]);
+        double tpi = time_ns / static_cast<double>(run.instructions);
+        fold(current, tpi);
+        return tpi;
+    };
+
+    uint64_t total_intervals = instructions / params_.interval_instrs;
+    int probe_direction = 1;
+    int confidence = 0;
+    size_t pending_move = current;
+
+    for (uint64_t interval = 0; interval < total_intervals; ++interval) {
+        bool probe_now = params_.probe_period > 0 &&
+                         interval % static_cast<uint64_t>(
+                                        params_.probe_period) ==
+                             static_cast<uint64_t>(params_.probe_period) - 1;
+        if (!probe_now) {
+            runInterval();
+            continue;
+        }
+
+        // Probe a neighbour for one interval, then decide.
+        size_t home = current;
+        int64_t neighbour_idx =
+            static_cast<int64_t>(home) + probe_direction;
+        probe_direction = -probe_direction;
+        if (neighbour_idx < 0 ||
+            neighbour_idx >= static_cast<int64_t>(candidates.size())) {
+            runInterval();
+            continue;
+        }
+        size_t neighbour = static_cast<size_t>(neighbour_idx);
+
+        reconfigure(neighbour);
+        runInterval();
+
+        bool neighbour_better =
+            estimate[neighbour] >= 0.0 && estimate[home] >= 0.0 &&
+            estimate[neighbour] <
+                estimate[home] * (1.0 - params_.switch_margin);
+
+        if (!params_.use_confidence) {
+            if (!neighbour_better)
+                reconfigure(home);
+            else
+                ++result.committed_moves;
+            continue;
+        }
+
+        if (neighbour_better && pending_move == neighbour) {
+            ++confidence;
+        } else if (neighbour_better) {
+            pending_move = neighbour;
+            confidence = 1;
+        } else if (pending_move == neighbour) {
+            pending_move = home;
+            confidence = 0;
+        }
+
+        if (!(neighbour_better && confidence >= params_.confidence_needed)) {
+            // Not confident enough: return to the home configuration.
+            reconfigure(home);
+        } else {
+            confidence = 0;
+            pending_move = neighbour;
+            ++result.committed_moves;
+        }
+    }
+
+    return result;
+}
+
+IntervalRunResult
+runIntervalOracle(const AdaptiveIqModel &model,
+                  const trace::AppProfile &app, uint64_t instructions,
+                  const std::vector<int> &candidates,
+                  uint64_t interval_instrs, bool charge_switches)
+{
+    capAssert(!candidates.empty(), "oracle needs candidates");
+    capAssert(interval_instrs > 0, "empty interval");
+
+    struct Lane
+    {
+        std::unique_ptr<ooo::InstructionStream> stream;
+        std::unique_ptr<ooo::CoreModel> core;
+        Nanoseconds cycle;
+        int entries;
+    };
+    std::vector<Lane> lanes;
+    for (int entries : candidates) {
+        Lane lane;
+        lane.stream =
+            std::make_unique<ooo::InstructionStream>(app.ilp, app.seed);
+        ooo::CoreParams params;
+        params.queue_entries = entries;
+        params.dispatch_width = IqMachine::kDispatchWidth;
+        params.issue_width = IqMachine::kIssueWidth;
+        lane.core = std::make_unique<ooo::CoreModel>(*lane.stream, params);
+        lane.cycle = model.cycleNs(entries);
+        lane.entries = entries;
+        lanes.push_back(std::move(lane));
+    }
+
+    IntervalRunResult result;
+    int previous_winner = -1;
+    uint64_t total_intervals = instructions / interval_instrs;
+    for (uint64_t interval = 0; interval < total_intervals; ++interval) {
+        double best_time = std::numeric_limits<double>::infinity();
+        int winner = -1;
+        for (Lane &lane : lanes) {
+            ooo::RunResult run = lane.core->step(interval_instrs);
+            double time_ns = static_cast<double>(run.cycles) * lane.cycle;
+            if (time_ns < best_time) {
+                best_time = time_ns;
+                winner = lane.entries;
+            }
+        }
+        result.total_time_ns += best_time;
+        result.instructions += interval_instrs;
+        result.config_trace.push_back(winner);
+        if (previous_winner >= 0 && winner != previous_winner) {
+            ++result.reconfigurations;
+            if (charge_switches) {
+                result.total_time_ns +=
+                    30.0 * model.cycleNs(winner);
+            }
+        }
+        previous_winner = winner;
+    }
+    return result;
+}
+
+} // namespace cap::core

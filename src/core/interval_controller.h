@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Interval-based adaptive configuration control (paper Section 6).
+ *
+ * The paper observes that the best-performing configuration often
+ * follows long or regular patterns within an application (Figure 12,
+ * turb3d; Figure 13a, vortex) but is sometimes irregular with no
+ * configuration clearly ahead (Figure 13b) -- so a dynamic predictor
+ * "should assign a confidence level to each prediction that is made,
+ * in order to avoid needless reconfiguration overhead."
+ *
+ * IntervalAdaptiveIq realizes that sketch for the instruction queue:
+ * a hill-climbing controller that probes neighbouring configurations
+ * at a fixed period, maintains exponentially weighted TPI estimates,
+ * and commits to a move only after a configurable number of
+ * consecutive confirming probes (the confidence gate).  Every
+ * reconfiguration pays its real cost: queue draining plus the
+ * clock-switch pause.
+ *
+ * runIntervalOracle() provides the comparison bound: per-interval
+ * best configuration with perfect knowledge.
+ */
+
+#ifndef CAPSIM_CORE_INTERVAL_CONTROLLER_H
+#define CAPSIM_CORE_INTERVAL_CONTROLLER_H
+
+#include <vector>
+
+#include "core/adaptive_iq.h"
+#include "trace/profile.h"
+#include "util/units.h"
+
+namespace cap::core {
+
+/** Tunables of the interval controller. */
+struct IntervalPolicyParams
+{
+    /** EWMA weight of the newest interval measurement. */
+    double ewma_alpha = 0.3;
+    /** Minimum relative TPI gain a move must promise. */
+    double switch_margin = 0.02;
+    /** Consecutive confirming probes required before moving. */
+    int confidence_needed = 2;
+    /** Intervals between probes of a neighbouring configuration. */
+    int probe_period = 8;
+    /** Interval length, instructions. */
+    uint64_t interval_instrs = kIntervalInstructions;
+    /** If false, the confidence gate is disabled (ablation). */
+    bool use_confidence = true;
+};
+
+/** Outcome of an interval-controlled (or oracle) run. */
+struct IntervalRunResult
+{
+    uint64_t instructions = 0;
+    /** Wall-clock time of the run, ns (includes switch overheads). */
+    double total_time_ns = 0.0;
+    /** Number of physical reconfigurations (including probe trips). */
+    int reconfigurations = 0;
+    /**
+     * Number of *committed* moves: decisions to adopt a new home
+     * configuration (probe round-trips excluded).  The confidence
+     * gate exists to keep this low on irregular workloads.
+     */
+    int committed_moves = 0;
+    /** Configuration (queue entries) active in each interval. */
+    std::vector<int> config_trace;
+
+    double tpi() const
+    {
+        return instructions ? total_time_ns /
+                              static_cast<double>(instructions)
+                            : 0.0;
+    }
+};
+
+/** The Section-6 interval controller for the adaptive queue. */
+class IntervalAdaptiveIq
+{
+  public:
+    IntervalAdaptiveIq(const AdaptiveIqModel &model,
+                       IntervalPolicyParams params);
+
+    /**
+     * Run @p instructions of @p app starting from @p initial_entries,
+     * adapting the queue size at interval boundaries.
+     */
+    IntervalRunResult run(const trace::AppProfile &app,
+                          uint64_t instructions, int initial_entries) const;
+
+  private:
+    const AdaptiveIqModel *model_;
+    IntervalPolicyParams params_;
+};
+
+/**
+ * Per-interval oracle: for each interval, charge the time of the best
+ * candidate configuration (each candidate simulated independently in
+ * lockstep).  When @p charge_switches is set, a penalty is charged
+ * whenever the winning configuration changes.
+ */
+IntervalRunResult runIntervalOracle(const AdaptiveIqModel &model,
+                                    const trace::AppProfile &app,
+                                    uint64_t instructions,
+                                    const std::vector<int> &candidates,
+                                    uint64_t interval_instrs,
+                                    bool charge_switches);
+
+} // namespace cap::core
+
+#endif // CAPSIM_CORE_INTERVAL_CONTROLLER_H

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Latency-varying alternative to clock-varying adaptation
+ * (paper Section 3.1).
+ *
+ * For structures where single-cycle access is not critical -- the
+ * D-cache being the paper's example -- an alternative to slowing the
+ * clock when the structure grows is to keep the clock at its fastest
+ * and increase the structure's access latency in cycles.  Only the
+ * instructions that use the structure are then affected: arithmetic
+ * continues at full rate.
+ *
+ * LatencyAdaptiveCache evaluates the adaptive D-cache hierarchy under
+ * this scheme so benches can compare the two options per application
+ * (the "changing the clock, changing the latency, or changing both"
+ * question the paper leaves as future work).
+ */
+
+#ifndef CAPSIM_CORE_LATENCY_ADAPTIVE_H
+#define CAPSIM_CORE_LATENCY_ADAPTIVE_H
+
+#include <vector>
+
+#include "core/adaptive_cache.h"
+
+namespace cap::core {
+
+/** Timing of one boundary under the latency-varying scheme. */
+struct LatencyModeTiming
+{
+    int l1_increments;
+    /** Fixed processor cycle (the fastest configuration's), ns. */
+    Nanoseconds cycle_ns;
+    /** L1 access latency at this boundary, cycles. */
+    int l1_latency_cycles;
+    Cycles l2_hit_cycles;
+    Cycles miss_cycles;
+};
+
+/** Evaluator for the latency-varying D-cache scheme. */
+class LatencyAdaptiveCache
+{
+  public:
+    /**
+     * @param model The underlying adaptive cache model.
+     * @param load_use_stall_factor Average pipeline stall cycles
+     *        incurred per reference per extra L1 latency cycle (the
+     *        fraction of loads with a nearby dependent consumer).
+     */
+    explicit LatencyAdaptiveCache(const AdaptiveCacheModel &model,
+                                  double load_use_stall_factor = 0.4);
+
+    /** Timing of a boundary under the fixed-fast-clock scheme. */
+    LatencyModeTiming timing(int l1_increments) const;
+
+    /** Trace-driven evaluation under the latency-varying scheme. */
+    CachePerf evaluate(const trace::AppProfile &app, int l1_increments,
+                       uint64_t refs) const;
+
+    /** Evaluate every boundary in [1, max_l1_increments]. */
+    std::vector<CachePerf> sweep(const trace::AppProfile &app,
+                                 int max_l1_increments,
+                                 uint64_t refs) const;
+
+  private:
+    const AdaptiveCacheModel *model_;
+    double load_use_stall_factor_;
+};
+
+} // namespace cap::core
+
+#endif // CAPSIM_CORE_LATENCY_ADAPTIVE_H

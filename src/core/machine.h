@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Machine-model constants of the paper's two evaluations (Section 5.1).
+ */
+
+#ifndef CAPSIM_CORE_MACHINE_H
+#define CAPSIM_CORE_MACHINE_H
+
+#include "util/units.h"
+
+namespace cap::core {
+
+/** Cache-study machine (trace-driven, 4-way issue). */
+struct CacheMachine
+{
+    /** Pipeline efficiency in the absence of L1 D-cache misses. */
+    static constexpr double kBaseIpc = 2.67;
+    /** L1 D-cache latency is pipelined over this many cycles. */
+    static constexpr int kL1PipelineDepth = 3;
+    /** Average L2-miss service time (board-level cache), ns. */
+    static constexpr Nanoseconds kL2MissNs = 30.0;
+};
+
+/** Instruction-queue-study machine (8-way, perfect everything). */
+struct IqMachine
+{
+    static constexpr int kDispatchWidth = 8;
+    static constexpr int kIssueWidth = 8;
+    /** Queue sizes studied: 16..128 in 16-entry increments. */
+    static constexpr int kMinEntries = 16;
+    static constexpr int kMaxEntries = 128;
+    static constexpr int kEntryStep = 16;
+};
+
+/** Interval granularity of the paper's snapshots (instructions). */
+constexpr uint64_t kIntervalInstructions = 2000;
+
+} // namespace cap::core
+
+#endif // CAPSIM_CORE_MACHINE_H

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Multiprogrammed execution of a process-level-adaptive CAP.
+ *
+ * The paper's configuration-management scheme fixes the configuration
+ * per application and has the operating system load/save the
+ * configuration registers on context switches (Section 5.1).  This
+ * module simulates exactly that end to end: several applications
+ * time-share one adaptive cache hierarchy; at each quantum boundary
+ * the scheduler restores the incoming application's configuration
+ * (paying the clock-switch pause) and the shared hierarchy carries
+ * the cache pollution across switches that a per-application solo run
+ * hides.
+ */
+
+#ifndef CAPSIM_CORE_MULTIPROGRAM_H
+#define CAPSIM_CORE_MULTIPROGRAM_H
+
+#include <string>
+#include <vector>
+
+#include "core/adaptive_cache.h"
+#include "trace/profile.h"
+#include "util/units.h"
+
+namespace cap::core {
+
+/** Scheduler and overhead parameters. */
+struct MultiprogramParams
+{
+    /** References executed per scheduling quantum. */
+    uint64_t quantum_refs = 50000;
+    /** OS context-switch overhead (register/TLB work), cycles. */
+    Cycles os_switch_cycles = 2000;
+    /**
+     * Per-application boundary assignment.  Empty means "adaptive":
+     * the runner profiles each application solo (at profile_refs) and
+     * picks its best boundary, as the paper's CAP compiler/runtime is
+     * assumed to do.  A single-element vector applies one fixed
+     * boundary to every application (the conventional baseline).
+     */
+    std::vector<int> boundaries;
+    /** References per solo profiling run (adaptive mode). */
+    uint64_t profile_refs = 100000;
+    /** Largest boundary the adaptive profiling may choose. */
+    int max_boundary = 8;
+};
+
+/** Per-application outcome of a multiprogrammed run. */
+struct MultiprogramAppResult
+{
+    std::string name;
+    int boundary = 0;
+    uint64_t refs = 0;
+    uint64_t instructions = 0;
+    double time_ns = 0.0;
+
+    double tpi() const
+    {
+        return instructions ? time_ns / static_cast<double>(instructions)
+                            : 0.0;
+    }
+};
+
+/** Whole-workload outcome. */
+struct MultiprogramResult
+{
+    std::vector<MultiprogramAppResult> apps;
+    /** Number of context switches performed. */
+    int switches = 0;
+    /** Time spent in switch overheads (OS + clock pause), ns. */
+    double switch_overhead_ns = 0.0;
+    /** Total wall-clock time including overheads, ns. */
+    double total_time_ns = 0.0;
+
+    uint64_t totalInstructions() const;
+
+    /** Workload mean TPI (total time over total instructions). */
+    double tpi() const;
+};
+
+/**
+ * Run @p refs_per_app references of every application, round-robin
+ * with the given quantum, on one shared adaptive hierarchy.
+ */
+MultiprogramResult runMultiprogram(
+    const AdaptiveCacheModel &model,
+    const std::vector<trace::AppProfile> &apps, uint64_t refs_per_app,
+    const MultiprogramParams &params);
+
+} // namespace cap::core
+
+#endif // CAPSIM_CORE_MULTIPROGRAM_H

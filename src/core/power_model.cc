@@ -1,0 +1,44 @@
+#include "power_model.h"
+
+#include "util/status.h"
+
+namespace cap::core {
+
+PowerModel::PowerModel(double leakage_fraction)
+    : leakage_fraction_(leakage_fraction)
+{
+    capAssert(leakage_fraction >= 0.0 && leakage_fraction < 1.0,
+              "leakage fraction must be in [0,1)");
+}
+
+PowerEstimate
+PowerModel::estimate(int enabled_elements, int total_elements,
+                     Nanoseconds cycle_ns,
+                     Nanoseconds fastest_cycle_ns) const
+{
+    capAssert(total_elements > 0, "structure has no elements");
+    capAssert(enabled_elements >= 0 && enabled_elements <= total_elements,
+              "enabled count out of range");
+    capAssert(cycle_ns >= fastest_cycle_ns && fastest_cycle_ns > 0.0,
+              "active clock cannot beat the fastest configuration");
+
+    double enabled_fraction = static_cast<double>(enabled_elements) /
+                              static_cast<double>(total_elements);
+    double freq_fraction = fastest_cycle_ns / cycle_ns;
+
+    PowerEstimate power;
+    power.dynamic =
+        (1.0 - leakage_fraction_) * enabled_fraction * freq_fraction;
+    power.leakage = leakage_fraction_ * enabled_fraction;
+    return power;
+}
+
+double
+PowerModel::energyPerInstruction(const PowerEstimate &power,
+                                 double tpi_ns) const
+{
+    capAssert(tpi_ns >= 0.0, "negative TPI");
+    return power.total() * tpi_ns;
+}
+
+} // namespace cap::core

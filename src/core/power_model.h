@@ -1,0 +1,68 @@
+/**
+ * @file
+ * First-order power model for CAP configurations (paper Section 4.1).
+ *
+ * The paper notes that the controllable clock and per-element disables
+ * of a CAP provide several performance/power design points within one
+ * implementation: the lowest-power mode sets every adaptive structure
+ * to its minimum size and selects the slowest clock.
+ *
+ * The model is deliberately first-order: dynamic power scales with the
+ * fraction of enabled elements and with clock frequency; leakage
+ * scales with the enabled fraction only.  Values are reported in
+ * arbitrary units normalized so the all-enabled, fastest-clock point
+ * of a structure is 1.0, which is all the paper's claim needs.
+ */
+
+#ifndef CAPSIM_CORE_POWER_MODEL_H
+#define CAPSIM_CORE_POWER_MODEL_H
+
+#include "util/units.h"
+
+namespace cap::core {
+
+/** Power of one operating point, arbitrary units. */
+struct PowerEstimate
+{
+    double dynamic = 0.0;
+    double leakage = 0.0;
+
+    double total() const { return dynamic + leakage; }
+};
+
+/** Normalized structure-level power estimation. */
+class PowerModel
+{
+  public:
+    /**
+     * @param leakage_fraction Share of the normalization point's
+     *        power that is leakage (default 20%).
+     */
+    explicit PowerModel(double leakage_fraction = 0.2);
+
+    /**
+     * Power of an operating point.
+     * @param enabled_elements Elements currently enabled.
+     * @param total_elements Elements in the full structure.
+     * @param cycle_ns Active clock period.
+     * @param fastest_cycle_ns Fastest clock period of any
+     *        configuration (the normalization point).
+     */
+    PowerEstimate estimate(int enabled_elements, int total_elements,
+                           Nanoseconds cycle_ns,
+                           Nanoseconds fastest_cycle_ns) const;
+
+    /**
+     * Energy per instruction, arbitrary-units x ns: power times TPI.
+     * Lets examples compare performance and efficiency modes.
+     */
+    double energyPerInstruction(const PowerEstimate &power,
+                                double tpi_ns) const;
+
+  private:
+    double leakage_fraction_;
+};
+
+} // namespace cap::core
+
+#endif // CAPSIM_CORE_POWER_MODEL_H

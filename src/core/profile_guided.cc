@@ -1,0 +1,135 @@
+#include "profile_guided.h"
+
+#include <algorithm>
+#include <limits>
+#include <memory>
+
+#include "util/status.h"
+
+namespace cap::core {
+
+ConfigSchedule
+buildScheduleFromProfile(const AdaptiveIqModel &model,
+                         const trace::AppProfile &app,
+                         uint64_t instructions,
+                         const std::vector<int> &candidates,
+                         uint64_t interval_instrs, int hysteresis)
+{
+    capAssert(!candidates.empty(), "profiling needs candidates");
+    capAssert(hysteresis >= 1, "hysteresis must be positive");
+
+    // Profiling lanes: one core per candidate, lock-stepped.
+    struct Lane
+    {
+        std::unique_ptr<ooo::InstructionStream> stream;
+        std::unique_ptr<ooo::CoreModel> core;
+        Nanoseconds cycle;
+        int entries;
+    };
+    std::vector<Lane> lanes;
+    for (int entries : candidates) {
+        Lane lane;
+        lane.stream =
+            std::make_unique<ooo::InstructionStream>(app.ilp, app.seed);
+        ooo::CoreParams params;
+        params.queue_entries = entries;
+        params.dispatch_width = IqMachine::kDispatchWidth;
+        params.issue_width = IqMachine::kIssueWidth;
+        lane.core = std::make_unique<ooo::CoreModel>(*lane.stream, params);
+        lane.cycle = model.cycleNs(entries);
+        lane.entries = entries;
+        lanes.push_back(std::move(lane));
+    }
+
+    // Per-interval winners.
+    std::vector<int> winners;
+    uint64_t total_intervals = instructions / interval_instrs;
+    for (uint64_t interval = 0; interval < total_intervals; ++interval) {
+        double best_time = std::numeric_limits<double>::infinity();
+        int winner = candidates.front();
+        for (Lane &lane : lanes) {
+            ooo::RunResult run = lane.core->step(interval_instrs);
+            double time_ns = static_cast<double>(run.cycles) * lane.cycle;
+            if (time_ns < best_time) {
+                best_time = time_ns;
+                winner = lane.entries;
+            }
+        }
+        winners.push_back(winner);
+    }
+
+    // Compress with hysteresis: adopt a new configuration only at the
+    // start of a run of at least `hysteresis` identical winners.
+    ConfigSchedule schedule;
+    if (winners.empty())
+        return schedule;
+    int active = winners.front();
+    schedule.push_back({0, active});
+    size_t i = 0;
+    while (i < winners.size()) {
+        if (winners[i] == active) {
+            ++i;
+            continue;
+        }
+        // Length of the run of this new winner.
+        size_t j = i;
+        while (j < winners.size() && winners[j] == winners[i])
+            ++j;
+        if (j - i >= static_cast<size_t>(hysteresis)) {
+            active = winners[i];
+            schedule.push_back({i, active});
+        }
+        i = j;
+    }
+    return schedule;
+}
+
+IntervalRunResult
+runWithSchedule(const AdaptiveIqModel &model, const trace::AppProfile &app,
+                uint64_t instructions, const ConfigSchedule &schedule,
+                uint64_t interval_instrs)
+{
+    capAssert(!schedule.empty(), "empty schedule");
+    for (size_t i = 1; i < schedule.size(); ++i) {
+        capAssert(schedule[i].start_interval >
+                  schedule[i - 1].start_interval,
+                  "schedule segments must be strictly increasing");
+    }
+
+    ooo::InstructionStream stream(app.ilp, app.seed);
+    ooo::CoreParams params;
+    params.queue_entries = schedule.front().entries;
+    params.dispatch_width = IqMachine::kDispatchWidth;
+    params.issue_width = IqMachine::kIssueWidth;
+    ooo::CoreModel core(stream, params);
+
+    IntervalRunResult result;
+    int current = schedule.front().entries;
+    size_t next_segment = 1;
+    uint64_t total_intervals = instructions / interval_instrs;
+    for (uint64_t interval = 0; interval < total_intervals; ++interval) {
+        if (next_segment < schedule.size() &&
+            schedule[next_segment].start_interval == interval) {
+            int target = schedule[next_segment].entries;
+            ++next_segment;
+            if (target != current) {
+                Nanoseconds old_cycle = model.cycleNs(current);
+                Cycles drained = core.resize(target);
+                result.total_time_ns +=
+                    static_cast<double>(drained) * old_cycle;
+                result.total_time_ns += 30.0 * model.cycleNs(target);
+                ++result.reconfigurations;
+                ++result.committed_moves;
+                current = target;
+            }
+        }
+        ooo::RunResult run = core.step(interval_instrs);
+        result.total_time_ns += static_cast<double>(run.cycles) *
+                                model.cycleNs(current);
+        result.instructions += run.instructions;
+        result.config_trace.push_back(current);
+    }
+    return result;
+}
+
+} // namespace cap::core

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Compiler-directed (profile-guided) configuration management --
+ * paper Section 4: "A CAP compiler may perform profiling analysis to
+ * determine at which points within the application particular CAS
+ * configurations should be enabled."
+ *
+ * The flow has two halves:
+ *  - buildScheduleFromProfile(): a profiling pass measures every
+ *    candidate configuration per interval (oracle-style lanes) and
+ *    compresses the winners into a static reconfiguration schedule
+ *    with hysteresis, so the schedule only switches where a different
+ *    configuration wins durably;
+ *  - runWithSchedule(): executes the application once, applying the
+ *    schedule at interval boundaries and paying the real costs (queue
+ *    drain + clock-switch pause).
+ *
+ * Against the hardware interval controller, the compiler schedule
+ * knows the future of its profiling run but cannot react to anything
+ * the profile did not show.
+ */
+
+#ifndef CAPSIM_CORE_PROFILE_GUIDED_H
+#define CAPSIM_CORE_PROFILE_GUIDED_H
+
+#include <vector>
+
+#include "core/adaptive_iq.h"
+#include "core/interval_controller.h"
+#include "core/machine.h"
+
+namespace cap::core {
+
+/** One segment of a static reconfiguration schedule. */
+struct ScheduledSegment
+{
+    /** First interval this segment covers. */
+    uint64_t start_interval = 0;
+    /** Queue entries to run with. */
+    int entries = 64;
+};
+
+/** Static schedule: segments in increasing start_interval order. */
+using ConfigSchedule = std::vector<ScheduledSegment>;
+
+/**
+ * Profiling pass: measure every candidate per interval and compress
+ * the winners into a schedule.
+ *
+ * @param hysteresis A new winner must hold for this many consecutive
+ *        intervals before the schedule switches to it.
+ */
+ConfigSchedule buildScheduleFromProfile(
+    const AdaptiveIqModel &model, const trace::AppProfile &app,
+    uint64_t instructions, const std::vector<int> &candidates,
+    uint64_t interval_instrs = kIntervalInstructions, int hysteresis = 4);
+
+/**
+ * Execute @p app once, applying @p schedule at interval boundaries
+ * (drain + clock-pause costs included).
+ */
+IntervalRunResult runWithSchedule(
+    const AdaptiveIqModel &model, const trace::AppProfile &app,
+    uint64_t instructions, const ConfigSchedule &schedule,
+    uint64_t interval_instrs = kIntervalInstructions);
+
+} // namespace cap::core
+
+#endif // CAPSIM_CORE_PROFILE_GUIDED_H

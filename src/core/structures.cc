@@ -1,0 +1,53 @@
+#include "structures.h"
+
+#include "util/units.h"
+
+namespace cap::core {
+
+std::string
+CacheStructure::configName(int config) const
+{
+    int boundary = boundaryOf(config);
+    uint64_t l1_kb = model_->geometry().l1Bytes(boundary) / 1024;
+    return "L1=" + std::to_string(l1_kb) + "KB/" +
+           std::to_string(model_->geometry().l1Ways(boundary)) + "way";
+}
+
+std::string
+IqStructure::configName(int config) const
+{
+    return std::to_string(entriesOf(config)) + "-entry";
+}
+
+Cycles
+IqStructure::reconfigureCleanupCycles(int from, int to) const
+{
+    if (to >= from)
+        return 0;
+    int removed = entriesOf(from) - entriesOf(to);
+    return static_cast<Cycles>(
+        divCeil(static_cast<uint64_t>(removed),
+                static_cast<uint64_t>(IqMachine::kIssueWidth)));
+}
+
+std::string
+TlbStructure::configName(int config) const
+{
+    return std::to_string(entriesOf(config)) + "-entry";
+}
+
+Cycles
+TlbStructure::reconfigureCleanupCycles(int from, int to) const
+{
+    if (to >= from)
+        return 0;
+    return static_cast<Cycles>(entriesOf(from) - entriesOf(to));
+}
+
+std::string
+BpredStructure::configName(int config) const
+{
+    return std::to_string(entriesOf(config)) + "-entry";
+}
+
+} // namespace cap::core

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * AdaptiveStructure adapters exposing the cache hierarchy and the
+ * instruction queue to the Configuration Manager.
+ */
+
+#ifndef CAPSIM_CORE_STRUCTURES_H
+#define CAPSIM_CORE_STRUCTURES_H
+
+#include <memory>
+
+#include "core/adaptive_bpred.h"
+#include "core/adaptive_cache.h"
+#include "core/adaptive_iq.h"
+#include "core/adaptive_structure.h"
+#include "core/adaptive_tlb.h"
+
+namespace cap::core {
+
+/**
+ * The adaptive D-cache hierarchy as a CAS.  Configuration c places
+ * the boundary at c+1 increments.  Reconfiguration needs no cleanup:
+ * exclusion plus the fixed mapping make the move a re-labelling.
+ */
+class CacheStructure : public AdaptiveStructure
+{
+  public:
+    explicit CacheStructure(std::shared_ptr<AdaptiveCacheModel> model)
+        : model_(std::move(model))
+    {
+    }
+
+    std::string name() const override { return "dcache-hierarchy"; }
+
+    int configCount() const override
+    {
+        return model_->geometry().increments - 1;
+    }
+
+    std::string configName(int config) const override;
+
+    Nanoseconds cycleRequirement(int config) const override
+    {
+        return model_->boundaryTiming(config + 1).cycle_ns;
+    }
+
+    /** Boundary (L1 increments) of a configuration index. */
+    static int boundaryOf(int config) { return config + 1; }
+
+  private:
+    std::shared_ptr<AdaptiveCacheModel> model_;
+};
+
+/**
+ * The adaptive instruction queue as a CAS.  Configuration c selects
+ * 16*(c+1) entries.  Shrinking requires draining the disabled
+ * portion, estimated at (entries removed) / issue width cycles.
+ */
+class IqStructure : public AdaptiveStructure
+{
+  public:
+    explicit IqStructure(std::shared_ptr<AdaptiveIqModel> model)
+        : model_(std::move(model))
+    {
+    }
+
+    std::string name() const override { return "instruction-queue"; }
+
+    int configCount() const override
+    {
+        return (IqMachine::kMaxEntries - IqMachine::kMinEntries) /
+                   IqMachine::kEntryStep +
+               1;
+    }
+
+    std::string configName(int config) const override;
+
+    Nanoseconds cycleRequirement(int config) const override
+    {
+        return model_->cycleNs(entriesOf(config));
+    }
+
+    Cycles reconfigureCleanupCycles(int from, int to) const override;
+
+    /** Queue entries of a configuration index. */
+    static int entriesOf(int config)
+    {
+        return IqMachine::kMinEntries + config * IqMachine::kEntryStep;
+    }
+
+  private:
+    std::shared_ptr<AdaptiveIqModel> model_;
+};
+
+/**
+ * The adaptive data TLB as a CAS (Section 5.4 extension).
+ * Configuration c selects studySizes()[c] entries.  Shrinking evicts
+ * the LRU tail; we charge one cycle per evicted entry.
+ */
+class TlbStructure : public AdaptiveStructure
+{
+  public:
+    explicit TlbStructure(std::shared_ptr<AdaptiveTlbModel> model)
+        : model_(std::move(model))
+    {
+    }
+
+    std::string name() const override { return "data-tlb"; }
+
+    int configCount() const override
+    {
+        return static_cast<int>(AdaptiveTlbModel::studySizes().size());
+    }
+
+    std::string configName(int config) const override;
+
+    Nanoseconds cycleRequirement(int config) const override
+    {
+        return model_->lookupNs(entriesOf(config));
+    }
+
+    Cycles reconfigureCleanupCycles(int from, int to) const override;
+
+    static int entriesOf(int config)
+    {
+        return AdaptiveTlbModel::studySizes().at(
+            static_cast<size_t>(config));
+    }
+
+  private:
+    std::shared_ptr<AdaptiveTlbModel> model_;
+};
+
+/**
+ * The adaptive branch-predictor table as a CAS (Section 5.4
+ * extension).  Reconfiguration needs no cleanup: counters rebuild
+ * through normal updates.
+ */
+class BpredStructure : public AdaptiveStructure
+{
+  public:
+    explicit BpredStructure(std::shared_ptr<AdaptiveBpredModel> model)
+        : model_(std::move(model))
+    {
+    }
+
+    std::string name() const override { return "branch-predictor"; }
+
+    int configCount() const override
+    {
+        return static_cast<int>(AdaptiveBpredModel::studySizes().size());
+    }
+
+    std::string configName(int config) const override;
+
+    Nanoseconds cycleRequirement(int config) const override
+    {
+        return model_->lookupNs(entriesOf(config));
+    }
+
+    static int entriesOf(int config)
+    {
+        return AdaptiveBpredModel::studySizes().at(
+            static_cast<size_t>(config));
+    }
+
+  private:
+    std::shared_ptr<AdaptiveBpredModel> model_;
+};
+
+} // namespace cap::core
+
+#endif // CAPSIM_CORE_STRUCTURES_H

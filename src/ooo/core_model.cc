@@ -1,0 +1,160 @@
+#include "core_model.h"
+
+#include <algorithm>
+
+#include "util/status.h"
+
+namespace cap::ooo {
+
+namespace {
+
+/** Completion-ring capacity; see the dispatch-time distance assert. */
+constexpr uint64_t kCompletionRing = 4096;
+
+constexpr Cycles kNotIssued = UINT64_MAX;
+constexpr uint64_t kNoSource = UINT64_MAX;
+
+} // namespace
+
+CoreModel::CoreModel(InstructionStream &stream, const CoreParams &params)
+    : stream_(stream), params_(params), rng_(params.seed),
+      completion_(kCompletionRing, kNotIssued)
+{
+    capAssert(params.dep_break_prob >= 0.0 &&
+              params.dep_break_prob <= 1.0,
+              "dep_break_prob must be a probability");
+    capAssert(params.queue_entries >= 1, "queue must have entries");
+    capAssert(params.dispatch_width >= 1 && params.issue_width >= 1,
+              "machine widths must be positive");
+    capAssert(static_cast<uint64_t>(params.queue_entries) <
+              kCompletionRing - kMaxDepDistance,
+              "queue larger than the completion ring supports");
+    queue_.reserve(static_cast<size_t>(params.queue_entries));
+}
+
+Cycles
+CoreModel::completionOf(uint64_t index) const
+{
+    return completion_[index % kCompletionRing];
+}
+
+void
+CoreModel::recordCompletion(uint64_t index, Cycles at)
+{
+    completion_[index % kCompletionRing] = at;
+}
+
+void
+CoreModel::tick()
+{
+    ++cycle_;
+
+    // --- Wakeup + select (atomic within the cycle; oldest first). ---
+    int issued_this_cycle = 0;
+    for (QueueEntry &entry : queue_) {
+        if (entry.issued)
+            continue;
+        if (entry.ready_at == kNotIssued) {
+            // Sources still in flight when last checked; re-resolve.
+            Cycles c1 = entry.src1 == kNoSource ? 0 : completionOf(entry.src1);
+            Cycles c2 = entry.src2 == kNoSource ? 0 : completionOf(entry.src2);
+            if (c1 != kNotIssued && c2 != kNotIssued)
+                entry.ready_at = std::max(c1, c2);
+        }
+        if (issued_this_cycle < params_.issue_width &&
+            entry.ready_at != kNotIssued && entry.ready_at <= cycle_) {
+            entry.issued = true;
+            recordCompletion(entry.index, cycle_ + entry.latency);
+            ++issued_;
+            ++issued_this_cycle;
+        }
+    }
+
+    // --- Reclaim queue entries. ---
+    if (params_.free_at_issue) {
+        // Collapsing queue: any issued entry frees immediately.
+        std::erase_if(queue_, [](const QueueEntry &e) { return e.issued; });
+    } else {
+        // RUU: free the issued prefix in program order.
+        size_t freed = 0;
+        while (freed < queue_.size() && queue_[freed].issued)
+            ++freed;
+        if (freed > 0)
+            queue_.erase(queue_.begin(),
+                         queue_.begin() + static_cast<ptrdiff_t>(freed));
+    }
+
+    // --- Dispatch into freed slots (new arrivals wake up next cycle). ---
+    int dispatched_this_cycle = 0;
+    while (dispatched_this_cycle < params_.dispatch_width &&
+           static_cast<int>(queue_.size()) < params_.queue_entries) {
+        if (!queue_.empty()) {
+            capAssert(dispatched_ - queue_.front().index <
+                      kCompletionRing - kMaxDepDistance,
+                      "completion ring too small for queue residency");
+        }
+        MicroOp op = stream_.next();
+        QueueEntry entry;
+        entry.index = dispatched_;
+        entry.latency = op.latency;
+        entry.src1 = op.src1_dist ? dispatched_ - op.src1_dist : kNoSource;
+        entry.src2 = op.src2_dist ? dispatched_ - op.src2_dist : kNoSource;
+        if (params_.dep_break_prob > 0.0) {
+            // A confident value prediction supplies the operand at
+            // dispatch: the dependence edge disappears.
+            if (entry.src1 != kNoSource &&
+                rng_.chance(params_.dep_break_prob)) {
+                entry.src1 = kNoSource;
+            }
+            if (entry.src2 != kNoSource &&
+                rng_.chance(params_.dep_break_prob)) {
+                entry.src2 = kNoSource;
+            }
+        }
+        entry.ready_at = kNotIssued;
+        entry.issued = false;
+        // A source that already completed resolves immediately.
+        Cycles c1 = entry.src1 == kNoSource ? 0 : completionOf(entry.src1);
+        Cycles c2 = entry.src2 == kNoSource ? 0 : completionOf(entry.src2);
+        if (c1 != kNotIssued && c2 != kNotIssued)
+            entry.ready_at = std::max(c1, c2);
+        recordCompletion(entry.index, kNotIssued);
+        queue_.push_back(entry);
+        ++dispatched_;
+        ++dispatched_this_cycle;
+    }
+}
+
+RunResult
+CoreModel::step(uint64_t instructions)
+{
+    RunResult result;
+    uint64_t target = issued_ + instructions;
+    Cycles start = cycle_;
+    while (issued_ < target)
+        tick();
+    result.instructions = instructions;
+    result.cycles = cycle_ - start;
+    return result;
+}
+
+Cycles
+CoreModel::resize(int new_entries)
+{
+    capAssert(new_entries >= 1, "queue must keep at least one entry");
+    if (new_entries >= params_.queue_entries) {
+        params_.queue_entries = new_entries;
+        return 0;
+    }
+    // Shrink: the entries in the portion to be disabled must first
+    // issue (paper Section 5.1).  Lowering the capacity immediately
+    // stalls dispatch (occupancy exceeds capacity) until the excess
+    // entries have issued.
+    Cycles start = cycle_;
+    params_.queue_entries = new_entries;
+    while (static_cast<int>(queue_.size()) > new_entries)
+        tick();
+    return cycle_ - start;
+}
+
+} // namespace cap::ooo

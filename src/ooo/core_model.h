@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Window-constrained out-of-order core model for the instruction-queue
+ * study (paper Section 5.3).
+ *
+ * The model mirrors the paper's SimpleScalar methodology: an 8-way
+ * machine with perfect branch prediction, perfect caches and plentiful
+ * functional units, so IPC is limited only by register dependencies
+ * viewed through the instruction queue.  An entry is allocated at
+ * dispatch; wakeup/select happen atomically within a cycle and
+ * selection is oldest-first (the priority-encoder tree of [22]).
+ * Entries are reclaimed in program order once issued (SimpleScalar's
+ * RUU discipline, which is what makes the queue size bound the
+ * machine's lookahead); an issued-anywhere reclamation mode is also
+ * provided for comparison (R10000-style collapsing queue backed by a
+ * separate reorder buffer).
+ *
+ * The queue can be resized while running.  Growing is immediate;
+ * shrinking first drains the entries in the portion to be disabled
+ * (dispatch is stalled until occupancy fits), which is the cleanup the
+ * paper describes for reconfiguring to a smaller queue.
+ */
+
+#ifndef CAPSIM_OOO_CORE_MODEL_H
+#define CAPSIM_OOO_CORE_MODEL_H
+
+#include <cstdint>
+#include <vector>
+
+#include "ooo/stream.h"
+#include "util/rng.h"
+#include "ooo/uop.h"
+#include "util/stats.h"
+#include "util/units.h"
+
+namespace cap::ooo {
+
+/** Machine parameters of the core model. */
+struct CoreParams
+{
+    /** Instruction-queue capacity (entries). */
+    int queue_entries = 64;
+    /** Instructions dispatched into the queue per cycle. */
+    int dispatch_width = 8;
+    /** Instructions issued from the queue per cycle. */
+    int issue_width = 8;
+    /**
+     * When true, an issued entry frees immediately (collapsing-queue
+     * mode); when false (default), entries free in program order once
+     * issued (RUU mode, the paper's simulation model).
+     */
+    bool free_at_issue = false;
+    /**
+     * Probability that a source dependency is satisfied at dispatch
+     * by a confident value prediction (the dependence simply
+     * disappears -- mispredictions are assumed filtered by
+     * confidence).  Zero disables value prediction and leaves the
+     * machine bit-identical to the paper's model.
+     */
+    double dep_break_prob = 0.0;
+    /** Seed for the value-prediction draw (dep_break_prob > 0). */
+    uint64_t seed = 0x5eed;
+};
+
+/** Result of running a batch of instructions. */
+struct RunResult
+{
+    uint64_t instructions = 0;
+    Cycles cycles = 0;
+
+    double ipc() const
+    {
+        return cycles ? static_cast<double>(instructions) /
+                        static_cast<double>(cycles)
+                      : 0.0;
+    }
+};
+
+/** The steppable core simulator. */
+class CoreModel
+{
+  public:
+    /**
+     * @param stream Instruction source (owned by the caller; must
+     *               outlive the model).
+     * @param params Machine parameters; validated on entry.
+     */
+    CoreModel(InstructionStream &stream, const CoreParams &params);
+
+    int queueEntries() const { return params_.queue_entries; }
+
+    /** Instructions issued since construction. */
+    uint64_t issuedInstructions() const { return issued_; }
+
+    /** Cycles elapsed since construction. */
+    Cycles cycleCount() const { return cycle_; }
+
+    /** Current queue occupancy (waiting instructions). */
+    int occupancy() const { return static_cast<int>(queue_.size()); }
+
+    /**
+     * Run until @p instructions more instructions have issued.
+     * @return Instructions and cycles consumed by this step.
+     */
+    RunResult step(uint64_t instructions);
+
+    /**
+     * Resize the queue.  Shrinking drains the excess occupancy first
+     * (dispatch stalls; cycles advance).
+     * @return Cycles spent draining (zero when growing).
+     */
+    Cycles resize(int new_entries);
+
+    /**
+     * Add idle cycles (e.g. the clock-switch pause of a dynamic-clock
+     * reconfiguration).
+     */
+    void stall(Cycles cycles) { cycle_ += cycles; }
+
+  private:
+    struct QueueEntry
+    {
+        /** Dynamic instruction index. */
+        uint64_t index;
+        /** Cycle at which all sources are complete; recomputed while
+         *  sources are in flight. */
+        Cycles ready_at;
+        /** Execution latency. */
+        uint32_t latency;
+        /** Source producer indices (UINT64_MAX = no source). */
+        uint64_t src1;
+        uint64_t src2;
+        /** True once selected for issue (RUU mode keeps the entry). */
+        bool issued;
+    };
+
+    /** Advance the machine one cycle (dispatch + wakeup/select). */
+    void tick();
+
+    /** Completion cycle of instruction @p index (UINT64_MAX if not
+     *  yet issued). */
+    Cycles completionOf(uint64_t index) const;
+
+    void recordCompletion(uint64_t index, Cycles at);
+
+    InstructionStream &stream_;
+    CoreParams params_;
+    Rng rng_;
+
+    /** Waiting (dispatched, un-issued) instructions, oldest first. */
+    std::vector<QueueEntry> queue_;
+
+    /** Ring of completion cycles indexed by instruction number. */
+    std::vector<Cycles> completion_;
+
+    uint64_t dispatched_ = 0;
+    uint64_t issued_ = 0;
+    Cycles cycle_ = 0;
+};
+
+} // namespace cap::ooo
+
+#endif // CAPSIM_OOO_CORE_MODEL_H

@@ -1,0 +1,72 @@
+#include "stream.h"
+
+#include <algorithm>
+
+#include "util/status.h"
+
+namespace cap::ooo {
+
+InstructionStream::InstructionStream(const trace::IlpBehavior &behavior,
+                                     uint64_t seed)
+    : behavior_(behavior), rng_(seed)
+{
+    capAssert(!behavior_.phases.empty(), "IlpBehavior has no phases");
+    capAssert(!behavior_.schedule.empty(), "IlpBehavior has no schedule");
+    for (const trace::PhaseSegment &seg : behavior_.schedule) {
+        capAssert(seg.phase >= 0 &&
+                  static_cast<size_t>(seg.phase) < behavior_.phases.size(),
+                  "segment references unknown phase %d", seg.phase);
+        capAssert(seg.length_instrs > 0, "zero-length phase segment");
+    }
+    segment_left_ = behavior_.schedule[0].length_instrs;
+}
+
+void
+InstructionStream::advanceSegment()
+{
+    while (segment_left_ == 0) {
+        segment_ = (segment_ + 1) % behavior_.schedule.size();
+        segment_left_ = behavior_.schedule[segment_].length_instrs;
+    }
+}
+
+int
+InstructionStream::currentPhase() const
+{
+    return behavior_.schedule[segment_].phase;
+}
+
+MicroOp
+InstructionStream::next()
+{
+    advanceSegment();
+    const trace::IlpPhase &phase = behavior_.phases[currentPhase()];
+
+    MicroOp op;
+    // Distances are a floor plus a geometric draw with the phase's
+    // mean, clamped both by the generator cap and by the instructions
+    // that actually exist before this one.
+    uint64_t floor = std::max<uint32_t>(1, phase.min_dep_distance);
+    double p1 = 1.0 / std::max(1.0, phase.mean_dep_distance);
+    uint64_t d1 = floor + rng_.geometric(p1, kMaxDepDistance - floor);
+    op.src1_dist = static_cast<uint32_t>(std::min<uint64_t>(
+        d1, position_ == 0 ? 0 : std::min<uint64_t>(position_,
+                                                    kMaxDepDistance)));
+
+    if (position_ > 0 && rng_.chance(phase.second_src_prob)) {
+        double p2 = 1.0 / std::max(1.0, phase.mean_dep_distance2);
+        uint64_t d2 = floor + rng_.geometric(p2, kMaxDepDistance - floor);
+        op.src2_dist = static_cast<uint32_t>(std::min<uint64_t>(
+            d2, std::min<uint64_t>(position_, kMaxDepDistance)));
+    }
+
+    op.latency = rng_.chance(phase.long_lat_prob)
+                     ? static_cast<uint32_t>(phase.long_lat_cycles)
+                     : static_cast<uint32_t>(phase.short_lat_cycles);
+
+    ++position_;
+    --segment_left_;
+    return op;
+}
+
+} // namespace cap::ooo

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Synthetic instruction-stream generator driven by an application's
+ * IlpBehavior (phases + schedule).
+ */
+
+#ifndef CAPSIM_OOO_STREAM_H
+#define CAPSIM_OOO_STREAM_H
+
+#include <cstdint>
+
+#include "ooo/uop.h"
+#include "trace/profile.h"
+#include "util/rng.h"
+
+namespace cap::ooo {
+
+/**
+ * Produces the dynamic MicroOp stream of one application.  The phase
+ * schedule is tracked by dispatched-instruction index; when the
+ * schedule is exhausted it loops, matching the paper's observation of
+ * repeating program behaviour.  Equal (behavior, seed) pairs generate
+ * identical streams.
+ */
+class InstructionStream
+{
+  public:
+    InstructionStream(const trace::IlpBehavior &behavior, uint64_t seed);
+
+    /** Generate the next instruction. */
+    MicroOp next();
+
+    /** Index of the next instruction to be generated. */
+    uint64_t position() const { return position_; }
+
+    /** Phase index active for the next instruction (test support). */
+    int currentPhase() const;
+
+  private:
+    void advanceSegment();
+
+    const trace::IlpBehavior behavior_;
+    Rng rng_;
+    uint64_t position_ = 0;
+    size_t segment_ = 0;
+    uint64_t segment_left_ = 0;
+};
+
+} // namespace cap::ooo
+
+#endif // CAPSIM_OOO_STREAM_H

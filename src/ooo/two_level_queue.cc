@@ -1,0 +1,165 @@
+#include "two_level_queue.h"
+
+#include <algorithm>
+
+#include "util/status.h"
+
+namespace cap::ooo {
+
+namespace {
+
+constexpr uint64_t kCompletionRing = 8192;
+constexpr Cycles kNotIssued = UINT64_MAX;
+constexpr uint64_t kNoSource = UINT64_MAX;
+
+} // namespace
+
+TwoLevelCoreModel::TwoLevelCoreModel(InstructionStream &stream,
+                                     const TwoLevelParams &params)
+    : stream_(stream), params_(params),
+      completion_(kCompletionRing, kNotIssued)
+{
+    capAssert(params.ondeck_entries >= 1, "on-deck section needs entries");
+    capAssert(params.backup_entries >= 0, "negative backup section");
+    capAssert(params.promote_width >= 1 && params.dispatch_width >= 1 &&
+              params.issue_width >= 1, "machine widths must be positive");
+    capAssert(params.transfer_latency >= 1,
+              "backup transfer takes at least one cycle");
+    capAssert(static_cast<uint64_t>(params.ondeck_entries +
+                                    params.backup_entries) <
+              kCompletionRing - kMaxDepDistance,
+              "window larger than the completion ring supports");
+}
+
+Cycles
+TwoLevelCoreModel::completionOf(uint64_t index) const
+{
+    return completion_[index % kCompletionRing];
+}
+
+void
+TwoLevelCoreModel::recordCompletion(uint64_t index, Cycles at)
+{
+    completion_[index % kCompletionRing] = at;
+}
+
+int
+TwoLevelCoreModel::ondeckOccupancy() const
+{
+    return ondeck_count_;
+}
+
+int
+TwoLevelCoreModel::backupOccupancy() const
+{
+    int unissued = 0;
+    for (const Entry &entry : window_)
+        unissued += (!entry.issued && !entry.ondeck) ? 1 : 0;
+    return unissued;
+}
+
+void
+TwoLevelCoreModel::tick()
+{
+    ++cycle_;
+
+    // --- Wakeup + select over the on-deck section only. ---
+    int issued_this_cycle = 0;
+    for (Entry &entry : window_) {
+        if (entry.issued || !entry.ondeck)
+            continue;
+        if (entry.eligible_at > cycle_)
+            continue;
+        if (entry.ready_at == kNotIssued) {
+            Cycles c1 = entry.src1 == kNoSource ? 0 : completionOf(entry.src1);
+            Cycles c2 = entry.src2 == kNoSource ? 0 : completionOf(entry.src2);
+            if (c1 != kNotIssued && c2 != kNotIssued)
+                entry.ready_at = std::max(c1, c2);
+        }
+        if (issued_this_cycle < params_.issue_width &&
+            entry.ready_at != kNotIssued && entry.ready_at <= cycle_) {
+            entry.issued = true;
+            --ondeck_count_;
+            recordCompletion(entry.index, cycle_ + entry.latency);
+            ++issued_;
+            ++issued_this_cycle;
+        }
+    }
+
+    // --- Reclaim the issued prefix in program order. ---
+    while (!window_.empty() && window_.front().issued)
+        window_.pop_front();
+
+    // --- Promote backup entries whose producers have completed.  The
+    // backup section has no wakeup CAM, so "operands available" means
+    // the values are architecturally ready, not merely bypassable. ---
+    int promoted = 0;
+    for (Entry &entry : window_) {
+        if (promoted >= params_.promote_width ||
+            ondeck_count_ >= params_.ondeck_entries) {
+            break;
+        }
+        if (entry.issued || entry.ondeck)
+            continue;
+        Cycles c1 = entry.src1 == kNoSource ? 0 : completionOf(entry.src1);
+        Cycles c2 = entry.src2 == kNoSource ? 0 : completionOf(entry.src2);
+        bool producers_done = c1 != kNotIssued && c2 != kNotIssued &&
+                              std::max(c1, c2) <= cycle_;
+        if (!producers_done)
+            continue;
+        entry.ondeck = true;
+        entry.ready_at = std::max(c1, c2);
+        // Reading the backup entry and inserting it into the on-deck
+        // CAM costs transfer_latency cycles.
+        entry.eligible_at =
+            cycle_ + static_cast<Cycles>(params_.transfer_latency);
+        ++ondeck_count_;
+        ++promoted;
+    }
+
+    // --- Dispatch: steer into the on-deck section when it has room
+    // *and* every producer has already issued (the value is known or
+    // bypassable, so the entry is guaranteed to drain -- this also
+    // rules out deadlock through a full on-deck section waiting on a
+    // backup entry); otherwise into the backup section. ---
+    int capacity = params_.ondeck_entries + params_.backup_entries;
+    int dispatched_this_cycle = 0;
+    while (dispatched_this_cycle < params_.dispatch_width &&
+           static_cast<int>(window_.size()) < capacity) {
+        MicroOp op = stream_.next();
+        Entry entry;
+        entry.index = dispatched_;
+        entry.latency = op.latency;
+        entry.src1 = op.src1_dist ? dispatched_ - op.src1_dist : kNoSource;
+        entry.src2 = op.src2_dist ? dispatched_ - op.src2_dist : kNoSource;
+        entry.issued = false;
+        Cycles c1 = entry.src1 == kNoSource ? 0 : completionOf(entry.src1);
+        Cycles c2 = entry.src2 == kNoSource ? 0 : completionOf(entry.src2);
+        bool producers_issued = c1 != kNotIssued && c2 != kNotIssued;
+        entry.ondeck = producers_issued &&
+                       ondeck_count_ < params_.ondeck_entries;
+        entry.ready_at = producers_issued ? std::max(c1, c2) : kNotIssued;
+        entry.eligible_at = entry.ondeck ? cycle_ + 1 : 0;
+        if (entry.ondeck)
+            ++ondeck_count_;
+        recordCompletion(entry.index, kNotIssued);
+        window_.push_back(entry);
+        ++dispatched_;
+        ++dispatched_this_cycle;
+    }
+}
+
+RunResult
+TwoLevelCoreModel::step(uint64_t instructions)
+{
+    RunResult result;
+    uint64_t target = issued_ + instructions;
+    Cycles start = cycle_;
+    while (issued_ < target)
+        tick();
+    result.instructions = instructions;
+    result.cycles = cycle_ - start;
+    return result;
+}
+
+} // namespace cap::ooo

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Two-level ("on-deck + backup") instruction queue -- the silicon-
+ * efficiency alternative the paper sketches in Section 4.2.
+ *
+ * Instead of disabling the unused portion of a large queue, the
+ * disabled elements serve as a *backup* section: instructions waiting
+ * for operands or long-latency producers sit there, while a small
+ * "on-deck" section holds instructions close to issuing.  Only the
+ * on-deck section participates in the atomic wakeup/select, so the
+ * cycle time is that of a small queue, while the backup preserves the
+ * lookahead of a large one.
+ *
+ * Modelled mechanics:
+ *  - dispatch steers an instruction into the on-deck section when it
+ *    has room, otherwise into the backup section (program order is
+ *    tracked across both);
+ *  - the backup section has no wakeup CAM: it cannot observe bypassed
+ *    results, so a backup instruction becomes transfer-eligible only
+ *    once its producers have *completed*; each cycle up to
+ *    promote_width eligible instructions move to the on-deck section
+ *    if it has room, and the transfer takes transfer_latency cycles
+ *    before the instruction is visible to wakeup;
+ *  - wakeup/select (oldest-first, issue_width per cycle) runs over the
+ *    on-deck section only;
+ *  - entries are reclaimed in program order once issued (RUU
+ *    discipline, shared with CoreModel) across both sections.
+ *
+ * The result sits between the small and large conventional queues:
+ * distant ILP parked in the backup returns at a small-queue clock, at
+ * the price of transfer bubbles on the dependence edges that cross
+ * the sections.
+ */
+
+#ifndef CAPSIM_OOO_TWO_LEVEL_QUEUE_H
+#define CAPSIM_OOO_TWO_LEVEL_QUEUE_H
+
+#include <cstdint>
+#include <deque>
+
+#include "ooo/core_model.h"
+#include "ooo/stream.h"
+#include "util/units.h"
+
+namespace cap::ooo {
+
+/** Parameters of the two-level queue machine. */
+struct TwoLevelParams
+{
+    /** On-deck entries (set the wakeup/select cycle time). */
+    int ondeck_entries = 16;
+    /** Backup entries (waiting storage; off the critical path). */
+    int backup_entries = 112;
+    /** Backup -> on-deck transfers per cycle. */
+    int promote_width = 4;
+    /** Cycles a transfer takes before wakeup can see the entry. */
+    int transfer_latency = 2;
+    int dispatch_width = 8;
+    int issue_width = 8;
+};
+
+/** Core model with the two-level queue. */
+class TwoLevelCoreModel
+{
+  public:
+    TwoLevelCoreModel(InstructionStream &stream,
+                      const TwoLevelParams &params);
+
+    /** Run until @p instructions more instructions have issued. */
+    RunResult step(uint64_t instructions);
+
+    uint64_t issuedInstructions() const { return issued_; }
+    Cycles cycleCount() const { return cycle_; }
+
+    /** Instructions currently in the on-deck section. */
+    int ondeckOccupancy() const;
+
+    /** Instructions currently in the backup section. */
+    int backupOccupancy() const;
+
+  private:
+    struct Entry
+    {
+        uint64_t index;
+        Cycles ready_at;
+        uint32_t latency;
+        uint64_t src1;
+        uint64_t src2;
+        bool issued;
+        bool ondeck;
+        /** Cycle at which the entry became eligible to issue
+         *  (promotion completes); on-deck wakeup ignores it before
+         *  then. */
+        Cycles eligible_at;
+    };
+
+    void tick();
+    Cycles completionOf(uint64_t index) const;
+    void recordCompletion(uint64_t index, Cycles at);
+
+    InstructionStream &stream_;
+    TwoLevelParams params_;
+    /** All in-flight entries in program order (both sections). */
+    std::deque<Entry> window_;
+    std::vector<Cycles> completion_;
+    int ondeck_count_ = 0;
+    uint64_t dispatched_ = 0;
+    uint64_t issued_ = 0;
+    Cycles cycle_ = 0;
+};
+
+} // namespace cap::ooo
+
+#endif // CAPSIM_OOO_TWO_LEVEL_QUEUE_H

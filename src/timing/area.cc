@@ -1,0 +1,80 @@
+#include "area.h"
+
+#include <cmath>
+
+#include "util/status.h"
+
+namespace cap::timing {
+
+namespace {
+
+// Single-ported RAM cell area at the 0.25 um reference: 120 F^2.
+constexpr double kRamCellAreaUm2 = 120.0 * 0.25 * 0.25;
+
+// Width of one instruction-queue entry row at the reference feature.
+// The row packs the RAM field beside the multi-ported CAM fields; the
+// global tag and data buses run vertically along the stack, so this
+// width fixes the per-entry bus-length contribution.
+constexpr double kIqRowWidthUm = 76.8;
+
+} // namespace
+
+double
+AreaModel::ramCellAreaUm2()
+{
+    return kRamCellAreaUm2;
+}
+
+double
+AreaModel::cellAreaUm2(bool cam, int ports)
+{
+    capAssert(ports >= 1, "a cell needs at least one port");
+    double base = kRamCellAreaUm2 * (cam ? 2.0 : 1.0);
+    // Wordlines and bitlines both scale linearly with ports, so cell
+    // area scales quadratically (paper Section 2).
+    return base * static_cast<double>(ports) * static_cast<double>(ports);
+}
+
+double
+AreaModel::ramArrayAreaMm2(uint64_t bits)
+{
+    return static_cast<double>(bits) * kRamCellAreaUm2 * 1e-6;
+}
+
+double
+AreaModel::subarrayPitchMm(uint64_t bytes)
+{
+    capAssert(bytes > 0, "empty subarray");
+    return std::sqrt(ramArrayAreaMm2(bytes * 8));
+}
+
+uint64_t
+AreaModel::iqEntryEquivalentBits()
+{
+    // R10000 integer-queue entry (paper Section 2):
+    //   52 b single-ported RAM         -> 52  * 1 * 1^2
+    //   12 b triple-ported CAM         -> 12  * 2 * 3^2
+    //    6 b quadruple-ported CAM      ->  6  * 2 * 4^2
+    uint64_t ram = 52;
+    uint64_t cam3 = 12 * 2 * 3 * 3;
+    uint64_t cam4 = 6 * 2 * 4 * 4;
+    return ram + cam3 + cam4; // == 460 bit-equivalents (~60 B)
+}
+
+uint64_t
+AreaModel::iqEntryEquivalentBytes()
+{
+    return divCeil(iqEntryEquivalentBits(), 8);
+}
+
+double
+AreaModel::iqStackHeightMm(int entries)
+{
+    capAssert(entries > 0, "queue must have entries");
+    double entry_area_um2 =
+        static_cast<double>(iqEntryEquivalentBits()) * kRamCellAreaUm2;
+    double entry_height_mm = entry_area_um2 / kIqRowWidthUm * 1e-3;
+    return entry_height_mm * static_cast<double>(entries);
+}
+
+} // namespace cap::timing

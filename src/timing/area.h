@@ -1,0 +1,72 @@
+/**
+ * @file
+ * RAM/CAM array area model (after Mulder, Quach & Flynn) used to turn
+ * structure capacities into physical wire lengths.
+ *
+ * Paper assumptions (Section 2):
+ *  - a CAM cell occupies twice the area of a RAM cell;
+ *  - cell area grows quadratically with the number of ports, since
+ *    both wordlines and bitlines scale linearly with port count;
+ *  - an R10000 integer-queue entry (52 b single-ported RAM, 12 b
+ *    triple-ported CAM, 6 b quadruple-ported CAM) is therefore
+ *    equivalent to roughly 60 bytes of single-ported RAM.
+ *
+ * Layout geometry is evaluated at the 0.25 um reference feature size
+ * (see technology.h) so that wire lengths, and hence unbuffered
+ * delays, are generation-independent.
+ */
+
+#ifndef CAPSIM_TIMING_AREA_H
+#define CAPSIM_TIMING_AREA_H
+
+#include <cstdint>
+
+#include "util/units.h"
+
+namespace cap::timing {
+
+/** Area and pitch calculations for RAM/CAM-based structures. */
+class AreaModel
+{
+  public:
+    /** Area of a single-ported RAM cell at the reference feature, um^2. */
+    static double ramCellAreaUm2();
+
+    /**
+     * Area of one storage cell, um^2.
+     * @param cam True for a CAM (match) cell: 2x the RAM cell.
+     * @param ports Number of ports; area scales as ports^2.
+     */
+    static double cellAreaUm2(bool cam, int ports);
+
+    /** Area of an array of @p bits single-ported RAM bits, mm^2. */
+    static double ramArrayAreaMm2(uint64_t bits);
+
+    /**
+     * Side length (pitch) of a square subarray holding @p bytes of
+     * single-ported RAM, in mm.  Global buses run along one side of
+     * each stacked subarray, so bus length grows by one pitch per
+     * subarray.
+     */
+    static double subarrayPitchMm(uint64_t bytes);
+
+    /**
+     * Single-ported-RAM-equivalent size of one R10000 integer-queue
+     * entry, in bits (the paper rounds the byte figure to ~60 B).
+     */
+    static uint64_t iqEntryEquivalentBits();
+
+    /** Same, in bytes (rounded up). */
+    static uint64_t iqEntryEquivalentBytes();
+
+    /**
+     * Height of a stack of @p entries instruction-queue entries, mm.
+     * Each entry is laid out as one row; the global tag/data buses run
+     * vertically along the stack.
+     */
+    static double iqStackHeightMm(int entries);
+};
+
+} // namespace cap::timing
+
+#endif // CAPSIM_TIMING_AREA_H

@@ -1,0 +1,125 @@
+#include "cacti.h"
+
+#include <cmath>
+
+#include "util/status.h"
+
+namespace cap::timing {
+
+namespace {
+
+// Stage-delay constants at the 0.25 um reference generation, ns.
+// Calibrated so an 8 KB two-way, two-way-banked increment accesses in
+// ~1.45 ns at 0.18 um, which with a three-cycle pipelined L1 yields
+// the ~0.6 ns base cycle the paper's TPI levels imply.
+constexpr double kDecodeFixed = 0.25;
+constexpr double kDecodePerLog2Row = 0.040;
+constexpr double kWordlineFixed = 0.10;
+constexpr double kWordlinePerBit = 0.0008;
+constexpr double kBitlineDevice = 0.25;
+constexpr double kSense = 0.25;
+constexpr double kCompare = 0.33;
+constexpr double kOutput = 0.26;
+
+// Non-scaling bitline wire delay per row (ns); wires stay constant
+// across generations.
+constexpr double kBitlineWirePerRow = 0.0015;
+
+} // namespace
+
+uint64_t
+CacheOrg::sets() const
+{
+    return size_bytes / (static_cast<uint64_t>(assoc) * block_bytes);
+}
+
+void
+CacheOrg::validate() const
+{
+    using cap::fatal;
+    if (size_bytes == 0 || block_bytes == 0)
+        fatal("cache size and block size must be positive");
+    if (assoc < 1 || banks < 1)
+        fatal("associativity and banking must be at least 1");
+    if (size_bytes % (static_cast<uint64_t>(assoc) * block_bytes) != 0)
+        fatal("cache size %llu is not divisible by assoc*block",
+              static_cast<unsigned long long>(size_bytes));
+    uint64_t n_sets = sets();
+    if (!isPowerOfTwo(n_sets))
+        fatal("cache must have a power-of-two set count, got %llu",
+              static_cast<unsigned long long>(n_sets));
+    if (n_sets % static_cast<uint64_t>(banks) != 0)
+        fatal("sets must divide evenly across banks");
+}
+
+namespace {
+
+uint64_t
+rowsPerBank(const CacheOrg &org)
+{
+    uint64_t rows = org.sets() / static_cast<uint64_t>(org.banks);
+    return rows ? rows : 1;
+}
+
+uint64_t
+bitsPerRow(const CacheOrg &org)
+{
+    return org.block_bytes * 8 * static_cast<uint64_t>(org.assoc) /
+           static_cast<uint64_t>(org.banks);
+}
+
+} // namespace
+
+Nanoseconds
+CactiLite::decodeDelay(const CacheOrg &org) const
+{
+    double log2_rows =
+        rowsPerBank(org) > 1
+            ? static_cast<double>(floorLog2(rowsPerBank(org)))
+            : 0.0;
+    return tech_->deviceScale() *
+           (kDecodeFixed + kDecodePerLog2Row * log2_rows);
+}
+
+Nanoseconds
+CactiLite::wordlineDelay(const CacheOrg &org) const
+{
+    return tech_->deviceScale() *
+           (kWordlineFixed +
+            kWordlinePerBit * static_cast<double>(bitsPerRow(org)));
+}
+
+Nanoseconds
+CactiLite::bitlineDelay(const CacheOrg &org) const
+{
+    return tech_->deviceScale() * kBitlineDevice +
+           kBitlineWirePerRow * static_cast<double>(rowsPerBank(org));
+}
+
+Nanoseconds
+CactiLite::senseDelay() const
+{
+    return tech_->deviceScale() * kSense;
+}
+
+Nanoseconds
+CactiLite::compareDelay() const
+{
+    return tech_->deviceScale() * kCompare;
+}
+
+Nanoseconds
+CactiLite::outputDelay() const
+{
+    return tech_->deviceScale() * kOutput;
+}
+
+Nanoseconds
+CactiLite::accessTime(const CacheOrg &org) const
+{
+    org.validate();
+    return decodeDelay(org) + wordlineDelay(org) + bitlineDelay(org) +
+           senseDelay() + compareDelay() + outputDelay();
+}
+
+} // namespace cap::timing

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * CactiLite: an analytic cache access-time model in the spirit of
+ * Wilton & Jouppi's CACTI, reduced to the stages that matter for the
+ * paper's increment-delay analysis.
+ *
+ * The access path is decode -> wordline -> bitline -> sense ->
+ * tag compare -> output drive.  Device-limited stage delays are
+ * defined at the 0.25 um reference generation and scale linearly with
+ * feature size; the bitline wire component does not scale (paper
+ * Section 2).  Global address/data bus delays between increments are
+ * *not* part of this model -- they come from WireModel, which is what
+ * makes increment delay independent of total structure size once
+ * repeaters are adopted.
+ */
+
+#ifndef CAPSIM_TIMING_CACTI_H
+#define CAPSIM_TIMING_CACTI_H
+
+#include <cstdint>
+
+#include "timing/technology.h"
+#include "util/units.h"
+
+namespace cap::timing {
+
+/** Physical organization of one cache (or cache increment). */
+struct CacheOrg
+{
+    /** Total capacity in bytes. */
+    uint64_t size_bytes;
+    /** Set associativity. */
+    int assoc;
+    /** Block (line) size in bytes. */
+    uint64_t block_bytes;
+    /** Internal banking factor (rows divide across banks). */
+    int banks;
+
+    /** Number of sets implied by the organization. */
+    uint64_t sets() const;
+
+    /** Validate internal consistency; fatal() on user error. */
+    void validate() const;
+};
+
+/** Analytic cache timing model. */
+class CactiLite
+{
+  public:
+    explicit CactiLite(const Technology &tech) : tech_(&tech) {}
+
+    const Technology &technology() const { return *tech_; }
+
+    /**
+     * Access time of a self-contained cache increment (tag + data,
+     * local hit detection and data drive), in ns.  Excludes global
+     * bus traversal.
+     */
+    Nanoseconds accessTime(const CacheOrg &org) const;
+
+    /** Decoder delay component, ns. */
+    Nanoseconds decodeDelay(const CacheOrg &org) const;
+
+    /** Wordline delay component, ns. */
+    Nanoseconds wordlineDelay(const CacheOrg &org) const;
+
+    /** Bitline delay (device + non-scaling wire share), ns. */
+    Nanoseconds bitlineDelay(const CacheOrg &org) const;
+
+    /** Sense amplifier delay, ns. */
+    Nanoseconds senseDelay() const;
+
+    /** Tag comparator delay, ns. */
+    Nanoseconds compareDelay() const;
+
+    /** Local output driver delay, ns. */
+    Nanoseconds outputDelay() const;
+
+  private:
+    const Technology *tech_;
+};
+
+} // namespace cap::timing
+
+#endif // CAPSIM_TIMING_CACTI_H

@@ -1,0 +1,48 @@
+#include "clock_table.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/status.h"
+
+namespace cap::timing {
+
+void
+ClockTable::setFixedFloor(Nanoseconds cycle_ns)
+{
+    capAssert(cycle_ns >= 0.0, "negative cycle time");
+    fixed_floor_ns_ = cycle_ns;
+}
+
+void
+ClockTable::setQuantizationStep(Nanoseconds step_ns)
+{
+    capAssert(step_ns >= 0.0, "negative quantization step");
+    quantum_ns_ = step_ns;
+}
+
+Nanoseconds
+ClockTable::cycleFor(const std::vector<ClockRequirement> &reqs) const
+{
+    Nanoseconds cycle = fixed_floor_ns_;
+    for (const ClockRequirement &req : reqs) {
+        capAssert(req.cycle_ns >= 0.0,
+                  "negative requirement from '%s'", req.structure.c_str());
+        cycle = std::max(cycle, req.cycle_ns);
+    }
+    if (quantum_ns_ > 0.0) {
+        double steps = std::ceil(cycle / quantum_ns_ - 1e-12);
+        cycle = std::max(1.0, steps) * quantum_ns_;
+    }
+    return cycle;
+}
+
+Nanoseconds
+ClockTable::cycleFor(Nanoseconds requirement_ns) const
+{
+    return cycleFor(std::vector<ClockRequirement>{
+        {"cas", requirement_ns},
+    });
+}
+
+} // namespace cap::timing

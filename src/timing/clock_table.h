@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Predetermined clock table for a Complexity-Adaptive Processor.
+ *
+ * Paper Section 4: "The various clock speeds are predetermined based
+ * on worst-case timing analysis of each FS and combination of CAS
+ * configurations."  The ClockTable captures that analysis: every
+ * configuration's required cycle time is the maximum over the fixed
+ * structures' delay floor and each adaptive structure's delay in its
+ * selected configuration, optionally quantized to the discrete set of
+ * clock sources a real holding/multiplexing scheme provides.
+ */
+
+#ifndef CAPSIM_TIMING_CLOCK_TABLE_H
+#define CAPSIM_TIMING_CLOCK_TABLE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/units.h"
+
+namespace cap::timing {
+
+/** Cycle-time requirement contributed by one structure. */
+struct ClockRequirement
+{
+    std::string structure;
+    Nanoseconds cycle_ns;
+};
+
+/** Worst-case clock computation with optional source quantization. */
+class ClockTable
+{
+  public:
+    ClockTable() = default;
+
+    /**
+     * Set the delay floor imposed by the fixed (non-adaptive)
+     * structures; no configuration may clock faster than this.
+     */
+    void setFixedFloor(Nanoseconds cycle_ns);
+
+    Nanoseconds fixedFloor() const { return fixed_floor_ns_; }
+
+    /**
+     * Restrict clocks to multiples of @p step_ns (a discrete PLL-tap /
+     * divider scheme).  Zero disables quantization (the default).
+     */
+    void setQuantizationStep(Nanoseconds step_ns);
+
+    Nanoseconds quantizationStep() const { return quantum_ns_; }
+
+    /**
+     * The processor cycle time when the given adaptive-structure
+     * requirements are active: max over the fixed floor and every
+     * requirement, rounded *up* to the quantization grid (worst-case
+     * rule -- a clock may never be faster than the slowest structure
+     * needs).
+     */
+    Nanoseconds cycleFor(const std::vector<ClockRequirement> &reqs) const;
+
+    /** Convenience overload for a single adaptive structure. */
+    Nanoseconds cycleFor(Nanoseconds requirement_ns) const;
+
+    /**
+     * Number of cycles (at the *new* clock) needed to pause the active
+     * clock source and reliably start another (paper Section 4.1:
+     * "tens of cycles").
+     */
+    Cycles switchPenaltyCycles() const { return switch_penalty_; }
+
+    /** Override the clock-switch penalty (for sensitivity studies). */
+    void setSwitchPenaltyCycles(Cycles cycles) { switch_penalty_ = cycles; }
+
+  private:
+    Nanoseconds fixed_floor_ns_ = 0.0;
+    Nanoseconds quantum_ns_ = 0.0;
+    Cycles switch_penalty_ = 30;
+};
+
+} // namespace cap::timing
+
+#endif // CAPSIM_TIMING_CLOCK_TABLE_H

@@ -1,0 +1,62 @@
+#include "issue_logic.h"
+
+#include <cmath>
+
+#include "util/status.h"
+
+namespace cap::timing {
+
+namespace {
+
+// Constants at the 0.25 um reference generation, ns.  Calibrated to
+// Palacharla-style 8-way values: at 0.18 um they give cycle times of
+// ~0.36 ns for a 16-entry queue and ~0.50 ns for 64 entries.
+constexpr double kWakeupFixed = 0.22;      // tag driver + match + OR
+constexpr double kWakeupPerEntry = 0.0016; // buffered tag line, per entry
+constexpr double kSelectFixed = 0.09;      // root logic
+constexpr double kSelectPerLevel = 0.055;  // one encoder traversal
+
+} // namespace
+
+Nanoseconds
+IssueLogicModel::wakeupDelay(int entries) const
+{
+    capAssert(entries > 0 && entries % kEntryIncrement == 0,
+              "queue size %d must be a positive multiple of %d",
+              entries, kEntryIncrement);
+    return tech_->deviceScale() *
+           (kWakeupFixed + kWakeupPerEntry * static_cast<double>(entries));
+}
+
+int
+IssueLogicModel::selectTreeLevels(int entries)
+{
+    capAssert(entries > 0, "queue must have entries");
+    // ceil(log4(entries)): each level is a 4-bit priority encoder.
+    int levels = 0;
+    int covered = 1;
+    while (covered < entries) {
+        covered *= 4;
+        ++levels;
+    }
+    return levels < 1 ? 1 : levels;
+}
+
+Nanoseconds
+IssueLogicModel::selectDelay(int entries) const
+{
+    int levels = selectTreeLevels(entries);
+    // Request propagates up the tree and the grant back down; the root
+    // is traversed once.
+    double traversals = 2.0 * levels - 1.0;
+    return tech_->deviceScale() *
+           (kSelectFixed + kSelectPerLevel * traversals);
+}
+
+Nanoseconds
+IssueLogicModel::cycleTime(int entries) const
+{
+    return wakeupDelay(entries) + selectDelay(entries);
+}
+
+} // namespace cap::timing

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Wakeup + select delay model for the out-of-order issue queue, after
+ * Palacharla, Jouppi & Smith (paper reference [22]).
+ *
+ * The paper assumes wakeup and selection are performed atomically in
+ * one cycle (so dependent instructions can issue back to back) and
+ * that this path sets the processor cycle time for every queue
+ * configuration.  Operand tag lines are buffered every 16 entries
+ * (the configuration increment), so wakeup delay grows linearly with
+ * queue size; selection uses a tree of 4-bit priority encoders whose
+ * height grows as ceil(log4(entries)), with encoders for inactive
+ * entries disabled.
+ */
+
+#ifndef CAPSIM_TIMING_ISSUE_LOGIC_H
+#define CAPSIM_TIMING_ISSUE_LOGIC_H
+
+#include "timing/technology.h"
+#include "util/units.h"
+
+namespace cap::timing {
+
+/** Issue-queue critical-path timing model. */
+class IssueLogicModel
+{
+  public:
+    /** Queue sizes are multiples of this configuration increment. */
+    static constexpr int kEntryIncrement = 16;
+
+    explicit IssueLogicModel(const Technology &tech) : tech_(&tech) {}
+
+    const Technology &technology() const { return *tech_; }
+
+    /**
+     * Wakeup delay (tag drive along the buffered tag lines, CAM match,
+     * match OR) for a queue of @p entries, ns.
+     */
+    Nanoseconds wakeupDelay(int entries) const;
+
+    /**
+     * Selection delay for a tree of 4-bit priority encoders covering
+     * @p entries (request propagation up, grant propagation down), ns.
+     */
+    Nanoseconds selectDelay(int entries) const;
+
+    /** Height of the selection tree over @p entries. */
+    static int selectTreeLevels(int entries);
+
+    /** Wakeup + select: the cycle time this queue size requires, ns. */
+    Nanoseconds cycleTime(int entries) const;
+
+  private:
+    const Technology *tech_;
+};
+
+} // namespace cap::timing
+
+#endif // CAPSIM_TIMING_ISSUE_LOGIC_H

@@ -1,0 +1,83 @@
+#include "technology.h"
+
+#include "util/status.h"
+
+namespace cap::timing {
+
+namespace {
+
+// Shared wire parasitics for the mid-level metal used by global
+// address/data buses.  Wires are assumed not to scale (paper Section 2),
+// so these are generation-independent.
+constexpr double kWireResistancePerMm = 400.0;   // ohm/mm
+constexpr double kWireCapacitancePerMm = 0.25e-3; // nF/mm (0.25 pF/mm)
+
+// Minimum-repeater output resistance at the reference generation.
+constexpr double kBufferResistance = 2000.0; // ohm
+
+// Minimum-repeater input capacitance at the reference generation,
+// chosen so that bufferTau(0.25u) == 80 ps, which calibrates the
+// buffered curves of Figures 1-2.
+constexpr double kBufferCapRef = 0.04e-3; // nF (0.04 pF)
+
+} // namespace
+
+Technology::Technology(std::string name, double feature_um)
+    : name_(std::move(name)),
+      feature_um_(feature_um),
+      wire_r_per_mm_(kWireResistancePerMm),
+      wire_c_per_mm_(kWireCapacitancePerMm),
+      buffer_r_(kBufferResistance)
+{
+    capAssert(feature_um > 0.0, "feature size must be positive");
+}
+
+double
+Technology::bufferCapacitance() const
+{
+    return kBufferCapRef * deviceScale();
+}
+
+Nanoseconds
+Technology::bufferTau() const
+{
+    // R * C: ohm * nF = ns.
+    return buffer_r_ * bufferCapacitance();
+}
+
+Nanoseconds
+Technology::bufferFixedOverhead() const
+{
+    // A six-stage driver chain feeding the repeated line plus the
+    // final receiver; device-limited, so it scales with feature size.
+    return 6.0 * bufferTau();
+}
+
+double
+Technology::deviceScale() const
+{
+    return feature_um_ / kReferenceFeatureUm;
+}
+
+const Technology &
+Technology::um250()
+{
+    static const Technology tech("0.25u", 0.25);
+    return tech;
+}
+
+const Technology &
+Technology::um180()
+{
+    static const Technology tech("0.18u", 0.18);
+    return tech;
+}
+
+const Technology &
+Technology::um120()
+{
+    static const Technology tech("0.12u", 0.12);
+    return tech;
+}
+
+} // namespace cap::timing

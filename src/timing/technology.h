@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Process-technology parameter sets for the delay models.
+ *
+ * The paper's scaling assumptions (Section 2) are encoded directly:
+ * to first order, transistor (buffer) delays scale linearly with
+ * feature size while wire delays remain constant.  Layout geometry
+ * (cell pitch, and therefore wire length) is evaluated at a fixed
+ * 0.25 um reference so that a single unbuffered curve exists per
+ * structure, exactly as in Figures 1 and 2.
+ */
+
+#ifndef CAPSIM_TIMING_TECHNOLOGY_H
+#define CAPSIM_TIMING_TECHNOLOGY_H
+
+#include <string>
+
+#include "util/units.h"
+
+namespace cap::timing {
+
+/**
+ * One CMOS process generation.  Wire parasitics are shared constants
+ * (wires do not scale, per the paper); device parameters carry the
+ * linear feature-size scaling.
+ */
+class Technology
+{
+  public:
+    /**
+     * @param name Display name, e.g. "0.18u".
+     * @param feature_um Drawn feature size in microns.
+     */
+    Technology(std::string name, double feature_um);
+
+    const std::string &name() const { return name_; }
+    double featureMicrons() const { return feature_um_; }
+
+    /** Wire resistance per mm (ohm/mm); constant across generations. */
+    double wireResistancePerMm() const { return wire_r_per_mm_; }
+
+    /** Wire capacitance per mm (pF/mm); constant across generations. */
+    double wireCapacitancePerMm() const { return wire_c_per_mm_; }
+
+    /**
+     * Output resistance of a minimum repeater (ohm).  Scales as 1/W
+     * with device width held in minimum widths, i.e. constant; the
+     * feature-size dependence is carried entirely by bufferTau().
+     */
+    double bufferResistance() const { return buffer_r_; }
+
+    /** Input capacitance of a minimum repeater (pF); scales linearly. */
+    double bufferCapacitance() const;
+
+    /**
+     * Intrinsic RC time constant of a minimum repeater (ns).  This is
+     * the quantity the paper assumes scales linearly with feature size.
+     */
+    Nanoseconds bufferTau() const;
+
+    /**
+     * Fixed insertion overhead of adopting a repeater methodology
+     * (input driver chain and final receiver), in ns.  Scales with
+     * feature size.  This is why unbuffered wires win at short lengths.
+     */
+    Nanoseconds bufferFixedOverhead() const;
+
+    /**
+     * Generic scale factor for device-limited delays relative to the
+     * 0.25 um reference generation (== feature/0.25).
+     */
+    double deviceScale() const;
+
+    /** The three generations studied in the paper. */
+    static const Technology &um250();
+    static const Technology &um180();
+    static const Technology &um120();
+
+  private:
+    std::string name_;
+    double feature_um_;
+    double wire_r_per_mm_;
+    double wire_c_per_mm_;
+    double buffer_r_;
+};
+
+/** Reference feature size at which layout geometry is evaluated. */
+constexpr double kReferenceFeatureUm = 0.25;
+
+} // namespace cap::timing
+
+#endif // CAPSIM_TIMING_TECHNOLOGY_H

@@ -1,0 +1,91 @@
+#include "wire.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/status.h"
+
+namespace cap::timing {
+
+namespace {
+
+// Fixed driver for the unbuffered case: a minimum repeater.  Sizing
+// the driver up would trade its delay against the wire-dominated
+// quadratic term; a minimum driver matches the paper's curves.
+constexpr double kUnbufferedDriverSizing = 1.0;
+
+} // namespace
+
+Nanoseconds
+WireModel::unbufferedDelay(double length_mm) const
+{
+    capAssert(length_mm >= 0.0, "negative wire length");
+    // Unbuffered delays are wire-dominated and evaluated at the
+    // reference generation: this is why Figure 1 shows one unbuffered
+    // curve for all feature sizes.
+    const Technology &ref = Technology::um250();
+    double c_wire = ref.wireCapacitancePerMm() * length_mm;  // nF
+    double r_wire = ref.wireResistancePerMm() * length_mm;   // ohm
+    double r_drv = ref.bufferResistance() / kUnbufferedDriverSizing;
+    return 0.7 * r_drv * c_wire + 0.4 * r_wire * c_wire;
+}
+
+RepeaterPlan
+WireModel::optimalRepeaters(double length_mm) const
+{
+    capAssert(length_mm >= 0.0, "negative wire length");
+    RepeaterPlan plan{1, 1.0, tech_->bufferFixedOverhead()};
+    if (length_mm == 0.0)
+        return plan;
+
+    double r_wire = tech_->wireResistancePerMm() * length_mm; // ohm
+    double c_wire = tech_->wireCapacitancePerMm() * length_mm; // nF
+    double rb = tech_->bufferResistance();
+    double cb = tech_->bufferCapacitance();
+
+    double k_opt = std::sqrt((0.4 * r_wire * c_wire) / (0.7 * rb * cb));
+    plan.stages = std::max(1, static_cast<int>(std::lround(k_opt)));
+    plan.sizing = std::sqrt((rb * c_wire) / (r_wire * cb));
+    plan.delay = tech_->bufferFixedOverhead() +
+                 2.5 * std::sqrt(rb * cb * r_wire * c_wire);
+    return plan;
+}
+
+Nanoseconds
+WireModel::bufferedDelay(double length_mm) const
+{
+    return optimalRepeaters(length_mm).delay;
+}
+
+Nanoseconds
+WireModel::segmentDelay(double length_mm, int segments) const
+{
+    capAssert(segments > 0, "segment count must be positive");
+    // Repeaters electrically isolate segments, so each contributes an
+    // equal share of the line's marginal (per-length) delay.
+    Nanoseconds total = bufferedDelay(length_mm);
+    Nanoseconds marginal = total - tech_->bufferFixedOverhead();
+    return marginal / static_cast<double>(segments);
+}
+
+double
+WireModel::crossoverLength(double limit_mm) const
+{
+    capAssert(limit_mm > 0.0, "crossover search needs a positive limit");
+    // Bisection on f(L) = unbuffered(L) - buffered(L); f is
+    // monotonically increasing (quadratic minus linear) once positive.
+    double lo = 0.0;
+    double hi = limit_mm;
+    if (unbufferedDelay(hi) <= bufferedDelay(hi))
+        return std::numeric_limits<double>::infinity();
+    for (int iter = 0; iter < 64; ++iter) {
+        double mid = 0.5 * (lo + hi);
+        if (unbufferedDelay(mid) > bufferedDelay(mid))
+            hi = mid;
+        else
+            lo = mid;
+    }
+    return 0.5 * (lo + hi);
+}
+
+} // namespace cap::timing

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Unbuffered and optimally-repeated (Bakoglu) wire delay models.
+ *
+ * Implements the delay analysis of paper Section 2: a driver plus a
+ * distributed-RC line for the unbuffered case, and Bakoglu & Meindl's
+ * optimal repeater insertion for the buffered case.  The buffered
+ * delay grows linearly with wire length; the unbuffered delay grows
+ * quadratically, which is what creates the crossover the CAP approach
+ * exploits.
+ */
+
+#ifndef CAPSIM_TIMING_WIRE_H
+#define CAPSIM_TIMING_WIRE_H
+
+#include "timing/technology.h"
+#include "util/units.h"
+
+namespace cap::timing {
+
+/** Result of an optimal repeater-insertion computation. */
+struct RepeaterPlan
+{
+    /** Optimal number of repeater stages (>= 1). */
+    int stages;
+    /** Optimal repeater size in multiples of a minimum repeater. */
+    double sizing;
+    /** End-to-end delay of the repeated line, ns. */
+    Nanoseconds delay;
+};
+
+/**
+ * Wire delay model.  All lengths are in millimetres, delays in ns.
+ */
+class WireModel
+{
+  public:
+    explicit WireModel(const Technology &tech) : tech_(&tech) {}
+
+    const Technology &technology() const { return *tech_; }
+
+    /**
+     * Delay of an unbuffered line of length @p length_mm driven by a
+     * fixed-size driver:
+     *   T = 0.7 * Rdrv * Cwire + 0.4 * Rwire * Cwire  (Bakoglu).
+     * The driver is modelled as a 4x minimum repeater; the unbuffered
+     * delay is evaluated at the reference generation because wires do
+     * not scale (so there is a single curve, as in Figure 1).
+     */
+    Nanoseconds unbufferedDelay(double length_mm) const;
+
+    /**
+     * Optimal Bakoglu repeater insertion for a line of length
+     * @p length_mm.  Delay is
+     *   T = overhead + 2.5 * sqrt(Rb * Cb * r * c) * L,
+     * with stage count k = sqrt(0.4 R C / 0.7 Rb Cb) and sizing
+     * h = sqrt(Rb C / (R Cb)).
+     */
+    RepeaterPlan optimalRepeaters(double length_mm) const;
+
+    /** Shorthand for optimalRepeaters().delay. */
+    Nanoseconds bufferedDelay(double length_mm) const;
+
+    /**
+     * Delay of one electrically isolated segment when the line of
+     * @p length_mm is divided into @p segments by repeaters.  Used to
+     * derive the per-increment delay hierarchy of adaptive structures.
+     */
+    Nanoseconds segmentDelay(double length_mm, int segments) const;
+
+    /**
+     * The wire length (mm) above which the repeated line is faster
+     * than the unbuffered one; returns +infinity if buffering never
+     * wins within @p limit_mm.
+     */
+    double crossoverLength(double limit_mm) const;
+
+  private:
+    const Technology *tech_;
+};
+
+} // namespace cap::timing
+
+#endif // CAPSIM_TIMING_WIRE_H

@@ -1,0 +1,139 @@
+#include "analysis.h"
+
+#include <algorithm>
+
+#include "util/status.h"
+#include "util/units.h"
+
+namespace cap::trace {
+
+namespace {
+
+/** Number of power-of-two overflow bins maintained (2^40 blocks). */
+constexpr size_t kOverflowBins = 40;
+
+} // namespace
+
+double
+TraceCharacter::missRatioAtBlocks(uint64_t capacity_blocks) const
+{
+    if (refs == 0)
+        return 0.0;
+    uint64_t hits = 0;
+    uint64_t exact_top = std::min(capacity_blocks, kExactDistanceLimit);
+    for (uint64_t d = 1; d <= exact_top; ++d)
+        hits += exact_counts[d];
+    if (capacity_blocks > kExactDistanceLimit) {
+        for (size_t bin = 0; bin < overflow_bins.size(); ++bin) {
+            uint64_t bin_start = 1ULL << bin;
+            if (bin_start <= capacity_blocks)
+                hits += overflow_bins[bin];
+        }
+    }
+    return static_cast<double>(refs - hits) / static_cast<double>(refs);
+}
+
+double
+TraceCharacter::missRatioAtBytes(uint64_t capacity_bytes) const
+{
+    capAssert(block_bytes > 0, "character has no block size");
+    return missRatioAtBlocks(capacity_bytes / block_bytes);
+}
+
+TraceAnalyzer::TraceAnalyzer(uint64_t block_bytes)
+    : block_bytes_(block_bytes), fenwick_(1024, 0)
+{
+    capAssert(block_bytes > 0, "block size must be positive");
+    character_.block_bytes = block_bytes;
+    character_.exact_counts.assign(kExactDistanceLimit + 1, 0);
+    character_.overflow_bins.assign(kOverflowBins, 0);
+}
+
+uint64_t
+TraceAnalyzer::prefixCount(uint64_t index) const
+{
+    uint64_t sum = 0;
+    for (; index > 0; index -= index & (~index + 1))
+        sum += fenwick_[index];
+    return sum;
+}
+
+void
+TraceAnalyzer::setPosition(uint64_t index)
+{
+    for (; index < fenwick_.size(); index += index & (~index + 1))
+        ++fenwick_[index];
+}
+
+void
+TraceAnalyzer::clearPosition(uint64_t index)
+{
+    for (; index < fenwick_.size(); index += index & (~index + 1))
+        --fenwick_[index];
+}
+
+void
+TraceAnalyzer::add(const TraceRecord &record)
+{
+    ++time_;
+    // Grow the Fenwick tree by rebuilding from the live positions
+    // (amortized O(log n) per reference overall).
+    if (time_ >= fenwick_.size()) {
+        fenwick_.assign(fenwick_.size() * 2, 0);
+        for (const auto &[block, at] : last_access_)
+            setPosition(at);
+    }
+
+    ++character_.refs;
+    character_.writes += record.is_write ? 1 : 0;
+
+    uint64_t block = record.addr / block_bytes_;
+    auto it = last_access_.find(block);
+    if (it == last_access_.end()) {
+        ++character_.cold_refs;
+        ++character_.footprint_blocks;
+        last_access_.emplace(block, time_);
+        setPosition(time_);
+        return;
+    }
+
+    uint64_t t_prev = it->second;
+    // Distinct blocks accessed since (and including) the previous
+    // access to this block: exactly the live positions >= t_prev.
+    uint64_t distance =
+        character_.footprint_blocks - prefixCount(t_prev - 1);
+    capAssert(distance >= 1, "stack distance must be at least one");
+    if (distance <= kExactDistanceLimit) {
+        ++character_.exact_counts[distance];
+    } else {
+        size_t bin = floorLog2(distance);
+        if (bin >= kOverflowBins)
+            bin = kOverflowBins - 1;
+        ++character_.overflow_bins[bin];
+    }
+
+    clearPosition(t_prev);
+    it->second = time_;
+    setPosition(time_);
+}
+
+TraceCharacter
+TraceAnalyzer::character() const
+{
+    return character_;
+}
+
+TraceCharacter
+analyzeTrace(TraceSource &source, uint64_t limit, uint64_t block_bytes)
+{
+    TraceAnalyzer analyzer(block_bytes);
+    TraceRecord record;
+    uint64_t seen = 0;
+    while ((limit == 0 || seen < limit) && source.next(record)) {
+        analyzer.add(record);
+        ++seen;
+    }
+    return analyzer.character();
+}
+
+} // namespace cap::trace

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Trace characterization: footprint, write fraction and LRU
+ * stack-distance (reuse-distance) analysis.
+ *
+ * Stack distances give the fully-associative LRU miss ratio at every
+ * capacity from a single pass: a reference with stack distance d hits
+ * in any LRU cache of at least d blocks.  This is how CAPsim's
+ * synthetic profiles were calibrated against the paper's Figure 7
+ * shapes, and it lets users characterize their own trace files before
+ * running the adaptive-cache experiments.
+ */
+
+#ifndef CAPSIM_TRACE_ANALYSIS_H
+#define CAPSIM_TRACE_ANALYSIS_H
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "trace/record.h"
+
+namespace cap::trace {
+
+/** Distances up to this value are counted exactly. */
+constexpr uint64_t kExactDistanceLimit = 8192;
+
+/** Result of characterizing a reference stream. */
+struct TraceCharacter
+{
+    uint64_t refs = 0;
+    uint64_t writes = 0;
+    /** Distinct blocks touched. */
+    uint64_t footprint_blocks = 0;
+    /** Block granularity used, bytes. */
+    uint64_t block_bytes = 0;
+    /**
+     * exact_counts[d] = references with stack distance d, for
+     * d in [1, kExactDistanceLimit].
+     */
+    std::vector<uint64_t> exact_counts;
+    /**
+     * Distances above the exact limit, in power-of-two bins:
+     * overflow_bins[b] counts distances in [2^b, 2^(b+1)).
+     */
+    std::vector<uint64_t> overflow_bins;
+    /** References to never-before-seen blocks (cold misses). */
+    uint64_t cold_refs = 0;
+
+    double writeFraction() const
+    {
+        return refs ? static_cast<double>(writes) /
+                      static_cast<double>(refs)
+                    : 0.0;
+    }
+
+    /**
+     * Fully-associative LRU miss ratio at a capacity of
+     * @p capacity_blocks blocks (cold misses included).  Exact up to
+     * kExactDistanceLimit; resolved at power-of-two-bin granularity
+     * above it (a capacity inside a bin counts the bin as hits).
+     */
+    double missRatioAtBlocks(uint64_t capacity_blocks) const;
+
+    /** Convenience overload taking a capacity in bytes. */
+    double missRatioAtBytes(uint64_t capacity_bytes) const;
+};
+
+/**
+ * One-pass trace analyzer.  Feed records with add(); read the
+ * character at any point.  The stack-distance computation uses a
+ * Fenwick tree over access times (O(log n) per reference).
+ */
+class TraceAnalyzer
+{
+  public:
+    explicit TraceAnalyzer(uint64_t block_bytes = kBlockBytes);
+
+    /** Fold one reference into the analysis. */
+    void add(const TraceRecord &record);
+
+    /** Current character (cheap; histograms maintained online). */
+    TraceCharacter character() const;
+
+  private:
+    /** Count of set positions in fenwick_[1..index]. */
+    uint64_t prefixCount(uint64_t index) const;
+    void setPosition(uint64_t index);
+    void clearPosition(uint64_t index);
+
+    uint64_t block_bytes_;
+    /** block -> time of last access (1-based). */
+    std::unordered_map<uint64_t, uint64_t> last_access_;
+    /** Fenwick tree over time positions that are "live" (the most
+     *  recent access of some block). */
+    std::vector<uint64_t> fenwick_;
+    uint64_t time_ = 0;
+    TraceCharacter character_;
+};
+
+/** Analyze up to @p limit records from @p source (0 = all). */
+TraceCharacter analyzeTrace(TraceSource &source, uint64_t limit,
+                            uint64_t block_bytes = kBlockBytes);
+
+} // namespace cap::trace
+
+#endif // CAPSIM_TRACE_ANALYSIS_H

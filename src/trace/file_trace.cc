@@ -1,0 +1,79 @@
+#include "file_trace.h"
+
+#include <cctype>
+#include <cinttypes>
+#include <cstring>
+
+#include "util/status.h"
+
+namespace cap::trace {
+
+FileTraceSource::FileTraceSource(const std::string &path) : path_(path)
+{
+    file_.reset(std::fopen(path.c_str(), "r"));
+    if (!file_)
+        fatal("cannot open trace file '%s'", path.c_str());
+}
+
+bool
+FileTraceSource::next(TraceRecord &record)
+{
+    char line[256];
+    while (std::fgets(line, sizeof(line), file_.get())) {
+        ++line_;
+        const char *p = line;
+        while (*p == ' ' || *p == '\t')
+            ++p;
+        if (*p == '\0' || *p == '\n' || *p == '#')
+            continue;
+
+        unsigned type = 0;
+        uint64_t addr = 0;
+        if (std::sscanf(p, "%u %" SCNx64, &type, &addr) != 2) {
+            warn("%s:%llu: malformed trace record '%s' (skipped)",
+                 path_.c_str(), static_cast<unsigned long long>(line_), p);
+            ++skipped_;
+            continue;
+        }
+        if (type == 2) {
+            // Instruction fetch: not a D-cache reference.
+            ++skipped_;
+            continue;
+        }
+        if (type > 2) {
+            warn("%s:%llu: unknown record type %u (skipped)",
+                 path_.c_str(), static_cast<unsigned long long>(line_),
+                 type);
+            ++skipped_;
+            continue;
+        }
+        record.addr = addr;
+        record.is_write = type == 1;
+        ++produced_;
+        return true;
+    }
+    return false;
+}
+
+uint64_t
+writeTraceFile(const std::string &path, TraceSource &source, uint64_t limit)
+{
+    capAssert(limit > 0, "refusing to write an empty trace");
+    std::FILE *out = std::fopen(path.c_str(), "w");
+    if (!out)
+        fatal("cannot create trace file '%s'", path.c_str());
+
+    std::fprintf(out, "# CAPsim trace: <type> <hex-address>; "
+                      "0 = load, 1 = store\n");
+    TraceRecord record;
+    uint64_t written = 0;
+    while (written < limit && source.next(record)) {
+        std::fprintf(out, "%d %" PRIx64 "\n", record.is_write ? 1 : 0,
+                     record.addr);
+        ++written;
+    }
+    std::fclose(out);
+    return written;
+}
+
+} // namespace cap::trace

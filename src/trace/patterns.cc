@@ -1,0 +1,79 @@
+#include "patterns.h"
+
+#include <numeric>
+
+#include "util/status.h"
+
+namespace cap::trace {
+
+ZipfResident::ZipfResident(Region region, uint64_t block_bytes, double s,
+                           uint64_t shuffle_seed)
+    : region_(region), block_bytes_(block_bytes), s_(s)
+{
+    capAssert(block_bytes > 0, "block size must be positive");
+    uint64_t n = region.blocks(block_bytes);
+    capAssert(n > 0, "ZipfResident region smaller than one block");
+    capAssert(n <= UINT32_MAX, "region too large for shuffle table");
+    shuffle_.resize(n);
+    std::iota(shuffle_.begin(), shuffle_.end(), 0);
+    // Fisher-Yates with a dedicated generator so the spatial layout is
+    // a fixed property of the workload, not of trace position.
+    Rng shuffle_rng(shuffle_seed);
+    for (uint64_t i = n - 1; i > 0; --i) {
+        uint64_t j = shuffle_rng.below(i + 1);
+        std::swap(shuffle_[i], shuffle_[j]);
+    }
+}
+
+Addr
+ZipfResident::next(Rng &rng)
+{
+    uint64_t rank = rng.zipf(shuffle_.size(), s_);
+    uint64_t block = shuffle_[rank];
+    uint64_t offset = rng.below(block_bytes_);
+    return region_.base + block * block_bytes_ + offset;
+}
+
+CyclicSweep::CyclicSweep(Region region, uint64_t stride_bytes)
+    : region_(region), stride_bytes_(stride_bytes)
+{
+    capAssert(stride_bytes > 0, "sweep stride must be positive");
+    capAssert(region.size_bytes >= stride_bytes,
+              "sweep region smaller than one stride");
+}
+
+Addr
+CyclicSweep::next(Rng &rng)
+{
+    (void)rng;
+    Addr addr = region_.base + offset_;
+    offset_ += stride_bytes_;
+    if (offset_ + stride_bytes_ > region_.size_bytes)
+        offset_ = 0;
+    return addr;
+}
+
+Stream::Stream(Region region, uint64_t block_bytes, int touches_per_block)
+    : region_(region),
+      block_bytes_(block_bytes),
+      touches_per_block_(touches_per_block)
+{
+    capAssert(block_bytes > 0, "block size must be positive");
+    capAssert(touches_per_block > 0, "need at least one touch per block");
+    capAssert(region.blocks(block_bytes) > 0, "stream region too small");
+}
+
+Addr
+Stream::next(Rng &rng)
+{
+    uint64_t offset = rng.below(block_bytes_);
+    Addr addr = region_.base + block_index_ * block_bytes_ + offset;
+    if (++touches_done_ >= touches_per_block_) {
+        touches_done_ = 0;
+        if (++block_index_ >= region_.blocks(block_bytes_))
+            block_index_ = 0;
+    }
+    return addr;
+}
+
+} // namespace cap::trace

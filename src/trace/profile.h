@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Application profiles: the workload substitution layer.
+ *
+ * The paper evaluates on Atom-gathered Alpha traces of SPEC95, three
+ * CMU task-parallel applications (airshed, stereo, radar) and the NAS
+ * appcg kernel.  Those traces are proprietary; CAPsim substitutes
+ * deterministic synthetic generators, one profile per application,
+ * calibrated to reproduce each application's *published* behaviour:
+ *
+ *  - the cache side (Figure 7): which L1 size minimizes TPI, where the
+ *    curve flattens, how much of the reference stream misses beyond
+ *    the on-chip hierarchy;
+ *  - the ILP side (Figure 10): which instruction-queue size minimizes
+ *    TPI, how IPC scales with window size, and (for turb3d and vortex)
+ *    the phase structure Figures 12-13 show.
+ *
+ * See DESIGN.md "Substitutions" for the fidelity argument.
+ */
+
+#ifndef CAPSIM_TRACE_PROFILE_H
+#define CAPSIM_TRACE_PROFILE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/units.h"
+
+namespace cap::trace {
+
+/** Benchmark suite an application belongs to. */
+enum class Suite {
+    SpecInt,
+    SpecFp,
+    Cmu,
+    Nas,
+};
+
+/** Returns a display string for a suite. */
+const char *suiteName(Suite suite);
+
+/** Locality archetype of one component of the reference mix. */
+enum class PatternKind {
+    /** Zipf-skewed resident working set. */
+    ZipfResident,
+    /** Repeated sequential sweep (LRU cliff at the region size). */
+    CyclicSweep,
+    /** No-reuse streaming walk over a huge region. */
+    Stream,
+};
+
+/** One weighted component of an application's reference mix. */
+struct PatternSpec
+{
+    PatternKind kind = PatternKind::ZipfResident;
+    /** Relative weight of this component in the mix. */
+    double weight = 1.0;
+    /** Region size in bytes. */
+    uint64_t region_bytes = 0;
+    /** Zipf exponent (ZipfResident only). */
+    double zipf_s = 1.0;
+    /** Accesses per block before advancing (Stream only). */
+    int touches_per_block = 1;
+};
+
+/** One cache-side phase: a reference mix active for a stretch. */
+struct CachePhase
+{
+    /** Weighted mixture of locality components. */
+    std::vector<PatternSpec> mix;
+    /** Phase length in references. */
+    uint64_t length_refs = 1'000'000;
+};
+
+/** The data-reference (cache-study) side of an application. */
+struct CacheBehavior
+{
+    /** Weighted mixture of locality components (the stable phase). */
+    std::vector<PatternSpec> mix;
+    /** Fraction of references that are stores. */
+    double write_fraction = 0.3;
+    /**
+     * Data-cache references per instruction (loads+stores density);
+     * converts reference counts into instruction counts for TPI.
+     */
+    double refs_per_instr = 0.35;
+    /**
+     * Optional phase schedule.  When non-empty, the generator cycles
+     * through these phases (by reference count) instead of using
+     * `mix`; regions of all phases are laid out disjointly, and each
+     * phase keeps its pattern state across revisits (working sets
+     * persist, as in a real program's loop nests).
+     */
+    std::vector<CachePhase> phases;
+};
+
+/**
+ * Dependency/latency character of one execution phase for the
+ * instruction-queue study.
+ */
+struct IlpPhase
+{
+    /**
+     * Minimum dependency distance (software-pipelined/unrolled codes
+     * place producers far from consumers; a floor above 1 removes the
+     * tight-chain mass that otherwise caps the dataflow limit).
+     */
+    uint32_t min_dep_distance = 1;
+    /**
+     * Mean of the geometric dependency-distance draw *above* the
+     * minimum for the first source operand (small = tight chains).
+     */
+    double mean_dep_distance = 8.0;
+    /** Probability an instruction has a second source operand. */
+    double second_src_prob = 0.5;
+    /** Mean dependency distance of the second source. */
+    double mean_dep_distance2 = 16.0;
+    /** Probability of a long-latency operation. */
+    double long_lat_prob = 0.05;
+    /** Latency of long operations, cycles. */
+    int long_lat_cycles = 8;
+    /** Latency of ordinary operations, cycles. */
+    int short_lat_cycles = 1;
+};
+
+/** One segment of an application's phase schedule. */
+struct PhaseSegment
+{
+    /** Index into IlpBehavior::phases. */
+    int phase = 0;
+    /** Segment length in instructions. */
+    uint64_t length_instrs = 1'000'000;
+};
+
+/** The instruction-stream (IQ-study) side of an application. */
+struct IlpBehavior
+{
+    /** Distinct phase characters this application exhibits. */
+    std::vector<IlpPhase> phases;
+    /**
+     * Phase schedule; segments play in order and the schedule loops.
+     * A single segment means the application is phase-stable.
+     */
+    std::vector<PhaseSegment> schedule;
+};
+
+/** A complete synthetic application. */
+struct AppProfile
+{
+    std::string name;
+    Suite suite = Suite::SpecInt;
+    /** Seed domain for all of this application's generators. */
+    uint64_t seed = 1;
+    CacheBehavior cache;
+    IlpBehavior ilp;
+    /**
+     * True if the application participates in the cache study
+     * (the paper could not instrument go with Atom).
+     */
+    bool in_cache_study = true;
+};
+
+} // namespace cap::trace
+
+#endif // CAPSIM_TRACE_PROFILE_H

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Data-cache reference records and the trace-source interface.
+ *
+ * The paper's cache study consumes address traces of the first 100M
+ * data-cache references of each application (gathered with Atom on
+ * Alpha).  CAPsim's traces carry the same information: an address and
+ * a load/store flag.
+ */
+
+#ifndef CAPSIM_TRACE_RECORD_H
+#define CAPSIM_TRACE_RECORD_H
+
+#include <cstdint>
+
+#include "util/units.h"
+
+namespace cap::trace {
+
+/** Cache-block granularity shared by generators and simulators. */
+constexpr uint64_t kBlockBytes = 32;
+
+/** One data-cache reference. */
+struct TraceRecord
+{
+    /** Byte address of the reference. */
+    Addr addr = 0;
+    /** True for stores, false for loads. */
+    bool is_write = false;
+};
+
+/**
+ * Pull-style source of data-cache references.  Sources are finite or
+ * unbounded; the consumer decides how many records to draw.
+ */
+class TraceSource
+{
+  public:
+    virtual ~TraceSource() = default;
+
+    /**
+     * Produce the next reference.
+     * @retval true A record was produced.
+     * @retval false The trace is exhausted.
+     */
+    virtual bool next(TraceRecord &record) = 0;
+};
+
+} // namespace cap::trace
+
+#endif // CAPSIM_TRACE_RECORD_H

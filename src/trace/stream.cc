@@ -1,0 +1,85 @@
+#include "stream.h"
+
+#include "util/status.h"
+
+namespace cap::trace {
+
+namespace {
+
+constexpr Addr kRegionAlignment = mib(1);
+
+std::unique_ptr<Pattern>
+makePattern(const PatternSpec &spec, Region region, uint64_t shuffle_seed)
+{
+    switch (spec.kind) {
+      case PatternKind::ZipfResident:
+        return std::make_unique<ZipfResident>(region, kBlockBytes,
+                                              spec.zipf_s, shuffle_seed);
+      case PatternKind::CyclicSweep:
+        return std::make_unique<CyclicSweep>(region, kBlockBytes);
+      case PatternKind::Stream:
+        return std::make_unique<Stream>(region, kBlockBytes,
+                                        spec.touches_per_block);
+    }
+    panic("unknown pattern kind");
+}
+
+} // namespace
+
+SyntheticTraceSource::SyntheticTraceSource(const CacheBehavior &behavior,
+                                           uint64_t seed, uint64_t limit)
+    : write_fraction_(behavior.write_fraction),
+      limit_(limit),
+      rng_(seed)
+{
+    Addr next_base = kRegionAlignment;
+    Rng shuffle_rng = rng_.split();
+
+    auto build_phase = [&](const std::vector<PatternSpec> &mix,
+                           uint64_t length_refs) {
+        capAssert(!mix.empty(), "profile has an empty reference mix");
+        Phase phase;
+        phase.length_refs = length_refs;
+        for (const PatternSpec &spec : mix) {
+            capAssert(spec.region_bytes >= kBlockBytes,
+                      "component region smaller than a block");
+            Region region{next_base, spec.region_bytes};
+            next_base += divCeil(spec.region_bytes, kRegionAlignment) *
+                         kRegionAlignment;
+            phase.patterns.push_back(
+                makePattern(spec, region, shuffle_rng.next()));
+            phase.weights.push_back(spec.weight);
+        }
+        phases_.push_back(std::move(phase));
+    };
+
+    if (behavior.phases.empty()) {
+        build_phase(behavior.mix, UINT64_MAX);
+    } else {
+        for (const CachePhase &phase : behavior.phases) {
+            capAssert(phase.length_refs > 0, "zero-length cache phase");
+            build_phase(phase.mix, phase.length_refs);
+        }
+    }
+}
+
+bool
+SyntheticTraceSource::next(TraceRecord &record)
+{
+    if (limit_ != 0 && produced_ >= limit_)
+        return false;
+    // Advance the phase schedule (single-phase profiles never switch).
+    if (phase_left_ == 0)
+        phase_left_ = phases_[phase_].length_refs;
+    Phase &phase = phases_[phase_];
+    size_t which =
+        phase.patterns.size() == 1 ? 0 : rng_.weighted(phase.weights);
+    record.addr = phase.patterns[which]->next(rng_);
+    record.is_write = rng_.chance(write_fraction_);
+    ++produced_;
+    if (--phase_left_ == 0 && phases_.size() > 1)
+        phase_ = (phase_ + 1) % phases_.size();
+    return true;
+}
+
+} // namespace cap::trace

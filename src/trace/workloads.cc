@@ -1,0 +1,357 @@
+#include "workloads.h"
+
+#include "util/rng.h"
+#include "util/status.h"
+#include "util/units.h"
+
+namespace cap::trace {
+
+const char *
+suiteName(Suite suite)
+{
+    switch (suite) {
+      case Suite::SpecInt: return "SPECint95";
+      case Suite::SpecFp:  return "SPECfp95";
+      case Suite::Cmu:     return "CMU";
+      case Suite::Nas:     return "NAS";
+    }
+    return "?";
+}
+
+namespace {
+
+// ---------------------------------------------------------------------
+// Cache-side building blocks.
+// ---------------------------------------------------------------------
+
+PatternSpec
+zipf(uint64_t region_kb, double s, double weight = 1.0)
+{
+    PatternSpec spec;
+    spec.kind = PatternKind::ZipfResident;
+    spec.weight = weight;
+    spec.region_bytes = kib(region_kb);
+    spec.zipf_s = s;
+    return spec;
+}
+
+PatternSpec
+sweep(uint64_t region_kb, double weight)
+{
+    PatternSpec spec;
+    spec.kind = PatternKind::CyclicSweep;
+    spec.weight = weight;
+    spec.region_bytes = kib(region_kb);
+    return spec;
+}
+
+PatternSpec
+stream(uint64_t region_kb, double weight, int touches = 1)
+{
+    PatternSpec spec;
+    spec.kind = PatternKind::Stream;
+    spec.weight = weight;
+    spec.region_bytes = kib(region_kb);
+    spec.touches_per_block = touches;
+    return spec;
+}
+
+// ---------------------------------------------------------------------
+// ILP-side building blocks.
+//
+// A phase is defined by the dependency-distance floor and spread of
+// its two source operands plus its latency mix.  Three levers shape
+// the IPC-vs-window curve (calibrated against Figure 10):
+//  - a distance floor near 1 with a small spread creates tight chains
+//    whose IPC is latency-bound and window-insensitive (appcg, fpppp);
+//  - moderate distances with a modest share of medium-latency ops
+//    saturate around a 64-entry window (most of the suite);
+//  - rare very-long-latency ops with nearby consumers block in-order
+//    entry reclamation, so IPC keeps growing out to 128 entries
+//    (compress; turb3d's 128-favouring phase).
+// ---------------------------------------------------------------------
+
+IlpPhase
+phase(uint32_t dmin, double mu1, double p2, double mu2, double pl,
+      int ll, int sl)
+{
+    IlpPhase p;
+    p.min_dep_distance = dmin;
+    p.mean_dep_distance = mu1;
+    p.second_src_prob = p2;
+    p.mean_dep_distance2 = mu2;
+    p.long_lat_prob = pl;
+    p.long_lat_cycles = ll;
+    p.short_lat_cycles = sl;
+    return p;
+}
+
+/** Saturates around a 64-entry window; `pl`/`ll` set the IPC level. */
+IlpPhase
+phaseMid64(double mu1 = 10.0, double pl = 0.10, int ll = 12)
+{
+    return phase(8, mu1, 0.2, 2.0 * mu1, pl, ll, 1);
+}
+
+/** Window-insensitive, latency-bound serial chains. */
+IlpPhase
+phaseTight(double mu1, int lat, double pl = 0.02, int ll = 10)
+{
+    return phase(1, mu1, 0.4, 2.0 * mu1, pl, ll, lat);
+}
+
+/** High ILP reached with a small window; saturates by ~16 entries. */
+IlpPhase
+phaseEarly(double mu1 = 6.0, double pl = 0.04, int ll = 10)
+{
+    return phase(1, mu1, 0.3, 2.0 * mu1, pl, ll, 1);
+}
+
+/** Keeps scaling out to a 128-entry window (rare very-long stalls). */
+IlpPhase
+phaseDeep(double mu1 = 32.0, double pl = 0.06, int ll = 50)
+{
+    return phase(1, mu1, 0.2, 2.0 * mu1, pl, ll, 1);
+}
+
+/** Phase-stable schedule: one segment, loops forever. */
+IlpBehavior
+stable(IlpPhase one_phase)
+{
+    IlpBehavior b;
+    b.phases = {std::move(one_phase)};
+    b.schedule = {{0, 1'000'000}};
+    return b;
+}
+
+/**
+ * turb3d's schedule (Figure 12): long homogeneous regions, hundreds
+ * of intervals each, alternating between a 64-favouring and a
+ * 128-favouring character.
+ */
+IlpBehavior
+turb3dSchedule()
+{
+    IlpBehavior b;
+    b.phases = {phaseMid64(12.0, 0.08, 24), phaseDeep(60.0, 0.04, 90)};
+    b.schedule = {
+        {0, 600'000},
+        {1, 400'000},
+        {0, 500'000},
+        {1, 450'000},
+    };
+    return b;
+}
+
+/**
+ * vortex's schedule (Figure 13): a regular region alternating between
+ * a 16-favouring and a 64-favouring character every ~15 intervals
+ * (30 K instructions), followed by an irregular region of short
+ * random-length segments in which both configurations average out the
+ * same.  Segment lengths are drawn once, deterministically.
+ */
+IlpBehavior
+vortexSchedule()
+{
+    IlpBehavior b;
+    b.phases = {phaseEarly(6.0, 0.04, 10), phaseDeep(24.0, 0.05, 50)};
+    // Regular part: 20 alternations at 30 K instructions per segment.
+    for (int rep = 0; rep < 20; ++rep) {
+        b.schedule.push_back({0, 30'000});
+        b.schedule.push_back({1, 30'000});
+    }
+    // Irregular part: short segments with pseudo-random lengths.
+    Rng rng(0x7a73c5ULL);
+    for (int seg = 0; seg < 80; ++seg) {
+        uint64_t len = 2'000 + 2'000 * rng.below(6);
+        b.schedule.push_back({seg % 2, len});
+    }
+    return b;
+}
+
+// ---------------------------------------------------------------------
+// The suite.
+// ---------------------------------------------------------------------
+
+AppProfile
+app(std::string name, Suite suite, uint64_t seed, CacheBehavior cache,
+    IlpBehavior ilp, bool in_cache_study = true)
+{
+    AppProfile profile;
+    profile.name = std::move(name);
+    profile.suite = suite;
+    profile.seed = seed;
+    profile.cache = std::move(cache);
+    profile.ilp = std::move(ilp);
+    profile.in_cache_study = in_cache_study;
+    return profile;
+}
+
+CacheBehavior
+cacheMix(std::vector<PatternSpec> mix, double refs_per_instr,
+         double write_fraction = 0.3)
+{
+    CacheBehavior b;
+    b.mix = std::move(mix);
+    b.refs_per_instr = refs_per_instr;
+    b.write_fraction = write_fraction;
+    return b;
+}
+
+std::vector<AppProfile>
+buildSuite()
+{
+    std::vector<AppProfile> suite;
+
+    // Cache mixes: the zipf component's region size sets where the
+    // TPI curve flattens (the application's knee), its exponent sets
+    // how costly under-sizing the L1 is, and the stream component
+    // sets the compulsory-miss floor that no on-chip configuration
+    // absorbs (those misses also miss in the 128 KB L2).
+
+    // ----- SPECint95 ---------------------------------------------------
+    suite.push_back(app("go", Suite::SpecInt, 101,
+        cacheMix({zipf(12, 1.15), stream(2048, 0.004)}, 0.25),
+        stable(phaseMid64(10.0, 0.11, 13)),
+        /*in_cache_study=*/false));
+    suite.push_back(app("m88ksim", Suite::SpecInt, 102,
+        cacheMix({zipf(10, 1.2), stream(2048, 0.002)}, 0.30),
+        stable(phaseMid64(10.0, 0.12, 14))));
+    suite.push_back(app("gcc", Suite::SpecInt, 103,
+        cacheMix({zipf(11, 1.3), stream(2048, 0.004)}, 0.35),
+        stable(phaseMid64(9.0, 0.13, 15))));
+    suite.push_back(app("compress", Suite::SpecInt, 104,
+        cacheMix({zipf(20, 1.1)}, 0.09),
+        stable(phaseDeep(32.0, 0.06, 50))));
+    suite.push_back(app("li", Suite::SpecInt, 105,
+        cacheMix({zipf(8, 1.3), stream(2048, 0.001)}, 0.35),
+        stable(phaseMid64(12.0, 0.10, 13))));
+    suite.push_back(app("ijpeg", Suite::SpecInt, 106,
+        cacheMix({zipf(11, 1.2), stream(1024, 0.006)}, 0.25),
+        stable(phaseEarly(7.0, 0.04, 10))));
+    suite.push_back(app("perl", Suite::SpecInt, 107,
+        cacheMix({zipf(11, 1.25), stream(2048, 0.002)}, 0.40),
+        stable(phaseMid64(10.0, 0.11, 13))));
+    suite.push_back(app("vortex", Suite::SpecInt, 108,
+        cacheMix({zipf(11, 1.3), stream(2048, 0.004)}, 0.40),
+        vortexSchedule()));
+
+    // ----- CMU task-parallel suite -------------------------------------
+    suite.push_back(app("airshed", Suite::Cmu, 201,
+        cacheMix({zipf(8, 1.2, 0.973), zipf(30, 0.0, 0.015),
+                  stream(2048, 0.012)}, 0.35),
+        stable(phaseMid64(10.0, 0.10, 24))));
+    suite.push_back(app("stereo", Suite::Cmu, 202,
+        cacheMix({zipf(8, 1.2, 0.873), zipf(38, 0.0, 0.105),
+                  stream(4096, 0.022)}, 0.45),
+        stable(phaseMid64(10.0, 0.10, 20))));
+    suite.push_back(app("radar", Suite::Cmu, 203,
+        cacheMix({zipf(13, 1.4), stream(2048, 0.006)}, 0.40),
+        stable(phaseEarly(6.0, 0.04, 10))));
+
+    // ----- NAS ----------------------------------------------------------
+    suite.push_back(app("appcg", Suite::Nas, 301,
+        cacheMix({sweep(48, 0.05), zipf(6, 1.2, 0.947),
+                  stream(4096, 0.003)}, 0.45),
+        stable(phaseTight(3.0, 2, 0.03, 12))));
+
+    // ----- SPECfp95 ------------------------------------------------------
+    suite.push_back(app("tomcatv", Suite::SpecFp, 401,
+        cacheMix({zipf(7, 1.1, 0.965), stream(4096, 0.035, 2)}, 0.38),
+        stable(phaseMid64(8.0, 0.14, 24))));
+    suite.push_back(app("swim", Suite::SpecFp, 402,
+        cacheMix({zipf(8, 1.2, 0.961), zipf(30, 0.0, 0.028),
+                  stream(4096, 0.011)}, 0.42),
+        stable(phaseMid64(9.0, 0.15, 24))));
+    suite.push_back(app("su2cor", Suite::SpecFp, 403,
+        cacheMix({zipf(11, 1.3), stream(2048, 0.006)}, 0.40),
+        stable(phaseMid64(10.0, 0.10, 20))));
+    suite.push_back(app("hydro2d", Suite::SpecFp, 404,
+        cacheMix({zipf(10, 1.3), stream(2048, 0.007)}, 0.42),
+        stable(phaseMid64(12.0, 0.08, 24))));
+    suite.push_back(app("mgrid", Suite::SpecFp, 405,
+        cacheMix({zipf(8, 1.1, 0.982), stream(4096, 0.018, 3)}, 0.45),
+        stable(phaseMid64(12.0, 0.08, 24))));
+    suite.push_back(app("applu", Suite::SpecFp, 406,
+        cacheMix({zipf(4, 1.0, 0.975), stream(4096, 0.025)}, 0.40),
+        stable(phaseMid64(10.0, 0.14, 22))));
+    suite.push_back(app("turb3d", Suite::SpecFp, 407,
+        cacheMix({zipf(11, 1.3), stream(2048, 0.005)}, 0.35),
+        turb3dSchedule()));
+    suite.push_back(app("apsi", Suite::SpecFp, 408,
+        cacheMix({zipf(11, 1.3), stream(2048, 0.006)}, 0.38),
+        stable(phaseMid64(10.0, 0.10, 24))));
+    suite.push_back(app("fpppp", Suite::SpecFp, 409,
+        cacheMix({zipf(6, 1.2)}, 0.30),
+        stable(phaseTight(2.2, 2, 0.02, 10))));
+    suite.push_back(app("wave5", Suite::SpecFp, 410,
+        cacheMix({zipf(8, 1.2, 0.96), zipf(24, 0.0, 0.03),
+                  stream(2048, 0.010)}, 0.38),
+        stable(phaseMid64(10.0, 0.10, 24))));
+
+    return suite;
+}
+
+} // namespace
+
+const std::vector<AppProfile> &
+workloadSuite()
+{
+    static const std::vector<AppProfile> suite = buildSuite();
+    return suite;
+}
+
+std::vector<AppProfile>
+cacheStudyApps()
+{
+    std::vector<AppProfile> apps;
+    for (const AppProfile &profile : workloadSuite()) {
+        if (profile.in_cache_study)
+            apps.push_back(profile);
+    }
+    return apps;
+}
+
+std::vector<AppProfile>
+iqStudyApps()
+{
+    return workloadSuite();
+}
+
+AppProfile
+phasedCacheDemo()
+{
+    AppProfile profile;
+    profile.name = "phased-demo";
+    profile.suite = Suite::SpecFp;
+    profile.seed = 777;
+    profile.in_cache_study = false;
+
+    // Phase A: a compact hot set -- the fast clock wins.
+    CachePhase small_phase;
+    small_phase.mix = {zipf(7, 1.2)};
+    small_phase.length_refs = 400'000;
+    // Phase B: a large flat working set -- a big L1 wins.
+    CachePhase large_phase;
+    large_phase.mix = {zipf(6, 1.2, 0.45), zipf(40, 0.0, 0.55)};
+    large_phase.length_refs = 400'000;
+
+    profile.cache.phases = {small_phase, large_phase};
+    profile.cache.mix = small_phase.mix; // unused when phases are set
+    profile.cache.refs_per_instr = 0.40;
+    profile.cache.write_fraction = 0.3;
+    profile.ilp = stable(phaseMid64());
+    return profile;
+}
+
+const AppProfile &
+findApp(const std::string &name)
+{
+    for (const AppProfile &profile : workloadSuite()) {
+        if (profile.name == name)
+            return profile;
+    }
+    fatal("unknown application '%s'", name.c_str());
+}
+
+} // namespace cap::trace

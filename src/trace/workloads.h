@@ -1,0 +1,46 @@
+/**
+ * @file
+ * The 22-application workload suite of the paper:
+ * SPEC95int (go, m88ksim, gcc, compress, li, ijpeg, perl, vortex),
+ * SPEC95fp (tomcatv, swim, su2cor, hydro2d, mgrid, applu, turb3d,
+ * apsi, fpppp, wave5), the CMU task-parallel suite (airshed, stereo,
+ * radar) and NAS appcg.
+ *
+ * Each entry is a synthetic stand-in calibrated to the behaviour the
+ * paper reports for the original application (see profile.h and
+ * DESIGN.md).  go is excluded from the cache study, matching the
+ * paper (it could not be instrumented with Atom).
+ */
+
+#ifndef CAPSIM_TRACE_WORKLOADS_H
+#define CAPSIM_TRACE_WORKLOADS_H
+
+#include <vector>
+
+#include "trace/profile.h"
+
+namespace cap::trace {
+
+/** All 22 applications, in the paper's figure order. */
+const std::vector<AppProfile> &workloadSuite();
+
+/** The 21 applications of the cache study (Figures 7-9). */
+std::vector<AppProfile> cacheStudyApps();
+
+/** The 22 applications of the instruction-queue study (Figures 10-11). */
+std::vector<AppProfile> iqStudyApps();
+
+/** Look up one application by name; fatal() if unknown. */
+const AppProfile &findApp(const std::string &name);
+
+/**
+ * A phased cache demo workload (not part of the paper's suite): long
+ * alternating phases between a small hot working set and a large flat
+ * one, so the best L1/L2 boundary changes during execution.  Used by
+ * the cache-side interval-adaptation extension.
+ */
+AppProfile phasedCacheDemo();
+
+} // namespace cap::trace
+
+#endif // CAPSIM_TRACE_WORKLOADS_H

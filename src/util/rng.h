@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for workload synthesis.
+ *
+ * Every synthetic trace and instruction stream in CAPsim is produced
+ * from an explicitly seeded generator so that experiments are
+ * bit-reproducible across runs and platforms.  We use xoshiro256**,
+ * which has excellent statistical quality at trivial cost and a fully
+ * specified algorithm (unlike std::default_random_engine).
+ */
+
+#ifndef CAPSIM_UTIL_RNG_H
+#define CAPSIM_UTIL_RNG_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace cap {
+
+/**
+ * Deterministic xoshiro256** generator with convenience draws used by
+ * the workload generators.  Distribution mappings are implemented here
+ * (not via <random>) because libstdc++ distribution algorithms are not
+ * specified and may change between releases.
+ */
+class Rng
+{
+  public:
+    /** Seed the generator; equal seeds yield equal sequences forever. */
+    explicit Rng(uint64_t seed);
+
+    /** Next raw 64-bit draw. */
+    uint64_t next();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform integer in [0, bound), bound > 0. */
+    uint64_t below(uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive, lo <= hi. */
+    int64_t range(int64_t lo, int64_t hi);
+
+    /** Bernoulli draw with probability p of returning true. */
+    bool chance(double p);
+
+    /**
+     * Geometric-ish draw: number of failures before the first success
+     * with success probability p in (0, 1]; capped at @p cap to keep
+     * tails bounded for dependency distances.
+     */
+    uint64_t geometric(double p, uint64_t cap);
+
+    /**
+     * Draw an index from a discrete distribution given by non-negative
+     * weights.  The weights need not be normalized.
+     */
+    size_t weighted(const std::vector<double> &weights);
+
+    /**
+     * Zipf-like draw over [0, n): element k has weight 1/(k+1)^s.
+     * Used for hot/cold block popularity inside working-set regions.
+     */
+    uint64_t zipf(uint64_t n, double s);
+
+    /** Derive an independent child generator (for sub-streams). */
+    Rng split();
+
+  private:
+    uint64_t s_[4];
+};
+
+} // namespace cap
+
+#endif // CAPSIM_UTIL_RNG_H

@@ -1,0 +1,115 @@
+#include "stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "status.h"
+
+namespace cap {
+
+void
+RunningStat::add(double x)
+{
+    ++count_;
+    sum_ += x;
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+}
+
+void
+RunningStat::merge(const RunningStat &other)
+{
+    if (other.count_ == 0)
+        return;
+    if (count_ == 0) {
+        *this = other;
+        return;
+    }
+    uint64_t n = count_ + other.count_;
+    double delta = other.mean_ - mean_;
+    double n_d = static_cast<double>(n);
+    m2_ += other.m2_ + delta * delta *
+           static_cast<double>(count_) *
+           static_cast<double>(other.count_) / n_d;
+    mean_ += delta * static_cast<double>(other.count_) / n_d;
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+    count_ = n;
+}
+
+void
+RunningStat::reset()
+{
+    *this = RunningStat();
+}
+
+double
+RunningStat::variance() const
+{
+    if (count_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(count_);
+}
+
+double
+RunningStat::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+Histogram::Histogram(double lo, double hi, size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0)
+{
+    capAssert(hi > lo, "histogram range must be non-empty");
+    capAssert(bins > 0, "histogram needs at least one bin");
+}
+
+void
+Histogram::add(double x)
+{
+    double frac = (x - lo_) / (hi_ - lo_);
+    auto bin = static_cast<int64_t>(frac * static_cast<double>(counts_.size()));
+    bin = std::clamp<int64_t>(bin, 0,
+                              static_cast<int64_t>(counts_.size()) - 1);
+    ++counts_[static_cast<size_t>(bin)];
+    ++total_;
+}
+
+double
+Histogram::binCenter(size_t bin) const
+{
+    double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+    return lo_ + (static_cast<double>(bin) + 0.5) * width;
+}
+
+double
+Histogram::cdfAt(double x) const
+{
+    if (total_ == 0)
+        return 0.0;
+    uint64_t below = 0;
+    for (size_t i = 0; i < counts_.size(); ++i) {
+        if (binCenter(i) <= x)
+            below += counts_[i];
+    }
+    return static_cast<double>(below) / static_cast<double>(total_);
+}
+
+double
+IntervalSeries::meanOver(size_t first, size_t last) const
+{
+    first = std::min(first, values_.size());
+    last = std::min(last, values_.size());
+    if (first >= last)
+        return 0.0;
+    double acc = 0.0;
+    for (size_t i = first; i < last; ++i)
+        acc += values_[i];
+    return acc / static_cast<double>(last - first);
+}
+
+} // namespace cap

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Lightweight statistics accumulators used throughout the simulators.
+ */
+
+#ifndef CAPSIM_UTIL_STATS_H
+#define CAPSIM_UTIL_STATS_H
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace cap {
+
+/**
+ * Streaming scalar accumulator: count, sum, min, max, mean, and
+ * variance via Welford's algorithm (numerically stable for the long
+ * streams the interval monitors produce).
+ */
+class RunningStat
+{
+  public:
+    /** Fold one sample into the accumulator. */
+    void add(double x);
+
+    /** Merge another accumulator into this one. */
+    void merge(const RunningStat &other);
+
+    /** Discard all samples. */
+    void reset();
+
+    uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double mean() const { return count_ ? mean_ : 0.0; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+
+    /** Population variance; zero when fewer than two samples. */
+    double variance() const;
+
+    /** Population standard deviation. */
+    double stddev() const;
+
+  private:
+    uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/**
+ * Fixed-bin histogram over [lo, hi) with out-of-range samples clamped
+ * into the edge bins.  Used for dependency-distance and reuse-distance
+ * characterization in tests and reports.
+ */
+class Histogram
+{
+  public:
+    /**
+     * @param lo Inclusive lower bound of the binned range.
+     * @param hi Exclusive upper bound; must exceed @p lo.
+     * @param bins Number of equal-width bins; must be positive.
+     */
+    Histogram(double lo, double hi, size_t bins);
+
+    /** Record one sample. */
+    void add(double x);
+
+    uint64_t totalCount() const { return total_; }
+    size_t binCount() const { return counts_.size(); }
+    uint64_t binValue(size_t bin) const { return counts_.at(bin); }
+
+    /** Center of a bin, for reporting. */
+    double binCenter(size_t bin) const;
+
+    /** Fraction of samples at or below @p x (empirical CDF). */
+    double cdfAt(double x) const;
+
+  private:
+    double lo_;
+    double hi_;
+    std::vector<uint64_t> counts_;
+    uint64_t total_ = 0;
+};
+
+/**
+ * Time series of per-interval samples (e.g. TPI per 2000-instruction
+ * interval).  Supports the snapshot queries Figures 12-13 need.
+ */
+class IntervalSeries
+{
+  public:
+    void add(double value) { values_.push_back(value); }
+
+    size_t size() const { return values_.size(); }
+    bool empty() const { return values_.empty(); }
+    double at(size_t i) const { return values_.at(i); }
+    const std::vector<double> &values() const { return values_; }
+
+    /** Mean over [first, last) clamped to the series bounds. */
+    double meanOver(size_t first, size_t last) const;
+
+    /** Mean over the entire series. */
+    double mean() const { return meanOver(0, values_.size()); }
+
+  private:
+    std::vector<double> values_;
+};
+
+} // namespace cap
+
+#endif // CAPSIM_UTIL_STATS_H

@@ -1,0 +1,116 @@
+#include "status.h"
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+namespace cap {
+
+namespace {
+
+const char *
+levelTag(StatusLevel level)
+{
+    switch (level) {
+      case StatusLevel::Inform: return "info";
+      case StatusLevel::Warn:   return "warn";
+      case StatusLevel::Fatal:  return "fatal";
+      case StatusLevel::Panic:  return "panic";
+    }
+    return "?";
+}
+
+void
+defaultSink(StatusLevel level, const std::string &message)
+{
+    std::fprintf(stderr, "[%s] %s\n", levelTag(level), message.c_str());
+}
+
+StatusSink activeSink = defaultSink;
+
+std::string
+vformat(const char *fmt, va_list ap)
+{
+    va_list ap_copy;
+    va_copy(ap_copy, ap);
+    int needed = std::vsnprintf(nullptr, 0, fmt, ap_copy);
+    va_end(ap_copy);
+    if (needed < 0)
+        return std::string(fmt);
+    std::string out(static_cast<size_t>(needed), '\0');
+    std::vsnprintf(out.data(), out.size() + 1, fmt, ap);
+    return out;
+}
+
+} // namespace
+
+StatusSink
+setStatusSink(StatusSink sink)
+{
+    StatusSink prev = activeSink;
+    activeSink = sink ? sink : defaultSink;
+    return prev;
+}
+
+void
+inform(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    activeSink(StatusLevel::Inform, vformat(fmt, ap));
+    va_end(ap);
+}
+
+void
+warn(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    activeSink(StatusLevel::Warn, vformat(fmt, ap));
+    va_end(ap);
+}
+
+void
+fatal(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    activeSink(StatusLevel::Fatal, vformat(fmt, ap));
+    va_end(ap);
+    std::exit(1);
+}
+
+void
+panic(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    activeSink(StatusLevel::Panic, vformat(fmt, ap));
+    va_end(ap);
+    std::abort();
+}
+
+void
+assertFailure(const char *cond, const char *file, int line)
+{
+    assertFailure(cond, file, line, "%s", "");
+}
+
+void
+assertFailure(const char *cond, const char *file, int line,
+              const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    std::string detail = vformat(fmt, ap);
+    va_end(ap);
+
+    std::string message = "assertion '" + std::string(cond) + "' failed at " +
+                          file + ":" + std::to_string(line);
+    if (!detail.empty())
+        message += ": " + detail;
+    activeSink(StatusLevel::Panic, message);
+    std::abort();
+}
+
+} // namespace cap

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Error-reporting and status-message helpers in the spirit of gem5's
+ * logging facilities.
+ *
+ * Two classes of failure are distinguished:
+ *  - fatal(): the simulation cannot continue because of a *user* error
+ *    (bad configuration, invalid argument).  Exits with code 1.
+ *  - panic(): an internal invariant was violated (a simulator bug).
+ *    Aborts so a core dump / debugger can inspect the state.
+ *
+ * warn() and inform() report conditions without stopping the run.
+ */
+
+#ifndef CAPSIM_UTIL_STATUS_H
+#define CAPSIM_UTIL_STATUS_H
+
+#include <string>
+
+namespace cap {
+
+/** Severity of a status message. */
+enum class StatusLevel {
+    Inform,
+    Warn,
+    Fatal,
+    Panic,
+};
+
+/**
+ * Installable sink for status messages.  The default sink writes to
+ * stderr; tests install a capturing sink to assert on diagnostics.
+ * Fatal/Panic sinks are invoked before termination.
+ */
+using StatusSink = void (*)(StatusLevel level, const std::string &message);
+
+/** Replace the process-wide status sink.  Returns the previous sink. */
+StatusSink setStatusSink(StatusSink sink);
+
+/** Report a user-facing informational message. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Report a suspicious-but-survivable condition. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/**
+ * Terminate the run due to a user error (bad configuration or input).
+ * Never returns.
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Terminate the run due to an internal invariant violation.
+ * Never returns.
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Implementation hook for capAssert; formats the condition context and
+ * the user detail message, then panics.  Never returns.
+ */
+[[noreturn]] void assertFailure(const char *cond, const char *file, int line,
+                                const char *fmt, ...)
+    __attribute__((format(printf, 4, 5)));
+
+/** capAssert overload without a detail message. */
+[[noreturn]] void assertFailure(const char *cond, const char *file,
+                                int line);
+
+/**
+ * Internal-consistency check.  Unlike assert(), capAssert is always
+ * compiled in: simulator invariants guard experiment validity and must
+ * hold in release builds too.  An optional printf-style detail message
+ * may follow the condition.
+ */
+#define capAssert(cond, ...)                                              \
+    do {                                                                  \
+        if (!(cond)) {                                                    \
+            ::cap::assertFailure(#cond, __FILE__,                         \
+                                 __LINE__ __VA_OPT__(, ) __VA_ARGS__);    \
+        }                                                                 \
+    } while (0)
+
+} // namespace cap
+
+#endif // CAPSIM_UTIL_STATUS_H

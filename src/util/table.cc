@@ -1,0 +1,121 @@
+#include "table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "status.h"
+
+namespace cap {
+
+std::string
+Cell::str() const
+{
+    if (std::holds_alternative<std::string>(value_))
+        return std::get<std::string>(value_);
+    if (std::holds_alternative<int64_t>(value_))
+        return std::to_string(std::get<int64_t>(value_));
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision_,
+                  std::get<double>(value_));
+    return buf;
+}
+
+void
+TableWriter::setHeader(std::vector<std::string> header)
+{
+    capAssert(rows_.empty(), "header must be set before rows");
+    header_ = std::move(header);
+}
+
+void
+TableWriter::addRow(std::vector<Cell> row)
+{
+    capAssert(header_.empty() || row.size() == header_.size(),
+              "row width %zu != header width %zu",
+              row.size(), header_.size());
+    std::vector<std::string> rendered;
+    rendered.reserve(row.size());
+    for (const Cell &cell : row)
+        rendered.push_back(cell.str());
+    rows_.push_back(std::move(rendered));
+}
+
+void
+TableWriter::renderAscii(std::ostream &os) const
+{
+    size_t cols = header_.size();
+    for (const auto &row : rows_)
+        cols = std::max(cols, row.size());
+    std::vector<size_t> widths(cols, 0);
+    for (size_t c = 0; c < header_.size(); ++c)
+        widths[c] = header_[c].size();
+    for (const auto &row : rows_) {
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    auto rule = [&]() {
+        os << '+';
+        for (size_t c = 0; c < cols; ++c)
+            os << std::string(widths[c] + 2, '-') << '+';
+        os << '\n';
+    };
+    auto line = [&](const std::vector<std::string> &cells) {
+        os << '|';
+        for (size_t c = 0; c < cols; ++c) {
+            std::string text = c < cells.size() ? cells[c] : "";
+            os << ' ' << text << std::string(widths[c] - text.size() + 1, ' ')
+               << '|';
+        }
+        os << '\n';
+    };
+
+    os << "== " << title_ << " ==\n";
+    rule();
+    if (!header_.empty()) {
+        line(header_);
+        rule();
+    }
+    for (const auto &row : rows_)
+        line(row);
+    rule();
+}
+
+namespace {
+
+std::string
+csvEscape(const std::string &text)
+{
+    bool needs_quotes = text.find_first_of(",\"\n") != std::string::npos;
+    if (!needs_quotes)
+        return text;
+    std::string out = "\"";
+    for (char ch : text) {
+        if (ch == '"')
+            out += '"';
+        out += ch;
+    }
+    out += '"';
+    return out;
+}
+
+} // namespace
+
+void
+TableWriter::renderCsv(std::ostream &os) const
+{
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (size_t c = 0; c < cells.size(); ++c) {
+            if (c)
+                os << ',';
+            os << csvEscape(cells[c]);
+        }
+        os << '\n';
+    };
+    if (!header_.empty())
+        emit(header_);
+    for (const auto &row : rows_)
+        emit(row);
+}
+
+} // namespace cap

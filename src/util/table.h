@@ -1,0 +1,69 @@
+/**
+ * @file
+ * ASCII / CSV table emission for benchmark reports.
+ *
+ * Every bench binary regenerating a paper figure prints its series
+ * through TableWriter so the output is uniform: a titled ASCII table
+ * for eyeballing plus machine-parsable CSV (for re-plotting).
+ */
+
+#ifndef CAPSIM_UTIL_TABLE_H
+#define CAPSIM_UTIL_TABLE_H
+
+#include <ostream>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace cap {
+
+/** A single table cell: text, integer, or fixed-precision double. */
+class Cell
+{
+  public:
+    Cell(std::string text) : value_(std::move(text)) {}
+    Cell(const char *text) : value_(std::string(text)) {}
+    Cell(int64_t n) : value_(n) {}
+    Cell(uint64_t n) : value_(static_cast<int64_t>(n)) {}
+    Cell(int n) : value_(static_cast<int64_t>(n)) {}
+    Cell(double x, int precision = 4) : value_(x), precision_(precision) {}
+
+    /** Render the cell for display. */
+    std::string str() const;
+
+  private:
+    std::variant<std::string, int64_t, double> value_;
+    int precision_ = 4;
+};
+
+/**
+ * Accumulates rows and renders them as an aligned ASCII table or CSV.
+ */
+class TableWriter
+{
+  public:
+    explicit TableWriter(std::string title) : title_(std::move(title)) {}
+
+    /** Define the column headers; call once before adding rows. */
+    void setHeader(std::vector<std::string> header);
+
+    /** Append a data row; must match the header width. */
+    void addRow(std::vector<Cell> row);
+
+    size_t rowCount() const { return rows_.size(); }
+
+    /** Render as an aligned, boxed ASCII table. */
+    void renderAscii(std::ostream &os) const;
+
+    /** Render as CSV (header + rows, comma-separated, quoted text). */
+    void renderCsv(std::ostream &os) const;
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace cap
+
+#endif // CAPSIM_UTIL_TABLE_H

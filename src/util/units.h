@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Unit helpers and strong typedefs shared across CAPsim.
+ *
+ * All physical delays in the timing models are carried in
+ * *nanoseconds* as doubles; all sizes in bytes as uint64_t.  The
+ * helpers below keep call sites self-documenting.
+ */
+
+#ifndef CAPSIM_UTIL_UNITS_H
+#define CAPSIM_UTIL_UNITS_H
+
+#include <cstdint>
+
+namespace cap {
+
+/** Nanoseconds (the unit of every delay in the timing models). */
+using Nanoseconds = double;
+
+/** Simulated machine cycles. */
+using Cycles = uint64_t;
+
+/** Byte-address in the synthetic 64-bit address space. */
+using Addr = uint64_t;
+
+constexpr uint64_t
+kib(uint64_t n)
+{
+    return n * 1024;
+}
+
+constexpr uint64_t
+mib(uint64_t n)
+{
+    return n * 1024 * 1024;
+}
+
+/** True iff @p x is a power of two (and non-zero). */
+constexpr bool
+isPowerOfTwo(uint64_t x)
+{
+    return x != 0 && (x & (x - 1)) == 0;
+}
+
+/** Floor of log2; @p x must be non-zero. */
+constexpr unsigned
+floorLog2(uint64_t x)
+{
+    unsigned result = 0;
+    while (x >>= 1)
+        ++result;
+    return result;
+}
+
+/** Integer ceiling division. */
+constexpr uint64_t
+divCeil(uint64_t a, uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+} // namespace cap
+
+#endif // CAPSIM_UTIL_UNITS_H

@@ -1,0 +1,343 @@
+/**
+ * @file
+ * Tests for the exclusive two-level movable-boundary cache simulator.
+ */
+
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cache/exclusive_hierarchy.h"
+#include "cache/geometry.h"
+#include "trace/record.h"
+#include "util/rng.h"
+
+namespace cap::cache {
+namespace {
+
+using trace::TraceRecord;
+
+HierarchyGeometry
+paperGeometry()
+{
+    return HierarchyGeometry{};
+}
+
+TraceRecord
+read(Addr addr)
+{
+    return TraceRecord{addr, false};
+}
+
+TraceRecord
+write(Addr addr)
+{
+    return TraceRecord{addr, true};
+}
+
+// ---------------------------------------------------------------------
+// Geometry
+// ---------------------------------------------------------------------
+
+TEST(GeometryTest, PaperDefaults)
+{
+    HierarchyGeometry geo = paperGeometry();
+    EXPECT_EQ(geo.totalBytes(), kib(128));
+    EXPECT_EQ(geo.sets(), 128u);
+    EXPECT_EQ(geo.totalWays(), 32);
+    EXPECT_EQ(geo.l1Ways(2), 4);
+    EXPECT_EQ(geo.l1Bytes(2), kib(16));
+}
+
+TEST(GeometryTest, MappingIsBoundaryIndependent)
+{
+    // The set index and tag of an address never depend on the
+    // boundary -- the property that makes reconfiguration free.
+    HierarchyGeometry geo = paperGeometry();
+    Addr addr = 0xdeadbeef;
+    uint64_t index = geo.setIndex(addr);
+    uint64_t tag = geo.tag(addr);
+    EXPECT_LT(index, geo.sets());
+    // Same block -> same mapping; adjacent block -> adjacent set.
+    EXPECT_EQ(geo.setIndex(addr + 1), index);
+    EXPECT_EQ(geo.tag(addr + 1), tag);
+    EXPECT_EQ(geo.setIndex(addr + geo.block_bytes),
+              (index + 1) % geo.sets());
+}
+
+TEST(GeometryTest, IncrementOfWay)
+{
+    HierarchyGeometry geo = paperGeometry();
+    EXPECT_EQ(geo.incrementOfWay(0), 0);
+    EXPECT_EQ(geo.incrementOfWay(1), 0);
+    EXPECT_EQ(geo.incrementOfWay(2), 1);
+    EXPECT_EQ(geo.incrementOfWay(31), 15);
+}
+
+TEST(GeometryDeathTest, ValidateRejectsBadGeometry)
+{
+    HierarchyGeometry geo = paperGeometry();
+    geo.block_bytes = 33;
+    EXPECT_DEATH(geo.validate(), "power of two");
+    geo = paperGeometry();
+    geo.increments = 1;
+    EXPECT_DEATH(geo.validate(), "two increments");
+}
+
+// ---------------------------------------------------------------------
+// Basic hit/miss behaviour
+// ---------------------------------------------------------------------
+
+TEST(ExclusiveHierarchyTest, ColdMissThenHit)
+{
+    ExclusiveHierarchy cache(paperGeometry(), 2);
+    EXPECT_EQ(cache.access(read(0x1000)), AccessOutcome::Miss);
+    EXPECT_EQ(cache.access(read(0x1000)), AccessOutcome::L1Hit);
+    EXPECT_EQ(cache.access(read(0x1008)), AccessOutcome::L1Hit);
+    EXPECT_EQ(cache.stats().refs, 3u);
+    EXPECT_EQ(cache.stats().l1_hits, 2u);
+    EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(ExclusiveHierarchyTest, EvictionToL2ThenPromotion)
+{
+    HierarchyGeometry geo = paperGeometry();
+    ExclusiveHierarchy cache(geo, 1); // L1 = 2 ways per set
+    // Three blocks mapping to the same set: the third fill demotes the
+    // LRU block to L2.
+    Addr stride = geo.sets() * geo.block_bytes;
+    Addr a = 0, b = stride, c = 2 * stride;
+    cache.access(read(a));
+    cache.access(read(b));
+    cache.access(read(c)); // demotes a
+    int level = 0;
+    ASSERT_TRUE(cache.probe(a, level));
+    EXPECT_EQ(level, 2);
+    ASSERT_TRUE(cache.probe(c, level));
+    EXPECT_EQ(level, 1);
+    // Touch a: L2 hit, promoted back to L1 (swapping with LRU = b).
+    EXPECT_EQ(cache.access(read(a)), AccessOutcome::L2Hit);
+    ASSERT_TRUE(cache.probe(a, level));
+    EXPECT_EQ(level, 1);
+    ASSERT_TRUE(cache.probe(b, level));
+    EXPECT_EQ(level, 2);
+    EXPECT_EQ(cache.stats().swaps, 1u);
+}
+
+TEST(ExclusiveHierarchyTest, LruVictimSelection)
+{
+    HierarchyGeometry geo = paperGeometry();
+    ExclusiveHierarchy cache(geo, 1); // 2 L1 ways
+    Addr stride = geo.sets() * geo.block_bytes;
+    cache.access(read(0));          // A
+    cache.access(read(stride));     // B
+    cache.access(read(0));          // A again: B is now LRU
+    cache.access(read(2 * stride)); // C demotes B, not A
+    int level = 0;
+    ASSERT_TRUE(cache.probe(0, level));
+    EXPECT_EQ(level, 1);
+    ASSERT_TRUE(cache.probe(stride, level));
+    EXPECT_EQ(level, 2);
+}
+
+TEST(ExclusiveHierarchyTest, WritebackOnDirtyL2Eviction)
+{
+    HierarchyGeometry geo = paperGeometry();
+    geo.increments = 2; // tiny: 2 L1 ways + 2 L2 ways per set
+    ExclusiveHierarchy cache(geo, 1);
+    Addr stride = geo.sets() * geo.block_bytes;
+    // Fill L1 (2 ways) and L2 (2 ways) with dirty blocks, then one
+    // more fill forces a dirty L2 eviction.
+    for (int i = 0; i < 4; ++i)
+        cache.access(write(static_cast<Addr>(i) * stride));
+    EXPECT_EQ(cache.stats().writebacks, 0u);
+    cache.access(write(4 * stride));
+    EXPECT_EQ(cache.stats().writebacks, 1u);
+}
+
+TEST(ExclusiveHierarchyTest, StatsAccountingIdentity)
+{
+    ExclusiveHierarchy cache(paperGeometry(), 3);
+    Rng rng(44);
+    for (int i = 0; i < 20000; ++i)
+        cache.access(read(rng.below(kib(256))));
+    const CacheStats &stats = cache.stats();
+    EXPECT_EQ(stats.refs, stats.l1_hits + stats.l2_hits + stats.misses);
+    EXPECT_GT(stats.l1_hits, 0u);
+    EXPECT_GT(stats.misses, 0u);
+}
+
+TEST(ExclusiveHierarchyTest, CapacityNeverExceeded)
+{
+    HierarchyGeometry geo = paperGeometry();
+    ExclusiveHierarchy cache(geo, 4);
+    Rng rng(45);
+    for (int i = 0; i < 50000; ++i)
+        cache.access(read(rng.below(mib(4))));
+    EXPECT_LE(cache.residentBlocks(),
+              geo.totalBytes() / geo.block_bytes);
+}
+
+TEST(ExclusiveHierarchyTest, WholePoolActsAsOneCapacity)
+{
+    // With exclusion, total capacity is 128 KB regardless of the
+    // boundary: a working set of 100 KB fits entirely.
+    HierarchyGeometry geo = paperGeometry();
+    for (int boundary : {1, 4, 8}) {
+        ExclusiveHierarchy cache(geo, boundary);
+        uint64_t blocks = kib(100) / geo.block_bytes;
+        for (uint64_t pass = 0; pass < 3; ++pass) {
+            for (uint64_t b = 0; b < blocks; ++b)
+                cache.access(read(b * geo.block_bytes));
+        }
+        // After the first pass everything is resident: passes 2 and 3
+        // never miss.
+        EXPECT_EQ(cache.stats().misses, blocks) << boundary;
+    }
+}
+
+TEST(ExclusiveHierarchyTest, FlushEmptiesEverything)
+{
+    ExclusiveHierarchy cache(paperGeometry(), 2);
+    for (Addr a = 0; a < kib(64); a += 32)
+        cache.access(read(a));
+    EXPECT_GT(cache.residentBlocks(), 0u);
+    cache.flush();
+    EXPECT_EQ(cache.residentBlocks(), 0u);
+    EXPECT_EQ(cache.stats().refs, 0u);
+    EXPECT_EQ(cache.access(read(0)), AccessOutcome::Miss);
+}
+
+// ---------------------------------------------------------------------
+// Reconfiguration (the CAP property)
+// ---------------------------------------------------------------------
+
+TEST(ExclusiveHierarchyTest, BoundaryMoveRequiresNoDataMotion)
+{
+    HierarchyGeometry geo = paperGeometry();
+    ExclusiveHierarchy cache(geo, 2);
+    Rng rng(46);
+    std::vector<Addr> addrs;
+    for (int i = 0; i < 5000; ++i) {
+        Addr a = rng.below(kib(96));
+        addrs.push_back(a);
+        cache.access(read(a));
+    }
+    uint64_t resident_before = cache.residentBlocks();
+    std::vector<std::pair<Addr, bool>> before;
+    for (Addr a : addrs) {
+        int level = 0;
+        before.emplace_back(a, cache.probe(a, level));
+    }
+
+    cache.setBoundary(6);
+
+    // Every block that was resident is still resident (no
+    // invalidation), and the total population is unchanged.
+    EXPECT_EQ(cache.residentBlocks(), resident_before);
+    for (auto &[addr, was_resident] : before) {
+        int level = 0;
+        EXPECT_EQ(cache.probe(addr, level), was_resident);
+    }
+    EXPECT_TRUE(cache.auditExclusion());
+}
+
+TEST(ExclusiveHierarchyTest, GrowingBoundaryPromotesInPlace)
+{
+    HierarchyGeometry geo = paperGeometry();
+    ExclusiveHierarchy cache(geo, 1);
+    Addr stride = geo.sets() * geo.block_bytes;
+    cache.access(read(0));
+    cache.access(read(stride));
+    cache.access(read(2 * stride)); // demotes block 0 to L2
+    int level = 0;
+    ASSERT_TRUE(cache.probe(0, level));
+    ASSERT_EQ(level, 2);
+    // Widen L1 to cover the increment that holds the demoted block:
+    // it becomes an L1 block with no data movement.
+    cache.setBoundary(8);
+    ASSERT_TRUE(cache.probe(0, level));
+    EXPECT_EQ(level, 1);
+}
+
+TEST(ExclusiveHierarchyDeathTest, RejectsBadBoundaries)
+{
+    ExclusiveHierarchy cache(paperGeometry(), 2);
+    EXPECT_DEATH(cache.setBoundary(0), "out of range");
+    EXPECT_DEATH(cache.setBoundary(16), "out of range");
+}
+
+// ---------------------------------------------------------------------
+// Exclusion property sweep
+// ---------------------------------------------------------------------
+
+class ExclusionPropertyTest : public testing::TestWithParam<int>
+{
+};
+
+TEST_P(ExclusionPropertyTest, ExclusionHoldsUnderRandomTraffic)
+{
+    HierarchyGeometry geo = paperGeometry();
+    ExclusiveHierarchy cache(geo, GetParam());
+    Rng rng(1000 + static_cast<uint64_t>(GetParam()));
+    for (int i = 0; i < 30000; ++i) {
+        Addr a = rng.below(kib(512));
+        cache.access(rng.chance(0.3) ? write(a) : read(a));
+    }
+    EXPECT_TRUE(cache.auditExclusion());
+    const CacheStats &stats = cache.stats();
+    EXPECT_EQ(stats.refs, stats.l1_hits + stats.l2_hits + stats.misses);
+}
+
+TEST_P(ExclusionPropertyTest, ExclusionHoldsAcrossBoundaryMoves)
+{
+    HierarchyGeometry geo = paperGeometry();
+    int start = GetParam();
+    ExclusiveHierarchy cache(geo, start);
+    Rng rng(2000 + static_cast<uint64_t>(start));
+    for (int phase = 0; phase < 6; ++phase) {
+        for (int i = 0; i < 5000; ++i)
+            cache.access(read(rng.below(kib(256))));
+        cache.setBoundary(1 + static_cast<int>(rng.below(15)));
+        ASSERT_TRUE(cache.auditExclusion());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Boundaries, ExclusionPropertyTest,
+                         testing::Values(1, 2, 4, 7, 8, 12, 15));
+
+// ---------------------------------------------------------------------
+// CacheStats arithmetic
+// ---------------------------------------------------------------------
+
+TEST(CacheStatsTest, AddAndSubtract)
+{
+    CacheStats a;
+    a.refs = 100;
+    a.l1_hits = 80;
+    a.l2_hits = 15;
+    a.misses = 5;
+    CacheStats b = a;
+    a += b;
+    EXPECT_EQ(a.refs, 200u);
+    EXPECT_EQ(a.l1_hits, 160u);
+    CacheStats diff = a - b;
+    EXPECT_EQ(diff.refs, 100u);
+    EXPECT_EQ(diff.misses, 5u);
+}
+
+TEST(CacheStatsTest, Ratios)
+{
+    CacheStats stats;
+    EXPECT_DOUBLE_EQ(stats.l1MissRatio(), 0.0);
+    stats.refs = 100;
+    stats.l1_hits = 90;
+    stats.l2_hits = 6;
+    stats.misses = 4;
+    EXPECT_DOUBLE_EQ(stats.l1MissRatio(), 0.10);
+    EXPECT_DOUBLE_EQ(stats.globalMissRatio(), 0.04);
+}
+
+} // namespace
+} // namespace cap::cache

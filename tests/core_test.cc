@@ -1,0 +1,518 @@
+/**
+ * @file
+ * Tests for the core CAP layer: adaptive cache and queue models,
+ * selection policies, configuration manager, interval controller,
+ * power model and the latency-adaptive variant.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "core/adaptive_cache.h"
+#include "core/adaptive_iq.h"
+#include "core/config_manager.h"
+#include "core/experiment.h"
+#include "core/interval_controller.h"
+#include "core/latency_adaptive.h"
+#include "core/machine.h"
+#include "core/power_model.h"
+#include "core/structures.h"
+#include "trace/workloads.h"
+
+namespace cap::core {
+namespace {
+
+// ---------------------------------------------------------------------
+// AdaptiveCacheModel timing
+// ---------------------------------------------------------------------
+
+TEST(AdaptiveCacheModelTest, CycleTimeMonotoneInBoundary)
+{
+    AdaptiveCacheModel model;
+    double prev = 0.0;
+    for (const CacheBoundaryTiming &t : model.allBoundaryTimings()) {
+        EXPECT_GT(t.cycle_ns, prev);
+        prev = t.cycle_ns;
+    }
+}
+
+TEST(AdaptiveCacheModelTest, MappingRuleSizesAndAssociativity)
+{
+    AdaptiveCacheModel model;
+    CacheBoundaryTiming t2 = model.boundaryTiming(2);
+    EXPECT_EQ(t2.l1_bytes, kib(16));
+    EXPECT_EQ(t2.l1_assoc, 4);
+    CacheBoundaryTiming t8 = model.boundaryTiming(8);
+    EXPECT_EQ(t8.l1_bytes, kib(64));
+    EXPECT_EQ(t8.l1_assoc, 16);
+}
+
+TEST(AdaptiveCacheModelTest, CalibratedCycleRange)
+{
+    // The paper's machine: ~0.6 ns base cycle at an 8 KB L1, growing
+    // toward ~1 ns at 64 KB (three-cycle pipelined L1 access).
+    AdaptiveCacheModel model;
+    EXPECT_NEAR(model.boundaryTiming(1).cycle_ns, 0.62, 0.06);
+    EXPECT_GT(model.boundaryTiming(8).cycle_ns,
+              model.boundaryTiming(1).cycle_ns * 1.3);
+}
+
+TEST(AdaptiveCacheModelTest, MissLatencyRelationsHold)
+{
+    AdaptiveCacheModel model;
+    for (const CacheBoundaryTiming &t : model.allBoundaryTimings()) {
+        // L2 miss (30 ns) is 2-3x the L2 hit latency (paper 5.1).
+        double l2_hit_ns = static_cast<double>(t.l2_hit_cycles) * t.cycle_ns;
+        EXPECT_GT(CacheMachine::kL2MissNs / l2_hit_ns, 1.8);
+        EXPECT_LT(CacheMachine::kL2MissNs / l2_hit_ns, 3.5);
+        // Cycle counts round the physical latency up.
+        EXPECT_GE(static_cast<double>(t.miss_cycles) * t.cycle_ns,
+                  CacheMachine::kL2MissNs - 1e-9);
+    }
+}
+
+TEST(AdaptiveCacheModelTest, BusDelayMonotone)
+{
+    AdaptiveCacheModel model;
+    double prev = 0.0;
+    for (int n = 1; n <= 16; ++n) {
+        double d = model.busDelayNs(n);
+        EXPECT_GT(d, prev);
+        prev = d;
+    }
+}
+
+TEST(AdaptiveCacheModelTest, PerfAccountingIdentity)
+{
+    AdaptiveCacheModel model;
+    cache::CacheStats stats;
+    stats.refs = 1000;
+    stats.l1_hits = 900;
+    stats.l2_hits = 60;
+    stats.misses = 40;
+    CacheBoundaryTiming t = model.boundaryTiming(2);
+    CachePerf perf = model.perfFromStats(stats, t, 0.4);
+
+    EXPECT_EQ(perf.instructions, 2500u);
+    double instrs = 2500.0;
+    double expected_stall =
+        60.0 * static_cast<double>(t.l2_hit_cycles) +
+        40.0 * static_cast<double>(t.miss_cycles);
+    double expected_tpi =
+        t.cycle_ns * (instrs / CacheMachine::kBaseIpc + expected_stall) /
+        instrs;
+    EXPECT_NEAR(perf.tpi_ns, expected_tpi, 1e-12);
+    EXPECT_NEAR(perf.tpi_miss_ns, t.cycle_ns * expected_stall / instrs,
+                1e-12);
+    // TPI decomposes into base + miss components exactly.
+    EXPECT_NEAR(perf.tpi_ns - perf.tpi_miss_ns,
+                t.cycle_ns / CacheMachine::kBaseIpc, 1e-12);
+}
+
+TEST(AdaptiveCacheModelTest, EvaluateIsDeterministic)
+{
+    AdaptiveCacheModel model;
+    const trace::AppProfile &app = trace::findApp("li");
+    CachePerf a = model.evaluate(app, 2, 30000);
+    CachePerf b = model.evaluate(app, 2, 30000);
+    EXPECT_DOUBLE_EQ(a.tpi_ns, b.tpi_ns);
+    EXPECT_DOUBLE_EQ(a.l1_miss_ratio, b.l1_miss_ratio);
+}
+
+TEST(AdaptiveCacheModelTest, SweepCoversRequestedBoundaries)
+{
+    AdaptiveCacheModel model;
+    auto sweep = model.sweep(trace::findApp("li"), 4, 20000);
+    ASSERT_EQ(sweep.size(), 4u);
+    for (int k = 0; k < 4; ++k)
+        EXPECT_EQ(sweep[k].l1_increments, k + 1);
+}
+
+// ---------------------------------------------------------------------
+// AdaptiveIqModel
+// ---------------------------------------------------------------------
+
+TEST(AdaptiveIqModelTest, StudySizes)
+{
+    auto sizes = AdaptiveIqModel::studySizes();
+    ASSERT_EQ(sizes.size(), 8u);
+    EXPECT_EQ(sizes.front(), 16);
+    EXPECT_EQ(sizes.back(), 128);
+}
+
+TEST(AdaptiveIqModelTest, CycleMatchesIssueLogic)
+{
+    AdaptiveIqModel model;
+    timing::IssueLogicModel logic(timing::Technology::um180());
+    for (int entries : AdaptiveIqModel::studySizes())
+        EXPECT_DOUBLE_EQ(model.cycleNs(entries), logic.cycleTime(entries));
+}
+
+TEST(AdaptiveIqModelTest, EvaluateProducesConsistentTpi)
+{
+    AdaptiveIqModel model;
+    IqPerf perf = model.evaluate(trace::findApp("li"), 64, 50000);
+    EXPECT_EQ(perf.entries, 64);
+    EXPECT_EQ(perf.instructions, 50000u);
+    EXPECT_GT(perf.ipc, 0.0);
+    EXPECT_NEAR(perf.tpi_ns, model.cycleNs(64) / perf.ipc, 1e-12);
+}
+
+TEST(AdaptiveIqModelTest, IntervalSeriesShape)
+{
+    AdaptiveIqModel model;
+    IntervalSeries series =
+        model.intervalSeries(trace::findApp("li"), 32, 50000, 2000);
+    EXPECT_EQ(series.size(), 25u);
+    for (size_t i = 0; i < series.size(); ++i)
+        EXPECT_GT(series.at(i), 0.0);
+    // The series mean must agree with a whole-run evaluation.
+    IqPerf perf = model.evaluate(trace::findApp("li"), 32, 50000);
+    EXPECT_NEAR(series.mean(), perf.tpi_ns, perf.tpi_ns * 0.05);
+}
+
+// ---------------------------------------------------------------------
+// Selection policies
+// ---------------------------------------------------------------------
+
+TEST(SelectionTest, ConventionalAndAdaptiveChoices)
+{
+    // Three apps, three configs.  Config 1 is best on average, but
+    // app 2 strongly prefers config 2.
+    std::vector<std::vector<double>> tpi = {
+        {1.0, 0.8, 1.2},
+        {0.9, 0.7, 1.1},
+        {1.5, 1.4, 0.6},
+    };
+    SelectionResult sel = selectConfigurations(tpi);
+    EXPECT_EQ(sel.best_conventional, 1u);
+    EXPECT_NEAR(sel.conventional_mean_tpi, (0.8 + 0.7 + 1.4) / 3.0, 1e-12);
+    ASSERT_EQ(sel.per_app_best.size(), 3u);
+    EXPECT_EQ(sel.per_app_best[0], 1u);
+    EXPECT_EQ(sel.per_app_best[1], 1u);
+    EXPECT_EQ(sel.per_app_best[2], 2u);
+    EXPECT_NEAR(sel.adaptive_mean_tpi, (0.8 + 0.7 + 0.6) / 3.0, 1e-12);
+    EXPECT_GT(sel.meanReduction(), 0.0);
+}
+
+TEST(SelectionTest, AdaptiveNeverWorseThanConventional)
+{
+    // Per-app argmin is <= the fixed choice by construction; verify on
+    // a pseudo-random matrix.
+    Rng rng(99);
+    std::vector<std::vector<double>> tpi(10, std::vector<double>(6));
+    for (auto &row : tpi) {
+        for (double &x : row)
+            x = 0.2 + rng.uniform();
+    }
+    SelectionResult sel = selectConfigurations(tpi);
+    EXPECT_LE(sel.adaptive_mean_tpi, sel.conventional_mean_tpi + 1e-12);
+    for (size_t a = 0; a < tpi.size(); ++a)
+        EXPECT_LE(tpi[a][sel.per_app_best[a]],
+                  tpi[a][sel.best_conventional] + 1e-12);
+}
+
+TEST(SelectionDeathTest, RejectsRaggedMatrix)
+{
+    std::vector<std::vector<double>> ragged = {{1.0, 2.0}, {1.0}};
+    EXPECT_DEATH(selectConfigurations(ragged), "ragged");
+}
+
+// ---------------------------------------------------------------------
+// ConfigurationManager
+// ---------------------------------------------------------------------
+
+TEST(ConfigurationManagerTest, WorstCaseJointClock)
+{
+    auto cache_model = std::make_shared<AdaptiveCacheModel>();
+    auto iq_model = std::make_shared<AdaptiveIqModel>();
+    ConfigurationManager manager;
+    size_t cache_handle = manager.addStructure(
+        std::make_shared<CacheStructure>(cache_model));
+    size_t iq_handle =
+        manager.addStructure(std::make_shared<IqStructure>(iq_model));
+    ASSERT_EQ(manager.structureCount(), 2u);
+
+    // The cache requirement (~0.6+ ns) dominates every IQ requirement
+    // (~0.36-0.65 ns) for small boundaries, so the joint clock equals
+    // the max of the two.
+    for (int cache_cfg : {0, 3, 7}) {
+        for (int iq_cfg : {0, 3, 7}) {
+            double cache_req = manager.structure(cache_handle)
+                                   .cycleRequirement(cache_cfg);
+            double iq_req =
+                manager.structure(iq_handle).cycleRequirement(iq_cfg);
+            EXPECT_DOUBLE_EQ(manager.cycleFor({cache_cfg, iq_cfg}),
+                             std::max(cache_req, iq_req));
+        }
+    }
+}
+
+TEST(ConfigurationManagerTest, SwitchOverheadComposition)
+{
+    auto iq_model = std::make_shared<AdaptiveIqModel>();
+    ConfigurationManager manager;
+    manager.addStructure(std::make_shared<IqStructure>(iq_model));
+
+    // No change: free.
+    EXPECT_EQ(manager.switchOverhead({3}, {3}), 0u);
+    // Shrink 128 -> 16: cleanup (drain estimate) + clock pause.
+    Cycles shrink = manager.switchOverhead({7}, {0});
+    EXPECT_GT(shrink, manager.clockTable().switchPenaltyCycles());
+    // Grow 16 -> 128: only the clock pause.
+    EXPECT_EQ(manager.switchOverhead({0}, {7}),
+              manager.clockTable().switchPenaltyCycles());
+}
+
+TEST(ConfigurationManagerDeathTest, RejectsBadJointConfigs)
+{
+    auto iq_model = std::make_shared<AdaptiveIqModel>();
+    ConfigurationManager manager;
+    manager.addStructure(std::make_shared<IqStructure>(iq_model));
+    EXPECT_DEATH(manager.cycleFor({99}), "out of range");
+    EXPECT_DEATH(manager.cycleFor({0, 0}), "width");
+}
+
+TEST(StructuresTest, AdapterMetadata)
+{
+    auto cache_model = std::make_shared<AdaptiveCacheModel>();
+    CacheStructure cache_structure(cache_model);
+    EXPECT_EQ(cache_structure.configCount(), 15);
+    EXPECT_EQ(cache_structure.name(), "dcache-hierarchy");
+    EXPECT_EQ(cache_structure.configName(1), "L1=16KB/4way");
+    EXPECT_EQ(cache_structure.reconfigureCleanupCycles(7, 0), 0u);
+
+    auto iq_model = std::make_shared<AdaptiveIqModel>();
+    IqStructure iq_structure(iq_model);
+    EXPECT_EQ(iq_structure.configCount(), 8);
+    EXPECT_EQ(IqStructure::entriesOf(0), 16);
+    EXPECT_EQ(IqStructure::entriesOf(7), 128);
+    EXPECT_EQ(iq_structure.configName(7), "128-entry");
+    // Shrinking 128 -> 64 drains 64 entries at 8 per cycle.
+    EXPECT_EQ(iq_structure.reconfigureCleanupCycles(7, 3), 8u);
+    EXPECT_EQ(iq_structure.reconfigureCleanupCycles(3, 7), 0u);
+}
+
+// ---------------------------------------------------------------------
+// PowerModel
+// ---------------------------------------------------------------------
+
+TEST(PowerModelTest, NormalizationPoint)
+{
+    PowerModel power(0.2);
+    PowerEstimate full = power.estimate(16, 16, 0.6, 0.6);
+    EXPECT_NEAR(full.total(), 1.0, 1e-12);
+    EXPECT_NEAR(full.dynamic, 0.8, 1e-12);
+    EXPECT_NEAR(full.leakage, 0.2, 1e-12);
+}
+
+TEST(PowerModelTest, MonotoneInEnabledFractionAndFrequency)
+{
+    PowerModel power;
+    PowerEstimate half = power.estimate(8, 16, 0.6, 0.6);
+    PowerEstimate full = power.estimate(16, 16, 0.6, 0.6);
+    EXPECT_LT(half.total(), full.total());
+    PowerEstimate slow = power.estimate(16, 16, 1.2, 0.6);
+    EXPECT_LT(slow.total(), full.total());
+    // Slowing the clock does not reduce leakage.
+    EXPECT_DOUBLE_EQ(slow.leakage, full.leakage);
+}
+
+TEST(PowerModelTest, EnergyPerInstruction)
+{
+    PowerModel power;
+    PowerEstimate pe = power.estimate(16, 16, 0.6, 0.6);
+    EXPECT_NEAR(power.energyPerInstruction(pe, 0.5), 0.5, 1e-12);
+}
+
+TEST(PowerModelDeathTest, RejectsBadArguments)
+{
+    PowerModel power;
+    EXPECT_DEATH(power.estimate(17, 16, 0.6, 0.6), "out of range");
+    EXPECT_DEATH(power.estimate(8, 16, 0.5, 0.6), "cannot beat");
+}
+
+// ---------------------------------------------------------------------
+// LatencyAdaptiveCache (Section 3.1 extension)
+// ---------------------------------------------------------------------
+
+TEST(LatencyAdaptiveTest, ClockStaysFixedLatencyGrows)
+{
+    AdaptiveCacheModel model;
+    LatencyAdaptiveCache latency_mode(model);
+    double fast_cycle = model.boundaryTiming(1).cycle_ns;
+    int prev_latency = 0;
+    for (int k = 1; k <= 8; ++k) {
+        LatencyModeTiming t = latency_mode.timing(k);
+        EXPECT_DOUBLE_EQ(t.cycle_ns, fast_cycle);
+        EXPECT_GE(t.l1_latency_cycles, prev_latency);
+        prev_latency = t.l1_latency_cycles;
+    }
+    EXPECT_EQ(latency_mode.timing(1).l1_latency_cycles,
+              CacheMachine::kL1PipelineDepth);
+    EXPECT_GT(latency_mode.timing(8).l1_latency_cycles,
+              CacheMachine::kL1PipelineDepth);
+}
+
+TEST(LatencyAdaptiveTest, AgreesWithClockModeAtSmallestBoundary)
+{
+    // At one increment the two schemes describe the same machine.
+    AdaptiveCacheModel model;
+    LatencyAdaptiveCache latency_mode(model);
+    const trace::AppProfile &app = trace::findApp("li");
+    CachePerf clock_mode = model.evaluate(app, 1, 30000);
+    CachePerf lat_mode = latency_mode.evaluate(app, 1, 30000);
+    EXPECT_NEAR(clock_mode.tpi_ns, lat_mode.tpi_ns, 0.02);
+}
+
+TEST(LatencyAdaptiveTest, ArithmeticUnaffectedByLargerCache)
+{
+    // Under latency adaptation the base (non-memory) TPI component is
+    // boundary-independent -- the paper's motivation for the scheme.
+    AdaptiveCacheModel model;
+    LatencyAdaptiveCache latency_mode(model);
+    const trace::AppProfile &app = trace::findApp("li");
+    CachePerf k1 = latency_mode.evaluate(app, 1, 30000);
+    CachePerf k8 = latency_mode.evaluate(app, 8, 30000);
+    double base1 = model.boundaryTiming(1).cycle_ns / CacheMachine::kBaseIpc;
+    // Both runs share the same base time per instruction.
+    EXPECT_GT(k1.tpi_ns, base1);
+    EXPECT_GT(k8.tpi_ns, base1);
+    // The arithmetic rate (cycle / base IPC) is identical at every
+    // boundary because the clock never changes; under clock-varying
+    // adaptation it degrades with the boundary.
+    double arith_latency_mode =
+        latency_mode.timing(8).cycle_ns / CacheMachine::kBaseIpc;
+    EXPECT_DOUBLE_EQ(arith_latency_mode, base1);
+    double arith_clock_mode =
+        model.boundaryTiming(8).cycle_ns / CacheMachine::kBaseIpc;
+    EXPECT_GT(arith_clock_mode, arith_latency_mode * 1.2);
+}
+
+// ---------------------------------------------------------------------
+// Interval controller (Section 6)
+// ---------------------------------------------------------------------
+
+TEST(IntervalControllerTest, RunsAndAccountsInstructions)
+{
+    AdaptiveIqModel model;
+    IntervalPolicyParams params;
+    params.interval_instrs = 2000;
+    IntervalAdaptiveIq controller(model, params);
+    IntervalRunResult result =
+        controller.run(trace::findApp("li"), 100000, 64);
+    EXPECT_EQ(result.instructions, 100000u);
+    EXPECT_EQ(result.config_trace.size(), 50u);
+    EXPECT_GT(result.tpi(), 0.0);
+}
+
+TEST(IntervalControllerTest, StableWorkloadRarelyReconfigures)
+{
+    AdaptiveIqModel model;
+    IntervalPolicyParams params;
+    IntervalAdaptiveIq controller(model, params);
+    // li is phase-stable and best at 64: starting there, the
+    // confidence gate should keep the controller home most of the
+    // time (probes bounce back).
+    IntervalRunResult result =
+        controller.run(trace::findApp("li"), 200000, 64);
+    // Only probe round-trips (two physical reconfigurations each, at
+    // most one probe per probe_period intervals) -- no committed move
+    // away from the optimum.
+    int intervals = static_cast<int>(200000 / params.interval_instrs);
+    EXPECT_LE(result.reconfigurations,
+              2 * (intervals / params.probe_period) + 2);
+    EXPECT_LE(result.committed_moves, 1);
+    int at_64 = 0;
+    for (int entries : result.config_trace)
+        at_64 += entries == 64 ? 1 : 0;
+    EXPECT_GT(at_64, static_cast<int>(result.config_trace.size() * 3 / 4));
+}
+
+TEST(IntervalControllerTest, ConfidenceGateReducesSwitching)
+{
+    AdaptiveIqModel model;
+    IntervalPolicyParams with_conf;
+    with_conf.use_confidence = true;
+    IntervalPolicyParams without_conf = with_conf;
+    without_conf.use_confidence = false;
+    // vortex's irregular region is exactly what confidence guards
+    // against.
+    IntervalRunResult gated =
+        IntervalAdaptiveIq(model, with_conf)
+            .run(trace::findApp("vortex"), 400000, 64);
+    IntervalRunResult ungated =
+        IntervalAdaptiveIq(model, without_conf)
+            .run(trace::findApp("vortex"), 400000, 64);
+    EXPECT_LE(gated.committed_moves, ungated.committed_moves);
+}
+
+TEST(IntervalOracleTest, OracleBeatsEveryFixedConfiguration)
+{
+    AdaptiveIqModel model;
+    const trace::AppProfile &app = trace::findApp("vortex");
+    std::vector<int> candidates{16, 64};
+    uint64_t instrs = 200000;
+    IntervalRunResult oracle = runIntervalOracle(
+        model, app, instrs, candidates, kIntervalInstructions, false);
+    for (int entries : candidates) {
+        IqPerf fixed = model.evaluate(app, entries, instrs);
+        EXPECT_LE(oracle.tpi(), fixed.tpi_ns + 1e-9) << entries;
+    }
+    EXPECT_GT(oracle.reconfigurations, 0);
+}
+
+TEST(IntervalOracleTest, SwitchChargesIncreaseTime)
+{
+    AdaptiveIqModel model;
+    const trace::AppProfile &app = trace::findApp("vortex");
+    std::vector<int> candidates{16, 64};
+    IntervalRunResult free_switches = runIntervalOracle(
+        model, app, 200000, candidates, kIntervalInstructions, false);
+    IntervalRunResult charged = runIntervalOracle(
+        model, app, 200000, candidates, kIntervalInstructions, true);
+    EXPECT_GE(charged.total_time_ns, free_switches.total_time_ns);
+    EXPECT_EQ(charged.reconfigurations, free_switches.reconfigurations);
+}
+
+// ---------------------------------------------------------------------
+// Experiment runners
+// ---------------------------------------------------------------------
+
+TEST(ExperimentTest, CacheStudySmall)
+{
+    AdaptiveCacheModel model;
+    std::vector<trace::AppProfile> apps = {trace::findApp("li"),
+                                           trace::findApp("stereo")};
+    CacheStudy study = runCacheStudy(model, apps, 60000, 8);
+    ASSERT_EQ(study.perf.size(), 2u);
+    ASSERT_EQ(study.perf[0].size(), 8u);
+    ASSERT_EQ(study.timings.size(), 8u);
+    // stereo must prefer a large L1; li a small one.
+    EXPECT_GE(study.selection.per_app_best[1], 4u);
+    EXPECT_LE(study.selection.per_app_best[0], 1u);
+    EXPECT_LE(study.selection.adaptive_mean_tpi,
+              study.selection.conventional_mean_tpi + 1e-12);
+    EXPECT_GE(study.conventionalMeanTpiMiss(), 0.0);
+}
+
+TEST(ExperimentTest, IqStudySmall)
+{
+    AdaptiveIqModel model;
+    std::vector<trace::AppProfile> apps = {trace::findApp("appcg"),
+                                           trace::findApp("li")};
+    IqStudy study = runIqStudy(model, apps, 60000);
+    ASSERT_EQ(study.perf.size(), 2u);
+    ASSERT_EQ(study.perf[0].size(), 8u);
+    // appcg is window-insensitive: fastest clock (16 entries) wins.
+    EXPECT_EQ(study.selection.per_app_best[0], 0u);
+    auto matrix = study.tpiMatrix();
+    EXPECT_EQ(matrix.size(), 2u);
+    EXPECT_EQ(matrix[0].size(), 8u);
+}
+
+} // namespace
+} // namespace cap::core

@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Differential tests: independently-written reference models checked
+ * against the production simulators on randomized workloads.
+ */
+
+#include <algorithm>
+#include <list>
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cache/exclusive_hierarchy.h"
+#include "trace/record.h"
+#include "util/rng.h"
+
+namespace cap::cache {
+namespace {
+
+/**
+ * Reference implementation of the movable-boundary exclusive
+ * hierarchy, written with a deliberately different structure: per-set
+ * MRU-ordered lists per level instead of timestamped way arrays.
+ *
+ * Semantics mirrored:
+ *  - fixed index/tag mapping over the whole pool;
+ *  - L1 holds at most l1_ways blocks per set, L2 the rest;
+ *  - L1 hit: move to L1 MRU;
+ *  - L2 hit: promote to L1 MRU; if L1 was full, demote the L1 LRU
+ *    block to the L2 slot the promoted block vacated (recency kept);
+ *  - miss: fill at L1 MRU; demote the L1 LRU victim to L2 (recency
+ *    kept), evicting the L2 LRU when L2 is full.
+ *
+ * The reference tracks a global recency stamp per block so that
+ * "demote keeps recency" can be reproduced: L2 victims are chosen by
+ * smallest stamp, and a block demoted from L1 carries its stamp.
+ */
+class ReferenceHierarchy
+{
+  public:
+    ReferenceHierarchy(const HierarchyGeometry &geometry, int l1_increments)
+        : geometry_(geometry), sets_(geometry.sets()),
+          l1_ways_(geometry.l1Ways(l1_increments))
+    {
+    }
+
+    void setBoundary(int l1_increments)
+    {
+        // Re-label only: blocks keep their level membership by recency
+        // re-partitioning at the next access to their set.  To mirror
+        // the production model (which partitions by *way position*),
+        // we re-partition each set eagerly: the most recent blocks
+        // belong to L1.
+        //
+        // NOTE: the production model re-labels by physical way, not by
+        // recency, so after a boundary move the two models may
+        // disagree on *levels* until the set is touched again.  The
+        // differential outcome check therefore only runs with a fixed
+        // boundary; the invariant checks run across moves.
+        l1_ways_ = geometry_.l1Ways(l1_increments);
+    }
+
+    AccessOutcome access(const trace::TraceRecord &record)
+    {
+        ++stamp_;
+        uint64_t index = geometry_.setIndex(record.addr);
+        uint64_t tag = geometry_.tag(record.addr);
+        Set &set = sets_[index];
+
+        auto in_l1 = std::find_if(set.l1.begin(), set.l1.end(),
+                                  [&](const Block &b) {
+                                      return b.tag == tag;
+                                  });
+        if (in_l1 != set.l1.end()) {
+            in_l1->stamp = stamp_;
+            return AccessOutcome::L1Hit;
+        }
+        auto in_l2 = std::find_if(set.l2.begin(), set.l2.end(),
+                                  [&](const Block &b) {
+                                      return b.tag == tag;
+                                  });
+        if (in_l2 != set.l2.end()) {
+            Block promoted = *in_l2;
+            set.l2.erase(in_l2);
+            promoted.stamp = stamp_;
+            if (static_cast<int>(set.l1.size()) >= l1_ways_)
+                demoteL1Lru(set);
+            set.l1.push_back(promoted);
+            return AccessOutcome::L2Hit;
+        }
+        // Miss: fill into L1.
+        if (static_cast<int>(set.l1.size()) >= l1_ways_) {
+            demoteL1Lru(set);
+            int l2_capacity =
+                geometry_.totalWays() - l1_ways_;
+            if (static_cast<int>(set.l2.size()) > l2_capacity)
+                evictL2Lru(set);
+        }
+        set.l1.push_back({tag, stamp_});
+        return AccessOutcome::Miss;
+    }
+
+  private:
+    struct Block
+    {
+        uint64_t tag;
+        uint64_t stamp;
+    };
+
+    struct Set
+    {
+        std::vector<Block> l1;
+        std::vector<Block> l2;
+    };
+
+    void demoteL1Lru(Set &set)
+    {
+        auto lru = std::min_element(set.l1.begin(), set.l1.end(),
+                                    [](const Block &a, const Block &b) {
+                                        return a.stamp < b.stamp;
+                                    });
+        set.l2.push_back(*lru);
+        set.l1.erase(lru);
+    }
+
+    void evictL2Lru(Set &set)
+    {
+        auto lru = std::min_element(set.l2.begin(), set.l2.end(),
+                                    [](const Block &a, const Block &b) {
+                                        return a.stamp < b.stamp;
+                                    });
+        set.l2.erase(lru);
+    }
+
+    HierarchyGeometry geometry_;
+    std::vector<Set> sets_;
+    int l1_ways_;
+    uint64_t stamp_ = 0;
+};
+
+class DifferentialTest : public testing::TestWithParam<int>
+{
+};
+
+TEST_P(DifferentialTest, OutcomesMatchReferenceModel)
+{
+    HierarchyGeometry geometry;
+    int boundary = GetParam();
+    ExclusiveHierarchy production(geometry, boundary);
+    ReferenceHierarchy reference(geometry, boundary);
+
+    Rng rng(4242 + static_cast<uint64_t>(boundary));
+    for (int i = 0; i < 60000; ++i) {
+        // Mixture of hot region and wide scatter to exercise all
+        // paths (L1 hits, swaps, demotions, L2 evictions).
+        Addr addr = rng.chance(0.7) ? rng.below(kib(24))
+                                    : rng.below(kib(512));
+        trace::TraceRecord record{addr, rng.chance(0.3)};
+        AccessOutcome got = production.access(record);
+        AccessOutcome want = reference.access(record);
+        ASSERT_EQ(static_cast<int>(got), static_cast<int>(want))
+            << "ref " << i << " addr " << addr;
+    }
+    EXPECT_TRUE(production.auditExclusion());
+}
+
+INSTANTIATE_TEST_SUITE_P(Boundaries, DifferentialTest,
+                         testing::Values(1, 2, 3, 5, 8, 12, 15));
+
+TEST(DifferentialStatsTest, MissCountsMatchOverLongRun)
+{
+    HierarchyGeometry geometry;
+    ExclusiveHierarchy production(geometry, 4);
+    ReferenceHierarchy reference(geometry, 4);
+    Rng rng(99);
+    uint64_t ref_l1 = 0, ref_l2 = 0, ref_miss = 0;
+    for (int i = 0; i < 80000; ++i) {
+        trace::TraceRecord record{rng.below(kib(300)), false};
+        production.access(record);
+        switch (reference.access(record)) {
+          case AccessOutcome::L1Hit: ++ref_l1; break;
+          case AccessOutcome::L2Hit: ++ref_l2; break;
+          case AccessOutcome::Miss:  ++ref_miss; break;
+        }
+    }
+    EXPECT_EQ(production.stats().l1_hits, ref_l1);
+    EXPECT_EQ(production.stats().l2_hits, ref_l2);
+    EXPECT_EQ(production.stats().misses, ref_miss);
+}
+
+} // namespace
+} // namespace cap::cache

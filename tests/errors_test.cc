@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Error-path coverage: user-error (fatal) and invariant-violation
+ * (panic) handling across the public API.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/adaptive_cache.h"
+#include "core/adaptive_iq.h"
+#include "core/concert.h"
+#include "core/config_manager.h"
+#include "core/multiprogram.h"
+#include "trace/file_trace.h"
+#include "trace/patterns.h"
+#include "trace/stream.h"
+#include "trace/workloads.h"
+#include "util/rng.h"
+
+namespace cap {
+namespace {
+
+TEST(ErrorPathsTest, CacheModelBoundsChecked)
+{
+    core::AdaptiveCacheModel model;
+    EXPECT_DEATH(model.boundaryTiming(0), "out of range");
+    EXPECT_DEATH(model.boundaryTiming(16), "out of range");
+    EXPECT_DEATH(model.busDelayNs(0), "out of range");
+    EXPECT_DEATH(model.busDelayNs(17), "out of range");
+    EXPECT_DEATH(model.evaluate(trace::findApp("li"), 2, 0),
+                 "needs references");
+    EXPECT_DEATH(model.sweep(trace::findApp("li"), 16, 100),
+                 "out of range");
+}
+
+TEST(ErrorPathsTest, IqModelBoundsChecked)
+{
+    core::AdaptiveIqModel model;
+    EXPECT_DEATH(model.evaluate(trace::findApp("li"), 64, 0),
+                 "needs instructions");
+    EXPECT_DEATH(model.cycleNs(20), "multiple");
+    EXPECT_DEATH(
+        model.intervalSeries(trace::findApp("li"), 64, 1000, 0),
+        "positive");
+}
+
+TEST(ErrorPathsTest, PatternConstructionValidated)
+{
+    trace::Region tiny{0, 8};
+    EXPECT_DEATH(trace::ZipfResident(tiny, 32, 1.0, 1),
+                 "smaller than one block");
+    trace::Region region{0, 4096};
+    EXPECT_DEATH(trace::CyclicSweep(region, 0), "stride");
+    EXPECT_DEATH(trace::Stream(region, 32, 0), "touch");
+}
+
+TEST(ErrorPathsTest, EmptyMixRejected)
+{
+    trace::CacheBehavior empty;
+    EXPECT_DEATH(trace::SyntheticTraceSource(empty, 1, 100),
+                 "empty reference mix");
+}
+
+TEST(ErrorPathsTest, MultiprogramBoundaryVectorValidated)
+{
+    core::AdaptiveCacheModel model;
+    std::vector<trace::AppProfile> apps = {trace::findApp("li"),
+                                           trace::findApp("gcc")};
+    core::MultiprogramParams params;
+    params.boundaries = {1, 2, 3}; // three entries for two apps
+    EXPECT_DEATH(runMultiprogram(model, apps, 1000, params),
+                 "one per app");
+    core::MultiprogramParams empty_apps;
+    EXPECT_DEATH(
+        runMultiprogram(model, {}, 1000, empty_apps),
+        "needs applications");
+}
+
+TEST(ErrorPathsTest, ConcertRequiresWork)
+{
+    EXPECT_DEATH(core::runConcertStudy({}, 1000), "needs applications");
+    EXPECT_DEATH(core::runConcertStudy({trace::findApp("li")}, 0),
+                 "needs references");
+}
+
+TEST(ErrorPathsTest, TraceWriterValidatesLimit)
+{
+    const trace::AppProfile &app = trace::findApp("li");
+    trace::SyntheticTraceSource source(app.cache, app.seed, 10);
+    EXPECT_DEATH(trace::writeTraceFile("/tmp/x.din", source, 0),
+                 "empty trace");
+}
+
+TEST(ErrorPathsTest, SelectionNeedsInput)
+{
+    EXPECT_DEATH(core::selectConfigurations({}), "at least one");
+    std::vector<std::vector<double>> no_configs = {{}};
+    EXPECT_DEATH(core::selectConfigurations(no_configs),
+                 "at least one configuration");
+}
+
+TEST(ErrorPathsTest, RngGuards)
+{
+    Rng rng(1);
+    EXPECT_DEATH(rng.below(0), "positive bound");
+    EXPECT_DEATH(rng.range(3, 2), "lo <= hi");
+    EXPECT_DEATH(rng.zipf(0, 1.0), "empty range");
+    EXPECT_DEATH(rng.weighted({}), "empty weights");
+    EXPECT_DEATH(rng.weighted({0.0, 0.0}), "positive total");
+    EXPECT_DEATH(rng.weighted({-1.0, 2.0}), "negative weight");
+}
+
+TEST(ErrorPathsTest, SingleConfigurationSelectionWorks)
+{
+    // Degenerate but legal: one configuration, one app.
+    std::vector<std::vector<double>> tpi = {{0.5}};
+    core::SelectionResult sel = core::selectConfigurations(tpi);
+    EXPECT_EQ(sel.best_conventional, 0u);
+    EXPECT_EQ(sel.per_app_best[0], 0u);
+    EXPECT_DOUBLE_EQ(sel.meanReduction(), 0.0);
+}
+
+} // namespace
+} // namespace cap

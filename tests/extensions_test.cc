@@ -1,0 +1,561 @@
+/**
+ * @file
+ * Tests for the paper-motivated extensions: TLB, branch predictors,
+ * the two-level (backup) queue, the asynchronous cache mode,
+ * multiprogrammed execution, profile-guided schedules, the concert
+ * study, and trace file I/O.
+ */
+
+#include <cstdio>
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "cache/tlb.h"
+#include "core/adaptive_bpred.h"
+#include "core/adaptive_tlb.h"
+#include "core/async_cache.h"
+#include "core/backup_queue.h"
+#include "core/concert.h"
+#include "core/multiprogram.h"
+#include "core/profile_guided.h"
+#include "ooo/branch_predictor.h"
+#include "ooo/two_level_queue.h"
+#include "trace/file_trace.h"
+#include "trace/stream.h"
+#include "trace/workloads.h"
+
+namespace cap {
+namespace {
+
+// ---------------------------------------------------------------------
+// Tlb
+// ---------------------------------------------------------------------
+
+TEST(TlbTest, ColdMissThenHit)
+{
+    cache::Tlb tlb(4);
+    EXPECT_FALSE(tlb.access(0x10000));
+    EXPECT_TRUE(tlb.access(0x10000));
+    // Same page, different offset.
+    EXPECT_TRUE(tlb.access(0x10000 + 100));
+    EXPECT_EQ(tlb.stats().accesses, 3u);
+    EXPECT_EQ(tlb.stats().misses, 1u);
+}
+
+TEST(TlbTest, LruReplacement)
+{
+    cache::Tlb tlb(2, 8192);
+    tlb.accessPage(1);
+    tlb.accessPage(2);
+    tlb.accessPage(1); // 2 is now LRU
+    tlb.accessPage(3); // evicts 2
+    EXPECT_TRUE(tlb.accessPage(1));
+    EXPECT_FALSE(tlb.accessPage(2));
+}
+
+TEST(TlbTest, CapacityRespected)
+{
+    cache::Tlb tlb(8);
+    for (uint64_t page = 0; page < 100; ++page)
+        tlb.accessPage(page);
+    EXPECT_EQ(tlb.occupancy(), 8);
+}
+
+TEST(TlbTest, ShrinkEvictsLruTail)
+{
+    cache::Tlb tlb(8);
+    for (uint64_t page = 0; page < 8; ++page)
+        tlb.accessPage(page);
+    // Page 7 is MRU; pages 0..3 are the LRU tail.
+    tlb.resize(4);
+    EXPECT_EQ(tlb.occupancy(), 4);
+    EXPECT_TRUE(tlb.accessPage(7));
+    EXPECT_FALSE(tlb.accessPage(0));
+}
+
+TEST(TlbTest, GrowKeepsTranslations)
+{
+    cache::Tlb tlb(4);
+    for (uint64_t page = 0; page < 4; ++page)
+        tlb.accessPage(page);
+    tlb.resize(16);
+    EXPECT_EQ(tlb.occupancy(), 4);
+    for (uint64_t page = 0; page < 4; ++page)
+        EXPECT_TRUE(tlb.accessPage(page));
+}
+
+// ---------------------------------------------------------------------
+// Branch predictors
+// ---------------------------------------------------------------------
+
+TEST(BranchPredictorTest, BimodalLearnsBias)
+{
+    ooo::BimodalPredictor predictor(64);
+    ooo::BranchRecord always_taken{0x4000, true};
+    for (int i = 0; i < 100; ++i)
+        predictor.predictAndUpdate(always_taken);
+    // After warm-up the counter saturates: near-perfect accuracy.
+    EXPECT_LT(predictor.stats().mispredictRatio(), 0.05);
+}
+
+TEST(BranchPredictorTest, AliasingHurtsSmallTables)
+{
+    // Two strongly-biased branches that collide in a 2-entry table
+    // but not in a large one.
+    auto run = [](int entries) {
+        ooo::BimodalPredictor predictor(entries);
+        for (int i = 0; i < 2000; ++i) {
+            predictor.predictAndUpdate({0x4000, true});
+            predictor.predictAndUpdate({0x4008, false});
+        }
+        return predictor.stats().mispredictRatio();
+    };
+    EXPECT_GT(run(2), 0.3);
+    EXPECT_LT(run(1024), 0.05);
+}
+
+TEST(BranchPredictorTest, GshareTracksGlobalPattern)
+{
+    // A single branch alternating T/N is perfectly predictable from
+    // one history bit.
+    ooo::GsharePredictor predictor(1024, 8);
+    for (int i = 0; i < 4000; ++i)
+        predictor.predictAndUpdate({0x4000, (i & 1) == 0});
+    EXPECT_LT(predictor.stats().mispredictRatio(), 0.05);
+}
+
+TEST(BranchPredictorTest, StreamDeterministicAndBounded)
+{
+    ooo::BranchBehavior behavior;
+    ooo::BranchStream a(behavior, 3), b(behavior, 3);
+    for (int i = 0; i < 2000; ++i) {
+        ooo::BranchRecord ra = a.next(), rb = b.next();
+        ASSERT_EQ(ra.pc, rb.pc);
+        ASSERT_EQ(ra.taken, rb.taken);
+        ASSERT_GE(ra.pc, 0x400000u);
+        ASSERT_LT(ra.pc, 0x400000u + 4u * static_cast<uint64_t>(
+                                              behavior.static_branches));
+    }
+}
+
+TEST(AdaptiveBpredTest, LookupMonotoneAndMispredNonincreasing)
+{
+    core::AdaptiveBpredModel model;
+    const trace::AppProfile &gcc = trace::findApp("gcc");
+    double prev_lookup = 0.0;
+    double prev_miss = 1.0;
+    for (int entries : core::AdaptiveBpredModel::studySizes()) {
+        core::BpredPerf perf = model.evaluate(gcc, entries, 60000);
+        EXPECT_GT(perf.lookup_ns, prev_lookup);
+        EXPECT_LE(perf.mispredict_ratio, prev_miss + 0.02);
+        prev_lookup = perf.lookup_ns;
+        prev_miss = perf.mispredict_ratio;
+    }
+}
+
+TEST(AdaptiveBpredTest, LoopCodesArePredictable)
+{
+    core::AdaptiveBpredModel model;
+    core::BpredPerf fp =
+        model.evaluate(trace::findApp("tomcatv"), 1024, 50000);
+    core::BpredPerf integer =
+        model.evaluate(trace::findApp("go"), 1024, 50000);
+    EXPECT_LT(fp.mispredict_ratio, 0.05);
+    EXPECT_GT(integer.mispredict_ratio, 0.15);
+}
+
+// ---------------------------------------------------------------------
+// Adaptive TLB
+// ---------------------------------------------------------------------
+
+TEST(AdaptiveTlbTest, MissRatioNonincreasingInEntries)
+{
+    core::AdaptiveTlbModel model;
+    for (const char *name : {"li", "gcc", "stereo", "appcg"}) {
+        double prev = 1.0;
+        for (int entries : core::AdaptiveTlbModel::studySizes()) {
+            core::TlbPerf perf =
+                model.evaluate(trace::findApp(name), entries, 60000);
+            EXPECT_LE(perf.miss_ratio, prev + 0.01) << name << entries;
+            prev = perf.miss_ratio;
+        }
+    }
+}
+
+TEST(AdaptiveTlbTest, PageDiversityAcrossApps)
+{
+    core::AdaptiveTlbModel model;
+    // li's pages fit the smallest TLB; appcg's do not.
+    double li32 =
+        model.evaluate(trace::findApp("li"), 32, 60000).miss_ratio;
+    double appcg32 =
+        model.evaluate(trace::findApp("appcg"), 32, 60000).miss_ratio;
+    EXPECT_LT(li32, 0.01);
+    EXPECT_GT(appcg32, 0.2);
+    // A 256-entry TLB absorbs appcg's pages.
+    double appcg256 =
+        model.evaluate(trace::findApp("appcg"), 256, 60000).miss_ratio;
+    EXPECT_LT(appcg256, 0.01);
+}
+
+TEST(AdaptiveTlbTest, LookupScalesWithEntries)
+{
+    core::AdaptiveTlbModel model;
+    EXPECT_LT(model.lookupNs(32), model.lookupNs(256));
+    // 256 entries must exceed the smallest cache cycle (the clock
+    // coupling the concert study explores).
+    core::AdaptiveCacheModel cache_model;
+    EXPECT_GT(model.lookupNs(256),
+              cache_model.boundaryTiming(1).cycle_ns);
+    EXPECT_LT(model.lookupNs(128),
+              cache_model.boundaryTiming(1).cycle_ns);
+}
+
+// ---------------------------------------------------------------------
+// Two-level (backup) queue
+// ---------------------------------------------------------------------
+
+trace::IlpBehavior
+midWorkload()
+{
+    trace::IlpPhase phase;
+    phase.min_dep_distance = 8;
+    phase.mean_dep_distance = 12.0;
+    phase.second_src_prob = 0.2;
+    phase.mean_dep_distance2 = 24.0;
+    phase.long_lat_prob = 0.10;
+    phase.long_lat_cycles = 13;
+    phase.short_lat_cycles = 1;
+    trace::IlpBehavior behavior;
+    behavior.phases = {phase};
+    behavior.schedule = {{0, 1'000'000}};
+    return behavior;
+}
+
+TEST(TwoLevelQueueTest, IpcBetweenSmallAndLargePlainQueues)
+{
+    trace::IlpBehavior behavior = midWorkload();
+
+    auto plain_ipc = [&](int entries) {
+        ooo::InstructionStream stream(behavior, 9);
+        ooo::CoreParams params;
+        params.queue_entries = entries;
+        ooo::CoreModel model(stream, params);
+        return model.step(60000).ipc();
+    };
+    double small = plain_ipc(16);
+    double large = plain_ipc(128);
+    ASSERT_GT(large, small * 1.2);
+
+    ooo::InstructionStream stream(behavior, 9);
+    ooo::TwoLevelParams params;
+    params.ondeck_entries = 16;
+    params.backup_entries = 112;
+    ooo::TwoLevelCoreModel model(stream, params);
+    double two_level = model.step(60000).ipc();
+
+    EXPECT_GT(two_level, small);
+    EXPECT_LT(two_level, large * 1.02);
+}
+
+TEST(TwoLevelQueueTest, OccupancyBounds)
+{
+    trace::IlpBehavior behavior = midWorkload();
+    ooo::InstructionStream stream(behavior, 10);
+    ooo::TwoLevelParams params;
+    params.ondeck_entries = 8;
+    params.backup_entries = 24;
+    ooo::TwoLevelCoreModel model(stream, params);
+    for (int batch = 0; batch < 20; ++batch) {
+        model.step(500);
+        EXPECT_LE(model.ondeckOccupancy(), 8);
+        EXPECT_LE(model.backupOccupancy(), 24 + 8);
+        EXPECT_GE(model.ondeckOccupancy(), 0);
+    }
+}
+
+TEST(TwoLevelQueueTest, ZeroBackupBehavesLikePlainQueue)
+{
+    trace::IlpBehavior behavior = midWorkload();
+    ooo::InstructionStream s1(behavior, 11), s2(behavior, 11);
+    ooo::TwoLevelParams two_level_params;
+    two_level_params.ondeck_entries = 32;
+    two_level_params.backup_entries = 0;
+    ooo::TwoLevelCoreModel two_level(s1, two_level_params);
+    ooo::CoreParams plain_params;
+    plain_params.queue_entries = 32;
+    ooo::CoreModel plain(s2, plain_params);
+    double ipc_two_level = two_level.step(40000).ipc();
+    double ipc_plain = plain.step(40000).ipc();
+    // Dispatch steering differs slightly, but the two must be close.
+    EXPECT_NEAR(ipc_two_level, ipc_plain, ipc_plain * 0.15);
+}
+
+TEST(BackupQueueModelTest, ClocksLikeTheOndeckSection)
+{
+    core::BackupQueueModel model;
+    core::AdaptiveIqModel plain;
+    // 5% transfer-port overhead on the 16-entry cycle.
+    EXPECT_NEAR(model.cycleNs(16), 1.05 * plain.cycleNs(16), 1e-9);
+    ooo::TwoLevelParams params;
+    params.ondeck_entries = 16;
+    params.backup_entries = 112;
+    core::BackupQueuePerf perf =
+        model.evaluate(trace::findApp("li"), params, 50000);
+    EXPECT_GT(perf.ipc, 0.0);
+    EXPECT_NEAR(perf.tpi_ns, perf.cycle_ns / perf.ipc, 1e-12);
+}
+
+TEST(TwoLevelQueueDeathTest, RejectsBadParameters)
+{
+    trace::IlpBehavior behavior = midWorkload();
+    ooo::InstructionStream stream(behavior, 12);
+    ooo::TwoLevelParams params;
+    params.ondeck_entries = 0;
+    EXPECT_DEATH(ooo::TwoLevelCoreModel(stream, params), "on-deck");
+    params.ondeck_entries = 16;
+    params.transfer_latency = 0;
+    EXPECT_DEATH(ooo::TwoLevelCoreModel(stream, params), "transfer");
+}
+
+// ---------------------------------------------------------------------
+// Asynchronous cache mode
+// ---------------------------------------------------------------------
+
+TEST(AsyncCacheTest, AverageAccessBelowWorstCase)
+{
+    core::AdaptiveCacheModel model;
+    core::AsyncCacheModel async(model);
+    core::AsyncCachePerf perf =
+        async.evaluate(trace::findApp("li"), 8, 40000);
+    EXPECT_GT(perf.avg_access_ns, 0.0);
+    EXPECT_LT(perf.avg_access_ns, perf.worst_access_ns);
+}
+
+TEST(AsyncCacheTest, BeatsSynchronousAtLargeBoundaries)
+{
+    // The async claim: big structures cost only what is actually
+    // accessed, so growing the boundary is (nearly) free.
+    core::AdaptiveCacheModel model;
+    core::AsyncCacheModel async(model);
+    const trace::AppProfile &app = trace::findApp("li");
+    core::CachePerf sync_k8 = model.evaluate(app, 8, 40000);
+    core::AsyncCachePerf async_k8 = async.evaluate(app, 8, 40000);
+    EXPECT_LT(async_k8.tpi_ns, sync_k8.tpi_ns);
+    // And the async TPI at k=8 stays near the fast-clock k=1 level.
+    core::AsyncCachePerf async_k1 = async.evaluate(app, 1, 40000);
+    EXPECT_LT(async_k8.tpi_ns, async_k1.tpi_ns * 1.15);
+}
+
+// ---------------------------------------------------------------------
+// Multiprogrammed execution
+// ---------------------------------------------------------------------
+
+TEST(MultiprogramTest, AccountsAllWork)
+{
+    core::AdaptiveCacheModel model;
+    std::vector<trace::AppProfile> apps = {trace::findApp("li"),
+                                           trace::findApp("gcc")};
+    core::MultiprogramParams params;
+    params.quantum_refs = 10000;
+    core::MultiprogramResult result =
+        runMultiprogram(model, apps, 50000, params);
+    ASSERT_EQ(result.apps.size(), 2u);
+    for (const core::MultiprogramAppResult &app : result.apps) {
+        EXPECT_EQ(app.refs, 50000u);
+        EXPECT_GT(app.instructions, 0u);
+        EXPECT_GT(app.tpi(), 0.0);
+    }
+    // Round-robin with 5 quanta per app: 9 switches.
+    EXPECT_EQ(result.switches, 9);
+    EXPECT_GT(result.switch_overhead_ns, 0.0);
+    EXPECT_GT(result.total_time_ns, result.switch_overhead_ns);
+}
+
+TEST(MultiprogramTest, AdaptiveBeatsFixedOnDiverseMix)
+{
+    core::AdaptiveCacheModel model;
+    std::vector<trace::AppProfile> apps = {trace::findApp("li"),
+                                           trace::findApp("stereo")};
+    core::MultiprogramParams adaptive;
+    core::MultiprogramParams fixed;
+    fixed.boundaries = {2};
+    core::MultiprogramResult a =
+        runMultiprogram(model, apps, 60000, adaptive);
+    core::MultiprogramResult f = runMultiprogram(model, apps, 60000, fixed);
+    EXPECT_LT(a.tpi(), f.tpi());
+    // stereo must have been given a large L1.
+    EXPECT_GE(a.apps[1].boundary, 5);
+}
+
+TEST(MultiprogramTest, PerAppBoundariesHonored)
+{
+    core::AdaptiveCacheModel model;
+    std::vector<trace::AppProfile> apps = {trace::findApp("li"),
+                                           trace::findApp("gcc")};
+    core::MultiprogramParams params;
+    params.boundaries = {3, 5};
+    core::MultiprogramResult result =
+        runMultiprogram(model, apps, 30000, params);
+    EXPECT_EQ(result.apps[0].boundary, 3);
+    EXPECT_EQ(result.apps[1].boundary, 5);
+}
+
+// ---------------------------------------------------------------------
+// Profile-guided schedules
+// ---------------------------------------------------------------------
+
+TEST(ProfileGuidedTest, StablePhaseYieldsSingleSegment)
+{
+    core::AdaptiveIqModel model;
+    core::ConfigSchedule schedule = core::buildScheduleFromProfile(
+        model, trace::findApp("li"), 200000,
+        core::AdaptiveIqModel::studySizes());
+    ASSERT_GE(schedule.size(), 1u);
+    EXPECT_LE(schedule.size(), 2u);
+    EXPECT_EQ(schedule.front().start_interval, 0u);
+}
+
+TEST(ProfileGuidedTest, PhasedAppProducesSegmentsAndRuns)
+{
+    core::AdaptiveIqModel model;
+    const trace::AppProfile &turb3d = trace::findApp("turb3d");
+    core::ConfigSchedule schedule = core::buildScheduleFromProfile(
+        model, turb3d, 1'500'000, core::AdaptiveIqModel::studySizes());
+    EXPECT_GE(schedule.size(), 2u);
+    core::IntervalRunResult run =
+        core::runWithSchedule(model, turb3d, 1'500'000, schedule);
+    EXPECT_EQ(run.instructions, 1'500'000u - 1'500'000u %
+                                    core::kIntervalInstructions);
+    EXPECT_EQ(run.reconfigurations,
+              static_cast<int>(schedule.size()) - 1);
+    // The schedule must at least be competitive with the 64-entry
+    // conventional configuration.
+    double conv = model.evaluate(turb3d, 64, 1'500'000).tpi_ns;
+    EXPECT_LT(run.tpi(), conv * 1.03);
+}
+
+TEST(ProfileGuidedDeathTest, RejectsBadSchedules)
+{
+    core::AdaptiveIqModel model;
+    core::ConfigSchedule empty;
+    EXPECT_DEATH(core::runWithSchedule(model, trace::findApp("li"), 10000,
+                                       empty),
+                 "empty");
+    core::ConfigSchedule unordered{{5, 64}, {5, 16}};
+    EXPECT_DEATH(core::runWithSchedule(model, trace::findApp("li"), 10000,
+                                       unordered),
+                 "increasing");
+}
+
+// ---------------------------------------------------------------------
+// Concert study
+// ---------------------------------------------------------------------
+
+TEST(ConcertTest, InConcertBeatsSingleStructureAdaptivity)
+{
+    std::vector<trace::AppProfile> apps = {
+        trace::findApp("li"), trace::findApp("gcc"),
+        trace::findApp("stereo"), trace::findApp("appcg"),
+        trace::findApp("tomcatv")};
+    core::ConcertStudy study = core::runConcertStudy(apps, 60000);
+
+    ASSERT_EQ(study.configs.size(), 8u * 4u * 5u);
+    ASSERT_EQ(study.perf.size(), apps.size());
+
+    double all = study.selection.adaptive_mean_tpi;
+    double conv = study.selection.conventional_mean_tpi;
+    EXPECT_LT(all, conv);
+    for (int which : {0, 1, 2}) {
+        double single = study.singleStructureAdaptiveMeanTpi(which);
+        EXPECT_LE(all, single + 1e-12) << which;
+        EXPECT_LE(single, conv + 1e-12) << which;
+    }
+}
+
+TEST(ConcertTest, TpiDecomposesIntoComponents)
+{
+    std::vector<trace::AppProfile> apps = {trace::findApp("gcc")};
+    core::ConcertStudy study = core::runConcertStudy(apps, 40000);
+    for (const core::ConcertPerf &perf : study.perf[0]) {
+        EXPECT_NEAR(perf.tpi_ns,
+                    perf.base_ns + perf.cache_miss_ns + perf.tlb_walk_ns +
+                        perf.mispredict_ns,
+                    1e-12);
+        EXPECT_GE(perf.cycle_ns,
+                  core::AdaptiveCacheModel()
+                      .boundaryTiming(perf.config.cache_boundary)
+                      .cycle_ns - 1e-12);
+    }
+}
+
+TEST(ConcertTest, ConfigLabels)
+{
+    core::ConcertConfig config{2, 64, 2048};
+    EXPECT_EQ(config.label(), "16KB/64tlb/2048bp");
+}
+
+// ---------------------------------------------------------------------
+// Trace file I/O
+// ---------------------------------------------------------------------
+
+TEST(FileTraceTest, RoundTripPreservesRecords)
+{
+    const trace::AppProfile &app = trace::findApp("li");
+    std::string path = testing::TempDir() + "/capsim_trace_test.din";
+
+    trace::SyntheticTraceSource writer_source(app.cache, app.seed, 5000);
+    uint64_t written = trace::writeTraceFile(path, writer_source, 5000);
+    EXPECT_EQ(written, 5000u);
+
+    trace::SyntheticTraceSource reference(app.cache, app.seed, 5000);
+    trace::FileTraceSource reader(path);
+    trace::TraceRecord from_file, expected;
+    uint64_t count = 0;
+    while (reader.next(from_file)) {
+        ASSERT_TRUE(reference.next(expected));
+        ASSERT_EQ(from_file.addr, expected.addr);
+        ASSERT_EQ(from_file.is_write, expected.is_write);
+        ++count;
+    }
+    EXPECT_EQ(count, 5000u);
+    EXPECT_EQ(reader.skipped(), 0u);
+    std::remove(path.c_str());
+}
+
+TEST(FileTraceTest, SkipsCommentsIfetchesAndGarbage)
+{
+    std::string path = testing::TempDir() + "/capsim_trace_mixed.din";
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("# comment\n\n0 1000\n2 dead\n1 2000\nbogus line\n"
+               "9 3000\n  0 abc\n",
+               f);
+    std::fclose(f);
+
+    trace::FileTraceSource reader(path);
+    trace::TraceRecord record;
+    ASSERT_TRUE(reader.next(record));
+    EXPECT_EQ(record.addr, 0x1000u);
+    EXPECT_FALSE(record.is_write);
+    ASSERT_TRUE(reader.next(record));
+    EXPECT_EQ(record.addr, 0x2000u);
+    EXPECT_TRUE(record.is_write);
+    ASSERT_TRUE(reader.next(record));
+    EXPECT_EQ(record.addr, 0xabcu);
+    EXPECT_FALSE(reader.next(record));
+    EXPECT_EQ(reader.produced(), 3u);
+    EXPECT_GE(reader.skipped(), 3u);
+    std::remove(path.c_str());
+}
+
+TEST(FileTraceDeathTest, MissingFileIsFatal)
+{
+    EXPECT_EXIT(trace::FileTraceSource("/nonexistent/trace.din"),
+                testing::ExitedWithCode(1), "cannot open");
+}
+
+} // namespace
+} // namespace cap

@@ -1,0 +1,282 @@
+/**
+ * @file
+ * Integration tests: reduced-scale versions of the paper's studies,
+ * asserting the qualitative orderings of Figures 7-13.
+ */
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/adaptive_cache.h"
+#include "core/adaptive_iq.h"
+#include "core/experiment.h"
+#include "core/machine.h"
+#include "trace/workloads.h"
+#include "util/stats.h"
+
+namespace cap::core {
+namespace {
+
+// Scaled-down run lengths keep the suite fast while preserving the
+// orderings (all generators are deterministic).
+constexpr uint64_t kRefs = 150000;
+constexpr uint64_t kInstrs = 120000;
+
+class CacheStudyFixture : public testing::Test
+{
+  protected:
+    static const CacheStudy &study()
+    {
+        static const CacheStudy result = runCacheStudy(
+            AdaptiveCacheModel(), trace::cacheStudyApps(), kRefs, 8);
+        return result;
+    }
+
+    static size_t appIndex(const std::string &name)
+    {
+        const auto &apps = study().apps;
+        for (size_t i = 0; i < apps.size(); ++i) {
+            if (apps[i].name == name)
+                return i;
+        }
+        ADD_FAILURE() << "no app " << name;
+        return 0;
+    }
+};
+
+TEST_F(CacheStudyFixture, MajorityPrefersSmallCaches)
+{
+    // Paper Fig 7: "The vast majority of the applications perform best
+    // with an 8KB or 16KB L1 Dcache."
+    int small = 0;
+    for (size_t best : study().selection.per_app_best)
+        small += best <= 1 ? 1 : 0;
+    EXPECT_GE(small, 12) << "of " << study().apps.size();
+}
+
+TEST_F(CacheStudyFixture, StereoFavorsLargeL1)
+{
+    // Fig 7b: stereo's curve does not flatten until ~48 KB.
+    size_t stereo = appIndex("stereo");
+    EXPECT_GE(study().selection.per_app_best[stereo], 5u);
+    // And the curve is monotonically improving out to 48 KB.
+    const auto &perf = study().perf[stereo];
+    for (int k = 0; k < 5; ++k)
+        EXPECT_GT(perf[k].tpi_ns, perf[k + 1].tpi_ns) << k;
+}
+
+TEST_F(CacheStudyFixture, AppcgHasSharpDropBeyond48K)
+{
+    // Fig 7b: appcg is flat to 48 KB then drops sharply at 56-64 KB.
+    size_t appcg = appIndex("appcg");
+    const auto &perf = study().perf[appcg];
+    double at_48 = perf[5].tpi_ns;
+    double at_64 = perf[7].tpi_ns;
+    EXPECT_LT(at_64, at_48 * 0.75);
+    EXPECT_EQ(study().selection.per_app_best[appcg], 7u);
+    // Flat-to-48: no config below 48 KB beats 48 KB by much.
+    for (int k = 1; k < 5; ++k)
+        EXPECT_GT(perf[k].tpi_ns, at_64);
+}
+
+TEST_F(CacheStudyFixture, ApplyFavorsFastestClock)
+{
+    // applu's misses cannot be absorbed by any on-chip configuration,
+    // so the fastest clock wins (paper Section 5.2.2).
+    size_t applu = appIndex("applu");
+    EXPECT_EQ(study().selection.per_app_best[applu], 0u);
+    const auto &perf = study().perf[applu];
+    EXPECT_GT(perf[0].global_miss_ratio, 0.015);
+    EXPECT_GT(perf[7].global_miss_ratio, 0.015);
+}
+
+TEST_F(CacheStudyFixture, AdaptiveBeatsConventionalOnAverage)
+{
+    // Fig 9: ~9% mean TPI reduction; we accept a generous band.
+    double reduction = study().selection.meanReduction();
+    EXPECT_GT(reduction, 0.04);
+    EXPECT_LT(reduction, 0.20);
+}
+
+TEST_F(CacheStudyFixture, TpiMissReductionExceedsTpiReduction)
+{
+    // Fig 8 vs Fig 9: TPImiss falls ~26% while TPI falls ~9%.
+    double tpi_reduction = study().selection.meanReduction();
+    double miss_reduction = 1.0 - study().adaptiveMeanTpiMiss() /
+                                      study().conventionalMeanTpiMiss();
+    EXPECT_GT(miss_reduction, tpi_reduction);
+}
+
+TEST_F(CacheStudyFixture, StereoGainsLargest)
+{
+    // Fig 9: stereo's TPI falls ~46%, the largest in the suite.
+    const auto &sel = study().selection;
+    size_t stereo = appIndex("stereo");
+    double best_gain = 0.0;
+    size_t best_app = 0;
+    for (size_t a = 0; a < study().apps.size(); ++a) {
+        double conv = study().perf[a][sel.best_conventional].tpi_ns;
+        double adapt = study().perf[a][sel.per_app_best[a]].tpi_ns;
+        double gain = 1.0 - adapt / conv;
+        if (gain > best_gain) {
+            best_gain = gain;
+            best_app = a;
+        }
+    }
+    EXPECT_EQ(best_app, stereo);
+    double conv = study().perf[stereo][sel.best_conventional].tpi_ns;
+    double adapt = study().perf[stereo][sel.per_app_best[stereo]].tpi_ns;
+    EXPECT_NEAR(1.0 - adapt / conv, 0.46, 0.12);
+}
+
+TEST_F(CacheStudyFixture, SomeAppsTradeTpiMissForClock)
+{
+    // Paper 5.2.3: optimizing TPI sometimes *raises* TPImiss because a
+    // faster clock wins; at least one app must exhibit this.
+    const auto &sel = study().selection;
+    int traded = 0;
+    for (size_t a = 0; a < study().apps.size(); ++a) {
+        double conv_miss = study().perf[a][sel.best_conventional].tpi_miss_ns;
+        double adapt_miss = study().perf[a][sel.per_app_best[a]].tpi_miss_ns;
+        if (adapt_miss > conv_miss * 1.05)
+            ++traded;
+    }
+    EXPECT_GE(traded, 1);
+}
+
+// ---------------------------------------------------------------------
+// Instruction-queue study
+// ---------------------------------------------------------------------
+
+class IqStudyFixture : public testing::Test
+{
+  protected:
+    static const IqStudy &study()
+    {
+        static const IqStudy result =
+            runIqStudy(AdaptiveIqModel(), trace::iqStudyApps(), kInstrs);
+        return result;
+    }
+
+    static size_t appIndex(const std::string &name)
+    {
+        const auto &apps = study().apps;
+        for (size_t i = 0; i < apps.size(); ++i) {
+            if (apps[i].name == name)
+                return i;
+        }
+        ADD_FAILURE() << "no app " << name;
+        return 0;
+    }
+};
+
+TEST_F(IqStudyFixture, SixtyFourEntryQueueIsBestConventional)
+{
+    // Fig 10: "Most applications perform best with the 64-entry
+    // instruction queue"; Fig 11 uses it as the conventional config.
+    EXPECT_EQ(study().selection.best_conventional, 3u); // 16*(3+1)=64
+}
+
+TEST_F(IqStudyFixture, PaperExceptionsHold)
+{
+    // compress favors 128; radar, fpppp and appcg favor 16.
+    EXPECT_GE(study().selection.per_app_best[appIndex("compress")], 6u);
+    EXPECT_EQ(study().selection.per_app_best[appIndex("radar")], 0u);
+    EXPECT_EQ(study().selection.per_app_best[appIndex("fpppp")], 0u);
+    EXPECT_EQ(study().selection.per_app_best[appIndex("appcg")], 0u);
+}
+
+TEST_F(IqStudyFixture, MeanReductionNearPaper)
+{
+    // Fig 11: ~7% mean TPI reduction.
+    double reduction = study().selection.meanReduction();
+    EXPECT_GT(reduction, 0.03);
+    EXPECT_LT(reduction, 0.15);
+}
+
+TEST_F(IqStudyFixture, AppcgGainsMost)
+{
+    // Fig 11: appcg's 28% reduction is the largest.
+    const auto &sel = study().selection;
+    size_t appcg = appIndex("appcg");
+    double conv = study().perf[appcg][sel.best_conventional].tpi_ns;
+    double adapt = study().perf[appcg][sel.per_app_best[appcg]].tpi_ns;
+    EXPECT_NEAR(1.0 - adapt / conv, 0.27, 0.07);
+}
+
+TEST_F(IqStudyFixture, IpcNondecreasingInQueueSize)
+{
+    for (size_t a = 0; a < study().apps.size(); ++a) {
+        const auto &row = study().perf[a];
+        for (size_t c = 1; c < row.size(); ++c) {
+            EXPECT_GE(row[c].ipc, row[c - 1].ipc - 0.03)
+                << study().apps[a].name << " @" << row[c].entries;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Intra-application diversity (Figures 12-13)
+// ---------------------------------------------------------------------
+
+TEST(IntraAppDiversityTest, Turb3dPhasesSwapWinners)
+{
+    AdaptiveIqModel model;
+    const trace::AppProfile &turb3d = trace::findApp("turb3d");
+    // The schedule is A(600k) B(400k) A(500k) B(450k); run 1M instrs
+    // and compare windows inside A and inside B.
+    uint64_t instrs = 1'000'000;
+    IntervalSeries s64 = model.intervalSeries(turb3d, 64, instrs);
+    IntervalSeries s128 = model.intervalSeries(turb3d, 128, instrs);
+    // Phase A: intervals [40, 260) -- 64 entries wins (Fig 12a).
+    double a64 = s64.meanOver(40, 260);
+    double a128 = s128.meanOver(40, 260);
+    EXPECT_LT(a64, a128 * 0.95);
+    // Phase B: intervals [320, 480) -- 128 entries wins (Fig 12b).
+    double b64 = s64.meanOver(320, 480);
+    double b128 = s128.meanOver(320, 480);
+    EXPECT_LT(b128, b64);
+}
+
+TEST(IntraAppDiversityTest, VortexRegularAlternation)
+{
+    AdaptiveIqModel model;
+    const trace::AppProfile &vortex = trace::findApp("vortex");
+    // The regular region alternates the winner every ~15 intervals
+    // (Fig 13a): count winner flips over the first 600 intervals.
+    uint64_t instrs = 1'200'000;
+    IntervalSeries s16 = model.intervalSeries(vortex, 16, instrs);
+    IntervalSeries s64 = model.intervalSeries(vortex, 64, instrs);
+    int flips = 0;
+    bool prev_16_wins = s16.at(0) < s64.at(0);
+    for (size_t i = 1; i < 600; ++i) {
+        bool now_16_wins = s16.at(i) < s64.at(i);
+        if (now_16_wins != prev_16_wins)
+            ++flips;
+        prev_16_wins = now_16_wins;
+    }
+    // 20 alternations of each phase = ~40 winner changes; allow noise.
+    EXPECT_GE(flips, 25);
+    EXPECT_LE(flips, 120);
+}
+
+TEST(IntraAppDiversityTest, VortexIrregularRegionAveragesOut)
+{
+    AdaptiveIqModel model;
+    const trace::AppProfile &vortex = trace::findApp("vortex");
+    // The irregular region follows the 1.2M-instruction regular part;
+    // over it, the two configurations average out roughly the same
+    // (Fig 13b), so reconfiguring there buys nothing.
+    uint64_t instrs = 1'700'000;
+    IntervalSeries s16 = model.intervalSeries(vortex, 16, instrs);
+    IntervalSeries s64 = model.intervalSeries(vortex, 64, instrs);
+    double irregular16 = s16.meanOver(620, 840);
+    double irregular64 = s64.meanOver(620, 840);
+    EXPECT_NEAR(irregular16 / irregular64, 1.0, 0.12);
+}
+
+} // namespace
+} // namespace cap::core

@@ -1,0 +1,235 @@
+/**
+ * @file
+ * Cross-module parameterized property suites: invariants that must
+ * hold for every application, configuration and technology.
+ */
+
+#include <cmath>
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/adaptive_cache.h"
+#include "core/adaptive_iq.h"
+#include "core/config_manager.h"
+#include "core/interval_controller.h"
+#include "core/structures.h"
+#include "trace/analysis.h"
+#include "trace/stream.h"
+#include "trace/workloads.h"
+
+namespace cap::core {
+namespace {
+
+// ---------------------------------------------------------------------
+// Per-application properties (sampled across the suite).
+// ---------------------------------------------------------------------
+
+class PerAppPropertyTest : public testing::TestWithParam<const char *>
+{
+  protected:
+    const trace::AppProfile &app() const
+    {
+        return trace::findApp(GetParam());
+    }
+};
+
+TEST_P(PerAppPropertyTest, CacheTpiDecomposition)
+{
+    // TPI = base + TPImiss exactly, at every boundary.
+    AdaptiveCacheModel model;
+    for (int k : {1, 4, 8}) {
+        CachePerf perf = model.evaluate(app(), k, 20000);
+        CacheBoundaryTiming t = model.boundaryTiming(k);
+        EXPECT_NEAR(perf.tpi_ns - perf.tpi_miss_ns,
+                    t.cycle_ns / CacheMachine::kBaseIpc, 1e-9)
+            << GetParam() << " k=" << k;
+    }
+}
+
+TEST_P(PerAppPropertyTest, CacheEvaluationDeterministic)
+{
+    AdaptiveCacheModel model;
+    CachePerf a = model.evaluate(app(), 3, 15000);
+    CachePerf b = model.evaluate(app(), 3, 15000);
+    EXPECT_DOUBLE_EQ(a.tpi_ns, b.tpi_ns);
+    EXPECT_EQ(a.refs, b.refs);
+}
+
+TEST_P(PerAppPropertyTest, IqTpiEqualsCycleOverIpc)
+{
+    AdaptiveIqModel model;
+    for (int entries : {16, 64, 128}) {
+        IqPerf perf = model.evaluate(app(), entries, 20000);
+        EXPECT_NEAR(perf.tpi_ns, model.cycleNs(entries) / perf.ipc,
+                    1e-12)
+            << GetParam() << " n=" << entries;
+        EXPECT_GT(perf.ipc, 0.0);
+        EXPECT_LE(perf.ipc, 8.0 + 1e-9);
+    }
+}
+
+TEST_P(PerAppPropertyTest, IntervalSeriesSumsToWholeRun)
+{
+    // Total cycles implied by the interval series equal the cycles of
+    // one uninterrupted run over the same instructions.
+    AdaptiveIqModel model;
+    uint64_t instrs = 20000;
+    IntervalSeries series = model.intervalSeries(app(), 48, instrs, 2000);
+    IqPerf whole = model.evaluate(app(), 48, instrs);
+    double series_time = 0.0;
+    for (size_t i = 0; i < series.size(); ++i)
+        series_time += series.at(i) * 2000.0;
+    double whole_time =
+        whole.tpi_ns * static_cast<double>(whole.instructions);
+    // Each interval step may overshoot its boundary by up to the
+    // issue width (a final cycle issues past the target), so the two
+    // accountings differ by a fraction of a percent.
+    EXPECT_NEAR(series_time, whole_time, whole_time * 0.01)
+        << GetParam();
+}
+
+TEST_P(PerAppPropertyTest, StackDistanceCurveBoundsCacheMisses)
+{
+    // The fully-associative LRU miss ratio at the pool's capacity is a
+    // lower bound for the simulated (set-associative) global miss
+    // ratio over the same stream.
+    AdaptiveCacheModel model;
+    uint64_t refs = 20000;
+    CachePerf perf = model.evaluate(app(), 4, refs);
+
+    trace::SyntheticTraceSource source(app().cache, app().seed, refs);
+    trace::TraceCharacter character = trace::analyzeTrace(source, refs);
+    double fa_miss =
+        character.missRatioAtBytes(model.geometry().totalBytes());
+    EXPECT_LE(fa_miss, perf.global_miss_ratio + 0.005) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(SampledApps, PerAppPropertyTest,
+                         testing::Values("li", "gcc", "compress",
+                                         "stereo", "appcg", "applu",
+                                         "vortex", "turb3d", "fpppp"),
+                         [](const auto &info) {
+                             return std::string(info.param);
+                         });
+
+// ---------------------------------------------------------------------
+// Joint configuration manager with all four structures.
+// ---------------------------------------------------------------------
+
+TEST(JointStructuresTest, FourWayWorstCaseClock)
+{
+    ConfigurationManager manager;
+    manager.addStructure(std::make_shared<CacheStructure>(
+        std::make_shared<AdaptiveCacheModel>()));
+    manager.addStructure(std::make_shared<IqStructure>(
+        std::make_shared<AdaptiveIqModel>()));
+    manager.addStructure(std::make_shared<TlbStructure>(
+        std::make_shared<AdaptiveTlbModel>()));
+    manager.addStructure(std::make_shared<BpredStructure>(
+        std::make_shared<AdaptiveBpredModel>()));
+    ASSERT_EQ(manager.structureCount(), 4u);
+
+    // Joint clock is the max of the four requirements for every
+    // sampled joint configuration.
+    for (int c0 : {0, 7}) {
+        for (int c1 : {0, 7}) {
+            for (int c2 : {0, 3}) {
+                for (int c3 : {0, 4}) {
+                    std::vector<int> joint{c0, c1, c2, c3};
+                    double expected = 0.0;
+                    for (size_t s = 0; s < 4; ++s) {
+                        expected = std::max(
+                            expected, manager.structure(s)
+                                          .cycleRequirement(joint[s]));
+                    }
+                    EXPECT_DOUBLE_EQ(manager.cycleFor(joint), expected);
+                }
+            }
+        }
+    }
+
+    // The 256-entry TLB dominates everything else at small cache
+    // boundaries (the Section 5.4 coupling).
+    EXPECT_DOUBLE_EQ(manager.cycleFor({0, 0, 3, 0}),
+                     manager.structure(2).cycleRequirement(3));
+}
+
+TEST(JointStructuresTest, CleanupCosts)
+{
+    auto tlb = std::make_shared<AdaptiveTlbModel>();
+    TlbStructure tlb_structure(tlb);
+    // 256 -> 32 entries: 224 evictions.
+    EXPECT_EQ(tlb_structure.reconfigureCleanupCycles(3, 0), 224u);
+    EXPECT_EQ(tlb_structure.reconfigureCleanupCycles(0, 3), 0u);
+    EXPECT_EQ(tlb_structure.configName(3), "256-entry");
+
+    auto bpred = std::make_shared<AdaptiveBpredModel>();
+    BpredStructure bpred_structure(bpred);
+    EXPECT_EQ(bpred_structure.reconfigureCleanupCycles(4, 0), 0u);
+    EXPECT_EQ(bpred_structure.configName(0), "512-entry");
+    EXPECT_EQ(bpred_structure.configCount(), 5);
+}
+
+// ---------------------------------------------------------------------
+// Clock-table quantization composes with the cache model.
+// ---------------------------------------------------------------------
+
+class QuantizationPropertyTest : public testing::TestWithParam<double>
+{
+};
+
+TEST_P(QuantizationPropertyTest, QuantizedClockNeverFaster)
+{
+    AdaptiveCacheModel model;
+    model.clockTable().setQuantizationStep(GetParam());
+    AdaptiveCacheModel continuous;
+    for (int k = 1; k <= 8; ++k) {
+        double quantized = model.boundaryTiming(k).cycle_ns;
+        double raw = continuous.boundaryTiming(k).cycle_ns;
+        EXPECT_GE(quantized, raw - 1e-12);
+        EXPECT_LT(quantized, raw + GetParam() + 1e-12);
+        // On the grid.
+        double steps = quantized / GetParam();
+        EXPECT_NEAR(steps, std::round(steps), 1e-6);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Steps, QuantizationPropertyTest,
+                         testing::Values(0.05, 0.1, 0.25));
+
+// ---------------------------------------------------------------------
+// Interval-controller accounting.
+// ---------------------------------------------------------------------
+
+class ControllerAccountingTest
+    : public testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(ControllerAccountingTest, TimeAtLeastBestFixed)
+{
+    // No controller can beat the per-interval oracle, and the oracle
+    // cannot beat physics: both sanity bounds in one run.
+    AdaptiveIqModel model;
+    const trace::AppProfile &app = trace::findApp(GetParam());
+    uint64_t instrs = 120000;
+    IntervalPolicyParams params;
+    IntervalRunResult controlled =
+        IntervalAdaptiveIq(model, params).run(app, instrs, 64);
+    IntervalRunResult oracle = runIntervalOracle(
+        model, app, instrs, AdaptiveIqModel::studySizes(),
+        kIntervalInstructions, false);
+    EXPECT_GE(controlled.tpi(), oracle.tpi() - 1e-9) << GetParam();
+    EXPECT_EQ(controlled.instructions, oracle.instructions);
+}
+
+INSTANTIATE_TEST_SUITE_P(Apps, ControllerAccountingTest,
+                         testing::Values("li", "vortex", "appcg"),
+                         [](const auto &info) {
+                             return std::string(info.param);
+                         });
+
+} // namespace
+} // namespace cap::core

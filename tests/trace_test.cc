@@ -1,0 +1,327 @@
+/**
+ * @file
+ * Tests for the trace substrate: pattern generators, synthetic trace
+ * sources and the 22-application workload suite.
+ */
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "trace/patterns.h"
+#include "trace/profile.h"
+#include "trace/record.h"
+#include "trace/stream.h"
+#include "trace/workloads.h"
+#include "util/rng.h"
+
+namespace cap::trace {
+namespace {
+
+constexpr uint64_t kBlock = kBlockBytes;
+
+// ---------------------------------------------------------------------
+// ZipfResident
+// ---------------------------------------------------------------------
+
+TEST(ZipfResidentTest, AddressesStayInRegion)
+{
+    Region region{0x100000, kib(16)};
+    ZipfResident pattern(region, kBlock, 1.0, 7);
+    Rng rng(1);
+    for (int i = 0; i < 5000; ++i) {
+        Addr addr = pattern.next(rng);
+        ASSERT_GE(addr, region.base);
+        ASSERT_LT(addr, region.base + region.size_bytes);
+    }
+}
+
+TEST(ZipfResidentTest, SkewConcentratesMass)
+{
+    Region region{0, kib(32)};
+    ZipfResident pattern(region, kBlock, 1.3, 7);
+    Rng rng(2);
+    std::map<uint64_t, int> block_counts;
+    const int draws = 40000;
+    for (int i = 0; i < draws; ++i)
+        ++block_counts[pattern.next(rng) / kBlock];
+    std::vector<int> counts;
+    for (auto &[block, count] : block_counts)
+        counts.push_back(count);
+    std::sort(counts.rbegin(), counts.rend());
+    // The hottest 10% of blocks must take well over 10% of accesses.
+    size_t top = counts.size() / 10;
+    int top_mass = 0, total = 0;
+    for (size_t i = 0; i < counts.size(); ++i) {
+        total += counts[i];
+        if (i < top)
+            top_mass += counts[i];
+    }
+    EXPECT_GT(static_cast<double>(top_mass) / total, 0.4);
+}
+
+TEST(ZipfResidentTest, ShuffleScattersHotBlocks)
+{
+    Region region{0, kib(64)};
+    // Two different shuffle seeds must map rank 0 to different blocks.
+    ZipfResident a(region, kBlock, 2.0, 1);
+    ZipfResident b(region, kBlock, 2.0, 2);
+    Rng rng_a(5), rng_b(5);
+    std::map<uint64_t, int> count_a, count_b;
+    for (int i = 0; i < 4000; ++i) {
+        ++count_a[a.next(rng_a) / kBlock];
+        ++count_b[b.next(rng_b) / kBlock];
+    }
+    auto hottest = [](const std::map<uint64_t, int> &counts) {
+        uint64_t best = 0;
+        int best_count = -1;
+        for (auto &[block, count] : counts) {
+            if (count > best_count) {
+                best_count = count;
+                best = block;
+            }
+        }
+        return best;
+    };
+    EXPECT_NE(hottest(count_a), hottest(count_b));
+}
+
+// ---------------------------------------------------------------------
+// CyclicSweep
+// ---------------------------------------------------------------------
+
+TEST(CyclicSweepTest, VisitsSequentiallyAndWraps)
+{
+    Region region{0x200000, 4 * kBlock};
+    CyclicSweep sweep(region, kBlock);
+    Rng rng(1);
+    std::vector<Addr> seen;
+    for (int i = 0; i < 8; ++i)
+        seen.push_back(sweep.next(rng));
+    for (int i = 0; i < 4; ++i) {
+        EXPECT_EQ(seen[i], region.base + static_cast<uint64_t>(i) * kBlock);
+        EXPECT_EQ(seen[i + 4], seen[i]);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Stream
+// ---------------------------------------------------------------------
+
+TEST(StreamTest, TouchesBlockThenAdvances)
+{
+    Region region{0x300000, kib(1)};
+    Stream stream(region, kBlock, 3);
+    Rng rng(1);
+    std::vector<uint64_t> blocks;
+    for (int i = 0; i < 9; ++i)
+        blocks.push_back(stream.next(rng) / kBlock);
+    EXPECT_EQ(blocks[0], blocks[1]);
+    EXPECT_EQ(blocks[1], blocks[2]);
+    EXPECT_EQ(blocks[3], blocks[0] + 1);
+    EXPECT_EQ(blocks[6], blocks[0] + 2);
+}
+
+TEST(StreamTest, WrapsAtRegionEnd)
+{
+    Region region{0, 2 * kBlock};
+    Stream stream(region, kBlock, 1);
+    Rng rng(1);
+    std::set<uint64_t> blocks;
+    for (int i = 0; i < 6; ++i)
+        blocks.insert(stream.next(rng) / kBlock);
+    EXPECT_EQ(blocks.size(), 2u);
+}
+
+// ---------------------------------------------------------------------
+// SyntheticTraceSource
+// ---------------------------------------------------------------------
+
+CacheBehavior
+twoComponentBehavior()
+{
+    CacheBehavior behavior;
+    PatternSpec hot;
+    hot.kind = PatternKind::ZipfResident;
+    hot.weight = 0.7;
+    hot.region_bytes = kib(8);
+    hot.zipf_s = 1.0;
+    PatternSpec cold;
+    cold.kind = PatternKind::Stream;
+    cold.weight = 0.3;
+    cold.region_bytes = kib(512);
+    behavior.mix = {hot, cold};
+    behavior.write_fraction = 0.25;
+    behavior.refs_per_instr = 0.4;
+    return behavior;
+}
+
+TEST(SyntheticTraceSourceTest, DeterministicForEqualSeeds)
+{
+    CacheBehavior behavior = twoComponentBehavior();
+    SyntheticTraceSource a(behavior, 99, 2000);
+    SyntheticTraceSource b(behavior, 99, 2000);
+    TraceRecord ra, rb;
+    while (a.next(ra)) {
+        ASSERT_TRUE(b.next(rb));
+        ASSERT_EQ(ra.addr, rb.addr);
+        ASSERT_EQ(ra.is_write, rb.is_write);
+    }
+    EXPECT_FALSE(b.next(rb));
+}
+
+TEST(SyntheticTraceSourceTest, DifferentSeedsDiffer)
+{
+    CacheBehavior behavior = twoComponentBehavior();
+    SyntheticTraceSource a(behavior, 1, 500);
+    SyntheticTraceSource b(behavior, 2, 500);
+    TraceRecord ra, rb;
+    int equal = 0;
+    for (int i = 0; i < 500; ++i) {
+        a.next(ra);
+        b.next(rb);
+        equal += ra.addr == rb.addr ? 1 : 0;
+    }
+    EXPECT_LT(equal, 100);
+}
+
+TEST(SyntheticTraceSourceTest, HonorsLimit)
+{
+    SyntheticTraceSource source(twoComponentBehavior(), 5, 123);
+    TraceRecord record;
+    uint64_t produced = 0;
+    while (source.next(record))
+        ++produced;
+    EXPECT_EQ(produced, 123u);
+    EXPECT_EQ(source.produced(), 123u);
+}
+
+TEST(SyntheticTraceSourceTest, ComponentsLiveInDisjointRegions)
+{
+    SyntheticTraceSource source(twoComponentBehavior(), 5, 20000);
+    TraceRecord record;
+    std::set<uint64_t> megabytes;
+    while (source.next(record))
+        megabytes.insert(record.addr / mib(1));
+    // Component one occupies one 1 MiB-aligned region; component two
+    // occupies one as well (8 KB region) -- no overlap.
+    EXPECT_GE(megabytes.size(), 2u);
+}
+
+TEST(SyntheticTraceSourceTest, WriteFractionApproximate)
+{
+    SyntheticTraceSource source(twoComponentBehavior(), 5, 20000);
+    TraceRecord record;
+    int writes = 0;
+    while (source.next(record))
+        writes += record.is_write ? 1 : 0;
+    EXPECT_NEAR(writes / 20000.0, 0.25, 0.02);
+}
+
+// ---------------------------------------------------------------------
+// Workload suite
+// ---------------------------------------------------------------------
+
+TEST(WorkloadsTest, SuiteHasAllTwentyTwoApplications)
+{
+    const auto &suite = workloadSuite();
+    EXPECT_EQ(suite.size(), 22u);
+    std::set<std::string> names;
+    for (const AppProfile &app : suite)
+        names.insert(app.name);
+    EXPECT_EQ(names.size(), 22u);
+    for (const char *expected :
+         {"go", "m88ksim", "gcc", "compress", "li", "ijpeg", "perl",
+          "vortex", "airshed", "stereo", "radar", "appcg", "tomcatv",
+          "swim", "su2cor", "hydro2d", "mgrid", "applu", "turb3d", "apsi",
+          "fpppp", "wave5"}) {
+        EXPECT_TRUE(names.count(expected)) << expected;
+    }
+}
+
+TEST(WorkloadsTest, GoExcludedFromCacheStudyOnly)
+{
+    // The paper could not instrument go with Atom: 21 cache apps,
+    // 22 IQ apps.
+    EXPECT_EQ(cacheStudyApps().size(), 21u);
+    EXPECT_EQ(iqStudyApps().size(), 22u);
+    for (const AppProfile &app : cacheStudyApps())
+        EXPECT_NE(app.name, "go");
+}
+
+TEST(WorkloadsTest, FindAppReturnsMatch)
+{
+    const AppProfile &app = findApp("stereo");
+    EXPECT_EQ(app.name, "stereo");
+    EXPECT_EQ(app.suite, Suite::Cmu);
+}
+
+TEST(WorkloadsDeathTest, FindAppUnknownIsFatal)
+{
+    EXPECT_EXIT(findApp("doom"), testing::ExitedWithCode(1), "unknown");
+}
+
+TEST(WorkloadsTest, ProfilesAreInternallyConsistent)
+{
+    for (const AppProfile &app : workloadSuite()) {
+        EXPECT_FALSE(app.cache.mix.empty()) << app.name;
+        EXPECT_GT(app.cache.refs_per_instr, 0.0) << app.name;
+        EXPECT_LE(app.cache.refs_per_instr, 1.0) << app.name;
+        EXPECT_GE(app.cache.write_fraction, 0.0) << app.name;
+        EXPECT_LE(app.cache.write_fraction, 1.0) << app.name;
+        double total_weight = 0.0;
+        for (const PatternSpec &spec : app.cache.mix) {
+            EXPECT_GT(spec.weight, 0.0) << app.name;
+            EXPECT_GE(spec.region_bytes, kBlock) << app.name;
+            total_weight += spec.weight;
+        }
+        EXPECT_NEAR(total_weight, 1.0, 0.01) << app.name;
+
+        EXPECT_FALSE(app.ilp.phases.empty()) << app.name;
+        EXPECT_FALSE(app.ilp.schedule.empty()) << app.name;
+        for (const PhaseSegment &seg : app.ilp.schedule) {
+            EXPECT_GE(seg.phase, 0) << app.name;
+            EXPECT_LT(static_cast<size_t>(seg.phase),
+                      app.ilp.phases.size()) << app.name;
+            EXPECT_GT(seg.length_instrs, 0u) << app.name;
+        }
+        for (const IlpPhase &phase : app.ilp.phases) {
+            EXPECT_GE(phase.min_dep_distance, 1u) << app.name;
+            EXPECT_GE(phase.mean_dep_distance, 1.0) << app.name;
+            EXPECT_GE(phase.short_lat_cycles, 1) << app.name;
+            EXPECT_GE(phase.long_lat_cycles, phase.short_lat_cycles)
+                << app.name;
+        }
+    }
+}
+
+TEST(WorkloadsTest, SeedsAreUnique)
+{
+    std::set<uint64_t> seeds;
+    for (const AppProfile &app : workloadSuite())
+        seeds.insert(app.seed);
+    EXPECT_EQ(seeds.size(), workloadSuite().size());
+}
+
+TEST(WorkloadsTest, SuiteNames)
+{
+    EXPECT_STREQ(suiteName(Suite::SpecInt), "SPECint95");
+    EXPECT_STREQ(suiteName(Suite::SpecFp), "SPECfp95");
+    EXPECT_STREQ(suiteName(Suite::Cmu), "CMU");
+    EXPECT_STREQ(suiteName(Suite::Nas), "NAS");
+}
+
+TEST(WorkloadsTest, PhasedAppsHaveMultiplePhases)
+{
+    // turb3d and vortex carry the Figure 12/13 phase structure.
+    EXPECT_GE(findApp("turb3d").ilp.phases.size(), 2u);
+    EXPECT_GE(findApp("turb3d").ilp.schedule.size(), 2u);
+    EXPECT_GE(findApp("vortex").ilp.phases.size(), 2u);
+    EXPECT_GT(findApp("vortex").ilp.schedule.size(), 20u);
+}
+
+} // namespace
+} // namespace cap::trace

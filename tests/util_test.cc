@@ -1,0 +1,403 @@
+/**
+ * @file
+ * Unit tests for the util substrate: statistics, RNG, tables, status.
+ */
+
+#include <cmath>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/status.h"
+#include "util/table.h"
+#include "util/units.h"
+
+namespace cap {
+namespace {
+
+// ---------------------------------------------------------------------
+// RunningStat
+// ---------------------------------------------------------------------
+
+TEST(RunningStatTest, EmptyIsZero)
+{
+    RunningStat stat;
+    EXPECT_EQ(stat.count(), 0u);
+    EXPECT_DOUBLE_EQ(stat.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(stat.min(), 0.0);
+    EXPECT_DOUBLE_EQ(stat.max(), 0.0);
+    EXPECT_DOUBLE_EQ(stat.variance(), 0.0);
+}
+
+TEST(RunningStatTest, BasicMoments)
+{
+    RunningStat stat;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        stat.add(x);
+    EXPECT_EQ(stat.count(), 8u);
+    EXPECT_DOUBLE_EQ(stat.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(stat.min(), 2.0);
+    EXPECT_DOUBLE_EQ(stat.max(), 9.0);
+    EXPECT_NEAR(stat.variance(), 4.0, 1e-12);
+    EXPECT_NEAR(stat.stddev(), 2.0, 1e-12);
+}
+
+TEST(RunningStatTest, MergeMatchesCombinedStream)
+{
+    RunningStat a, b, combined;
+    for (int i = 0; i < 100; ++i) {
+        double x = std::sin(i * 0.37) * 10.0;
+        (i < 40 ? a : b).add(x);
+        combined.add(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), combined.count());
+    EXPECT_NEAR(a.mean(), combined.mean(), 1e-9);
+    EXPECT_NEAR(a.variance(), combined.variance(), 1e-9);
+    EXPECT_DOUBLE_EQ(a.min(), combined.min());
+    EXPECT_DOUBLE_EQ(a.max(), combined.max());
+}
+
+TEST(RunningStatTest, MergeIntoEmptyAndFromEmpty)
+{
+    RunningStat a, b;
+    b.add(3.0);
+    b.add(5.0);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 2u);
+    EXPECT_DOUBLE_EQ(a.mean(), 4.0);
+    RunningStat empty;
+    a.merge(empty);
+    EXPECT_EQ(a.count(), 2u);
+}
+
+TEST(RunningStatTest, ResetClears)
+{
+    RunningStat stat;
+    stat.add(1.0);
+    stat.reset();
+    EXPECT_EQ(stat.count(), 0u);
+    EXPECT_DOUBLE_EQ(stat.sum(), 0.0);
+}
+
+// ---------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------
+
+TEST(HistogramTest, BinsAndCenters)
+{
+    Histogram hist(0.0, 10.0, 10);
+    EXPECT_EQ(hist.binCount(), 10u);
+    EXPECT_DOUBLE_EQ(hist.binCenter(0), 0.5);
+    EXPECT_DOUBLE_EQ(hist.binCenter(9), 9.5);
+}
+
+TEST(HistogramTest, ClampsOutOfRange)
+{
+    Histogram hist(0.0, 10.0, 10);
+    hist.add(-5.0);
+    hist.add(100.0);
+    EXPECT_EQ(hist.binValue(0), 1u);
+    EXPECT_EQ(hist.binValue(9), 1u);
+    EXPECT_EQ(hist.totalCount(), 2u);
+}
+
+TEST(HistogramTest, CdfMonotone)
+{
+    Histogram hist(0.0, 100.0, 20);
+    for (int i = 0; i < 100; ++i)
+        hist.add(static_cast<double>(i));
+    double prev = 0.0;
+    for (double x = 0.0; x <= 100.0; x += 10.0) {
+        double cdf = hist.cdfAt(x);
+        EXPECT_GE(cdf, prev);
+        prev = cdf;
+    }
+    EXPECT_DOUBLE_EQ(hist.cdfAt(1000.0), 1.0);
+}
+
+// ---------------------------------------------------------------------
+// IntervalSeries
+// ---------------------------------------------------------------------
+
+TEST(IntervalSeriesTest, MeanOverWindows)
+{
+    IntervalSeries series;
+    for (int i = 1; i <= 10; ++i)
+        series.add(static_cast<double>(i));
+    EXPECT_EQ(series.size(), 10u);
+    EXPECT_DOUBLE_EQ(series.mean(), 5.5);
+    EXPECT_DOUBLE_EQ(series.meanOver(0, 5), 3.0);
+    EXPECT_DOUBLE_EQ(series.meanOver(5, 10), 8.0);
+    // Clamped and empty windows.
+    EXPECT_DOUBLE_EQ(series.meanOver(8, 100), 9.5);
+    EXPECT_DOUBLE_EQ(series.meanOver(7, 7), 0.0);
+}
+
+// ---------------------------------------------------------------------
+// Rng
+// ---------------------------------------------------------------------
+
+TEST(RngTest, DeterministicForEqualSeeds)
+{
+    Rng a(12345), b(12345);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int equal = 0;
+    for (int i = 0; i < 100; ++i)
+        equal += a.next() == b.next() ? 1 : 0;
+    EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, UniformInUnitInterval)
+{
+    Rng rng(7);
+    double sum = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, BelowRespectsBound)
+{
+    Rng rng(9);
+    for (uint64_t bound : {1ull, 2ull, 7ull, 1000ull}) {
+        for (int i = 0; i < 200; ++i)
+            ASSERT_LT(rng.below(bound), bound);
+    }
+}
+
+TEST(RngTest, RangeInclusive)
+{
+    Rng rng(11);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        int64_t x = rng.range(-3, 3);
+        ASSERT_GE(x, -3);
+        ASSERT_LE(x, 3);
+        saw_lo |= x == -3;
+        saw_hi |= x == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, ChanceExtremes)
+{
+    Rng rng(13);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+    }
+}
+
+TEST(RngTest, GeometricMeanAndCap)
+{
+    Rng rng(17);
+    double sum = 0.0;
+    const double p = 0.25;
+    for (int i = 0; i < 20000; ++i) {
+        uint64_t k = rng.geometric(p, 1000);
+        ASSERT_LE(k, 1000u);
+        sum += static_cast<double>(k);
+    }
+    // Mean of geometric (failures before success) is (1-p)/p = 3.
+    EXPECT_NEAR(sum / 20000.0, 3.0, 0.15);
+    for (int i = 0; i < 100; ++i)
+        ASSERT_LE(rng.geometric(0.001, 5), 5u);
+}
+
+TEST(RngTest, WeightedFollowsWeights)
+{
+    Rng rng(19);
+    std::vector<double> weights{1.0, 0.0, 3.0};
+    std::vector<int> counts(3, 0);
+    for (int i = 0; i < 8000; ++i)
+        ++counts[rng.weighted(weights)];
+    EXPECT_EQ(counts[1], 0);
+    EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.4);
+}
+
+TEST(RngTest, ZipfBoundsAndSkew)
+{
+    Rng rng(23);
+    uint64_t n = 64;
+    std::vector<int> counts(n, 0);
+    for (int i = 0; i < 20000; ++i) {
+        uint64_t k = rng.zipf(n, 1.2);
+        ASSERT_LT(k, n);
+        ++counts[k];
+    }
+    // Rank 0 must be far more popular than rank n-1.
+    EXPECT_GT(counts[0], counts[n - 1] * 5);
+}
+
+TEST(RngTest, ZipfZeroExponentIsUniformish)
+{
+    Rng rng(29);
+    uint64_t n = 8;
+    std::vector<int> counts(n, 0);
+    for (int i = 0; i < 16000; ++i)
+        ++counts[rng.zipf(n, 0.0)];
+    for (uint64_t k = 0; k < n; ++k)
+        EXPECT_NEAR(counts[k], 2000, 300);
+}
+
+TEST(RngTest, SplitProducesIndependentStream)
+{
+    Rng a(31);
+    Rng child = a.split();
+    int equal = 0;
+    for (int i = 0; i < 100; ++i)
+        equal += a.next() == child.next() ? 1 : 0;
+    EXPECT_LT(equal, 3);
+}
+
+// ---------------------------------------------------------------------
+// TableWriter / Cell
+// ---------------------------------------------------------------------
+
+TEST(TableTest, CellRendering)
+{
+    EXPECT_EQ(Cell("abc").str(), "abc");
+    EXPECT_EQ(Cell(42).str(), "42");
+    EXPECT_EQ(Cell(uint64_t{7}).str(), "7");
+    EXPECT_EQ(Cell(3.14159, 2).str(), "3.14");
+}
+
+TEST(TableTest, AsciiRenderContainsData)
+{
+    TableWriter table("demo");
+    table.setHeader({"app", "tpi"});
+    table.addRow({Cell("gcc"), Cell(0.5, 3)});
+    std::ostringstream os;
+    table.renderAscii(os);
+    std::string out = os.str();
+    EXPECT_NE(out.find("demo"), std::string::npos);
+    EXPECT_NE(out.find("gcc"), std::string::npos);
+    EXPECT_NE(out.find("0.500"), std::string::npos);
+    EXPECT_NE(out.find("app"), std::string::npos);
+}
+
+TEST(TableTest, CsvEscaping)
+{
+    TableWriter table("csv");
+    table.setHeader({"name", "note"});
+    table.addRow({Cell("a,b"), Cell("say \"hi\"")});
+    std::ostringstream os;
+    table.renderCsv(os);
+    EXPECT_NE(os.str().find("\"a,b\""), std::string::npos);
+    EXPECT_NE(os.str().find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(TableTest, RowCount)
+{
+    TableWriter table("rows");
+    table.setHeader({"x"});
+    EXPECT_EQ(table.rowCount(), 0u);
+    table.addRow({Cell(1)});
+    table.addRow({Cell(2)});
+    EXPECT_EQ(table.rowCount(), 2u);
+}
+
+TEST(TableDeathTest, MismatchedRowWidthPanics)
+{
+    TableWriter table("bad");
+    table.setHeader({"a", "b"});
+    EXPECT_DEATH(table.addRow({Cell(1)}), "row width");
+}
+
+// ---------------------------------------------------------------------
+// Status / assertions
+// ---------------------------------------------------------------------
+
+std::vector<std::pair<StatusLevel, std::string>> captured;
+
+void
+captureSink(StatusLevel level, const std::string &message)
+{
+    captured.emplace_back(level, message);
+}
+
+TEST(StatusTest, SinkCapturesWarnAndInform)
+{
+    captured.clear();
+    StatusSink prev = setStatusSink(captureSink);
+    inform("hello %d", 7);
+    warn("watch out");
+    setStatusSink(prev);
+    ASSERT_EQ(captured.size(), 2u);
+    EXPECT_EQ(captured[0].first, StatusLevel::Inform);
+    EXPECT_EQ(captured[0].second, "hello 7");
+    EXPECT_EQ(captured[1].first, StatusLevel::Warn);
+}
+
+TEST(StatusDeathTest, CapAssertWithMessage)
+{
+    EXPECT_DEATH(capAssert(1 == 2, "context %d", 5), "context 5");
+}
+
+TEST(StatusDeathTest, CapAssertPlain)
+{
+    EXPECT_DEATH(capAssert(false), "assertion 'false' failed");
+}
+
+TEST(StatusDeathTest, PanicAborts)
+{
+    EXPECT_DEATH(panic("boom %s", "now"), "boom now");
+}
+
+TEST(StatusDeathTest, FatalExits)
+{
+    EXPECT_EXIT(fatal("bad config"), testing::ExitedWithCode(1),
+                "bad config");
+}
+
+// ---------------------------------------------------------------------
+// units.h helpers
+// ---------------------------------------------------------------------
+
+TEST(UnitsTest, SizeHelpers)
+{
+    EXPECT_EQ(kib(8), 8192u);
+    EXPECT_EQ(mib(2), 2097152u);
+}
+
+TEST(UnitsTest, PowerOfTwo)
+{
+    EXPECT_TRUE(isPowerOfTwo(1));
+    EXPECT_TRUE(isPowerOfTwo(1024));
+    EXPECT_FALSE(isPowerOfTwo(0));
+    EXPECT_FALSE(isPowerOfTwo(12));
+}
+
+TEST(UnitsTest, FloorLog2)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(2), 1u);
+    EXPECT_EQ(floorLog2(1023), 9u);
+    EXPECT_EQ(floorLog2(1024), 10u);
+}
+
+TEST(UnitsTest, DivCeil)
+{
+    EXPECT_EQ(divCeil(10, 5), 2u);
+    EXPECT_EQ(divCeil(11, 5), 3u);
+    EXPECT_EQ(divCeil(1, 100), 1u);
+}
+
+} // namespace
+} // namespace cap

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Tests for the value predictor, value streams and the
+ * dependence-breaking machine integration.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/adaptive_iq.h"
+#include "core/adaptive_vpred.h"
+#include "ooo/core_model.h"
+#include "ooo/value_predictor.h"
+#include "trace/workloads.h"
+
+namespace cap {
+namespace {
+
+TEST(StrideValuePredictorTest, LearnsAStride)
+{
+    ooo::StrideValuePredictor predictor(64);
+    for (int i = 0; i < 200; ++i)
+        predictor.predictAndUpdate(
+            {0x8000, static_cast<uint64_t>(100 + 8 * i)});
+    // After warm-up every prediction is confident and correct.
+    EXPECT_GT(predictor.stats().coverage(), 0.9);
+    EXPECT_GT(predictor.stats().accuracy(), 0.95);
+}
+
+TEST(StrideValuePredictorTest, RandomValuesStayUncovered)
+{
+    ooo::StrideValuePredictor predictor(64);
+    Rng rng(5);
+    for (int i = 0; i < 2000; ++i)
+        predictor.predictAndUpdate({0x8000, rng.next()});
+    EXPECT_LT(predictor.stats().coverage(), 0.02);
+}
+
+TEST(StrideValuePredictorTest, AliasingDestroysStrideTracking)
+{
+    auto coverage = [](int entries) {
+        ooo::StrideValuePredictor predictor(entries);
+        for (int i = 0; i < 4000; ++i) {
+            // Two strided sites whose indices collide in a 2-entry
+            // table (pc bits above the mask differ) but not in a
+            // large one.
+            predictor.predictAndUpdate(
+                {0x8000, static_cast<uint64_t>(8 * i)});
+            predictor.predictAndUpdate(
+                {0x8000 + (1 << 3), static_cast<uint64_t>(17 * i)});
+        }
+        return predictor.stats().coverage();
+    };
+    EXPECT_GT(coverage(1024), 0.9);
+    EXPECT_LT(coverage(2), 0.1);
+}
+
+TEST(ValueStreamTest, DeterministicAndBounded)
+{
+    ooo::ValueBehavior behavior;
+    ooo::ValueStream a(behavior, 3), b(behavior, 3);
+    for (int i = 0; i < 1000; ++i) {
+        ooo::ValueRecord ra = a.next(), rb = b.next();
+        ASSERT_EQ(ra.pc, rb.pc);
+        ASSERT_EQ(ra.value, rb.value);
+    }
+}
+
+TEST(CoreModelVpTest, DepBreakingRaisesIpc)
+{
+    const trace::AppProfile &app = trace::findApp("fpppp");
+    auto ipc_with = [&](double p) {
+        ooo::InstructionStream stream(app.ilp, app.seed);
+        ooo::CoreParams params;
+        params.queue_entries = 64;
+        params.dep_break_prob = p;
+        ooo::CoreModel model(stream, params);
+        return model.step(40000).ipc();
+    };
+    double base = ipc_with(0.0);
+    double half = ipc_with(0.4);
+    double full = ipc_with(1.0);
+    EXPECT_GT(half, base * 1.2);
+    EXPECT_GT(full, half);
+    // With every edge broken the machine is width-limited.
+    EXPECT_GT(full, 7.0);
+}
+
+TEST(CoreModelVpTest, ZeroProbabilityIsBitIdentical)
+{
+    const trace::AppProfile &app = trace::findApp("li");
+    ooo::InstructionStream s1(app.ilp, app.seed), s2(app.ilp, app.seed);
+    ooo::CoreParams p1, p2;
+    p2.seed = 999; // different seed must not matter at p = 0
+    ooo::CoreModel a(s1, p1), b(s2, p2);
+    EXPECT_EQ(a.step(30000).cycles, b.step(30000).cycles);
+}
+
+TEST(AdaptiveVpredTest, CoverageNondecreasingLookupIncreasing)
+{
+    core::AdaptiveVpredModel model;
+    const trace::AppProfile &gcc = trace::findApp("gcc");
+    double prev_cov = 0.0, prev_lookup = 0.0;
+    for (int entries : core::AdaptiveVpredModel::studySizes()) {
+        core::VpredPerf perf = model.evaluate(gcc, entries, 40000);
+        EXPECT_GE(perf.coverage, prev_cov - 0.01) << entries;
+        EXPECT_GT(perf.lookup_ns, prev_lookup);
+        EXPECT_NEAR(perf.dep_break_prob,
+                    perf.coverage *
+                        core::AdaptiveVpredModel::kOperandFactor,
+                    1e-12);
+        prev_cov = perf.coverage;
+        prev_lookup = perf.lookup_ns;
+    }
+}
+
+TEST(AdaptiveVpredTest, DataflowLimitedCodesGainMost)
+{
+    core::AdaptiveVpredModel model;
+    core::AdaptiveIqModel iq;
+    uint64_t instrs = 60000;
+    auto gain = [&](const char *name) {
+        const trace::AppProfile &app = trace::findApp(name);
+        double base = iq.evaluate(app, 64, instrs).tpi_ns;
+        double with_vp = model.evaluate(app, 256, instrs).tpi_ns;
+        return 1.0 - with_vp / base;
+    };
+    EXPECT_GT(gain("appcg"), 0.4);
+    EXPECT_GT(gain("fpppp"), 0.4);
+    EXPECT_LT(gain("gcc"), 0.15);
+}
+
+} // namespace
+} // namespace cap

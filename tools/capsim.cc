@@ -1,0 +1,17 @@
+/**
+ * @file
+ * capsim: command-line entry point (see src/cli/cli.h).
+ */
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cli/cli.h"
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> args(argv + 1, argv + argc);
+    return cap::cli::runCommand(args, std::cout, std::cerr);
+}
