@@ -28,7 +28,7 @@ studyWithGeometry(const cache::HierarchyGeometry &geometry,
     model.clockTable().setQuantizationStep(quantization_ns);
     int max_boundary = static_cast<int>(kib(64) / geometry.increment_bytes);
     return core::runCacheStudy(model, trace::cacheStudyApps(), refs,
-                               max_boundary);
+                               max_boundary, benchJobs());
 }
 
 void

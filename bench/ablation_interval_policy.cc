@@ -70,10 +70,10 @@ main()
         std::vector<int> candidates = core::AdaptiveIqModel::studySizes();
         IntervalRunResult oracle = core::runIntervalOracle(
             model, app, instrs, candidates, core::kIntervalInstructions,
-            false);
+            false, core::kClockSwitchPenaltyCycles, benchJobs());
         IntervalRunResult charged = core::runIntervalOracle(
             model, app, instrs, candidates, core::kIntervalInstructions,
-            true);
+            true, core::kClockSwitchPenaltyCycles, benchJobs());
 
         table.addRow({Cell(name), Cell(conv, 3), Cell(best_fixed, 3),
                       Cell(best_cfg), Cell(interval.tpi(), 3),

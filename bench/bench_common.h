@@ -10,6 +10,9 @@
  *
  *   CAPSIM_REFS    data-cache references per (app, config) run
  *   CAPSIM_INSTRS  instructions per (app, config) run
+ *   CAPSIM_JOBS    worker threads for the study sweeps (default: all
+ *                  hardware threads; any value produces bit-identical
+ *                  results)
  */
 
 #ifndef CAPSIM_BENCH_COMMON_H
@@ -20,6 +23,7 @@
 #include <iostream>
 #include <string>
 
+#include "util/parallel.h"
 #include "util/table.h"
 
 namespace cap::bench {
@@ -51,6 +55,17 @@ inline uint64_t
 iqInstrs()
 {
     return envOr("CAPSIM_INSTRS", kDefaultInstrs);
+}
+
+/**
+ * Worker threads for the study sweeps (CAPSIM_JOBS or every hardware
+ * thread).  Safe for figure regeneration: study results are
+ * bit-identical for every job count.
+ */
+inline int
+benchJobs()
+{
+    return defaultJobs();
 }
 
 /** Print a bench banner with the paper's expectation. */

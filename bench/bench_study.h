@@ -18,7 +18,7 @@ paperCacheStudy()
 {
     core::AdaptiveCacheModel model;
     return core::runCacheStudy(model, trace::cacheStudyApps(),
-                               cacheRefs(), 8);
+                               cacheRefs(), 8, benchJobs());
 }
 
 /** Run the paper's instruction-queue study. */
@@ -26,7 +26,8 @@ inline core::IqStudy
 paperIqStudy()
 {
     core::AdaptiveIqModel model;
-    return core::runIqStudy(model, trace::iqStudyApps(), iqInstrs());
+    return core::runIqStudy(model, trace::iqStudyApps(), iqInstrs(),
+                            benchJobs());
 }
 
 /** Configuration label like "16KB/4way". */

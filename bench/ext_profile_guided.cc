@@ -56,7 +56,8 @@ main()
 
         core::IntervalRunResult oracle = core::runIntervalOracle(
             model, app, instrs, core::AdaptiveIqModel::studySizes(),
-            core::kIntervalInstructions, true);
+            core::kIntervalInstructions, true,
+            core::kClockSwitchPenaltyCycles, benchJobs());
 
         table.addRow({Cell(name), Cell(best_fixed, 3),
                       Cell(compiler.tpi(), 3),

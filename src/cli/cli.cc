@@ -1,13 +1,16 @@
 #include "cli.h"
 
 #include <cstdlib>
+#include <fstream>
 
 #include "core/adaptive_cache.h"
 #include "core/adaptive_iq.h"
+#include "core/experiment.h"
 #include "trace/analysis.h"
 #include "trace/file_trace.h"
 #include "trace/stream.h"
 #include "trace/workloads.h"
+#include "util/parallel.h"
 #include "util/table.h"
 #include "util/units.h"
 
@@ -70,8 +73,12 @@ cmdHelp(std::ostream &out)
            "  timing                       print the clock tables\n"
            "  cache-sweep <app|all>        TPI vs L1/L2 boundary\n"
            "      [--refs N]               references per run\n"
+           "      [--jobs N]               worker threads (0 = all cores)\n"
+           "      [--telemetry-json PATH]  write execution telemetry\n"
            "  iq-sweep <app|all>           TPI vs instruction-queue size\n"
            "      [--instrs N]             instructions per run\n"
+           "      [--jobs N]               worker threads (0 = all cores)\n"
+           "      [--telemetry-json PATH]  write execution telemetry\n"
            "  gen-trace <app> <path>       export a synthetic trace file\n"
            "      [--refs N]               records to write\n"
            "  analyze <path>               characterize a trace file\n"
@@ -145,6 +152,31 @@ selectApps(const std::string &which, bool cache_study, std::ostream &err,
     return {};
 }
 
+/** The --jobs flag: absent/1 = serial, 0 = every hardware thread. */
+int
+jobsFlag(const Options &options)
+{
+    uint64_t jobs = options.getU64("jobs", 1);
+    return jobs == 0 ? defaultJobs() : static_cast<int>(jobs);
+}
+
+/** Honour --telemetry-json: write telemetry to PATH when given. */
+int
+writeTelemetry(const Options &options,
+               const core::RunTelemetry &telemetry, std::ostream &err)
+{
+    std::string path = options.get("telemetry-json");
+    if (path.empty())
+        return 0;
+    std::ofstream file(path);
+    if (!file) {
+        err << "capsim: cannot write telemetry to '" << path << "'\n";
+        return 2;
+    }
+    telemetry.writeJson(file);
+    return 0;
+}
+
 int
 cmdCacheSweep(const Options &options, std::ostream &out, std::ostream &err)
 {
@@ -159,6 +191,9 @@ cmdCacheSweep(const Options &options, std::ostream &out, std::ostream &err)
     uint64_t refs = options.getU64("refs", 150000);
 
     core::AdaptiveCacheModel model;
+    core::CacheStudy study =
+        core::runCacheStudy(model, apps, refs, 8, jobsFlag(options));
+
     TableWriter table("avg TPI (ns) vs L1 size, " + std::to_string(refs) +
                       " refs per run");
     std::vector<std::string> header{"app"};
@@ -166,9 +201,9 @@ cmdCacheSweep(const Options &options, std::ostream &out, std::ostream &err)
         header.push_back(std::to_string(8 * k) + "KB");
     header.push_back("best");
     table.setHeader(header);
-    for (const trace::AppProfile &app : apps) {
-        std::vector<Cell> row{Cell(app.name)};
-        auto sweep = model.sweep(app, 8, refs);
+    for (size_t a = 0; a < apps.size(); ++a) {
+        std::vector<Cell> row{Cell(apps[a].name)};
+        const auto &sweep = study.perf[a];
         size_t best = 0;
         for (size_t i = 0; i < sweep.size(); ++i) {
             row.emplace_back(sweep[i].tpi_ns, 3);
@@ -179,7 +214,7 @@ cmdCacheSweep(const Options &options, std::ostream &out, std::ostream &err)
         table.addRow(row);
     }
     table.renderAscii(out);
-    return 0;
+    return writeTelemetry(options, study.telemetry, err);
 }
 
 int
@@ -196,6 +231,9 @@ cmdIqSweep(const Options &options, std::ostream &out, std::ostream &err)
     uint64_t instrs = options.getU64("instrs", 120000);
 
     core::AdaptiveIqModel model;
+    core::IqStudy study =
+        core::runIqStudy(model, apps, instrs, jobsFlag(options));
+
     TableWriter table("avg TPI (ns) vs queue size, " +
                       std::to_string(instrs) + " instructions per run");
     std::vector<std::string> header{"app"};
@@ -203,9 +241,9 @@ cmdIqSweep(const Options &options, std::ostream &out, std::ostream &err)
         header.push_back(std::to_string(entries));
     header.push_back("best");
     table.setHeader(header);
-    for (const trace::AppProfile &app : apps) {
-        std::vector<Cell> row{Cell(app.name)};
-        auto sweep = model.sweep(app, instrs);
+    for (size_t a = 0; a < apps.size(); ++a) {
+        std::vector<Cell> row{Cell(apps[a].name)};
+        const auto &sweep = study.perf[a];
         size_t best = 0;
         for (size_t i = 0; i < sweep.size(); ++i) {
             row.emplace_back(sweep[i].tpi_ns, 3);
@@ -216,7 +254,7 @@ cmdIqSweep(const Options &options, std::ostream &out, std::ostream &err)
         table.addRow(row);
     }
     table.renderAscii(out);
-    return 0;
+    return writeTelemetry(options, study.telemetry, err);
 }
 
 int

@@ -46,6 +46,11 @@ Options parseArgs(const std::vector<std::string> &args);
  *   analyze <path>                characterize a trace file
  *   help                          usage
  *
+ * The sweep commands accept --jobs N (worker threads for the
+ * (app, config) cells; 0 = every hardware thread; results are
+ * bit-identical for every value) and --telemetry-json PATH (write
+ * per-cell execution telemetry as JSON).
+ *
  * @return Process exit code (0 on success).
  */
 int runCommand(const std::vector<std::string> &args, std::ostream &out,

@@ -1,8 +1,54 @@
 #include "experiment.h"
 
+#include <chrono>
+#include <string>
+
+#include "util/parallel.h"
 #include "util/status.h"
 
 namespace cap::core {
+
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+double
+secondsSince(SteadyClock::time_point start)
+{
+    return std::chrono::duration<double>(SteadyClock::now() - start)
+        .count();
+}
+
+/**
+ * Fan the (app x config) cells of a study across @p jobs workers.
+ * @p run_cell simulates one cell and returns its configuration label;
+ * it must write only to state owned by that cell.
+ */
+void
+runStudyCells(RunTelemetry &telemetry, size_t n_apps, size_t n_configs,
+              int jobs,
+              const std::function<std::string(size_t app, size_t config)>
+                  &run_cell)
+{
+    capAssert(jobs >= 1, "study needs at least one worker");
+    telemetry.jobs = jobs;
+    telemetry.cells.assign(n_apps * n_configs, {});
+
+    SteadyClock::time_point start = SteadyClock::now();
+    ThreadPool pool(jobs);
+    parallelFor(pool, n_apps * n_configs, [&](size_t cell) {
+        size_t app = cell / n_configs;
+        size_t config = cell % n_configs;
+        SteadyClock::time_point cell_start = SteadyClock::now();
+        std::string label = run_cell(app, config);
+        CellTelemetry &ct = telemetry.cells[cell];
+        ct.config = std::move(label);
+        ct.sim_seconds = secondsSince(cell_start);
+    });
+    telemetry.wall_seconds = secondsSince(start);
+}
+
+} // namespace
 
 std::vector<std::vector<double>>
 CacheStudy::tpiMatrix() const
@@ -51,15 +97,28 @@ CacheStudy::adaptiveMeanTpiMiss() const
 CacheStudy
 runCacheStudy(const AdaptiveCacheModel &model,
               const std::vector<trace::AppProfile> &apps, uint64_t refs,
-              int max_l1_increments)
+              int max_l1_increments, int jobs)
 {
     capAssert(!apps.empty(), "cache study needs applications");
     CacheStudy study;
     study.apps = apps;
     for (int k = 1; k <= max_l1_increments; ++k)
         study.timings.push_back(model.boundaryTiming(k));
-    for (const trace::AppProfile &app : apps)
-        study.perf.push_back(model.sweep(app, max_l1_increments, refs));
+
+    size_t configs = static_cast<size_t>(max_l1_increments);
+    study.perf.assign(apps.size(), std::vector<CachePerf>(configs));
+    runStudyCells(study.telemetry, apps.size(), configs, jobs,
+                  [&](size_t a, size_t c) {
+                      int k = static_cast<int>(c) + 1;
+                      study.perf[a][c] = model.evaluate(apps[a], k, refs);
+                      study.telemetry.cells[a * configs + c].app =
+                          apps[a].name;
+                      return std::to_string(
+                                 study.timings[c].l1_bytes / 1024) +
+                             "KB/" +
+                             std::to_string(study.timings[c].l1_assoc) +
+                             "way";
+                  });
     study.selection = selectConfigurations(study.tpiMatrix());
     return study;
 }
@@ -80,14 +139,24 @@ IqStudy::tpiMatrix() const
 IqStudy
 runIqStudy(const AdaptiveIqModel &model,
            const std::vector<trace::AppProfile> &apps,
-           uint64_t instructions)
+           uint64_t instructions, int jobs)
 {
     capAssert(!apps.empty(), "IQ study needs applications");
     IqStudy study;
     study.apps = apps;
     study.timings = model.allTimings();
-    for (const trace::AppProfile &app : apps)
-        study.perf.push_back(model.sweep(app, instructions));
+
+    std::vector<int> sizes = AdaptiveIqModel::studySizes();
+    size_t configs = sizes.size();
+    study.perf.assign(apps.size(), std::vector<IqPerf>(configs));
+    runStudyCells(study.telemetry, apps.size(), configs, jobs,
+                  [&](size_t a, size_t c) {
+                      study.perf[a][c] =
+                          model.evaluate(apps[a], sizes[c], instructions);
+                      study.telemetry.cells[a * configs + c].app =
+                          apps[a].name;
+                      return std::to_string(sizes[c]) + " entries";
+                  });
     study.selection = selectConfigurations(study.tpiMatrix());
     return study;
 }

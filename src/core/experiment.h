@@ -7,6 +7,13 @@
  * conventional configuration (minimum mean TPI -- the fixed design a
  * conventional methodology would ship) and the process-level adaptive
  * choice (per-application argmin).
+ *
+ * The (app x config) cells of a study are independent simulations
+ * (each owns its stream, seeded from the application profile), so the
+ * runners fan them across a work-stealing thread pool when @p jobs
+ * exceeds 1.  Cells write into pre-sized result matrices -- no locks
+ * on the hot path -- and the result is bit-identical to the serial
+ * (jobs = 1) path for every thread count.
  */
 
 #ifndef CAPSIM_CORE_EXPERIMENT_H
@@ -17,6 +24,7 @@
 #include "core/adaptive_cache.h"
 #include "core/adaptive_iq.h"
 #include "core/config_manager.h"
+#include "core/telemetry.h"
 #include "trace/profile.h"
 
 namespace cap::core {
@@ -29,6 +37,8 @@ struct CacheStudy
     /** perf[app][config]. */
     std::vector<std::vector<CachePerf>> perf;
     SelectionResult selection;
+    /** Execution cost of the sweep (per-cell times, throughput). */
+    RunTelemetry telemetry;
 
     /** TPI matrix [app][config]. */
     std::vector<std::vector<double>> tpiMatrix() const;
@@ -44,10 +54,13 @@ struct CacheStudy
  * Run the cache study over @p apps.
  * @param refs References simulated per (application, configuration).
  * @param max_l1_increments Largest boundary swept (paper: 8 = 64 KB).
+ * @param jobs Worker threads the (app, config) cells fan across;
+ *        results are bit-identical for every value.
  */
 CacheStudy runCacheStudy(const AdaptiveCacheModel &model,
                          const std::vector<trace::AppProfile> &apps,
-                         uint64_t refs, int max_l1_increments = 8);
+                         uint64_t refs, int max_l1_increments = 8,
+                         int jobs = 1);
 
 /** Complete result of the instruction-queue study (Figures 10-11). */
 struct IqStudy
@@ -57,6 +70,8 @@ struct IqStudy
     /** perf[app][config]. */
     std::vector<std::vector<IqPerf>> perf;
     SelectionResult selection;
+    /** Execution cost of the sweep (per-cell times, throughput). */
+    RunTelemetry telemetry;
 
     std::vector<std::vector<double>> tpiMatrix() const;
 };
@@ -64,10 +79,12 @@ struct IqStudy
 /**
  * Run the instruction-queue study over @p apps.
  * @param instructions Instructions simulated per (app, configuration).
+ * @param jobs Worker threads the (app, config) cells fan across;
+ *        results are bit-identical for every value.
  */
 IqStudy runIqStudy(const AdaptiveIqModel &model,
                    const std::vector<trace::AppProfile> &apps,
-                   uint64_t instructions);
+                   uint64_t instructions, int jobs = 1);
 
 } // namespace cap::core
 

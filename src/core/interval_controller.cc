@@ -1,12 +1,27 @@
 #include "interval_controller.h"
 
 #include <algorithm>
+#include <chrono>
 #include <limits>
 #include <memory>
 
+#include "util/parallel.h"
 #include "util/status.h"
 
 namespace cap::core {
+
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+double
+secondsSince(SteadyClock::time_point start)
+{
+    return std::chrono::duration<double>(SteadyClock::now() - start)
+        .count();
+}
+
+} // namespace
 
 IntervalAdaptiveIq::IntervalAdaptiveIq(const AdaptiveIqModel &model,
                                        IntervalPolicyParams params)
@@ -31,6 +46,8 @@ IntervalAdaptiveIq::run(const trace::AppProfile &app, uint64_t instructions,
               initial_entries);
     size_t current = static_cast<size_t>(pos - candidates.begin());
 
+    SteadyClock::time_point start = SteadyClock::now();
+
     ooo::InstructionStream stream(app.ilp, app.seed);
     ooo::CoreParams core_params;
     core_params.queue_entries = candidates[current];
@@ -48,7 +65,6 @@ IntervalAdaptiveIq::run(const trace::AppProfile &app, uint64_t instructions,
     };
 
     IntervalRunResult result;
-    Cycles switch_penalty = 30;
 
     // Reconfigure the live core, charging drain cycles at the old
     // clock and the clock-switch pause at the new clock.
@@ -58,23 +74,29 @@ IntervalAdaptiveIq::run(const trace::AppProfile &app, uint64_t instructions,
         Nanoseconds old_cycle = model_->cycleNs(candidates[current]);
         Cycles drained = core.resize(candidates[to]);
         result.total_time_ns += static_cast<double>(drained) * old_cycle;
-        result.total_time_ns += static_cast<double>(switch_penalty) *
-                                model_->cycleNs(candidates[to]);
+        result.total_time_ns +=
+            static_cast<double>(params_.switch_penalty_cycles) *
+            model_->cycleNs(candidates[to]);
         ++result.reconfigurations;
         current = to;
     };
 
-    // Run one interval at the current configuration; returns its TPI.
-    auto runInterval = [&]() {
-        ooo::RunResult run = core.step(params_.interval_instrs);
+    // Run @p count instructions at the current configuration.
+    auto runInterval = [&](uint64_t count) {
+        if (count == 0)
+            return;
+        ooo::RunResult run = core.step(count);
         Nanoseconds cycle = model_->cycleNs(candidates[current]);
         double time_ns = static_cast<double>(run.cycles) * cycle;
         result.total_time_ns += time_ns;
         result.instructions += run.instructions;
         result.config_trace.push_back(candidates[current]);
-        double tpi = time_ns / static_cast<double>(run.instructions);
-        fold(current, tpi);
-        return tpi;
+        // A drained interval retires nothing; folding it would poison
+        // the EWMA estimates with NaN/inf.
+        if (run.instructions == 0)
+            return;
+        fold(current,
+             time_ns / static_cast<double>(run.instructions));
     };
 
     uint64_t total_intervals = instructions / params_.interval_instrs;
@@ -88,7 +110,7 @@ IntervalAdaptiveIq::run(const trace::AppProfile &app, uint64_t instructions,
                                         params_.probe_period) ==
                              static_cast<uint64_t>(params_.probe_period) - 1;
         if (!probe_now) {
-            runInterval();
+            runInterval(params_.interval_instrs);
             continue;
         }
 
@@ -99,13 +121,13 @@ IntervalAdaptiveIq::run(const trace::AppProfile &app, uint64_t instructions,
         probe_direction = -probe_direction;
         if (neighbour_idx < 0 ||
             neighbour_idx >= static_cast<int64_t>(candidates.size())) {
-            runInterval();
+            runInterval(params_.interval_instrs);
             continue;
         }
         size_t neighbour = static_cast<size_t>(neighbour_idx);
 
         reconfigure(neighbour);
-        runInterval();
+        runInterval(params_.interval_instrs);
 
         bool neighbour_better =
             estimate[neighbour] >= 0.0 && estimate[home] >= 0.0 &&
@@ -140,6 +162,17 @@ IntervalAdaptiveIq::run(const trace::AppProfile &app, uint64_t instructions,
         }
     }
 
+    // The final partial interval: too short to probe, but its
+    // instructions are part of the run and must be simulated and
+    // credited.
+    runInterval(instructions % params_.interval_instrs);
+
+    result.telemetry.jobs = 1;
+    result.telemetry.wall_seconds = secondsSince(start);
+    result.telemetry.reconfigurations =
+        static_cast<uint64_t>(result.reconfigurations);
+    result.telemetry.cells.push_back(
+        {app.name, "interval-controller", result.telemetry.wall_seconds});
     return result;
 }
 
@@ -147,58 +180,98 @@ IntervalRunResult
 runIntervalOracle(const AdaptiveIqModel &model,
                   const trace::AppProfile &app, uint64_t instructions,
                   const std::vector<int> &candidates,
-                  uint64_t interval_instrs, bool charge_switches)
+                  uint64_t interval_instrs, bool charge_switches,
+                  Cycles switch_penalty_cycles, int jobs)
 {
     capAssert(!candidates.empty(), "oracle needs candidates");
     capAssert(interval_instrs > 0, "empty interval");
+    capAssert(jobs >= 1, "oracle needs at least one worker");
 
-    struct Lane
+    uint64_t full_intervals = instructions / interval_instrs;
+    uint64_t tail_instrs = instructions % interval_instrs;
+    uint64_t total_intervals = full_intervals + (tail_instrs ? 1 : 0);
+
+    // Each candidate lane is an independent simulation: run every lane
+    // to completion on its own worker, recording per-interval costs,
+    // then reduce the winners serially.  Lane order in the reduction
+    // is fixed, so the result is bit-identical for every job count.
+    struct IntervalCost
     {
-        std::unique_ptr<ooo::InstructionStream> stream;
-        std::unique_ptr<ooo::CoreModel> core;
-        Nanoseconds cycle;
-        int entries;
+        Cycles cycles;
+        uint64_t instructions;
     };
-    std::vector<Lane> lanes;
-    for (int entries : candidates) {
-        Lane lane;
-        lane.stream =
-            std::make_unique<ooo::InstructionStream>(app.ilp, app.seed);
+    std::vector<std::vector<IntervalCost>> lane_costs(candidates.size());
+    std::vector<Nanoseconds> lane_cycle_ns(candidates.size());
+    std::vector<double> lane_seconds(candidates.size(), 0.0);
+    for (size_t li = 0; li < candidates.size(); ++li)
+        lane_cycle_ns[li] = model.cycleNs(candidates[li]);
+
+    SteadyClock::time_point start = SteadyClock::now();
+    ThreadPool pool(jobs);
+    parallelFor(pool, candidates.size(), [&](size_t li) {
+        SteadyClock::time_point lane_start = SteadyClock::now();
+        ooo::InstructionStream stream(app.ilp, app.seed);
         ooo::CoreParams params;
-        params.queue_entries = entries;
+        params.queue_entries = candidates[li];
         params.dispatch_width = IqMachine::kDispatchWidth;
         params.issue_width = IqMachine::kIssueWidth;
-        lane.core = std::make_unique<ooo::CoreModel>(*lane.stream, params);
-        lane.cycle = model.cycleNs(entries);
-        lane.entries = entries;
-        lanes.push_back(std::move(lane));
-    }
+        ooo::CoreModel core(stream, params);
+
+        std::vector<IntervalCost> &costs = lane_costs[li];
+        costs.reserve(total_intervals);
+        for (uint64_t interval = 0; interval < full_intervals; ++interval) {
+            ooo::RunResult run = core.step(interval_instrs);
+            costs.push_back({run.cycles, run.instructions});
+        }
+        if (tail_instrs) {
+            ooo::RunResult run = core.step(tail_instrs);
+            costs.push_back({run.cycles, run.instructions});
+        }
+        lane_seconds[li] = secondsSince(lane_start);
+    });
 
     IntervalRunResult result;
     int previous_winner = -1;
-    uint64_t total_intervals = instructions / interval_instrs;
     for (uint64_t interval = 0; interval < total_intervals; ++interval) {
         double best_time = std::numeric_limits<double>::infinity();
+        size_t winner_lane = 0;
         int winner = -1;
-        for (Lane &lane : lanes) {
-            ooo::RunResult run = lane.core->step(interval_instrs);
-            double time_ns = static_cast<double>(run.cycles) * lane.cycle;
+        for (size_t li = 0; li < candidates.size(); ++li) {
+            double time_ns =
+                static_cast<double>(lane_costs[li][interval].cycles) *
+                lane_cycle_ns[li];
             if (time_ns < best_time) {
                 best_time = time_ns;
-                winner = lane.entries;
+                winner = candidates[li];
+                winner_lane = li;
             }
         }
         result.total_time_ns += best_time;
-        result.instructions += interval_instrs;
+        // Credit what the winning lane actually retired: on a short
+        // final interval this is less than interval_instrs, and
+        // crediting the nominal length would overstate the TPI
+        // denominator.
+        result.instructions += lane_costs[winner_lane][interval].instructions;
         result.config_trace.push_back(winner);
         if (previous_winner >= 0 && winner != previous_winner) {
             ++result.reconfigurations;
             if (charge_switches) {
                 result.total_time_ns +=
-                    30.0 * model.cycleNs(winner);
+                    static_cast<double>(switch_penalty_cycles) *
+                    model.cycleNs(winner);
             }
         }
         previous_winner = winner;
+    }
+
+    result.telemetry.jobs = pool.threadCount();
+    result.telemetry.wall_seconds = secondsSince(start);
+    result.telemetry.reconfigurations =
+        static_cast<uint64_t>(result.reconfigurations);
+    for (size_t li = 0; li < candidates.size(); ++li) {
+        result.telemetry.cells.push_back(
+            {app.name, std::to_string(candidates[li]) + " entries",
+             lane_seconds[li]});
     }
     return result;
 }

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "core/adaptive_iq.h"
+#include "core/telemetry.h"
 #include "trace/profile.h"
 #include "util/units.h"
 
@@ -47,6 +48,13 @@ struct IntervalPolicyParams
     uint64_t interval_instrs = kIntervalInstructions;
     /** If false, the confidence gate is disabled (ablation). */
     bool use_confidence = true;
+    /**
+     * Clock-switch pause charged per reconfiguration, cycles at the
+     * new clock (Section 4.1).  The oracle defaults to the same
+     * constant; keep them equal unless deliberately studying
+     * asymmetric switch costs.
+     */
+    Cycles switch_penalty_cycles = kClockSwitchPenaltyCycles;
 };
 
 /** Outcome of an interval-controlled (or oracle) run. */
@@ -65,6 +73,8 @@ struct IntervalRunResult
     int committed_moves = 0;
     /** Configuration (queue entries) active in each interval. */
     std::vector<int> config_trace;
+    /** Execution cost of producing this result (audit/scaling data). */
+    RunTelemetry telemetry;
 
     double tpi() const
     {
@@ -95,16 +105,19 @@ class IntervalAdaptiveIq
 
 /**
  * Per-interval oracle: for each interval, charge the time of the best
- * candidate configuration (each candidate simulated independently in
- * lockstep).  When @p charge_switches is set, a penalty is charged
- * whenever the winning configuration changes.
+ * candidate configuration (each candidate simulated independently).
+ * When @p charge_switches is set, @p switch_penalty_cycles cycles at
+ * the new clock are charged whenever the winning configuration
+ * changes.  The candidate lanes are independent simulations and fan
+ * across @p jobs worker threads; results are bit-identical for every
+ * job count (the winner reduction is serial, in candidate order).
  */
-IntervalRunResult runIntervalOracle(const AdaptiveIqModel &model,
-                                    const trace::AppProfile &app,
-                                    uint64_t instructions,
-                                    const std::vector<int> &candidates,
-                                    uint64_t interval_instrs,
-                                    bool charge_switches);
+IntervalRunResult runIntervalOracle(
+    const AdaptiveIqModel &model, const trace::AppProfile &app,
+    uint64_t instructions, const std::vector<int> &candidates,
+    uint64_t interval_instrs, bool charge_switches,
+    Cycles switch_penalty_cycles = kClockSwitchPenaltyCycles,
+    int jobs = 1);
 
 } // namespace cap::core
 

@@ -35,6 +35,14 @@ struct IqMachine
 /** Interval granularity of the paper's snapshots (instructions). */
 constexpr uint64_t kIntervalInstructions = 2000;
 
+/**
+ * Clock-switch pause of a dynamic-clock reconfiguration, in cycles at
+ * the *new* clock (paper Section 4.1: "tens of cycles").  Shared by
+ * the interval controller and the oracle so the two can never
+ * silently diverge on the cost of a move.
+ */
+constexpr Cycles kClockSwitchPenaltyCycles = 30;
+
 } // namespace cap::core
 
 #endif // CAPSIM_CORE_MACHINE_H

@@ -1,0 +1,51 @@
+#include "telemetry.h"
+
+#include <cstdio>
+
+#include "util/table.h"
+
+namespace cap::core {
+
+namespace {
+
+std::string
+jsonDouble(double value)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6f", value);
+    return buf;
+}
+
+} // namespace
+
+double
+RunTelemetry::cellsPerSecond() const
+{
+    return wall_seconds > 0.0
+               ? static_cast<double>(cells.size()) / wall_seconds
+               : 0.0;
+}
+
+void
+RunTelemetry::writeJson(std::ostream &os) const
+{
+    TableWriter table("telemetry");
+    table.setHeader({"app", "config", "sim_seconds"});
+    for (const CellTelemetry &cell : cells) {
+        table.addRow({Cell(cell.app), Cell(cell.config),
+                      Cell(cell.sim_seconds, 6)});
+    }
+
+    os << "{\n"
+       << "  \"jobs\": " << jobs << ",\n"
+       << "  \"cells\": " << cells.size() << ",\n"
+       << "  \"wall_seconds\": " << jsonDouble(wall_seconds) << ",\n"
+       << "  \"cells_per_second\": " << jsonDouble(cellsPerSecond())
+       << ",\n"
+       << "  \"reconfigurations\": " << reconfigurations << ",\n"
+       << "  \"per_cell\": ";
+    table.renderJson(os, 2);
+    os << "\n}\n";
+}
+
+} // namespace cap::core

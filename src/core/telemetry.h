@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Execution telemetry of the study runners.
+ *
+ * Full (app x config) sweeps are the wall-clock cost center of the
+ * repo; RunTelemetry records where that time goes -- per-cell
+ * simulation time, aggregate throughput, worker count, and the
+ * controller's reconfiguration activity -- so sweep performance and
+ * the interval controller's feedback loop can both be audited.  The
+ * CLI sweeps emit it as JSON behind --telemetry-json.
+ */
+
+#ifndef CAPSIM_CORE_TELEMETRY_H
+#define CAPSIM_CORE_TELEMETRY_H
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace cap::core {
+
+/** Simulation cost of one (application, configuration) cell. */
+struct CellTelemetry
+{
+    /** Application name. */
+    std::string app;
+    /** Configuration label ("16KB/2way", "64 entries", ...). */
+    std::string config;
+    /** Wall-clock simulation time of the cell, seconds. */
+    double sim_seconds = 0.0;
+};
+
+/** Execution telemetry of one study / interval run. */
+struct RunTelemetry
+{
+    /** Worker threads the run was configured with. */
+    int jobs = 1;
+    /** Wall-clock time of the whole sweep, seconds. */
+    double wall_seconds = 0.0;
+    /** Physical reconfigurations performed (interval runs; 0 for
+     *  fixed-configuration sweeps). */
+    uint64_t reconfigurations = 0;
+    /** Per-cell cost, one entry per (app, config) simulation. */
+    std::vector<CellTelemetry> cells;
+
+    /** Aggregate sweep throughput, cells per wall-clock second. */
+    double cellsPerSecond() const;
+
+    /** Emit as a JSON document (summary fields + per_cell array). */
+    void writeJson(std::ostream &os) const;
+};
+
+} // namespace cap::core
+
+#endif // CAPSIM_CORE_TELEMETRY_H

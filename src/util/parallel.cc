@@ -1,0 +1,148 @@
+#include "parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+
+namespace cap {
+
+ThreadPool::ThreadPool(int threads, size_t queue_capacity)
+{
+    int count = std::max(threads, 1);
+    capacity_ = queue_capacity ? queue_capacity
+                               : static_cast<size_t>(count) * 4;
+    workers_.reserve(static_cast<size_t>(count));
+    for (int i = 0; i < count; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    not_empty_.notify_all();
+    for (std::thread &worker : workers_)
+        worker.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        not_full_.wait(lock, [this] { return tasks_.size() < capacity_; });
+        tasks_.push(std::move(task));
+    }
+    not_empty_.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    idle_.wait(lock, [this] { return tasks_.empty() && running_ == 0; });
+    if (first_error_) {
+        std::exception_ptr error = first_error_;
+        first_error_ = nullptr;
+        std::rethrow_exception(error);
+    }
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            not_empty_.wait(lock, [this] {
+                return stopping_ || !tasks_.empty();
+            });
+            if (tasks_.empty())
+                return; // stopping_ with a drained queue
+            task = std::move(tasks_.front());
+            tasks_.pop();
+            ++running_;
+        }
+        not_full_.notify_one();
+
+        try {
+            task();
+        } catch (...) {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (!first_error_)
+                first_error_ = std::current_exception();
+        }
+
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            --running_;
+            if (tasks_.empty() && running_ == 0)
+                idle_.notify_all();
+        }
+    }
+}
+
+int
+defaultJobs()
+{
+    if (const char *env = std::getenv("CAPSIM_JOBS")) {
+        char *end = nullptr;
+        long parsed = std::strtol(env, &end, 10);
+        if (end && *end == '\0' && parsed > 0)
+            return static_cast<int>(parsed);
+    }
+    unsigned hardware = std::thread::hardware_concurrency();
+    return hardware ? static_cast<int>(hardware) : 1;
+}
+
+void
+parallelFor(ThreadPool &pool, size_t count,
+            const std::function<void(size_t)> &body)
+{
+    if (count == 0)
+        return;
+    if (pool.threadCount() <= 1 || count == 1) {
+        for (size_t i = 0; i < count; ++i)
+            body(i);
+        return;
+    }
+
+    // Self-scheduling: each lane steals the next unclaimed index, so
+    // expensive cells don't serialize behind a static partition.
+    std::atomic<size_t> cursor{0};
+    std::atomic<bool> failed{false};
+    size_t lanes = std::min(static_cast<size_t>(pool.threadCount()), count);
+    for (size_t lane = 0; lane < lanes; ++lane) {
+        pool.submit([&cursor, &failed, &body, count] {
+            size_t i;
+            while (!failed.load(std::memory_order_relaxed) &&
+                   (i = cursor.fetch_add(1)) < count) {
+                try {
+                    body(i);
+                } catch (...) {
+                    failed.store(true, std::memory_order_relaxed);
+                    throw;
+                }
+            }
+        });
+    }
+    pool.wait();
+}
+
+void
+parallelFor(int jobs, size_t count,
+            const std::function<void(size_t)> &body)
+{
+    if (jobs <= 1 || count <= 1) {
+        for (size_t i = 0; i < count; ++i)
+            body(i);
+        return;
+    }
+    ThreadPool pool(jobs);
+    parallelFor(pool, count, body);
+}
+
+} // namespace cap

@@ -1,6 +1,7 @@
 #include "table.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 
 #include "status.h"
@@ -27,29 +28,65 @@ TableWriter::setHeader(std::vector<std::string> header)
     header_ = std::move(header);
 }
 
+std::string
+Cell::jsonStr() const
+{
+    if (std::holds_alternative<double>(value_) &&
+        !std::isfinite(std::get<double>(value_))) {
+        return "null";
+    }
+    if (!std::holds_alternative<std::string>(value_))
+        return str();
+    std::string out = "\"";
+    for (char ch : std::get<std::string>(value_)) {
+        switch (ch) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(ch) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+                out += buf;
+            } else {
+                out += ch;
+            }
+        }
+    }
+    out += '"';
+    return out;
+}
+
 void
 TableWriter::addRow(std::vector<Cell> row)
 {
     capAssert(header_.empty() || row.size() == header_.size(),
               "row width %zu != header width %zu",
               row.size(), header_.size());
-    std::vector<std::string> rendered;
-    rendered.reserve(row.size());
-    for (const Cell &cell : row)
-        rendered.push_back(cell.str());
-    rows_.push_back(std::move(rendered));
+    rows_.push_back(std::move(row));
 }
 
 void
 TableWriter::renderAscii(std::ostream &os) const
 {
+    std::vector<std::vector<std::string>> rendered;
+    rendered.reserve(rows_.size());
+    for (const auto &row : rows_) {
+        std::vector<std::string> cells;
+        cells.reserve(row.size());
+        for (const Cell &cell : row)
+            cells.push_back(cell.str());
+        rendered.push_back(std::move(cells));
+    }
+
     size_t cols = header_.size();
-    for (const auto &row : rows_)
+    for (const auto &row : rendered)
         cols = std::max(cols, row.size());
     std::vector<size_t> widths(cols, 0);
     for (size_t c = 0; c < header_.size(); ++c)
         widths[c] = header_[c].size();
-    for (const auto &row : rows_) {
+    for (const auto &row : rendered) {
         for (size_t c = 0; c < row.size(); ++c)
             widths[c] = std::max(widths[c], row[c].size());
     }
@@ -76,7 +113,7 @@ TableWriter::renderAscii(std::ostream &os) const
         line(header_);
         rule();
     }
-    for (const auto &row : rows_)
+    for (const auto &row : rendered)
         line(row);
     rule();
 }
@@ -114,8 +151,32 @@ TableWriter::renderCsv(std::ostream &os) const
     };
     if (!header_.empty())
         emit(header_);
-    for (const auto &row : rows_)
-        emit(row);
+    for (const auto &row : rows_) {
+        std::vector<std::string> cells;
+        cells.reserve(row.size());
+        for (const Cell &cell : row)
+            cells.push_back(cell.str());
+        emit(cells);
+    }
+}
+
+void
+TableWriter::renderJson(std::ostream &os, int indent) const
+{
+    capAssert(!header_.empty(), "JSON rendering needs a header");
+    std::string pad(static_cast<size_t>(std::max(indent, 0)), ' ');
+    os << "[";
+    for (size_t r = 0; r < rows_.size(); ++r) {
+        os << (r ? ",\n" : "\n") << pad << "  {";
+        for (size_t c = 0; c < rows_[r].size(); ++c) {
+            if (c)
+                os << ", ";
+            os << Cell(header_[c]).jsonStr() << ": "
+               << rows_[r][c].jsonStr();
+        }
+        os << '}';
+    }
+    os << '\n' << pad << ']';
 }
 
 } // namespace cap

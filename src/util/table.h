@@ -1,10 +1,12 @@
 /**
  * @file
- * ASCII / CSV table emission for benchmark reports.
+ * ASCII / CSV / JSON table emission for benchmark reports.
  *
  * Every bench binary regenerating a paper figure prints its series
  * through TableWriter so the output is uniform: a titled ASCII table
- * for eyeballing plus machine-parsable CSV (for re-plotting).
+ * for eyeballing plus machine-parsable CSV (for re-plotting).  JSON
+ * emission (an array of header-keyed row objects) backs the
+ * --telemetry-json output of the CLI sweeps.
  */
 
 #ifndef CAPSIM_UTIL_TABLE_H
@@ -30,6 +32,12 @@ class Cell
 
     /** Render the cell for display. */
     std::string str() const;
+
+    /**
+     * Render the cell as a JSON value: numbers bare (non-finite
+     * doubles become null), text quoted and escaped.
+     */
+    std::string jsonStr() const;
 
   private:
     std::variant<std::string, int64_t, double> value_;
@@ -58,10 +66,17 @@ class TableWriter
     /** Render as CSV (header + rows, comma-separated, quoted text). */
     void renderCsv(std::ostream &os) const;
 
+    /**
+     * Render as a JSON array of objects keyed by the header (which
+     * must be set).  @p indent shifts every line by that many spaces
+     * so the array can be embedded in a larger document.
+     */
+    void renderJson(std::ostream &os, int indent = 0) const;
+
   private:
     std::string title_;
     std::vector<std::string> header_;
-    std::vector<std::vector<std::string>> rows_;
+    std::vector<std::vector<Cell>> rows_;
 };
 
 } // namespace cap

@@ -478,6 +478,97 @@ TEST(IntervalOracleTest, SwitchChargesIncreaseTime)
     EXPECT_EQ(charged.reconfigurations, free_switches.reconfigurations);
 }
 
+// Regression: the run's final partial interval used to be silently
+// dropped -- and a run shorter than one interval retired *nothing*,
+// returning zero instructions (whose TPI division then poisoned the
+// EWMA estimates).
+TEST(IntervalControllerTest, ShortFinalIntervalIsSimulatedAndCredited)
+{
+    AdaptiveIqModel model;
+    IntervalPolicyParams params;
+    params.interval_instrs = 2000;
+    IntervalAdaptiveIq controller(model, params);
+    // 2500 = one full interval plus a 500-instruction tail.
+    IntervalRunResult result =
+        controller.run(trace::findApp("li"), 2500, 64);
+    EXPECT_EQ(result.instructions, 2500u);
+    EXPECT_EQ(result.config_trace.size(), 2u);
+    EXPECT_TRUE(std::isfinite(result.tpi()));
+    EXPECT_GT(result.tpi(), 0.0);
+}
+
+TEST(IntervalControllerTest, RunShorterThanOneIntervalStillAccounts)
+{
+    AdaptiveIqModel model;
+    IntervalPolicyParams params;
+    params.interval_instrs = 2000;
+    IntervalAdaptiveIq controller(model, params);
+    IntervalRunResult result =
+        controller.run(trace::findApp("li"), 500, 64);
+    EXPECT_EQ(result.instructions, 500u);
+    EXPECT_EQ(result.config_trace.size(), 1u);
+    EXPECT_TRUE(std::isfinite(result.tpi()));
+    EXPECT_GT(result.tpi(), 0.0);
+}
+
+// Regression: the oracle credited the nominal interval length instead
+// of what the winning lane actually retired, overstating the TPI
+// denominator on the short final interval.
+TEST(IntervalOracleTest, ShortFinalIntervalCreditsActualInstructions)
+{
+    AdaptiveIqModel model;
+    const trace::AppProfile &app = trace::findApp("vortex");
+    IntervalRunResult result = runIntervalOracle(
+        model, app, 2500, {16, 64}, 2000, false);
+    EXPECT_EQ(result.instructions, 2500u);
+    EXPECT_EQ(result.config_trace.size(), 2u);
+    EXPECT_TRUE(std::isfinite(result.tpi()));
+}
+
+// Regression: the 30-cycle clock-switch penalty was hard-coded in two
+// places; it now comes from IntervalPolicyParams / the oracle
+// parameter, with a shared default.
+TEST(IntervalControllerTest, SwitchPenaltyComesFromPolicyParams)
+{
+    AdaptiveIqModel model;
+    IntervalPolicyParams cheap;
+    cheap.switch_penalty_cycles = 0;
+    IntervalPolicyParams dear = cheap;
+    dear.switch_penalty_cycles = 300;
+    EXPECT_EQ(IntervalPolicyParams{}.switch_penalty_cycles,
+              kClockSwitchPenaltyCycles);
+
+    const trace::AppProfile &app = trace::findApp("vortex");
+    IntervalRunResult cheap_run =
+        IntervalAdaptiveIq(model, cheap).run(app, 200000, 64);
+    IntervalRunResult dear_run =
+        IntervalAdaptiveIq(model, dear).run(app, 200000, 64);
+    // The penalty is charged to total time but never folded into the
+    // estimates, so decisions (and the reconfiguration count) agree.
+    EXPECT_EQ(cheap_run.reconfigurations, dear_run.reconfigurations);
+    EXPECT_EQ(cheap_run.config_trace, dear_run.config_trace);
+    ASSERT_GT(cheap_run.reconfigurations, 0);
+    EXPECT_GT(dear_run.total_time_ns, cheap_run.total_time_ns);
+}
+
+TEST(IntervalOracleTest, SwitchPenaltyParameterScalesCharge)
+{
+    AdaptiveIqModel model;
+    const trace::AppProfile &app = trace::findApp("vortex");
+    std::vector<int> candidates{16, 64};
+    IntervalRunResult uncharged = runIntervalOracle(
+        model, app, 200000, candidates, kIntervalInstructions, false);
+    IntervalRunResult zero_penalty = runIntervalOracle(
+        model, app, 200000, candidates, kIntervalInstructions, true, 0);
+    IntervalRunResult expensive = runIntervalOracle(
+        model, app, 200000, candidates, kIntervalInstructions, true, 300);
+    // Charging a zero-cycle penalty is the same as not charging.
+    EXPECT_EQ(zero_penalty.total_time_ns, uncharged.total_time_ns);
+    EXPECT_EQ(zero_penalty.reconfigurations, expensive.reconfigurations);
+    ASSERT_GT(zero_penalty.reconfigurations, 0);
+    EXPECT_GT(expensive.total_time_ns, zero_penalty.total_time_ns);
+}
+
 // ---------------------------------------------------------------------
 // Experiment runners
 // ---------------------------------------------------------------------

@@ -1,6 +1,11 @@
 /**
  * @file
  * capsim: command-line entry point (see src/cli/cli.h).
+ *
+ * The sweep commands fan their (app, config) simulations across
+ * worker threads (--jobs N, 0 = all cores) and can dump per-cell
+ * execution telemetry (--telemetry-json PATH); `capsim help` lists
+ * every flag.
  */
 
 #include <iostream>
