@@ -13,6 +13,12 @@
  *   CAPSIM_JOBS    worker threads for the study sweeps (default: all
  *                  hardware threads; any value produces bit-identical
  *                  results)
+ *
+ * Observability rides the same mechanism: CAPSIM_TRACE=PATH writes a
+ * JSONL decision trace (plus PATH.chrome.json for chrome://tracing)
+ * and CAPSIM_METRICS=PATH the counter registry, with no bench-side
+ * code changes (banner() arms the global obs session; the study
+ * runners pick it up through obs::effectiveHooks).
  */
 
 #ifndef CAPSIM_BENCH_COMMON_H
@@ -23,6 +29,7 @@
 #include <iostream>
 #include <string>
 
+#include "obs/hooks.h"
 #include "util/parallel.h"
 #include "util/table.h"
 
@@ -72,6 +79,9 @@ benchJobs()
 inline void
 banner(const std::string &figure, const std::string &expectation)
 {
+    // Arm tracing/metrics from CAPSIM_TRACE / CAPSIM_METRICS; inert
+    // (and free) when the variables are unset.
+    obs::initGlobalFromEnv();
     std::cout << "================================================"
                  "=============================\n"
               << figure << '\n'

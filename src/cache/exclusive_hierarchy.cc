@@ -86,8 +86,48 @@ ExclusiveHierarchy::access(const trace::TraceRecord &record)
     return accessDetailed(record).outcome;
 }
 
+void
+ExclusiveHierarchy::attachMetrics(obs::CounterRegistry &registry,
+                                  const std::string &prefix)
+{
+    metrics_ = std::make_unique<Metrics>(Metrics{
+        &registry.counter(prefix + "refs"),
+        &registry.counter(prefix + "l1_hits"),
+        &registry.counter(prefix + "l2_hits"),
+        &registry.counter(prefix + "misses"),
+        &registry.counter(prefix + "writebacks"),
+        &registry.counter(prefix + "swaps"),
+        &registry.histogram(prefix + "service_way", 0.0,
+                            kServiceWayHistMax, kServiceWayHistBins)});
+}
+
 AccessDetail
 ExclusiveHierarchy::accessDetailed(const trace::TraceRecord &record)
+{
+    if (!metrics_)
+        return accessImpl(record);
+
+    // Writebacks/swaps are interior events of the access; recover
+    // them from the stats delta rather than threading handles through
+    // every branch.
+    CacheStats before = stats_;
+    AccessDetail detail = accessImpl(record);
+    metrics_->refs->add(1);
+    switch (detail.outcome) {
+    case AccessOutcome::L1Hit: metrics_->l1_hits->add(1); break;
+    case AccessOutcome::L2Hit: metrics_->l2_hits->add(1); break;
+    case AccessOutcome::Miss: metrics_->misses->add(1); break;
+    }
+    metrics_->writebacks->add(stats_.writebacks - before.writebacks);
+    metrics_->swaps->add(stats_.swaps - before.swaps);
+    if (detail.service_way >= 0)
+        metrics_->service_way->add(
+            static_cast<double>(detail.service_way));
+    return detail;
+}
+
+AccessDetail
+ExclusiveHierarchy::accessImpl(const trace::TraceRecord &record)
 {
     ++clock_;
     ++stats_.refs;

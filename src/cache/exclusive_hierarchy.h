@@ -20,9 +20,12 @@
 #define CAPSIM_CACHE_EXCLUSIVE_HIERARCHY_H
 
 #include <cstdint>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "cache/geometry.h"
+#include "obs/registry.h"
 #include "trace/record.h"
 #include "util/units.h"
 
@@ -109,6 +112,23 @@ class ExclusiveHierarchy
     /** Zero the statistics (configuration and contents are kept). */
     void resetStats() { stats_ = CacheStats(); }
 
+    /** Service-way histogram range shared by every hierarchy, so
+     *  per-cell registries merge (shapes must match). */
+    static constexpr double kServiceWayHistMax = 32.0;
+    static constexpr size_t kServiceWayHistBins = 32;
+
+    /**
+     * Register this hierarchy's counters into @p registry under
+     * @p prefix: `<prefix>refs`, `<prefix>l1_hits`, `<prefix>l2_hits`,
+     * `<prefix>misses`, `<prefix>writebacks`, `<prefix>swaps`, plus
+     * the `<prefix>service_way` occupancy histogram (which physical
+     * way serviced each hit -- the bus distance an asynchronous
+     * design would pay).  The registry must outlive the hierarchy;
+     * when never called, access() pays a single null test.
+     */
+    void attachMetrics(obs::CounterRegistry &registry,
+                       const std::string &prefix = "cache.");
+
     /** Drop all cached blocks (cold start) and reset statistics. */
     void flush();
 
@@ -141,6 +161,21 @@ class ExclusiveHierarchy
     /** Ways of one set, indexed [way]. */
     using SetVector = std::vector<Way>;
 
+    /** Registry handles; allocated only when metrics are attached. */
+    struct Metrics
+    {
+        obs::Counter *refs;
+        obs::Counter *l1_hits;
+        obs::Counter *l2_hits;
+        obs::Counter *misses;
+        obs::Counter *writebacks;
+        obs::Counter *swaps;
+        obs::FixedHistogram *service_way;
+    };
+
+    /** access() body; accessDetailed() wraps it with the metrics. */
+    AccessDetail accessImpl(const trace::TraceRecord &record);
+
     bool wayInL1(int way) const
     {
         return way < geometry_.l1Ways(l1_increments_);
@@ -157,6 +192,7 @@ class ExclusiveHierarchy
     std::vector<SetVector> sets_;
     CacheStats stats_;
     uint64_t clock_ = 0;
+    std::unique_ptr<Metrics> metrics_;
 };
 
 } // namespace cap::cache

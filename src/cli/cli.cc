@@ -1,11 +1,20 @@
 #include "cli.h"
 
+#include <algorithm>
 #include <cstdlib>
 #include <fstream>
+#include <limits>
+#include <map>
+#include <set>
 
 #include "core/adaptive_cache.h"
 #include "core/adaptive_iq.h"
 #include "core/experiment.h"
+#include "core/interval_controller.h"
+#include "obs/decision_trace.h"
+#include "obs/hooks.h"
+#include "obs/registry.h"
+#include "obs/trace_reader.h"
 #include "trace/analysis.h"
 #include "trace/file_trace.h"
 #include "trace/stream.h"
@@ -79,11 +88,31 @@ cmdHelp(std::ostream &out)
            "      [--instrs N]             instructions per run\n"
            "      [--jobs N]               worker threads (0 = all cores)\n"
            "      [--telemetry-json PATH]  write execution telemetry\n"
+           "  interval-run <app>           Section-6 interval controller\n"
+           "      [--instrs N]             instructions to run\n"
+           "      [--entries N]            initial queue size\n"
+           "      [--interval N]           interval length, instructions\n"
+           "      [--probe-period N]       intervals between probes\n"
+           "      [--confidence N]         confirming probes required\n"
+           "  analyze-trace <path>         per-interval tables from a\n"
+           "                               JSONL decision trace\n"
+           "      [--app NAME]             filter by application\n"
+           "      [--lane LANE]            filter by lane\n"
+           "      [--first N] [--last N]   interval range\n"
+           "      [--stride N]             print every Nth interval\n"
            "  gen-trace <app> <path>       export a synthetic trace file\n"
            "      [--refs N]               records to write\n"
            "  analyze <path>               characterize a trace file\n"
            "      [--limit N] [--block B]  records to read, block bytes\n"
-           "  help                         this text\n";
+           "  help                         this text\n"
+           "\n"
+           "observability (sweeps and interval-run):\n"
+           "  --trace PATH         JSONL decision trace to PATH, plus a\n"
+           "                       Chrome trace to PATH.chrome.json\n"
+           "  --chrome-trace PATH  Chrome trace_event JSON destination\n"
+           "  --metrics-json PATH  telemetry + counter registry as JSON\n"
+           "  (env: CAPSIM_TRACE / CAPSIM_METRICS do the same for the\n"
+           "  bench binaries; see docs/OBSERVABILITY.md)\n";
     return 0;
 }
 
@@ -177,6 +206,78 @@ writeTelemetry(const Options &options,
     return 0;
 }
 
+/**
+ * The observation flags shared by the sweep / interval commands:
+ *   --trace PATH         JSONL decision trace to PATH, and a Chrome
+ *                        trace to PATH.chrome.json
+ *   --chrome-trace PATH  Chrome trace destination (overrides the
+ *                        derived name; usable without --trace)
+ *   --metrics-json PATH  telemetry + counter registry as one JSON doc
+ * With none of the flags given, hooks() is inert and the run pays
+ * nothing for the instrumentation.
+ */
+struct ObsSession
+{
+    obs::DecisionTrace trace;
+    obs::CounterRegistry registry;
+    std::string jsonl_path;
+    std::string chrome_path;
+    std::string metrics_path;
+
+    obs::Hooks hooks()
+    {
+        obs::Hooks h;
+        if (!jsonl_path.empty() || !chrome_path.empty())
+            h.trace = &trace;
+        if (!metrics_path.empty())
+            h.registry = &registry;
+        return h;
+    }
+};
+
+ObsSession
+obsSessionFromFlags(const Options &options)
+{
+    ObsSession session;
+    session.jsonl_path = options.get("trace");
+    session.chrome_path = options.get("chrome-trace");
+    if (session.chrome_path.empty() && !session.jsonl_path.empty())
+        session.chrome_path = session.jsonl_path + ".chrome.json";
+    session.metrics_path = options.get("metrics-json");
+    return session;
+}
+
+int
+writeObsOutputs(const ObsSession &session,
+                const core::RunTelemetry &telemetry, std::ostream &err)
+{
+    auto open = [&err](const std::string &path, std::ofstream &file) {
+        file.open(path);
+        if (!file)
+            err << "capsim: cannot write '" << path << "'\n";
+        return static_cast<bool>(file);
+    };
+    if (!session.jsonl_path.empty()) {
+        std::ofstream file;
+        if (!open(session.jsonl_path, file))
+            return 2;
+        session.trace.writeJsonl(file);
+    }
+    if (!session.chrome_path.empty()) {
+        std::ofstream file;
+        if (!open(session.chrome_path, file))
+            return 2;
+        session.trace.writeChromeTrace(file);
+    }
+    if (!session.metrics_path.empty()) {
+        std::ofstream file;
+        if (!open(session.metrics_path, file))
+            return 2;
+        telemetry.writeJson(file, &session.registry);
+    }
+    return 0;
+}
+
 int
 cmdCacheSweep(const Options &options, std::ostream &out, std::ostream &err)
 {
@@ -190,9 +291,10 @@ cmdCacheSweep(const Options &options, std::ostream &out, std::ostream &err)
         return 2;
     uint64_t refs = options.getU64("refs", 150000);
 
+    ObsSession session = obsSessionFromFlags(options);
     core::AdaptiveCacheModel model;
-    core::CacheStudy study =
-        core::runCacheStudy(model, apps, refs, 8, jobsFlag(options));
+    core::CacheStudy study = core::runCacheStudy(
+        model, apps, refs, 8, jobsFlag(options), session.hooks());
 
     TableWriter table("avg TPI (ns) vs L1 size, " + std::to_string(refs) +
                       " refs per run");
@@ -214,7 +316,9 @@ cmdCacheSweep(const Options &options, std::ostream &out, std::ostream &err)
         table.addRow(row);
     }
     table.renderAscii(out);
-    return writeTelemetry(options, study.telemetry, err);
+    if (int rc = writeTelemetry(options, study.telemetry, err))
+        return rc;
+    return writeObsOutputs(session, study.telemetry, err);
 }
 
 int
@@ -230,9 +334,11 @@ cmdIqSweep(const Options &options, std::ostream &out, std::ostream &err)
         return 2;
     uint64_t instrs = options.getU64("instrs", 120000);
 
+    ObsSession session = obsSessionFromFlags(options);
     core::AdaptiveIqModel model;
-    core::IqStudy study =
-        core::runIqStudy(model, apps, instrs, jobsFlag(options));
+    core::IqStudy study = core::runIqStudy(model, apps, instrs,
+                                           jobsFlag(options),
+                                           session.hooks());
 
     TableWriter table("avg TPI (ns) vs queue size, " +
                       std::to_string(instrs) + " instructions per run");
@@ -254,7 +360,239 @@ cmdIqSweep(const Options &options, std::ostream &out, std::ostream &err)
         table.addRow(row);
     }
     table.renderAscii(out);
-    return writeTelemetry(options, study.telemetry, err);
+    if (int rc = writeTelemetry(options, study.telemetry, err))
+        return rc;
+    return writeObsOutputs(session, study.telemetry, err);
+}
+
+int
+cmdIntervalRun(const Options &options, std::ostream &out,
+               std::ostream &err)
+{
+    if (options.positional.empty()) {
+        err << "capsim: interval-run needs an application\n";
+        return 2;
+    }
+    bool ok = false;
+    auto apps = selectApps(options.positional[0], false, err, ok);
+    if (!ok)
+        return 2;
+    if (apps.size() != 1) {
+        err << "capsim: interval-run needs a single application\n";
+        return 2;
+    }
+    uint64_t instrs = options.getU64("instrs", 120000);
+    int entries = static_cast<int>(options.getU64("entries", 32));
+
+    std::vector<int> sizes = core::AdaptiveIqModel::studySizes();
+    if (std::find(sizes.begin(), sizes.end(), entries) == sizes.end()) {
+        err << "capsim: --entries " << entries
+            << " is not a study configuration\n";
+        return 2;
+    }
+
+    core::IntervalPolicyParams params;
+    params.interval_instrs =
+        options.getU64("interval", core::kIntervalInstructions);
+    params.probe_period = static_cast<int>(options.getU64(
+        "probe-period", static_cast<uint64_t>(params.probe_period)));
+    params.confidence_needed = static_cast<int>(options.getU64(
+        "confidence",
+        static_cast<uint64_t>(params.confidence_needed)));
+    if (params.interval_instrs == 0 || params.probe_period < 2 ||
+        params.confidence_needed < 1) {
+        err << "capsim: invalid interval-controller parameters\n";
+        return 2;
+    }
+
+    ObsSession session = obsSessionFromFlags(options);
+    core::AdaptiveIqModel model;
+    core::IntervalAdaptiveIq controller(model, params);
+    core::IntervalRunResult result =
+        controller.run(apps[0], instrs, entries, session.hooks());
+
+    TableWriter table("interval controller, " + apps[0].name + ", " +
+                      std::to_string(instrs) + " instructions");
+    table.setHeader({"quantity", "value"});
+    table.addRow({Cell("instructions"), Cell(result.instructions)});
+    table.addRow({Cell("intervals"),
+                  Cell(static_cast<uint64_t>(
+                      result.config_trace.size()))});
+    table.addRow({Cell("avg TPI (ns)"), Cell(result.tpi(), 4)});
+    table.addRow({Cell("total time (us)"),
+                  Cell(result.total_time_ns / 1000.0, 3)});
+    table.addRow(
+        {Cell("reconfigurations"), Cell(result.reconfigurations)});
+    table.addRow(
+        {Cell("committed moves"), Cell(result.committed_moves)});
+    table.addRow({Cell("final config"),
+                  Cell(result.config_trace.empty()
+                           ? entries
+                           : result.config_trace.back())});
+    table.renderAscii(out);
+
+    if (int rc = writeTelemetry(options, result.telemetry, err))
+        return rc;
+    return writeObsOutputs(session, result.telemetry, err);
+}
+
+int
+cmdAnalyzeTrace(const Options &options, std::ostream &out,
+                std::ostream &err)
+{
+    if (options.positional.empty()) {
+        err << "capsim: analyze-trace needs a JSONL trace file\n";
+        return 2;
+    }
+    const std::string &path = options.positional[0];
+    std::ifstream file(path);
+    if (!file) {
+        err << "capsim: cannot open '" << path << "'\n";
+        return 2;
+    }
+    obs::DecisionTrace trace;
+    std::string error;
+    if (!obs::readTraceJsonl(file, trace, error)) {
+        err << "capsim: " << path << ": " << error << '\n';
+        return 2;
+    }
+
+    std::string app_filter = options.get("app");
+    std::string lane_filter = options.get("lane");
+    uint64_t first = options.getU64("first", 0);
+    uint64_t last =
+        options.getU64("last", std::numeric_limits<uint64_t>::max());
+    uint64_t stride = options.getU64("stride", 1);
+    if (stride == 0)
+        stride = 1;
+    auto selected = [&](const obs::TraceEvent &event) {
+        if (!app_filter.empty() && event.app != app_filter)
+            return false;
+        if (!lane_filter.empty() && event.lane != lane_filter)
+            return false;
+        return true;
+    };
+
+    // --- Summary: event counts by kind, lanes, retired total. ---
+    std::set<std::string> lanes;
+    for (const obs::TraceEvent &event : trace.events())
+        lanes.insert(event.lane);
+    TableWriter summary("Trace summary: " + path);
+    summary.setHeader({"quantity", "value"});
+    summary.addRow({Cell("events"),
+                    Cell(static_cast<uint64_t>(trace.size()))});
+    for (obs::EventKind kind :
+         {obs::EventKind::Interval, obs::EventKind::Decision,
+          obs::EventKind::Reconfig, obs::EventKind::ClockChange,
+          obs::EventKind::Cell}) {
+        summary.addRow(
+            {Cell(std::string(obs::eventKindName(kind)) + " events"),
+             Cell(static_cast<uint64_t>(trace.countKind(kind)))});
+    }
+    summary.addRow(
+        {Cell("lanes"), Cell(static_cast<uint64_t>(lanes.size()))});
+    summary.addRow({Cell("interval retired total"),
+                    Cell(trace.intervalRetiredTotal())});
+    summary.renderAscii(out);
+
+    // --- Per-lane rollup. ---
+    struct LaneStats
+    {
+        uint64_t intervals = 0;
+        uint64_t retired = 0;
+        uint64_t cycles = 0;
+        double sim_ns = 0.0;
+    };
+    std::map<std::string, LaneStats> lane_stats;
+    for (const obs::TraceEvent &event : trace.events()) {
+        if (event.kind != obs::EventKind::Interval &&
+            event.kind != obs::EventKind::Cell)
+            continue;
+        LaneStats &stats = lane_stats[event.lane];
+        ++stats.intervals;
+        stats.retired += event.retired;
+        stats.cycles += event.cycles;
+        stats.sim_ns += event.duration_ns;
+    }
+    TableWriter lane_table("Per-lane rollup");
+    lane_table.setHeader(
+        {"lane", "intervals", "retired", "ipc", "sim_us"});
+    for (const auto &[lane, stats] : lane_stats) {
+        lane_table.addRow(
+            {Cell(lane), Cell(stats.intervals), Cell(stats.retired),
+             Cell(stats.cycles
+                      ? static_cast<double>(stats.retired) /
+                            static_cast<double>(stats.cycles)
+                      : 0.0,
+                  3),
+             Cell(stats.sim_ns / 1000.0, 3)});
+    }
+    lane_table.renderAscii(out);
+
+    // --- Figure 12/13-style per-interval series. ---
+    TableWriter intervals("Per-interval series (Figure 12/13 style)");
+    intervals.setHeader({"interval", "lane", "config", "retired", "ipc",
+                         "tpi_ns", "ewma_tpi_ns"});
+    for (const obs::TraceEvent &event : trace.events()) {
+        if (event.kind != obs::EventKind::Interval || !selected(event))
+            continue;
+        if (event.interval < first || event.interval > last ||
+            (event.interval - first) % stride != 0)
+            continue;
+        intervals.addRow(
+            {Cell(event.interval), Cell(event.lane), Cell(event.config),
+             Cell(event.retired), Cell(event.ipc, 3),
+             Cell(event.tpi_ns, 4),
+             event.ewma_tpi_ns < 0.0 ? Cell("-")
+                                     : Cell(event.ewma_tpi_ns, 4)});
+    }
+    intervals.renderAscii(out);
+
+    // --- Controller decisions, if the trace has any. ---
+    if (trace.countKind(obs::EventKind::Decision) > 0) {
+        TableWriter decisions("Controller decisions");
+        decisions.setHeader({"interval", "lane", "decision", "candidate",
+                             "chosen", "confidence", "ewma_home",
+                             "ewma_candidate"});
+        for (const obs::TraceEvent &event : trace.events()) {
+            if (event.kind != obs::EventKind::Decision ||
+                !selected(event))
+                continue;
+            if (event.interval < first || event.interval > last)
+                continue;
+            decisions.addRow(
+                {Cell(event.interval), Cell(event.lane),
+                 Cell(event.decision), Cell(event.candidate),
+                 Cell(event.chosen), Cell(event.confidence),
+                 event.ewma_home_tpi_ns < 0.0
+                     ? Cell("-")
+                     : Cell(event.ewma_home_tpi_ns, 4),
+                 event.ewma_candidate_tpi_ns < 0.0
+                     ? Cell("-")
+                     : Cell(event.ewma_candidate_tpi_ns, 4)});
+        }
+        decisions.renderAscii(out);
+    }
+
+    // --- Reconfigurations, if any. ---
+    if (trace.countKind(obs::EventKind::Reconfig) > 0) {
+        TableWriter reconfigs("Reconfigurations");
+        reconfigs.setHeader({"lane", "at_us", "from", "to",
+                             "drain_cycles", "penalty_ns"});
+        for (const obs::TraceEvent &event : trace.events()) {
+            if (event.kind != obs::EventKind::Reconfig ||
+                !selected(event))
+                continue;
+            reconfigs.addRow({Cell(event.lane),
+                              Cell(event.start_ns / 1000.0, 3),
+                              Cell(event.from_config),
+                              Cell(event.to_config),
+                              Cell(event.drain_cycles),
+                              Cell(event.penalty_ns, 3)});
+        }
+        reconfigs.renderAscii(out);
+    }
+    return 0;
 }
 
 int
@@ -338,6 +676,10 @@ runCommand(const std::vector<std::string> &args, std::ostream &out,
         return cmdCacheSweep(options, out, err);
     if (command == "iq-sweep")
         return cmdIqSweep(options, out, err);
+    if (command == "interval-run")
+        return cmdIntervalRun(options, out, err);
+    if (command == "analyze-trace")
+        return cmdAnalyzeTrace(options, out, err);
     if (command == "gen-trace")
         return cmdGenTrace(options, out, err);
     if (command == "analyze")

@@ -42,6 +42,9 @@ Options parseArgs(const std::vector<std::string> &args);
  *   timing                        print the clock tables
  *   cache-sweep <app|all>         TPI vs L1/L2 boundary
  *   iq-sweep <app|all>            TPI vs queue size
+ *   interval-run <app>            Section-6 interval controller
+ *   analyze-trace <path>          per-interval tables from a JSONL
+ *                                 decision trace
  *   gen-trace <app> <path>        export a synthetic trace file
  *   analyze <path>                characterize a trace file
  *   help                          usage
@@ -50,6 +53,11 @@ Options parseArgs(const std::vector<std::string> &args);
  * (app, config) cells; 0 = every hardware thread; results are
  * bit-identical for every value) and --telemetry-json PATH (write
  * per-cell execution telemetry as JSON).
+ *
+ * The sweeps and interval-run additionally accept the observability
+ * flags --trace PATH (JSONL decision trace + Chrome trace at
+ * PATH.chrome.json), --chrome-trace PATH, and --metrics-json PATH
+ * (telemetry + counter registry); see docs/OBSERVABILITY.md.
  *
  * @return Process exit code (0 on success).
  */

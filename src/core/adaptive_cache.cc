@@ -138,6 +138,46 @@ AdaptiveCacheModel::evaluate(const trace::AppProfile &app,
                          app.cache.refs_per_instr);
 }
 
+CachePerf
+AdaptiveCacheModel::evaluateObserved(const trace::AppProfile &app,
+                                     int l1_increments, uint64_t refs,
+                                     obs::DecisionTrace *trace,
+                                     obs::CounterRegistry *registry) const
+{
+    if (!trace && !registry)
+        return evaluate(app, l1_increments, refs);
+    capAssert(refs > 0, "evaluation needs references");
+    CacheBoundaryTiming timing = boundaryTiming(l1_increments);
+
+    cache::ExclusiveHierarchy hierarchy(geometry_, l1_increments);
+    if (registry)
+        hierarchy.attachMetrics(*registry);
+    trace::SyntheticTraceSource source(app.cache, app.seed, refs);
+    trace::TraceRecord record;
+    while (source.next(record))
+        hierarchy.access(record);
+
+    CachePerf perf = perfFromStats(hierarchy.stats(), timing,
+                                   app.cache.refs_per_instr);
+    if (trace) {
+        std::string config = std::to_string(timing.l1_bytes / 1024) +
+                             "KB/" + std::to_string(timing.l1_assoc) +
+                             "way";
+        obs::TraceEvent event;
+        event.kind = obs::EventKind::Cell;
+        event.lane = app.name + "/" + config;
+        event.app = app.name;
+        event.config = config;
+        event.retired = perf.instructions;
+        event.cycles = hierarchy.stats().refs;
+        event.duration_ns =
+            perf.tpi_ns * static_cast<double>(perf.instructions);
+        event.tpi_ns = perf.tpi_ns;
+        trace->add(std::move(event));
+    }
+    return perf;
+}
+
 std::vector<CachePerf>
 AdaptiveCacheModel::sweep(const trace::AppProfile &app,
                           int max_l1_increments, uint64_t refs) const

@@ -17,6 +17,8 @@
 
 #include "cache/exclusive_hierarchy.h"
 #include "core/machine.h"
+#include "obs/decision_trace.h"
+#include "obs/registry.h"
 #include "timing/cacti.h"
 #include "timing/clock_table.h"
 #include "timing/technology.h"
@@ -96,6 +98,18 @@ class AdaptiveCacheModel
      */
     CachePerf evaluate(const trace::AppProfile &app, int l1_increments,
                        uint64_t refs) const;
+
+    /**
+     * As evaluate(), additionally recording observability: the
+     * hierarchy's hit/miss/writeback counters and service-way
+     * histogram into @p registry, and one Cell summary record into
+     * @p trace.  Both observers null reduces to evaluate(); the
+     * performance result is always bit-identical to evaluate().
+     */
+    CachePerf evaluateObserved(const trace::AppProfile &app,
+                               int l1_increments, uint64_t refs,
+                               obs::DecisionTrace *trace,
+                               obs::CounterRegistry *registry) const;
 
     /** Evaluate every boundary in [1, max_l1_increments]. */
     std::vector<CachePerf> sweep(const trace::AppProfile &app,

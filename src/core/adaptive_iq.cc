@@ -1,5 +1,7 @@
 #include "adaptive_iq.h"
 
+#include <algorithm>
+
 #include "util/status.h"
 
 namespace cap::core {
@@ -55,6 +57,86 @@ AdaptiveIqModel::evaluate(const trace::AppProfile &app, int entries,
     perf.cycles = run.cycles;
     perf.ipc = run.ipc();
     perf.tpi_ns = perf.ipc > 0.0 ? cycleNs(entries) / perf.ipc : 0.0;
+    return perf;
+}
+
+IqPerf
+AdaptiveIqModel::evaluateObserved(const trace::AppProfile &app,
+                                  int entries, uint64_t instructions,
+                                  uint64_t interval_instrs,
+                                  obs::DecisionTrace *trace,
+                                  obs::CounterRegistry *registry) const
+{
+    if (!trace && !registry)
+        return evaluate(app, entries, instructions);
+    capAssert(instructions > 0, "evaluation needs instructions");
+    capAssert(interval_instrs > 0, "interval length must be positive");
+
+    ooo::InstructionStream stream(app.ilp, app.seed);
+    ooo::CoreParams params;
+    params.queue_entries = entries;
+    params.dispatch_width = IqMachine::kDispatchWidth;
+    params.issue_width = IqMachine::kIssueWidth;
+    ooo::CoreModel model(stream, params);
+    if (registry)
+        model.attachMetrics(*registry);
+
+    Nanoseconds cycle = cycleNs(entries);
+    std::string config = std::to_string(entries);
+    std::string lane = app.name + "/" + config;
+
+    // Chunk against *absolute* issue targets so the tick sequence --
+    // and therefore the result -- is bit-identical to the single
+    // step() of evaluate().  A relative step(interval_instrs) per
+    // chunk would drift: step() overshoots its target by up to the
+    // issue width, and relative chunking compounds the overshoot.
+    // Crediting is nominal per interval (the step() convention), so
+    // the interval records' retired counts sum to @p instructions
+    // exactly.
+    IqPerf perf;
+    perf.entries = entries;
+    double sim_ns = 0.0;
+    uint64_t interval_id = 0;
+    uint64_t done = 0;
+    while (done < instructions) {
+        uint64_t nominal = std::min(interval_instrs, instructions - done);
+        uint64_t target = done + nominal;
+        uint64_t issued = model.issuedInstructions();
+        Cycles cycles_before = model.cycleCount();
+        if (issued < target)
+            model.step(target - issued);
+        Cycles interval_cycles = model.cycleCount() - cycles_before;
+        done = target;
+        double duration_ns = static_cast<double>(interval_cycles) * cycle;
+        if (trace) {
+            obs::TraceEvent event;
+            event.kind = obs::EventKind::Interval;
+            event.lane = lane;
+            event.app = app.name;
+            event.config = config;
+            event.interval = interval_id;
+            event.retired = nominal;
+            event.cycles = interval_cycles;
+            event.start_ns = sim_ns;
+            event.duration_ns = duration_ns;
+            event.ipc = interval_cycles
+                            ? static_cast<double>(nominal) /
+                                  static_cast<double>(interval_cycles)
+                            : 0.0;
+            event.tpi_ns =
+                nominal ? duration_ns / static_cast<double>(nominal)
+                        : 0.0;
+            trace->add(std::move(event));
+        }
+        sim_ns += duration_ns;
+        ++interval_id;
+    }
+    perf.instructions = instructions;
+    perf.cycles = model.cycleCount();
+    perf.ipc = perf.cycles ? static_cast<double>(perf.instructions) /
+                             static_cast<double>(perf.cycles)
+                           : 0.0;
+    perf.tpi_ns = perf.ipc > 0.0 ? cycle / perf.ipc : 0.0;
     return perf;
 }
 

@@ -14,6 +14,8 @@
 #include <vector>
 
 #include "core/machine.h"
+#include "obs/decision_trace.h"
+#include "obs/registry.h"
 #include "ooo/core_model.h"
 #include "timing/clock_table.h"
 #include "timing/issue_logic.h"
@@ -63,6 +65,21 @@ class AdaptiveIqModel
     /** Run @p instructions of @p app with a fixed queue size. */
     IqPerf evaluate(const trace::AppProfile &app, int entries,
                     uint64_t instructions) const;
+
+    /**
+     * As evaluate(), additionally recording observability: one
+     * Interval record per @p interval_instrs -instruction interval
+     * (including the final partial one) into @p trace, and the core's
+     * counters/occupancy histogram into @p registry.  The performance
+     * result is bit-identical to evaluate() -- interval stepping only
+     * partitions the same deterministic tick sequence -- and both
+     * observers null reduces to the evaluate() fast path.
+     */
+    IqPerf evaluateObserved(const trace::AppProfile &app, int entries,
+                            uint64_t instructions,
+                            uint64_t interval_instrs,
+                            obs::DecisionTrace *trace,
+                            obs::CounterRegistry *registry) const;
 
     /** Evaluate every study size. */
     std::vector<IqPerf> sweep(const trace::AppProfile &app,

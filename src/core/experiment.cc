@@ -1,7 +1,9 @@
 #include "experiment.h"
 
 #include <chrono>
+#include <functional>
 #include <string>
+#include <vector>
 
 #include "util/parallel.h"
 #include "util/status.h"
@@ -22,30 +24,52 @@ secondsSince(SteadyClock::time_point start)
 /**
  * Fan the (app x config) cells of a study across @p jobs workers.
  * @p run_cell simulates one cell and returns its configuration label;
- * it must write only to state owned by that cell.
+ * it must write only to state owned by that cell (including the
+ * cell-private observation buffers it is handed).  When @p hooks carry
+ * sinks, the private buffers are merged into them serially in cell
+ * order after the fan-out, so the emitted trace/metrics are
+ * bit-identical for every @p jobs (docs/MODEL.md section 11).
  */
 void
 runStudyCells(RunTelemetry &telemetry, size_t n_apps, size_t n_configs,
-              int jobs,
-              const std::function<std::string(size_t app, size_t config)>
+              int jobs, const obs::Hooks &hooks,
+              const std::function<std::string(size_t app, size_t config,
+                                              obs::DecisionTrace *,
+                                              obs::CounterRegistry *)>
                   &run_cell)
 {
     capAssert(jobs >= 1, "study needs at least one worker");
     telemetry.jobs = jobs;
-    telemetry.cells.assign(n_apps * n_configs, {});
+    size_t n_cells = n_apps * n_configs;
+    telemetry.cells.assign(n_cells, {});
+
+    std::vector<obs::DecisionTrace> traces(hooks.trace ? n_cells : 0);
+    std::vector<obs::CounterRegistry> registries(
+        hooks.registry ? n_cells : 0);
 
     SteadyClock::time_point start = SteadyClock::now();
     ThreadPool pool(jobs);
-    parallelFor(pool, n_apps * n_configs, [&](size_t cell) {
+    parallelFor(pool, n_cells, [&](size_t cell) {
         size_t app = cell / n_configs;
         size_t config = cell % n_configs;
         SteadyClock::time_point cell_start = SteadyClock::now();
-        std::string label = run_cell(app, config);
+        std::string label =
+            run_cell(app, config,
+                     hooks.trace ? &traces[cell] : nullptr,
+                     hooks.registry ? &registries[cell] : nullptr);
         CellTelemetry &ct = telemetry.cells[cell];
         ct.config = std::move(label);
         ct.sim_seconds = secondsSince(cell_start);
+        ct.worker = currentWorkerId();
     });
     telemetry.wall_seconds = secondsSince(start);
+
+    for (size_t cell = 0; cell < n_cells; ++cell) {
+        if (hooks.trace)
+            hooks.trace->append(traces[cell]);
+        if (hooks.registry)
+            hooks.registry->merge(registries[cell]);
+    }
 }
 
 } // namespace
@@ -97,7 +121,7 @@ CacheStudy::adaptiveMeanTpiMiss() const
 CacheStudy
 runCacheStudy(const AdaptiveCacheModel &model,
               const std::vector<trace::AppProfile> &apps, uint64_t refs,
-              int max_l1_increments, int jobs)
+              int max_l1_increments, int jobs, const obs::Hooks &hooks)
 {
     capAssert(!apps.empty(), "cache study needs applications");
     CacheStudy study;
@@ -105,12 +129,15 @@ runCacheStudy(const AdaptiveCacheModel &model,
     for (int k = 1; k <= max_l1_increments; ++k)
         study.timings.push_back(model.boundaryTiming(k));
 
+    obs::Hooks sinks = obs::effectiveHooks(hooks);
     size_t configs = static_cast<size_t>(max_l1_increments);
     study.perf.assign(apps.size(), std::vector<CachePerf>(configs));
-    runStudyCells(study.telemetry, apps.size(), configs, jobs,
-                  [&](size_t a, size_t c) {
+    runStudyCells(study.telemetry, apps.size(), configs, jobs, sinks,
+                  [&](size_t a, size_t c, obs::DecisionTrace *trace,
+                      obs::CounterRegistry *registry) {
                       int k = static_cast<int>(c) + 1;
-                      study.perf[a][c] = model.evaluate(apps[a], k, refs);
+                      study.perf[a][c] = model.evaluateObserved(
+                          apps[a], k, refs, trace, registry);
                       study.telemetry.cells[a * configs + c].app =
                           apps[a].name;
                       return std::to_string(
@@ -139,20 +166,23 @@ IqStudy::tpiMatrix() const
 IqStudy
 runIqStudy(const AdaptiveIqModel &model,
            const std::vector<trace::AppProfile> &apps,
-           uint64_t instructions, int jobs)
+           uint64_t instructions, int jobs, const obs::Hooks &hooks)
 {
     capAssert(!apps.empty(), "IQ study needs applications");
     IqStudy study;
     study.apps = apps;
     study.timings = model.allTimings();
 
+    obs::Hooks sinks = obs::effectiveHooks(hooks);
     std::vector<int> sizes = AdaptiveIqModel::studySizes();
     size_t configs = sizes.size();
     study.perf.assign(apps.size(), std::vector<IqPerf>(configs));
-    runStudyCells(study.telemetry, apps.size(), configs, jobs,
-                  [&](size_t a, size_t c) {
-                      study.perf[a][c] =
-                          model.evaluate(apps[a], sizes[c], instructions);
+    runStudyCells(study.telemetry, apps.size(), configs, jobs, sinks,
+                  [&](size_t a, size_t c, obs::DecisionTrace *trace,
+                      obs::CounterRegistry *registry) {
+                      study.perf[a][c] = model.evaluateObserved(
+                          apps[a], sizes[c], instructions,
+                          kIntervalInstructions, trace, registry);
                       study.telemetry.cells[a * configs + c].app =
                           apps[a].name;
                       return std::to_string(sizes[c]) + " entries";

@@ -25,6 +25,7 @@
 #include "core/adaptive_iq.h"
 #include "core/config_manager.h"
 #include "core/telemetry.h"
+#include "obs/hooks.h"
 #include "trace/profile.h"
 
 namespace cap::core {
@@ -56,11 +57,14 @@ struct CacheStudy
  * @param max_l1_increments Largest boundary swept (paper: 8 = 64 KB).
  * @param jobs Worker threads the (app, config) cells fan across;
  *        results are bit-identical for every value.
+ * @param hooks Observation sinks; each cell records into a private
+ *        buffer and the buffers are merged serially in cell order, so
+ *        the trace too is bit-identical for every @p jobs.
  */
 CacheStudy runCacheStudy(const AdaptiveCacheModel &model,
                          const std::vector<trace::AppProfile> &apps,
                          uint64_t refs, int max_l1_increments = 8,
-                         int jobs = 1);
+                         int jobs = 1, const obs::Hooks &hooks = {});
 
 /** Complete result of the instruction-queue study (Figures 10-11). */
 struct IqStudy
@@ -81,10 +85,13 @@ struct IqStudy
  * @param instructions Instructions simulated per (app, configuration).
  * @param jobs Worker threads the (app, config) cells fan across;
  *        results are bit-identical for every value.
+ * @param hooks Observation sinks; per-cell buffers merged serially in
+ *        cell order (bit-identical trace for every @p jobs).
  */
 IqStudy runIqStudy(const AdaptiveIqModel &model,
                    const std::vector<trace::AppProfile> &apps,
-                   uint64_t instructions, int jobs = 1);
+                   uint64_t instructions, int jobs = 1,
+                   const obs::Hooks &hooks = {});
 
 } // namespace cap::core
 

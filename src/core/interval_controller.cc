@@ -36,7 +36,8 @@ IntervalAdaptiveIq::IntervalAdaptiveIq(const AdaptiveIqModel &model,
 
 IntervalRunResult
 IntervalAdaptiveIq::run(const trace::AppProfile &app, uint64_t instructions,
-                        int initial_entries) const
+                        int initial_entries,
+                        const obs::Hooks &hooks) const
 {
     std::vector<int> candidates = AdaptiveIqModel::studySizes();
     auto pos = std::find(candidates.begin(), candidates.end(),
@@ -55,6 +56,23 @@ IntervalAdaptiveIq::run(const trace::AppProfile &app, uint64_t instructions,
     core_params.issue_width = IqMachine::kIssueWidth;
     ooo::CoreModel core(stream, core_params);
 
+    obs::Hooks sinks = obs::effectiveHooks(hooks);
+    obs::Counter *probe_counter = nullptr;
+    obs::Counter *reconfig_counter = nullptr;
+    obs::Counter *commit_counter = nullptr;
+    obs::FixedHistogram *ipc_hist = nullptr;
+    if (sinks.registry) {
+        core.attachMetrics(*sinks.registry);
+        probe_counter = &sinks.registry->counter("interval.probes");
+        reconfig_counter =
+            &sinks.registry->counter("interval.reconfigurations");
+        commit_counter =
+            &sinks.registry->counter("interval.committed_moves");
+        ipc_hist = &sinks.registry->histogram(
+            "interval.ipc", 0.0,
+            static_cast<double>(IqMachine::kIssueWidth), 16);
+    }
+
     // EWMA TPI estimate per candidate; negative = no estimate yet.
     std::vector<double> estimate(candidates.size(), -1.0);
     auto fold = [&](size_t cfg, double tpi) {
@@ -72,12 +90,40 @@ IntervalAdaptiveIq::run(const trace::AppProfile &app, uint64_t instructions,
         if (to == current)
             return;
         Nanoseconds old_cycle = model_->cycleNs(candidates[current]);
+        Nanoseconds new_cycle = model_->cycleNs(candidates[to]);
+        double event_start_ns = result.total_time_ns;
         Cycles drained = core.resize(candidates[to]);
-        result.total_time_ns += static_cast<double>(drained) * old_cycle;
-        result.total_time_ns +=
-            static_cast<double>(params_.switch_penalty_cycles) *
-            model_->cycleNs(candidates[to]);
+        double drain_ns = static_cast<double>(drained) * old_cycle;
+        double penalty_ns =
+            static_cast<double>(params_.switch_penalty_cycles) * new_cycle;
+        result.total_time_ns += drain_ns + penalty_ns;
         ++result.reconfigurations;
+        CAPSIM_OBS_COUNT(reconfig_counter, 1);
+        if (sinks.trace) {
+            obs::TraceEvent event;
+            event.kind = obs::EventKind::Reconfig;
+            event.lane = app.name;
+            event.app = app.name;
+            event.config = std::to_string(candidates[to]);
+            event.start_ns = event_start_ns;
+            event.duration_ns = drain_ns + penalty_ns;
+            event.from_config = candidates[current];
+            event.to_config = candidates[to];
+            event.drain_cycles = drained;
+            event.penalty_ns = penalty_ns;
+            sinks.trace->add(std::move(event));
+            if (old_cycle != new_cycle) {
+                obs::TraceEvent clock;
+                clock.kind = obs::EventKind::ClockChange;
+                clock.lane = app.name;
+                clock.app = app.name;
+                clock.config = std::to_string(candidates[to]);
+                clock.start_ns = result.total_time_ns;
+                clock.ghz_before = 1.0 / old_cycle;
+                clock.ghz_after = 1.0 / new_cycle;
+                sinks.trace->add(std::move(clock));
+            }
+        }
         current = to;
     };
 
@@ -85,6 +131,7 @@ IntervalAdaptiveIq::run(const trace::AppProfile &app, uint64_t instructions,
     auto runInterval = [&](uint64_t count) {
         if (count == 0)
             return;
+        double event_start_ns = result.total_time_ns;
         ooo::RunResult run = core.step(count);
         Nanoseconds cycle = model_->cycleNs(candidates[current]);
         double time_ns = static_cast<double>(run.cycles) * cycle;
@@ -93,10 +140,56 @@ IntervalAdaptiveIq::run(const trace::AppProfile &app, uint64_t instructions,
         result.config_trace.push_back(candidates[current]);
         // A drained interval retires nothing; folding it would poison
         // the EWMA estimates with NaN/inf.
-        if (run.instructions == 0)
+        if (run.instructions != 0) {
+            fold(current,
+                 time_ns / static_cast<double>(run.instructions));
+            CAPSIM_OBS_SAMPLE(ipc_hist, run.ipc());
+        }
+        if (sinks.trace) {
+            obs::TraceEvent event;
+            event.kind = obs::EventKind::Interval;
+            event.lane = app.name;
+            event.app = app.name;
+            event.config = std::to_string(candidates[current]);
+            event.interval = result.config_trace.size() - 1;
+            event.retired = run.instructions;
+            event.cycles = run.cycles;
+            event.start_ns = event_start_ns;
+            event.duration_ns = time_ns;
+            event.ipc = run.ipc();
+            event.tpi_ns =
+                run.instructions
+                    ? time_ns / static_cast<double>(run.instructions)
+                    : 0.0;
+            event.ewma_tpi_ns = estimate[current];
+            sinks.trace->add(std::move(event));
+        }
+    };
+
+    // One Decision record per probe: which neighbour was evaluated,
+    // what the EWMA estimates said, and what the controller did.
+    auto recordDecision = [&](const char *verdict, size_t home,
+                              size_t cand, size_t chosen,
+                              int confidence_now) {
+        CAPSIM_OBS_COUNT(probe_counter, 1);
+        if (!sinks.trace)
             return;
-        fold(current,
-             time_ns / static_cast<double>(run.instructions));
+        obs::TraceEvent event;
+        event.kind = obs::EventKind::Decision;
+        event.lane = app.name;
+        event.app = app.name;
+        event.config = std::to_string(candidates[chosen]);
+        event.interval = result.config_trace.empty()
+                             ? 0
+                             : result.config_trace.size() - 1;
+        event.start_ns = result.total_time_ns;
+        event.decision = verdict;
+        event.candidate = candidates[cand];
+        event.chosen = candidates[chosen];
+        event.confidence = confidence_now;
+        event.ewma_home_tpi_ns = estimate[home];
+        event.ewma_candidate_tpi_ns = estimate[cand];
+        sinks.trace->add(std::move(event));
     };
 
     uint64_t total_intervals = instructions / params_.interval_instrs;
@@ -135,10 +228,14 @@ IntervalAdaptiveIq::run(const trace::AppProfile &app, uint64_t instructions,
                 estimate[home] * (1.0 - params_.switch_margin);
 
         if (!params_.use_confidence) {
-            if (!neighbour_better)
+            if (!neighbour_better) {
                 reconfigure(home);
-            else
+                recordDecision("reject", home, neighbour, home, 0);
+            } else {
                 ++result.committed_moves;
+                CAPSIM_OBS_COUNT(commit_counter, 1);
+                recordDecision("commit", home, neighbour, neighbour, 0);
+            }
             continue;
         }
 
@@ -155,10 +252,17 @@ IntervalAdaptiveIq::run(const trace::AppProfile &app, uint64_t instructions,
         if (!(neighbour_better && confidence >= params_.confidence_needed)) {
             // Not confident enough: return to the home configuration.
             reconfigure(home);
+            // "revert": the candidate looked better but the gate held;
+            // "reject": the margin was not met at all.
+            recordDecision(neighbour_better ? "revert" : "reject", home,
+                           neighbour, home, confidence);
         } else {
             confidence = 0;
             pending_move = neighbour;
             ++result.committed_moves;
+            CAPSIM_OBS_COUNT(commit_counter, 1);
+            recordDecision("commit", home, neighbour, neighbour,
+                           params_.confidence_needed);
         }
     }
 
@@ -171,8 +275,9 @@ IntervalAdaptiveIq::run(const trace::AppProfile &app, uint64_t instructions,
     result.telemetry.wall_seconds = secondsSince(start);
     result.telemetry.reconfigurations =
         static_cast<uint64_t>(result.reconfigurations);
-    result.telemetry.cells.push_back(
-        {app.name, "interval-controller", result.telemetry.wall_seconds});
+    result.telemetry.cells.push_back({app.name, "interval-controller",
+                                      result.telemetry.wall_seconds,
+                                      currentWorkerId()});
     return result;
 }
 
@@ -181,11 +286,14 @@ runIntervalOracle(const AdaptiveIqModel &model,
                   const trace::AppProfile &app, uint64_t instructions,
                   const std::vector<int> &candidates,
                   uint64_t interval_instrs, bool charge_switches,
-                  Cycles switch_penalty_cycles, int jobs)
+                  Cycles switch_penalty_cycles, int jobs,
+                  const obs::Hooks &hooks)
 {
     capAssert(!candidates.empty(), "oracle needs candidates");
     capAssert(interval_instrs > 0, "empty interval");
     capAssert(jobs >= 1, "oracle needs at least one worker");
+
+    obs::Hooks sinks = obs::effectiveHooks(hooks);
 
     uint64_t full_intervals = instructions / interval_instrs;
     uint64_t tail_instrs = instructions % interval_instrs;
@@ -203,6 +311,7 @@ runIntervalOracle(const AdaptiveIqModel &model,
     std::vector<std::vector<IntervalCost>> lane_costs(candidates.size());
     std::vector<Nanoseconds> lane_cycle_ns(candidates.size());
     std::vector<double> lane_seconds(candidates.size(), 0.0);
+    std::vector<int> lane_workers(candidates.size(), 0);
     for (size_t li = 0; li < candidates.size(); ++li)
         lane_cycle_ns[li] = model.cycleNs(candidates[li]);
 
@@ -228,9 +337,20 @@ runIntervalOracle(const AdaptiveIqModel &model,
             costs.push_back({run.cycles, run.instructions});
         }
         lane_seconds[li] = secondsSince(lane_start);
+        lane_workers[li] = currentWorkerId();
     });
 
+    // Serial winner reduction; the trace (like the result) is emitted
+    // here, on the orchestrator thread only.
     IntervalRunResult result;
+    obs::Counter *oracle_switches =
+        sinks.registry
+            ? &sinks.registry->counter("oracle.reconfigurations")
+            : nullptr;
+    obs::Counter *oracle_intervals =
+        sinks.registry ? &sinks.registry->counter("oracle.intervals")
+                       : nullptr;
+    std::string oracle_lane = app.name + "/oracle";
     int previous_winner = -1;
     for (uint64_t interval = 0; interval < total_intervals; ++interval) {
         double best_time = std::numeric_limits<double>::infinity();
@@ -246,20 +366,63 @@ runIntervalOracle(const AdaptiveIqModel &model,
                 winner_lane = li;
             }
         }
+        // Accumulation order (best_time, then penalty) matches the
+        // uninstrumented implementation bit for bit; the trace merely
+        // re-derives the simulated-timeline positions.
+        double interval_start_ns = result.total_time_ns;
+        bool switched = previous_winner >= 0 && winner != previous_winner;
+        double penalty_ns =
+            switched && charge_switches
+                ? static_cast<double>(switch_penalty_cycles) *
+                      model.cycleNs(winner)
+                : 0.0;
         result.total_time_ns += best_time;
         // Credit what the winning lane actually retired: on a short
         // final interval this is less than interval_instrs, and
         // crediting the nominal length would overstate the TPI
         // denominator.
-        result.instructions += lane_costs[winner_lane][interval].instructions;
+        uint64_t retired = lane_costs[winner_lane][interval].instructions;
+        result.instructions += retired;
         result.config_trace.push_back(winner);
-        if (previous_winner >= 0 && winner != previous_winner) {
+        CAPSIM_OBS_COUNT(oracle_intervals, 1);
+        if (switched) {
             ++result.reconfigurations;
-            if (charge_switches) {
-                result.total_time_ns +=
-                    static_cast<double>(switch_penalty_cycles) *
-                    model.cycleNs(winner);
+            CAPSIM_OBS_COUNT(oracle_switches, 1);
+            if (charge_switches)
+                result.total_time_ns += penalty_ns;
+            if (sinks.trace) {
+                obs::TraceEvent event;
+                event.kind = obs::EventKind::Reconfig;
+                event.lane = oracle_lane;
+                event.app = app.name;
+                event.config = std::to_string(winner);
+                event.start_ns = interval_start_ns;
+                event.duration_ns = penalty_ns;
+                event.from_config = previous_winner;
+                event.to_config = winner;
+                event.penalty_ns = penalty_ns;
+                sinks.trace->add(std::move(event));
             }
+        }
+        if (sinks.trace) {
+            Cycles cycles = lane_costs[winner_lane][interval].cycles;
+            obs::TraceEvent event;
+            event.kind = obs::EventKind::Interval;
+            event.lane = oracle_lane;
+            event.app = app.name;
+            event.config = std::to_string(winner);
+            event.interval = interval;
+            event.retired = retired;
+            event.cycles = cycles;
+            event.start_ns = interval_start_ns + penalty_ns;
+            event.duration_ns = best_time;
+            event.ipc = cycles ? static_cast<double>(retired) /
+                                     static_cast<double>(cycles)
+                               : 0.0;
+            event.tpi_ns = retired ? best_time /
+                                         static_cast<double>(retired)
+                                   : 0.0;
+            sinks.trace->add(std::move(event));
         }
         previous_winner = winner;
     }
@@ -271,7 +434,7 @@ runIntervalOracle(const AdaptiveIqModel &model,
     for (size_t li = 0; li < candidates.size(); ++li) {
         result.telemetry.cells.push_back(
             {app.name, std::to_string(candidates[li]) + " entries",
-             lane_seconds[li]});
+             lane_seconds[li], lane_workers[li]});
     }
     return result;
 }

@@ -28,6 +28,7 @@
 
 #include "core/adaptive_iq.h"
 #include "core/telemetry.h"
+#include "obs/hooks.h"
 #include "trace/profile.h"
 #include "util/units.h"
 
@@ -94,9 +95,18 @@ class IntervalAdaptiveIq
     /**
      * Run @p instructions of @p app starting from @p initial_entries,
      * adapting the queue size at interval boundaries.
+     *
+     * When @p hooks carry sinks, the run records one Interval trace
+     * record per executed interval (including the final partial one;
+     * record count == config_trace.size() and the retired sum equals
+     * the run's instruction total exactly), a Decision record at every
+     * probe, and Reconfig + ClockChange records for every physical
+     * move.  The registry gains `interval.*` counters and an IPC
+     * histogram, plus the core's `core.*` metrics.
      */
     IntervalRunResult run(const trace::AppProfile &app,
-                          uint64_t instructions, int initial_entries) const;
+                          uint64_t instructions, int initial_entries,
+                          const obs::Hooks &hooks = {}) const;
 
   private:
     const AdaptiveIqModel *model_;
@@ -111,13 +121,19 @@ class IntervalAdaptiveIq
  * changes.  The candidate lanes are independent simulations and fan
  * across @p jobs worker threads; results are bit-identical for every
  * job count (the winner reduction is serial, in candidate order).
+ *
+ * Observation: when @p hooks carry sinks, the serial reduction emits
+ * one Interval record per interval (the winning lane's cost) and a
+ * Reconfig record whenever the winner changes; emission happens on
+ * the orchestrator thread only, so the trace is identical for every
+ * @p jobs.
  */
 IntervalRunResult runIntervalOracle(
     const AdaptiveIqModel &model, const trace::AppProfile &app,
     uint64_t instructions, const std::vector<int> &candidates,
     uint64_t interval_instrs, bool charge_switches,
     Cycles switch_penalty_cycles = kClockSwitchPenaltyCycles,
-    int jobs = 1);
+    int jobs = 1, const obs::Hooks &hooks = {});
 
 } // namespace cap::core
 

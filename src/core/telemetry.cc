@@ -1,22 +1,11 @@
 #include "telemetry.h"
 
-#include <cstdio>
+#include <algorithm>
+#include <sstream>
 
 #include "util/table.h"
 
 namespace cap::core {
-
-namespace {
-
-std::string
-jsonDouble(double value)
-{
-    char buf[64];
-    std::snprintf(buf, sizeof(buf), "%.6f", value);
-    return buf;
-}
-
-} // namespace
 
 double
 RunTelemetry::cellsPerSecond() const
@@ -26,25 +15,115 @@ RunTelemetry::cellsPerSecond() const
                : 0.0;
 }
 
-void
-RunTelemetry::writeJson(std::ostream &os) const
+std::vector<WorkerLoad>
+RunTelemetry::workerLoads() const
 {
-    TableWriter table("telemetry");
-    table.setHeader({"app", "config", "sim_seconds"});
+    int workers = std::max(jobs, 1);
+    for (const CellTelemetry &cell : cells)
+        workers = std::max(workers, cell.worker + 1);
+    std::vector<WorkerLoad> loads(static_cast<size_t>(workers));
+    for (int w = 0; w < workers; ++w)
+        loads[static_cast<size_t>(w)].worker = w;
     for (const CellTelemetry &cell : cells) {
-        table.addRow({Cell(cell.app), Cell(cell.config),
-                      Cell(cell.sim_seconds, 6)});
+        WorkerLoad &load = loads[static_cast<size_t>(cell.worker)];
+        ++load.cells;
+        load.sim_seconds += cell.sim_seconds;
+    }
+    return loads;
+}
+
+double
+RunTelemetry::workerImbalance() const
+{
+    std::vector<WorkerLoad> loads = workerLoads();
+    double total = 0.0;
+    double busiest = 0.0;
+    for (const WorkerLoad &load : loads) {
+        total += load.sim_seconds;
+        busiest = std::max(busiest, load.sim_seconds);
+    }
+    if (total <= 0.0 || loads.empty())
+        return 0.0;
+    double mean = total / static_cast<double>(loads.size());
+    return mean > 0.0 ? busiest / mean : 0.0;
+}
+
+void
+RunTelemetry::fold(obs::CounterRegistry &registry) const
+{
+    registry.counter("telemetry.jobs").add(static_cast<uint64_t>(jobs));
+    registry.counter("telemetry.cells")
+        .add(static_cast<uint64_t>(cells.size()));
+    registry.counter("telemetry.reconfigurations").add(reconfigurations);
+    registry.gauge("telemetry.wall_seconds").set(wall_seconds);
+    registry.gauge("telemetry.cells_per_second").set(cellsPerSecond());
+    registry.gauge("telemetry.worker_imbalance").set(workerImbalance());
+}
+
+void
+RunTelemetry::writeJson(std::ostream &os,
+                        const obs::CounterRegistry *registry) const
+{
+    // Summary scalars travel through a registry fold so this document
+    // and the obs metrics document share one emission path.
+    obs::CounterRegistry summary;
+    fold(summary);
+
+    TableWriter header("summary");
+    header.setHeader({"field", "value"});
+    header.addRow({Cell("jobs"),
+                   Cell(summary.counterValue("telemetry.jobs"))});
+    header.addRow({Cell("cells"),
+                   Cell(summary.counterValue("telemetry.cells"))});
+    header.addRow({Cell("wall_seconds"),
+                   Cell(summary.gaugeValue("telemetry.wall_seconds"), 6)});
+    header.addRow(
+        {Cell("cells_per_second"),
+         Cell(summary.gaugeValue("telemetry.cells_per_second"), 6)});
+    header.addRow(
+        {Cell("reconfigurations"),
+         Cell(summary.counterValue("telemetry.reconfigurations"))});
+    header.addRow(
+        {Cell("worker_imbalance"),
+         Cell(summary.gaugeValue("telemetry.worker_imbalance"), 6)});
+
+    TableWriter per_cell("telemetry");
+    per_cell.setHeader({"app", "config", "sim_seconds", "worker"});
+    for (const CellTelemetry &cell : cells) {
+        per_cell.addRow({Cell(cell.app), Cell(cell.config),
+                         Cell(cell.sim_seconds, 6), Cell(cell.worker)});
     }
 
-    os << "{\n"
-       << "  \"jobs\": " << jobs << ",\n"
-       << "  \"cells\": " << cells.size() << ",\n"
-       << "  \"wall_seconds\": " << jsonDouble(wall_seconds) << ",\n"
-       << "  \"cells_per_second\": " << jsonDouble(cellsPerSecond())
-       << ",\n"
-       << "  \"reconfigurations\": " << reconfigurations << ",\n"
-       << "  \"per_cell\": ";
-    table.renderJson(os, 2);
+    TableWriter workers("workers");
+    workers.setHeader({"worker", "cells", "sim_seconds"});
+    for (const WorkerLoad &load : workerLoads()) {
+        workers.addRow({Cell(load.worker), Cell(load.cells),
+                        Cell(load.sim_seconds, 6)});
+    }
+
+    // One enclosing object; every array/map is an embeddable render.
+    // The summary map's fields are spliced out of its braces so the
+    // document keeps the historical flat shape.
+    std::ostringstream summary_json;
+    header.renderJsonMap(summary_json, 0);
+    std::string fields = summary_json.str();
+    size_t open = fields.find('{') + 1;
+    size_t close = fields.rfind('}');
+    while (open < close &&
+           (fields[open] == '\n' || fields[open] == ' '))
+        ++open;
+    while (close > open &&
+           (fields[close - 1] == '\n' || fields[close - 1] == ' '))
+        --close;
+    os << "{\n  " << fields.substr(open, close - open)
+       << ",\n  \"per_cell\": ";
+    per_cell.renderJson(os, 2);
+    os << ",\n  \"workers\": ";
+    workers.renderJson(os, 2);
+    if (registry) {
+        os << ",\n";
+        registry->renderJsonFields(os, 2);
+    }
     os << "\n}\n";
 }
 

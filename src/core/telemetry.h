@@ -4,10 +4,14 @@
  *
  * Full (app x config) sweeps are the wall-clock cost center of the
  * repo; RunTelemetry records where that time goes -- per-cell
- * simulation time, aggregate throughput, worker count, and the
- * controller's reconfiguration activity -- so sweep performance and
- * the interval controller's feedback loop can both be audited.  The
- * CLI sweeps emit it as JSON behind --telemetry-json.
+ * simulation time, which worker ran each cell, aggregate throughput,
+ * and the controller's reconfiguration activity -- so sweep
+ * performance, `--jobs` scaling efficiency, and the interval
+ * controller's feedback loop can all be audited.  The CLI sweeps emit
+ * it as JSON behind --telemetry-json / --metrics-json; emission is
+ * folded onto the shared table/registry path (TableWriter::renderJson
+ * + renderJsonMap, obs::CounterRegistry::renderJsonFields) so sweep-
+ * level and interval-level observability produce one document shape.
  */
 
 #ifndef CAPSIM_CORE_TELEMETRY_H
@@ -17,6 +21,8 @@
 #include <ostream>
 #include <string>
 #include <vector>
+
+#include "obs/registry.h"
 
 namespace cap::core {
 
@@ -28,6 +34,18 @@ struct CellTelemetry
     /** Configuration label ("16KB/2way", "64 entries", ...). */
     std::string config;
     /** Wall-clock simulation time of the cell, seconds. */
+    double sim_seconds = 0.0;
+    /** Pool worker that ran the cell (0 = orchestrator / serial). */
+    int worker = 0;
+};
+
+/** Aggregate load one worker carried during a sweep. */
+struct WorkerLoad
+{
+    int worker = 0;
+    /** Cells the worker simulated. */
+    uint64_t cells = 0;
+    /** Total simulation seconds the worker spent. */
     double sim_seconds = 0.0;
 };
 
@@ -44,11 +62,34 @@ struct RunTelemetry
     /** Per-cell cost, one entry per (app, config) simulation. */
     std::vector<CellTelemetry> cells;
 
-    /** Aggregate sweep throughput, cells per wall-clock second. */
+    /** Aggregate sweep throughput, cells per wall-clock second
+     *  (0.0 when wall_seconds is zero -- never a division by zero). */
     double cellsPerSecond() const;
 
-    /** Emit as a JSON document (summary fields + per_cell array). */
-    void writeJson(std::ostream &os) const;
+    /**
+     * Per-worker load, one entry per worker in [0, jobs) (workers
+     * that ran no cell appear with zero load).
+     */
+    std::vector<WorkerLoad> workerLoads() const;
+
+    /**
+     * `--jobs` scaling efficiency: busiest worker's sim-seconds over
+     * the mean (1.0 = perfectly balanced; 0.0 when nothing ran).
+     */
+    double workerImbalance() const;
+
+    /** Fold the summary scalars into @p registry as gauges/counters
+     *  (`telemetry.*`) -- the registry-backed emission path. */
+    void fold(obs::CounterRegistry &registry) const;
+
+    /**
+     * Emit as a JSON document: summary fields (via the registry fold
+     * + TableWriter::renderJsonMap), per_cell and workers arrays (via
+     * TableWriter::renderJson), and -- when @p registry is given --
+     * its counters/gauges/histograms arrays.  All strings escaped.
+     */
+    void writeJson(std::ostream &os,
+                   const obs::CounterRegistry *registry = nullptr) const;
 };
 
 } // namespace cap::core

@@ -1,0 +1,190 @@
+#include "decision_trace.h"
+
+#include <map>
+
+#include "util/status.h"
+#include "util/table.h"
+
+namespace cap::obs {
+
+const char *
+eventKindName(EventKind kind)
+{
+    switch (kind) {
+    case EventKind::Interval: return "interval";
+    case EventKind::Decision: return "decision";
+    case EventKind::Reconfig: return "reconfig";
+    case EventKind::ClockChange: return "clock";
+    case EventKind::Cell: return "cell";
+    }
+    panic("unknown event kind %d", static_cast<int>(kind));
+}
+
+void
+DecisionTrace::append(const DecisionTrace &other)
+{
+    events_.insert(events_.end(), other.events_.begin(),
+                   other.events_.end());
+}
+
+size_t
+DecisionTrace::countKind(EventKind kind) const
+{
+    size_t n = 0;
+    for (const TraceEvent &event : events_)
+        n += event.kind == kind ? 1 : 0;
+    return n;
+}
+
+uint64_t
+DecisionTrace::intervalRetiredTotal() const
+{
+    uint64_t total = 0;
+    for (const TraceEvent &event : events_) {
+        if (event.kind == EventKind::Interval)
+            total += event.retired;
+    }
+    return total;
+}
+
+namespace {
+
+/** `, "key": <value>` with Cell's JSON escaping/formatting rules. */
+void
+field(std::ostream &os, const char *key, const Cell &value)
+{
+    os << ", \"" << key << "\": " << value.jsonStr();
+}
+
+void
+writeCommon(std::ostream &os, const TraceEvent &e)
+{
+    os << "{\"type\": " << Cell(eventKindName(e.kind)).jsonStr();
+    field(os, "lane", Cell(e.lane));
+    field(os, "app", Cell(e.app));
+    field(os, "config", Cell(e.config));
+    field(os, "start_ns", Cell(e.start_ns, 6));
+}
+
+} // namespace
+
+void
+DecisionTrace::writeJsonl(std::ostream &os) const
+{
+    for (const TraceEvent &e : events_) {
+        writeCommon(os, e);
+        switch (e.kind) {
+        case EventKind::Interval:
+        case EventKind::Cell:
+            field(os, "interval", Cell(e.interval));
+            field(os, "retired", Cell(e.retired));
+            field(os, "cycles", Cell(e.cycles));
+            field(os, "duration_ns", Cell(e.duration_ns, 6));
+            field(os, "ipc", Cell(e.ipc, 9));
+            field(os, "tpi_ns", Cell(e.tpi_ns, 9));
+            field(os, "ewma_tpi_ns", Cell(e.ewma_tpi_ns, 6));
+            break;
+        case EventKind::Decision:
+            field(os, "interval", Cell(e.interval));
+            field(os, "decision", Cell(e.decision));
+            field(os, "candidate", Cell(e.candidate));
+            field(os, "chosen", Cell(e.chosen));
+            field(os, "confidence", Cell(e.confidence));
+            field(os, "ewma_home_tpi_ns", Cell(e.ewma_home_tpi_ns, 6));
+            field(os, "ewma_candidate_tpi_ns",
+                  Cell(e.ewma_candidate_tpi_ns, 6));
+            break;
+        case EventKind::Reconfig:
+            field(os, "from", Cell(e.from_config));
+            field(os, "to", Cell(e.to_config));
+            field(os, "drain_cycles", Cell(e.drain_cycles));
+            field(os, "duration_ns", Cell(e.duration_ns, 6));
+            field(os, "penalty_ns", Cell(e.penalty_ns, 6));
+            break;
+        case EventKind::ClockChange:
+            field(os, "ghz_before", Cell(e.ghz_before, 6));
+            field(os, "ghz_after", Cell(e.ghz_after, 6));
+            break;
+        }
+        os << "}\n";
+    }
+}
+
+void
+DecisionTrace::writeChromeTrace(std::ostream &os) const
+{
+    // One Chrome "thread" per lane, in first-appearance order, laid
+    // out on the simulated (ns) timeline; ts/dur are microseconds.
+    std::map<std::string, int> tids;
+    auto tidOf = [&](const std::string &lane) {
+        auto [it, inserted] =
+            tids.emplace(lane, static_cast<int>(tids.size()) + 1);
+        (void)inserted;
+        return it->second;
+    };
+
+    os << "{\"displayTimeUnit\": \"ns\", \"traceEvents\": [\n"
+       << "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1, "
+          "\"tid\": 0, \"args\": {\"name\": \"capsim\"}}";
+
+    std::map<std::string, bool> named;
+    for (const TraceEvent &e : events_) {
+        int tid = tidOf(e.lane);
+        if (!named[e.lane]) {
+            named[e.lane] = true;
+            os << ",\n{\"name\": \"thread_name\", \"ph\": \"M\", "
+                  "\"pid\": 1, \"tid\": "
+               << tid << ", \"args\": {\"name\": "
+               << Cell(e.lane).jsonStr() << "}}";
+        }
+        double ts_us = e.start_ns / 1000.0;
+        os << ",\n{";
+        switch (e.kind) {
+        case EventKind::Interval:
+        case EventKind::Cell:
+            os << "\"name\": " << Cell("cfg " + e.config).jsonStr()
+               << ", \"cat\": \"sim\", \"ph\": \"X\", \"ts\": "
+               << Cell(ts_us, 4).jsonStr()
+               << ", \"dur\": " << Cell(e.duration_ns / 1000.0, 4).jsonStr()
+               << ", \"pid\": 1, \"tid\": " << tid
+               << ", \"args\": {\"interval\": " << e.interval
+               << ", \"retired\": " << e.retired
+               << ", \"cycles\": " << e.cycles
+               << ", \"ipc\": " << Cell(e.ipc, 4).jsonStr()
+               << ", \"tpi_ns\": " << Cell(e.tpi_ns, 4).jsonStr() << "}";
+            break;
+        case EventKind::Decision:
+            os << "\"name\": " << Cell("decision:" + e.decision).jsonStr()
+               << ", \"cat\": \"controller\", \"ph\": \"i\", \"s\": \"t\""
+               << ", \"ts\": " << Cell(ts_us, 4).jsonStr()
+               << ", \"pid\": 1, \"tid\": " << tid
+               << ", \"args\": {\"candidate\": " << e.candidate
+               << ", \"chosen\": " << e.chosen
+               << ", \"confidence\": " << e.confidence << "}";
+            break;
+        case EventKind::Reconfig:
+            os << "\"name\": \"reconfig\", \"cat\": \"controller\", "
+                  "\"ph\": \"i\", \"s\": \"t\", \"ts\": "
+               << Cell(ts_us, 4).jsonStr()
+               << ", \"pid\": 1, \"tid\": " << tid
+               << ", \"args\": {\"from\": " << e.from_config
+               << ", \"to\": " << e.to_config
+               << ", \"drain_cycles\": " << e.drain_cycles
+               << ", \"penalty_ns\": " << Cell(e.penalty_ns, 4).jsonStr()
+               << "}";
+            break;
+        case EventKind::ClockChange:
+            // Counter track: the dynamic clock over simulated time.
+            os << "\"name\": \"clock_GHz\", \"ph\": \"C\", \"ts\": "
+               << Cell(ts_us, 4).jsonStr()
+               << ", \"pid\": 1, \"tid\": " << tid
+               << ", \"args\": {\"GHz\": " << Cell(e.ghz_after, 4).jsonStr()
+               << "}";
+            break;
+        }
+        os << "}";
+    }
+    os << "\n]}\n";
+}
+
+} // namespace cap::obs

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Decision-trace event stream: one structured record per simulated
+ * interval plus reconfiguration, clock-change, decision, and per-cell
+ * summary events.
+ *
+ * The paper's Section-6 argument rests on *looking at* the controller's
+ * per-interval state (Figures 12-13); DecisionTrace makes that state a
+ * first-class artifact of any run.  Events are buffered in memory and
+ * written at the end of the run, for two reasons: (1) the hot path
+ * pays one vector push_back, never a write() syscall, and (2) parallel
+ * study cells record into private buffers that the orchestrator merges
+ * serially in cell order, so the emitted file is bit-identical for
+ * every job count (the same contract as the result matrices,
+ * docs/MODEL.md section 11).
+ *
+ * Two sink formats (docs/OBSERVABILITY.md):
+ *  - JSONL: one self-describing JSON object per line ("type" field);
+ *    the input format of `capsim analyze-trace`.
+ *  - Chrome trace_event JSON: loadable in chrome://tracing / Perfetto;
+ *    intervals become duration events on one track per lane, laid out
+ *    on the *simulated* timeline.
+ */
+
+#ifndef CAPSIM_OBS_DECISION_TRACE_H
+#define CAPSIM_OBS_DECISION_TRACE_H
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace cap::obs {
+
+/** What a trace event describes. */
+enum class EventKind {
+    /** One simulated interval of one lane. */
+    Interval,
+    /** A controller decision at a probe boundary. */
+    Decision,
+    /** A physical reconfiguration (drain + clock-switch pause). */
+    Reconfig,
+    /** A dynamic clock change. */
+    ClockChange,
+    /** One (app, config) study cell, summarised. */
+    Cell,
+};
+
+/** The string tag of @p kind in the JSONL "type" field. */
+const char *eventKindName(EventKind kind);
+
+/**
+ * One trace record.  A flat superset of every kind's fields; the
+ * JSONL writer emits only the fields meaningful for the kind.
+ */
+struct TraceEvent
+{
+    EventKind kind = EventKind::Interval;
+    /** Track identity ("app" or "app/config"); one timeline per lane. */
+    std::string lane;
+    /** Application name. */
+    std::string app;
+    /** Configuration label active during / after the event. */
+    std::string config;
+    /** Interval ordinal within the lane (Interval/Decision). */
+    uint64_t interval = 0;
+    /** Instructions (or references) retired in the interval/cell. */
+    uint64_t retired = 0;
+    /** Cycles consumed by the interval/cell. */
+    uint64_t cycles = 0;
+    /** Lane-local simulated time at which the event starts, ns. */
+    double start_ns = 0.0;
+    /** Simulated duration of the event, ns. */
+    double duration_ns = 0.0;
+    /** Raw IPC of the interval. */
+    double ipc = 0.0;
+    /** Raw TPI of the interval, ns. */
+    double tpi_ns = 0.0;
+    /** EWMA TPI estimate of the active configuration; < 0 = none. */
+    double ewma_tpi_ns = -1.0;
+
+    // --- Decision fields ---
+    /** "commit", "revert", or "reject" (margin not met). */
+    std::string decision;
+    /** Candidate configuration evaluated by the probe. */
+    int candidate = 0;
+    /** Configuration chosen going forward. */
+    int chosen = 0;
+    /** Confidence count after the decision. */
+    int confidence = 0;
+    /** EWMA TPI of the home configuration at decision time; < 0 none. */
+    double ewma_home_tpi_ns = -1.0;
+    /** EWMA TPI of the candidate at decision time; < 0 = none. */
+    double ewma_candidate_tpi_ns = -1.0;
+
+    // --- Reconfig / clock fields ---
+    int from_config = 0;
+    int to_config = 0;
+    /** Cycles spent draining the structure (at the old clock). */
+    uint64_t drain_cycles = 0;
+    /** Clock-switch pause paid, ns (at the new clock). */
+    double penalty_ns = 0.0;
+    double ghz_before = 0.0;
+    double ghz_after = 0.0;
+};
+
+/** In-memory event buffer with JSONL / Chrome-trace writers. */
+class DecisionTrace
+{
+  public:
+    void add(TraceEvent event) { events_.push_back(std::move(event)); }
+
+    /** Append another buffer's events (serial, cell-order merges). */
+    void append(const DecisionTrace &other);
+
+    size_t size() const { return events_.size(); }
+    bool empty() const { return events_.empty(); }
+    const std::vector<TraceEvent> &events() const { return events_; }
+
+    size_t countKind(EventKind kind) const;
+
+    /** Sum of @c retired over the Interval records. */
+    uint64_t intervalRetiredTotal() const;
+
+    /** One JSON object per line; kind-specific field subset. */
+    void writeJsonl(std::ostream &os) const;
+
+    /** Chrome trace_event JSON ({"traceEvents": [...]}). */
+    void writeChromeTrace(std::ostream &os) const;
+
+  private:
+    std::vector<TraceEvent> events_;
+};
+
+} // namespace cap::obs
+
+#endif // CAPSIM_OBS_DECISION_TRACE_H

@@ -1,0 +1,99 @@
+#include "hooks.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <functional>
+
+#include "util/status.h"
+
+namespace cap::obs {
+
+namespace {
+
+/** Process-global sink state armed by initGlobalFromEnv(). */
+struct GlobalSession
+{
+    bool armed = false;
+    std::string trace_path;
+    std::string metrics_path;
+    DecisionTrace trace;
+    CounterRegistry registry;
+};
+
+GlobalSession &
+session()
+{
+    static GlobalSession instance;
+    return instance;
+}
+
+void
+writeFileOrWarn(const std::string &path,
+                const std::function<void(std::ostream &)> &writer)
+{
+    std::ofstream file(path);
+    if (!file) {
+        warn("obs: cannot write '%s'", path.c_str());
+        return;
+    }
+    writer(file);
+}
+
+} // namespace
+
+Hooks
+effectiveHooks(const Hooks &hooks)
+{
+    return hooks.any() ? hooks : globalHooks();
+}
+
+Hooks
+globalHooks()
+{
+    GlobalSession &s = session();
+    Hooks hooks;
+    if (!s.trace_path.empty())
+        hooks.trace = &s.trace;
+    if (!s.metrics_path.empty())
+        hooks.registry = &s.registry;
+    return hooks;
+}
+
+void
+initGlobalFromEnv()
+{
+    GlobalSession &s = session();
+    if (s.armed)
+        return;
+    s.armed = true;
+    if (const char *path = std::getenv("CAPSIM_TRACE"))
+        s.trace_path = path;
+    if (const char *path = std::getenv("CAPSIM_METRICS"))
+        s.metrics_path = path;
+    if (!s.trace_path.empty() || !s.metrics_path.empty())
+        std::atexit(flushGlobal);
+}
+
+void
+flushGlobal()
+{
+    GlobalSession &s = session();
+    if (!s.trace_path.empty()) {
+        writeFileOrWarn(s.trace_path, [&](std::ostream &os) {
+            s.trace.writeJsonl(os);
+        });
+        writeFileOrWarn(s.trace_path + ".chrome.json",
+                        [&](std::ostream &os) {
+                            s.trace.writeChromeTrace(os);
+                        });
+    }
+    if (!s.metrics_path.empty()) {
+        writeFileOrWarn(s.metrics_path, [&](std::ostream &os) {
+            os << "{\n";
+            s.registry.renderJsonFields(os, 2);
+            os << "\n}\n";
+        });
+    }
+}
+
+} // namespace cap::obs

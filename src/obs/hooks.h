@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Observation hooks: how runs opt into metrics and decision tracing.
+ *
+ * Every instrumented runner takes a `const obs::Hooks &` (defaulting
+ * to disabled).  A default-constructed Hooks is *fully inert*: the
+ * instrumentation sites reduce to one null-pointer test, so runs with
+ * observability off pay effectively nothing (< 2% on the fig9/fig11
+ * benches, measured in docs/OBSERVABILITY.md).
+ *
+ * Two ways to enable:
+ *  - explicitly: point Hooks at a DecisionTrace / CounterRegistry you
+ *    own (what the CLI does for --trace / --metrics-json);
+ *  - via the environment: initGlobalFromEnv() arms a process-global
+ *    session from CAPSIM_TRACE / CAPSIM_METRICS, and effectiveHooks()
+ *    substitutes it whenever a runner was given inert hooks.  The
+ *    session flushes its files at process exit.  This is how the bench
+ *    binaries become traceable without editing them
+ *    (bench/bench_common.h wires initGlobalFromEnv into the banner).
+ *
+ * Threading: the global session's buffers are only ever touched from
+ * the orchestrator thread (parallel cells record into private buffers
+ * that are merged serially; see decision_trace.h).
+ */
+
+#ifndef CAPSIM_OBS_HOOKS_H
+#define CAPSIM_OBS_HOOKS_H
+
+#include <string>
+
+#include "obs/decision_trace.h"
+#include "obs/registry.h"
+
+namespace cap::obs {
+
+/** Null-safe instrument updates for hot paths (inlined; one branch). */
+#define CAPSIM_OBS_COUNT(handle, n)                                       \
+    do {                                                                  \
+        if (handle)                                                       \
+            (handle)->add(n);                                             \
+    } while (0)
+
+#define CAPSIM_OBS_SAMPLE(handle, x)                                      \
+    do {                                                                  \
+        if (handle)                                                       \
+            (handle)->add(x);                                             \
+    } while (0)
+
+/** Where a run should record; inert when both pointers are null. */
+struct Hooks
+{
+    DecisionTrace *trace = nullptr;
+    CounterRegistry *registry = nullptr;
+
+    bool any() const { return trace != nullptr || registry != nullptr; }
+};
+
+/**
+ * Resolve the hooks a runner should use: @p hooks when it carries any
+ * sink, otherwise the env-armed global session's hooks (inert unless
+ * initGlobalFromEnv() armed them).
+ */
+Hooks effectiveHooks(const Hooks &hooks);
+
+/**
+ * Arm the global session from the environment (idempotent):
+ *   CAPSIM_TRACE=PATH    write a JSONL decision trace to PATH and a
+ *                        Chrome trace to PATH.chrome.json at exit
+ *   CAPSIM_METRICS=PATH  write the global counter registry as JSON to
+ *                        PATH at exit
+ */
+void initGlobalFromEnv();
+
+/** The global session's hooks (inert unless armed). */
+Hooks globalHooks();
+
+/**
+ * Write the global session's files now (also runs at process exit).
+ * Safe to call when the session is unarmed.
+ */
+void flushGlobal();
+
+} // namespace cap::obs
+
+#endif // CAPSIM_OBS_HOOKS_H

@@ -1,0 +1,148 @@
+#include "registry.h"
+
+#include <algorithm>
+
+#include "util/status.h"
+#include "util/table.h"
+
+namespace cap::obs {
+
+FixedHistogram::FixedHistogram(double lo, double hi, size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0)
+{
+    capAssert(hi > lo, "histogram range must be non-empty");
+    capAssert(bins > 0, "histogram needs bins");
+}
+
+void
+FixedHistogram::add(double x)
+{
+    double span = hi_ - lo_;
+    double position = (x - lo_) / span * static_cast<double>(counts_.size());
+    int64_t bin = static_cast<int64_t>(position);
+    bin = std::clamp<int64_t>(bin, 0,
+                              static_cast<int64_t>(counts_.size()) - 1);
+    ++counts_[static_cast<size_t>(bin)];
+    ++total_;
+}
+
+void
+FixedHistogram::merge(const FixedHistogram &other)
+{
+    capAssert(lo_ == other.lo_ && hi_ == other.hi_ &&
+                  counts_.size() == other.counts_.size(),
+              "histogram shapes differ (lo/hi/bins)");
+    for (size_t i = 0; i < counts_.size(); ++i)
+        counts_[i] += other.counts_[i];
+    total_ += other.total_;
+}
+
+Counter &
+CounterRegistry::counter(const std::string &name)
+{
+    auto &slot = counters_[name];
+    if (!slot)
+        slot = std::make_unique<Counter>();
+    return *slot;
+}
+
+Gauge &
+CounterRegistry::gauge(const std::string &name)
+{
+    auto &slot = gauges_[name];
+    if (!slot)
+        slot = std::make_unique<Gauge>();
+    return *slot;
+}
+
+FixedHistogram &
+CounterRegistry::histogram(const std::string &name, double lo, double hi,
+                           size_t bins)
+{
+    auto &slot = histograms_[name];
+    if (!slot) {
+        slot = std::make_unique<FixedHistogram>(lo, hi, bins);
+    } else {
+        capAssert(slot->lo() == lo && slot->hi() == hi &&
+                      slot->binCount() == bins,
+                  "histogram '%s' re-registered with a different shape",
+                  name.c_str());
+    }
+    return *slot;
+}
+
+uint64_t
+CounterRegistry::counterValue(const std::string &name) const
+{
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second->value();
+}
+
+double
+CounterRegistry::gaugeValue(const std::string &name) const
+{
+    auto it = gauges_.find(name);
+    return it == gauges_.end() ? 0.0 : it->second->value();
+}
+
+const FixedHistogram *
+CounterRegistry::findHistogram(const std::string &name) const
+{
+    auto it = histograms_.find(name);
+    return it == histograms_.end() ? nullptr : it->second.get();
+}
+
+void
+CounterRegistry::merge(const CounterRegistry &other)
+{
+    for (const auto &[name, ctr] : other.counters_)
+        counter(name).add(ctr->value());
+    for (const auto &[name, g] : other.gauges_)
+        gauge(name).set(g->value());
+    for (const auto &[name, h] : other.histograms_)
+        histogram(name, h->lo(), h->hi(), h->binCount()).merge(*h);
+}
+
+void
+CounterRegistry::renderJsonFields(std::ostream &os, int indent) const
+{
+    std::string pad(static_cast<size_t>(std::max(indent, 0)), ' ');
+
+    TableWriter counters("counters");
+    counters.setHeader({"name", "value"});
+    for (const auto &[name, ctr] : counters_)
+        counters.addRow({Cell(name), Cell(ctr->value())});
+    os << pad << "\"counters\": ";
+    counters.renderJson(os, indent);
+    os << ",\n";
+
+    TableWriter gauges("gauges");
+    gauges.setHeader({"name", "value"});
+    for (const auto &[name, g] : gauges_)
+        gauges.addRow({Cell(name), Cell(g->value(), 6)});
+    os << pad << "\"gauges\": ";
+    gauges.renderJson(os, indent);
+    os << ",\n";
+
+    // Histograms carry a bucket *array*, which the row-object shape of
+    // TableWriter::renderJson cannot express; emit them directly with
+    // the same Cell escaping rules.
+    os << pad << "\"histograms\": [";
+    bool first = true;
+    for (const auto &[name, h] : histograms_) {
+        os << (first ? "\n" : ",\n") << pad << "  {\"name\": "
+           << Cell(name).jsonStr()
+           << ", \"lo\": " << Cell(h->lo(), 6).jsonStr()
+           << ", \"hi\": " << Cell(h->hi(), 6).jsonStr()
+           << ", \"total\": " << h->totalCount() << ", \"buckets\": [";
+        for (size_t bin = 0; bin < h->binCount(); ++bin)
+            os << (bin ? ", " : "") << h->binValue(bin);
+        os << "]}";
+        first = false;
+    }
+    if (!first)
+        os << '\n' << pad;
+    os << ']';
+}
+
+} // namespace cap::obs

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Counter registry: named counters, gauges, and fixed-bucket
+ * histograms for the simulators' observable state.
+ *
+ * A CounterRegistry is *single-thread-owned*: components register
+ * instruments by name (find-or-create) and receive stable handles
+ * whose update path is one unguarded add/store -- no atomics, no
+ * locks.  Cross-thread aggregation follows the same pattern as the
+ * study result matrices (docs/MODEL.md section 11): every parallel
+ * cell owns a private registry, and the orchestrator thread merges
+ * them serially (in cell order) after the fan-out completes, so the
+ * merged totals are bit-identical for every job count.
+ *
+ * Naming convention (docs/OBSERVABILITY.md): lower-case dotted path,
+ * `<subsystem>.<noun>[_<unit>]` -- e.g. `core.issued_instructions`,
+ * `cache.l1_hits`, `interval.reconfigurations`.
+ */
+
+#ifndef CAPSIM_OBS_REGISTRY_H
+#define CAPSIM_OBS_REGISTRY_H
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace cap::obs {
+
+/** Monotonically increasing event count. */
+class Counter
+{
+  public:
+    void add(uint64_t n = 1) { value_ += n; }
+    uint64_t value() const { return value_; }
+
+  private:
+    uint64_t value_ = 0;
+};
+
+/** Last-written scalar (e.g. an EWMA estimate, a ratio). */
+class Gauge
+{
+  public:
+    void set(double value) { value_ = value; }
+    double value() const { return value_; }
+
+  private:
+    double value_ = 0.0;
+};
+
+/**
+ * Equal-width histogram over [lo, hi) with out-of-range samples
+ * clamped into the edge bins (same semantics as cap::Histogram, but
+ * mergeable and registry-owned).
+ */
+class FixedHistogram
+{
+  public:
+    FixedHistogram(double lo, double hi, size_t bins);
+
+    void add(double x);
+
+    double lo() const { return lo_; }
+    double hi() const { return hi_; }
+    size_t binCount() const { return counts_.size(); }
+    uint64_t binValue(size_t bin) const { return counts_.at(bin); }
+    uint64_t totalCount() const { return total_; }
+
+    /** Bin-wise sum; shapes (lo, hi, bins) must match exactly. */
+    void merge(const FixedHistogram &other);
+
+  private:
+    double lo_;
+    double hi_;
+    std::vector<uint64_t> counts_;
+    uint64_t total_ = 0;
+};
+
+/**
+ * Find-or-create registry of named instruments.  Handles are stable
+ * for the registry's lifetime (instruments are never removed).
+ */
+class CounterRegistry
+{
+  public:
+    /** Find or create the counter @p name. */
+    Counter &counter(const std::string &name);
+
+    /** Find or create the gauge @p name. */
+    Gauge &gauge(const std::string &name);
+
+    /**
+     * Find or create the histogram @p name.  A pre-existing histogram
+     * must have the same shape (lo, hi, bins).
+     */
+    FixedHistogram &histogram(const std::string &name, double lo, double hi,
+                              size_t bins);
+
+    /** Counter value, or 0 when @p name was never registered. */
+    uint64_t counterValue(const std::string &name) const;
+
+    /** Gauge value, or 0.0 when @p name was never registered. */
+    double gaugeValue(const std::string &name) const;
+
+    /** Histogram by name, or nullptr. */
+    const FixedHistogram *findHistogram(const std::string &name) const;
+
+    size_t counterCount() const { return counters_.size(); }
+    size_t gaugeCount() const { return gauges_.size(); }
+    size_t histogramCount() const { return histograms_.size(); }
+    bool empty() const
+    {
+        return counters_.empty() && gauges_.empty() && histograms_.empty();
+    }
+
+    /**
+     * Fold @p other into this registry: counters and histogram bins
+     * are summed; a gauge takes the other registry's value (last
+     * writer wins, which under the serial cell-order merge makes the
+     * result deterministic).
+     */
+    void merge(const CounterRegistry &other);
+
+    /**
+     * Emit the registry as three JSON arrays -- "counters", "gauges",
+     * "histograms" -- as fields of an enclosing object (no braces;
+     * the caller owns them).  @p indent shifts every line.
+     */
+    void renderJsonFields(std::ostream &os, int indent = 0) const;
+
+  private:
+    // std::map keeps emission (and merge) in name order: deterministic
+    // output regardless of registration order.
+    std::map<std::string, std::unique_ptr<Counter>> counters_;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+    std::map<std::string, std::unique_ptr<FixedHistogram>> histograms_;
+};
+
+} // namespace cap::obs
+
+#endif // CAPSIM_OBS_REGISTRY_H

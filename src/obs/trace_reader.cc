@@ -1,0 +1,231 @@
+#include "trace_reader.h"
+
+#include <cstdlib>
+#include <map>
+
+namespace cap::obs {
+
+namespace {
+
+/** Cursor over one line; fail() records the first error. */
+struct Parser
+{
+    const std::string &text;
+    size_t pos = 0;
+    std::string error;
+
+    explicit Parser(const std::string &line) : text(line) {}
+
+    bool fail(const std::string &why)
+    {
+        if (error.empty())
+            error = why;
+        return false;
+    }
+
+    void skipSpace()
+    {
+        while (pos < text.size() &&
+               (text[pos] == ' ' || text[pos] == '\t'))
+            ++pos;
+    }
+
+    bool expect(char ch)
+    {
+        skipSpace();
+        if (pos >= text.size() || text[pos] != ch)
+            return fail(std::string("expected '") + ch + "'");
+        ++pos;
+        return true;
+    }
+
+    bool parseString(std::string &out)
+    {
+        if (!expect('"'))
+            return false;
+        out.clear();
+        while (pos < text.size()) {
+            char ch = text[pos++];
+            if (ch == '"')
+                return true;
+            if (ch != '\\') {
+                out += ch;
+                continue;
+            }
+            if (pos >= text.size())
+                return fail("dangling escape");
+            char esc = text[pos++];
+            switch (esc) {
+            case '"': out += '"'; break;
+            case '\\': out += '\\'; break;
+            case '/': out += '/'; break;
+            case 'n': out += '\n'; break;
+            case 't': out += '\t'; break;
+            case 'r': out += '\r'; break;
+            case 'b': out += '\b'; break;
+            case 'f': out += '\f'; break;
+            case 'u': {
+                if (pos + 4 > text.size())
+                    return fail("truncated \\u escape");
+                unsigned code = static_cast<unsigned>(
+                    std::strtoul(text.substr(pos, 4).c_str(), nullptr, 16));
+                pos += 4;
+                // The writer only escapes control characters this way.
+                out += static_cast<char>(code & 0xff);
+                break;
+            }
+            default:
+                return fail("unknown escape");
+            }
+        }
+        return fail("unterminated string");
+    }
+
+    bool parseNumber(double &out)
+    {
+        skipSpace();
+        const char *begin = text.c_str() + pos;
+        char *end = nullptr;
+        out = std::strtod(begin, &end);
+        if (end == begin)
+            return fail("expected a number");
+        pos += static_cast<size_t>(end - begin);
+        return true;
+    }
+};
+
+} // namespace
+
+bool
+parseTraceLine(const std::string &line, TraceEvent &event,
+               std::string &error)
+{
+    Parser p(line);
+    std::map<std::string, std::string> strings;
+    std::map<std::string, double> numbers;
+
+    if (!p.expect('{')) {
+        error = p.error;
+        return false;
+    }
+    p.skipSpace();
+    if (p.pos < p.text.size() && p.text[p.pos] == '}') {
+        error = "empty object";
+        return false;
+    }
+    for (;;) {
+        std::string key;
+        if (!p.parseString(key) || !p.expect(':')) {
+            error = p.error;
+            return false;
+        }
+        p.skipSpace();
+        if (p.pos < p.text.size() && p.text[p.pos] == '"') {
+            std::string value;
+            if (!p.parseString(value)) {
+                error = p.error;
+                return false;
+            }
+            strings[key] = value;
+        } else if (p.text.compare(p.pos, 4, "null") == 0) {
+            p.pos += 4;
+            numbers[key] = 0.0;
+        } else {
+            double value = 0.0;
+            if (!p.parseNumber(value)) {
+                error = p.error;
+                return false;
+            }
+            numbers[key] = value;
+        }
+        p.skipSpace();
+        if (p.pos < p.text.size() && p.text[p.pos] == ',') {
+            ++p.pos;
+            continue;
+        }
+        break;
+    }
+    if (!p.expect('}')) {
+        error = p.error;
+        return false;
+    }
+
+    auto str = [&](const char *key) {
+        auto it = strings.find(key);
+        return it == strings.end() ? std::string() : it->second;
+    };
+    auto num = [&](const char *key) {
+        auto it = numbers.find(key);
+        return it == numbers.end() ? 0.0 : it->second;
+    };
+    auto u64 = [&](const char *key) {
+        return static_cast<uint64_t>(num(key));
+    };
+
+    std::string type = str("type");
+    if (type == "interval") {
+        event.kind = EventKind::Interval;
+    } else if (type == "decision") {
+        event.kind = EventKind::Decision;
+    } else if (type == "reconfig") {
+        event.kind = EventKind::Reconfig;
+    } else if (type == "clock") {
+        event.kind = EventKind::ClockChange;
+    } else if (type == "cell") {
+        event.kind = EventKind::Cell;
+    } else {
+        error = "unrecognized record type '" + type + "'";
+        return false;
+    }
+
+    event.lane = str("lane");
+    event.app = str("app");
+    event.config = str("config");
+    event.interval = u64("interval");
+    event.retired = u64("retired");
+    event.cycles = u64("cycles");
+    event.start_ns = num("start_ns");
+    event.duration_ns = num("duration_ns");
+    event.ipc = num("ipc");
+    event.tpi_ns = num("tpi_ns");
+    event.ewma_tpi_ns =
+        numbers.count("ewma_tpi_ns") ? num("ewma_tpi_ns") : -1.0;
+    event.decision = str("decision");
+    event.candidate = static_cast<int>(num("candidate"));
+    event.chosen = static_cast<int>(num("chosen"));
+    event.confidence = static_cast<int>(num("confidence"));
+    event.ewma_home_tpi_ns =
+        numbers.count("ewma_home_tpi_ns") ? num("ewma_home_tpi_ns") : -1.0;
+    event.ewma_candidate_tpi_ns = numbers.count("ewma_candidate_tpi_ns")
+                                      ? num("ewma_candidate_tpi_ns")
+                                      : -1.0;
+    event.from_config = static_cast<int>(num("from"));
+    event.to_config = static_cast<int>(num("to"));
+    event.drain_cycles = u64("drain_cycles");
+    event.penalty_ns = num("penalty_ns");
+    event.ghz_before = num("ghz_before");
+    event.ghz_after = num("ghz_after");
+    return true;
+}
+
+bool
+readTraceJsonl(std::istream &is, DecisionTrace &out, std::string &error)
+{
+    std::string line;
+    size_t line_no = 0;
+    while (std::getline(is, line)) {
+        ++line_no;
+        if (line.find_first_not_of(" \t\r") == std::string::npos)
+            continue;
+        TraceEvent event;
+        std::string line_error;
+        if (!parseTraceLine(line, event, line_error)) {
+            error = "line " + std::to_string(line_no) + ": " + line_error;
+            return false;
+        }
+        out.add(std::move(event));
+    }
+    return true;
+}
+
+} // namespace cap::obs

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Reader for the JSONL decision-trace files DecisionTrace emits:
+ * parses each line back into a TraceEvent so `capsim analyze-trace`
+ * can rebuild per-interval tables from any traced run.
+ *
+ * The parser handles the flat-object subset DecisionTrace writes
+ * (string and number values, standard escapes) -- it is a file-format
+ * reader, not a general JSON library.  Unknown keys are ignored so
+ * the format can grow without breaking old readers.
+ */
+
+#ifndef CAPSIM_OBS_TRACE_READER_H
+#define CAPSIM_OBS_TRACE_READER_H
+
+#include <istream>
+#include <string>
+
+#include "obs/decision_trace.h"
+
+namespace cap::obs {
+
+/**
+ * Parse one JSONL line into @p event.
+ * @retval false The line is not a valid flat JSON object or lacks a
+ *         recognized "type"; @p error describes the problem.
+ */
+bool parseTraceLine(const std::string &line, TraceEvent &event,
+                    std::string &error);
+
+/**
+ * Read a whole JSONL stream (blank lines skipped).
+ * @retval false A line failed to parse; @p error carries the line
+ *         number and problem.  Events parsed before the failure are
+ *         kept in @p out.
+ */
+bool readTraceJsonl(std::istream &is, DecisionTrace &out,
+                    std::string &error);
+
+} // namespace cap::obs
+
+#endif // CAPSIM_OBS_TRACE_READER_H

@@ -45,6 +45,19 @@ CoreModel::recordCompletion(uint64_t index, Cycles at)
 }
 
 void
+CoreModel::attachMetrics(obs::CounterRegistry &registry,
+                         const std::string &prefix)
+{
+    metrics_ = std::make_unique<Metrics>(Metrics{
+        &registry.counter(prefix + "cycles"),
+        &registry.counter(prefix + "issued_instructions"),
+        &registry.counter(prefix + "dispatched_instructions"),
+        &registry.counter(prefix + "dispatch_stall_cycles"),
+        &registry.histogram(prefix + "occupancy", 0.0, kOccupancyHistMax,
+                            kOccupancyHistBins)});
+}
+
+void
 CoreModel::tick()
 {
     ++cycle_;
@@ -122,6 +135,17 @@ CoreModel::tick()
         queue_.push_back(entry);
         ++dispatched_;
         ++dispatched_this_cycle;
+    }
+
+    if (metrics_) {
+        metrics_->cycles->add(1);
+        metrics_->issued->add(static_cast<uint64_t>(issued_this_cycle));
+        metrics_->dispatched->add(
+            static_cast<uint64_t>(dispatched_this_cycle));
+        if (dispatched_this_cycle < params_.dispatch_width &&
+            static_cast<int>(queue_.size()) >= params_.queue_entries)
+            metrics_->dispatch_stalls->add(1);
+        metrics_->occupancy->add(static_cast<double>(queue_.size()));
     }
 }
 

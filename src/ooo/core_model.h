@@ -25,8 +25,10 @@
 #define CAPSIM_OOO_CORE_MODEL_H
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
+#include "obs/registry.h"
 #include "ooo/stream.h"
 #include "util/rng.h"
 #include "ooo/uop.h"
@@ -117,6 +119,24 @@ class CoreModel
      */
     void stall(Cycles cycles) { cycle_ += cycles; }
 
+    /** Occupancy-histogram range shared by every core instance, so
+     *  per-cell registries merge (shapes must match). */
+    static constexpr double kOccupancyHistMax = 128.0;
+    static constexpr size_t kOccupancyHistBins = 16;
+
+    /**
+     * Register this core's counters into @p registry under @p prefix:
+     * `<prefix>cycles`, `<prefix>issued_instructions`,
+     * `<prefix>dispatched_instructions`,
+     * `<prefix>dispatch_stall_cycles` (cycles in which a full queue
+     * blocked dispatch), and the `<prefix>occupancy` histogram
+     * (queue occupancy sampled every cycle).  The registry must
+     * outlive the model; when never called, the simulation hot path
+     * pays a single predicted-null branch per cycle.
+     */
+    void attachMetrics(obs::CounterRegistry &registry,
+                       const std::string &prefix = "core.");
+
   private:
     struct QueueEntry
     {
@@ -143,9 +163,20 @@ class CoreModel
 
     void recordCompletion(uint64_t index, Cycles at);
 
+    /** Registry handles; allocated only when metrics are attached. */
+    struct Metrics
+    {
+        obs::Counter *cycles;
+        obs::Counter *issued;
+        obs::Counter *dispatched;
+        obs::Counter *dispatch_stalls;
+        obs::FixedHistogram *occupancy;
+    };
+
     InstructionStream &stream_;
     CoreParams params_;
     Rng rng_;
+    std::unique_ptr<Metrics> metrics_;
 
     /** Waiting (dispatched, un-issued) instructions, oldest first. */
     std::vector<QueueEntry> queue_;

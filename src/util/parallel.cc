@@ -6,14 +6,31 @@
 
 namespace cap {
 
+namespace {
+
+/** 0-based pool-worker index of this thread; 0 off the pool. */
+thread_local int t_worker_id = 0;
+
+} // namespace
+
+int
+currentWorkerId()
+{
+    return t_worker_id;
+}
+
 ThreadPool::ThreadPool(int threads, size_t queue_capacity)
 {
     int count = std::max(threads, 1);
     capacity_ = queue_capacity ? queue_capacity
                                : static_cast<size_t>(count) * 4;
     workers_.reserve(static_cast<size_t>(count));
-    for (int i = 0; i < count; ++i)
-        workers_.emplace_back([this] { workerLoop(); });
+    for (int i = 0; i < count; ++i) {
+        workers_.emplace_back([this, i] {
+            t_worker_id = i;
+            workerLoop();
+        });
+    }
 }
 
 ThreadPool::~ThreadPool()

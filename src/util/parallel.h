@@ -93,6 +93,15 @@ class ThreadPool
 int defaultJobs();
 
 /**
+ * Identity of the calling thread within its ThreadPool: 0-based
+ * worker index, or 0 when called from a thread that is not a pool
+ * worker (the orchestrator running a parallelFor body inline reports
+ * 0, matching the serial path).  Telemetry uses this to attribute
+ * per-cell cost to workers.
+ */
+int currentWorkerId();
+
+/**
  * Invoke body(i) exactly once for every i in [0, count), fanned
  * across @p pool.  Indices are claimed dynamically from a shared
  * cursor (self-scheduling), so uneven cell costs balance out.  Blocks

@@ -179,4 +179,19 @@ TableWriter::renderJson(std::ostream &os, int indent) const
     os << '\n' << pad << ']';
 }
 
+void
+TableWriter::renderJsonMap(std::ostream &os, int indent) const
+{
+    std::string pad(static_cast<size_t>(std::max(indent, 0)), ' ');
+    os << "{";
+    for (size_t r = 0; r < rows_.size(); ++r) {
+        capAssert(rows_[r].size() == 2,
+                  "renderJsonMap needs (key, value) rows, got width %zu",
+                  rows_[r].size());
+        os << (r ? ",\n" : "\n") << pad << "  "
+           << rows_[r][0].jsonStr() << ": " << rows_[r][1].jsonStr();
+    }
+    os << '\n' << pad << '}';
+}
+
 } // namespace cap

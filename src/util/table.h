@@ -73,6 +73,15 @@ class TableWriter
      */
     void renderJson(std::ostream &os, int indent = 0) const;
 
+    /**
+     * Render a two-column (key, value) table as one JSON object:
+     * `{"k1": v1, "k2": v2, ...}`, keys escaped, one field per line.
+     * The shared emission path of the telemetry / metrics documents
+     * (core::RunTelemetry, obs::CounterRegistry): summary scalars go
+     * through here, per-row data through renderJson().
+     */
+    void renderJsonMap(std::ostream &os, int indent = 0) const;
+
   private:
     std::string title_;
     std::vector<std::string> header_;

@@ -4,8 +4,12 @@
  *
  * The sweep commands fan their (app, config) simulations across
  * worker threads (--jobs N, 0 = all cores) and can dump per-cell
- * execution telemetry (--telemetry-json PATH); `capsim help` lists
- * every flag.
+ * execution telemetry (--telemetry-json PATH).  Observability --
+ * structured metrics, JSONL decision traces, Chrome traces -- hangs
+ * off --trace / --chrome-trace / --metrics-json and the
+ * `analyze-trace` command (docs/OBSERVABILITY.md); `capsim help`
+ * lists every flag.  CAPSIM_TRACE / CAPSIM_METRICS arm the same
+ * sinks from the environment.
  */
 
 #include <iostream>
@@ -13,10 +17,14 @@
 #include <vector>
 
 #include "cli/cli.h"
+#include "obs/hooks.h"
 
 int
 main(int argc, char **argv)
 {
+    cap::obs::initGlobalFromEnv();
     std::vector<std::string> args(argv + 1, argv + argc);
-    return cap::cli::runCommand(args, std::cout, std::cerr);
+    int rc = cap::cli::runCommand(args, std::cout, std::cerr);
+    cap::obs::flushGlobal();
+    return rc;
 }
