@@ -1,6 +1,7 @@
 #include "cli.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdlib>
 #include <fstream>
 #include <limits>
@@ -15,6 +16,7 @@
 #include "obs/hooks.h"
 #include "obs/registry.h"
 #include "obs/trace_reader.h"
+#include "sample/study.h"
 #include "trace/analysis.h"
 #include "trace/file_trace.h"
 #include "trace/stream.h"
@@ -83,11 +85,36 @@ cmdHelp(std::ostream &out)
            "  cache-sweep <app|all>        TPI vs L1/L2 boundary\n"
            "      [--refs N]               references per run\n"
            "      [--jobs N]               worker threads (0 = all cores)\n"
+           "      [--sample[=k,ivl[,wrm]]] estimate cells from cluster\n"
+           "                               representatives (sampled mode)\n"
            "      [--telemetry-json PATH]  write execution telemetry\n"
            "  iq-sweep <app|all>           TPI vs instruction-queue size\n"
            "      [--instrs N]             instructions per run\n"
            "      [--jobs N]               worker threads (0 = all cores)\n"
+           "      [--sample[=k,ivl[,wrm]]] estimate cells from cluster\n"
+           "                               representatives (sampled mode)\n"
            "      [--telemetry-json PATH]  write execution telemetry\n"
+           "  sample-profile <app>         cluster one app's intervals and\n"
+           "                               print the sampling plan\n"
+           "      [--study cache|iq]       which side to profile\n"
+           "      [--refs N | --instrs N]  run length\n"
+           "      [--interval N] [--clusters K] [--warmup N]\n"
+           "      [--cold-prefix N]        exact cold-start span (cache)\n"
+           "  sample-run <app|all>         sampled sweep, optionally\n"
+           "                               validated against the full run\n"
+           "      [--study cache|iq]       which side to run\n"
+           "      [--refs N | --instrs N]  run length\n"
+           "      [--interval N] [--clusters K] [--warmup N]\n"
+           "      [--cold-prefix N]        exact cold-start span (cache)\n"
+           "      [--jobs N]               worker threads (0 = all cores)\n"
+           "      [--validate]             also run the full sweep and\n"
+           "                               report error/speedup per app\n"
+           "      [--check]                with --validate: exit 1 unless\n"
+           "                               MAE <= --mae-max and the CI\n"
+           "                               brackets the best config\n"
+           "      [--mae-max PCT]          --check threshold (default 2)\n"
+           "      [--oracle]               sampled per-interval oracle\n"
+           "                               (iq side, single app)\n"
            "  interval-run <app>           Section-6 interval controller\n"
            "      [--instrs N]             instructions to run\n"
            "      [--entries N]            initial queue size\n"
@@ -278,6 +305,69 @@ writeObsOutputs(const ObsSession &session,
     return 0;
 }
 
+/**
+ * The --sample flag of the sweep commands: absent leaves @p enabled
+ * false; present (bare, or "k[,interval[,warmup]]") switches the sweep
+ * to sampled mode with those knobs over the library defaults.  Use the
+ * `--sample=...` form when the flag precedes a positional argument.
+ */
+bool
+sampleFlag(const Options &options, sample::SampleParams &params,
+           std::ostream &err, bool &enabled)
+{
+    enabled = options.flags.count("sample") > 0;
+    if (!enabled)
+        return true;
+    std::string spec = options.get("sample");
+    if (spec.empty())
+        return true;
+    std::vector<uint64_t> values;
+    size_t start = 0;
+    for (;;) {
+        size_t comma = spec.find(',', start);
+        std::string part =
+            comma == std::string::npos
+                ? spec.substr(start)
+                : spec.substr(start, comma - start);
+        char *end = nullptr;
+        uint64_t value = std::strtoull(part.c_str(), &end, 10);
+        if (part.empty() || !end || *end != '\0' || value == 0) {
+            err << "capsim: bad --sample spec '" << spec
+                << "' (want k[,interval[,warmup]]; use --sample=... "
+                   "when followed by an application)\n";
+            return false;
+        }
+        values.push_back(value);
+        if (comma == std::string::npos)
+            break;
+        start = comma + 1;
+    }
+    if (values.size() > 3) {
+        err << "capsim: --sample takes at most k,interval,warmup\n";
+        return false;
+    }
+    params.clusters = static_cast<size_t>(values[0]);
+    if (values.size() > 1)
+        params.interval_len = values[1];
+    if (values.size() > 2)
+        params.warmup_len = values[2];
+    return true;
+}
+
+/** The sample-profile / sample-run knob flags over library defaults. */
+sample::SampleParams
+sampleParamsFromKnobs(const Options &options)
+{
+    sample::SampleParams params;
+    params.interval_len = options.getU64("interval", params.interval_len);
+    params.clusters = static_cast<size_t>(
+        options.getU64("clusters", params.clusters));
+    params.warmup_len = options.getU64("warmup", params.warmup_len);
+    params.cold_prefix_len =
+        options.getU64("cold-prefix", params.cold_prefix_len);
+    return params;
+}
+
 int
 cmdCacheSweep(const Options &options, std::ostream &out, std::ostream &err)
 {
@@ -290,9 +380,51 @@ cmdCacheSweep(const Options &options, std::ostream &out, std::ostream &err)
     if (!ok)
         return 2;
     uint64_t refs = options.getU64("refs", 150000);
+    sample::SampleParams sparams;
+    bool sampled = false;
+    if (!sampleFlag(options, sparams, err, sampled))
+        return 2;
 
     ObsSession session = obsSessionFromFlags(options);
     core::AdaptiveCacheModel model;
+
+    if (sampled) {
+        sample::SampledCacheStudy study = sample::runSampledCacheStudy(
+            model, apps, refs, sparams, 8, jobsFlag(options),
+            session.hooks());
+        TableWriter table("sampled avg TPI (ns) vs L1 size, " +
+                          std::to_string(refs) + " refs per run");
+        std::vector<std::string> header{"app"};
+        for (int k = 1; k <= 8; ++k)
+            header.push_back(std::to_string(8 * k) + "KB");
+        header.push_back("best");
+        table.setHeader(header);
+        for (size_t a = 0; a < apps.size(); ++a) {
+            std::vector<Cell> row{Cell(apps[a].name)};
+            const auto &sweep = study.perf[a];
+            size_t best = 0;
+            for (size_t i = 0; i < sweep.size(); ++i) {
+                row.emplace_back(sweep[i].perf.tpi_ns, 3);
+                if (sweep[i].perf.tpi_ns < sweep[best].perf.tpi_ns)
+                    best = i;
+            }
+            row.emplace_back(std::to_string(8 * (best + 1)) + "KB");
+            table.addRow(row);
+        }
+        table.renderAscii(out);
+        uint64_t full_refs = refs * apps.size() * 8;
+        out << "sampled: " << study.simulatedRefs()
+            << " refs simulated of " << full_refs << " ("
+            << Cell(static_cast<double>(full_refs) /
+                        static_cast<double>(study.simulatedRefs()),
+                    1)
+                   .str()
+            << "x fewer)\n";
+        if (int rc = writeTelemetry(options, study.telemetry, err))
+            return rc;
+        return writeObsOutputs(session, study.telemetry, err);
+    }
+
     core::CacheStudy study = core::runCacheStudy(
         model, apps, refs, 8, jobsFlag(options), session.hooks());
 
@@ -333,9 +465,54 @@ cmdIqSweep(const Options &options, std::ostream &out, std::ostream &err)
     if (!ok)
         return 2;
     uint64_t instrs = options.getU64("instrs", 120000);
+    sample::SampleParams sparams;
+    bool sampled = false;
+    if (!sampleFlag(options, sparams, err, sampled))
+        return 2;
 
     ObsSession session = obsSessionFromFlags(options);
     core::AdaptiveIqModel model;
+
+    if (sampled) {
+        sample::SampledIqStudy study = sample::runSampledIqStudy(
+            model, apps, instrs, sparams, jobsFlag(options),
+            session.hooks());
+        TableWriter table("sampled avg TPI (ns) vs queue size, " +
+                          std::to_string(instrs) +
+                          " instructions per run");
+        std::vector<std::string> header{"app"};
+        for (int entries : core::AdaptiveIqModel::studySizes())
+            header.push_back(std::to_string(entries));
+        header.push_back("best");
+        table.setHeader(header);
+        for (size_t a = 0; a < apps.size(); ++a) {
+            std::vector<Cell> row{Cell(apps[a].name)};
+            const auto &sweep = study.perf[a];
+            size_t best = 0;
+            for (size_t i = 0; i < sweep.size(); ++i) {
+                row.emplace_back(sweep[i].perf.tpi_ns, 3);
+                if (sweep[i].perf.tpi_ns < sweep[best].perf.tpi_ns)
+                    best = i;
+            }
+            row.emplace_back(std::to_string(sweep[best].perf.entries));
+            table.addRow(row);
+        }
+        table.renderAscii(out);
+        uint64_t full_instrs =
+            instrs * apps.size() *
+            core::AdaptiveIqModel::studySizes().size();
+        out << "sampled: " << study.simulatedInstrs()
+            << " instrs simulated of " << full_instrs << " ("
+            << Cell(static_cast<double>(full_instrs) /
+                        static_cast<double>(study.simulatedInstrs()),
+                    1)
+                   .str()
+            << "x fewer)\n";
+        if (int rc = writeTelemetry(options, study.telemetry, err))
+            return rc;
+        return writeObsOutputs(session, study.telemetry, err);
+    }
+
     core::IqStudy study = core::runIqStudy(model, apps, instrs,
                                            jobsFlag(options),
                                            session.hooks());
@@ -484,7 +661,7 @@ cmdAnalyzeTrace(const Options &options, std::ostream &out,
     for (obs::EventKind kind :
          {obs::EventKind::Interval, obs::EventKind::Decision,
           obs::EventKind::Reconfig, obs::EventKind::ClockChange,
-          obs::EventKind::Cell}) {
+          obs::EventKind::Cell, obs::EventKind::Representative}) {
         summary.addRow(
             {Cell(std::string(obs::eventKindName(kind)) + " events"),
              Cell(static_cast<uint64_t>(trace.countKind(kind)))});
@@ -506,7 +683,8 @@ cmdAnalyzeTrace(const Options &options, std::ostream &out,
     std::map<std::string, LaneStats> lane_stats;
     for (const obs::TraceEvent &event : trace.events()) {
         if (event.kind != obs::EventKind::Interval &&
-            event.kind != obs::EventKind::Cell)
+            event.kind != obs::EventKind::Cell &&
+            event.kind != obs::EventKind::Representative)
             continue;
         LaneStats &stats = lane_stats[event.lane];
         ++stats.intervals;
@@ -574,6 +752,25 @@ cmdAnalyzeTrace(const Options &options, std::ostream &out,
         decisions.renderAscii(out);
     }
 
+    // --- Sampled representatives, if the trace has any. ---
+    if (trace.countKind(obs::EventKind::Representative) > 0) {
+        TableWriter reps("Sampled representatives");
+        reps.setHeader({"lane", "interval", "cluster", "weight",
+                        "warmup", "retired", "tpi_ns"});
+        for (const obs::TraceEvent &event : trace.events()) {
+            if (event.kind != obs::EventKind::Representative ||
+                !selected(event))
+                continue;
+            if (event.interval < first || event.interval > last)
+                continue;
+            reps.addRow({Cell(event.lane), Cell(event.interval),
+                         Cell(event.cluster), Cell(event.weight),
+                         Cell(event.warmup), Cell(event.retired),
+                         Cell(event.tpi_ns, 4)});
+        }
+        reps.renderAscii(out);
+    }
+
     // --- Reconfigurations, if any. ---
     if (trace.countKind(obs::EventKind::Reconfig) > 0) {
         TableWriter reconfigs("Reconfigurations");
@@ -593,6 +790,248 @@ cmdAnalyzeTrace(const Options &options, std::ostream &out,
         reconfigs.renderAscii(out);
     }
     return 0;
+}
+
+/** Shared plan printer of sample-profile (both study sides). */
+void
+printSamplePlan(std::ostream &out, const std::string &side,
+                const std::string &app, uint64_t total,
+                const sample::SamplePlan &plan)
+{
+    TableWriter table("sampling plan: " + app + ", " + side + " side, " +
+                      std::to_string(total) + " " +
+                      (side == "cache" ? "refs" : "instrs"));
+    table.setHeader(
+        {"cluster", "intervals", "weight", "medoid_ivl", "probe_ivl"});
+    // Slot invariant: medoids occupy slots [0, k) in cluster order;
+    // probes and cold-prefix intervals follow.
+    for (size_t c = 0; c < plan.clustering.clusterCount(); ++c) {
+        const sample::Representative &medoid = plan.reps[c];
+        std::string probe = "-";
+        for (const sample::Representative &rep : plan.reps)
+            if (rep.probe && rep.cluster == static_cast<int>(c))
+                probe = std::to_string(rep.interval);
+        table.addRow({Cell(static_cast<uint64_t>(c)),
+                      Cell(plan.clustering.sizes[c]), Cell(medoid.weight),
+                      Cell(static_cast<uint64_t>(medoid.interval)),
+                      Cell(probe)});
+    }
+    table.renderAscii(out);
+    out << plan.num_intervals << " intervals of " << plan.interval_len
+        << ", " << plan.reps.size() << " representatives";
+    if (plan.prefix_intervals > 0)
+        out << " (" << plan.prefix_intervals
+            << " exact cold-prefix intervals)";
+    out << ", clustering cost "
+        << Cell(plan.clustering.total_cost, 3).str() << "\n";
+}
+
+int
+cmdSampleProfile(const Options &options, std::ostream &out,
+                 std::ostream &err)
+{
+    if (options.positional.empty()) {
+        err << "capsim: sample-profile needs an application\n";
+        return 2;
+    }
+    std::string side = options.get("study", "cache");
+    if (side != "cache" && side != "iq") {
+        err << "capsim: --study must be 'cache' or 'iq'\n";
+        return 2;
+    }
+    bool ok = false;
+    auto apps = selectApps(options.positional[0], side == "cache", err, ok);
+    if (!ok || apps.size() != 1) {
+        if (ok)
+            err << "capsim: sample-profile needs a single application\n";
+        return 2;
+    }
+    sample::SampleParams params = sampleParamsFromKnobs(options);
+
+    if (side == "cache") {
+        uint64_t refs = options.getU64("refs", 600000);
+        core::AdaptiveCacheModel model;
+        sample::CacheSampler sampler(model, apps[0], refs, params);
+        printSamplePlan(out, side, apps[0].name, refs, sampler.plan());
+    } else {
+        uint64_t instrs = options.getU64("instrs", 400000);
+        core::AdaptiveIqModel model;
+        sample::IqSampler sampler(model, apps[0], instrs, params);
+        printSamplePlan(out, side, apps[0].name, instrs, sampler.plan());
+    }
+    return 0;
+}
+
+int
+cmdSampleRun(const Options &options, std::ostream &out, std::ostream &err)
+{
+    if (options.positional.empty()) {
+        err << "capsim: sample-run needs an application (or 'all')\n";
+        return 2;
+    }
+    std::string side = options.get("study", "cache");
+    if (side != "cache" && side != "iq") {
+        err << "capsim: --study must be 'cache' or 'iq'\n";
+        return 2;
+    }
+    bool ok = false;
+    auto apps = selectApps(options.positional[0], side == "cache", err, ok);
+    if (!ok)
+        return 2;
+    sample::SampleParams params = sampleParamsFromKnobs(options);
+    int jobs = jobsFlag(options);
+    bool validate = options.flags.count("validate") > 0;
+    bool check = options.flags.count("check") > 0;
+    double mae_max = static_cast<double>(options.getU64("mae-max", 2));
+    if (check && !validate) {
+        err << "capsim: --check requires --validate\n";
+        return 2;
+    }
+    ObsSession session = obsSessionFromFlags(options);
+
+    if (options.flags.count("oracle")) {
+        if (side != "iq" || apps.size() != 1) {
+            err << "capsim: --oracle needs --study iq and a single "
+                   "application\n";
+            return 2;
+        }
+        uint64_t instrs = options.getU64("instrs", 400000);
+        core::AdaptiveIqModel model;
+        core::IntervalRunResult result = sample::runSampledIntervalOracle(
+            model, apps[0], instrs, core::AdaptiveIqModel::studySizes(),
+            params, true, core::kClockSwitchPenaltyCycles, jobs,
+            session.hooks());
+        TableWriter table("sampled interval oracle, " + apps[0].name +
+                          ", " + std::to_string(instrs) + " instructions");
+        table.setHeader({"quantity", "value"});
+        table.addRow({Cell("instructions"), Cell(result.instructions)});
+        table.addRow({Cell("intervals"),
+                      Cell(static_cast<uint64_t>(
+                          result.config_trace.size()))});
+        table.addRow({Cell("avg TPI (ns)"), Cell(result.tpi(), 4)});
+        table.addRow({Cell("total time (us)"),
+                      Cell(result.total_time_ns / 1000.0, 3)});
+        table.addRow(
+            {Cell("reconfigurations"), Cell(result.reconfigurations)});
+        table.renderAscii(out);
+        if (int rc = writeTelemetry(options, result.telemetry, err))
+            return rc;
+        return writeObsOutputs(session, result.telemetry, err);
+    }
+
+    // Per-app validation columns; `failures` drives the --check verdict.
+    TableWriter table((validate ? "sampled vs full, " : "sampled sweep, ") +
+                      side + std::string(" side"));
+    if (validate)
+        table.setHeader({"app", "best", "tpi_ns", "mae_%", "ci_brackets",
+                         "argmin_kept", "speedup_x"});
+    else
+        table.setHeader({"app", "best", "tpi_ns", "ci_lo", "ci_hi",
+                         "speedup_x"});
+    int failures = 0;
+    core::RunTelemetry telemetry;
+
+    auto report = [&](const std::string &app, const std::string &best,
+                      double tpi, double lo, double hi, double full_best,
+                      double mae, bool argmin_kept, double speedup) {
+        if (!validate) {
+            table.addRow({Cell(app), Cell(best), Cell(tpi, 3),
+                          Cell(lo, 3), Cell(hi, 3), Cell(speedup, 1)});
+            return;
+        }
+        bool brackets = lo <= full_best && full_best <= hi;
+        if (mae > mae_max || !brackets)
+            ++failures;
+        table.addRow({Cell(app), Cell(best), Cell(tpi, 3), Cell(mae, 2),
+                      Cell(brackets ? "yes" : "no"),
+                      Cell(argmin_kept ? "yes" : "no"),
+                      Cell(speedup, 1)});
+    };
+
+    if (side == "cache") {
+        uint64_t refs = options.getU64("refs", 600000);
+        core::AdaptiveCacheModel model;
+        sample::SampledCacheStudy study = sample::runSampledCacheStudy(
+            model, apps, refs, params, 8, jobs, session.hooks());
+        telemetry = study.telemetry;
+        core::CacheStudy full;
+        if (validate)
+            full = core::runCacheStudy(model, apps, refs, 8, jobs);
+        for (size_t a = 0; a < apps.size(); ++a) {
+            size_t best = study.selection.per_app_best[a];
+            const sample::SampledCachePerf &sp = study.perf[a][best];
+            double mae = 0.0;
+            bool argmin_kept = true;
+            double full_best = 0.0;
+            uint64_t simulated = 0;
+            for (size_t c = 0; c < study.perf[a].size(); ++c)
+                simulated += study.perf[a][c].simulated_refs;
+            if (validate) {
+                size_t fb = full.selection.per_app_best[a];
+                argmin_kept = best == fb;
+                full_best = full.perf[a][best].tpi_ns;
+                for (size_t c = 0; c < study.perf[a].size(); ++c)
+                    mae += std::abs(study.perf[a][c].perf.tpi_ns -
+                                    full.perf[a][c].tpi_ns) /
+                           full.perf[a][c].tpi_ns;
+                mae = 100.0 * mae /
+                      static_cast<double>(study.perf[a].size());
+            }
+            double speedup =
+                static_cast<double>(refs * study.perf[a].size()) /
+                static_cast<double>(simulated);
+            report(apps[a].name,
+                   std::to_string(8 * (best + 1)) + "KB",
+                   sp.perf.tpi_ns, sp.tpi_lo_ns, sp.tpi_hi_ns, full_best,
+                   mae, argmin_kept, speedup);
+        }
+    } else {
+        uint64_t instrs = options.getU64("instrs", 400000);
+        core::AdaptiveIqModel model;
+        sample::SampledIqStudy study = sample::runSampledIqStudy(
+            model, apps, instrs, params, jobs, session.hooks());
+        telemetry = study.telemetry;
+        core::IqStudy full;
+        if (validate)
+            full = core::runIqStudy(model, apps, instrs, jobs);
+        for (size_t a = 0; a < apps.size(); ++a) {
+            size_t best = study.selection.per_app_best[a];
+            const sample::SampledIqPerf &sp = study.perf[a][best];
+            double mae = 0.0;
+            bool argmin_kept = true;
+            double full_best = 0.0;
+            uint64_t simulated = 0;
+            for (size_t c = 0; c < study.perf[a].size(); ++c)
+                simulated += study.perf[a][c].simulated_instrs;
+            if (validate) {
+                size_t fb = full.selection.per_app_best[a];
+                argmin_kept = best == fb;
+                full_best = full.perf[a][best].tpi_ns;
+                for (size_t c = 0; c < study.perf[a].size(); ++c)
+                    mae += std::abs(study.perf[a][c].perf.tpi_ns -
+                                    full.perf[a][c].tpi_ns) /
+                           full.perf[a][c].tpi_ns;
+                mae = 100.0 * mae /
+                      static_cast<double>(study.perf[a].size());
+            }
+            double speedup =
+                static_cast<double>(instrs * study.perf[a].size()) /
+                static_cast<double>(simulated);
+            report(apps[a].name, std::to_string(sp.perf.entries),
+                   sp.perf.tpi_ns, sp.tpi_lo_ns, sp.tpi_hi_ns, full_best,
+                   mae, argmin_kept, speedup);
+        }
+    }
+    table.renderAscii(out);
+    if (check)
+        out << (failures ? "check: FAIL (" + std::to_string(failures) +
+                               " app(s) out of tolerance)\n"
+                         : "check: ok\n");
+    if (int rc = writeTelemetry(options, telemetry, err))
+        return rc;
+    if (int rc = writeObsOutputs(session, telemetry, err))
+        return rc;
+    return check && failures ? 1 : 0;
 }
 
 int
@@ -678,6 +1117,10 @@ runCommand(const std::vector<std::string> &args, std::ostream &out,
         return cmdIqSweep(options, out, err);
     if (command == "interval-run")
         return cmdIntervalRun(options, out, err);
+    if (command == "sample-profile")
+        return cmdSampleProfile(options, out, err);
+    if (command == "sample-run")
+        return cmdSampleRun(options, out, err);
     if (command == "analyze-trace")
         return cmdAnalyzeTrace(options, out, err);
     if (command == "gen-trace")

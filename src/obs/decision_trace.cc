@@ -16,6 +16,7 @@ eventKindName(EventKind kind)
     case EventKind::Reconfig: return "reconfig";
     case EventKind::ClockChange: return "clock";
     case EventKind::Cell: return "cell";
+    case EventKind::Representative: return "rep";
     }
     panic("unknown event kind %d", static_cast<int>(kind));
 }
@@ -84,6 +85,17 @@ DecisionTrace::writeJsonl(std::ostream &os) const
             field(os, "tpi_ns", Cell(e.tpi_ns, 9));
             field(os, "ewma_tpi_ns", Cell(e.ewma_tpi_ns, 6));
             break;
+        case EventKind::Representative:
+            field(os, "interval", Cell(e.interval));
+            field(os, "cluster", Cell(e.cluster));
+            field(os, "weight", Cell(e.weight));
+            field(os, "warmup", Cell(e.warmup));
+            field(os, "retired", Cell(e.retired));
+            field(os, "cycles", Cell(e.cycles));
+            field(os, "duration_ns", Cell(e.duration_ns, 6));
+            field(os, "ipc", Cell(e.ipc, 9));
+            field(os, "tpi_ns", Cell(e.tpi_ns, 9));
+            break;
         case EventKind::Decision:
             field(os, "interval", Cell(e.interval));
             field(os, "decision", Cell(e.decision));
@@ -148,6 +160,21 @@ DecisionTrace::writeChromeTrace(std::ostream &os) const
                << ", \"dur\": " << Cell(e.duration_ns / 1000.0, 4).jsonStr()
                << ", \"pid\": 1, \"tid\": " << tid
                << ", \"args\": {\"interval\": " << e.interval
+               << ", \"retired\": " << e.retired
+               << ", \"cycles\": " << e.cycles
+               << ", \"ipc\": " << Cell(e.ipc, 4).jsonStr()
+               << ", \"tpi_ns\": " << Cell(e.tpi_ns, 4).jsonStr() << "}";
+            break;
+        case EventKind::Representative:
+            os << "\"name\": " << Cell("rep " + e.config).jsonStr()
+               << ", \"cat\": \"sample\", \"ph\": \"X\", \"ts\": "
+               << Cell(ts_us, 4).jsonStr()
+               << ", \"dur\": " << Cell(e.duration_ns / 1000.0, 4).jsonStr()
+               << ", \"pid\": 1, \"tid\": " << tid
+               << ", \"args\": {\"interval\": " << e.interval
+               << ", \"cluster\": " << e.cluster
+               << ", \"weight\": " << e.weight
+               << ", \"warmup\": " << e.warmup
                << ", \"retired\": " << e.retired
                << ", \"cycles\": " << e.cycles
                << ", \"ipc\": " << Cell(e.ipc, 4).jsonStr()

@@ -44,6 +44,8 @@ enum class EventKind {
     ClockChange,
     /** One (app, config) study cell, summarised. */
     Cell,
+    /** One simulated sampling representative of one (app, config). */
+    Representative,
 };
 
 /** The string tag of @p kind in the JSONL "type" field. */
@@ -92,6 +94,14 @@ struct TraceEvent
     double ewma_home_tpi_ns = -1.0;
     /** EWMA TPI of the candidate at decision time; < 0 = none. */
     double ewma_candidate_tpi_ns = -1.0;
+
+    // --- Representative (sampled simulation) fields ---
+    /** Cluster index this representative stands for; -1 = none. */
+    int cluster = -1;
+    /** References/instructions the cluster covers in the full run. */
+    uint64_t weight = 0;
+    /** References/instructions simulated as cache/queue warmup. */
+    uint64_t warmup = 0;
 
     // --- Reconfig / clock fields ---
     int from_config = 0;

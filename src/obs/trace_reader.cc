@@ -173,6 +173,8 @@ parseTraceLine(const std::string &line, TraceEvent &event,
         event.kind = EventKind::ClockChange;
     } else if (type == "cell") {
         event.kind = EventKind::Cell;
+    } else if (type == "rep") {
+        event.kind = EventKind::Representative;
     } else {
         error = "unrecognized record type '" + type + "'";
         return false;
@@ -199,6 +201,11 @@ parseTraceLine(const std::string &line, TraceEvent &event,
     event.ewma_candidate_tpi_ns = numbers.count("ewma_candidate_tpi_ns")
                                       ? num("ewma_candidate_tpi_ns")
                                       : -1.0;
+    event.cluster = numbers.count("cluster")
+                        ? static_cast<int>(num("cluster"))
+                        : -1;
+    event.weight = u64("weight");
+    event.warmup = u64("warmup");
     event.from_config = static_cast<int>(num("from"));
     event.to_config = static_cast<int>(num("to"));
     event.drain_cycles = u64("drain_cycles");

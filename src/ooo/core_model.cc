@@ -149,6 +149,18 @@ CoreModel::tick()
     }
 }
 
+void
+CoreModel::seekTo(uint64_t index)
+{
+    capAssert(dispatched_ == 0 && cycle_ == 0,
+              "seekTo must precede the first dispatch");
+    dispatched_ = index;
+    // Pre-history sources must resolve as already complete; without
+    // this, a dependency crossing the seek point would read the
+    // ring's never-issued sentinel and stall the wakeup loop forever.
+    std::fill(completion_.begin(), completion_.end(), 0);
+}
+
 RunResult
 CoreModel::step(uint64_t instructions)
 {
@@ -179,6 +191,37 @@ CoreModel::resize(int new_entries)
     while (static_cast<int>(queue_.size()) > new_entries)
         tick();
     return cycle_ - start;
+}
+
+RunResult
+fastProfile(InstructionStream &stream, uint64_t instructions)
+{
+    // Completion ring indexed by instruction number.  Dependency
+    // distances never exceed kMaxDepDistance, and both sources are
+    // read before this instruction's completion is written, so even a
+    // same-slot alias at distance exactly kMaxDepDistance reads the
+    // producer's value.  Instructions generated before the first one
+    // profiled are treated as complete at cycle 0.
+    std::vector<Cycles> completion(kMaxDepDistance, 0);
+    Cycles critical_path = 0;
+    const uint64_t start = stream.position();
+    for (uint64_t i = 0; i < instructions; ++i) {
+        const uint64_t index = start + i;
+        MicroOp op = stream.next();
+        Cycles ready = 0;
+        if (op.src1_dist)
+            ready = completion[(index - op.src1_dist) % kMaxDepDistance];
+        if (op.src2_dist)
+            ready = std::max(
+                ready, completion[(index - op.src2_dist) % kMaxDepDistance]);
+        const Cycles done = ready + op.latency;
+        completion[index % kMaxDepDistance] = done;
+        critical_path = std::max(critical_path, done);
+    }
+    RunResult result;
+    result.instructions = instructions;
+    result.cycles = critical_path;
+    return result;
 }
 
 } // namespace cap::ooo

@@ -78,6 +78,22 @@ struct RunResult
     }
 };
 
+/**
+ * Fast-profile mode: dataflow-limited execution of the next
+ * @p instructions of @p stream.  The machine abstraction is the core
+ * model's with the queue constraint removed -- an infinite window,
+ * unbounded width, perfect everything -- so each instruction completes
+ * at max(producer completions) + latency and the cycle count is the
+ * critical-path length.  One array lookup per source, no per-cycle
+ * work: ~an order of magnitude faster than CoreModel::step(), which is
+ * what makes it usable as a per-interval ILP signature extractor for
+ * sampled simulation (src/sample/).  The resulting IPC upper-bounds
+ * every finite queue's IPC, up to end-of-window accounting: the limit
+ * charges the final instruction's completion latency where
+ * CoreModel::step() stops at its issue.
+ */
+RunResult fastProfile(InstructionStream &stream, uint64_t instructions);
+
 /** The steppable core simulator. */
 class CoreModel
 {
@@ -105,6 +121,16 @@ class CoreModel
      * @return Instructions and cycles consumed by this step.
      */
     RunResult step(uint64_t instructions);
+
+    /**
+     * Begin mid-stream: align the model's instruction indexing with a
+     * stream whose cursor was restored to @p index, treating every
+     * earlier instruction as long since complete (ready at cycle 0).
+     * Must precede the first step().  The sampled-simulation replayer
+     * (src/sample/) pairs this with InstructionStream::restoreCursor
+     * and absorbs the cold-history approximation in its warmup run.
+     */
+    void seekTo(uint64_t index);
 
     /**
      * Resize the queue.  Shrinking drains the excess occupancy first

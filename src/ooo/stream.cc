@@ -36,6 +36,31 @@ InstructionStream::currentPhase() const
     return behavior_.schedule[segment_].phase;
 }
 
+InstructionStream::Cursor
+InstructionStream::saveCursor() const
+{
+    Cursor cursor;
+    cursor.position = position_;
+    cursor.segment = segment_;
+    cursor.segment_left = segment_left_;
+    cursor.rng_state = rng_.saveState();
+    return cursor;
+}
+
+void
+InstructionStream::restoreCursor(const Cursor &cursor)
+{
+    capAssert(cursor.segment < behavior_.schedule.size(),
+              "cursor segment index out of range");
+    capAssert(cursor.segment_left <=
+                  behavior_.schedule[cursor.segment].length_instrs,
+              "cursor segment_left exceeds the segment length");
+    position_ = cursor.position;
+    segment_ = cursor.segment;
+    segment_left_ = cursor.segment_left;
+    rng_.restoreState(cursor.rng_state);
+}
+
 MicroOp
 InstructionStream::next()
 {

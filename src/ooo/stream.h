@@ -36,6 +36,27 @@ class InstructionStream
     /** Phase index active for the next instruction (test support). */
     int currentPhase() const;
 
+    /**
+     * A saved generator position (schedule state + Rng state); the
+     * instruction-side counterpart of
+     * trace::SyntheticTraceSource::Cursor.  Restoring into a stream
+     * built from the same (behavior, seed) resumes the exact MicroOp
+     * sequence.
+     */
+    struct Cursor
+    {
+        uint64_t position = 0;
+        size_t segment = 0;
+        uint64_t segment_left = 0;
+        Rng::State rng_state{};
+    };
+
+    /** Snapshot the generator position. */
+    Cursor saveCursor() const;
+
+    /** Restore a position saved from an identically-built stream. */
+    void restoreCursor(const Cursor &cursor);
+
   private:
     void advanceSegment();
 

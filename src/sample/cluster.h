@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Deterministic k-medoids clustering of interval signatures.
+ *
+ * Medoids (actual intervals) rather than centroids, because the
+ * sampler must *simulate* the cluster representative -- a centroid is
+ * not an executable interval.  Initialization is k-medoids++ (D^2
+ * weighted seeding) driven by util::Rng, refinement is Voronoi
+ * iteration, and every tie breaks toward the lowest index, so equal
+ * (signatures, k, seed) inputs cluster identically on every platform
+ * and thread count.
+ */
+
+#ifndef CAPSIM_SAMPLE_CLUSTER_H
+#define CAPSIM_SAMPLE_CLUSTER_H
+
+#include <cstdint>
+#include <vector>
+
+#include "sample/signature.h"
+
+namespace cap::sample {
+
+/** Result of clustering n signatures into k groups. */
+struct Clustering
+{
+    /** Cluster of each signature, assignment[i] in [0, k). */
+    std::vector<int> assignment;
+    /** Signature index of each cluster's medoid, one per cluster. */
+    std::vector<size_t> medoids;
+    /** Member count of each cluster (every cluster is non-empty). */
+    std::vector<uint64_t> sizes;
+    /** Sum of member-to-medoid distances (the clustering objective). */
+    double total_cost = 0.0;
+
+    size_t clusterCount() const { return medoids.size(); }
+};
+
+/**
+ * Cluster @p signatures into at most @p k groups.
+ *
+ * @param signatures Input vectors (normalize first for mixed scales).
+ * @param k Requested cluster count; when k >= n every signature
+ *        becomes its own (singleton) cluster.
+ * @param seed Seeds the k-medoids++ initialization draw.
+ * @param max_sweeps Voronoi-iteration cap; the loop also stops as
+ *        soon as a sweep changes nothing.
+ */
+Clustering kMedoids(const std::vector<IntervalSignature> &signatures,
+                    size_t k, uint64_t seed, int max_sweeps);
+
+} // namespace cap::sample
+
+#endif // CAPSIM_SAMPLE_CLUSTER_H

@@ -1,0 +1,439 @@
+#include "sampler.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/machine.h"
+#include "ooo/core_model.h"
+#include "trace/record.h"
+#include "trace/stream.h"
+#include "util/status.h"
+
+namespace cap::sample {
+
+namespace {
+
+/** Warmup rounded up to whole intervals. */
+uint64_t
+warmupIntervals(const SampleParams &params)
+{
+    return (params.warmup_len + params.interval_len - 1) /
+           params.interval_len;
+}
+
+/**
+ * Stratified-sampling confidence half-width around the weighted-mean
+ * TPI.  Each weighted cluster contributes a spread estimate: the
+ * conservative two-point variance from its probe,
+ * s^2 = (x_probe - x_medoid)^2 / 2, floored by the finite-interval
+ * counting noise x_medoid / sqrt(interval_len) (a cluster of
+ * identical signatures still carries per-interval measurement noise
+ * that a coincident probe cannot resolve).  Cold-prefix intervals are
+ * measured exactly and contribute no variance.  Medoids occupy rep
+ * slots [0, k) in cluster order, so a probe's medoid measurement is
+ * at slot rep.cluster.
+ */
+double
+confidenceHalfWidth(const SamplePlan &plan,
+                    const std::vector<double> &rep_tpi, double total_weight,
+                    double z)
+{
+    size_t k = plan.clustering.clusterCount();
+    std::vector<double> s2(k);
+    for (size_t c = 0; c < k; ++c) {
+        double floor_s =
+            rep_tpi[c] / std::sqrt(static_cast<double>(plan.interval_len));
+        s2[c] = floor_s * floor_s;
+    }
+    for (size_t r = k; r < plan.reps.size(); ++r) {
+        const Representative &rep = plan.reps[r];
+        if (!rep.probe)
+            continue;
+        size_t c = static_cast<size_t>(rep.cluster);
+        double d = rep_tpi[r] - rep_tpi[c];
+        s2[c] = std::max(s2[c], d * d / 2.0);
+    }
+    double variance = 0.0;
+    for (size_t c = 0; c < k; ++c) {
+        double wc =
+            static_cast<double>(plan.reps[c].weight) / total_weight;
+        variance += wc * wc * s2[c];
+    }
+    return z * std::sqrt(variance);
+}
+
+} // namespace
+
+SamplePlan
+planFromSignatures(const std::vector<IntervalSignature> &signatures,
+                   uint64_t total_len, uint64_t interval_len,
+                   const SampleParams &params, uint64_t cold_prefix_len)
+{
+    capAssert(!signatures.empty(), "plan needs signatures");
+    capAssert(interval_len > 0, "interval length must be positive");
+    capAssert(params.clusters > 0, "plan needs at least one cluster");
+
+    SamplePlan plan;
+    plan.total_len = total_len;
+    plan.interval_len = interval_len;
+    plan.num_intervals = signatures.size();
+    if (cold_prefix_len > 0) {
+        uint64_t span =
+            (cold_prefix_len + interval_len - 1) / interval_len;
+        plan.prefix_intervals = static_cast<size_t>(
+            std::min<uint64_t>(span, plan.num_intervals));
+    }
+    size_t prefix = plan.prefix_intervals;
+
+    std::vector<IntervalSignature> normalized = signatures;
+    normalizeSignatures(normalized);
+    size_t k = std::min(params.clusters, signatures.size());
+    plan.clustering =
+        kMedoids(normalized, k, params.cluster_seed, params.max_sweeps);
+
+    auto lengthOf = [&](size_t i) {
+        return i + 1 < plan.num_intervals
+                   ? interval_len
+                   : total_len - interval_len *
+                         static_cast<uint64_t>(plan.num_intervals - 1);
+    };
+
+    for (size_t c = 0; c < plan.clustering.clusterCount(); ++c) {
+        size_t medoid = plan.clustering.medoids[c];
+        Representative rep;
+        rep.interval = medoid;
+        rep.cluster = static_cast<int>(c);
+        for (size_t i = prefix; i < plan.num_intervals; ++i) {
+            if (plan.clustering.assignment[i] == static_cast<int>(c))
+                rep.weight += lengthOf(i);
+        }
+        if (rep.interval < prefix && rep.weight > 0) {
+            // The medoid sits inside the exactly-measured cold prefix;
+            // re-anchor it onto the non-prefix member closest to the
+            // original medoid (lowest index on ties) so the cluster's
+            // weighted estimate comes from a steady-state interval.
+            size_t anchor = prefix;
+            double best = -1.0;
+            for (size_t i = prefix; i < plan.num_intervals; ++i) {
+                if (plan.clustering.assignment[i] != static_cast<int>(c))
+                    continue;
+                double d =
+                    signatureDistance(normalized[i], normalized[medoid]);
+                if (best < 0.0 || d < best) {
+                    best = d;
+                    anchor = i;
+                }
+            }
+            rep.interval = anchor;
+        }
+        plan.reps.push_back(rep);
+    }
+    if (params.variance_probes) {
+        for (size_t c = 0; c < plan.clustering.clusterCount(); ++c) {
+            const Representative &medoid_rep = plan.reps[c];
+            size_t medoid = medoid_rep.interval;
+            if (medoid_rep.weight == 0)
+                continue; // cluster lives entirely inside the prefix
+            size_t farthest = medoid;
+            double far_d = 0.0;
+            for (size_t i = prefix; i < plan.num_intervals; ++i) {
+                if (plan.clustering.assignment[i] != static_cast<int>(c))
+                    continue;
+                double d =
+                    signatureDistance(normalized[i], normalized[medoid]);
+                // Strict > keeps the lowest interval index on ties.
+                if (d > far_d) {
+                    far_d = d;
+                    farthest = i;
+                }
+            }
+            if (farthest == medoid || far_d <= 0.0)
+                continue; // nothing to probe: the cluster has no spread
+            Representative probe;
+            probe.interval = farthest;
+            probe.cluster = static_cast<int>(c);
+            probe.probe = true;
+            plan.reps.push_back(probe);
+        }
+    }
+    for (size_t i = 0; i < prefix; ++i) {
+        Representative rep;
+        rep.interval = i;
+        rep.cluster = plan.clustering.assignment[i];
+        rep.weight = lengthOf(i);
+        plan.reps.push_back(rep);
+    }
+    return plan;
+}
+
+CacheSampler::CacheSampler(const core::AdaptiveCacheModel &model,
+                           const trace::AppProfile &app, uint64_t refs,
+                           const SampleParams &params)
+    : model_(&model), app_(app), params_(params),
+      profile_(profileCacheIntervals(app.cache, app.seed, refs,
+                                     params.interval_len)),
+      plan_(planFromSignatures(profile_.signatures, refs,
+                               params.interval_len, params,
+                               params.cold_prefix_len))
+{
+}
+
+std::vector<CacheRepMeasurement>
+CacheSampler::measureConfig(int l1_increments) const
+{
+    // Temporal order over the representatives: every interval appears
+    // at most once in the plan, so the sort key is unique.
+    std::vector<size_t> order(plan_.reps.size());
+    for (size_t r = 0; r < order.size(); ++r)
+        order[r] = r;
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        return plan_.reps[a].interval < plan_.reps[b].interval;
+    });
+
+    trace::SyntheticTraceSource source(app_.cache, app_.seed,
+                                       profile_.total_refs);
+    cache::ExclusiveHierarchy hierarchy(model_->geometry(), l1_increments);
+
+    std::vector<CacheRepMeasurement> meas(plan_.reps.size());
+    trace::TraceRecord record;
+    uint64_t position = 0; // absolute ref index the source sits at
+    size_t prev_slot = plan_.reps.size();
+    for (size_t slot : order) {
+        size_t start = plan_.reps[slot].interval;
+        // Two plan entries can name the same interval (a zero-weight
+        // medoid of a cluster living entirely inside the cold prefix);
+        // measure once and share the result.
+        if (prev_slot < plan_.reps.size() &&
+            plan_.reps[prev_slot].interval == start) {
+            meas[slot] = meas[prev_slot];
+            continue;
+        }
+        uint64_t start_ref =
+            static_cast<uint64_t>(start) * plan_.interval_len;
+
+        // The cold-prefix representatives start the chain at reference
+        // zero from the same cold hierarchy the full run sees; every
+        // later representative inherits the (stale but mostly
+        // resident) state left by its predecessor, so a short recency
+        // warmup suffices.
+        uint64_t warm = (params_.warmup_len + plan_.interval_len - 1) /
+                        plan_.interval_len;
+        size_t warm_start = start >= warm ? start - warm : 0;
+        uint64_t warm_ref =
+            static_cast<uint64_t>(warm_start) * plan_.interval_len;
+        if (warm_ref > position) {
+            // Jump the generator forward; the hierarchy keeps its
+            // state across the unsimulated gap.
+            source.restoreCursor(profile_.cursors[warm_start]);
+            position = warm_ref;
+        }
+
+        capAssert(position <= start_ref,
+                  "representative overlaps the previous measurement");
+        uint64_t warm_refs = start_ref - position;
+        for (uint64_t i = 0; i < warm_refs; ++i) {
+            bool ok = source.next(record);
+            capAssert(ok, "trace exhausted during warmup");
+            hierarchy.access(record);
+        }
+        hierarchy.resetStats();
+        uint64_t measure = profile_.lengthOf(start);
+        for (uint64_t i = 0; i < measure; ++i) {
+            bool ok = source.next(record);
+            capAssert(ok, "trace exhausted during measurement");
+            hierarchy.access(record);
+        }
+        position = start_ref + measure;
+
+        meas[slot].stats = hierarchy.stats();
+        meas[slot].warmup_refs = warm_refs;
+        prev_slot = slot;
+    }
+    return meas;
+}
+
+SampledCachePerf
+CacheSampler::reconstruct(int l1_increments,
+                          const std::vector<CacheRepMeasurement> &meas)
+    const
+{
+    capAssert(meas.size() == plan_.reps.size(),
+              "measurement count does not match the plan");
+    core::CacheBoundaryTiming timing =
+        model_->boundaryTiming(l1_increments);
+    double rpi = app_.cache.refs_per_instr;
+
+    std::vector<core::CachePerf> rep_perf;
+    std::vector<double> rep_tpi;
+    for (const CacheRepMeasurement &m : meas) {
+        rep_perf.push_back(model_->perfFromStats(m.stats, timing, rpi));
+        rep_tpi.push_back(rep_perf.back().tpi_ns);
+    }
+
+    // Whole-run estimate: cluster-weighted mean of the medoid
+    // intervals' per-reference behaviour (probes carry zero weight).
+    double total_w = 0.0;
+    double tpi = 0.0;
+    double tpi_miss = 0.0;
+    double l1_mr = 0.0;
+    double global_mr = 0.0;
+    for (size_t r = 0; r < plan_.reps.size(); ++r) {
+        double w = static_cast<double>(plan_.reps[r].weight);
+        if (w <= 0.0)
+            continue;
+        total_w += w;
+        tpi += w * rep_perf[r].tpi_ns;
+        tpi_miss += w * rep_perf[r].tpi_miss_ns;
+        l1_mr += w * rep_perf[r].l1_miss_ratio;
+        global_mr += w * rep_perf[r].global_miss_ratio;
+    }
+    capAssert(total_w > 0.0, "plan has no weighted representatives");
+    tpi /= total_w;
+    tpi_miss /= total_w;
+    l1_mr /= total_w;
+    global_mr /= total_w;
+
+    SampledCachePerf out;
+    out.perf.l1_increments = timing.l1_increments;
+    out.perf.refs = plan_.total_len;
+    out.perf.instructions = static_cast<uint64_t>(
+        static_cast<double>(plan_.total_len) / rpi);
+    out.perf.l1_miss_ratio = l1_mr;
+    out.perf.global_miss_ratio = global_mr;
+    out.perf.tpi_ns = tpi;
+    out.perf.tpi_miss_ns = tpi_miss;
+
+    double half = confidenceHalfWidth(plan_, rep_tpi, total_w,
+                                      params_.confidence_z);
+    out.tpi_lo_ns = tpi - half;
+    out.tpi_hi_ns = tpi + half;
+
+    for (size_t r = 0; r < plan_.reps.size(); ++r) {
+        out.simulated_refs += profile_.lengthOf(plan_.reps[r].interval) +
+                              meas[r].warmup_refs;
+    }
+    return out;
+}
+
+SampledCachePerf
+CacheSampler::evaluate(int l1_increments) const
+{
+    return reconstruct(l1_increments, measureConfig(l1_increments));
+}
+
+IqSampler::IqSampler(const core::AdaptiveIqModel &model,
+                     const trace::AppProfile &app, uint64_t instructions,
+                     const SampleParams &params)
+    : model_(&model), app_(app), params_(params),
+      profile_(profileIlpIntervals(app.ilp, app.seed, instructions,
+                                   params.interval_len)),
+      plan_(planFromSignatures(profile_.signatures, instructions,
+                               params.interval_len, params))
+{
+}
+
+IqRepMeasurement
+IqSampler::measureRep(int entries, size_t rep_index) const
+{
+    capAssert(rep_index < plan_.reps.size(), "rep index out of range");
+    const Representative &rep = plan_.reps[rep_index];
+    size_t start = rep.interval;
+    uint64_t warm = warmupIntervals(params_);
+    size_t warm_start = start >= warm ? start - warm : 0;
+    uint64_t warm_instrs = static_cast<uint64_t>(start - warm_start) *
+                           plan_.interval_len;
+
+    ooo::InstructionStream stream(app_.ilp, app_.seed);
+    const ooo::InstructionStream::Cursor &cursor =
+        profile_.cursors[warm_start];
+    stream.restoreCursor(cursor);
+
+    ooo::CoreParams cp;
+    cp.queue_entries = entries;
+    cp.dispatch_width = core::IqMachine::kDispatchWidth;
+    cp.issue_width = core::IqMachine::kIssueWidth;
+    ooo::CoreModel model(stream, cp);
+    model.seekTo(cursor.position);
+
+    if (warm_instrs > 0)
+        model.step(warm_instrs);
+
+    // Measure against the absolute issue target: step() overshoots by
+    // up to the issue width, so the warmup may already cover part of
+    // the representative (the evaluateObserved chunking idiom).
+    uint64_t measure = profile_.lengthOf(start);
+    uint64_t target = warm_instrs + measure;
+    uint64_t issued = model.issuedInstructions();
+    Cycles before = model.cycleCount();
+    if (issued < target)
+        model.step(target - issued);
+
+    IqRepMeasurement m;
+    m.instructions = measure;
+    m.cycles = model.cycleCount() - before;
+    m.warmup_instrs = warm_instrs;
+    return m;
+}
+
+SampledIqPerf
+IqSampler::reconstruct(int entries,
+                       const std::vector<IqRepMeasurement> &meas) const
+{
+    capAssert(meas.size() == plan_.reps.size(),
+              "measurement count does not match the plan");
+    Nanoseconds cycle = model_->cycleNs(entries);
+
+    std::vector<double> rep_cpi;
+    std::vector<double> rep_tpi;
+    for (const IqRepMeasurement &m : meas) {
+        double cpi = m.instructions
+                         ? static_cast<double>(m.cycles) /
+                               static_cast<double>(m.instructions)
+                         : 0.0;
+        rep_cpi.push_back(cpi);
+        rep_tpi.push_back(cycle * cpi);
+    }
+
+    double total_w = 0.0;
+    double cpi = 0.0;
+    for (size_t r = 0; r < plan_.reps.size(); ++r) {
+        double w = static_cast<double>(plan_.reps[r].weight);
+        if (w <= 0.0)
+            continue;
+        total_w += w;
+        cpi += w * rep_cpi[r];
+    }
+    capAssert(total_w > 0.0, "plan has no weighted representatives");
+    cpi /= total_w;
+
+    SampledIqPerf out;
+    out.perf.entries = entries;
+    out.perf.instructions = plan_.total_len;
+    double total_cycles = cpi * static_cast<double>(plan_.total_len);
+    out.perf.cycles = static_cast<Cycles>(total_cycles + 0.5);
+    out.perf.ipc = cpi > 0.0 ? 1.0 / cpi : 0.0;
+    out.perf.tpi_ns = cycle * cpi;
+
+    double half = confidenceHalfWidth(plan_, rep_tpi, total_w,
+                                      params_.confidence_z);
+    out.tpi_lo_ns = out.perf.tpi_ns - half;
+    out.tpi_hi_ns = out.perf.tpi_ns + half;
+
+    for (size_t r = 0; r < plan_.reps.size(); ++r) {
+        out.simulated_instrs +=
+            profile_.lengthOf(plan_.reps[r].interval) +
+            meas[r].warmup_instrs;
+    }
+    return out;
+}
+
+SampledIqPerf
+IqSampler::evaluate(int entries) const
+{
+    std::vector<IqRepMeasurement> meas;
+    for (size_t r = 0; r < plan_.reps.size(); ++r)
+        meas.push_back(measureRep(entries, r));
+    return reconstruct(entries, meas);
+}
+
+} // namespace cap::sample

@@ -1,0 +1,234 @@
+#include "signature.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "ooo/core_model.h"
+#include "trace/record.h"
+#include "util/status.h"
+
+namespace cap::sample {
+
+namespace {
+
+/** Cache-block granularity of the footprint/locality features. */
+constexpr int kBlockShift = 6;
+
+/** Region-mix histogram bins; mix components sit in disjoint 1 MiB
+ *  regions (trace/stream.h), so the MiB index identifies them. */
+constexpr size_t kRegionBins = 16;
+
+/** Footprint sketch size, bits (linear counting). */
+constexpr uint64_t kSketchBits = 4096;
+
+/** splitmix64 finalizer; spreads block addresses over the sketch. */
+uint64_t
+mix64(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+/** Linear-counting cardinality estimate from a bit sketch. */
+double
+linearCount(const std::vector<uint64_t> &sketch)
+{
+    uint64_t zeros = 0;
+    for (uint64_t word : sketch)
+        zeros += static_cast<uint64_t>(64 - __builtin_popcountll(word));
+    double m = static_cast<double>(kSketchBits);
+    if (zeros == 0)
+        return m * std::log(m); // saturated; capped estimate
+    return m * std::log(m / static_cast<double>(zeros));
+}
+
+uint64_t
+tailAwareLength(uint64_t total, uint64_t interval, size_t index,
+                size_t count)
+{
+    capAssert(index < count, "interval index out of range");
+    if (index + 1 < count)
+        return interval;
+    uint64_t tail = total - interval * static_cast<uint64_t>(count - 1);
+    return tail;
+}
+
+} // namespace
+
+double
+signatureDistance(const IntervalSignature &a, const IntervalSignature &b)
+{
+    capAssert(a.features.size() == b.features.size(),
+              "signature widths differ");
+    double sum = 0.0;
+    for (size_t i = 0; i < a.features.size(); ++i) {
+        double d = a.features[i] - b.features[i];
+        sum += d * d;
+    }
+    return std::sqrt(sum);
+}
+
+void
+normalizeSignatures(std::vector<IntervalSignature> &signatures)
+{
+    if (signatures.empty())
+        return;
+    size_t width = signatures[0].features.size();
+    double n = static_cast<double>(signatures.size());
+    for (size_t dim = 0; dim < width; ++dim) {
+        double mean = 0.0;
+        for (const IntervalSignature &sig : signatures) {
+            capAssert(sig.features.size() == width,
+                      "signature widths differ");
+            mean += sig.features[dim];
+        }
+        mean /= n;
+        double var = 0.0;
+        for (const IntervalSignature &sig : signatures) {
+            double d = sig.features[dim] - mean;
+            var += d * d;
+        }
+        double std_dev = std::sqrt(var / n);
+        for (IntervalSignature &sig : signatures) {
+            sig.features[dim] = std_dev > 0.0
+                                    ? (sig.features[dim] - mean) / std_dev
+                                    : 0.0;
+        }
+    }
+}
+
+uint64_t
+CacheIntervalProfile::lengthOf(size_t index) const
+{
+    return tailAwareLength(total_refs, interval_refs, index,
+                           signatures.size());
+}
+
+uint64_t
+IlpIntervalProfile::lengthOf(size_t index) const
+{
+    return tailAwareLength(total_instrs, interval_instrs, index,
+                           signatures.size());
+}
+
+CacheIntervalProfile
+profileCacheIntervals(const trace::CacheBehavior &behavior, uint64_t seed,
+                      uint64_t refs, uint64_t interval_refs)
+{
+    capAssert(refs > 0, "profiling needs references");
+    capAssert(interval_refs > 0, "interval length must be positive");
+
+    CacheIntervalProfile profile;
+    profile.interval_refs = interval_refs;
+    profile.total_refs = refs;
+
+    trace::SyntheticTraceSource source(behavior, seed, refs);
+    trace::TraceRecord record;
+    uint64_t produced = 0;
+    while (produced < refs) {
+        uint64_t want = std::min(interval_refs, refs - produced);
+        profile.cursors.push_back(source.saveCursor());
+
+        std::array<uint64_t, kRegionBins> regions{};
+        std::array<double, kRegionBins> offsets{};
+        std::vector<uint64_t> sketch(kSketchBits / 64, 0);
+        uint64_t writes = 0;
+        uint64_t adjacent = 0;
+        uint64_t got = 0;
+        uint64_t prev_block = UINT64_MAX;
+        for (; got < want && source.next(record); ++got) {
+            uint64_t block = record.addr >> kBlockShift;
+            size_t bin = (record.addr >> 20) % kRegionBins;
+            ++regions[bin];
+            // Fractional position within the 1 MiB region: constant
+            // for stationary patterns, but tracks the pointer of a
+            // cyclic sweep, letting the clusterer stratify intervals
+            // by sweep phase (z-scoring drops constant dimensions).
+            offsets[bin] += static_cast<double>(record.addr & 0xFFFFF) /
+                            static_cast<double>(1 << 20);
+            writes += record.is_write ? 1 : 0;
+            if (prev_block != UINT64_MAX &&
+                (block == prev_block || block == prev_block + 1))
+                ++adjacent;
+            prev_block = block;
+            uint64_t h = mix64(block);
+            sketch[(h >> 6) % (kSketchBits / 64)] |= 1ULL << (h & 63);
+        }
+        capAssert(got == want, "trace source exhausted early");
+
+        IntervalSignature sig;
+        sig.index = static_cast<uint64_t>(profile.signatures.size());
+        double n = static_cast<double>(got);
+        for (uint64_t bin : regions)
+            sig.features.push_back(static_cast<double>(bin) / n);
+        for (size_t b = 0; b < kRegionBins; ++b) {
+            sig.features.push_back(
+                regions[b] ? offsets[b] / static_cast<double>(regions[b])
+                           : 0.0);
+        }
+        sig.features.push_back(static_cast<double>(writes) / n);
+        sig.features.push_back(linearCount(sketch) / n);
+        sig.features.push_back(static_cast<double>(adjacent) / n);
+        profile.signatures.push_back(std::move(sig));
+        produced += got;
+    }
+    return profile;
+}
+
+IlpIntervalProfile
+profileIlpIntervals(const trace::IlpBehavior &behavior, uint64_t seed,
+                    uint64_t instructions, uint64_t interval_instrs)
+{
+    capAssert(instructions > 0, "profiling needs instructions");
+    capAssert(interval_instrs > 0, "interval length must be positive");
+
+    IlpIntervalProfile profile;
+    profile.interval_instrs = interval_instrs;
+    profile.total_instrs = instructions;
+
+    ooo::InstructionStream stream(behavior, seed);
+    uint64_t produced = 0;
+    while (produced < instructions) {
+        uint64_t want = std::min(interval_instrs, instructions - produced);
+        ooo::InstructionStream::Cursor cursor = stream.saveCursor();
+        profile.cursors.push_back(cursor);
+
+        // Pass 1: dependency/latency moments.
+        double sum_d1 = 0.0;
+        double sum_d2 = 0.0;
+        double sum_lat = 0.0;
+        uint64_t with_src2 = 0;
+        uint64_t long_lat = 0;
+        for (uint64_t i = 0; i < want; ++i) {
+            ooo::MicroOp op = stream.next();
+            sum_d1 += static_cast<double>(op.src1_dist);
+            sum_d2 += static_cast<double>(op.src2_dist);
+            with_src2 += op.src2_dist ? 1 : 0;
+            sum_lat += static_cast<double>(op.latency);
+            long_lat += op.latency > 1 ? 1 : 0;
+        }
+
+        // Pass 2: rewind and take the dataflow-limit IPC (the core
+        // model's fast-profile mode).
+        stream.restoreCursor(cursor);
+        ooo::RunResult limit = ooo::fastProfile(stream, want);
+
+        IntervalSignature sig;
+        sig.index = static_cast<uint64_t>(profile.signatures.size());
+        double n = static_cast<double>(want);
+        sig.features.push_back(sum_d1 / n);
+        sig.features.push_back(sum_d2 / n);
+        sig.features.push_back(static_cast<double>(with_src2) / n);
+        sig.features.push_back(sum_lat / n);
+        sig.features.push_back(static_cast<double>(long_lat) / n);
+        sig.features.push_back(limit.ipc());
+        profile.signatures.push_back(std::move(sig));
+        produced += want;
+    }
+    return profile;
+}
+
+} // namespace cap::sample

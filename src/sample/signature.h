@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Per-interval behaviour signatures for sampled simulation.
+ *
+ * The sampling engine (SimPoint/SMARTS lineage; see docs/SAMPLING.md)
+ * slices a run into fixed-length intervals and folds each interval
+ * into a small feature vector cheap enough to compute for the *whole*
+ * run: intervals that behave alike cluster together, and simulating
+ * one representative per cluster recovers whole-run statistics.
+ *
+ * Two extractors, one per study side:
+ *  - profileCacheIntervals() folds each reference interval into a
+ *    region-mix histogram, per-region position centroids (which track
+ *    the pointer of cyclic-sweep patterns, so intervals stratify by
+ *    sweep phase), write fraction, a working-set-footprint sketch
+ *    (linear counting over block addresses) and a spatial-locality
+ *    fraction;
+ *  - profileIlpIntervals() folds each instruction interval into
+ *    dependency/latency moments plus the dataflow-limit IPC from
+ *    ooo::fastProfile() (the core model's fast-profile mode).
+ *
+ * Both extractors also snapshot the generator cursor at every interval
+ * boundary, which is what lets the replayer (sampler.h) fast-forward
+ * to any representative without regenerating the prefix.
+ */
+
+#ifndef CAPSIM_SAMPLE_SIGNATURE_H
+#define CAPSIM_SAMPLE_SIGNATURE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "ooo/stream.h"
+#include "trace/profile.h"
+#include "trace/stream.h"
+
+namespace cap::sample {
+
+/** Feature vector of one fixed-length interval. */
+struct IntervalSignature
+{
+    /** Interval ordinal within the run. */
+    uint64_t index = 0;
+    /** Features; every signature of a profile has the same width. */
+    std::vector<double> features;
+};
+
+/** Euclidean distance between two equal-width signatures. */
+double signatureDistance(const IntervalSignature &a,
+                         const IntervalSignature &b);
+
+/**
+ * Z-score normalize each feature dimension in place (zero-variance
+ * dimensions are left at zero), so no single raw scale dominates the
+ * clustering distance.
+ */
+void normalizeSignatures(std::vector<IntervalSignature> &signatures);
+
+/** Cache-side profile: signatures plus replay cursors. */
+struct CacheIntervalProfile
+{
+    /** Nominal interval length, references. */
+    uint64_t interval_refs = 0;
+    /** Run length profiled, references. */
+    uint64_t total_refs = 0;
+    /** One signature per interval (the final one may be short). */
+    std::vector<IntervalSignature> signatures;
+    /** Generator cursor at the *start* of each interval. */
+    std::vector<trace::SyntheticTraceSource::Cursor> cursors;
+
+    /** Length of interval @p index, references (tail may be short). */
+    uint64_t lengthOf(size_t index) const;
+};
+
+/**
+ * Profile @p refs references of (@p behavior, @p seed) in intervals of
+ * @p interval_refs.  Pure generation plus feature arithmetic: no cache
+ * is simulated, which is what makes whole-run profiling cheap.
+ */
+CacheIntervalProfile profileCacheIntervals(
+    const trace::CacheBehavior &behavior, uint64_t seed, uint64_t refs,
+    uint64_t interval_refs);
+
+/** ILP-side profile: signatures plus replay cursors. */
+struct IlpIntervalProfile
+{
+    /** Nominal interval length, instructions. */
+    uint64_t interval_instrs = 0;
+    /** Run length profiled, instructions. */
+    uint64_t total_instrs = 0;
+    std::vector<IntervalSignature> signatures;
+    /** Generator cursor at the *start* of each interval. */
+    std::vector<ooo::InstructionStream::Cursor> cursors;
+
+    /** Length of interval @p index, instructions. */
+    uint64_t lengthOf(size_t index) const;
+};
+
+/**
+ * Profile @p instructions of (@p behavior, @p seed) in intervals of
+ * @p interval_instrs.  Each interval is generated twice: once for the
+ * dependency/latency moments and once (cursor-rewound) through
+ * ooo::fastProfile() for the dataflow-limit IPC feature.
+ */
+IlpIntervalProfile profileIlpIntervals(const trace::IlpBehavior &behavior,
+                                       uint64_t seed,
+                                       uint64_t instructions,
+                                       uint64_t interval_instrs);
+
+} // namespace cap::sample
+
+#endif // CAPSIM_SAMPLE_SIGNATURE_H

@@ -1,0 +1,420 @@
+#include "study.h"
+
+#include <chrono>
+#include <memory>
+#include <string>
+
+#include "util/parallel.h"
+#include "util/status.h"
+
+namespace cap::sample {
+
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+double
+secondsSince(SteadyClock::time_point start)
+{
+    return std::chrono::duration<double>(SteadyClock::now() - start)
+        .count();
+}
+
+/** One (app, config, representative) simulation unit. */
+struct RepCell
+{
+    size_t app;
+    size_t config;
+    size_t rep;
+};
+
+std::string
+cacheConfigLabel(const core::CacheBoundaryTiming &timing)
+{
+    return std::to_string(timing.l1_bytes / 1024) + "KB/" +
+           std::to_string(timing.l1_assoc) + "way";
+}
+
+/** Registry emission shared by the sampled runners (orchestrator
+ *  thread only, after the fan-out). */
+void
+foldSampleCounters(obs::CounterRegistry *registry, uint64_t intervals,
+                   uint64_t clusters, uint64_t rep_sims, uint64_t warmup,
+                   uint64_t simulated, const char *unit_suffix)
+{
+    if (!registry)
+        return;
+    registry->counter("sample.intervals_profiled").add(intervals);
+    registry->counter("sample.clusters").add(clusters);
+    registry->counter("sample.rep_simulations").add(rep_sims);
+    registry->counter(std::string("sample.warmup_") + unit_suffix)
+        .add(warmup);
+    registry->counter(std::string("sample.simulated_") + unit_suffix)
+        .add(simulated);
+}
+
+} // namespace
+
+std::vector<std::vector<double>>
+SampledCacheStudy::tpiMatrix() const
+{
+    std::vector<std::vector<double>> matrix;
+    for (const auto &row : perf) {
+        std::vector<double> values;
+        for (const SampledCachePerf &p : row)
+            values.push_back(p.perf.tpi_ns);
+        matrix.push_back(std::move(values));
+    }
+    return matrix;
+}
+
+uint64_t
+SampledCacheStudy::simulatedRefs() const
+{
+    uint64_t total = 0;
+    for (const auto &row : perf) {
+        for (const SampledCachePerf &p : row)
+            total += p.simulated_refs;
+    }
+    return total;
+}
+
+SampledCacheStudy
+runSampledCacheStudy(const core::AdaptiveCacheModel &model,
+                     const std::vector<trace::AppProfile> &apps,
+                     uint64_t refs, const SampleParams &params,
+                     int max_l1_increments, int jobs,
+                     const obs::Hooks &hooks)
+{
+    capAssert(!apps.empty(), "sampled cache study needs applications");
+    capAssert(jobs >= 1, "study needs at least one worker");
+
+    SampledCacheStudy study;
+    study.apps = apps;
+    for (int k = 1; k <= max_l1_increments; ++k)
+        study.timings.push_back(model.boundaryTiming(k));
+
+    obs::Hooks sinks = obs::effectiveHooks(hooks);
+    study.telemetry.jobs = jobs;
+    SteadyClock::time_point start = SteadyClock::now();
+    ThreadPool pool(jobs);
+
+    // Phase 1: profile + cluster each application (simulator-free).
+    std::vector<std::unique_ptr<CacheSampler>> samplers(apps.size());
+    parallelFor(pool, apps.size(), [&](size_t a) {
+        samplers[a] = std::make_unique<CacheSampler>(model, apps[a], refs,
+                                                     params);
+    });
+
+    // Phase 2: fan the (app, config) chains across the pool.  The
+    // stale-state warmup makes one configuration's representatives a
+    // sequential chain, so the chain is the parallel unit.
+    size_t configs = static_cast<size_t>(max_l1_increments);
+    std::vector<std::vector<std::vector<CacheRepMeasurement>>> meas(
+        apps.size(),
+        std::vector<std::vector<CacheRepMeasurement>>(configs));
+    size_t rep_sims = 0;
+    for (size_t a = 0; a < apps.size(); ++a)
+        rep_sims += samplers[a]->repCount() * configs;
+    study.telemetry.cells.assign(apps.size() * configs, {});
+    parallelFor(pool, apps.size() * configs, [&](size_t i) {
+        size_t a = i / configs;
+        size_t c = i % configs;
+        SteadyClock::time_point cell_start = SteadyClock::now();
+        meas[a][c] =
+            samplers[a]->measureConfig(static_cast<int>(c) + 1);
+        core::CellTelemetry &ct = study.telemetry.cells[i];
+        ct.app = apps[a].name;
+        ct.config = cacheConfigLabel(study.timings[c]);
+        ct.sim_seconds = secondsSince(cell_start);
+        ct.worker = currentWorkerId();
+    });
+    study.telemetry.wall_seconds = secondsSince(start);
+
+    // Phase 3: serial reconstruction + emission, in cell order.
+    study.perf.assign(apps.size(),
+                      std::vector<SampledCachePerf>(configs));
+    uint64_t warmup_total = 0;
+    for (size_t a = 0; a < apps.size(); ++a) {
+        const SamplePlan &plan = samplers[a]->plan();
+        double rpi = apps[a].cache.refs_per_instr;
+        for (size_t c = 0; c < configs; ++c) {
+            int k = static_cast<int>(c) + 1;
+            study.perf[a][c] = samplers[a]->reconstruct(k, meas[a][c]);
+            std::string config = cacheConfigLabel(study.timings[c]);
+            for (size_t r = 0; r < plan.reps.size(); ++r) {
+                warmup_total += meas[a][c][r].warmup_refs;
+                if (!sinks.trace)
+                    continue;
+                core::CachePerf rp = model.perfFromStats(
+                    meas[a][c][r].stats, study.timings[c], rpi);
+                obs::TraceEvent event;
+                event.kind = obs::EventKind::Representative;
+                event.lane = apps[a].name + "/" + config;
+                event.app = apps[a].name;
+                event.config = config;
+                event.interval = plan.reps[r].interval;
+                event.cluster = plan.reps[r].cluster;
+                event.weight = plan.reps[r].weight;
+                event.warmup = meas[a][c][r].warmup_refs;
+                event.retired = rp.instructions;
+                event.cycles = meas[a][c][r].stats.refs;
+                event.start_ns =
+                    static_cast<double>(plan.reps[r].interval *
+                                        plan.interval_len) /
+                    rpi * study.perf[a][c].perf.tpi_ns;
+                event.duration_ns =
+                    rp.tpi_ns * static_cast<double>(rp.instructions);
+                event.tpi_ns = rp.tpi_ns;
+                sinks.trace->add(std::move(event));
+            }
+        }
+    }
+    study.selection = core::selectConfigurations(study.tpiMatrix());
+
+    uint64_t intervals = 0;
+    uint64_t clusters = 0;
+    for (size_t a = 0; a < apps.size(); ++a) {
+        intervals += samplers[a]->profile().signatures.size();
+        clusters += samplers[a]->plan().clustering.clusterCount();
+    }
+    foldSampleCounters(sinks.registry, intervals, clusters, rep_sims,
+                       warmup_total, study.simulatedRefs(), "refs");
+    return study;
+}
+
+std::vector<std::vector<double>>
+SampledIqStudy::tpiMatrix() const
+{
+    std::vector<std::vector<double>> matrix;
+    for (const auto &row : perf) {
+        std::vector<double> values;
+        for (const SampledIqPerf &p : row)
+            values.push_back(p.perf.tpi_ns);
+        matrix.push_back(std::move(values));
+    }
+    return matrix;
+}
+
+uint64_t
+SampledIqStudy::simulatedInstrs() const
+{
+    uint64_t total = 0;
+    for (const auto &row : perf) {
+        for (const SampledIqPerf &p : row)
+            total += p.simulated_instrs;
+    }
+    return total;
+}
+
+SampledIqStudy
+runSampledIqStudy(const core::AdaptiveIqModel &model,
+                  const std::vector<trace::AppProfile> &apps,
+                  uint64_t instructions, const SampleParams &params,
+                  int jobs, const obs::Hooks &hooks)
+{
+    capAssert(!apps.empty(), "sampled IQ study needs applications");
+    capAssert(jobs >= 1, "study needs at least one worker");
+
+    SampledIqStudy study;
+    study.apps = apps;
+    study.timings = model.allTimings();
+    std::vector<int> sizes = core::AdaptiveIqModel::studySizes();
+    size_t configs = sizes.size();
+
+    obs::Hooks sinks = obs::effectiveHooks(hooks);
+    study.telemetry.jobs = jobs;
+    SteadyClock::time_point start = SteadyClock::now();
+    ThreadPool pool(jobs);
+
+    std::vector<std::unique_ptr<IqSampler>> samplers(apps.size());
+    parallelFor(pool, apps.size(), [&](size_t a) {
+        samplers[a] = std::make_unique<IqSampler>(model, apps[a],
+                                                  instructions, params);
+    });
+
+    std::vector<RepCell> cells;
+    std::vector<std::vector<std::vector<IqRepMeasurement>>> meas(
+        apps.size());
+    for (size_t a = 0; a < apps.size(); ++a) {
+        meas[a].assign(configs, std::vector<IqRepMeasurement>(
+                                    samplers[a]->repCount()));
+        for (size_t c = 0; c < configs; ++c) {
+            for (size_t r = 0; r < samplers[a]->repCount(); ++r)
+                cells.push_back({a, c, r});
+        }
+    }
+    study.telemetry.cells.assign(cells.size(), {});
+    parallelFor(pool, cells.size(), [&](size_t i) {
+        const RepCell &cell = cells[i];
+        SteadyClock::time_point cell_start = SteadyClock::now();
+        meas[cell.app][cell.config][cell.rep] =
+            samplers[cell.app]->measureRep(sizes[cell.config], cell.rep);
+        core::CellTelemetry &ct = study.telemetry.cells[i];
+        ct.app = apps[cell.app].name;
+        ct.config = std::to_string(sizes[cell.config]) + " entries#rep" +
+                    std::to_string(cell.rep);
+        ct.sim_seconds = secondsSince(cell_start);
+        ct.worker = currentWorkerId();
+    });
+    study.telemetry.wall_seconds = secondsSince(start);
+
+    study.perf.assign(apps.size(), std::vector<SampledIqPerf>(configs));
+    uint64_t warmup_total = 0;
+    for (size_t a = 0; a < apps.size(); ++a) {
+        const SamplePlan &plan = samplers[a]->plan();
+        for (size_t c = 0; c < configs; ++c) {
+            study.perf[a][c] =
+                samplers[a]->reconstruct(sizes[c], meas[a][c]);
+            std::string config = std::to_string(sizes[c]);
+            double cycle = model.cycleNs(sizes[c]);
+            for (size_t r = 0; r < plan.reps.size(); ++r) {
+                const IqRepMeasurement &m = meas[a][c][r];
+                warmup_total += m.warmup_instrs;
+                if (!sinks.trace)
+                    continue;
+                obs::TraceEvent event;
+                event.kind = obs::EventKind::Representative;
+                event.lane = apps[a].name + "/" + config;
+                event.app = apps[a].name;
+                event.config = config;
+                event.interval = plan.reps[r].interval;
+                event.cluster = plan.reps[r].cluster;
+                event.weight = plan.reps[r].weight;
+                event.warmup = m.warmup_instrs;
+                event.retired = m.instructions;
+                event.cycles = m.cycles;
+                event.start_ns =
+                    static_cast<double>(plan.reps[r].interval *
+                                        plan.interval_len) *
+                    study.perf[a][c].perf.tpi_ns;
+                event.duration_ns =
+                    static_cast<double>(m.cycles) * cycle;
+                event.ipc = m.cycles
+                                ? static_cast<double>(m.instructions) /
+                                      static_cast<double>(m.cycles)
+                                : 0.0;
+                event.tpi_ns =
+                    m.instructions
+                        ? event.duration_ns /
+                              static_cast<double>(m.instructions)
+                        : 0.0;
+                sinks.trace->add(std::move(event));
+            }
+        }
+    }
+    study.selection = core::selectConfigurations(study.tpiMatrix());
+
+    uint64_t intervals = 0;
+    uint64_t clusters = 0;
+    for (size_t a = 0; a < apps.size(); ++a) {
+        intervals += samplers[a]->profile().signatures.size();
+        clusters += samplers[a]->plan().clustering.clusterCount();
+    }
+    foldSampleCounters(sinks.registry, intervals, clusters, cells.size(),
+                       warmup_total, study.simulatedInstrs(), "instrs");
+    return study;
+}
+
+core::IntervalRunResult
+runSampledIntervalOracle(const core::AdaptiveIqModel &model,
+                         const trace::AppProfile &app,
+                         uint64_t instructions,
+                         const std::vector<int> &candidates,
+                         const SampleParams &params, bool charge_switches,
+                         Cycles switch_penalty_cycles, int jobs,
+                         const obs::Hooks &hooks)
+{
+    capAssert(!candidates.empty(), "oracle needs candidates");
+    capAssert(jobs >= 1, "oracle needs at least one worker");
+
+    obs::Hooks sinks = obs::effectiveHooks(hooks);
+    IqSampler sampler(model, app, instructions, params);
+    const SamplePlan &plan = sampler.plan();
+    size_t n_cand = candidates.size();
+    size_t n_rep = sampler.repCount();
+    size_t k = plan.clustering.clusterCount();
+
+    core::IntervalRunResult result;
+    result.instructions = instructions;
+    result.telemetry.jobs = jobs;
+    result.telemetry.cells.assign(n_cand * n_rep, {});
+
+    // The representatives are measured once per candidate lane; the
+    // lanes share the sampler (const) and write disjoint slots.
+    std::vector<std::vector<IqRepMeasurement>> meas(
+        n_cand, std::vector<IqRepMeasurement>(n_rep));
+    SteadyClock::time_point start = SteadyClock::now();
+    ThreadPool pool(jobs);
+    parallelFor(pool, n_cand * n_rep, [&](size_t i) {
+        size_t cand = i / n_rep;
+        size_t rep = i % n_rep;
+        SteadyClock::time_point cell_start = SteadyClock::now();
+        meas[cand][rep] = sampler.measureRep(candidates[cand], rep);
+        core::CellTelemetry &ct = result.telemetry.cells[i];
+        ct.app = app.name;
+        ct.config = std::to_string(candidates[cand]) + " entries#rep" +
+                    std::to_string(rep);
+        ct.sim_seconds = secondsSince(cell_start);
+        ct.worker = currentWorkerId();
+    });
+    result.telemetry.wall_seconds = secondsSince(start);
+
+    // Per-cluster winner: the candidate minimizing the medoid's
+    // per-instruction time (ties: lowest candidate index).  Medoids
+    // occupy rep slots [0, k) in cluster order.
+    std::vector<size_t> winner(k, 0);
+    std::vector<std::vector<double>> time_per_instr(
+        k, std::vector<double>(n_cand, 0.0));
+    for (size_t c = 0; c < k; ++c) {
+        for (size_t j = 0; j < n_cand; ++j) {
+            const IqRepMeasurement &m = meas[j][c];
+            double cpi = m.instructions
+                             ? static_cast<double>(m.cycles) /
+                                   static_cast<double>(m.instructions)
+                             : 0.0;
+            time_per_instr[c][j] = cpi * model.cycleNs(candidates[j]);
+            if (time_per_instr[c][j] < time_per_instr[c][winner[c]])
+                winner[c] = j;
+        }
+    }
+
+    // Reconstruct the per-interval winner sequence and total time.
+    double total_ns = 0.0;
+    int previous = -1;
+    for (size_t i = 0; i < plan.num_intervals; ++i) {
+        size_t c = static_cast<size_t>(plan.clustering.assignment[i]);
+        size_t j = winner[c];
+        uint64_t len = sampler.profile().lengthOf(i);
+        total_ns += static_cast<double>(len) * time_per_instr[c][j];
+        int entries = candidates[j];
+        if (previous >= 0 && entries != previous) {
+            ++result.reconfigurations;
+            ++result.committed_moves;
+            if (charge_switches) {
+                total_ns += static_cast<double>(switch_penalty_cycles) *
+                            model.cycleNs(entries);
+            }
+        }
+        previous = entries;
+        result.config_trace.push_back(entries);
+    }
+    result.total_time_ns = total_ns;
+    result.telemetry.reconfigurations =
+        static_cast<uint64_t>(result.reconfigurations);
+
+    uint64_t warmup_total = 0;
+    uint64_t simulated = 0;
+    for (size_t j = 0; j < n_cand; ++j) {
+        for (size_t r = 0; r < n_rep; ++r) {
+            warmup_total += meas[j][r].warmup_instrs;
+            simulated += meas[j][r].warmup_instrs +
+                         sampler.profile().lengthOf(plan.reps[r].interval);
+        }
+    }
+    foldSampleCounters(sinks.registry, plan.num_intervals, k,
+                       n_cand * n_rep, warmup_total, simulated, "instrs");
+    return result;
+}
+
+} // namespace cap::sample

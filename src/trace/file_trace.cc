@@ -55,6 +55,30 @@ FileTraceSource::next(TraceRecord &record)
     return false;
 }
 
+FileTraceSource::Cursor
+FileTraceSource::saveCursor() const
+{
+    Cursor cursor;
+    cursor.offset = std::ftell(file_.get());
+    if (cursor.offset < 0)
+        fatal("cannot tell position of trace file '%s'", path_.c_str());
+    cursor.line = line_;
+    cursor.produced = produced_;
+    cursor.skipped = skipped_;
+    return cursor;
+}
+
+void
+FileTraceSource::restoreCursor(const Cursor &cursor)
+{
+    if (std::fseek(file_.get(), static_cast<long>(cursor.offset),
+                   SEEK_SET) != 0)
+        fatal("cannot seek trace file '%s'", path_.c_str());
+    line_ = cursor.line;
+    produced_ = cursor.produced;
+    skipped_ = cursor.skipped;
+}
+
 uint64_t
 writeTraceFile(const std::string &path, TraceSource &source, uint64_t limit)
 {

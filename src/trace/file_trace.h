@@ -41,6 +41,26 @@ class FileTraceSource : public TraceSource
     /** Records skipped (comments, ifetches, malformed lines). */
     uint64_t skipped() const { return skipped_; }
 
+    /**
+     * A saved read position (file offset + record accounting), the
+     * file-backed counterpart of SyntheticTraceSource::Cursor; lets
+     * the sampled-simulation replayer fast-forward a real trace.
+     */
+    struct Cursor
+    {
+        int64_t offset = 0;
+        uint64_t line = 0;
+        uint64_t produced = 0;
+        uint64_t skipped = 0;
+    };
+
+    /** Snapshot the read position. */
+    Cursor saveCursor() const;
+
+    /** Restore a position saved from the same file; fatal on seek
+     *  failure. */
+    void restoreCursor(const Cursor &cursor);
+
   private:
     struct FileCloser
     {

@@ -53,6 +53,21 @@ CyclicSweep::next(Rng &rng)
     return addr;
 }
 
+void
+CyclicSweep::saveCursor(std::vector<uint64_t> &out) const
+{
+    out.push_back(offset_);
+}
+
+size_t
+CyclicSweep::restoreCursor(const uint64_t *words)
+{
+    capAssert(words[0] < region_.size_bytes,
+              "sweep cursor beyond its region");
+    offset_ = words[0];
+    return 1;
+}
+
 Stream::Stream(Region region, uint64_t block_bytes, int touches_per_block)
     : region_(region),
       block_bytes_(block_bytes),
@@ -74,6 +89,25 @@ Stream::next(Rng &rng)
             block_index_ = 0;
     }
     return addr;
+}
+
+void
+Stream::saveCursor(std::vector<uint64_t> &out) const
+{
+    out.push_back(block_index_);
+    out.push_back(static_cast<uint64_t>(touches_done_));
+}
+
+size_t
+Stream::restoreCursor(const uint64_t *words)
+{
+    capAssert(words[0] < region_.blocks(block_bytes_),
+              "stream cursor beyond its region");
+    capAssert(words[1] < static_cast<uint64_t>(touches_per_block_),
+              "stream touch count out of range");
+    block_index_ = words[0];
+    touches_done_ = static_cast<int>(words[1]);
+    return 2;
 }
 
 } // namespace cap::trace

@@ -24,6 +24,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "trace/record.h"
 #include "util/rng.h"
@@ -51,6 +52,27 @@ class Pattern
 
     /** Produce the next address. */
     virtual Addr next(Rng &rng) = 0;
+
+    /**
+     * Append the pattern's mutable cursor state to @p out (patterns
+     * whose draws depend only on the shared Rng append nothing).
+     * Together with the source's Rng state this makes a generator
+     * position fully restorable.
+     */
+    virtual void saveCursor(std::vector<uint64_t> &out) const
+    {
+        (void)out;
+    }
+
+    /**
+     * Restore state previously appended by saveCursor().
+     * @return Words consumed from @p words.
+     */
+    virtual size_t restoreCursor(const uint64_t *words)
+    {
+        (void)words;
+        return 0;
+    }
 };
 
 /**
@@ -88,6 +110,9 @@ class CyclicSweep : public Pattern
 
     Addr next(Rng &rng) override;
 
+    void saveCursor(std::vector<uint64_t> &out) const override;
+    size_t restoreCursor(const uint64_t *words) override;
+
   private:
     Region region_;
     uint64_t stride_bytes_;
@@ -110,6 +135,9 @@ class Stream : public Pattern
     Stream(Region region, uint64_t block_bytes, int touches_per_block);
 
     Addr next(Rng &rng) override;
+
+    void saveCursor(std::vector<uint64_t> &out) const override;
+    size_t restoreCursor(const uint64_t *words) override;
 
   private:
     Region region_;

@@ -63,6 +63,51 @@ SyntheticTraceSource::SyntheticTraceSource(const CacheBehavior &behavior,
     }
 }
 
+SyntheticTraceSource::Cursor
+SyntheticTraceSource::saveCursor() const
+{
+    Cursor cursor;
+    cursor.phase = phase_;
+    cursor.phase_left = phase_left_;
+    cursor.produced = produced_;
+    cursor.rng_state = rng_.saveState();
+    for (const Phase &phase : phases_) {
+        for (const auto &pattern : phase.patterns)
+            pattern->saveCursor(cursor.pattern_state);
+    }
+    return cursor;
+}
+
+void
+SyntheticTraceSource::restoreCursor(const Cursor &cursor)
+{
+    capAssert(cursor.phase < phases_.size(),
+              "cursor phase index out of range");
+    capAssert(cursor.phase_left <=
+                  phases_[cursor.phase].length_refs,
+              "cursor phase_left exceeds the phase length");
+    phase_ = cursor.phase;
+    phase_left_ = cursor.phase_left;
+    produced_ = cursor.produced;
+    rng_.restoreState(cursor.rng_state);
+    // Shape check before any pattern reads its words: a cursor from a
+    // differently-shaped source must not partially apply.
+    std::vector<uint64_t> shape;
+    for (const Phase &phase : phases_) {
+        for (const auto &pattern : phase.patterns)
+            pattern->saveCursor(shape);
+    }
+    capAssert(shape.size() == cursor.pattern_state.size(),
+              "cursor pattern state shape mismatch");
+    size_t consumed = 0;
+    for (Phase &phase : phases_) {
+        for (const auto &pattern : phase.patterns) {
+            consumed += pattern->restoreCursor(
+                cursor.pattern_state.data() + consumed);
+        }
+    }
+}
+
 bool
 SyntheticTraceSource::next(TraceRecord &record)
 {

@@ -43,6 +43,33 @@ class SyntheticTraceSource : public TraceSource
     /** Phase index active for the next reference (test support). */
     size_t currentPhase() const { return phase_; }
 
+    /**
+     * A saved generator position: phase schedule state, reference
+     * count, the Rng state, and every pattern's internal cursor.
+     * Restoring a cursor into a source built from the same
+     * (behavior, seed, limit) resumes the exact reference sequence --
+     * the checkpoint primitive of the sampled-simulation replayer
+     * (src/sample/).
+     */
+    struct Cursor
+    {
+        size_t phase = 0;
+        uint64_t phase_left = 0;
+        uint64_t produced = 0;
+        Rng::State rng_state{};
+        /** Per-pattern state words, in phase-then-pattern order. */
+        std::vector<uint64_t> pattern_state;
+    };
+
+    /** Snapshot the generator position. */
+    Cursor saveCursor() const;
+
+    /**
+     * Restore a position saved from a source with the same
+     * (behavior, seed) construction; fatal on a shape mismatch.
+     */
+    void restoreCursor(const Cursor &cursor);
+
   private:
     struct Phase
     {

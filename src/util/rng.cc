@@ -166,4 +166,19 @@ Rng::split()
     return Rng(next() ^ 0xd3833e804f4c574bULL);
 }
 
+Rng::State
+Rng::saveState() const
+{
+    return {s_[0], s_[1], s_[2], s_[3]};
+}
+
+void
+Rng::restoreState(const State &state)
+{
+    capAssert((state[0] | state[1] | state[2] | state[3]) != 0,
+              "all-zero Rng state is absorbing");
+    for (size_t i = 0; i < 4; ++i)
+        s_[i] = state[i];
+}
+
 } // namespace cap

@@ -12,6 +12,7 @@
 #ifndef CAPSIM_UTIL_RNG_H
 #define CAPSIM_UTIL_RNG_H
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -66,6 +67,18 @@ class Rng
 
     /** Derive an independent child generator (for sub-streams). */
     Rng split();
+
+    /** The four xoshiro256** state words, for checkpointing. */
+    using State = std::array<uint64_t, 4>;
+
+    /** Snapshot the generator state. */
+    State saveState() const;
+
+    /**
+     * Restore a state saved by saveState(); the sequence continues
+     * exactly where the snapshot was taken.
+     */
+    void restoreState(const State &state);
 
   private:
     uint64_t s_[4];

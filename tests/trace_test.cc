@@ -5,12 +5,14 @@
  */
 
 #include <algorithm>
+#include <cstdio>
 #include <map>
 #include <set>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "trace/file_trace.h"
 #include "trace/patterns.h"
 #include "trace/profile.h"
 #include "trace/record.h"
@@ -219,6 +221,135 @@ TEST(SyntheticTraceSourceTest, WriteFractionApproximate)
     while (source.next(record))
         writes += record.is_write ? 1 : 0;
     EXPECT_NEAR(writes / 20000.0, 0.25, 0.02);
+}
+
+// ---------------------------------------------------------------------
+// Phase schedule + generator cursors (sampled-simulation substrate)
+// ---------------------------------------------------------------------
+
+CacheBehavior
+phasedBehavior()
+{
+    CacheBehavior behavior = twoComponentBehavior();
+    PatternSpec hot;
+    hot.kind = PatternKind::ZipfResident;
+    hot.weight = 1.0;
+    hot.region_bytes = kib(8);
+    hot.zipf_s = 1.0;
+    PatternSpec cold;
+    cold.kind = PatternKind::Stream;
+    cold.weight = 1.0;
+    cold.region_bytes = kib(256);
+    CachePhase a;
+    a.mix = {hot};
+    a.length_refs = 100;
+    CachePhase b;
+    b.mix = {cold};
+    b.length_refs = 150;
+    behavior.phases = {a, b};
+    return behavior;
+}
+
+TEST(SyntheticTraceSourceTest, PhaseSwitchesExactlyAtScheduledLength)
+{
+    SyntheticTraceSource source(phasedBehavior(), 11, 1000);
+    TraceRecord record;
+    EXPECT_EQ(source.currentPhase(), 0u);
+    for (int i = 0; i < 99; ++i)
+        ASSERT_TRUE(source.next(record));
+    EXPECT_EQ(source.currentPhase(), 0u); // reference 100 still phase A
+    ASSERT_TRUE(source.next(record));
+    EXPECT_EQ(source.currentPhase(), 1u); // switches exactly at 100
+    for (int i = 0; i < 149; ++i)
+        ASSERT_TRUE(source.next(record));
+    EXPECT_EQ(source.currentPhase(), 1u);
+    ASSERT_TRUE(source.next(record));
+    EXPECT_EQ(source.currentPhase(), 0u); // schedule wraps at 100+150
+}
+
+TEST(SyntheticTraceSourceTest, CursorRoundTripIsIdentity)
+{
+    SyntheticTraceSource source(phasedBehavior(), 11, 1000);
+    TraceRecord record;
+    for (int i = 0; i < 60; ++i)
+        ASSERT_TRUE(source.next(record));
+    SyntheticTraceSource::Cursor cursor = source.saveCursor();
+    std::vector<TraceRecord> first;
+    for (int i = 0; i < 50; ++i) {
+        ASSERT_TRUE(source.next(record));
+        first.push_back(record);
+    }
+    source.restoreCursor(cursor);
+    for (int i = 0; i < 50; ++i) {
+        ASSERT_TRUE(source.next(record));
+        ASSERT_EQ(record.addr, first[i].addr);
+        ASSERT_EQ(record.is_write, first[i].is_write);
+    }
+}
+
+TEST(SyntheticTraceSourceTest, MidPhaseCursorResumesInFreshSource)
+{
+    SyntheticTraceSource source(phasedBehavior(), 11, 1000);
+    TraceRecord record;
+    for (int i = 0; i < 137; ++i) // 100 of phase A + 37 into phase B
+        ASSERT_TRUE(source.next(record));
+    SyntheticTraceSource::Cursor cursor = source.saveCursor();
+    std::vector<TraceRecord> tail;
+    while (source.next(record))
+        tail.push_back(record);
+
+    SyntheticTraceSource replay(phasedBehavior(), 11, 1000);
+    replay.restoreCursor(cursor);
+    EXPECT_EQ(replay.produced(), 137u);
+    EXPECT_EQ(replay.currentPhase(), 1u);
+    for (const TraceRecord &expected : tail) {
+        ASSERT_TRUE(replay.next(record));
+        ASSERT_EQ(record.addr, expected.addr);
+        ASSERT_EQ(record.is_write, expected.is_write);
+    }
+    EXPECT_FALSE(replay.next(record));
+}
+
+TEST(SyntheticTraceSourceDeathTest, CursorShapeMismatchIsFatal)
+{
+    // Stream patterns carry cursor words, ZipfResident does not: the
+    // phased source (one Stream phase) and a zipf-only source disagree
+    // on pattern-state shape, so the restore must refuse.
+    SyntheticTraceSource phased(phasedBehavior(), 11, 1000);
+    SyntheticTraceSource::Cursor cursor = phased.saveCursor();
+    CacheBehavior zipf_only = twoComponentBehavior();
+    zipf_only.mix.resize(1); // drop the Stream component
+    SyntheticTraceSource flat(zipf_only, 11, 1000);
+    EXPECT_DEATH(flat.restoreCursor(cursor), "shape");
+}
+
+TEST(FileTraceSourceTest, CursorRoundTripResumesExactPosition)
+{
+    const AppProfile &app = findApp("li");
+    std::string path = testing::TempDir() + "/capsim_cursor_test.din";
+    SyntheticTraceSource writer(app.cache, app.seed, 3000);
+    ASSERT_EQ(writeTraceFile(path, writer, 3000), 3000u);
+
+    FileTraceSource source(path);
+    TraceRecord record;
+    for (int i = 0; i < 1234; ++i)
+        ASSERT_TRUE(source.next(record));
+    FileTraceSource::Cursor cursor = source.saveCursor();
+    std::vector<TraceRecord> tail;
+    while (source.next(record))
+        tail.push_back(record);
+    EXPECT_EQ(tail.size(), 3000u - 1234u);
+
+    FileTraceSource replay(path);
+    replay.restoreCursor(cursor);
+    EXPECT_EQ(replay.produced(), 1234u);
+    for (const TraceRecord &expected : tail) {
+        ASSERT_TRUE(replay.next(record));
+        ASSERT_EQ(record.addr, expected.addr);
+        ASSERT_EQ(record.is_write, expected.is_write);
+    }
+    EXPECT_FALSE(replay.next(record));
+    std::remove(path.c_str());
 }
 
 // ---------------------------------------------------------------------
