@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Perf smoke: one-pass stack-distance sweep vs per-config replay.
+ *
+ * Runs the paper's static cache study twice -- once with a dedicated
+ * ExclusiveHierarchy per L1/L2 boundary (the pre-one-pass behaviour)
+ * and once with the single-pass stack-distance engine (docs/PERF.md)
+ * -- checks the two produce bit-identical results, and reports
+ * wall-clock, delivered boundary-references per second, and the
+ * speedup ratio.
+ *
+ * The ratio, not the absolute wall time, is the regression metric:
+ * it cancels host speed, so CI can hold it against a committed
+ * baseline (bench/perf_baseline.json) across runner generations.
+ *
+ * Flags:
+ *   --json PATH      machine-readable result (default BENCH_sweep.json)
+ *   --baseline PATH  fail (exit 1) when the measured speedup falls
+ *                    below 80% of the baseline's "speedup" value
+ */
+
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "bench_common.h"
+#include "bench_study.h"
+
+namespace {
+
+using namespace cap;
+using namespace cap::bench;
+
+/** Pull `"speedup": <number>` out of a baseline JSON file; the file
+ *  is our own emitter's output, so a flat key scan suffices. */
+bool
+readBaselineSpeedup(const std::string &path, double &speedup,
+                    std::string &error)
+{
+    std::ifstream file(path);
+    if (!file) {
+        error = "cannot read baseline '" + path + "'";
+        return false;
+    }
+    std::stringstream buffer;
+    buffer << file.rdbuf();
+    std::string text = buffer.str();
+    const std::string key = "\"speedup\":";
+    size_t at = text.find(key);
+    if (at == std::string::npos) {
+        error = "baseline '" + path + "' has no \"speedup\" field";
+        return false;
+    }
+    speedup = std::strtod(text.c_str() + at + key.size(), nullptr);
+    if (!(speedup > 0.0)) {
+        error = "baseline '" + path + "' speedup is not positive";
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string json_path = "BENCH_sweep.json";
+    std::string baseline_path;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+            json_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--baseline") == 0 &&
+                   i + 1 < argc) {
+            baseline_path = argv[++i];
+        } else {
+            std::cerr << "perf_smoke: unknown argument '" << argv[i]
+                      << "' (want [--json PATH] [--baseline PATH])\n";
+            return 2;
+        }
+    }
+
+    banner("Perf smoke: one-pass stack-distance sweep vs per-config "
+           "replay",
+           "the one-pass engine scores all 8 boundaries from a single "
+           "trace replay, so the static cache study runs several times "
+           "faster with bit-identical results");
+
+    const uint64_t refs = cacheRefs();
+    const int jobs = benchJobs();
+    std::vector<trace::AppProfile> apps = trace::cacheStudyApps();
+    core::AdaptiveCacheModel model;
+
+    std::cout << "references per (app, config): " << refs << ", apps: "
+              << apps.size() << ", jobs: " << jobs << "\n\n";
+
+    core::CacheStudy per_config =
+        core::runCacheStudy(model, apps, refs, 8, jobs, {}, false);
+    core::CacheStudy one_pass =
+        core::runCacheStudy(model, apps, refs, 8, jobs, {}, true);
+
+    // The speedup claim is only meaningful if the fast path is exact.
+    for (size_t a = 0; a < apps.size(); ++a) {
+        for (size_t c = 0; c < per_config.perf[a].size(); ++c) {
+            const core::CachePerf &slow = per_config.perf[a][c];
+            const core::CachePerf &fast = one_pass.perf[a][c];
+            if (slow.tpi_ns != fast.tpi_ns ||
+                slow.tpi_miss_ns != fast.tpi_miss_ns ||
+                slow.l1_miss_ratio != fast.l1_miss_ratio ||
+                slow.global_miss_ratio != fast.global_miss_ratio ||
+                slow.refs != fast.refs ||
+                slow.instructions != fast.instructions) {
+                std::cerr << "perf_smoke: one-pass result diverges at "
+                          << apps[a].name << " config " << c << "\n";
+                return 1;
+            }
+        }
+    }
+
+    const double slow_s = per_config.telemetry.wall_seconds;
+    const double fast_s = one_pass.telemetry.wall_seconds;
+    const double boundary_refs = static_cast<double>(refs) *
+                                 static_cast<double>(apps.size()) * 8.0;
+    const double slow_rate = slow_s > 0.0 ? boundary_refs / slow_s : 0.0;
+    const double fast_rate = fast_s > 0.0 ? boundary_refs / fast_s : 0.0;
+    const double speedup = fast_s > 0.0 ? slow_s / fast_s : 0.0;
+
+    TableWriter table("static cache sweep, " + std::to_string(refs) +
+                      " refs x " + std::to_string(apps.size()) +
+                      " apps x 8 boundaries");
+    table.setHeader({"mode", "wall_s", "boundary_refs_per_s", "speedup"});
+    table.addRow({Cell("per-config"), Cell(slow_s, 3), Cell(slow_rate, 0),
+                  Cell(1.0, 2)});
+    table.addRow({Cell("one-pass"), Cell(fast_s, 3), Cell(fast_rate, 0),
+                  Cell(speedup, 2)});
+    emit(table);
+
+    if (!json_path.empty()) {
+        std::ofstream out(json_path);
+        if (!out) {
+            std::cerr << "perf_smoke: cannot write '" << json_path
+                      << "'\n";
+            return 2;
+        }
+        out << "{\n"
+            << "  \"refs\": " << refs << ",\n"
+            << "  \"apps\": " << apps.size() << ",\n"
+            << "  \"boundaries\": 8,\n"
+            << "  \"jobs\": " << jobs << ",\n"
+            << "  \"per_config_seconds\": " << Cell(slow_s, 6).str()
+            << ",\n"
+            << "  \"onepass_seconds\": " << Cell(fast_s, 6).str() << ",\n"
+            << "  \"per_config_refs_per_s\": " << Cell(slow_rate, 0).str()
+            << ",\n"
+            << "  \"onepass_refs_per_s\": " << Cell(fast_rate, 0).str()
+            << ",\n"
+            << "  \"speedup\": " << Cell(speedup, 3).str() << "\n"
+            << "}\n";
+        std::cout << "wrote " << json_path << "\n";
+    }
+
+    if (!baseline_path.empty()) {
+        double baseline = 0.0;
+        std::string error;
+        if (!readBaselineSpeedup(baseline_path, baseline, error)) {
+            std::cerr << "perf_smoke: " << error << "\n";
+            return 2;
+        }
+        const double floor = 0.8 * baseline;
+        std::cout << "baseline speedup " << Cell(baseline, 2).str()
+                  << "x, regression floor " << Cell(floor, 2).str()
+                  << "x, measured " << Cell(speedup, 2).str() << "x\n";
+        if (speedup < floor) {
+            std::cerr << "perf_smoke: speedup " << Cell(speedup, 2).str()
+                      << "x regressed below " << Cell(floor, 2).str()
+                      << "x (baseline " << Cell(baseline, 2).str()
+                      << "x * 0.8)\n";
+            return 1;
+        }
+    }
+    return 0;
+}

@@ -39,7 +39,20 @@ ExclusiveHierarchy::ExclusiveHierarchy(const HierarchyGeometry &geometry,
     capAssert(l1_increments >= 1 &&
               l1_increments < geometry_.increments,
               "boundary %d out of range", l1_increments);
-    sets_.assign(geometry_.sets(), SetVector(geometry_.totalWays()));
+    total_ways_ = geometry_.totalWays();
+    capAssert(total_ways_ <= 64,
+              "way bitmasks support at most 64 ways, geometry has %d",
+              total_ways_);
+    capAssert(static_cast<uint64_t>(geometry_.block_bytes) *
+                      geometry_.sets() >=
+                  2,
+              "geometry too small for the invalid-tag sentinel");
+    uint64_t slots =
+        geometry_.sets() * static_cast<uint64_t>(total_ways_);
+    tags_.assign(slots, kInvalidTag);
+    stamps_.assign(slots, 0);
+    valid_.assign(geometry_.sets(), 0);
+    dirty_.assign(geometry_.sets(), 0);
 }
 
 void
@@ -54,15 +67,16 @@ ExclusiveHierarchy::setBoundary(int l1_increments)
 }
 
 int
-ExclusiveHierarchy::lruWay(const SetVector &set, int first, int last) const
+ExclusiveHierarchy::lruWay(const uint64_t *stamps, uint64_t valid,
+                           int first, int last) const
 {
     int victim = -1;
     uint64_t oldest = UINT64_MAX;
     for (int way = first; way < last; ++way) {
-        if (!set[way].valid)
+        if (!((valid >> way) & 1))
             continue;
-        if (set[way].stamp < oldest) {
-            oldest = set[way].stamp;
+        if (stamps[way] < oldest) {
+            oldest = stamps[way];
             victim = way;
         }
     }
@@ -70,14 +84,10 @@ ExclusiveHierarchy::lruWay(const SetVector &set, int first, int last) const
 }
 
 int
-ExclusiveHierarchy::invalidWay(const SetVector &set, int first,
-                               int last) const
+ExclusiveHierarchy::invalidWay(uint64_t valid, int first, int last)
 {
-    for (int way = first; way < last; ++way) {
-        if (!set[way].valid)
-            return way;
-    }
-    return -1;
+    uint64_t holes = wayRange(first, last) & ~valid;
+    return holes ? __builtin_ctzll(holes) : -1;
 }
 
 AccessOutcome
@@ -134,15 +144,23 @@ ExclusiveHierarchy::accessImpl(const trace::TraceRecord &record)
 
     uint64_t index = geometry_.setIndex(record.addr);
     uint64_t tag = geometry_.tag(record.addr);
-    SetVector &set = sets_[index];
-    int l1_ways = geometry_.l1Ways(l1_increments_);
-    int total_ways = geometry_.totalWays();
+    const int l1_ways = geometry_.l1Ways(l1_increments_);
+    const int total_ways = total_ways_;
+    uint64_t *tags =
+        &tags_[index * static_cast<uint64_t>(total_ways)];
+    uint64_t *stamps =
+        &stamps_[index * static_cast<uint64_t>(total_ways)];
+    uint64_t valid = valid_[index];
+    uint64_t dirty = dirty_[index];
+    const uint64_t write_bit = record.is_write ? 1u : 0u;
 
-    // Because of exclusion at most one way can match; search L1's ways
-    // first (they are also the physically closest increments).
+    // Because of exclusion at most one way can match; invalid slots
+    // hold kInvalidTag, so the scan is a bare compare over one
+    // contiguous array (L1's ways come first -- they are also the
+    // physically closest increments).
     int match = -1;
     for (int way = 0; way < total_ways; ++way) {
-        if (set[way].valid && set[way].tag == tag) {
+        if (tags[way] == tag) {
             match = way;
             break;
         }
@@ -151,8 +169,8 @@ ExclusiveHierarchy::accessImpl(const trace::TraceRecord &record)
     if (match >= 0 && match < l1_ways) {
         // L1 hit: local increment services the access.
         ++stats_.l1_hits;
-        set[match].stamp = clock_;
-        set[match].dirty |= record.is_write;
+        stamps[match] = clock_;
+        dirty_[index] = dirty | (write_bit << match);
         return {AccessOutcome::L1Hit, match};
     }
 
@@ -160,65 +178,88 @@ ExclusiveHierarchy::accessImpl(const trace::TraceRecord &record)
         // L2 hit: swap the block with the L1 victim so the hot block
         // moves close while exclusion is preserved (one copy total).
         ++stats_.l2_hits;
-        int victim = invalidWay(set, 0, l1_ways);
+        int victim = invalidWay(valid, 0, l1_ways);
         if (victim < 0) {
-            victim = lruWay(set, 0, l1_ways);
+            victim = lruWay(stamps, valid, 0, l1_ways);
             // The demoted L1 block takes over the vacated L2 way.
-            std::swap(set[victim], set[match]);
+            std::swap(tags[victim], tags[match]);
+            std::swap(stamps[victim], stamps[match]);
+            uint64_t dv = (dirty >> victim) & 1;
+            uint64_t dm = (dirty >> match) & 1;
+            dirty &= ~((1ULL << victim) | (1ULL << match));
+            dirty |= (dm << victim) | (dv << match);
             ++stats_.swaps;
         } else {
             // L1 had room: move the block up, leaving L2 way empty.
-            set[victim] = set[match];
-            set[match] = Way();
+            tags[victim] = tags[match];
+            stamps[victim] = stamps[match];
+            uint64_t dm = (dirty >> match) & 1;
+            dirty &= ~((1ULL << victim) | (1ULL << match));
+            dirty |= dm << victim;
+            valid = (valid | (1ULL << victim)) & ~(1ULL << match);
+            tags[match] = kInvalidTag;
+            stamps[match] = 0;
         }
-        set[victim].stamp = clock_;
-        set[victim].dirty |= record.is_write;
+        stamps[victim] = clock_;
+        dirty |= write_bit << victim;
+        valid_[index] = valid;
+        dirty_[index] = dirty;
         return {AccessOutcome::L2Hit, match};
     }
 
     // Total miss: fill into L1; demote the L1 victim to L2 if needed.
     ++stats_.misses;
-    int fill = invalidWay(set, 0, l1_ways);
+    int fill = invalidWay(valid, 0, l1_ways);
     if (fill < 0) {
-        int l1_victim = lruWay(set, 0, l1_ways);
+        int l1_victim = lruWay(stamps, valid, 0, l1_ways);
         capAssert(l1_victim >= 0, "full L1 partition with no victim");
-        int l2_slot = invalidWay(set, l1_ways, total_ways);
+        int l2_slot = invalidWay(valid, l1_ways, total_ways);
         if (l2_slot < 0) {
-            l2_slot = lruWay(set, l1_ways, total_ways);
+            l2_slot = lruWay(stamps, valid, l1_ways, total_ways);
             capAssert(l2_slot >= 0, "full L2 partition with no victim");
-            if (set[l2_slot].dirty)
+            if ((dirty >> l2_slot) & 1)
                 ++stats_.writebacks;
-            set[l2_slot] = Way();
         }
         // Demote keeps the block's recency so it competes fairly for
         // promotion later.
-        set[l2_slot] = set[l1_victim];
+        tags[l2_slot] = tags[l1_victim];
+        stamps[l2_slot] = stamps[l1_victim];
+        uint64_t dv = (dirty >> l1_victim) & 1;
+        dirty = (dirty & ~(1ULL << l2_slot)) | (dv << l2_slot);
+        valid |= 1ULL << l2_slot;
         fill = l1_victim;
     }
-    set[fill].valid = true;
-    set[fill].dirty = record.is_write;
-    set[fill].tag = tag;
-    set[fill].stamp = clock_;
+    tags[fill] = tag;
+    stamps[fill] = clock_;
+    valid |= 1ULL << fill;
+    dirty = (dirty & ~(1ULL << fill)) | (write_bit << fill);
+    valid_[index] = valid;
+    dirty_[index] = dirty;
     return {AccessOutcome::Miss, -1};
 }
 
 void
 ExclusiveHierarchy::flush()
 {
-    for (SetVector &set : sets_)
-        std::fill(set.begin(), set.end(), Way());
+    std::fill(tags_.begin(), tags_.end(), kInvalidTag);
+    std::fill(stamps_.begin(), stamps_.end(), 0);
+    std::fill(valid_.begin(), valid_.end(), 0);
+    std::fill(dirty_.begin(), dirty_.end(), 0);
     resetStats();
 }
 
 bool
 ExclusiveHierarchy::auditExclusion() const
 {
-    for (const SetVector &set : sets_) {
-        for (size_t a = 0; a < set.size(); ++a) {
-            if (!set[a].valid)
+    for (uint64_t set = 0; set < geometry_.sets(); ++set) {
+        const uint64_t *tags =
+            &tags_[set * static_cast<uint64_t>(total_ways_)];
+        uint64_t valid = valid_[set];
+        for (int a = 0; a < total_ways_; ++a) {
+            if (!((valid >> a) & 1))
                 continue;
-            for (size_t b = a + 1; b < set.size(); ++b) {
-                if (set[b].valid && set[b].tag == set[a].tag)
+            for (int b = a + 1; b < total_ways_; ++b) {
+                if (((valid >> b) & 1) && tags[b] == tags[a])
                     return false;
             }
         }
@@ -230,10 +271,8 @@ uint64_t
 ExclusiveHierarchy::residentBlocks() const
 {
     uint64_t count = 0;
-    for (const SetVector &set : sets_) {
-        for (const Way &way : set)
-            count += way.valid ? 1 : 0;
-    }
+    for (uint64_t valid : valid_)
+        count += static_cast<uint64_t>(__builtin_popcountll(valid));
     return count;
 }
 
@@ -242,9 +281,11 @@ ExclusiveHierarchy::probe(Addr addr, int &level) const
 {
     uint64_t index = geometry_.setIndex(addr);
     uint64_t tag = geometry_.tag(addr);
-    const SetVector &set = sets_[index];
-    for (int way = 0; way < geometry_.totalWays(); ++way) {
-        if (set[way].valid && set[way].tag == tag) {
+    const uint64_t *tags =
+        &tags_[index * static_cast<uint64_t>(total_ways_)];
+    uint64_t valid = valid_[index];
+    for (int way = 0; way < total_ways_; ++way) {
+        if (((valid >> way) & 1) && tags[way] == tag) {
             level = wayInL1(way) ? 1 : 2;
             return true;
         }

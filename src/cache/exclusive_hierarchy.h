@@ -149,18 +149,6 @@ class ExclusiveHierarchy
     bool probe(Addr addr, int &level) const;
 
   private:
-    struct Way
-    {
-        bool valid = false;
-        bool dirty = false;
-        uint64_t tag = 0;
-        /** Recency stamp; larger = more recently used. */
-        uint64_t stamp = 0;
-    };
-
-    /** Ways of one set, indexed [way]. */
-    using SetVector = std::vector<Way>;
-
     /** Registry handles; allocated only when metrics are attached. */
     struct Metrics
     {
@@ -173,6 +161,19 @@ class ExclusiveHierarchy
         obs::FixedHistogram *service_way;
     };
 
+    /**
+     * Way state is stored structure-of-arrays: one flat tag array and
+     * one flat stamp array ([set * totalWays + way]) plus per-set
+     * valid/dirty bitmasks, so the hot tag scan in accessImpl()
+     * touches one contiguous cache line per set instead of striding
+     * across 32-byte way structs.  Invalid slots hold kInvalidTag,
+     * which no reachable address maps to (the constructor asserts
+     * block_bytes * sets >= 2), so the match scan needs no per-way
+     * valid test.  The bitmasks cap totalWays at 64 -- double the
+     * largest geometry the model sweeps.
+     */
+    static constexpr uint64_t kInvalidTag = UINT64_MAX;
+
     /** access() body; accessDetailed() wraps it with the metrics. */
     AccessDetail accessImpl(const trace::TraceRecord &record);
 
@@ -181,15 +182,32 @@ class ExclusiveHierarchy
         return way < geometry_.l1Ways(l1_increments_);
     }
 
-    /** Least-recently-used valid way of a set within [first, last). */
-    int lruWay(const SetVector &set, int first, int last) const;
+    /** Bitmask selecting ways [first, last). */
+    static uint64_t wayRange(int first, int last)
+    {
+        uint64_t upto =
+            last >= 64 ? ~0ULL : (1ULL << last) - 1;
+        return upto & ~((1ULL << first) - 1);
+    }
 
-    /** Any invalid way in [first, last), or -1. */
-    int invalidWay(const SetVector &set, int first, int last) const;
+    /** Least-recently-used valid way within [first, last), or -1. */
+    int lruWay(const uint64_t *stamps, uint64_t valid, int first,
+               int last) const;
+
+    /** Lowest invalid way in [first, last), or -1. */
+    static int invalidWay(uint64_t valid, int first, int last);
 
     HierarchyGeometry geometry_;
     int l1_increments_;
-    std::vector<SetVector> sets_;
+    int total_ways_;
+    /** Tags, [set * totalWays + way]; kInvalidTag when invalid. */
+    std::vector<uint64_t> tags_;
+    /** Recency stamps (larger = more recent), same layout. */
+    std::vector<uint64_t> stamps_;
+    /** Per-set valid bitmask, bit = way. */
+    std::vector<uint64_t> valid_;
+    /** Per-set dirty bitmask, bit = way. */
+    std::vector<uint64_t> dirty_;
     CacheStats stats_;
     uint64_t clock_ = 0;
     std::unique_ptr<Metrics> metrics_;

@@ -87,6 +87,9 @@ cmdHelp(std::ostream &out)
            "      [--jobs N]               worker threads (0 = all cores)\n"
            "      [--sample[=k,ivl[,wrm]]] estimate cells from cluster\n"
            "                               representatives (sampled mode)\n"
+           "      [--no-onepass]           one hierarchy per boundary\n"
+           "                               instead of the one-pass\n"
+           "                               stack-distance sweep\n"
            "      [--telemetry-json PATH]  write execution telemetry\n"
            "  iq-sweep <app|all>           TPI vs instruction-queue size\n"
            "      [--instrs N]             instructions per run\n"
@@ -113,6 +116,8 @@ cmdHelp(std::ostream &out)
            "                               MAE <= --mae-max and the CI\n"
            "                               brackets the best config\n"
            "      [--mae-max PCT]          --check threshold (default 2)\n"
+           "      [--no-onepass]           per-config cache replay\n"
+           "                               instead of the one-pass sweep\n"
            "      [--oracle]               sampled per-interval oracle\n"
            "                               (iq side, single app)\n"
            "  interval-run <app>           Section-6 interval controller\n"
@@ -214,6 +219,18 @@ jobsFlag(const Options &options)
 {
     uint64_t jobs = options.getU64("jobs", 1);
     return jobs == 0 ? defaultJobs() : static_cast<int>(jobs);
+}
+
+/** The --onepass / --no-onepass pair: cache sweeps default to the
+ *  one-pass stack-distance engine (docs/PERF.md); --no-onepass is the
+ *  escape hatch back to one hierarchy per boundary.  Both are bare
+ *  flags -- place them after the positional argument. */
+bool
+onePassFlag(const Options &options)
+{
+    if (options.flags.count("no-onepass"))
+        return false;
+    return true;
 }
 
 /** Honour --telemetry-json: write telemetry to PATH when given. */
@@ -391,7 +408,7 @@ cmdCacheSweep(const Options &options, std::ostream &out, std::ostream &err)
     if (sampled) {
         sample::SampledCacheStudy study = sample::runSampledCacheStudy(
             model, apps, refs, sparams, 8, jobsFlag(options),
-            session.hooks());
+            session.hooks(), onePassFlag(options));
         TableWriter table("sampled avg TPI (ns) vs L1 size, " +
                           std::to_string(refs) + " refs per run");
         std::vector<std::string> header{"app"};
@@ -426,7 +443,8 @@ cmdCacheSweep(const Options &options, std::ostream &out, std::ostream &err)
     }
 
     core::CacheStudy study = core::runCacheStudy(
-        model, apps, refs, 8, jobsFlag(options), session.hooks());
+        model, apps, refs, 8, jobsFlag(options), session.hooks(),
+        onePassFlag(options));
 
     TableWriter table("avg TPI (ns) vs L1 size, " + std::to_string(refs) +
                       " refs per run");
@@ -951,12 +969,15 @@ cmdSampleRun(const Options &options, std::ostream &out, std::ostream &err)
     if (side == "cache") {
         uint64_t refs = options.getU64("refs", 600000);
         core::AdaptiveCacheModel model;
+        bool one_pass = onePassFlag(options);
         sample::SampledCacheStudy study = sample::runSampledCacheStudy(
-            model, apps, refs, params, 8, jobs, session.hooks());
+            model, apps, refs, params, 8, jobs, session.hooks(),
+            one_pass);
         telemetry = study.telemetry;
         core::CacheStudy full;
         if (validate)
-            full = core::runCacheStudy(model, apps, refs, 8, jobs);
+            full = core::runCacheStudy(model, apps, refs, 8, jobs, {},
+                                       one_pass);
         for (size_t a = 0; a < apps.size(); ++a) {
             size_t best = study.selection.per_app_best[a];
             const sample::SampledCachePerf &sp = study.perf[a][best];

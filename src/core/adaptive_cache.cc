@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "cache/stack_sim.h"
 #include "timing/area.h"
 #include "trace/stream.h"
 #include "util/status.h"
@@ -19,6 +20,41 @@ constexpr double kTagAreaOverhead = 1.25;
 // so the 30 ns miss latency is 2-3x the L2 hit latency, as the paper
 // states.
 constexpr double kL2FixedNs = 5.0;
+
+/** The Cell summary record evaluateObserved() emits; shared with the
+ *  one-pass sweep so both paths stay byte-identical. */
+obs::TraceEvent
+cellEvent(const trace::AppProfile &app, const CacheBoundaryTiming &timing,
+          const CachePerf &perf)
+{
+    std::string config = std::to_string(timing.l1_bytes / 1024) + "KB/" +
+                         std::to_string(timing.l1_assoc) + "way";
+    obs::TraceEvent event;
+    event.kind = obs::EventKind::Cell;
+    event.lane = app.name + "/" + config;
+    event.app = app.name;
+    event.config = config;
+    event.retired = perf.instructions;
+    event.cycles = perf.refs;
+    event.duration_ns =
+        perf.tpi_ns * static_cast<double>(perf.instructions);
+    event.tpi_ns = perf.tpi_ns;
+    return event;
+}
+
+/** The `cache.*` scalar counters a per-config run would accumulate,
+ *  reconstructed from exact stats (service_way excepted). */
+void
+foldCacheCounters(obs::CounterRegistry &registry,
+                  const cache::CacheStats &stats)
+{
+    registry.counter("cache.refs").add(stats.refs);
+    registry.counter("cache.l1_hits").add(stats.l1_hits);
+    registry.counter("cache.l2_hits").add(stats.l2_hits);
+    registry.counter("cache.misses").add(stats.misses);
+    registry.counter("cache.writebacks").add(stats.writebacks);
+    registry.counter("cache.swaps").add(stats.swaps);
+}
 
 } // namespace
 
@@ -130,9 +166,14 @@ AdaptiveCacheModel::evaluate(const trace::AppProfile &app,
 
     cache::ExclusiveHierarchy hierarchy(geometry_, l1_increments);
     trace::SyntheticTraceSource source(app.cache, app.seed, refs);
-    trace::TraceRecord record;
-    while (source.next(record))
-        hierarchy.access(record);
+    trace::TraceRecord batch[trace::kTraceBatch];
+    for (;;) {
+        uint64_t n = source.nextBatch(batch, trace::kTraceBatch);
+        if (n == 0)
+            break;
+        for (uint64_t i = 0; i < n; ++i)
+            hierarchy.access(batch[i]);
+    }
 
     return perfFromStats(hierarchy.stats(), timing,
                          app.cache.refs_per_instr);
@@ -153,28 +194,19 @@ AdaptiveCacheModel::evaluateObserved(const trace::AppProfile &app,
     if (registry)
         hierarchy.attachMetrics(*registry);
     trace::SyntheticTraceSource source(app.cache, app.seed, refs);
-    trace::TraceRecord record;
-    while (source.next(record))
-        hierarchy.access(record);
+    trace::TraceRecord batch[trace::kTraceBatch];
+    for (;;) {
+        uint64_t n = source.nextBatch(batch, trace::kTraceBatch);
+        if (n == 0)
+            break;
+        for (uint64_t i = 0; i < n; ++i)
+            hierarchy.access(batch[i]);
+    }
 
     CachePerf perf = perfFromStats(hierarchy.stats(), timing,
                                    app.cache.refs_per_instr);
-    if (trace) {
-        std::string config = std::to_string(timing.l1_bytes / 1024) +
-                             "KB/" + std::to_string(timing.l1_assoc) +
-                             "way";
-        obs::TraceEvent event;
-        event.kind = obs::EventKind::Cell;
-        event.lane = app.name + "/" + config;
-        event.app = app.name;
-        event.config = config;
-        event.retired = perf.instructions;
-        event.cycles = hierarchy.stats().refs;
-        event.duration_ns =
-            perf.tpi_ns * static_cast<double>(perf.instructions);
-        event.tpi_ns = perf.tpi_ns;
-        trace->add(std::move(event));
-    }
+    if (trace)
+        trace->add(cellEvent(app, timing, perf));
     return perf;
 }
 
@@ -188,6 +220,57 @@ AdaptiveCacheModel::sweep(const trace::AppProfile &app,
     std::vector<CachePerf> results;
     for (int k = 1; k <= max_l1_increments; ++k)
         results.push_back(evaluate(app, k, refs));
+    return results;
+}
+
+std::vector<CachePerf>
+AdaptiveCacheModel::sweepOnePass(const trace::AppProfile &app,
+                                 int max_l1_increments,
+                                 uint64_t refs) const
+{
+    return sweepOnePassObserved(app, max_l1_increments, refs, nullptr,
+                                nullptr);
+}
+
+std::vector<CachePerf>
+AdaptiveCacheModel::sweepOnePassObserved(
+    const trace::AppProfile &app, int max_l1_increments, uint64_t refs,
+    obs::DecisionTrace *trace, obs::CounterRegistry *registry) const
+{
+    capAssert(refs > 0, "evaluation needs references");
+    capAssert(max_l1_increments >= 1 &&
+              max_l1_increments < geometry_.increments,
+              "sweep bound out of range");
+
+    cache::StackSimulator stack(geometry_);
+    trace::SyntheticTraceSource source(app.cache, app.seed, refs);
+    trace::TraceRecord batch[trace::kTraceBatch];
+    for (;;) {
+        uint64_t n = source.nextBatch(batch, trace::kTraceBatch);
+        if (n == 0)
+            break;
+        stack.accessBatch(batch, n);
+    }
+
+    std::vector<CachePerf> results;
+    results.reserve(static_cast<size_t>(max_l1_increments));
+    for (int k = 1; k <= max_l1_increments; ++k) {
+        CacheBoundaryTiming timing = boundaryTiming(k);
+        cache::CacheStats stats = stack.statsFor(k);
+        CachePerf perf =
+            perfFromStats(stats, timing, app.cache.refs_per_instr);
+        if (registry)
+            foldCacheCounters(*registry, stats);
+        if (trace)
+            trace->add(cellEvent(app, timing, perf));
+        results.push_back(perf);
+    }
+    if (registry) {
+        registry->counter("stacksim.sweeps").add(1);
+        registry->counter("stacksim.refs").add(stack.refs());
+        registry->counter("stacksim.boundaries")
+            .add(static_cast<uint64_t>(max_l1_increments));
+    }
     return results;
 }
 

@@ -64,6 +64,12 @@ runStudyCells(RunTelemetry &telemetry, size_t n_apps, size_t n_configs,
     });
     telemetry.wall_seconds = secondsSince(start);
 
+    if (hooks.trace) {
+        size_t total = hooks.trace->size();
+        for (const obs::DecisionTrace &t : traces)
+            total += t.size();
+        hooks.trace->reserve(total);
+    }
     for (size_t cell = 0; cell < n_cells; ++cell) {
         if (hooks.trace)
             hooks.trace->append(traces[cell]);
@@ -121,7 +127,8 @@ CacheStudy::adaptiveMeanTpiMiss() const
 CacheStudy
 runCacheStudy(const AdaptiveCacheModel &model,
               const std::vector<trace::AppProfile> &apps, uint64_t refs,
-              int max_l1_increments, int jobs, const obs::Hooks &hooks)
+              int max_l1_increments, int jobs, const obs::Hooks &hooks,
+              bool one_pass)
 {
     capAssert(!apps.empty(), "cache study needs applications");
     CacheStudy study;
@@ -132,20 +139,39 @@ runCacheStudy(const AdaptiveCacheModel &model,
     obs::Hooks sinks = obs::effectiveHooks(hooks);
     size_t configs = static_cast<size_t>(max_l1_increments);
     study.perf.assign(apps.size(), std::vector<CachePerf>(configs));
-    runStudyCells(study.telemetry, apps.size(), configs, jobs, sinks,
-                  [&](size_t a, size_t c, obs::DecisionTrace *trace,
-                      obs::CounterRegistry *registry) {
-                      int k = static_cast<int>(c) + 1;
-                      study.perf[a][c] = model.evaluateObserved(
-                          apps[a], k, refs, trace, registry);
-                      study.telemetry.cells[a * configs + c].app =
-                          apps[a].name;
-                      return std::to_string(
-                                 study.timings[c].l1_bytes / 1024) +
-                             "KB/" +
-                             std::to_string(study.timings[c].l1_assoc) +
-                             "way";
-                  });
+    if (one_pass) {
+        // One stack-distance pass per application scores every
+        // boundary; each per-app cell emits its boundaries' Cell
+        // records in ascending-k order, so the serially merged trace
+        // matches the per-config path byte for byte.
+        runStudyCells(study.telemetry, apps.size(), 1, jobs, sinks,
+                      [&](size_t a, size_t, obs::DecisionTrace *trace,
+                          obs::CounterRegistry *registry) {
+                          study.perf[a] = model.sweepOnePassObserved(
+                              apps[a], max_l1_increments, refs, trace,
+                              registry);
+                          study.telemetry.cells[a].app = apps[a].name;
+                          return "onepass x" +
+                                 std::to_string(max_l1_increments);
+                      });
+    } else {
+        runStudyCells(study.telemetry, apps.size(), configs, jobs,
+                      sinks,
+                      [&](size_t a, size_t c, obs::DecisionTrace *trace,
+                          obs::CounterRegistry *registry) {
+                          int k = static_cast<int>(c) + 1;
+                          study.perf[a][c] = model.evaluateObserved(
+                              apps[a], k, refs, trace, registry);
+                          study.telemetry.cells[a * configs + c].app =
+                              apps[a].name;
+                          return std::to_string(
+                                     study.timings[c].l1_bytes / 1024) +
+                                 "KB/" +
+                                 std::to_string(
+                                     study.timings[c].l1_assoc) +
+                                 "way";
+                      });
+    }
     study.selection = selectConfigurations(study.tpiMatrix());
     return study;
 }

@@ -60,11 +60,21 @@ struct CacheStudy
  * @param hooks Observation sinks; each cell records into a private
  *        buffer and the buffers are merged serially in cell order, so
  *        the trace too is bit-identical for every @p jobs.
+ * @param one_pass Score all boundaries of an application from one
+ *        stack-distance pass (AdaptiveCacheModel::sweepOnePassObserved)
+ *        instead of one simulation per (app, config) cell.  The
+ *        resulting study -- perf matrices, selection, Cell trace
+ *        records -- is bit-identical to the per-config path (the
+ *        reconstruction is exact; docs/PERF.md), at roughly
+ *        1/max_l1_increments the simulation cost.  Telemetry then has
+ *        one cell per application (config "onepass x<N>"), and the
+ *        `cache.service_way` histogram is not recorded.
  */
 CacheStudy runCacheStudy(const AdaptiveCacheModel &model,
                          const std::vector<trace::AppProfile> &apps,
                          uint64_t refs, int max_l1_increments = 8,
-                         int jobs = 1, const obs::Hooks &hooks = {});
+                         int jobs = 1, const obs::Hooks &hooks = {},
+                         bool one_pass = true);
 
 /** Complete result of the instruction-queue study (Figures 10-11). */
 struct IqStudy

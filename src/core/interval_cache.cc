@@ -23,9 +23,16 @@ runInterval(const AdaptiveCacheModel &model,
             uint64_t &instructions_out)
 {
     cache::CacheStats before = hierarchy.stats();
-    trace::TraceRecord record;
-    for (uint64_t i = 0; i < interval_refs && source.next(record); ++i)
-        hierarchy.access(record);
+    trace::TraceRecord batch[trace::kTraceBatch];
+    for (uint64_t left = interval_refs; left > 0;) {
+        uint64_t n = source.nextBatch(
+            batch, std::min<uint64_t>(left, trace::kTraceBatch));
+        if (n == 0)
+            break;
+        for (uint64_t i = 0; i < n; ++i)
+            hierarchy.access(batch[i]);
+        left -= n;
+    }
     cache::CacheStats delta = hierarchy.stats() - before;
     CachePerf perf = model.perfFromStats(delta, timing, refs_per_instr);
     instructions_out = perf.instructions;

@@ -84,6 +84,13 @@ IntervalAdaptiveIq::run(const trace::AppProfile &app, uint64_t instructions,
 
     IntervalRunResult result;
 
+    // Candidate labels formatted once: the per-interval trace path
+    // must not pay a std::to_string allocation per event.
+    std::vector<std::string> labels;
+    labels.reserve(candidates.size());
+    for (int entries : candidates)
+        labels.push_back(std::to_string(entries));
+
     // Reconfigure the live core, charging drain cycles at the old
     // clock and the clock-switch pause at the new clock.
     auto reconfigure = [&](size_t to) {
@@ -104,7 +111,7 @@ IntervalAdaptiveIq::run(const trace::AppProfile &app, uint64_t instructions,
             event.kind = obs::EventKind::Reconfig;
             event.lane = app.name;
             event.app = app.name;
-            event.config = std::to_string(candidates[to]);
+            event.config = labels[to];
             event.start_ns = event_start_ns;
             event.duration_ns = drain_ns + penalty_ns;
             event.from_config = candidates[current];
@@ -117,7 +124,7 @@ IntervalAdaptiveIq::run(const trace::AppProfile &app, uint64_t instructions,
                 clock.kind = obs::EventKind::ClockChange;
                 clock.lane = app.name;
                 clock.app = app.name;
-                clock.config = std::to_string(candidates[to]);
+                clock.config = labels[to];
                 clock.start_ns = result.total_time_ns;
                 clock.ghz_before = 1.0 / old_cycle;
                 clock.ghz_after = 1.0 / new_cycle;
@@ -150,7 +157,7 @@ IntervalAdaptiveIq::run(const trace::AppProfile &app, uint64_t instructions,
             event.kind = obs::EventKind::Interval;
             event.lane = app.name;
             event.app = app.name;
-            event.config = std::to_string(candidates[current]);
+            event.config = labels[current];
             event.interval = result.config_trace.size() - 1;
             event.retired = run.instructions;
             event.cycles = run.cycles;
@@ -178,7 +185,7 @@ IntervalAdaptiveIq::run(const trace::AppProfile &app, uint64_t instructions,
         event.kind = obs::EventKind::Decision;
         event.lane = app.name;
         event.app = app.name;
-        event.config = std::to_string(candidates[chosen]);
+        event.config = labels[chosen];
         event.interval = result.config_trace.empty()
                              ? 0
                              : result.config_trace.size() - 1;
@@ -193,6 +200,14 @@ IntervalAdaptiveIq::run(const trace::AppProfile &app, uint64_t instructions,
     };
 
     uint64_t total_intervals = instructions / params_.interval_instrs;
+    result.config_trace.reserve(total_intervals);
+    if (sinks.trace) {
+        // One Interval record per interval, one Decision per probe,
+        // and at most a Reconfig + ClockChange pair per probe.
+        uint64_t probes = total_intervals / params_.probe_period + 1;
+        sinks.trace->reserve(sinks.trace->size() + total_intervals +
+                             3 * probes);
+    }
     int probe_direction = 1;
     int confidence = 0;
     size_t pending_move = current;

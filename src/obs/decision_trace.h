@@ -120,6 +120,10 @@ class DecisionTrace
   public:
     void add(TraceEvent event) { events_.push_back(std::move(event)); }
 
+    /** Pre-size the buffer for @p n total events so hot-path add()
+     *  calls never reallocate mid-run. */
+    void reserve(size_t n) { events_.reserve(n); }
+
     /** Append another buffer's events (serial, cell-order merges). */
     void append(const DecisionTrace &other);
 

@@ -57,6 +57,16 @@ CoreModel::attachMetrics(obs::CounterRegistry &registry,
                             kOccupancyHistBins)});
 }
 
+MicroOp
+CoreModel::fetchOp()
+{
+    if (fetch_pos_ == fetch_len_) {
+        fetch_len_ = stream_.nextBatch(fetch_buf_.data(), kFetchBatch);
+        fetch_pos_ = 0;
+    }
+    return fetch_buf_[fetch_pos_++];
+}
+
 void
 CoreModel::tick()
 {
@@ -106,7 +116,7 @@ CoreModel::tick()
                       kCompletionRing - kMaxDepDistance,
                       "completion ring too small for queue residency");
         }
-        MicroOp op = stream_.next();
+        MicroOp op = fetchOp();
         QueueEntry entry;
         entry.index = dispatched_;
         entry.latency = op.latency;
@@ -205,18 +215,29 @@ fastProfile(InstructionStream &stream, uint64_t instructions)
     std::vector<Cycles> completion(kMaxDepDistance, 0);
     Cycles critical_path = 0;
     const uint64_t start = stream.position();
-    for (uint64_t i = 0; i < instructions; ++i) {
-        const uint64_t index = start + i;
-        MicroOp op = stream.next();
-        Cycles ready = 0;
-        if (op.src1_dist)
-            ready = completion[(index - op.src1_dist) % kMaxDepDistance];
-        if (op.src2_dist)
-            ready = std::max(
-                ready, completion[(index - op.src2_dist) % kMaxDepDistance]);
-        const Cycles done = ready + op.latency;
-        completion[index % kMaxDepDistance] = done;
-        critical_path = std::max(critical_path, done);
+    // Batched generation; consumes exactly `instructions` ops so the
+    // stream position stays aligned with the profiled window.
+    MicroOp batch[256];
+    for (uint64_t done_ops = 0; done_ops < instructions;) {
+        uint64_t chunk = std::min<uint64_t>(instructions - done_ops,
+                                            std::size(batch));
+        stream.nextBatch(batch, chunk);
+        for (uint64_t i = 0; i < chunk; ++i) {
+            const uint64_t index = start + done_ops + i;
+            const MicroOp &op = batch[i];
+            Cycles ready = 0;
+            if (op.src1_dist)
+                ready =
+                    completion[(index - op.src1_dist) % kMaxDepDistance];
+            if (op.src2_dist)
+                ready = std::max(
+                    ready,
+                    completion[(index - op.src2_dist) % kMaxDepDistance]);
+            const Cycles done = ready + op.latency;
+            completion[index % kMaxDepDistance] = done;
+            critical_path = std::max(critical_path, done);
+        }
+        done_ops += chunk;
     }
     RunResult result;
     result.instructions = instructions;

@@ -24,6 +24,7 @@
 #ifndef CAPSIM_OOO_CORE_MODEL_H
 #define CAPSIM_OOO_CORE_MODEL_H
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -199,10 +200,23 @@ class CoreModel
         obs::FixedHistogram *occupancy;
     };
 
+    /** Next op from the fetch buffer, refilling it in batches; the
+     *  delivered op sequence is identical to stream_.next() calls
+     *  (the stream just runs ahead by the buffered residue, which no
+     *  caller observes -- every model owns its stream). */
+    MicroOp fetchOp();
+
+    /** Fetch-buffer capacity (ops prefetched from the stream). */
+    static constexpr size_t kFetchBatch = 64;
+
     InstructionStream &stream_;
     CoreParams params_;
     Rng rng_;
     std::unique_ptr<Metrics> metrics_;
+
+    std::array<MicroOp, kFetchBatch> fetch_buf_;
+    size_t fetch_pos_ = 0;
+    size_t fetch_len_ = 0;
 
     /** Waiting (dispatched, un-issued) instructions, oldest first. */
     std::vector<QueueEntry> queue_;

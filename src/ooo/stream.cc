@@ -94,4 +94,45 @@ InstructionStream::next()
     return op;
 }
 
+uint64_t
+InstructionStream::nextBatch(MicroOp *out, uint64_t max)
+{
+    uint64_t n = 0;
+    while (n < max) {
+        advanceSegment();
+        const trace::IlpPhase &phase = behavior_.phases[currentPhase()];
+        uint64_t chunk = std::min(max - n, segment_left_);
+        // Phase parameters hoisted out of the per-op loop; the RNG
+        // call sequence below matches next() exactly, so batch and
+        // single-op generation stay cursor-equivalent.
+        uint64_t floor = std::max<uint32_t>(1, phase.min_dep_distance);
+        double p1 = 1.0 / std::max(1.0, phase.mean_dep_distance);
+        double p2 = 1.0 / std::max(1.0, phase.mean_dep_distance2);
+        for (uint64_t i = 0; i < chunk; ++i) {
+            MicroOp op;
+            uint64_t d1 =
+                floor + rng_.geometric(p1, kMaxDepDistance - floor);
+            op.src1_dist = static_cast<uint32_t>(std::min<uint64_t>(
+                d1, position_ == 0
+                        ? 0
+                        : std::min<uint64_t>(position_,
+                                             kMaxDepDistance)));
+            if (position_ > 0 && rng_.chance(phase.second_src_prob)) {
+                uint64_t d2 =
+                    floor + rng_.geometric(p2, kMaxDepDistance - floor);
+                op.src2_dist = static_cast<uint32_t>(std::min<uint64_t>(
+                    d2, std::min<uint64_t>(position_, kMaxDepDistance)));
+            }
+            op.latency =
+                rng_.chance(phase.long_lat_prob)
+                    ? static_cast<uint32_t>(phase.long_lat_cycles)
+                    : static_cast<uint32_t>(phase.short_lat_cycles);
+            ++position_;
+            --segment_left_;
+            out[n++] = op;
+        }
+    }
+    return max;
+}
+
 } // namespace cap::ooo

@@ -30,6 +30,15 @@ class InstructionStream
     /** Generate the next instruction. */
     MicroOp next();
 
+    /**
+     * Generate @p max instructions into @p out (the stream is
+     * infinite, so the batch is always filled).  Semantically
+     * identical to @p max next() calls -- same ops, same generator
+     * state afterwards, including cursor equivalence -- but hoists
+     * the per-op phase lookup out of the loop.  Returns @p max.
+     */
+    uint64_t nextBatch(MicroOp *out, uint64_t max);
+
     /** Index of the next instruction to be generated. */
     uint64_t position() const { return position_; }
 

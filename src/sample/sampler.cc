@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "cache/stack_sim.h"
 #include "core/machine.h"
 #include "ooo/core_model.h"
 #include "trace/record.h"
@@ -60,6 +61,93 @@ confidenceHalfWidth(const SamplePlan &plan,
         variance += wc * wc * s2[c];
     }
     return z * std::sqrt(variance);
+}
+
+/**
+ * The cache-side replay walk shared by measureConfig() and
+ * measureAllConfigs(): visit the representatives in temporal order,
+ * jump the generator across unsimulated gaps, replay warmups and
+ * measured intervals through @p access_batch, and notify the machine
+ * via @p share (duplicate interval: copy the earlier measurement),
+ * @p begin (measured interval starts) and @p done (measured interval
+ * ended, with the warmup refs replayed for it).  One definition keeps
+ * the two paths' reference sequences identical by construction --
+ * which is what the one-pass bit-identity argument rests on.
+ */
+template <typename AccessFn, typename ShareFn, typename BeginFn,
+          typename DoneFn>
+void
+walkRepChain(const SamplePlan &plan, const CacheIntervalProfile &profile,
+             const trace::AppProfile &app, uint64_t warmup_len,
+             AccessFn &&access_batch, ShareFn &&share, BeginFn &&begin,
+             DoneFn &&done)
+{
+    // Temporal order over the representatives: every interval appears
+    // at most once in the plan, so the sort key is unique.
+    std::vector<size_t> order(plan.reps.size());
+    for (size_t r = 0; r < order.size(); ++r)
+        order[r] = r;
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        return plan.reps[a].interval < plan.reps[b].interval;
+    });
+
+    trace::SyntheticTraceSource source(app.cache, app.seed,
+                                       profile.total_refs);
+    trace::TraceRecord batch[trace::kTraceBatch];
+    auto replay = [&](uint64_t count, const char *what) {
+        uint64_t left = count;
+        while (left > 0) {
+            uint64_t n = source.nextBatch(
+                batch, std::min<uint64_t>(left, trace::kTraceBatch));
+            capAssert(n > 0, "trace exhausted during %s", what);
+            access_batch(batch, n);
+            left -= n;
+        }
+    };
+
+    uint64_t position = 0; // absolute ref index the source sits at
+    size_t prev_slot = plan.reps.size();
+    for (size_t slot : order) {
+        size_t start = plan.reps[slot].interval;
+        // Two plan entries can name the same interval (a zero-weight
+        // medoid of a cluster living entirely inside the cold prefix);
+        // measure once and share the result.
+        if (prev_slot < plan.reps.size() &&
+            plan.reps[prev_slot].interval == start) {
+            share(slot, prev_slot);
+            continue;
+        }
+        uint64_t start_ref =
+            static_cast<uint64_t>(start) * plan.interval_len;
+
+        // The cold-prefix representatives start the chain at reference
+        // zero from the same cold machine the full run sees; every
+        // later representative inherits the (stale but mostly
+        // resident) state left by its predecessor, so a short recency
+        // warmup suffices.
+        uint64_t warm =
+            (warmup_len + plan.interval_len - 1) / plan.interval_len;
+        size_t warm_start = start >= warm ? start - warm : 0;
+        uint64_t warm_ref =
+            static_cast<uint64_t>(warm_start) * plan.interval_len;
+        if (warm_ref > position) {
+            // Jump the generator forward; the machine keeps its state
+            // across the unsimulated gap.
+            source.restoreCursor(profile.cursors[warm_start]);
+            position = warm_ref;
+        }
+
+        capAssert(position <= start_ref,
+                  "representative overlaps the previous measurement");
+        uint64_t warm_refs = start_ref - position;
+        replay(warm_refs, "warmup");
+        begin(slot);
+        uint64_t measure = profile.lengthOf(start);
+        replay(measure, "measurement");
+        position = start_ref + measure;
+        done(slot, warm_refs);
+        prev_slot = slot;
+    }
 }
 
 } // namespace
@@ -176,79 +264,73 @@ CacheSampler::CacheSampler(const core::AdaptiveCacheModel &model,
                                params.interval_len, params,
                                params.cold_prefix_len))
 {
+    // Size the recency warmup from measured temporal locality: the
+    // configured warmup_len is a floor, raised to the profile's p90
+    // block reuse gap (capped at 8x the floor to bound replay cost).
+    uint64_t measured = profile_.reusePercentile(0.9);
+    effective_warmup_len_ = std::max(
+        params_.warmup_len, std::min(measured, 8 * params_.warmup_len));
 }
 
 std::vector<CacheRepMeasurement>
 CacheSampler::measureConfig(int l1_increments) const
 {
-    // Temporal order over the representatives: every interval appears
-    // at most once in the plan, so the sort key is unique.
-    std::vector<size_t> order(plan_.reps.size());
-    for (size_t r = 0; r < order.size(); ++r)
-        order[r] = r;
-    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
-        return plan_.reps[a].interval < plan_.reps[b].interval;
-    });
-
-    trace::SyntheticTraceSource source(app_.cache, app_.seed,
-                                       profile_.total_refs);
-    cache::ExclusiveHierarchy hierarchy(model_->geometry(), l1_increments);
-
+    cache::ExclusiveHierarchy hierarchy(model_->geometry(),
+                                        l1_increments);
     std::vector<CacheRepMeasurement> meas(plan_.reps.size());
-    trace::TraceRecord record;
-    uint64_t position = 0; // absolute ref index the source sits at
-    size_t prev_slot = plan_.reps.size();
-    for (size_t slot : order) {
-        size_t start = plan_.reps[slot].interval;
-        // Two plan entries can name the same interval (a zero-weight
-        // medoid of a cluster living entirely inside the cold prefix);
-        // measure once and share the result.
-        if (prev_slot < plan_.reps.size() &&
-            plan_.reps[prev_slot].interval == start) {
-            meas[slot] = meas[prev_slot];
-            continue;
-        }
-        uint64_t start_ref =
-            static_cast<uint64_t>(start) * plan_.interval_len;
+    walkRepChain(
+        plan_, profile_, app_, effective_warmup_len_,
+        [&](const trace::TraceRecord *batch, uint64_t n) {
+            for (uint64_t i = 0; i < n; ++i)
+                hierarchy.access(batch[i]);
+        },
+        [&](size_t slot, size_t prev) { meas[slot] = meas[prev]; },
+        [&](size_t) { hierarchy.resetStats(); },
+        [&](size_t slot, uint64_t warm_refs) {
+            meas[slot].stats = hierarchy.stats();
+            meas[slot].warmup_refs = warm_refs;
+        });
+    return meas;
+}
 
-        // The cold-prefix representatives start the chain at reference
-        // zero from the same cold hierarchy the full run sees; every
-        // later representative inherits the (stale but mostly
-        // resident) state left by its predecessor, so a short recency
-        // warmup suffices.
-        uint64_t warm = (params_.warmup_len + plan_.interval_len - 1) /
-                        plan_.interval_len;
-        size_t warm_start = start >= warm ? start - warm : 0;
-        uint64_t warm_ref =
-            static_cast<uint64_t>(warm_start) * plan_.interval_len;
-        if (warm_ref > position) {
-            // Jump the generator forward; the hierarchy keeps its
-            // state across the unsimulated gap.
-            source.restoreCursor(profile_.cursors[warm_start]);
-            position = warm_ref;
-        }
+std::vector<std::vector<CacheRepMeasurement>>
+CacheSampler::measureAllConfigs(int max_l1_increments) const
+{
+    capAssert(max_l1_increments >= 1 &&
+              max_l1_increments < model_->geometry().increments,
+              "sweep bound out of range");
+    size_t n_cfg = static_cast<size_t>(max_l1_increments);
+    std::vector<std::vector<CacheRepMeasurement>> meas(
+        n_cfg, std::vector<CacheRepMeasurement>(plan_.reps.size()));
 
-        capAssert(position <= start_ref,
-                  "representative overlaps the previous measurement");
-        uint64_t warm_refs = start_ref - position;
-        for (uint64_t i = 0; i < warm_refs; ++i) {
-            bool ok = source.next(record);
-            capAssert(ok, "trace exhausted during warmup");
-            hierarchy.access(record);
-        }
-        hierarchy.resetStats();
-        uint64_t measure = profile_.lengthOf(start);
-        for (uint64_t i = 0; i < measure; ++i) {
-            bool ok = source.next(record);
-            capAssert(ok, "trace exhausted during measurement");
-            hierarchy.access(record);
-        }
-        position = start_ref + measure;
-
-        meas[slot].stats = hierarchy.stats();
-        meas[slot].warmup_refs = warm_refs;
-        prev_slot = slot;
-    }
+    // One stack-distance chain replays the boundary-independent
+    // reference sequence; per-boundary measurement stats are the
+    // statsFor() deltas around each measured interval.  Cumulative
+    // statsFor(k) equals the cumulative stats of measureConfig(k)'s
+    // hierarchy at every point of the chain, so every delta -- and
+    // hence every CacheRepMeasurement -- is bit-identical.
+    cache::StackSimulator stack(model_->geometry());
+    std::vector<cache::CacheStats> before(n_cfg);
+    walkRepChain(
+        plan_, profile_, app_, effective_warmup_len_,
+        [&](const trace::TraceRecord *batch, uint64_t n) {
+            stack.accessBatch(batch, n);
+        },
+        [&](size_t slot, size_t prev) {
+            for (size_t k = 0; k < n_cfg; ++k)
+                meas[k][slot] = meas[k][prev];
+        },
+        [&](size_t) {
+            for (size_t k = 0; k < n_cfg; ++k)
+                before[k] = stack.statsFor(static_cast<int>(k) + 1);
+        },
+        [&](size_t slot, uint64_t warm_refs) {
+            for (size_t k = 0; k < n_cfg; ++k) {
+                meas[k][slot].stats =
+                    stack.statsFor(static_cast<int>(k) + 1) - before[k];
+                meas[k][slot].warmup_refs = warm_refs;
+            }
+        });
     return meas;
 }
 

@@ -57,8 +57,11 @@ struct SampleParams
      *  side this is only a *recency* fix-up: representatives of one
      *  configuration are replayed in temporal order sharing a single
      *  hierarchy, so each one inherits the stale-but-resident state
-     *  left by its predecessor (docs/SAMPLING.md).  Queue state warms
-     *  in a few hundred instructions, so IQ-side runs can lower it. */
+     *  left by its predecessor (docs/SAMPLING.md).  CacheSampler
+     *  treats this as a floor and raises it to the profile's measured
+     *  90th-percentile block reuse gap, capped at 8x this value
+     *  (CacheSampler::effectiveWarmupRefs()).  Queue state warms in a
+     *  few hundred instructions, so IQ-side runs can lower it. */
     uint64_t warmup_len = 20000;
     /** Cold-prefix span (cache side): the run's first
      *  ceil(cold_prefix_len / interval_len) intervals are simulated
@@ -179,6 +182,27 @@ class CacheSampler
     std::vector<CacheRepMeasurement> measureConfig(int l1_increments)
         const;
 
+    /**
+     * One-pass counterpart of measureConfig() for a whole boundary
+     * sweep: the replay sequence (temporal order, cursor jumps,
+     * warmups, measured intervals) does not depend on the boundary, so
+     * a single stack-distance chain (cache::StackSimulator) replays it
+     * once and reconstructs, for every boundary k in
+     * [1, max_l1_increments], measurements bit-identical to
+     * measureConfig(k).  Returns [k-1][rep slot].
+     */
+    std::vector<std::vector<CacheRepMeasurement>>
+    measureAllConfigs(int max_l1_increments) const;
+
+    /**
+     * Warmup actually replayed before each representative, references:
+     * the configured floor params.warmup_len, raised to the profile's
+     * measured 90th-percentile block reuse gap (capped at 8x the floor
+     * to bound replay cost).  Long-reuse workloads thus get the deeper
+     * warmup they need instead of the one-size default.
+     */
+    uint64_t effectiveWarmupRefs() const { return effective_warmup_len_; }
+
     /** Serial reduction of all representatives' measurements. */
     SampledCachePerf
     reconstruct(int l1_increments,
@@ -193,6 +217,7 @@ class CacheSampler
     SampleParams params_;
     CacheIntervalProfile profile_;
     SamplePlan plan_;
+    uint64_t effective_warmup_len_ = 0;
 };
 
 /** Raw outcome of replaying one representative (IQ side). */

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 #include <cmath>
+#include <unordered_map>
 
 #include "ooo/core_model.h"
 #include "trace/record.h"
@@ -21,6 +22,9 @@ constexpr size_t kRegionBins = 16;
 
 /** Footprint sketch size, bits (linear counting). */
 constexpr uint64_t kSketchBits = 4096;
+
+/** Reuse-gap histogram bins (log2 buckets; gaps cap at 2^40 refs). */
+constexpr size_t kReuseGapBins = 41;
 
 /** splitmix64 finalizer; spreads block addresses over the sketch. */
 uint64_t
@@ -108,6 +112,23 @@ CacheIntervalProfile::lengthOf(size_t index) const
 }
 
 uint64_t
+CacheIntervalProfile::reusePercentile(double p) const
+{
+    capAssert(p > 0.0 && p <= 1.0, "percentile must be in (0, 1]");
+    if (reuse_samples == 0)
+        return 0;
+    uint64_t target = static_cast<uint64_t>(
+        std::ceil(p * static_cast<double>(reuse_samples)));
+    uint64_t seen = 0;
+    for (size_t bin = 0; bin < reuse_gap_hist.size(); ++bin) {
+        seen += reuse_gap_hist[bin];
+        if (seen >= target)
+            return 1ULL << (bin + 1);
+    }
+    return 1ULL << reuse_gap_hist.size();
+}
+
+uint64_t
 IlpIntervalProfile::lengthOf(size_t index) const
 {
     return tailAwareLength(total_instrs, interval_instrs, index,
@@ -126,7 +147,9 @@ profileCacheIntervals(const trace::CacheBehavior &behavior, uint64_t seed,
     profile.total_refs = refs;
 
     trace::SyntheticTraceSource source(behavior, seed, refs);
-    trace::TraceRecord record;
+    trace::TraceRecord batch[trace::kTraceBatch];
+    profile.reuse_gap_hist.assign(kReuseGapBins, 0);
+    std::unordered_map<uint64_t, uint64_t> last_access;
     uint64_t produced = 0;
     while (produced < refs) {
         uint64_t want = std::min(interval_refs, refs - produced);
@@ -139,23 +162,46 @@ profileCacheIntervals(const trace::CacheBehavior &behavior, uint64_t seed,
         uint64_t adjacent = 0;
         uint64_t got = 0;
         uint64_t prev_block = UINT64_MAX;
-        for (; got < want && source.next(record); ++got) {
-            uint64_t block = record.addr >> kBlockShift;
-            size_t bin = (record.addr >> 20) % kRegionBins;
-            ++regions[bin];
-            // Fractional position within the 1 MiB region: constant
-            // for stationary patterns, but tracks the pointer of a
-            // cyclic sweep, letting the clusterer stratify intervals
-            // by sweep phase (z-scoring drops constant dimensions).
-            offsets[bin] += static_cast<double>(record.addr & 0xFFFFF) /
-                            static_cast<double>(1 << 20);
-            writes += record.is_write ? 1 : 0;
-            if (prev_block != UINT64_MAX &&
-                (block == prev_block || block == prev_block + 1))
-                ++adjacent;
-            prev_block = block;
-            uint64_t h = mix64(block);
-            sketch[(h >> 6) % (kSketchBits / 64)] |= 1ULL << (h & 63);
+        while (got < want) {
+            uint64_t n = source.nextBatch(
+                batch, std::min<uint64_t>(want - got, trace::kTraceBatch));
+            if (n == 0)
+                break;
+            for (uint64_t i = 0; i < n; ++i) {
+                const trace::TraceRecord &record = batch[i];
+                uint64_t block = record.addr >> kBlockShift;
+                size_t bin = (record.addr >> 20) % kRegionBins;
+                ++regions[bin];
+                // Fractional position within the 1 MiB region:
+                // constant for stationary patterns, but tracks the
+                // pointer of a cyclic sweep, letting the clusterer
+                // stratify intervals by sweep phase (z-scoring drops
+                // constant dimensions).
+                offsets[bin] +=
+                    static_cast<double>(record.addr & 0xFFFFF) /
+                    static_cast<double>(1 << 20);
+                writes += record.is_write ? 1 : 0;
+                if (prev_block != UINT64_MAX &&
+                    (block == prev_block || block == prev_block + 1))
+                    ++adjacent;
+                prev_block = block;
+                uint64_t h = mix64(block);
+                sketch[(h >> 6) % (kSketchBits / 64)] |= 1ULL << (h & 63);
+
+                uint64_t ordinal = produced + got + i;
+                auto [it, fresh] = last_access.try_emplace(block, ordinal);
+                if (!fresh) {
+                    uint64_t gap = ordinal - it->second;
+                    size_t gap_bin = static_cast<size_t>(
+                        63 - __builtin_clzll(gap | 1));
+                    if (gap_bin >= kReuseGapBins)
+                        gap_bin = kReuseGapBins - 1;
+                    ++profile.reuse_gap_hist[gap_bin];
+                    ++profile.reuse_samples;
+                    it->second = ordinal;
+                }
+            }
+            got += n;
         }
         capAssert(got == want, "trace source exhausted early");
 
@@ -196,19 +242,26 @@ profileIlpIntervals(const trace::IlpBehavior &behavior, uint64_t seed,
         ooo::InstructionStream::Cursor cursor = stream.saveCursor();
         profile.cursors.push_back(cursor);
 
-        // Pass 1: dependency/latency moments.
+        // Pass 1: dependency/latency moments (batched generation).
         double sum_d1 = 0.0;
         double sum_d2 = 0.0;
         double sum_lat = 0.0;
         uint64_t with_src2 = 0;
         uint64_t long_lat = 0;
-        for (uint64_t i = 0; i < want; ++i) {
-            ooo::MicroOp op = stream.next();
-            sum_d1 += static_cast<double>(op.src1_dist);
-            sum_d2 += static_cast<double>(op.src2_dist);
-            with_src2 += op.src2_dist ? 1 : 0;
-            sum_lat += static_cast<double>(op.latency);
-            long_lat += op.latency > 1 ? 1 : 0;
+        ooo::MicroOp ops[256];
+        for (uint64_t done = 0; done < want;) {
+            uint64_t chunk =
+                std::min<uint64_t>(want - done, std::size(ops));
+            stream.nextBatch(ops, chunk);
+            for (uint64_t i = 0; i < chunk; ++i) {
+                const ooo::MicroOp &op = ops[i];
+                sum_d1 += static_cast<double>(op.src1_dist);
+                sum_d2 += static_cast<double>(op.src2_dist);
+                with_src2 += op.src2_dist ? 1 : 0;
+                sum_lat += static_cast<double>(op.latency);
+                long_lat += op.latency > 1 ? 1 : 0;
+            }
+            done += chunk;
         }
 
         // Pass 2: rewind and take the dataflow-limit IPC (the core

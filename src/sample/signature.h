@@ -67,9 +67,28 @@ struct CacheIntervalProfile
     std::vector<IntervalSignature> signatures;
     /** Generator cursor at the *start* of each interval. */
     std::vector<trace::SyntheticTraceSource::Cursor> cursors;
+    /**
+     * Log2 histogram of block reuse gaps over the whole profiled run:
+     * bin b counts re-references whose gap g (references since that
+     * block's previous access) satisfies 2^b <= g < 2^(b+1).  The
+     * sampler sizes cache warmup from this measured temporal locality
+     * instead of a fixed constant (docs/SAMPLING.md).
+     */
+    std::vector<uint64_t> reuse_gap_hist;
+    /** Re-references counted in reuse_gap_hist. */
+    uint64_t reuse_samples = 0;
 
     /** Length of interval @p index, references (tail may be short). */
     uint64_t lengthOf(size_t index) const;
+
+    /**
+     * Smallest gap bound G (a power of two) such that at least
+     * fraction @p p of all re-references had gap < G; 0 when no block
+     * was ever reused.  reusePercentile(0.9) approximates how many
+     * references of warmup suffice to re-establish 90% of live
+     * locality after a cursor jump.
+     */
+    uint64_t reusePercentile(double p) const;
 };
 
 /**

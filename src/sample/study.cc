@@ -84,7 +84,7 @@ runSampledCacheStudy(const core::AdaptiveCacheModel &model,
                      const std::vector<trace::AppProfile> &apps,
                      uint64_t refs, const SampleParams &params,
                      int max_l1_increments, int jobs,
-                     const obs::Hooks &hooks)
+                     const obs::Hooks &hooks, bool one_pass)
 {
     capAssert(!apps.empty(), "sampled cache study needs applications");
     capAssert(jobs >= 1, "study needs at least one worker");
@@ -106,29 +106,47 @@ runSampledCacheStudy(const core::AdaptiveCacheModel &model,
                                                      params);
     });
 
-    // Phase 2: fan the (app, config) chains across the pool.  The
-    // stale-state warmup makes one configuration's representatives a
-    // sequential chain, so the chain is the parallel unit.
+    // Phase 2: replay.  Per-config mode fans the (app, config) chains
+    // across the pool (the stale-state warmup makes one
+    // configuration's representatives a sequential chain, so the chain
+    // is the parallel unit).  One-pass mode replays each application's
+    // chain once through the stack-distance engine and reconstructs
+    // every boundary's measurements from it -- bit-identical by
+    // construction (docs/PERF.md), so phase 3 is shared unchanged.
     size_t configs = static_cast<size_t>(max_l1_increments);
     std::vector<std::vector<std::vector<CacheRepMeasurement>>> meas(
         apps.size(),
         std::vector<std::vector<CacheRepMeasurement>>(configs));
     size_t rep_sims = 0;
     for (size_t a = 0; a < apps.size(); ++a)
-        rep_sims += samplers[a]->repCount() * configs;
-    study.telemetry.cells.assign(apps.size() * configs, {});
-    parallelFor(pool, apps.size() * configs, [&](size_t i) {
-        size_t a = i / configs;
-        size_t c = i % configs;
-        SteadyClock::time_point cell_start = SteadyClock::now();
-        meas[a][c] =
-            samplers[a]->measureConfig(static_cast<int>(c) + 1);
-        core::CellTelemetry &ct = study.telemetry.cells[i];
-        ct.app = apps[a].name;
-        ct.config = cacheConfigLabel(study.timings[c]);
-        ct.sim_seconds = secondsSince(cell_start);
-        ct.worker = currentWorkerId();
-    });
+        rep_sims += samplers[a]->repCount() * (one_pass ? 1 : configs);
+    if (one_pass) {
+        study.telemetry.cells.assign(apps.size(), {});
+        parallelFor(pool, apps.size(), [&](size_t a) {
+            SteadyClock::time_point cell_start = SteadyClock::now();
+            meas[a] = samplers[a]->measureAllConfigs(max_l1_increments);
+            core::CellTelemetry &ct = study.telemetry.cells[a];
+            ct.app = apps[a].name;
+            ct.config =
+                "onepass x" + std::to_string(max_l1_increments);
+            ct.sim_seconds = secondsSince(cell_start);
+            ct.worker = currentWorkerId();
+        });
+    } else {
+        study.telemetry.cells.assign(apps.size() * configs, {});
+        parallelFor(pool, apps.size() * configs, [&](size_t i) {
+            size_t a = i / configs;
+            size_t c = i % configs;
+            SteadyClock::time_point cell_start = SteadyClock::now();
+            meas[a][c] =
+                samplers[a]->measureConfig(static_cast<int>(c) + 1);
+            core::CellTelemetry &ct = study.telemetry.cells[i];
+            ct.app = apps[a].name;
+            ct.config = cacheConfigLabel(study.timings[c]);
+            ct.sim_seconds = secondsSince(cell_start);
+            ct.worker = currentWorkerId();
+        });
+    }
     study.telemetry.wall_seconds = secondsSince(start);
 
     // Phase 3: serial reconstruction + emission, in cell order.
@@ -180,6 +198,11 @@ runSampledCacheStudy(const core::AdaptiveCacheModel &model,
     }
     foldSampleCounters(sinks.registry, intervals, clusters, rep_sims,
                        warmup_total, study.simulatedRefs(), "refs");
+    if (one_pass && sinks.registry) {
+        sinks.registry->counter("stacksim.sweeps").add(apps.size());
+        sinks.registry->counter("stacksim.boundaries")
+            .add(apps.size() * configs);
+    }
     return study;
 }
 

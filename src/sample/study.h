@@ -54,12 +54,21 @@ struct SampledCacheStudy
  * Run the sampled cache study: every (app, boundary) cell estimated
  * from cluster representatives.  @p hooks and @p jobs follow the
  * runCacheStudy contract.
+ * @param one_pass Replay each application's representative chain once
+ *        through the stack-distance engine and reconstruct every
+ *        boundary's measurements from it
+ *        (CacheSampler::measureAllConfigs) instead of one chain per
+ *        (app, boundary) cell.  Results, Representative trace records
+ *        and `sample.*` counters are bit-identical to the per-config
+ *        path (docs/PERF.md); telemetry then has one cell per
+ *        application and `sample.rep_simulations` counts each
+ *        representative once instead of once per boundary.
  */
 SampledCacheStudy runSampledCacheStudy(
     const core::AdaptiveCacheModel &model,
     const std::vector<trace::AppProfile> &apps, uint64_t refs,
     const SampleParams &params, int max_l1_increments = 8, int jobs = 1,
-    const obs::Hooks &hooks = {});
+    const obs::Hooks &hooks = {}, bool one_pass = true);
 
 /** Sampled counterpart of core::IqStudy (Figures 10-11). */
 struct SampledIqStudy

@@ -55,6 +55,17 @@ FileTraceSource::next(TraceRecord &record)
     return false;
 }
 
+uint64_t
+FileTraceSource::nextBatch(TraceRecord *out, uint64_t max)
+{
+    // Line parsing dominates; the win here is devirtualizing the
+    // per-record call for the consumer's inner loop.
+    uint64_t n = 0;
+    while (n < max && FileTraceSource::next(out[n]))
+        ++n;
+    return n;
+}
+
 FileTraceSource::Cursor
 FileTraceSource::saveCursor() const
 {

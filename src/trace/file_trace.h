@@ -35,6 +35,9 @@ class FileTraceSource : public TraceSource
 
     bool next(TraceRecord &record) override;
 
+    /** Batched read: one virtual dispatch per buffer of records. */
+    uint64_t nextBatch(TraceRecord *out, uint64_t max) override;
+
     /** Records returned so far. */
     uint64_t produced() const { return produced_; }
 

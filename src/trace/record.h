@@ -29,6 +29,10 @@ struct TraceRecord
     bool is_write = false;
 };
 
+/** Batch size used by simulation loops that drain a TraceSource;
+ *  sized so the scratch buffer (16 B per record) stays within L1. */
+constexpr uint64_t kTraceBatch = 512;
+
 /**
  * Pull-style source of data-cache references.  Sources are finite or
  * unbounded; the consumer decides how many records to draw.
@@ -44,6 +48,21 @@ class TraceSource
      * @retval false The trace is exhausted.
      */
     virtual bool next(TraceRecord &record) = 0;
+
+    /**
+     * Fill up to @p max records into @p out and return how many were
+     * produced (< @p max only when the trace ends).  Semantically
+     * identical to @p max next() calls -- same records, same internal
+     * state afterwards -- but one virtual dispatch per batch, which is
+     * what the simulation inner loops amortize against.
+     */
+    virtual uint64_t nextBatch(TraceRecord *out, uint64_t max)
+    {
+        uint64_t n = 0;
+        while (n < max && next(out[n]))
+            ++n;
+        return n;
+    }
 };
 
 } // namespace cap::trace

@@ -1,5 +1,7 @@
 #include "stream.h"
 
+#include <algorithm>
+
 #include "util/status.h"
 
 namespace cap::trace {
@@ -125,6 +127,47 @@ SyntheticTraceSource::next(TraceRecord &record)
     if (--phase_left_ == 0 && phases_.size() > 1)
         phase_ = (phase_ + 1) % phases_.size();
     return true;
+}
+
+uint64_t
+SyntheticTraceSource::nextBatch(TraceRecord *out, uint64_t max)
+{
+    if (limit_ != 0) {
+        uint64_t left = produced_ >= limit_ ? 0 : limit_ - produced_;
+        if (max > left)
+            max = left;
+    }
+    uint64_t n = 0;
+    while (n < max) {
+        if (phase_left_ == 0)
+            phase_left_ = phases_[phase_].length_refs;
+        Phase &phase = phases_[phase_];
+        uint64_t chunk = std::min(max - n, phase_left_);
+        // The Rng call order must match next() exactly (cursors and
+        // replay depend on it): single-pattern phases skip the
+        // weighted draw.
+        if (phase.patterns.size() == 1) {
+            Pattern &pattern = *phase.patterns[0];
+            for (uint64_t i = 0; i < chunk; ++i, ++n) {
+                out[n].addr = pattern.next(rng_);
+                out[n].is_write = rng_.chance(write_fraction_);
+            }
+        } else {
+            for (uint64_t i = 0; i < chunk; ++i, ++n) {
+                size_t which = rng_.weighted(phase.weights);
+                out[n].addr = phase.patterns[which]->next(rng_);
+                out[n].is_write = rng_.chance(write_fraction_);
+            }
+        }
+        produced_ += chunk;
+        // Like next(), a depleted phase is left at zero and re-armed
+        // lazily, so saved cursors are indistinguishable between the
+        // batched and single-record paths.
+        phase_left_ -= chunk;
+        if (phase_left_ == 0 && phases_.size() > 1)
+            phase_ = (phase_ + 1) % phases_.size();
+    }
+    return n;
 }
 
 } // namespace cap::trace

@@ -37,6 +37,13 @@ class SyntheticTraceSource : public TraceSource
 
     bool next(TraceRecord &record) override;
 
+    /**
+     * Batched generation: identical records and end state to @p max
+     * next() calls, with the limit test and phase bookkeeping hoisted
+     * out of the per-reference loop.
+     */
+    uint64_t nextBatch(TraceRecord *out, uint64_t max) override;
+
     /** References produced so far. */
     uint64_t produced() const { return produced_; }
 

@@ -218,7 +218,11 @@ TEST(ParallelStudyTest, TelemetryDescribesEveryCell)
     core::AdaptiveCacheModel model;
     std::vector<trace::AppProfile> apps = {trace::findApp("li"),
                                            trace::findApp("stereo")};
-    core::CacheStudy study = core::runCacheStudy(model, apps, 20000, 8, 2);
+    // Per-config mode: one telemetry cell per (app, config).  The
+    // default one-pass mode collapses each app's sweep into one cell;
+    // OnePassTelemetryHasOneCellPerApp covers that shape.
+    core::CacheStudy study =
+        core::runCacheStudy(model, apps, 20000, 8, 2, {}, false);
     ASSERT_EQ(study.telemetry.cells.size(), apps.size() * 8u);
     std::set<std::string> seen_apps;
     for (const core::CellTelemetry &cell : study.telemetry.cells) {
@@ -231,6 +235,19 @@ TEST(ParallelStudyTest, TelemetryDescribesEveryCell)
     EXPECT_GE(study.telemetry.wall_seconds, 0.0);
     EXPECT_GE(study.telemetry.cellsPerSecond(), 0.0);
     EXPECT_EQ(study.telemetry.reconfigurations, 0u);
+}
+
+TEST(ParallelStudyTest, OnePassTelemetryHasOneCellPerApp)
+{
+    core::AdaptiveCacheModel model;
+    std::vector<trace::AppProfile> apps = {trace::findApp("li"),
+                                           trace::findApp("stereo")};
+    core::CacheStudy study = core::runCacheStudy(model, apps, 20000, 8, 2);
+    ASSERT_EQ(study.telemetry.cells.size(), apps.size());
+    for (size_t a = 0; a < apps.size(); ++a) {
+        EXPECT_EQ(study.telemetry.cells[a].app, apps[a].name);
+        EXPECT_EQ(study.telemetry.cells[a].config, "onepass x8");
+    }
 }
 
 TEST(ParallelStudyTest, TelemetryJsonIsWellFormed)

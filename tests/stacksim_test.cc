@@ -1,0 +1,438 @@
+/**
+ * @file
+ * Differential tests of the one-pass stack-distance engine
+ * (src/cache/stack_sim.*) and the batched trace/instruction inner
+ * loops: the fast paths must be bit-identical to the plain per-config
+ * / per-record paths they replace (docs/PERF.md).
+ */
+
+#include <sstream>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cache/exclusive_hierarchy.h"
+#include "cache/stack_sim.h"
+#include "core/adaptive_cache.h"
+#include "core/experiment.h"
+#include "obs/decision_trace.h"
+#include "obs/registry.h"
+#include "ooo/core_model.h"
+#include "ooo/stream.h"
+#include "sample/sampler.h"
+#include "trace/file_trace.h"
+#include "trace/stream.h"
+#include "trace/workloads.h"
+
+namespace cap {
+namespace {
+
+void
+expectStatsEq(const cache::CacheStats &a, const cache::CacheStats &b,
+              const std::string &where)
+{
+    EXPECT_EQ(a.refs, b.refs) << where;
+    EXPECT_EQ(a.l1_hits, b.l1_hits) << where;
+    EXPECT_EQ(a.l2_hits, b.l2_hits) << where;
+    EXPECT_EQ(a.misses, b.misses) << where;
+    EXPECT_EQ(a.writebacks, b.writebacks) << where;
+    EXPECT_EQ(a.swaps, b.swaps) << where;
+}
+
+/** Collect @p refs references of @p app into a vector. */
+std::vector<trace::TraceRecord>
+appTrace(const std::string &app_name, uint64_t refs)
+{
+    const trace::AppProfile &app = trace::findApp(app_name);
+    trace::SyntheticTraceSource source(app.cache, app.seed, refs);
+    std::vector<trace::TraceRecord> records(refs);
+    EXPECT_EQ(source.nextBatch(records.data(), refs), refs);
+    return records;
+}
+
+// ---------------------------------------------------------------------
+// StackSimulator vs ExclusiveHierarchy
+// ---------------------------------------------------------------------
+
+TEST(StackSimTest, MatchesHierarchyAtEveryBoundary)
+{
+    cache::HierarchyGeometry geo;
+    for (const char *name : {"li", "stereo", "compress", "swim"}) {
+        std::vector<trace::TraceRecord> records = appTrace(name, 30000);
+
+        cache::StackSimulator stack(geo);
+        stack.accessBatch(records.data(), records.size());
+        ASSERT_EQ(stack.refs(), records.size());
+
+        std::vector<cache::CacheStats> all = stack.statsAll();
+        ASSERT_EQ(all.size(),
+                  static_cast<size_t>(geo.increments - 1));
+        for (int k = 1; k < geo.increments; ++k) {
+            cache::ExclusiveHierarchy hierarchy(geo, k);
+            for (const trace::TraceRecord &record : records)
+                hierarchy.access(record);
+            std::string where =
+                std::string(name) + " k=" + std::to_string(k);
+            expectStatsEq(stack.statsFor(k), hierarchy.stats(), where);
+            expectStatsEq(all[static_cast<size_t>(k - 1)],
+                          hierarchy.stats(), where + " (statsAll)");
+        }
+    }
+}
+
+TEST(StackSimTest, ResetRestoresColdStart)
+{
+    cache::HierarchyGeometry geo;
+    std::vector<trace::TraceRecord> records = appTrace("li", 8000);
+
+    cache::StackSimulator stack(geo);
+    stack.accessBatch(records.data(), records.size());
+    stack.reset();
+    EXPECT_EQ(stack.refs(), 0u);
+    stack.accessBatch(records.data(), records.size());
+
+    cache::StackSimulator fresh(geo);
+    fresh.accessBatch(records.data(), records.size());
+    for (int k = 1; k < geo.increments; ++k)
+        expectStatsEq(stack.statsFor(k), fresh.statsFor(k),
+                      "k=" + std::to_string(k));
+}
+
+// ---------------------------------------------------------------------
+// BoundarySweeper: one-pass live stats + self-checking fallback
+// ---------------------------------------------------------------------
+
+TEST(StackSimTest, SweeperServesLiveStatsFromStack)
+{
+    cache::HierarchyGeometry geo;
+    std::vector<trace::TraceRecord> records = appTrace("stereo", 20000);
+
+    cache::BoundarySweeper sweeper(geo, 3);
+    sweeper.accessBatch(records.data(), records.size());
+    EXPECT_TRUE(sweeper.onePassActive());
+    EXPECT_EQ(sweeper.fallbackReplayedRefs(), 0u);
+
+    cache::ExclusiveHierarchy hierarchy(geo, 3);
+    for (const trace::TraceRecord &record : records)
+        hierarchy.access(record);
+    expectStatsEq(sweeper.liveStats(), hierarchy.stats(), "static live");
+}
+
+TEST(StackSimTest, SweeperBoundaryMoveBeforeFirstAccessStaysOnePass)
+{
+    cache::HierarchyGeometry geo;
+    std::vector<trace::TraceRecord> records = appTrace("li", 10000);
+
+    cache::BoundarySweeper sweeper(geo, 2);
+    sweeper.setBoundary(5); // relabel before any reference
+    sweeper.accessBatch(records.data(), records.size());
+    EXPECT_TRUE(sweeper.onePassActive());
+    EXPECT_EQ(sweeper.l1Increments(), 5);
+
+    cache::ExclusiveHierarchy hierarchy(geo, 5);
+    for (const trace::TraceRecord &record : records)
+        hierarchy.access(record);
+    expectStatsEq(sweeper.liveStats(), hierarchy.stats(),
+                  "relabelled live");
+}
+
+TEST(StackSimTest, SweeperFallbackStaysExactUnderMidRunReconfig)
+{
+    cache::HierarchyGeometry geo;
+    std::vector<trace::TraceRecord> records = appTrace("compress", 24000);
+    const size_t flip1 = 9000;
+    const size_t flip2 = 17000;
+
+    // Reference machine: a real reconfigurable hierarchy.
+    cache::ExclusiveHierarchy hierarchy(geo, 2);
+    cache::BoundarySweeper sweeper(geo, 2);
+    for (size_t i = 0; i < records.size(); ++i) {
+        if (i == flip1) {
+            hierarchy.setBoundary(6);
+            sweeper.setBoundary(6);
+            EXPECT_FALSE(sweeper.onePassActive());
+            EXPECT_EQ(sweeper.fallbackReplayedRefs(), flip1);
+        }
+        if (i == flip2) {
+            hierarchy.setBoundary(3);
+            sweeper.setBoundary(3);
+        }
+        hierarchy.access(records[i]);
+        sweeper.access(records[i]);
+    }
+    EXPECT_FALSE(sweeper.onePassActive());
+    EXPECT_EQ(sweeper.l1Increments(), 3);
+    expectStatsEq(sweeper.liveStats(), hierarchy.stats(),
+                  "reconfigured live");
+
+    // The counterfactual static lanes never reconfigure, so the
+    // all-boundary sweep stays exact even after the fallback engaged.
+    for (int k = 1; k < geo.increments; ++k) {
+        cache::ExclusiveHierarchy lane(geo, k);
+        for (const trace::TraceRecord &record : records)
+            lane.access(record);
+        expectStatsEq(sweeper.statsFor(k), lane.stats(),
+                      "counterfactual k=" + std::to_string(k));
+    }
+}
+
+// ---------------------------------------------------------------------
+// One-pass study vs per-config study
+// ---------------------------------------------------------------------
+
+void
+expectPerfEq(const core::CachePerf &a, const core::CachePerf &b,
+             const std::string &where)
+{
+    EXPECT_EQ(a.l1_increments, b.l1_increments) << where;
+    EXPECT_EQ(a.refs, b.refs) << where;
+    EXPECT_EQ(a.instructions, b.instructions) << where;
+    EXPECT_EQ(a.l1_miss_ratio, b.l1_miss_ratio) << where;
+    EXPECT_EQ(a.global_miss_ratio, b.global_miss_ratio) << where;
+    EXPECT_EQ(a.tpi_ns, b.tpi_ns) << where;
+    EXPECT_EQ(a.tpi_miss_ns, b.tpi_miss_ns) << where;
+}
+
+TEST(StackSimStudyTest, OnePassStudyMatchesPerConfig)
+{
+    core::AdaptiveCacheModel model;
+    std::vector<trace::AppProfile> apps = {trace::findApp("li"),
+                                           trace::findApp("stereo"),
+                                           trace::findApp("swim")};
+    const uint64_t refs = 20000;
+
+    obs::DecisionTrace slow_trace;
+    obs::Hooks slow_hooks;
+    slow_hooks.trace = &slow_trace;
+    core::CacheStudy slow =
+        core::runCacheStudy(model, apps, refs, 8, 1, slow_hooks, false);
+
+    obs::DecisionTrace fast_trace;
+    obs::Hooks fast_hooks;
+    fast_hooks.trace = &fast_trace;
+    core::CacheStudy fast =
+        core::runCacheStudy(model, apps, refs, 8, 1, fast_hooks, true);
+
+    ASSERT_EQ(slow.perf.size(), fast.perf.size());
+    for (size_t a = 0; a < apps.size(); ++a) {
+        ASSERT_EQ(slow.perf[a].size(), fast.perf[a].size());
+        for (size_t c = 0; c < slow.perf[a].size(); ++c)
+            expectPerfEq(slow.perf[a][c], fast.perf[a][c],
+                         apps[a].name + " c=" + std::to_string(c));
+    }
+    EXPECT_EQ(slow.selection.per_app_best, fast.selection.per_app_best);
+
+    // Both modes emit one Cell event per (app, boundary) in the same
+    // order, so the decision-trace JSONL must match byte for byte.
+    std::ostringstream slow_jsonl;
+    std::ostringstream fast_jsonl;
+    slow_trace.writeJsonl(slow_jsonl);
+    fast_trace.writeJsonl(fast_jsonl);
+    EXPECT_EQ(slow_jsonl.str(), fast_jsonl.str());
+}
+
+TEST(StackSimStudyTest, OnePassStudyIsJobsInvariant)
+{
+    core::AdaptiveCacheModel model;
+    std::vector<trace::AppProfile> apps = {trace::findApp("li"),
+                                           trace::findApp("compress"),
+                                           trace::findApp("appcg")};
+    const uint64_t refs = 15000;
+
+    obs::DecisionTrace serial_trace;
+    obs::CounterRegistry serial_registry;
+    obs::Hooks serial_hooks{&serial_trace, &serial_registry};
+    core::CacheStudy serial = core::runCacheStudy(model, apps, refs, 8, 1,
+                                                  serial_hooks, true);
+
+    obs::DecisionTrace parallel_trace;
+    obs::CounterRegistry parallel_registry;
+    obs::Hooks parallel_hooks{&parallel_trace, &parallel_registry};
+    core::CacheStudy parallel = core::runCacheStudy(
+        model, apps, refs, 8, 4, parallel_hooks, true);
+
+    for (size_t a = 0; a < apps.size(); ++a)
+        for (size_t c = 0; c < serial.perf[a].size(); ++c)
+            expectPerfEq(serial.perf[a][c], parallel.perf[a][c],
+                         apps[a].name + " c=" + std::to_string(c));
+
+    std::ostringstream serial_jsonl;
+    std::ostringstream parallel_jsonl;
+    serial_trace.writeJsonl(serial_jsonl);
+    parallel_trace.writeJsonl(parallel_jsonl);
+    EXPECT_EQ(serial_jsonl.str(), parallel_jsonl.str());
+    EXPECT_EQ(serial_registry.counterValue("cache.refs"),
+              parallel_registry.counterValue("cache.refs"));
+    EXPECT_EQ(serial_registry.counterValue("stacksim.sweeps"),
+              parallel_registry.counterValue("stacksim.sweeps"));
+}
+
+TEST(StackSimStudyTest, SweepOnePassMatchesEvaluate)
+{
+    core::AdaptiveCacheModel model;
+    const trace::AppProfile &app = trace::findApp("turb3d");
+    const uint64_t refs = 25000;
+    std::vector<core::CachePerf> sweep = model.sweepOnePass(app, 8, refs);
+    ASSERT_EQ(sweep.size(), 8u);
+    for (int k = 1; k <= 8; ++k)
+        expectPerfEq(sweep[static_cast<size_t>(k - 1)],
+                     model.evaluate(app, k, refs),
+                     "k=" + std::to_string(k));
+}
+
+TEST(StackSimStudyTest, MeasureAllConfigsMatchesMeasureConfig)
+{
+    core::AdaptiveCacheModel model;
+    const trace::AppProfile &app = trace::findApp("li");
+    sample::SampleParams params;
+    params.interval_len = 2000;
+    params.clusters = 5;
+    params.warmup_len = 4000;
+    sample::CacheSampler sampler(model, app, 60000, params);
+
+    std::vector<std::vector<sample::CacheRepMeasurement>> all =
+        sampler.measureAllConfigs(8);
+    ASSERT_EQ(all.size(), 8u);
+    for (int k = 1; k <= 8; ++k) {
+        std::vector<sample::CacheRepMeasurement> one =
+            sampler.measureConfig(k);
+        const auto &fast = all[static_cast<size_t>(k - 1)];
+        ASSERT_EQ(fast.size(), one.size());
+        for (size_t r = 0; r < one.size(); ++r) {
+            std::string where = "k=" + std::to_string(k) +
+                                " rep=" + std::to_string(r);
+            expectStatsEq(fast[r].stats, one[r].stats, where);
+            EXPECT_EQ(fast[r].warmup_refs, one[r].warmup_refs) << where;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Batched generation vs per-record generation
+// ---------------------------------------------------------------------
+
+TEST(BatchedTraceTest, SyntheticBatchMatchesNext)
+{
+    const trace::AppProfile &app = trace::findApp("turb3d");
+    const uint64_t limit = 5000;
+
+    trace::SyntheticTraceSource scalar(app.cache, app.seed, limit);
+    std::vector<trace::TraceRecord> expected;
+    trace::TraceRecord record;
+    while (scalar.next(record))
+        expected.push_back(record);
+    ASSERT_EQ(expected.size(), limit);
+
+    // Odd chunk sizes exercise mid-phase batch boundaries.
+    trace::SyntheticTraceSource batched(app.cache, app.seed, limit);
+    std::vector<trace::TraceRecord> got;
+    trace::TraceRecord buffer[257];
+    for (;;) {
+        uint64_t n = batched.nextBatch(buffer, std::size(buffer));
+        got.insert(got.end(), buffer, buffer + n);
+        if (n < std::size(buffer))
+            break;
+    }
+    ASSERT_EQ(got.size(), expected.size());
+    for (size_t i = 0; i < expected.size(); ++i) {
+        ASSERT_EQ(got[i].addr, expected[i].addr) << i;
+        ASSERT_EQ(got[i].is_write, expected[i].is_write) << i;
+    }
+    EXPECT_FALSE(batched.next(record));
+    EXPECT_EQ(batched.produced(), scalar.produced());
+}
+
+TEST(BatchedTraceTest, FileBatchMatchesNext)
+{
+    const trace::AppProfile &app = trace::findApp("li");
+    std::string path = testing::TempDir() + "/capsim_batch_test.din";
+    trace::SyntheticTraceSource writer(app.cache, app.seed, 2000);
+    ASSERT_EQ(trace::writeTraceFile(path, writer, 2000), 2000u);
+
+    trace::FileTraceSource scalar(path);
+    std::vector<trace::TraceRecord> expected;
+    trace::TraceRecord record;
+    while (scalar.next(record))
+        expected.push_back(record);
+
+    trace::FileTraceSource batched(path);
+    std::vector<trace::TraceRecord> got;
+    trace::TraceRecord buffer[97];
+    for (;;) {
+        uint64_t n = batched.nextBatch(buffer, std::size(buffer));
+        got.insert(got.end(), buffer, buffer + n);
+        if (n < std::size(buffer))
+            break;
+    }
+    ASSERT_EQ(got.size(), expected.size());
+    for (size_t i = 0; i < expected.size(); ++i) {
+        ASSERT_EQ(got[i].addr, expected[i].addr) << i;
+        ASSERT_EQ(got[i].is_write, expected[i].is_write) << i;
+    }
+    EXPECT_EQ(batched.produced(), scalar.produced());
+}
+
+TEST(BatchedStreamTest, InstructionBatchMatchesNext)
+{
+    const trace::AppProfile &app = trace::findApp("fpppp");
+    const uint64_t count = 6000;
+
+    ooo::InstructionStream scalar(app.ilp, app.seed);
+    std::vector<ooo::MicroOp> expected(count);
+    for (uint64_t i = 0; i < count; ++i)
+        expected[i] = scalar.next();
+
+    ooo::InstructionStream batched(app.ilp, app.seed);
+    std::vector<ooo::MicroOp> got;
+    ooo::MicroOp buffer[193];
+    while (got.size() < count) {
+        uint64_t chunk = std::min<uint64_t>(count - got.size(),
+                                            std::size(buffer));
+        ASSERT_EQ(batched.nextBatch(buffer, chunk), chunk);
+        got.insert(got.end(), buffer, buffer + chunk);
+    }
+    EXPECT_EQ(batched.position(), scalar.position());
+    for (uint64_t i = 0; i < count; ++i) {
+        ASSERT_EQ(got[i].src1_dist, expected[i].src1_dist) << i;
+        ASSERT_EQ(got[i].src2_dist, expected[i].src2_dist) << i;
+        ASSERT_EQ(got[i].latency, expected[i].latency) << i;
+    }
+
+    // The generators must also stay in lockstep after the drains.
+    for (int i = 0; i < 100; ++i) {
+        ooo::MicroOp a = scalar.next();
+        ooo::MicroOp b = batched.next();
+        ASSERT_EQ(a.src1_dist, b.src1_dist);
+        ASSERT_EQ(a.src2_dist, b.src2_dist);
+        ASSERT_EQ(a.latency, b.latency);
+    }
+}
+
+TEST(BatchedStreamTest, CoreModelFetchBufferIsStepInvariant)
+{
+    // The fetch buffer reads the stream ahead of dispatch; the split
+    // of step() calls must not change what the machine computes.
+    const trace::AppProfile &app = trace::findApp("vortex");
+    ooo::CoreParams params;
+    params.queue_entries = 32;
+
+    // step() stops at the first tick reaching its target, so split
+    // runs overshoot differently -- but every run follows the same
+    // deterministic tick trajectory.  Drive one model in 60 small
+    // steps, then run a fresh model to exactly the same issued count:
+    // identical trajectories must land on the identical cycle.
+    ooo::InstructionStream many_stream(app.ilp, app.seed);
+    ooo::CoreModel many(many_stream, params);
+    for (int i = 0; i < 60; ++i)
+        many.step(100);
+
+    ooo::InstructionStream one_stream(app.ilp, app.seed);
+    ooo::CoreModel one(one_stream, params);
+    one.step(many.issuedInstructions());
+
+    EXPECT_EQ(one.issuedInstructions(), many.issuedInstructions());
+    EXPECT_EQ(one.cycleCount(), many.cycleCount());
+}
+
+} // namespace
+} // namespace cap
