@@ -45,6 +45,17 @@ Options::getU64(const std::string &key, uint64_t fallback) const
     return (end && *end == '\0') ? value : fallback;
 }
 
+double
+Options::getDouble(const std::string &key, double fallback) const
+{
+    auto it = flags.find(key);
+    if (it == flags.end())
+        return fallback;
+    char *end = nullptr;
+    double value = std::strtod(it->second.c_str(), &end);
+    return (end != it->second.c_str() && *end == '\0') ? value : fallback;
+}
+
 Options
 parseArgs(const std::vector<std::string> &args)
 {
@@ -120,12 +131,25 @@ cmdHelp(std::ostream &out)
            "                               instead of the one-pass sweep\n"
            "      [--oracle]               sampled per-interval oracle\n"
            "                               (iq side, single app)\n"
+           "      [--trace-file PATH]      profile + replay a recorded\n"
+           "                               trace file instead of the\n"
+           "                               synthetic generator (cache\n"
+           "                               side, single app)\n"
            "  interval-run <app>           Section-6 interval controller\n"
            "      [--instrs N]             instructions to run\n"
            "      [--entries N]            initial queue size\n"
            "      [--interval N]           interval length, instructions\n"
            "      [--probe-period N]       intervals between probes\n"
            "      [--confidence N]         confirming probes required\n"
+           "      [--trigger MODE]         probe scheduler: period\n"
+           "                               (default), phase, or hybrid\n"
+           "      [--probe-max N]          backoff ceiling on the probe\n"
+           "                               period (phase/hybrid)\n"
+           "      [--phase-threshold X]    phase-detector assignment\n"
+           "                               radius, z-units\n"
+           "      [--compare-triggers]     run period/phase/hybrid plus\n"
+           "                               the oracle and report the\n"
+           "                               TPI gap each mode closes\n"
            "  analyze-trace <path>         per-interval tables from a\n"
            "                               JSONL decision trace\n"
            "      [--app NAME]             filter by application\n"
@@ -594,14 +618,77 @@ cmdIntervalRun(const Options &options, std::ostream &out,
     params.confidence_needed = static_cast<int>(options.getU64(
         "confidence",
         static_cast<uint64_t>(params.confidence_needed)));
+    params.probe_period_max = static_cast<int>(options.getU64(
+        "probe-max", static_cast<uint64_t>(params.probe_period_max)));
+    params.phase_distance_threshold = options.getDouble(
+        "phase-threshold", params.phase_distance_threshold);
     if (params.interval_instrs == 0 || params.probe_period < 2 ||
-        params.confidence_needed < 1) {
+        params.confidence_needed < 1 ||
+        params.probe_period_max < params.probe_period ||
+        params.phase_distance_threshold <= 0.0) {
         err << "capsim: invalid interval-controller parameters\n";
         return 2;
     }
+    std::string trigger = options.get("trigger", "period");
+    if (trigger == "period") {
+        params.trigger = core::IntervalTrigger::Period;
+    } else if (trigger == "phase") {
+        params.trigger = core::IntervalTrigger::PhaseChange;
+    } else if (trigger == "hybrid") {
+        params.trigger = core::IntervalTrigger::Hybrid;
+    } else {
+        err << "capsim: --trigger must be period, phase, or hybrid\n";
+        return 2;
+    }
+
+    core::AdaptiveIqModel model;
+
+    if (options.flags.count("compare-triggers")) {
+        // Period vs phase vs hybrid vs oracle on the same run;
+        // gap_closed_% = how much of the period-to-oracle TPI gap the
+        // mode recovers (the EXPERIMENTS.md phase-trigger table).
+        auto runMode = [&](core::IntervalTrigger t) {
+            core::IntervalPolicyParams p = params;
+            p.trigger = t;
+            core::IntervalAdaptiveIq controller(model, p);
+            return controller.run(apps[0], instrs, entries);
+        };
+        core::IntervalRunResult period =
+            runMode(core::IntervalTrigger::Period);
+        core::IntervalRunResult phase =
+            runMode(core::IntervalTrigger::PhaseChange);
+        core::IntervalRunResult hybrid =
+            runMode(core::IntervalTrigger::Hybrid);
+        core::IntervalRunResult oracle = core::runIntervalOracle(
+            model, apps[0], instrs, sizes, params.interval_instrs, true,
+            params.switch_penalty_cycles, jobsFlag(options));
+
+        double gap = period.tpi() - oracle.tpi();
+        TableWriter table("trigger comparison, " + apps[0].name + ", " +
+                          std::to_string(instrs) + " instructions");
+        table.setHeader({"mode", "avg_tpi_ns", "total_us", "reconfigs",
+                         "committed", "transitions", "snaps",
+                         "gap_closed_%"});
+        auto row = [&](const char *name,
+                       const core::IntervalRunResult &r) {
+            double closed =
+                gap > 0.0 ? 100.0 * (period.tpi() - r.tpi()) / gap : 0.0;
+            table.addRow({Cell(name), Cell(r.tpi(), 4),
+                          Cell(r.total_time_ns / 1000.0, 3),
+                          Cell(r.reconfigurations),
+                          Cell(r.committed_moves),
+                          Cell(r.phase_transitions), Cell(r.phase_snaps),
+                          Cell(closed, 1)});
+        };
+        row("period", period);
+        row("phase", phase);
+        row("hybrid", hybrid);
+        row("oracle", oracle);
+        table.renderAscii(out);
+        return 0;
+    }
 
     ObsSession session = obsSessionFromFlags(options);
-    core::AdaptiveIqModel model;
     core::IntervalAdaptiveIq controller(model, params);
     core::IntervalRunResult result =
         controller.run(apps[0], instrs, entries, session.hooks());
@@ -620,6 +707,11 @@ cmdIntervalRun(const Options &options, std::ostream &out,
         {Cell("reconfigurations"), Cell(result.reconfigurations)});
     table.addRow(
         {Cell("committed moves"), Cell(result.committed_moves)});
+    if (params.trigger != core::IntervalTrigger::Period) {
+        table.addRow({Cell("phase transitions"),
+                      Cell(result.phase_transitions)});
+        table.addRow({Cell("phase snaps"), Cell(result.phase_snaps)});
+    }
     table.addRow({Cell("final config"),
                   Cell(result.config_trace.empty()
                            ? entries
@@ -679,7 +771,8 @@ cmdAnalyzeTrace(const Options &options, std::ostream &out,
     for (obs::EventKind kind :
          {obs::EventKind::Interval, obs::EventKind::Decision,
           obs::EventKind::Reconfig, obs::EventKind::ClockChange,
-          obs::EventKind::Cell, obs::EventKind::Representative}) {
+          obs::EventKind::Cell, obs::EventKind::Representative,
+          obs::EventKind::Phase}) {
         summary.addRow(
             {Cell(std::string(obs::eventKindName(kind)) + " events"),
              Cell(static_cast<uint64_t>(trace.countKind(kind)))});
@@ -787,6 +880,27 @@ cmdAnalyzeTrace(const Options &options, std::ostream &out,
                          Cell(event.tpi_ns, 4)});
         }
         reps.renderAscii(out);
+    }
+
+    // --- Phase timeline, if the trace has phase transitions. ---
+    if (trace.countKind(obs::EventKind::Phase) > 0) {
+        TableWriter phases("Phase timeline (online detector)");
+        phases.setHeader({"interval", "lane", "at_us", "from", "to",
+                          "kind", "config"});
+        for (const obs::TraceEvent &event : trace.events()) {
+            if (event.kind != obs::EventKind::Phase || !selected(event))
+                continue;
+            if (event.interval < first || event.interval > last)
+                continue;
+            phases.addRow({Cell(event.interval), Cell(event.lane),
+                           Cell(event.start_ns / 1000.0, 3),
+                           event.from_config < 0
+                               ? Cell("-")
+                               : Cell(event.from_config),
+                           Cell(event.to_config), Cell(event.decision),
+                           Cell(event.config)});
+        }
+        phases.renderAscii(out);
     }
 
     // --- Reconfigurations, if any. ---
@@ -906,6 +1020,58 @@ cmdSampleRun(const Options &options, std::ostream &out, std::ostream &err)
         return 2;
     }
     ObsSession session = obsSessionFromFlags(options);
+
+    std::string trace_file = options.get("trace-file");
+    if (!trace_file.empty()) {
+        // Sampled replay of a recorded trace (gen-trace output or any
+        // din-format address trace): profile the file, cluster, and
+        // replay representatives by seeking to their stored offsets.
+        if (side != "cache" || apps.size() != 1) {
+            err << "capsim: --trace-file needs --study cache and a "
+                   "single application\n";
+            return 2;
+        }
+        if (validate || options.flags.count("oracle")) {
+            err << "capsim: --trace-file does not support --validate "
+                   "or --oracle (no synthetic reference run)\n";
+            return 2;
+        }
+        core::AdaptiveCacheModel model;
+        sample::CacheSampler sampler(model, apps[0], trace_file, params);
+        constexpr int kBoundaries = 8;
+        std::vector<std::vector<sample::CacheRepMeasurement>> meas;
+        if (onePassFlag(options)) {
+            meas = sampler.measureAllConfigs(kBoundaries);
+        } else {
+            for (int k = 1; k <= kBoundaries; ++k)
+                meas.push_back(sampler.measureConfig(k));
+        }
+        std::vector<sample::SampledCachePerf> perf;
+        size_t best = 0;
+        for (int k = 1; k <= kBoundaries; ++k) {
+            perf.push_back(sampler.reconstruct(k, meas[k - 1]));
+            if (perf.back().perf.tpi_ns < perf[best].perf.tpi_ns)
+                best = static_cast<size_t>(k - 1);
+        }
+        TableWriter file_table("file-backed sampled sweep, " +
+                               apps[0].name + ", " + trace_file);
+        file_table.setHeader({"l1_size", "tpi_ns", "ci_lo", "ci_hi",
+                              "l1_miss", "global_miss"});
+        for (size_t c = 0; c < perf.size(); ++c) {
+            file_table.addRow(
+                {Cell(std::to_string(8 * (c + 1)) + "KB"),
+                 Cell(perf[c].perf.tpi_ns, 3),
+                 Cell(perf[c].tpi_lo_ns, 3), Cell(perf[c].tpi_hi_ns, 3),
+                 Cell(perf[c].perf.l1_miss_ratio, 4),
+                 Cell(perf[c].perf.global_miss_ratio, 4)});
+        }
+        file_table.renderAscii(out);
+        out << sampler.profile().total_refs << " references in "
+            << sampler.plan().num_intervals << " intervals, "
+            << sampler.repCount() << " representatives, best "
+            << 8 * (best + 1) << "KB\n";
+        return 0;
+    }
 
     if (options.flags.count("oracle")) {
         if (side != "iq" || apps.size() != 1) {

@@ -28,6 +28,9 @@ struct Options
 
     /** Flag parsed as u64; @p fallback when absent or malformed. */
     uint64_t getU64(const std::string &key, uint64_t fallback) const;
+
+    /** Flag parsed as double; @p fallback when absent or malformed. */
+    double getDouble(const std::string &key, double fallback) const;
 };
 
 /**

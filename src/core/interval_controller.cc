@@ -5,6 +5,7 @@
 #include <limits>
 #include <memory>
 
+#include "sample/online_phase.h"
 #include "util/parallel.h"
 #include "util/status.h"
 
@@ -29,9 +30,20 @@ IntervalAdaptiveIq::IntervalAdaptiveIq(const AdaptiveIqModel &model,
 {
     capAssert(params.ewma_alpha > 0.0 && params.ewma_alpha <= 1.0,
               "ewma_alpha must be in (0,1]");
+    // A negative margin would invert the gate: the controller would
+    // demand the neighbour be *worse* before moving to it.
+    capAssert(params.switch_margin >= 0.0,
+              "switch margin must be non-negative");
     capAssert(params.probe_period >= 2, "probe period too short");
     capAssert(params.confidence_needed >= 1, "confidence must be >= 1");
     capAssert(params.interval_instrs > 0, "empty interval");
+    if (params.trigger != IntervalTrigger::Period) {
+        capAssert(params.probe_period_max >= params.probe_period,
+                  "probe backoff ceiling below probe period");
+        capAssert(params.phase_distance_threshold > 0.0,
+                  "phase distance threshold must be positive");
+        capAssert(params.max_phases >= 1, "phase table needs capacity");
+    }
 }
 
 IntervalRunResult
@@ -74,7 +86,11 @@ IntervalAdaptiveIq::run(const trace::AppProfile &app, uint64_t instructions,
     }
 
     // EWMA TPI estimate per candidate; negative = no estimate yet.
+    // Phase modes swap this array per phase (see notePhase below).
     std::vector<double> estimate(candidates.size(), -1.0);
+    // TPI of the most recent non-drained interval (phase modes re-fold
+    // it into the new phase's estimates on a transition).
+    double last_interval_tpi = -1.0;
     auto fold = [&](size_t cfg, double tpi) {
         estimate[cfg] = estimate[cfg] < 0.0
                             ? tpi
@@ -134,10 +150,12 @@ IntervalAdaptiveIq::run(const trace::AppProfile &app, uint64_t instructions,
         current = to;
     };
 
-    // Run @p count instructions at the current configuration.
-    auto runInterval = [&](uint64_t count) {
+    // Run @p count instructions at the current configuration; returns
+    // the instructions actually retired (what the phase detector's
+    // shadow stream must advance by).
+    auto runInterval = [&](uint64_t count) -> uint64_t {
         if (count == 0)
-            return;
+            return 0;
         double event_start_ns = result.total_time_ns;
         ooo::RunResult run = core.step(count);
         Nanoseconds cycle = model_->cycleNs(candidates[current]);
@@ -148,8 +166,9 @@ IntervalAdaptiveIq::run(const trace::AppProfile &app, uint64_t instructions,
         // A drained interval retires nothing; folding it would poison
         // the EWMA estimates with NaN/inf.
         if (run.instructions != 0) {
-            fold(current,
-                 time_ns / static_cast<double>(run.instructions));
+            last_interval_tpi =
+                time_ns / static_cast<double>(run.instructions);
+            fold(current, last_interval_tpi);
             CAPSIM_OBS_SAMPLE(ipc_hist, run.ipc());
         }
         if (sinks.trace) {
@@ -171,6 +190,7 @@ IntervalAdaptiveIq::run(const trace::AppProfile &app, uint64_t instructions,
             event.ewma_tpi_ns = estimate[current];
             sinks.trace->add(std::move(event));
         }
+        return run.instructions;
     };
 
     // One Decision record per probe: which neighbour was evaluated,
@@ -201,84 +221,346 @@ IntervalAdaptiveIq::run(const trace::AppProfile &app, uint64_t instructions,
 
     uint64_t total_intervals = instructions / params_.interval_instrs;
     result.config_trace.reserve(total_intervals);
+    bool phase_aware = params_.trigger != IntervalTrigger::Period;
     if (sinks.trace) {
         // One Interval record per interval, one Decision per probe,
-        // and at most a Reconfig + ClockChange pair per probe.
+        // at most a Reconfig + ClockChange pair per probe, and (phase
+        // modes) at most one Phase record per interval.
         uint64_t probes = total_intervals / params_.probe_period + 1;
         sinks.trace->reserve(sinks.trace->size() + total_intervals +
-                             3 * probes);
+                             3 * probes +
+                             (phase_aware ? total_intervals : 0));
     }
+
+    // Phase-trigger state (never constructed under Period, so the
+    // fixed-period path is untouched by the detector's existence).
+    std::unique_ptr<sample::OnlinePhaseDetector> detector;
+    obs::Counter *phase_transition_counter = nullptr;
+    obs::Counter *phase_new_counter = nullptr;
+    obs::Counter *phase_snap_counter = nullptr;
+    obs::Gauge *phase_count_gauge = nullptr;
+    if (phase_aware) {
+        sample::OnlinePhaseParams phase_params;
+        phase_params.distance_threshold = params_.phase_distance_threshold;
+        phase_params.max_phases = params_.max_phases;
+        detector = std::make_unique<sample::OnlinePhaseDetector>(
+            app.ilp, app.seed, phase_params);
+        if (sinks.registry) {
+            phase_transition_counter =
+                &sinks.registry->counter("phase.transitions");
+            phase_new_counter =
+                &sinks.registry->counter("phase.new_phases");
+            phase_snap_counter = &sinks.registry->counter("phase.snaps");
+            phase_count_gauge = &sinks.registry->gauge("phase.count");
+        }
+        result.phase_trace.reserve(total_intervals + 1);
+    }
+
+    // Phase ID -> best known configuration (candidate index) and how
+    // many probe rounds have confirmed it.
+    struct PhaseBest
+    {
+        int config_idx = -1;
+        int confidence = 0;
+    };
+    std::vector<PhaseBest> phase_memory;
+    // Each phase also keeps private EWMA estimates: a measurement
+    // taken in one behaviour says nothing about configurations in
+    // another, and folding them into one array makes every
+    // post-transition verdict start from stale cross-phase data.
+    std::vector<std::vector<double>> phase_estimates;
+
     int probe_direction = 1;
     int confidence = 0;
     size_t pending_move = current;
+    // Phase-mode probe scheduling: probes fire every backoff_period
+    // intervals while climbing (or always, under Hybrid); the period
+    // doubles on each settled probe up to probe_period_max and resets
+    // on commits and phase transitions.
+    int backoff_period = params_.probe_period;
+    uint64_t since_probe = 0;
+    bool probe_requested = false;
+    bool climbing = true;
+    // Consecutive rejected probes.  A single reject only says one
+    // neighbour is worse -- the alternating probe may simply have
+    // looked the wrong way mid-climb -- so the climb settles (and the
+    // probe period starts backing off) only once both directions have
+    // rejected in a row.
+    int rejects_in_a_row = 0;
+    // Climb-mode confidence, one slot per probe direction (down, up).
+    // The classic single pending-move gate is unreachable mid-climb:
+    // when both neighbours measure better than home the alternating
+    // probe steals the pending slot every round and confidence pins
+    // at 1, so each direction accumulates its own consecutive-better
+    // count instead.
+    int climb_conf[2] = {0, 0};
+    int snap_to = -1;
+    int snap_confidence = 0;
+
+    auto rememberBest = [&](size_t cfg) {
+        if (!detector || detector->intervalsObserved() == 0)
+            return;
+        size_t phase = static_cast<size_t>(detector->currentPhase());
+        if (phase >= phase_memory.size())
+            phase_memory.resize(phase + 1);
+        PhaseBest &mem = phase_memory[phase];
+        if (mem.config_idx == static_cast<int>(cfg)) {
+            ++mem.confidence;
+        } else {
+            mem.config_idx = static_cast<int>(cfg);
+            mem.confidence = 1;
+        }
+    };
+
+    // Feed one executed interval to the detector and react to a phase
+    // transition: reset the probing cadence and the confidence gate,
+    // and either schedule a snap to the phase's remembered
+    // configuration or request an immediate probe.
+    auto notePhase = [&](uint64_t retired) {
+        if (!detector || retired == 0)
+            return;
+        sample::PhaseObservation seen = detector->observe(retired);
+        result.phase_trace.push_back(seen.phase);
+        if (static_cast<size_t>(seen.phase) >= phase_memory.size()) {
+            phase_memory.resize(static_cast<size_t>(seen.phase) + 1);
+            phase_estimates.resize(static_cast<size_t>(seen.phase) + 1);
+        }
+        if (phase_count_gauge)
+            phase_count_gauge->set(
+                static_cast<double>(detector->phaseCount()));
+        if (seen.new_phase)
+            CAPSIM_OBS_COUNT(phase_new_counter, 1);
+        if (!seen.transition)
+            return;
+        ++result.phase_transitions;
+        CAPSIM_OBS_COUNT(phase_transition_counter, 1);
+        if (sinks.trace) {
+            obs::TraceEvent event;
+            event.kind = obs::EventKind::Phase;
+            event.lane = app.name;
+            event.app = app.name;
+            event.config = labels[current];
+            event.interval = result.config_trace.size() - 1;
+            event.start_ns = result.total_time_ns;
+            event.cluster = seen.phase;
+            event.from_config = seen.previous;
+            event.to_config = seen.phase;
+            event.decision = seen.new_phase ? "new" : "recur";
+            sinks.trace->add(std::move(event));
+        }
+        backoff_period = params_.probe_period;
+        confidence = 0;
+        pending_move = current;
+        rejects_in_a_row = 0;
+        climb_conf[0] = climb_conf[1] = 0;
+        // Swap in the new phase's private estimates.  The interval
+        // that revealed the transition ran in the new phase, so its
+        // measurement is re-folded there (giving the probe logic a
+        // home estimate without waiting another interval).
+        phase_estimates[static_cast<size_t>(seen.previous)] = estimate;
+        std::vector<double> &incoming =
+            phase_estimates[static_cast<size_t>(seen.phase)];
+        if (incoming.empty())
+            incoming.assign(estimate.size(), -1.0);
+        estimate = incoming;
+        if (last_interval_tpi >= 0.0)
+            fold(current, last_interval_tpi);
+        const PhaseBest &mem =
+            phase_memory[static_cast<size_t>(seen.phase)];
+        if (mem.config_idx >= 0) {
+            // Recurring phase: snap to its remembered configuration at
+            // the next interval boundary instead of re-climbing.
+            snap_to = mem.config_idx != static_cast<int>(current)
+                          ? mem.config_idx
+                          : -1;
+            snap_confidence = mem.confidence;
+            probe_requested = false;
+            // Trust the memory outright only once repeated occurrences
+            // have confirmed it; a configuration remembered from one
+            // partial climb keeps climbing after the snap.
+            climbing = mem.confidence < 2;
+            since_probe = 0;
+        } else {
+            snap_to = -1;
+            probe_requested = true;
+            climbing = true;
+        }
+    };
 
     for (uint64_t interval = 0; interval < total_intervals; ++interval) {
-        bool probe_now = params_.probe_period > 0 &&
-                         interval % static_cast<uint64_t>(
-                                        params_.probe_period) ==
-                             static_cast<uint64_t>(params_.probe_period) - 1;
+        bool probe_now;
+        if (!phase_aware) {
+            probe_now = params_.probe_period > 0 &&
+                        interval % static_cast<uint64_t>(
+                                       params_.probe_period) ==
+                            static_cast<uint64_t>(params_.probe_period) - 1;
+        } else {
+            if (snap_to >= 0) {
+                size_t to = static_cast<size_t>(snap_to);
+                size_t from = current;
+                snap_to = -1;
+                reconfigure(to);
+                ++result.phase_snaps;
+                ++result.committed_moves;
+                CAPSIM_OBS_COUNT(commit_counter, 1);
+                CAPSIM_OBS_COUNT(phase_snap_counter, 1);
+                recordDecision("snap", from, to, to, snap_confidence);
+            }
+            // While climbing, probe every other interval (the home
+            // interval in between keeps the home estimate fresh).
+            // Once settled, Hybrid probes at the backed-off period
+            // while PhaseChange drops straight to the ceiling -- a
+            // slow safety net so a configuration remembered wrongly
+            // can still be corrected.  A verdict needs a home
+            // measurement in *this* phase first, so probing holds off
+            // until one exists.
+            constexpr int kClimbPeriod = 2;
+            int period = climbing ? kClimbPeriod
+                         : params_.trigger == IntervalTrigger::Hybrid
+                             ? backoff_period
+                             : params_.probe_period_max;
+            bool cadence =
+                since_probe + 1 >= static_cast<uint64_t>(period);
+            bool home_known = estimate[current] >= 0.0;
+            probe_now = home_known && (probe_requested || cadence);
+        }
         if (!probe_now) {
-            runInterval(params_.interval_instrs);
+            uint64_t retired = runInterval(params_.interval_instrs);
+            ++since_probe;
+            notePhase(retired);
             continue;
         }
+        since_probe = 0;
+        probe_requested = false;
 
         // Probe a neighbour for one interval, then decide.
         size_t home = current;
-        int64_t neighbour_idx =
-            static_cast<int64_t>(home) + probe_direction;
+        int direction = probe_direction;
         probe_direction = -probe_direction;
+        int64_t neighbour_idx = static_cast<int64_t>(home) + direction;
         if (neighbour_idx < 0 ||
             neighbour_idx >= static_cast<int64_t>(candidates.size())) {
-            runInterval(params_.interval_instrs);
+            // At the ladder's end the alternation points outside the
+            // candidate range; probe the one valid neighbour instead
+            // of skipping the round (which would halve the effective
+            // probe rate at the extremes).
+            neighbour_idx = static_cast<int64_t>(home) - direction;
+        }
+        if (neighbour_idx < 0 ||
+            neighbour_idx >= static_cast<int64_t>(candidates.size())) {
+            // Single-configuration ladder: nothing to probe.
+            uint64_t retired = runInterval(params_.interval_instrs);
+            notePhase(retired);
             continue;
         }
         size_t neighbour = static_cast<size_t>(neighbour_idx);
 
         reconfigure(neighbour);
-        runInterval(params_.interval_instrs);
+        uint64_t probe_retired = runInterval(params_.interval_instrs);
 
+        // The switch margin guards steady state against needless
+        // reconfiguration; during an active climb it would stall the
+        // ascent on rungs whose individual gain is below the margin
+        // even when the phase's optimum is several rungs away, so a
+        // climbing probe commits on any measured gain (the confidence
+        // gate still applies).
+        double margin = phase_aware && climbing
+                            ? 0.0
+                            : params_.switch_margin;
         bool neighbour_better =
             estimate[neighbour] >= 0.0 && estimate[home] >= 0.0 &&
-            estimate[neighbour] <
-                estimate[home] * (1.0 - params_.switch_margin);
+            estimate[neighbour] < estimate[home] * (1.0 - margin);
 
         if (!params_.use_confidence) {
             if (!neighbour_better) {
                 reconfigure(home);
                 recordDecision("reject", home, neighbour, home, 0);
+                if (phase_aware && ++rejects_in_a_row >= 2) {
+                    rememberBest(home);
+                    backoff_period = std::min(backoff_period * 2,
+                                              params_.probe_period_max);
+                    climbing = false;
+                }
             } else {
                 ++result.committed_moves;
                 CAPSIM_OBS_COUNT(commit_counter, 1);
                 recordDecision("commit", home, neighbour, neighbour, 0);
+                if (phase_aware) {
+                    rememberBest(neighbour);
+                    rejects_in_a_row = 0;
+                    backoff_period = params_.probe_period;
+                    climbing = true;
+                }
             }
+            notePhase(probe_retired);
             continue;
         }
 
-        if (neighbour_better && pending_move == neighbour) {
-            ++confidence;
-        } else if (neighbour_better) {
-            pending_move = neighbour;
-            confidence = 1;
-        } else if (pending_move == neighbour) {
-            pending_move = home;
-            confidence = 0;
+        bool commit_now;
+        int verdict_conf;
+        if (phase_aware && climbing) {
+            int di = neighbour > home ? 1 : 0;
+            if (neighbour_better)
+                ++climb_conf[di];
+            else
+                climb_conf[di] = 0;
+            verdict_conf = climb_conf[di];
+            commit_now = neighbour_better &&
+                         climb_conf[di] >= params_.confidence_needed;
+        } else {
+            if (neighbour_better && pending_move == neighbour) {
+                ++confidence;
+            } else if (neighbour_better) {
+                pending_move = neighbour;
+                confidence = 1;
+            } else if (pending_move == neighbour) {
+                pending_move = home;
+                confidence = 0;
+            }
+            verdict_conf = confidence;
+            commit_now = neighbour_better &&
+                         confidence >= params_.confidence_needed;
         }
 
-        if (!(neighbour_better && confidence >= params_.confidence_needed)) {
+        if (!commit_now) {
             // Not confident enough: return to the home configuration.
             reconfigure(home);
             // "revert": the candidate looked better but the gate held;
             // "reject": the margin was not met at all.
             recordDecision(neighbour_better ? "revert" : "reject", home,
-                           neighbour, home, confidence);
+                           neighbour, home, verdict_conf);
+            if (phase_aware) {
+                if (neighbour_better) {
+                    // The gate held with a pending move: keep the base
+                    // cadence so the gate resolves quickly.
+                    rejects_in_a_row = 0;
+                    backoff_period = params_.probe_period;
+                } else if (++rejects_in_a_row >= 2) {
+                    rememberBest(home);
+                    backoff_period = std::min(backoff_period * 2,
+                                              params_.probe_period_max);
+                    climbing = false;
+                    climb_conf[0] = climb_conf[1] = 0;
+                    confidence = 0;
+                    pending_move = home;
+                }
+            }
         } else {
             confidence = 0;
             pending_move = neighbour;
             ++result.committed_moves;
             CAPSIM_OBS_COUNT(commit_counter, 1);
             recordDecision("commit", home, neighbour, neighbour,
-                           params_.confidence_needed);
+                           verdict_conf);
+            if (phase_aware) {
+                rememberBest(neighbour);
+                rejects_in_a_row = 0;
+                backoff_period = params_.probe_period;
+                climbing = true;
+                climb_conf[0] = climb_conf[1] = 0;
+            }
         }
+        notePhase(probe_retired);
     }
 
     // The final partial interval: too short to probe, but its

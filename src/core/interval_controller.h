@@ -34,6 +34,29 @@
 
 namespace cap::core {
 
+/** What schedules the controller's neighbour probes. */
+enum class IntervalTrigger {
+    /** Fixed probe_period timer (the paper's baseline sketch). */
+    Period,
+    /**
+     * Online phase transitions (sample::OnlinePhaseDetector) trigger
+     * an aggressive climb; once the climb settles, probing drops
+     * straight to probe_period_max -- a slow safety net so a
+     * mistakenly remembered configuration can still be corrected.  A
+     * recurring phase snaps straight to the configuration remembered
+     * for it (see docs/MODEL.md section 13).
+     */
+    PhaseChange,
+    /**
+     * PhaseChange, except that after the climb settles the probe
+     * period backs off exponentially (probe_period doubling up to
+     * probe_period_max) instead of jumping to the ceiling -- catches
+     * drift the detector cannot see while still probing rarely in
+     * steady state.
+     */
+    Hybrid,
+};
+
 /** Tunables of the interval controller. */
 struct IntervalPolicyParams
 {
@@ -56,6 +79,17 @@ struct IntervalPolicyParams
      * asymmetric switch costs.
      */
     Cycles switch_penalty_cycles = kClockSwitchPenaltyCycles;
+    /** What schedules probes; Period reproduces the fixed-period
+     *  controller exactly (no phase detector is even constructed). */
+    IntervalTrigger trigger = IntervalTrigger::Period;
+    /** Exponential-backoff ceiling on the probe period (phase modes);
+     *  must be >= probe_period. */
+    int probe_period_max = 64;
+    /** Leader-follower assignment radius, relative-distance units
+     *  (phase modes; see sample::OnlinePhaseParams). */
+    double phase_distance_threshold = 1.0;
+    /** Phase-table capacity (phase modes). */
+    size_t max_phases = 16;
 };
 
 /** Outcome of an interval-controlled (or oracle) run. */
@@ -74,6 +108,15 @@ struct IntervalRunResult
     int committed_moves = 0;
     /** Configuration (queue entries) active in each interval. */
     std::vector<int> config_trace;
+    /** Phase transitions observed (phase modes; 0 under Period). */
+    int phase_transitions = 0;
+    /**
+     * Reconfigurations served straight from the per-phase memory on a
+     * recurring phase (no re-climb); a subset of committed_moves.
+     */
+    int phase_snaps = 0;
+    /** Phase ID of each interval (empty under Period). */
+    std::vector<int> phase_trace;
     /** Execution cost of producing this result (audit/scaling data). */
     RunTelemetry telemetry;
 

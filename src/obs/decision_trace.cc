@@ -17,6 +17,7 @@ eventKindName(EventKind kind)
     case EventKind::ClockChange: return "clock";
     case EventKind::Cell: return "cell";
     case EventKind::Representative: return "rep";
+    case EventKind::Phase: return "phase";
     }
     panic("unknown event kind %d", static_cast<int>(kind));
 }
@@ -113,6 +114,15 @@ DecisionTrace::writeJsonl(std::ostream &os) const
             field(os, "duration_ns", Cell(e.duration_ns, 6));
             field(os, "penalty_ns", Cell(e.penalty_ns, 6));
             break;
+        case EventKind::Phase:
+            // from/to carry phase IDs (not configurations); cluster
+            // duplicates "to" for symmetry with Representative.
+            field(os, "interval", Cell(e.interval));
+            field(os, "cluster", Cell(e.cluster));
+            field(os, "from", Cell(e.from_config));
+            field(os, "to", Cell(e.to_config));
+            field(os, "decision", Cell(e.decision));
+            break;
         case EventKind::ClockChange:
             field(os, "ghz_before", Cell(e.ghz_before, 6));
             field(os, "ghz_after", Cell(e.ghz_after, 6));
@@ -199,6 +209,15 @@ DecisionTrace::writeChromeTrace(std::ostream &os) const
                << ", \"drain_cycles\": " << e.drain_cycles
                << ", \"penalty_ns\": " << Cell(e.penalty_ns, 4).jsonStr()
                << "}";
+            break;
+        case EventKind::Phase:
+            os << "\"name\": " << Cell("phase:" + e.decision).jsonStr()
+               << ", \"cat\": \"controller\", \"ph\": \"i\", \"s\": \"t\""
+               << ", \"ts\": " << Cell(ts_us, 4).jsonStr()
+               << ", \"pid\": 1, \"tid\": " << tid
+               << ", \"args\": {\"phase\": " << e.cluster
+               << ", \"from\": " << e.from_config
+               << ", \"to\": " << e.to_config << "}";
             break;
         case EventKind::ClockChange:
             // Counter track: the dynamic clock over simulated time.

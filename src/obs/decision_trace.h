@@ -46,6 +46,8 @@ enum class EventKind {
     Cell,
     /** One simulated sampling representative of one (app, config). */
     Representative,
+    /** An online phase transition seen by the interval controller. */
+    Phase,
 };
 
 /** The string tag of @p kind in the JSONL "type" field. */

@@ -175,6 +175,8 @@ parseTraceLine(const std::string &line, TraceEvent &event,
         event.kind = EventKind::Cell;
     } else if (type == "rep") {
         event.kind = EventKind::Representative;
+    } else if (type == "phase") {
+        event.kind = EventKind::Phase;
     } else {
         error = "unrecognized record type '" + type + "'";
         return false;

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Online phase detection for the interval controller.
+ *
+ * The offline sampling pipeline (signature.h, cluster.h) profiles a
+ * whole run up front, z-scores the interval signatures, and clusters
+ * them with k-medoids.  A live controller cannot afford the pre-pass:
+ * it sees the run one interval at a time and must label each interval
+ * with a phase ID *as it retires*.  OnlinePhaseDetector is the
+ * streaming counterpart:
+ *
+ *  - the per-interval features are the same ILP moments the offline
+ *    extractor computes (profileIlpIntervals: mean dependency
+ *    distances, two-source fraction, latency moments, dataflow-limit
+ *    IPC), folded from a *shadow* instruction stream advanced by each
+ *    interval's retired count.  The features depend only on the
+ *    instruction mix -- never on the queue size the controller is
+ *    currently running -- so probing does not perturb the phase IDs;
+ *  - the offline z-score normalization is replaced by a *relative*
+ *    (Canberra-style) distance: each dimension's difference is scaled
+ *    by the mean magnitude of the two values compared.  A whole-run
+ *    z-score needs the whole run; any running estimate of it is
+ *    treacherous online -- before the second behaviour appears, the
+ *    running variance IS the within-phase noise, so early intervals
+ *    all sit ~sqrt(dims) "standard deviations" apart and the detector
+ *    shatters the first phase into noise clusters it never recovers
+ *    from.  Relative distance is stationary from the first interval:
+ *    within-phase sampling noise stays small (percent-level per
+ *    dimension) and distinct behaviours differ by order one,
+ *    independent of what has been observed so far;
+ *  - clustering is leader-follower (the classic streaming variant of
+ *    k-medoids): assign an interval to the nearest existing centroid
+ *    when it is within distance_threshold, otherwise open a new
+ *    phase, up to max_phases.
+ *
+ * Everything is pure arithmetic over the deterministic generator --
+ * no RNG, no wall clock -- so the phase sequence is bit-identical
+ * across runs and platforms (the same contract as the offline
+ * clusterer; see docs/MODEL.md section 13 for the state machine this
+ * detector drives).
+ */
+
+#ifndef CAPSIM_SAMPLE_ONLINE_PHASE_H
+#define CAPSIM_SAMPLE_ONLINE_PHASE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "ooo/stream.h"
+#include "trace/profile.h"
+
+namespace cap::sample {
+
+/** Tunables of the streaming clusterer. */
+struct OnlinePhaseParams
+{
+    /**
+     * Leader-follower assignment radius, in relative-distance units
+     * (see distanceTo()).  Within-phase sampling noise at the
+     * controller's interval length sits around 0.1-0.3 with rare
+     * spikes near 0.8; distinct behaviours differ by 1.5 or more.
+     * Smaller values split phases more eagerly (a single noise spike
+     * past the radius opens a duplicate centroid and assignments then
+     * flip between the two forever); larger values merge
+     * near-identical behaviour.
+     */
+    double distance_threshold = 1.0;
+    /** Phase-table capacity; beyond it intervals snap to the nearest
+     *  existing phase regardless of distance. */
+    size_t max_phases = 16;
+    /** EWMA weight folding an assigned interval into its centroid. */
+    double centroid_alpha = 0.25;
+};
+
+/** What observe() concluded about one interval. */
+struct PhaseObservation
+{
+    /** Phase ID assigned to the interval (dense, starting at 0). */
+    int phase = 0;
+    /** Phase of the previous interval; -1 for the first interval. */
+    int previous = -1;
+    /** True when phase != previous (never set on the first interval). */
+    bool transition = false;
+    /** True when the interval opened a new phase. */
+    bool new_phase = false;
+    /** Relative distance to the assigned centroid. */
+    double distance = 0.0;
+};
+
+/** Streaming phase labeller over one application's ILP behaviour. */
+class OnlinePhaseDetector
+{
+  public:
+    /** Shadows (@p behavior, @p seed) -- the same generator arguments
+     *  the controller's core model consumes. */
+    OnlinePhaseDetector(const trace::IlpBehavior &behavior, uint64_t seed,
+                        const OnlinePhaseParams &params = {});
+
+    /**
+     * Fold the next @p instructions retired instructions into a
+     * feature vector and assign its phase.  Call once per controller
+     * interval, in execution order.
+     */
+    PhaseObservation observe(uint64_t instructions);
+
+    /** Phase of the most recent interval; -1 before any observation. */
+    int currentPhase() const { return current_; }
+
+    /** Distinct phases discovered so far. */
+    size_t phaseCount() const { return centroids_.size(); }
+
+    /** Intervals folded so far. */
+    uint64_t intervalsObserved() const { return observed_; }
+
+  private:
+    std::vector<double> extract(uint64_t instructions);
+    double distanceTo(const std::vector<double> &x,
+                      const std::vector<double> &centroid) const;
+
+    OnlinePhaseParams params_;
+    ooo::InstructionStream stream_;
+    uint64_t observed_ = 0;
+    /** Centroids in raw feature space; distances are relative. */
+    std::vector<std::vector<double>> centroids_;
+    std::vector<uint64_t> members_;
+    int current_ = -1;
+};
+
+} // namespace cap::sample
+
+#endif // CAPSIM_SAMPLE_ONLINE_PHASE_H

@@ -66,21 +66,24 @@ confidenceHalfWidth(const SamplePlan &plan,
 /**
  * The cache-side replay walk shared by measureConfig() and
  * measureAllConfigs(): visit the representatives in temporal order,
- * jump the generator across unsimulated gaps, replay warmups and
- * measured intervals through @p access_batch, and notify the machine
- * via @p share (duplicate interval: copy the earlier measurement),
- * @p begin (measured interval starts) and @p done (measured interval
- * ended, with the warmup refs replayed for it).  One definition keeps
- * the two paths' reference sequences identical by construction --
- * which is what the one-pass bit-identity argument rests on.
+ * jump the source across unsimulated gaps via @p restoreTo, replay
+ * warmups and measured intervals through @p access_batch, and notify
+ * the machine via @p share (duplicate interval: copy the earlier
+ * measurement), @p begin (measured interval starts) and @p done
+ * (measured interval ended, with the warmup refs replayed for it).
+ * One definition keeps the two paths' reference sequences identical by
+ * construction -- which is what the one-pass bit-identity argument
+ * rests on.  The source is abstract: @p restoreTo(warm_start) seats it
+ * at the start of that interval, so the same walk drives a synthetic
+ * generator (cursor restore) or a trace file (offset seek).
  */
-template <typename AccessFn, typename ShareFn, typename BeginFn,
-          typename DoneFn>
+template <typename RestoreFn, typename AccessFn, typename ShareFn,
+          typename BeginFn, typename DoneFn>
 void
 walkRepChain(const SamplePlan &plan, const CacheIntervalProfile &profile,
-             const trace::AppProfile &app, uint64_t warmup_len,
-             AccessFn &&access_batch, ShareFn &&share, BeginFn &&begin,
-             DoneFn &&done)
+             uint64_t warmup_len, trace::TraceSource &source,
+             RestoreFn &&restoreTo, AccessFn &&access_batch,
+             ShareFn &&share, BeginFn &&begin, DoneFn &&done)
 {
     // Temporal order over the representatives: every interval appears
     // at most once in the plan, so the sort key is unique.
@@ -91,8 +94,6 @@ walkRepChain(const SamplePlan &plan, const CacheIntervalProfile &profile,
         return plan.reps[a].interval < plan.reps[b].interval;
     });
 
-    trace::SyntheticTraceSource source(app.cache, app.seed,
-                                       profile.total_refs);
     trace::TraceRecord batch[trace::kTraceBatch];
     auto replay = [&](uint64_t count, const char *what) {
         uint64_t left = count;
@@ -131,9 +132,9 @@ walkRepChain(const SamplePlan &plan, const CacheIntervalProfile &profile,
         uint64_t warm_ref =
             static_cast<uint64_t>(warm_start) * plan.interval_len;
         if (warm_ref > position) {
-            // Jump the generator forward; the machine keeps its state
+            // Jump the source forward; the machine keeps its state
             // across the unsimulated gap.
-            source.restoreCursor(profile.cursors[warm_start]);
+            restoreTo(warm_start);
             position = warm_ref;
         }
 
@@ -147,6 +148,39 @@ walkRepChain(const SamplePlan &plan, const CacheIntervalProfile &profile,
         position = start_ref + measure;
         done(slot, warm_refs);
         prev_slot = slot;
+    }
+}
+
+/**
+ * Dispatch walkRepChain over the profile's source kind: a file-backed
+ * profile (trace_path set) replays the trace file seeking by stored
+ * offsets; a synthetic profile regenerates from (app.cache, app.seed).
+ */
+template <typename AccessFn, typename ShareFn, typename BeginFn,
+          typename DoneFn>
+void
+replayChain(const SamplePlan &plan, const CacheIntervalProfile &profile,
+            const trace::AppProfile &app, uint64_t warmup_len,
+            AccessFn &&access_batch, ShareFn &&share, BeginFn &&begin,
+            DoneFn &&done)
+{
+    if (!profile.trace_path.empty()) {
+        trace::FileTraceSource source(profile.trace_path);
+        walkRepChain(
+            plan, profile, warmup_len, source,
+            [&](size_t warm_start) {
+                source.restoreCursor(profile.file_cursors[warm_start]);
+            },
+            access_batch, share, begin, done);
+    } else {
+        trace::SyntheticTraceSource source(app.cache, app.seed,
+                                           profile.total_refs);
+        walkRepChain(
+            plan, profile, warmup_len, source,
+            [&](size_t warm_start) {
+                source.restoreCursor(profile.cursors[warm_start]);
+            },
+            access_batch, share, begin, done);
     }
 }
 
@@ -272,13 +306,29 @@ CacheSampler::CacheSampler(const core::AdaptiveCacheModel &model,
         params_.warmup_len, std::min(measured, 8 * params_.warmup_len));
 }
 
+CacheSampler::CacheSampler(const core::AdaptiveCacheModel &model,
+                           const trace::AppProfile &app,
+                           const std::string &trace_path,
+                           const SampleParams &params)
+    : model_(&model), app_(app), params_(params),
+      profile_(profileCacheIntervalsFromFile(trace_path,
+                                             params.interval_len)),
+      plan_(planFromSignatures(profile_.signatures, profile_.total_refs,
+                               params.interval_len, params,
+                               params.cold_prefix_len))
+{
+    uint64_t measured = profile_.reusePercentile(0.9);
+    effective_warmup_len_ = std::max(
+        params_.warmup_len, std::min(measured, 8 * params_.warmup_len));
+}
+
 std::vector<CacheRepMeasurement>
 CacheSampler::measureConfig(int l1_increments) const
 {
     cache::ExclusiveHierarchy hierarchy(model_->geometry(),
                                         l1_increments);
     std::vector<CacheRepMeasurement> meas(plan_.reps.size());
-    walkRepChain(
+    replayChain(
         plan_, profile_, app_, effective_warmup_len_,
         [&](const trace::TraceRecord *batch, uint64_t n) {
             for (uint64_t i = 0; i < n; ++i)
@@ -311,7 +361,7 @@ CacheSampler::measureAllConfigs(int max_l1_increments) const
     // hence every CacheRepMeasurement -- is bit-identical.
     cache::StackSimulator stack(model_->geometry());
     std::vector<cache::CacheStats> before(n_cfg);
-    walkRepChain(
+    replayChain(
         plan_, profile_, app_, effective_warmup_len_,
         [&](const trace::TraceRecord *batch, uint64_t n) {
             stack.accessBatch(batch, n);

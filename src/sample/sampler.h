@@ -34,6 +34,7 @@
 #define CAPSIM_SAMPLE_SAMPLER_H
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "cache/exclusive_hierarchy.h"
@@ -161,6 +162,19 @@ class CacheSampler
      */
     CacheSampler(const core::AdaptiveCacheModel &model,
                  const trace::AppProfile &app, uint64_t refs,
+                 const SampleParams &params);
+
+    /**
+     * File-backed variant: profiles and clusters the din-format trace
+     * at @p trace_path (`capsim gen-trace` output, or any real address
+     * trace) instead of the synthetic generator; the replayer then
+     * fast-forwards via file offsets (trace::FileTraceSource::Cursor).
+     * @p app still supplies refs_per_instr for reconstruction and the
+     * cache geometry context; its synthetic cache behaviour is unused.
+     */
+    CacheSampler(const core::AdaptiveCacheModel &model,
+                 const trace::AppProfile &app,
+                 const std::string &trace_path,
                  const SampleParams &params);
 
     const SamplePlan &plan() const { return plan_; }

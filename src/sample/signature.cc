@@ -135,25 +135,29 @@ IlpIntervalProfile::lengthOf(size_t index) const
                            signatures.size());
 }
 
-CacheIntervalProfile
-profileCacheIntervals(const trace::CacheBehavior &behavior, uint64_t seed,
-                      uint64_t refs, uint64_t interval_refs)
+namespace {
+
+/**
+ * The shared interval loop behind both cache profilers.  @p refs caps
+ * the read (UINT64_MAX = read @p source to exhaustion); @p exact
+ * asserts the source delivers every requested reference (synthetic
+ * generators are sized up front; files simply end).  @p pushCursor
+ * snapshots the source position before each interval and @p popCursor
+ * discards the snapshot of an empty trailing interval.
+ */
+template <typename Source, typename PushCursor, typename PopCursor>
+void
+profileCacheSource(CacheIntervalProfile &profile, Source &source,
+                   uint64_t refs, uint64_t interval_refs, bool exact,
+                   PushCursor pushCursor, PopCursor popCursor)
 {
-    capAssert(refs > 0, "profiling needs references");
-    capAssert(interval_refs > 0, "interval length must be positive");
-
-    CacheIntervalProfile profile;
-    profile.interval_refs = interval_refs;
-    profile.total_refs = refs;
-
-    trace::SyntheticTraceSource source(behavior, seed, refs);
     trace::TraceRecord batch[trace::kTraceBatch];
     profile.reuse_gap_hist.assign(kReuseGapBins, 0);
     std::unordered_map<uint64_t, uint64_t> last_access;
     uint64_t produced = 0;
     while (produced < refs) {
         uint64_t want = std::min(interval_refs, refs - produced);
-        profile.cursors.push_back(source.saveCursor());
+        pushCursor();
 
         std::array<uint64_t, kRegionBins> regions{};
         std::array<double, kRegionBins> offsets{};
@@ -203,7 +207,14 @@ profileCacheIntervals(const trace::CacheBehavior &behavior, uint64_t seed,
             }
             got += n;
         }
-        capAssert(got == want, "trace source exhausted early");
+        if (exact)
+            capAssert(got == want, "trace source exhausted early");
+        if (got == 0) {
+            // The file ended exactly on an interval boundary: the
+            // snapshot belongs to no interval.
+            popCursor();
+            break;
+        }
 
         IntervalSignature sig;
         sig.index = static_cast<uint64_t>(profile.signatures.size());
@@ -220,7 +231,49 @@ profileCacheIntervals(const trace::CacheBehavior &behavior, uint64_t seed,
         sig.features.push_back(static_cast<double>(adjacent) / n);
         profile.signatures.push_back(std::move(sig));
         produced += got;
+        if (got < want)
+            break; // short tail: the source is exhausted
     }
+    profile.total_refs = produced;
+}
+
+} // namespace
+
+CacheIntervalProfile
+profileCacheIntervals(const trace::CacheBehavior &behavior, uint64_t seed,
+                      uint64_t refs, uint64_t interval_refs)
+{
+    capAssert(refs > 0, "profiling needs references");
+    capAssert(interval_refs > 0, "interval length must be positive");
+
+    CacheIntervalProfile profile;
+    profile.interval_refs = interval_refs;
+
+    trace::SyntheticTraceSource source(behavior, seed, refs);
+    profileCacheSource(
+        profile, source, refs, interval_refs, /*exact=*/true,
+        [&] { profile.cursors.push_back(source.saveCursor()); },
+        [&] { profile.cursors.pop_back(); });
+    return profile;
+}
+
+CacheIntervalProfile
+profileCacheIntervalsFromFile(const std::string &path,
+                              uint64_t interval_refs)
+{
+    capAssert(interval_refs > 0, "interval length must be positive");
+
+    CacheIntervalProfile profile;
+    profile.interval_refs = interval_refs;
+    profile.trace_path = path;
+
+    trace::FileTraceSource source(path);
+    profileCacheSource(
+        profile, source, UINT64_MAX, interval_refs, /*exact=*/false,
+        [&] { profile.file_cursors.push_back(source.saveCursor()); },
+        [&] { profile.file_cursors.pop_back(); });
+    capAssert(profile.total_refs > 0, "trace file %s has no records",
+              path.c_str());
     return profile;
 }
 

@@ -28,9 +28,11 @@
 #define CAPSIM_SAMPLE_SIGNATURE_H
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "ooo/stream.h"
+#include "trace/file_trace.h"
 #include "trace/profile.h"
 #include "trace/stream.h"
 
@@ -65,8 +67,14 @@ struct CacheIntervalProfile
     uint64_t total_refs = 0;
     /** One signature per interval (the final one may be short). */
     std::vector<IntervalSignature> signatures;
-    /** Generator cursor at the *start* of each interval. */
+    /** Generator cursor at the *start* of each interval (synthetic
+     *  profiles; empty for file-backed ones). */
     std::vector<trace::SyntheticTraceSource::Cursor> cursors;
+    /** File cursor at the *start* of each interval (file-backed
+     *  profiles; empty for synthetic ones). */
+    std::vector<trace::FileTraceSource::Cursor> file_cursors;
+    /** Path of the backing trace file; empty for synthetic profiles. */
+    std::string trace_path;
     /**
      * Log2 histogram of block reuse gaps over the whole profiled run:
      * bin b counts re-references whose gap g (references since that
@@ -99,6 +107,19 @@ struct CacheIntervalProfile
 CacheIntervalProfile profileCacheIntervals(
     const trace::CacheBehavior &behavior, uint64_t seed, uint64_t refs,
     uint64_t interval_refs);
+
+/**
+ * Profile a trace file (`capsim gen-trace` / writeTraceFile output) in
+ * intervals of @p interval_refs, reading to end of file; the final
+ * interval may be short.  The replay cursors are file offsets
+ * (FileTraceSource::Cursor, stored in file_cursors), so the sampler
+ * fast-forwards the file exactly as it fast-forwards a synthetic
+ * generator.  The trace format round-trips addresses and the
+ * read/write bit exactly, so a file profile of a written synthetic
+ * trace is bit-identical to the synthetic profile it came from.
+ */
+CacheIntervalProfile profileCacheIntervalsFromFile(
+    const std::string &path, uint64_t interval_refs);
 
 /** ILP-side profile: signatures plus replay cursors. */
 struct IlpIntervalProfile

@@ -10,7 +10,9 @@
 #include "core/adaptive_iq.h"
 #include "core/concert.h"
 #include "core/config_manager.h"
+#include "core/interval_controller.h"
 #include "core/multiprogram.h"
+#include "sample/online_phase.h"
 #include "trace/file_trace.h"
 #include "trace/patterns.h"
 #include "trace/stream.h"
@@ -42,6 +44,40 @@ TEST(ErrorPathsTest, IqModelBoundsChecked)
     EXPECT_DEATH(
         model.intervalSeries(trace::findApp("li"), 64, 1000, 0),
         "positive");
+}
+
+TEST(ErrorPathsTest, IntervalPolicyValidated)
+{
+    core::AdaptiveIqModel model;
+    core::IntervalPolicyParams bad_margin;
+    bad_margin.switch_margin = -0.01;
+    EXPECT_DEATH(core::IntervalAdaptiveIq(model, bad_margin),
+                 "switch margin");
+    core::IntervalPolicyParams empty_interval;
+    empty_interval.interval_instrs = 0;
+    EXPECT_DEATH(core::IntervalAdaptiveIq(model, empty_interval),
+                 "empty interval");
+    core::IntervalPolicyParams bad_ceiling;
+    bad_ceiling.trigger = core::IntervalTrigger::Hybrid;
+    bad_ceiling.probe_period_max = bad_ceiling.probe_period - 1;
+    EXPECT_DEATH(core::IntervalAdaptiveIq(model, bad_ceiling),
+                 "probe backoff ceiling");
+    core::IntervalPolicyParams bad_threshold;
+    bad_threshold.trigger = core::IntervalTrigger::PhaseChange;
+    bad_threshold.phase_distance_threshold = 0.0;
+    EXPECT_DEATH(core::IntervalAdaptiveIq(model, bad_threshold),
+                 "phase distance threshold");
+}
+
+TEST(ErrorPathsTest, PhaseDetectorValidated)
+{
+    const trace::AppProfile &app = trace::findApp("li");
+    sample::OnlinePhaseDetector detector(app.ilp, app.seed);
+    EXPECT_DEATH(detector.observe(0), "empty interval");
+    sample::OnlinePhaseParams bad;
+    bad.max_phases = 0;
+    EXPECT_DEATH(sample::OnlinePhaseDetector(app.ilp, app.seed, bad),
+                 "capacity");
 }
 
 TEST(ErrorPathsTest, PatternConstructionValidated)

@@ -8,6 +8,7 @@
  */
 
 #include <cmath>
+#include <cstdio>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -23,6 +24,8 @@
 #include "sample/sampler.h"
 #include "sample/signature.h"
 #include "sample/study.h"
+#include "trace/file_trace.h"
+#include "trace/stream.h"
 #include "trace/workloads.h"
 
 namespace cap {
@@ -423,6 +426,60 @@ TEST(SampledOracleTest, WinsOverEveryFixedCandidate)
         core::kClockSwitchPenaltyCycles, 2);
     EXPECT_GE(charged.total_time_ns, oracle.total_time_ns);
     EXPECT_EQ(charged.config_trace, oracle.config_trace);
+}
+
+// ---------------------------------------------------------------------
+// File-backed sampling (gen-trace output feeds the sampler)
+// ---------------------------------------------------------------------
+
+TEST(FileBackedSamplingTest, RoundTripsBitIdenticalWithSynthetic)
+{
+    const trace::AppProfile &app = trace::findApp("li");
+    std::string path =
+        testing::TempDir() + "sample_roundtrip.din";
+    {
+        trace::SyntheticTraceSource source(app.cache, app.seed, kRefs);
+        ASSERT_EQ(trace::writeTraceFile(path, source, kRefs), kRefs);
+    }
+
+    // The file profiler re-reads the exact reference stream the
+    // synthetic profiler generated, so signatures must match bit for
+    // bit (the din format round-trips address and kind exactly).
+    sample::CacheIntervalProfile synth = sample::profileCacheIntervals(
+        app.cache, app.seed, kRefs, 2000);
+    sample::CacheIntervalProfile file =
+        sample::profileCacheIntervalsFromFile(path, 2000);
+    EXPECT_EQ(file.trace_path, path);
+    EXPECT_EQ(file.total_refs, synth.total_refs);
+    ASSERT_EQ(file.signatures.size(), synth.signatures.size());
+    EXPECT_EQ(file.file_cursors.size(), file.signatures.size());
+    for (size_t i = 0; i < file.signatures.size(); ++i) {
+        ASSERT_EQ(file.signatures[i].features.size(),
+                  synth.signatures[i].features.size());
+        for (size_t f = 0; f < file.signatures[i].features.size(); ++f)
+            EXPECT_EQ(file.signatures[i].features[f],
+                      synth.signatures[i].features[f])
+                << "interval " << i << " feature " << f;
+    }
+
+    // Identical signatures must yield the identical plan, and the
+    // file-backed replayer (offset fast-forward + stale-state warmup)
+    // must reconstruct the same performance as the synthetic one.
+    core::AdaptiveCacheModel model;
+    sample::SampleParams params = testParams();
+    sample::CacheSampler synth_sampler(model, app, kRefs, params);
+    sample::CacheSampler file_sampler(model, app, path, params);
+    ASSERT_EQ(file_sampler.repCount(), synth_sampler.repCount());
+    for (int k : {1, 4, 8}) {
+        sample::SampledCachePerf a = synth_sampler.evaluate(k);
+        sample::SampledCachePerf b = file_sampler.evaluate(k);
+        EXPECT_EQ(a.perf.tpi_ns, b.perf.tpi_ns) << "boundary " << k;
+        EXPECT_EQ(a.perf.l1_miss_ratio, b.perf.l1_miss_ratio)
+            << "boundary " << k;
+        EXPECT_EQ(a.perf.global_miss_ratio, b.perf.global_miss_ratio)
+            << "boundary " << k;
+    }
+    std::remove(path.c_str());
 }
 
 } // namespace
