@@ -16,6 +16,7 @@
 #include "bench_common.h"
 #include "core/adaptive_iq.h"
 #include "ooo/core_model.h"
+#include "ooo/stream.h"
 #include "trace/workloads.h"
 
 namespace {

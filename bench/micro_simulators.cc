@@ -10,6 +10,7 @@
 #include "cache/exclusive_hierarchy.h"
 #include "core/adaptive_cache.h"
 #include "ooo/core_model.h"
+#include "ooo/stream.h"
 #include "timing/cacti.h"
 #include "timing/wire.h"
 #include "trace/stream.h"

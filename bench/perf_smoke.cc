@@ -1,22 +1,24 @@
 /**
  * @file
- * Perf smoke: one-pass stack-distance sweep vs per-config replay.
+ * Perf smoke: one-pass sweeps vs per-config replay, both study sides.
  *
  * Runs the paper's static cache study twice -- once with a dedicated
  * ExclusiveHierarchy per L1/L2 boundary (the pre-one-pass behaviour)
  * and once with the single-pass stack-distance engine (docs/PERF.md)
- * -- checks the two produce bit-identical results, and reports
- * wall-clock, delivered boundary-references per second, and the
- * speedup ratio.
+ * -- then does the same for the static instruction-queue study (one
+ * CoreModel per queue size vs the one-pass ooo::WindowSweeper).  Each
+ * lane checks the two modes produce bit-identical results and reports
+ * wall-clock, delivered work per second, and the speedup ratio.
  *
- * The ratio, not the absolute wall time, is the regression metric:
- * it cancels host speed, so CI can hold it against a committed
+ * The ratios, not the absolute wall times, are the regression metric:
+ * they cancel host speed, so CI can hold them against a committed
  * baseline (bench/perf_baseline.json) across runner generations.
  *
  * Flags:
  *   --json PATH      machine-readable result (default BENCH_sweep.json)
- *   --baseline PATH  fail (exit 1) when the measured speedup falls
- *                    below 80% of the baseline's "speedup" value
+ *   --baseline PATH  fail (exit 1) when a measured speedup falls
+ *                    below 80% of the baseline's "speedup" /
+ *                    "iq_speedup" value
  */
 
 #include <cmath>
@@ -34,11 +36,11 @@ namespace {
 using namespace cap;
 using namespace cap::bench;
 
-/** Pull `"speedup": <number>` out of a baseline JSON file; the file
- *  is our own emitter's output, so a flat key scan suffices. */
+/** Pull `"<key>": <number>` out of a baseline JSON file; the file is
+ *  our own emitter's output, so a flat key scan suffices. */
 bool
-readBaselineSpeedup(const std::string &path, double &speedup,
-                    std::string &error)
+readBaselineSpeedup(const std::string &path, const std::string &key_name,
+                    double &speedup, std::string &error)
 {
     std::ifstream file(path);
     if (!file) {
@@ -48,18 +50,45 @@ readBaselineSpeedup(const std::string &path, double &speedup,
     std::stringstream buffer;
     buffer << file.rdbuf();
     std::string text = buffer.str();
-    const std::string key = "\"speedup\":";
+    const std::string key = "\"" + key_name + "\":";
     size_t at = text.find(key);
     if (at == std::string::npos) {
-        error = "baseline '" + path + "' has no \"speedup\" field";
+        error = "baseline '" + path + "' has no \"" + key_name +
+                "\" field";
         return false;
     }
     speedup = std::strtod(text.c_str() + at + key.size(), nullptr);
     if (!(speedup > 0.0)) {
-        error = "baseline '" + path + "' speedup is not positive";
+        error = "baseline '" + path + "' " + key_name +
+                " is not positive";
         return false;
     }
     return true;
+}
+
+/** Hold @p measured against 80% of the baseline's @p key_name. */
+int
+gateAgainstBaseline(const std::string &path, const std::string &key_name,
+                    double measured)
+{
+    double baseline = 0.0;
+    std::string error;
+    if (!readBaselineSpeedup(path, key_name, baseline, error)) {
+        std::cerr << "perf_smoke: " << error << "\n";
+        return 2;
+    }
+    const double floor = 0.8 * baseline;
+    std::cout << key_name << " baseline " << Cell(baseline, 2).str()
+              << "x, regression floor " << Cell(floor, 2).str()
+              << "x, measured " << Cell(measured, 2).str() << "x\n";
+    if (measured < floor) {
+        std::cerr << "perf_smoke: " << key_name << " "
+                  << Cell(measured, 2).str() << "x regressed below "
+                  << Cell(floor, 2).str() << "x (baseline "
+                  << Cell(baseline, 2).str() << "x * 0.8)\n";
+        return 1;
+    }
+    return 0;
 }
 
 } // namespace
@@ -82,11 +111,12 @@ main(int argc, char **argv)
         }
     }
 
-    banner("Perf smoke: one-pass stack-distance sweep vs per-config "
-           "replay",
-           "the one-pass engine scores all 8 boundaries from a single "
-           "trace replay, so the static cache study runs several times "
-           "faster with bit-identical results");
+    banner("Perf smoke: one-pass sweeps vs per-config replay",
+           "the one-pass engines score every configuration from a "
+           "single replay -- all 8 cache boundaries from one "
+           "stack-distance pass, all 8 queue sizes from one window "
+           "sweep -- so both static studies run several times faster "
+           "with bit-identical results");
 
     const uint64_t refs = cacheRefs();
     const int jobs = benchJobs();
@@ -137,6 +167,59 @@ main(int argc, char **argv)
                   Cell(speedup, 2)});
     emit(table);
 
+    const uint64_t instrs = iqInstrs();
+    std::vector<trace::AppProfile> iq_apps = trace::iqStudyApps();
+    core::AdaptiveIqModel iq_model;
+    const size_t sizes = core::AdaptiveIqModel::studySizes().size();
+
+    std::cout << "\ninstructions per (app, config): " << instrs
+              << ", apps: " << iq_apps.size() << ", jobs: " << jobs
+              << "\n\n";
+
+    core::IqStudy iq_per_config =
+        core::runIqStudy(iq_model, iq_apps, instrs, jobs, {}, false);
+    core::IqStudy iq_one_pass =
+        core::runIqStudy(iq_model, iq_apps, instrs, jobs, {}, true);
+
+    for (size_t a = 0; a < iq_apps.size(); ++a) {
+        for (size_t c = 0; c < iq_per_config.perf[a].size(); ++c) {
+            const core::IqPerf &slow = iq_per_config.perf[a][c];
+            const core::IqPerf &fast = iq_one_pass.perf[a][c];
+            if (slow.entries != fast.entries ||
+                slow.instructions != fast.instructions ||
+                slow.cycles != fast.cycles || slow.ipc != fast.ipc ||
+                slow.tpi_ns != fast.tpi_ns) {
+                std::cerr << "perf_smoke: one-pass IQ result diverges "
+                             "at "
+                          << iq_apps[a].name << " config " << c << "\n";
+                return 1;
+            }
+        }
+    }
+
+    const double iq_slow_s = iq_per_config.telemetry.wall_seconds;
+    const double iq_fast_s = iq_one_pass.telemetry.wall_seconds;
+    const double lane_instrs = static_cast<double>(instrs) *
+                               static_cast<double>(iq_apps.size()) *
+                               static_cast<double>(sizes);
+    const double iq_slow_rate =
+        iq_slow_s > 0.0 ? lane_instrs / iq_slow_s : 0.0;
+    const double iq_fast_rate =
+        iq_fast_s > 0.0 ? lane_instrs / iq_fast_s : 0.0;
+    const double iq_speedup =
+        iq_fast_s > 0.0 ? iq_slow_s / iq_fast_s : 0.0;
+
+    TableWriter iq_table("static IQ sweep, " + std::to_string(instrs) +
+                         " instrs x " + std::to_string(iq_apps.size()) +
+                         " apps x " + std::to_string(sizes) + " sizes");
+    iq_table.setHeader({"mode", "wall_s", "lane_instrs_per_s",
+                        "speedup"});
+    iq_table.addRow({Cell("per-config"), Cell(iq_slow_s, 3),
+                     Cell(iq_slow_rate, 0), Cell(1.0, 2)});
+    iq_table.addRow({Cell("one-pass"), Cell(iq_fast_s, 3),
+                     Cell(iq_fast_rate, 0), Cell(iq_speedup, 2)});
+    emit(iq_table);
+
     if (!json_path.empty()) {
         std::ofstream out(json_path);
         if (!out) {
@@ -156,29 +239,26 @@ main(int argc, char **argv)
             << ",\n"
             << "  \"onepass_refs_per_s\": " << Cell(fast_rate, 0).str()
             << ",\n"
-            << "  \"speedup\": " << Cell(speedup, 3).str() << "\n"
+            << "  \"speedup\": " << Cell(speedup, 3).str() << ",\n"
+            << "  \"instrs\": " << instrs << ",\n"
+            << "  \"iq_apps\": " << iq_apps.size() << ",\n"
+            << "  \"iq_sizes\": " << sizes << ",\n"
+            << "  \"iq_per_config_seconds\": " << Cell(iq_slow_s, 6).str()
+            << ",\n"
+            << "  \"iq_onepass_seconds\": " << Cell(iq_fast_s, 6).str()
+            << ",\n"
+            << "  \"iq_speedup\": " << Cell(iq_speedup, 3).str() << "\n"
             << "}\n";
         std::cout << "wrote " << json_path << "\n";
     }
 
     if (!baseline_path.empty()) {
-        double baseline = 0.0;
-        std::string error;
-        if (!readBaselineSpeedup(baseline_path, baseline, error)) {
-            std::cerr << "perf_smoke: " << error << "\n";
-            return 2;
-        }
-        const double floor = 0.8 * baseline;
-        std::cout << "baseline speedup " << Cell(baseline, 2).str()
-                  << "x, regression floor " << Cell(floor, 2).str()
-                  << "x, measured " << Cell(speedup, 2).str() << "x\n";
-        if (speedup < floor) {
-            std::cerr << "perf_smoke: speedup " << Cell(speedup, 2).str()
-                      << "x regressed below " << Cell(floor, 2).str()
-                      << "x (baseline " << Cell(baseline, 2).str()
-                      << "x * 0.8)\n";
-            return 1;
-        }
+        if (int rc = gateAgainstBaseline(baseline_path, "speedup",
+                                         speedup))
+            return rc;
+        if (int rc = gateAgainstBaseline(baseline_path, "iq_speedup",
+                                         iq_speedup))
+            return rc;
     }
     return 0;
 }

@@ -16,6 +16,8 @@
 #include "obs/hooks.h"
 #include "obs/registry.h"
 #include "obs/trace_reader.h"
+#include "ooo/stream.h"
+#include "ooo/uop_file.h"
 #include "sample/study.h"
 #include "trace/analysis.h"
 #include "trace/file_trace.h"
@@ -107,6 +109,9 @@ cmdHelp(std::ostream &out)
            "      [--jobs N]               worker threads (0 = all cores)\n"
            "      [--sample[=k,ivl[,wrm]]] estimate cells from cluster\n"
            "                               representatives (sampled mode)\n"
+           "      [--no-onepass]           one core per queue size\n"
+           "                               instead of the one-pass\n"
+           "                               window sweep\n"
            "      [--telemetry-json PATH]  write execution telemetry\n"
            "  sample-profile <app>         cluster one app's intervals and\n"
            "                               print the sampling plan\n"
@@ -127,14 +132,14 @@ cmdHelp(std::ostream &out)
            "                               MAE <= --mae-max and the CI\n"
            "                               brackets the best config\n"
            "      [--mae-max PCT]          --check threshold (default 2)\n"
-           "      [--no-onepass]           per-config cache replay\n"
-           "                               instead of the one-pass sweep\n"
+           "      [--no-onepass]           per-config replay instead of\n"
+           "                               the one-pass sweep\n"
            "      [--oracle]               sampled per-interval oracle\n"
            "                               (iq side, single app)\n"
            "      [--trace-file PATH]      profile + replay a recorded\n"
            "                               trace file instead of the\n"
-           "                               synthetic generator (cache\n"
-           "                               side, single app)\n"
+           "                               synthetic generator (either\n"
+           "                               study side, single app)\n"
            "  interval-run <app>           Section-6 interval controller\n"
            "      [--instrs N]             instructions to run\n"
            "      [--entries N]            initial queue size\n"
@@ -157,7 +162,9 @@ cmdHelp(std::ostream &out)
            "      [--first N] [--last N]   interval range\n"
            "      [--stride N]             print every Nth interval\n"
            "  gen-trace <app> <path>       export a synthetic trace file\n"
-           "      [--refs N]               records to write\n"
+           "      [--study cache|iq]       address trace (cache) or uop\n"
+           "                               trace (iq)\n"
+           "      [--refs N | --instrs N]  records / uops to write\n"
            "  analyze <path>               characterize a trace file\n"
            "      [--limit N] [--block B]  records to read, block bytes\n"
            "  help                         this text\n"
@@ -518,7 +525,7 @@ cmdIqSweep(const Options &options, std::ostream &out, std::ostream &err)
     if (sampled) {
         sample::SampledIqStudy study = sample::runSampledIqStudy(
             model, apps, instrs, sparams, jobsFlag(options),
-            session.hooks());
+            session.hooks(), onePassFlag(options));
         TableWriter table("sampled avg TPI (ns) vs queue size, " +
                           std::to_string(instrs) +
                           " instructions per run");
@@ -557,7 +564,8 @@ cmdIqSweep(const Options &options, std::ostream &out, std::ostream &err)
 
     core::IqStudy study = core::runIqStudy(model, apps, instrs,
                                            jobsFlag(options),
-                                           session.hooks());
+                                           session.hooks(),
+                                           onePassFlag(options));
 
     TableWriter table("avg TPI (ns) vs queue size, " +
                       std::to_string(instrs) + " instructions per run");
@@ -1023,12 +1031,12 @@ cmdSampleRun(const Options &options, std::ostream &out, std::ostream &err)
 
     std::string trace_file = options.get("trace-file");
     if (!trace_file.empty()) {
-        // Sampled replay of a recorded trace (gen-trace output or any
-        // din-format address trace): profile the file, cluster, and
-        // replay representatives by seeking to their stored offsets.
-        if (side != "cache" || apps.size() != 1) {
-            err << "capsim: --trace-file needs --study cache and a "
-                   "single application\n";
+        // Sampled replay of a recorded trace (gen-trace output, or any
+        // din-format address trace / uop trace): profile the file,
+        // cluster, and replay representatives by seeking to their
+        // stored offsets.
+        if (apps.size() != 1) {
+            err << "capsim: --trace-file needs a single application\n";
             return 2;
         }
         if (validate || options.flags.count("oracle")) {
@@ -1036,40 +1044,84 @@ cmdSampleRun(const Options &options, std::ostream &out, std::ostream &err)
                    "or --oracle (no synthetic reference run)\n";
             return 2;
         }
-        core::AdaptiveCacheModel model;
-        sample::CacheSampler sampler(model, apps[0], trace_file, params);
-        constexpr int kBoundaries = 8;
-        std::vector<std::vector<sample::CacheRepMeasurement>> meas;
-        if (onePassFlag(options)) {
-            meas = sampler.measureAllConfigs(kBoundaries);
-        } else {
-            for (int k = 1; k <= kBoundaries; ++k)
-                meas.push_back(sampler.measureConfig(k));
+        if (side == "cache") {
+            core::AdaptiveCacheModel model;
+            sample::CacheSampler sampler(model, apps[0], trace_file,
+                                         params);
+            constexpr int kBoundaries = 8;
+            std::vector<std::vector<sample::CacheRepMeasurement>> meas;
+            if (onePassFlag(options)) {
+                meas = sampler.measureAllConfigs(kBoundaries);
+            } else {
+                for (int k = 1; k <= kBoundaries; ++k)
+                    meas.push_back(sampler.measureConfig(k));
+            }
+            std::vector<sample::SampledCachePerf> perf;
+            size_t best = 0;
+            for (int k = 1; k <= kBoundaries; ++k) {
+                perf.push_back(sampler.reconstruct(k, meas[k - 1]));
+                if (perf.back().perf.tpi_ns < perf[best].perf.tpi_ns)
+                    best = static_cast<size_t>(k - 1);
+            }
+            TableWriter file_table("file-backed sampled sweep, " +
+                                   apps[0].name + ", " + trace_file);
+            file_table.setHeader({"l1_size", "tpi_ns", "ci_lo", "ci_hi",
+                                  "l1_miss", "global_miss"});
+            for (size_t c = 0; c < perf.size(); ++c) {
+                file_table.addRow(
+                    {Cell(std::to_string(8 * (c + 1)) + "KB"),
+                     Cell(perf[c].perf.tpi_ns, 3),
+                     Cell(perf[c].tpi_lo_ns, 3),
+                     Cell(perf[c].tpi_hi_ns, 3),
+                     Cell(perf[c].perf.l1_miss_ratio, 4),
+                     Cell(perf[c].perf.global_miss_ratio, 4)});
+            }
+            file_table.renderAscii(out);
+            out << sampler.profile().total_refs << " references in "
+                << sampler.plan().num_intervals << " intervals, "
+                << sampler.repCount() << " representatives, best "
+                << 8 * (best + 1) << "KB\n";
+            return 0;
         }
-        std::vector<sample::SampledCachePerf> perf;
+        // IQ side: the file is a uop trace (gen-trace --study iq /
+        // writeUopTraceFile output).
+        core::AdaptiveIqModel model;
+        sample::IqSampler sampler(model, apps[0], trace_file, params);
+        std::vector<int> sizes = core::AdaptiveIqModel::studySizes();
+        std::vector<std::vector<sample::IqRepMeasurement>> meas;
+        if (onePassFlag(options)) {
+            meas = sampler.measureAllConfigs();
+        } else {
+            for (int entries : sizes) {
+                std::vector<sample::IqRepMeasurement> per;
+                for (size_t r = 0; r < sampler.repCount(); ++r)
+                    per.push_back(sampler.measureRep(entries, r));
+                meas.push_back(std::move(per));
+            }
+        }
+        std::vector<sample::SampledIqPerf> perf;
         size_t best = 0;
-        for (int k = 1; k <= kBoundaries; ++k) {
-            perf.push_back(sampler.reconstruct(k, meas[k - 1]));
+        for (size_t c = 0; c < sizes.size(); ++c) {
+            perf.push_back(sampler.reconstruct(sizes[c], meas[c]));
             if (perf.back().perf.tpi_ns < perf[best].perf.tpi_ns)
-                best = static_cast<size_t>(k - 1);
+                best = c;
         }
         TableWriter file_table("file-backed sampled sweep, " +
                                apps[0].name + ", " + trace_file);
-        file_table.setHeader({"l1_size", "tpi_ns", "ci_lo", "ci_hi",
-                              "l1_miss", "global_miss"});
+        file_table.setHeader(
+            {"entries", "tpi_ns", "ci_lo", "ci_hi", "ipc"});
         for (size_t c = 0; c < perf.size(); ++c) {
-            file_table.addRow(
-                {Cell(std::to_string(8 * (c + 1)) + "KB"),
-                 Cell(perf[c].perf.tpi_ns, 3),
-                 Cell(perf[c].tpi_lo_ns, 3), Cell(perf[c].tpi_hi_ns, 3),
-                 Cell(perf[c].perf.l1_miss_ratio, 4),
-                 Cell(perf[c].perf.global_miss_ratio, 4)});
+            file_table.addRow({Cell(sizes[c]),
+                               Cell(perf[c].perf.tpi_ns, 3),
+                               Cell(perf[c].tpi_lo_ns, 3),
+                               Cell(perf[c].tpi_hi_ns, 3),
+                               Cell(perf[c].perf.ipc, 3)});
         }
         file_table.renderAscii(out);
-        out << sampler.profile().total_refs << " references in "
+        out << sampler.profile().total_instrs << " instructions in "
             << sampler.plan().num_intervals << " intervals, "
             << sampler.repCount() << " representatives, best "
-            << 8 * (best + 1) << "KB\n";
+            << sizes[best] << " entries\n";
         return 0;
     }
 
@@ -1176,7 +1228,8 @@ cmdSampleRun(const Options &options, std::ostream &out, std::ostream &err)
         uint64_t instrs = options.getU64("instrs", 400000);
         core::AdaptiveIqModel model;
         sample::SampledIqStudy study = sample::runSampledIqStudy(
-            model, apps, instrs, params, jobs, session.hooks());
+            model, apps, instrs, params, jobs, session.hooks(),
+            onePassFlag(options));
         telemetry = study.telemetry;
         core::IqStudy full;
         if (validate)
@@ -1228,12 +1281,26 @@ cmdGenTrace(const Options &options, std::ostream &out, std::ostream &err)
         err << "capsim: gen-trace needs an application and a path\n";
         return 2;
     }
+    std::string side = options.get("study", "cache");
+    if (side != "cache" && side != "iq") {
+        err << "capsim: unknown --study " << side << '\n';
+        return 2;
+    }
     bool ok = false;
-    auto apps = selectApps(options.positional[0], true, err, ok);
+    auto apps = selectApps(options.positional[0], side == "cache", err, ok);
     if (!ok || apps.size() != 1) {
         if (ok)
             err << "capsim: gen-trace needs a single application\n";
         return 2;
+    }
+    if (side == "iq") {
+        uint64_t instrs = options.getU64("instrs", 100000);
+        ooo::InstructionStream stream(apps[0].ilp, apps[0].seed);
+        uint64_t written =
+            ooo::writeUopTraceFile(options.positional[1], stream, instrs);
+        out << "wrote " << written << " uops of " << apps[0].name
+            << " to " << options.positional[1] << '\n';
+        return 0;
     }
     uint64_t refs = options.getU64("refs", 100000);
     trace::SyntheticTraceSource source(apps[0].cache, apps[0].seed, refs);

@@ -6,6 +6,7 @@
 #include "core/adaptive_iq.h"
 #include "core/machine.h"
 #include "ooo/core_model.h"
+#include "ooo/stream.h"
 #include "timing/issue_logic.h"
 #include "util/status.h"
 

@@ -1,5 +1,6 @@
 #include "backup_queue.h"
 
+#include "ooo/stream.h"
 #include "util/status.h"
 
 namespace cap::core {

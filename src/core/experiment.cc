@@ -192,7 +192,8 @@ IqStudy::tpiMatrix() const
 IqStudy
 runIqStudy(const AdaptiveIqModel &model,
            const std::vector<trace::AppProfile> &apps,
-           uint64_t instructions, int jobs, const obs::Hooks &hooks)
+           uint64_t instructions, int jobs, const obs::Hooks &hooks,
+           bool one_pass)
 {
     capAssert(!apps.empty(), "IQ study needs applications");
     IqStudy study;
@@ -203,16 +204,33 @@ runIqStudy(const AdaptiveIqModel &model,
     std::vector<int> sizes = AdaptiveIqModel::studySizes();
     size_t configs = sizes.size();
     study.perf.assign(apps.size(), std::vector<IqPerf>(configs));
-    runStudyCells(study.telemetry, apps.size(), configs, jobs, sinks,
-                  [&](size_t a, size_t c, obs::DecisionTrace *trace,
-                      obs::CounterRegistry *registry) {
-                      study.perf[a][c] = model.evaluateObserved(
-                          apps[a], sizes[c], instructions,
-                          kIntervalInstructions, trace, registry);
-                      study.telemetry.cells[a * configs + c].app =
-                          apps[a].name;
-                      return std::to_string(sizes[c]) + " entries";
-                  });
+    if (one_pass) {
+        // One shared-stream sweep per application scores every queue
+        // size; each per-app cell emits its sizes' Interval records
+        // in ascending-size order, so the serially merged trace
+        // matches the per-config path byte for byte.
+        runStudyCells(study.telemetry, apps.size(), 1, jobs, sinks,
+                      [&](size_t a, size_t, obs::DecisionTrace *trace,
+                          obs::CounterRegistry *registry) {
+                          study.perf[a] = model.sweepOnePassObserved(
+                              apps[a], instructions,
+                              kIntervalInstructions, trace, registry);
+                          study.telemetry.cells[a].app = apps[a].name;
+                          return "onepass x" + std::to_string(configs);
+                      });
+    } else {
+        runStudyCells(study.telemetry, apps.size(), configs, jobs,
+                      sinks,
+                      [&](size_t a, size_t c, obs::DecisionTrace *trace,
+                          obs::CounterRegistry *registry) {
+                          study.perf[a][c] = model.evaluateObserved(
+                              apps[a], sizes[c], instructions,
+                              kIntervalInstructions, trace, registry);
+                          study.telemetry.cells[a * configs + c].app =
+                              apps[a].name;
+                          return std::to_string(sizes[c]) + " entries";
+                      });
+    }
     study.selection = selectConfigurations(study.tpiMatrix());
     return study;
 }

@@ -97,11 +97,18 @@ struct IqStudy
  *        results are bit-identical for every value.
  * @param hooks Observation sinks; per-cell buffers merged serially in
  *        cell order (bit-identical trace for every @p jobs).
+ * @param one_pass Score every queue size of an application from one
+ *        shared-stream sweep (AdaptiveIqModel::sweepOnePassObserved)
+ *        instead of one CoreModel run per (app, config) cell.  The
+ *        study -- perf matrices, selection, Interval trace records,
+ *        counters, occupancy histograms -- is bit-identical to the
+ *        per-config path (docs/PERF.md); telemetry then has one cell
+ *        per application (config "onepass x<N>").
  */
 IqStudy runIqStudy(const AdaptiveIqModel &model,
                    const std::vector<trace::AppProfile> &apps,
                    uint64_t instructions, int jobs = 1,
-                   const obs::Hooks &hooks = {});
+                   const obs::Hooks &hooks = {}, bool one_pass = true);
 
 } // namespace cap::core
 

@@ -5,6 +5,7 @@
 #include <limits>
 #include <memory>
 
+#include "ooo/stream.h"
 #include "sample/online_phase.h"
 #include "util/parallel.h"
 #include "util/status.h"

@@ -4,6 +4,7 @@
 #include <limits>
 #include <memory>
 
+#include "ooo/stream.h"
 #include "util/status.h"
 
 namespace cap::core {

@@ -27,6 +27,20 @@ FixedHistogram::add(double x)
 }
 
 void
+FixedHistogram::add(double x, uint64_t count)
+{
+    if (count == 0)
+        return;
+    double span = hi_ - lo_;
+    double position = (x - lo_) / span * static_cast<double>(counts_.size());
+    int64_t bin = static_cast<int64_t>(position);
+    bin = std::clamp<int64_t>(bin, 0,
+                              static_cast<int64_t>(counts_.size()) - 1);
+    counts_[static_cast<size_t>(bin)] += count;
+    total_ += count;
+}
+
+void
 FixedHistogram::merge(const FixedHistogram &other)
 {
     capAssert(lo_ == other.lo_ && hi_ == other.hi_ &&

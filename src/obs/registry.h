@@ -63,6 +63,10 @@ class FixedHistogram
 
     void add(double x);
 
+    /** Add @p count samples of the same value (one bin lookup); equal
+     *  to @p count add(x) calls. */
+    void add(double x, uint64_t count);
+
     double lo() const { return lo_; }
     double hi() const { return hi_; }
     size_t binCount() const { return counts_.size(); }

@@ -16,7 +16,7 @@ constexpr uint64_t kNoSource = UINT64_MAX;
 
 } // namespace
 
-CoreModel::CoreModel(InstructionStream &stream, const CoreParams &params)
+CoreModel::CoreModel(OpSource &stream, const CoreParams &params)
     : stream_(stream), params_(params), rng_(params.seed),
       completion_(kCompletionRing, kNotIssued)
 {
@@ -57,14 +57,21 @@ CoreModel::attachMetrics(obs::CounterRegistry &registry,
                             kOccupancyHistBins)});
 }
 
-MicroOp
-CoreModel::fetchOp()
+bool
+CoreModel::fetchOp(MicroOp &op)
 {
     if (fetch_pos_ == fetch_len_) {
+        if (exhausted_)
+            return false;
         fetch_len_ = stream_.nextBatch(fetch_buf_.data(), kFetchBatch);
         fetch_pos_ = 0;
+        if (fetch_len_ < kFetchBatch)
+            exhausted_ = true;
+        if (fetch_len_ == 0)
+            return false;
     }
-    return fetch_buf_[fetch_pos_++];
+    op = fetch_buf_[fetch_pos_++];
+    return true;
 }
 
 void
@@ -116,7 +123,9 @@ CoreModel::tick()
                       kCompletionRing - kMaxDepDistance,
                       "completion ring too small for queue residency");
         }
-        MicroOp op = fetchOp();
+        MicroOp op;
+        if (!fetchOp(op))
+            break;
         QueueEntry entry;
         entry.index = dispatched_;
         entry.latency = op.latency;
@@ -177,8 +186,15 @@ CoreModel::step(uint64_t instructions)
     RunResult result;
     uint64_t target = issued_ + instructions;
     Cycles start = cycle_;
-    while (issued_ < target)
+    while (issued_ < target) {
+        uint64_t before = issued_;
         tick();
+        if (issued_ == before && queue_.empty())
+            fatal("instruction source exhausted at %llu issued "
+                  "instructions (step target %llu)",
+                  static_cast<unsigned long long>(issued_),
+                  static_cast<unsigned long long>(target));
+    }
     result.instructions = instructions;
     result.cycles = cycle_ - start;
     return result;
@@ -203,8 +219,37 @@ CoreModel::resize(int new_entries)
     return cycle_ - start;
 }
 
+namespace {
+
+/**
+ * Shared fastProfile inner loop: fold @p count ops (first op has
+ * absolute index @p start_index) into the completion ring and the
+ * running critical-path length.
+ */
+void
+profileOps(std::vector<Cycles> &completion, Cycles &critical_path,
+           const MicroOp *ops, uint64_t count, uint64_t start_index)
+{
+    for (uint64_t i = 0; i < count; ++i) {
+        const uint64_t index = start_index + i;
+        const MicroOp &op = ops[i];
+        Cycles ready = 0;
+        if (op.src1_dist)
+            ready = completion[(index - op.src1_dist) % kMaxDepDistance];
+        if (op.src2_dist)
+            ready = std::max(
+                ready,
+                completion[(index - op.src2_dist) % kMaxDepDistance]);
+        const Cycles done = ready + op.latency;
+        completion[index % kMaxDepDistance] = done;
+        critical_path = std::max(critical_path, done);
+    }
+}
+
+} // namespace
+
 RunResult
-fastProfile(InstructionStream &stream, uint64_t instructions)
+fastProfile(OpSource &stream, uint64_t instructions)
 {
     // Completion ring indexed by instruction number.  Dependency
     // distances never exceed kMaxDepDistance, and both sources are
@@ -221,26 +266,30 @@ fastProfile(InstructionStream &stream, uint64_t instructions)
     for (uint64_t done_ops = 0; done_ops < instructions;) {
         uint64_t chunk = std::min<uint64_t>(instructions - done_ops,
                                             std::size(batch));
-        stream.nextBatch(batch, chunk);
-        for (uint64_t i = 0; i < chunk; ++i) {
-            const uint64_t index = start + done_ops + i;
-            const MicroOp &op = batch[i];
-            Cycles ready = 0;
-            if (op.src1_dist)
-                ready =
-                    completion[(index - op.src1_dist) % kMaxDepDistance];
-            if (op.src2_dist)
-                ready = std::max(
-                    ready,
-                    completion[(index - op.src2_dist) % kMaxDepDistance]);
-            const Cycles done = ready + op.latency;
-            completion[index % kMaxDepDistance] = done;
-            critical_path = std::max(critical_path, done);
-        }
-        done_ops += chunk;
+        uint64_t got = stream.nextBatch(batch, chunk);
+        profileOps(completion, critical_path, batch,
+                   got, start + done_ops);
+        done_ops += got;
+        if (got < chunk)
+            fatal("instruction source exhausted after %llu of %llu "
+                  "profiled instructions",
+                  static_cast<unsigned long long>(done_ops),
+                  static_cast<unsigned long long>(instructions));
     }
     RunResult result;
     result.instructions = instructions;
+    result.cycles = critical_path;
+    return result;
+}
+
+RunResult
+fastProfileBuffer(const MicroOp *ops, uint64_t count, uint64_t start_index)
+{
+    std::vector<Cycles> completion(kMaxDepDistance, 0);
+    Cycles critical_path = 0;
+    profileOps(completion, critical_path, ops, count, start_index);
+    RunResult result;
+    result.instructions = count;
     result.cycles = critical_path;
     return result;
 }

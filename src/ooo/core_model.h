@@ -30,7 +30,7 @@
 #include <vector>
 
 #include "obs/registry.h"
-#include "ooo/stream.h"
+#include "ooo/op_source.h"
 #include "util/rng.h"
 #include "ooo/uop.h"
 #include "util/stats.h"
@@ -93,7 +93,17 @@ struct RunResult
  * charges the final instruction's completion latency where
  * CoreModel::step() stops at its issue.
  */
-RunResult fastProfile(InstructionStream &stream, uint64_t instructions);
+RunResult fastProfile(OpSource &stream, uint64_t instructions);
+
+/**
+ * fastProfile over a pre-generated op buffer: @p count ops whose first
+ * element has absolute instruction index @p start_index.  Identical
+ * arithmetic (same completion-ring indexing), so profiling a buffered
+ * window gives bit-identical results to streaming the same window
+ * through fastProfile().
+ */
+RunResult fastProfileBuffer(const MicroOp *ops, uint64_t count,
+                            uint64_t start_index);
 
 /** The steppable core simulator. */
 class CoreModel
@@ -101,10 +111,13 @@ class CoreModel
   public:
     /**
      * @param stream Instruction source (owned by the caller; must
-     *               outlive the model).
+     *               outlive the model).  A finite source (uop trace
+     *               file) simply stops dispatching at EOF; asking
+     *               step() for more instructions than the source
+     *               holds is a fatal user error.
      * @param params Machine parameters; validated on entry.
      */
-    CoreModel(InstructionStream &stream, const CoreParams &params);
+    CoreModel(OpSource &stream, const CoreParams &params);
 
     int queueEntries() const { return params_.queue_entries; }
 
@@ -201,15 +214,16 @@ class CoreModel
     };
 
     /** Next op from the fetch buffer, refilling it in batches; the
-     *  delivered op sequence is identical to stream_.next() calls
-     *  (the stream just runs ahead by the buffered residue, which no
-     *  caller observes -- every model owns its stream). */
-    MicroOp fetchOp();
+     *  delivered op sequence is identical to per-op source reads
+     *  (the source just runs ahead by the buffered residue, which no
+     *  caller observes -- every model owns its source).  Returns
+     *  false once a finite source is exhausted. */
+    bool fetchOp(MicroOp &op);
 
     /** Fetch-buffer capacity (ops prefetched from the stream). */
     static constexpr size_t kFetchBatch = 64;
 
-    InstructionStream &stream_;
+    OpSource &stream_;
     CoreParams params_;
     Rng rng_;
     std::unique_ptr<Metrics> metrics_;
@@ -217,6 +231,7 @@ class CoreModel
     std::array<MicroOp, kFetchBatch> fetch_buf_;
     size_t fetch_pos_ = 0;
     size_t fetch_len_ = 0;
+    bool exhausted_ = false;
 
     /** Waiting (dispatched, un-issued) instructions, oldest first. */
     std::vector<QueueEntry> queue_;

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Abstract micro-op supply for the out-of-order core models.
+ *
+ * Both the synthetic generator (ooo::InstructionStream) and the uop
+ * trace-file reader (ooo::UopFileSource) implement this interface, so
+ * CoreModel, fastProfile and WindowSweeper are agnostic to where the
+ * instruction stream comes from -- mirroring how the cache side feeds
+ * either trace::AddressStream or trace::FileTraceSource records into
+ * the hierarchy.
+ *
+ * Contract:
+ *  - nextBatch() fills up to @p max ops and returns how many were
+ *    produced.  The synthetic generator always produces the full
+ *    batch; a file source returns short (eventually 0) at EOF.
+ *  - position() is the absolute index of the *next* op the source
+ *    will produce, i.e. the number of ops produced so far adjusted
+ *    for any cursor seek.  Dependency distances are expressed
+ *    relative to this index and are always <= position() (sources
+ *    clamp), so instruction 0 never names a negative producer.
+ */
+
+#ifndef CAPSIM_OOO_OP_SOURCE_H
+#define CAPSIM_OOO_OP_SOURCE_H
+
+#include <cstdint>
+
+#include "uop.h"
+
+namespace cap::ooo {
+
+class OpSource
+{
+  public:
+    virtual ~OpSource() = default;
+
+    /** Produce up to @p max ops into @p out; returns the count (0 at
+     *  end of a finite source). */
+    virtual uint64_t nextBatch(MicroOp *out, uint64_t max) = 0;
+
+    /** Absolute index of the next op nextBatch() will produce. */
+    virtual uint64_t position() const = 0;
+};
+
+} // namespace cap::ooo
+
+#endif // CAPSIM_OOO_OP_SOURCE_H

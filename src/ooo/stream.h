@@ -9,6 +9,7 @@
 
 #include <cstdint>
 
+#include "ooo/op_source.h"
 #include "ooo/uop.h"
 #include "trace/profile.h"
 #include "util/rng.h"
@@ -22,7 +23,7 @@ namespace cap::ooo {
  * repeating program behaviour.  Equal (behavior, seed) pairs generate
  * identical streams.
  */
-class InstructionStream
+class InstructionStream : public OpSource
 {
   public:
     InstructionStream(const trace::IlpBehavior &behavior, uint64_t seed);
@@ -37,10 +38,10 @@ class InstructionStream
      * state afterwards, including cursor equivalence -- but hoists
      * the per-op phase lookup out of the loop.  Returns @p max.
      */
-    uint64_t nextBatch(MicroOp *out, uint64_t max);
+    uint64_t nextBatch(MicroOp *out, uint64_t max) override;
 
     /** Index of the next instruction to be generated. */
-    uint64_t position() const { return position_; }
+    uint64_t position() const override { return position_; }
 
     /** Phase index active for the next instruction (test support). */
     int currentPhase() const;

@@ -1,0 +1,573 @@
+#include "window_sweep.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "util/status.h"
+
+namespace cap::ooo {
+
+namespace {
+
+constexpr Cycles kNotIssued = UINT64_MAX;
+
+/** Shared op-ring capacity and lockstep chunk.  A lane dispatches at
+ *  most (target + issue_width + queue_entries) ops before its issued
+ *  count reaches target, so with every lane within one chunk of the
+ *  sync point the live ring window stays well inside the ring. */
+constexpr uint64_t kRingOps = 16384;
+constexpr uint64_t kChunk = 8192;
+
+uint64_t
+nextPow2(uint64_t n)
+{
+    uint64_t p = 2;
+    while (p < n)
+        p *= 2;
+    return p;
+}
+
+} // namespace
+
+// --------------------------------------------------------------------
+// WindowLane
+// --------------------------------------------------------------------
+
+WindowLane::WindowLane(int queue_entries, int dispatch_width,
+                       int issue_width, uint64_t base_index)
+    : queue_entries_(queue_entries), dispatch_width_(dispatch_width),
+      issue_width_(issue_width), base_(base_index),
+      next_index_(base_index), reclaimed_(base_index)
+{
+    capAssert(queue_entries >= 1, "queue must have entries");
+    capAssert(dispatch_width >= 1 && issue_width >= 1,
+              "machine widths must be positive");
+
+    // The queue occupies the contiguous index range
+    // [reclaimed_, next_index_) of span <= queue_entries, so a
+    // power-of-two ring of at least that many slots keeps live
+    // entries collision-free.
+    uint64_t entry_size = nextPow2(static_cast<uint64_t>(queue_entries));
+    entry_mask_ = entry_size - 1;
+    ready_words_.resize((entry_size + 63) / 64, 0);
+    ready_at_.resize(entry_size, 0);
+    latency_.resize(entry_size, 0);
+    pending_.resize(entry_size, 0);
+    issued_flag_.resize(entry_size, 0);
+    eligible_at_.resize(entry_size, 0);
+    deps_.resize(entry_size);
+
+    // Sources reach at most kMaxDepDistance behind the youngest
+    // dispatched instruction; dispatch clears the slot it claims, and
+    // the ring is deep enough that the cleared slot's previous owner
+    // can no longer be named as a source.
+    uint64_t completion_size = nextPow2(
+        static_cast<uint64_t>(queue_entries) + kMaxDepDistance + 2);
+    completion_mask_ = completion_size - 1;
+    // Mirror CoreModel: a seeked run treats pre-history producers as
+    // complete at cycle 0; from index 0 every source is in-run.
+    completion_.resize(completion_size, base_index ? 0 : kNotIssued);
+
+    calendar_.resize(128);
+    calendar_mask_ = calendar_.size() - 1;
+
+    occ_counts_.resize(static_cast<size_t>(queue_entries) + 1, 0);
+}
+
+void
+WindowLane::addMark(uint64_t issue_target)
+{
+    capAssert(issue_target > issued_count_,
+              "issue mark must be ahead of the issued count");
+    capAssert(mark_targets_.empty() ||
+                  issue_target > mark_targets_.back(),
+              "issue marks must be strictly increasing");
+    mark_targets_.push_back(issue_target);
+}
+
+void
+WindowLane::schedule(uint64_t index, Cycles at)
+{
+    Cycles horizon = at - tick_;
+    if (horizon >= calendar_.size())
+        growCalendar(horizon);
+    uint32_t slot = static_cast<uint32_t>(index & entry_mask_);
+    calendar_[at & calendar_mask_].push_back(slot);
+    eligible_at_[slot] = at;
+    ++calendar_count_;
+}
+
+void
+WindowLane::growCalendar(Cycles horizon)
+{
+    size_t want = calendar_.size();
+    while (want <= horizon + 1)
+        want *= 2;
+    std::vector<std::vector<uint32_t>> grown(want);
+    for (auto &bucket : calendar_)
+        for (uint32_t slot : bucket)
+            grown[eligible_at_[slot] & (want - 1)].push_back(slot);
+    calendar_ = std::move(grown);
+    calendar_mask_ = want - 1;
+}
+
+void
+WindowLane::issueOne(uint64_t index)
+{
+    uint64_t slot = index & entry_mask_;
+    issued_flag_[slot] = 1;
+    Cycles complete = tick_ + latency_[slot];
+    completion_[index & completion_mask_] = complete;
+    std::vector<uint64_t> &deps = deps_[slot];
+    for (uint64_t dep : deps) {
+        uint64_t dslot = dep & entry_mask_;
+        if (ready_at_[dslot] < complete)
+            ready_at_[dslot] = complete;
+        // complete > tick_, so a dependent scheduled here is always a
+        // future calendar event, never a missed promotion.
+        if (--pending_[dslot] == 0)
+            schedule(dep, ready_at_[dslot]);
+    }
+    deps.clear();
+}
+
+void
+WindowLane::dispatchOne(const MicroOp &op)
+{
+    uint64_t index = next_index_;
+    uint64_t slot = index & entry_mask_;
+    latency_[slot] = op.latency;
+    issued_flag_[slot] = 0;
+    completion_[index & completion_mask_] = kNotIssued;
+
+    Cycles ready = 0;
+    uint8_t pending = 0;
+    if (op.src1_dist) {
+        uint64_t src = index - op.src1_dist;
+        Cycles c = completion_[src & completion_mask_];
+        if (c == kNotIssued) {
+            deps_[src & entry_mask_].push_back(index);
+            ++pending;
+        } else if (c > ready) {
+            ready = c;
+        }
+    }
+    if (op.src2_dist) {
+        uint64_t src = index - op.src2_dist;
+        Cycles c = completion_[src & completion_mask_];
+        if (c == kNotIssued) {
+            deps_[src & entry_mask_].push_back(index);
+            ++pending;
+        } else if (c > ready) {
+            ready = c;
+        }
+    }
+    ready_at_[slot] = ready;
+    pending_[slot] = pending;
+    ++next_index_;
+    // Dispatch happens after the issue phase: the earliest issue
+    // cycle is the next one even when every source is complete.
+    if (pending == 0)
+        schedule(index, ready > tick_ ? ready : tick_ + 1);
+}
+
+int
+WindowLane::issueFromWord(uint64_t word_index, uint64_t select_mask,
+                          int budget)
+{
+    int issued_now = 0;
+    uint64_t bits = ready_words_[word_index] & select_mask;
+    uint64_t start = reclaimed_ & entry_mask_;
+    while (bits && issued_now < budget) {
+        uint64_t slot =
+            (word_index << 6) +
+            static_cast<uint64_t>(std::countr_zero(bits));
+        bits &= bits - 1;
+        ready_words_[word_index] &= ~(uint64_t{1} << (slot & 63));
+        --ready_count_;
+        // Recover the absolute index: unissued entries live in
+        // [reclaimed_, reclaimed_ + ring span).
+        issueOne(reclaimed_ + ((slot - start) & entry_mask_));
+        ++issued_now;
+    }
+    return issued_now;
+}
+
+void
+WindowLane::tickOnce(const MicroOp *ring, uint64_t ring_mask,
+                     uint64_t avail_end, bool exhausted)
+{
+    ++tick_;
+
+    // Promote this cycle's calendar bucket into the ready bitmap.
+    std::vector<uint32_t> &bucket = calendar_[tick_ & calendar_mask_];
+    if (!bucket.empty()) {
+        for (uint32_t slot : bucket)
+            ready_words_[slot >> 6] |= uint64_t{1} << (slot & 63);
+        ready_count_ += bucket.size();
+        calendar_count_ -= bucket.size();
+        bucket.clear();
+    }
+
+    // Issue: oldest-first over the eligible set, like CoreModel's
+    // in-order queue scan with an issue-width budget.  Ring order
+    // from the reclaim point is index order, so scan the bitmap
+    // starting at the oldest slot and wrap.
+    int issued_now = 0;
+    if (ready_count_ > 0) {
+        uint64_t start = reclaimed_ & entry_mask_;
+        uint64_t first_word = start >> 6;
+        uint64_t words = ready_words_.size();
+        uint64_t high = ~uint64_t{0} << (start & 63);
+        issued_now += issueFromWord(first_word, high,
+                                    issue_width_ - issued_now);
+        for (uint64_t step = 1;
+             step < words && issued_now < issue_width_ && ready_count_;
+             ++step) {
+            uint64_t w = first_word + step;
+            if (w >= words)
+                w -= words;
+            issued_now += issueFromWord(w, ~uint64_t{0},
+                                        issue_width_ - issued_now);
+        }
+        if (issued_now < issue_width_ && ready_count_ && ~high)
+            issued_now +=
+                issueFromWord(first_word, ~high,
+                              issue_width_ - issued_now);
+    }
+    issued_count_ += static_cast<uint64_t>(issued_now);
+    while (next_mark_ < mark_targets_.size() &&
+           issued_count_ >= mark_targets_[next_mark_]) {
+        mark_ticks_.push_back(tick_);
+        ++next_mark_;
+    }
+
+    // Reclaim the issued prefix (RUU order).
+    while (reclaimed_ < next_index_ &&
+           issued_flag_[reclaimed_ & entry_mask_])
+        ++reclaimed_;
+
+    // Dispatch into freed slots.
+    int dispatched_now = 0;
+    uint64_t occ = next_index_ - reclaimed_;
+    while (dispatched_now < dispatch_width_ &&
+           occ < static_cast<uint64_t>(queue_entries_)) {
+        if (next_index_ == avail_end) {
+            capAssert(exhausted, "window lane op ring underrun");
+            break;
+        }
+        dispatchOne(ring[next_index_ & ring_mask]);
+        ++dispatched_now;
+        ++occ;
+    }
+    if (dispatched_now < dispatch_width_ &&
+        occ >= static_cast<uint64_t>(queue_entries_))
+        ++stall_cycles_;
+    ++occ_counts_[occ];
+}
+
+void
+WindowLane::advanceTo(uint64_t issue_target, const MicroOp *ring,
+                      uint64_t ring_mask, uint64_t avail_end,
+                      bool exhausted)
+{
+    while (issued_count_ < issue_target) {
+        uint64_t occ = next_index_ - reclaimed_;
+        if (ready_count_ == 0 &&
+            occ == static_cast<uint64_t>(queue_entries_)) {
+            // Full queue with nothing eligible: every cycle until the
+            // next wakeup is a pure dispatch-stall cycle at constant
+            // occupancy.  Account them in bulk.
+            capAssert(calendar_count_ > 0,
+                      "window lane wedged: full queue with no wakeups");
+            Cycles t = tick_ + 1;
+            uint64_t probes = 0;
+            while (calendar_[t & calendar_mask_].empty()) {
+                ++t;
+                capAssert(++probes <= calendar_mask_,
+                          "window lane calendar scan overran horizon");
+            }
+            if (t > tick_ + 1) {
+                uint64_t skip = t - tick_ - 1;
+                tick_ += skip;
+                stall_cycles_ += skip;
+                occ_counts_[static_cast<size_t>(queue_entries_)] += skip;
+            }
+        } else if (ready_count_ == 0 && occ == 0 &&
+                   calendar_count_ == 0 && next_index_ == avail_end) {
+            capAssert(exhausted, "window lane op ring underrun");
+            fatal("instruction source exhausted at %llu issued "
+                  "instructions (advance target %llu)",
+                  static_cast<unsigned long long>(issued_count_),
+                  static_cast<unsigned long long>(issue_target));
+        }
+        tickOnce(ring, ring_mask, avail_end, exhausted);
+    }
+}
+
+// --------------------------------------------------------------------
+// WindowSweeper
+// --------------------------------------------------------------------
+
+/**
+ * Feeds the fallback CoreModel: recorded history first, then the
+ * sweeper's shared ring (kept hot by the lockstep chunking), so the
+ * live machine and the counterfactual lanes keep consuming one
+ * generation of the op stream.
+ */
+class WindowSweeper::ReplaySource : public OpSource
+{
+  public:
+    ReplaySource(WindowSweeper &owner, uint64_t start)
+        : owner_(owner), pos_(start)
+    {
+    }
+
+    uint64_t nextBatch(MicroOp *out, uint64_t max) override
+    {
+        uint64_t n = 0;
+        while (n < max) {
+            uint64_t cutoff = owner_.base_ + owner_.history_cutoff_;
+            if (pos_ < cutoff) {
+                out[n++] = owner_.history_[pos_ - owner_.base_];
+                ++pos_;
+                continue;
+            }
+            if (pos_ >= owner_.produced_) {
+                owner_.ensureOps(pos_ + (max - n));
+                if (pos_ >= owner_.produced_)
+                    break;
+            }
+            out[n++] = owner_.ring_[pos_ & owner_.ring_mask_];
+            ++pos_;
+        }
+        return n;
+    }
+
+    uint64_t position() const override { return pos_; }
+
+  private:
+    WindowSweeper &owner_;
+    uint64_t pos_;
+};
+
+WindowSweeper::WindowSweeper(OpSource &source, const CoreParams &base,
+                             const std::vector<int> &sizes)
+    : source_(source), base_params_(base), ring_(kRingOps),
+      ring_mask_(kRingOps - 1)
+{
+    capAssert(base.dep_break_prob == 0.0,
+              "WindowSweeper needs dep_break_prob == 0 (value prediction "
+              "breaks the one-pass dataflow argument)");
+    capAssert(!base.free_at_issue,
+              "WindowSweeper models the RUU (free-in-order) machine");
+    capAssert(!sizes.empty(), "queue-size ladder is empty");
+    base_ = source.position();
+    produced_ = base_;
+    for (int entries : sizes)
+        laneFor(entries, true);
+    live_lane_ = laneFor(base.queue_entries, true);
+}
+
+WindowSweeper::~WindowSweeper() = default;
+
+size_t
+WindowSweeper::laneFor(int entries, bool create)
+{
+    for (size_t i = 0; i < lanes_.size(); ++i)
+        if (lanes_[i]->queueEntries() == entries)
+            return i;
+    capAssert(create, "no lane for %d queue entries", entries);
+    capAssert(last_sync_ == 0 && !started_,
+              "cannot add a lane after advancing");
+    lanes_.push_back(std::make_unique<WindowLane>(
+        entries, base_params_.dispatch_width, base_params_.issue_width,
+        base_));
+    max_entries_ = std::max(max_entries_, entries);
+    capAssert(kChunk + static_cast<uint64_t>(max_entries_) +
+                      static_cast<uint64_t>(base_params_.issue_width) + 1 <=
+                  kRingOps,
+              "queue ladder too large for the shared op ring");
+    return lanes_.size() - 1;
+}
+
+int
+WindowSweeper::laneEntries(size_t lane) const
+{
+    return lanes_.at(lane)->queueEntries();
+}
+
+uint64_t
+WindowSweeper::laneIssued(size_t lane) const
+{
+    return lanes_.at(lane)->issued();
+}
+
+Cycles
+WindowSweeper::laneCycles(size_t lane) const
+{
+    return lanes_.at(lane)->cycles();
+}
+
+void
+WindowSweeper::addLaneMark(size_t lane, uint64_t issue_target)
+{
+    lanes_.at(lane)->addMark(issue_target);
+}
+
+const std::vector<Cycles> &
+WindowSweeper::laneMarkTicks(size_t lane) const
+{
+    return lanes_.at(lane)->markTicks();
+}
+
+void
+WindowSweeper::ensureOps(uint64_t upto)
+{
+    while (produced_ < upto && !exhausted_) {
+        uint64_t slot = produced_ & ring_mask_;
+        uint64_t contiguous =
+            std::min(upto - produced_, ring_.size() - slot);
+        uint64_t got = source_.nextBatch(ring_.data() + slot, contiguous);
+        if (record_history_ && got > 0)
+            history_.insert(history_.end(), ring_.data() + slot,
+                            ring_.data() + slot + got);
+        produced_ += got;
+        if (got < contiguous)
+            exhausted_ = true;
+    }
+}
+
+void
+WindowSweeper::advanceAllTo(uint64_t target)
+{
+    while (last_sync_ < target) {
+        uint64_t next = std::min(target, last_sync_ + kChunk);
+        ensureOps(base_ + next + static_cast<uint64_t>(max_entries_) +
+                  static_cast<uint64_t>(base_params_.issue_width) + 1);
+        for (auto &lane : lanes_)
+            lane->advanceTo(next, ring_.data(), ring_mask_, produced_,
+                            exhausted_);
+        last_sync_ = next;
+    }
+}
+
+void
+WindowSweeper::foldLaneMetrics(size_t lane, obs::CounterRegistry &registry,
+                               const std::string &prefix) const
+{
+    const WindowLane &l = *lanes_.at(lane);
+    registry.counter(prefix + "cycles").add(l.cycles());
+    registry.counter(prefix + "issued_instructions").add(l.issued());
+    registry.counter(prefix + "dispatched_instructions")
+        .add(l.dispatched());
+    registry.counter(prefix + "dispatch_stall_cycles")
+        .add(l.stallCycles());
+    obs::FixedHistogram &hist = registry.histogram(
+        prefix + "occupancy", 0.0, CoreModel::kOccupancyHistMax,
+        CoreModel::kOccupancyHistBins);
+    const std::vector<uint64_t> &occ = l.occupancyCounts();
+    for (size_t value = 0; value < occ.size(); ++value)
+        if (occ[value])
+            hist.add(static_cast<double>(value), occ[value]);
+}
+
+int
+WindowSweeper::queueEntries() const
+{
+    return fallback_ ? model_->queueEntries()
+                     : lanes_[live_lane_]->queueEntries();
+}
+
+uint64_t
+WindowSweeper::issuedInstructions() const
+{
+    return fallback_ ? model_->issuedInstructions()
+                     : lanes_[live_lane_]->issued();
+}
+
+Cycles
+WindowSweeper::cycleCount() const
+{
+    return fallback_ ? model_->cycleCount() : lanes_[live_lane_]->cycles();
+}
+
+void
+WindowSweeper::engageFallback()
+{
+    capAssert(!fallback_, "fallback already engaged");
+    history_cutoff_ = history_.size();
+    record_history_ = false;
+    replay_source_ = std::make_unique<ReplaySource>(*this, base_);
+    CoreParams params = base_params_;
+    params.queue_entries = lanes_[live_lane_]->queueEntries();
+    model_ = std::make_unique<CoreModel>(*replay_source_, params);
+    if (base_ > 0)
+        model_->seekTo(base_);
+    if (live_issued_target_ > 0) {
+        // The tick sequence is deterministic and step partitioning
+        // only splits it, so one replay step to the cumulative target
+        // reproduces the live machine exactly; the lane provides the
+        // self-check.
+        model_->step(live_issued_target_);
+        capAssert(model_->cycleCount() == lanes_[live_lane_]->cycles() &&
+                      model_->issuedInstructions() ==
+                          lanes_[live_lane_]->issued(),
+                  "fallback replay diverged from the one-pass lane");
+    }
+    fallback_replayed_ = model_->issuedInstructions();
+    fallback_ = true;
+}
+
+RunResult
+WindowSweeper::step(uint64_t instructions)
+{
+    started_ = true;
+    Cycles before = cycleCount();
+    uint64_t target = issuedInstructions() + instructions;
+    if (fallback_) {
+        // Lockstep chunks keep the fallback model and the lanes in
+        // the same op-ring window.
+        while (model_->issuedInstructions() < target) {
+            uint64_t next = std::min<uint64_t>(
+                target, model_->issuedInstructions() + kChunk);
+            model_->step(next - model_->issuedInstructions());
+            advanceAllTo(model_->issuedInstructions());
+        }
+    } else {
+        advanceAllTo(target);
+    }
+    live_issued_target_ = target;
+    RunResult result;
+    result.instructions = instructions;
+    result.cycles = cycleCount() - before;
+    return result;
+}
+
+Cycles
+WindowSweeper::resize(int new_entries)
+{
+    capAssert(new_entries >= 1, "queue must keep at least one entry");
+    if (!started_ && !fallback_) {
+        // Nothing has run: reconfiguration just selects another lane.
+        live_lane_ = laneFor(new_entries, true);
+        base_params_.queue_entries = new_entries;
+        return 0;
+    }
+    if (!fallback_)
+        engageFallback();
+    Cycles drained = model_->resize(new_entries);
+    advanceAllTo(model_->issuedInstructions());
+    live_issued_target_ = model_->issuedInstructions();
+    return drained;
+}
+
+void
+WindowSweeper::stall(Cycles cycles)
+{
+    if (!fallback_)
+        engageFallback();
+    model_->stall(cycles);
+}
+
+} // namespace cap::ooo

@@ -1,0 +1,282 @@
+/**
+ * @file
+ * One-pass counterfactual instruction-queue sweep (the IQ-side
+ * counterpart of cache::BoundarySweeper).
+ *
+ * The paper's IQ study (Section 5.3, Figures 9-11) evaluates every
+ * queue size with an independent CoreModel run over the same op
+ * stream.  CoreModel's cost is a per-cycle scan of the whole window,
+ * but with the study's machine (RUU reclaim, no value prediction) the
+ * tick sequence is a pure dataflow consequence of the op stream:
+ *
+ *   - An instruction becomes *eligible* at max(ready, dispatch+1)
+ *     where ready = max over sources of (source issue cycle + source
+ *     latency); a source issued in cycle t completes at t+latency > t,
+ *     so wakeup/select atomicity never lets a dependent issue in its
+ *     producer's cycle.
+ *   - Selection is oldest-first, and dispatch happens after the issue
+ *     phase of a cycle, so the issue cycle of instruction i is
+ *     independent of every instruction with a larger index.
+ *
+ * WindowSweeper exploits this: it generates the op stream once into a
+ * shared ring and runs one event-driven WindowLane per queue size.  A
+ * lane does O(log W) work per instruction (a ready heap plus a
+ * completion-calendar ring) instead of O(window) work per cycle, and
+ * bulk-accounts full-queue stall regions, yet reproduces CoreModel's
+ * cycle count, per-interval boundaries, counters and occupancy
+ * histogram bit-identically -- the differential suite
+ * (tests/windowsweep_test.cc) pins every lane against an independent
+ * CoreModel run.
+ *
+ * Exactness breaks when the *live* machine is perturbed mid-run
+ * (queue resize drains, clock-switch stalls): like BoundarySweeper,
+ * the sweeper then replays its recorded op history through a real
+ * CoreModel and continues on it, while the counterfactual lanes stay
+ * exact for their fixed sizes.
+ */
+
+#ifndef CAPSIM_OOO_WINDOW_SWEEP_H
+#define CAPSIM_OOO_WINDOW_SWEEP_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/registry.h"
+#include "ooo/core_model.h"
+#include "ooo/op_source.h"
+#include "util/units.h"
+
+namespace cap::ooo {
+
+/**
+ * Event-driven simulation of one queue size.  Timing-equivalent to a
+ * CoreModel with the same parameters (RUU mode, no value prediction);
+ * owned and fed by WindowSweeper.
+ */
+class WindowLane
+{
+  public:
+    /**
+     * @param queue_entries  Queue capacity of this lane.
+     * @param dispatch_width Dispatch width.
+     * @param issue_width    Issue width.
+     * @param base_index     Absolute index of the first op (cursor
+     *                       seek); earlier instructions are treated as
+     *                       complete at cycle 0, matching
+     *                       CoreModel::seekTo().
+     */
+    WindowLane(int queue_entries, int dispatch_width, int issue_width,
+               uint64_t base_index);
+
+    /**
+     * Record the cycle at which the issued-instruction count first
+     * reaches @p issue_target (the cycle CoreModel::step() would stop
+     * at).  Targets must be added in increasing order, ahead of the
+     * current issued count; the crossing is captured during a later
+     * advanceTo() that runs at least that far.
+     */
+    void addMark(uint64_t issue_target);
+
+    /** Crossing cycles of the marks recorded so far. */
+    const std::vector<Cycles> &markTicks() const { return mark_ticks_; }
+
+    /**
+     * Run until the issued count reaches @p issue_target, reading ops
+     * from @p ring (capacity mask @p ring_mask); ops are valid below
+     * absolute index @p avail_end.  @p exhausted signals that the
+     * underlying source has ended at avail_end.
+     */
+    void advanceTo(uint64_t issue_target, const MicroOp *ring,
+                   uint64_t ring_mask, uint64_t avail_end, bool exhausted);
+
+    int queueEntries() const { return queue_entries_; }
+    uint64_t issued() const { return issued_count_; }
+    Cycles cycles() const { return tick_; }
+    uint64_t dispatched() const { return next_index_ - base_; }
+    uint64_t stallCycles() const { return stall_cycles_; }
+    /** Absolute index of the next op this lane will dispatch. */
+    uint64_t nextIndex() const { return next_index_; }
+
+    /** Cycle-count histogram of post-dispatch occupancy, indexed by
+     *  occupancy value (0..queue_entries). */
+    const std::vector<uint64_t> &occupancyCounts() const
+    {
+        return occ_counts_;
+    }
+
+  private:
+    void tickOnce(const MicroOp *ring, uint64_t ring_mask,
+                  uint64_t avail_end, bool exhausted);
+    void issueOne(uint64_t index);
+    /** Issue up to the width budget from @p word_index under
+     *  @p select_mask; returns the instructions issued. */
+    int issueFromWord(uint64_t word_index, uint64_t select_mask,
+                      int budget);
+    void dispatchOne(const MicroOp &op);
+    void schedule(uint64_t index, Cycles at);
+    void growCalendar(Cycles horizon);
+
+    int queue_entries_;
+    int dispatch_width_;
+    int issue_width_;
+    uint64_t base_;
+
+    /** Queue is the contiguous index range [reclaimed_, next_index_);
+     *  occupancy is the difference (RUU reclaim order). */
+    uint64_t next_index_;
+    uint64_t reclaimed_;
+    uint64_t issued_count_ = 0;
+    Cycles tick_ = 0;
+    uint64_t stall_cycles_ = 0;
+
+    /** Per-entry state rings indexed by instruction number. */
+    uint64_t entry_mask_;
+    std::vector<Cycles> ready_at_;
+    std::vector<uint32_t> latency_;
+    std::vector<uint8_t> pending_;
+    std::vector<uint8_t> issued_flag_;
+    std::vector<Cycles> eligible_at_;
+    std::vector<std::vector<uint64_t>> deps_;
+
+    /** Completion-cycle ring (kNotIssued sentinel while in flight). */
+    uint64_t completion_mask_;
+    std::vector<Cycles> completion_;
+
+    /** Eligible-entry bitmap over the entry ring; issue selects
+     *  oldest-first by scanning ring slots from the reclaim point. */
+    std::vector<uint64_t> ready_words_;
+    uint64_t ready_count_ = 0;
+
+    /** Calendar ring: bucket t holds entry-ring slots becoming
+     *  eligible at cycle t; grown when a latency outruns the
+     *  horizon. */
+    std::vector<std::vector<uint32_t>> calendar_;
+    uint64_t calendar_mask_;
+    uint64_t calendar_count_ = 0;
+
+    std::vector<uint64_t> occ_counts_;
+
+    std::vector<uint64_t> mark_targets_;
+    std::vector<Cycles> mark_ticks_;
+    size_t next_mark_ = 0;
+};
+
+/**
+ * Shared-stream counterfactual sweep over a ladder of queue sizes,
+ * with a CoreModel-compatible live facade.
+ *
+ * Batch use (runIqStudy, IqSampler): construct over a positioned op
+ * source, add per-lane marks, advanceAllTo() a common target, read
+ * each lane's cycle counts / metrics.  Live use: step() / resize() /
+ * stall() mirror CoreModel; the first mid-run perturbation replays
+ * the recorded op history through a real CoreModel (self-check:
+ * replayed cycle count must equal the lane's) and continues on it.
+ */
+class WindowSweeper
+{
+  public:
+    /**
+     * @param source Op supply; its current position becomes the base
+     *               index (instructions before it are treated as
+     *               complete, as with CoreModel::seekTo()).
+     * @param base   Machine parameters; free_at_issue and
+     *               dep_break_prob must be off (the sweep's dataflow
+     *               argument needs the RUU machine).  queue_entries
+     *               selects the live lane.
+     * @param sizes  Queue-size ladder (one lane each); base's size is
+     *               appended when missing.
+     */
+    WindowSweeper(OpSource &source, const CoreParams &base,
+                  const std::vector<int> &sizes);
+    ~WindowSweeper();
+
+    size_t laneCount() const { return lanes_.size(); }
+    int laneEntries(size_t lane) const;
+    uint64_t laneIssued(size_t lane) const;
+    Cycles laneCycles(size_t lane) const;
+    void addLaneMark(size_t lane, uint64_t issue_target);
+    const std::vector<Cycles> &laneMarkTicks(size_t lane) const;
+
+    /** Advance every lane until its issued count reaches @p target
+     *  (absolute, counted from the base index). */
+    void advanceAllTo(uint64_t target);
+
+    /**
+     * Fold one lane's counters into @p registry under @p prefix with
+     * the exact names and occupancy-histogram shape of
+     * CoreModel::attachMetrics(), so a one-pass cell merges
+     * bit-identically with per-config cells.
+     */
+    void foldLaneMetrics(size_t lane, obs::CounterRegistry &registry,
+                         const std::string &prefix = "core.") const;
+
+    // --- CoreModel-compatible live facade -------------------------
+
+    /** Queue size of the live machine. */
+    int queueEntries() const;
+    uint64_t issuedInstructions() const;
+    Cycles cycleCount() const;
+
+    /** Run until @p instructions more instructions issue on the live
+     *  machine (counterfactual lanes keep pace). */
+    RunResult step(uint64_t instructions);
+
+    /**
+     * Resize the live queue.  Before the first step this just selects
+     * another lane; mid-run it engages the CoreModel fallback (the
+     * drain interleaves with dispatch in a way the per-size lanes do
+     * not model).
+     * @return Cycles spent draining (zero when growing).
+     */
+    Cycles resize(int new_entries);
+
+    /** Add idle cycles to the live machine; engages the fallback
+     *  (lane timing has no idle-offset notion). */
+    void stall(Cycles cycles);
+
+    /** True while every result is lane-derived (no fallback). */
+    bool onePassActive() const { return !fallback_; }
+
+    /** Instructions replayed through the fallback CoreModel. */
+    uint64_t fallbackReplayedInstrs() const { return fallback_replayed_; }
+
+  private:
+    class ReplaySource;
+
+    /** Generate ops into the shared ring up to absolute index
+     *  @p upto (or the end of a finite source). */
+    void ensureOps(uint64_t upto);
+    void engageFallback();
+    size_t laneFor(int entries, bool create);
+
+    OpSource &source_;
+    CoreParams base_params_;
+    std::vector<std::unique_ptr<WindowLane>> lanes_;
+    size_t live_lane_ = 0;
+    int max_entries_ = 0;
+
+    uint64_t base_ = 0;
+    std::vector<MicroOp> ring_;
+    uint64_t ring_mask_;
+    uint64_t produced_ = 0;
+    bool exhausted_ = false;
+    uint64_t last_sync_ = 0;
+
+    /** Ops generated since base, for the fallback replay. */
+    std::vector<MicroOp> history_;
+    bool record_history_ = true;
+    uint64_t history_cutoff_ = 0;
+
+    bool started_ = false;
+    uint64_t live_issued_target_ = 0;
+    bool fallback_ = false;
+    uint64_t fallback_replayed_ = 0;
+    std::unique_ptr<ReplaySource> replay_source_;
+    std::unique_ptr<CoreModel> model_;
+};
+
+} // namespace cap::ooo
+
+#endif // CAPSIM_OOO_WINDOW_SWEEP_H

@@ -6,6 +6,9 @@
 #include "cache/stack_sim.h"
 #include "core/machine.h"
 #include "ooo/core_model.h"
+#include "ooo/stream.h"
+#include "ooo/uop_file.h"
+#include "ooo/window_sweep.h"
 #include "trace/record.h"
 #include "trace/stream.h"
 #include "util/status.h"
@@ -464,40 +467,126 @@ IqSampler::IqSampler(const core::AdaptiveIqModel &model,
 {
 }
 
+IqSampler::IqSampler(const core::AdaptiveIqModel &model,
+                     const trace::AppProfile &app,
+                     const std::string &trace_path,
+                     const SampleParams &params)
+    : model_(&model), app_(app), params_(params),
+      profile_(profileIlpIntervalsFromFile(trace_path,
+                                           params.interval_len)),
+      plan_(planFromSignatures(profile_.signatures, profile_.total_instrs,
+                               params.interval_len, params))
+{
+}
+
+namespace {
+
+/**
+ * Truncates an op source at an absolute position, so the synthetic
+ * generator models the same *finite* program a recorded uop trace
+ * does: near the end of the run the queue drains instead of filling
+ * with instructions the program never retires, which is what keeps
+ * file-backed and synthetic measurements bit-identical on a recorded
+ * round-trip (tests/windowsweep_test.cc).
+ */
+class CappedOpSource : public ooo::OpSource
+{
+  public:
+    CappedOpSource(ooo::OpSource &inner, uint64_t limit)
+        : inner_(inner), limit_(limit)
+    {
+    }
+
+    uint64_t nextBatch(ooo::MicroOp *out, uint64_t max) override
+    {
+        uint64_t pos = inner_.position();
+        if (pos >= limit_)
+            return 0;
+        return inner_.nextBatch(out, std::min(max, limit_ - pos));
+    }
+
+    uint64_t position() const override { return inner_.position(); }
+
+  private:
+    ooo::OpSource &inner_;
+    uint64_t limit_;
+};
+
+/** Warmup geometry of one representative: the interval the replay
+ *  cursor seats at and the instructions replayed before the
+ *  measurement. */
+struct RepWindow
+{
+    size_t start;
+    size_t warm_start;
+    uint64_t warm_instrs;
+};
+
+RepWindow
+repWindow(const SamplePlan &plan, const SampleParams &params,
+          size_t rep_index)
+{
+    capAssert(rep_index < plan.reps.size(), "rep index out of range");
+    size_t start = plan.reps[rep_index].interval;
+    uint64_t warm = warmupIntervals(params);
+    size_t warm_start = start >= warm ? start - warm : 0;
+    uint64_t warm_instrs =
+        static_cast<uint64_t>(start - warm_start) * plan.interval_len;
+    return {start, warm_start, warm_instrs};
+}
+
+} // namespace
+
 IqRepMeasurement
 IqSampler::measureRep(int entries, size_t rep_index) const
 {
-    capAssert(rep_index < plan_.reps.size(), "rep index out of range");
-    const Representative &rep = plan_.reps[rep_index];
-    size_t start = rep.interval;
-    uint64_t warm = warmupIntervals(params_);
-    size_t warm_start = start >= warm ? start - warm : 0;
-    uint64_t warm_instrs = static_cast<uint64_t>(start - warm_start) *
-                           plan_.interval_len;
-
+    RepWindow w = repWindow(plan_, params_, rep_index);
+    if (!profile_.trace_path.empty()) {
+        ooo::UopFileSource source(profile_.trace_path);
+        source.restoreCursor(profile_.file_cursors[w.warm_start]);
+        return measureRepFrom(source, entries, w.start, w.warm_instrs);
+    }
     ooo::InstructionStream stream(app_.ilp, app_.seed);
-    const ooo::InstructionStream::Cursor &cursor =
-        profile_.cursors[warm_start];
-    stream.restoreCursor(cursor);
+    stream.restoreCursor(profile_.cursors[w.warm_start]);
+    CappedOpSource source(stream, profile_.total_instrs);
+    return measureRepFrom(source, entries, w.start, w.warm_instrs);
+}
 
+IqRepMeasurement
+IqSampler::measureRepFrom(ooo::OpSource &source, int entries, size_t start,
+                          uint64_t warm_instrs) const
+{
+    const uint64_t start_position = source.position();
     ooo::CoreParams cp;
     cp.queue_entries = entries;
     cp.dispatch_width = core::IqMachine::kDispatchWidth;
     cp.issue_width = core::IqMachine::kIssueWidth;
-    ooo::CoreModel model(stream, cp);
-    model.seekTo(cursor.position);
+    ooo::CoreModel model(source, cp);
+    model.seekTo(start_position);
 
     if (warm_instrs > 0)
         model.step(warm_instrs);
 
     // Measure against the absolute issue target: step() overshoots by
     // up to the issue width, so the warmup may already cover part of
-    // the representative (the evaluateObserved chunking idiom).
+    // the representative (the evaluateObserved chunking idiom).  A
+    // short tail representative can even be covered entirely; the
+    // window is then re-anchored at the overshoot point so the
+    // measurement still observes `measure` instructions of real
+    // execution instead of collapsing to zero cycles (and a zero CPI
+    // that would poison the reconstruction).  The re-anchored window
+    // is clamped to the end of the program -- a tail representative
+    // overshot at the very end of the run has nothing left to
+    // observe, so its residual cycles (possibly zero) are the honest
+    // measurement.
     uint64_t measure = profile_.lengthOf(start);
+    uint64_t avail = profile_.total_instrs - start_position;
     uint64_t target = warm_instrs + measure;
     uint64_t issued = model.issuedInstructions();
+    if (issued >= target)
+        target = std::min(issued + measure, avail);
     Cycles before = model.cycleCount();
-    if (issued < target)
+    if (target > issued)
         model.step(target - issued);
 
     IqRepMeasurement m;
@@ -505,6 +594,93 @@ IqSampler::measureRep(int entries, size_t rep_index) const
     m.cycles = model.cycleCount() - before;
     m.warmup_instrs = warm_instrs;
     return m;
+}
+
+std::vector<IqRepMeasurement>
+IqSampler::measureRepAllConfigs(size_t rep_index) const
+{
+    RepWindow w = repWindow(plan_, params_, rep_index);
+    if (!profile_.trace_path.empty()) {
+        ooo::UopFileSource source(profile_.trace_path);
+        source.restoreCursor(profile_.file_cursors[w.warm_start]);
+        return measureRepChainFrom(source, w.start, w.warm_instrs);
+    }
+    ooo::InstructionStream stream(app_.ilp, app_.seed);
+    stream.restoreCursor(profile_.cursors[w.warm_start]);
+    CappedOpSource source(stream, profile_.total_instrs);
+    return measureRepChainFrom(source, w.start, w.warm_instrs);
+}
+
+std::vector<IqRepMeasurement>
+IqSampler::measureRepChainFrom(ooo::OpSource &source, size_t start,
+                               uint64_t warm_instrs) const
+{
+    const uint64_t start_position = source.position();
+    std::vector<int> sizes = core::AdaptiveIqModel::studySizes();
+    ooo::CoreParams cp;
+    cp.queue_entries = sizes.front();
+    cp.dispatch_width = core::IqMachine::kDispatchWidth;
+    cp.issue_width = core::IqMachine::kIssueWidth;
+    ooo::WindowSweeper sweeper(source, cp, sizes);
+
+    // Shared warmup: every lane stops at its own overshoot point,
+    // exactly where a dedicated CoreModel's step(warm_instrs) would.
+    if (warm_instrs > 0)
+        sweeper.advanceAllTo(warm_instrs);
+
+    // Per-lane measurement marks, re-anchored per lane exactly as
+    // measureRepFrom() re-anchors its window -- overshoot depends on
+    // the queue size, so each lane's window can start elsewhere.  A
+    // lane whose clamped window is already covered (tail rep overshot
+    // at end of program) gets no mark and credits zero cycles, again
+    // matching measureRepFrom().
+    uint64_t measure = profile_.lengthOf(start);
+    uint64_t avail = profile_.total_instrs - start_position;
+    uint64_t max_target = 0;
+    std::vector<Cycles> warm_cycles(sweeper.laneCount());
+    std::vector<bool> marked(sweeper.laneCount(), false);
+    for (size_t lane = 0; lane < sweeper.laneCount(); ++lane) {
+        warm_cycles[lane] = sweeper.laneCycles(lane);
+        uint64_t target = warm_instrs + measure;
+        uint64_t issued = sweeper.laneIssued(lane);
+        if (issued >= target)
+            target = std::min(issued + measure, avail);
+        if (target > issued) {
+            sweeper.addLaneMark(lane, target);
+            marked[lane] = true;
+            max_target = std::max(max_target, target);
+        }
+    }
+    if (max_target > 0)
+        sweeper.advanceAllTo(max_target);
+
+    std::vector<IqRepMeasurement> meas(sweeper.laneCount());
+    for (size_t lane = 0; lane < sweeper.laneCount(); ++lane) {
+        meas[lane].instructions = measure;
+        meas[lane].warmup_instrs = warm_instrs;
+        if (!marked[lane]) {
+            meas[lane].cycles = 0;
+            continue;
+        }
+        const std::vector<Cycles> &ticks = sweeper.laneMarkTicks(lane);
+        capAssert(ticks.size() == 1, "lane missed its measurement mark");
+        meas[lane].cycles = ticks[0] - warm_cycles[lane];
+    }
+    return meas;
+}
+
+std::vector<std::vector<IqRepMeasurement>>
+IqSampler::measureAllConfigs() const
+{
+    size_t n_cfg = core::AdaptiveIqModel::studySizes().size();
+    std::vector<std::vector<IqRepMeasurement>> meas(
+        n_cfg, std::vector<IqRepMeasurement>(plan_.reps.size()));
+    for (size_t r = 0; r < plan_.reps.size(); ++r) {
+        std::vector<IqRepMeasurement> per_cfg = measureRepAllConfigs(r);
+        for (size_t c = 0; c < n_cfg; ++c)
+            meas[c][r] = per_cfg[c];
+    }
+    return meas;
 }
 
 SampledIqPerf

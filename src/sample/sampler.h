@@ -263,12 +263,43 @@ class IqSampler
               const trace::AppProfile &app, uint64_t instructions,
               const SampleParams &params);
 
+    /**
+     * File-backed variant: profiles and clusters the uop trace at
+     * @p trace_path (`capsim gen-trace --study iq` /
+     * ooo::writeUopTraceFile output) instead of the synthetic
+     * generator; the replayer then fast-forwards via file offsets
+     * (trace::FileTraceSource::Cursor).  @p app still supplies the
+     * name and seed context; its synthetic ILP behaviour is unused.
+     */
+    IqSampler(const core::AdaptiveIqModel &model,
+              const trace::AppProfile &app,
+              const std::string &trace_path, const SampleParams &params);
+
     const SamplePlan &plan() const { return plan_; }
     const IlpIntervalProfile &profile() const { return profile_; }
     size_t repCount() const { return plan_.reps.size(); }
 
-    /** Replay representative @p rep with a fixed queue size. */
+    /**
+     * Replay representative @p rep with a fixed queue size.  The
+     * measurement window is anchored at the warmup's actual issue
+     * overshoot when that already covers the representative (a short
+     * tail interval), so the interval always observes its nominal
+     * instruction count of real execution.
+     */
     IqRepMeasurement measureRep(int entries, size_t rep) const;
+
+    /**
+     * One-pass counterpart of measureRep() for the whole queue-size
+     * ladder: a single replay of representative @p rep feeds one
+     * ooo::WindowSweeper lane per study size, so one warmup+measure
+     * chain scores every configuration.  Returns the measurements in
+     * ladder order, each bit-identical to measureRep(size, rep).
+     */
+    std::vector<IqRepMeasurement> measureRepAllConfigs(size_t rep) const;
+
+    /** measureRepAllConfigs() over every representative, as
+     *  [config][rep slot] (ladder order x plan order). */
+    std::vector<std::vector<IqRepMeasurement>> measureAllConfigs() const;
 
     SampledIqPerf reconstruct(int entries,
                               const std::vector<IqRepMeasurement> &meas)
@@ -277,6 +308,13 @@ class IqSampler
     SampledIqPerf evaluate(int entries) const;
 
   private:
+    IqRepMeasurement measureRepFrom(ooo::OpSource &source, int entries,
+                                    size_t start,
+                                    uint64_t warm_instrs) const;
+    std::vector<IqRepMeasurement>
+    measureRepChainFrom(ooo::OpSource &source, size_t start,
+                        uint64_t warm_instrs) const;
+
     const core::AdaptiveIqModel *model_;
     trace::AppProfile app_;
     SampleParams params_;

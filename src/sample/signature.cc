@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "ooo/core_model.h"
+#include "ooo/uop_file.h"
 #include "trace/record.h"
 #include "util/status.h"
 
@@ -277,6 +278,86 @@ profileCacheIntervalsFromFile(const std::string &path,
     return profile;
 }
 
+namespace {
+
+/**
+ * The shared interval loop behind both ILP profilers.  Each interval
+ * is generated *once* into a buffer feeding both feature passes: the
+ * dependency/latency moments (accumulated in generation order, so the
+ * floating-point sums match the historical chunked extraction bit for
+ * bit) and ooo::fastProfileBuffer() anchored at the interval's
+ * absolute start index (the anchor fastProfile() derives from the
+ * source position, so the dataflow-limit feature is unchanged too).
+ * @p instructions caps the read (UINT64_MAX = read @p source to
+ * exhaustion); @p exact asserts the source delivers every requested
+ * instruction; @p pushCursor / @p popCursor mirror the cache-side
+ * template above.
+ */
+template <typename Source, typename PushCursor, typename PopCursor>
+void
+profileIlpSource(IlpIntervalProfile &profile, Source &source,
+                 uint64_t instructions, uint64_t interval_instrs,
+                 bool exact, PushCursor pushCursor, PopCursor popCursor)
+{
+    std::vector<ooo::MicroOp> ops(std::min(interval_instrs, instructions));
+    uint64_t produced = 0;
+    while (produced < instructions) {
+        uint64_t want = std::min(interval_instrs, instructions - produced);
+        uint64_t start = source.position();
+        pushCursor();
+
+        uint64_t got = 0;
+        while (got < want) {
+            uint64_t n = source.nextBatch(ops.data() + got, want - got);
+            if (n == 0)
+                break;
+            got += n;
+        }
+        if (exact)
+            capAssert(got == want, "instruction source exhausted early");
+        if (got == 0) {
+            // The file ended exactly on an interval boundary: the
+            // snapshot belongs to no interval.
+            popCursor();
+            break;
+        }
+
+        double sum_d1 = 0.0;
+        double sum_d2 = 0.0;
+        double sum_lat = 0.0;
+        uint64_t with_src2 = 0;
+        uint64_t long_lat = 0;
+        for (uint64_t i = 0; i < got; ++i) {
+            const ooo::MicroOp &op = ops[i];
+            sum_d1 += static_cast<double>(op.src1_dist);
+            sum_d2 += static_cast<double>(op.src2_dist);
+            with_src2 += op.src2_dist ? 1 : 0;
+            sum_lat += static_cast<double>(op.latency);
+            long_lat += op.latency > 1 ? 1 : 0;
+        }
+
+        ooo::RunResult limit =
+            ooo::fastProfileBuffer(ops.data(), got, start);
+
+        IntervalSignature sig;
+        sig.index = static_cast<uint64_t>(profile.signatures.size());
+        double n = static_cast<double>(got);
+        sig.features.push_back(sum_d1 / n);
+        sig.features.push_back(sum_d2 / n);
+        sig.features.push_back(static_cast<double>(with_src2) / n);
+        sig.features.push_back(sum_lat / n);
+        sig.features.push_back(static_cast<double>(long_lat) / n);
+        sig.features.push_back(limit.ipc());
+        profile.signatures.push_back(std::move(sig));
+        produced += got;
+        if (got < want)
+            break; // short tail: the source is exhausted
+    }
+    profile.total_instrs = produced;
+}
+
+} // namespace
+
 IlpIntervalProfile
 profileIlpIntervals(const trace::IlpBehavior &behavior, uint64_t seed,
                     uint64_t instructions, uint64_t interval_instrs)
@@ -286,54 +367,32 @@ profileIlpIntervals(const trace::IlpBehavior &behavior, uint64_t seed,
 
     IlpIntervalProfile profile;
     profile.interval_instrs = interval_instrs;
-    profile.total_instrs = instructions;
 
     ooo::InstructionStream stream(behavior, seed);
-    uint64_t produced = 0;
-    while (produced < instructions) {
-        uint64_t want = std::min(interval_instrs, instructions - produced);
-        ooo::InstructionStream::Cursor cursor = stream.saveCursor();
-        profile.cursors.push_back(cursor);
+    profileIlpSource(
+        profile, stream, instructions, interval_instrs, /*exact=*/true,
+        [&] { profile.cursors.push_back(stream.saveCursor()); },
+        [&] { profile.cursors.pop_back(); });
+    return profile;
+}
 
-        // Pass 1: dependency/latency moments (batched generation).
-        double sum_d1 = 0.0;
-        double sum_d2 = 0.0;
-        double sum_lat = 0.0;
-        uint64_t with_src2 = 0;
-        uint64_t long_lat = 0;
-        ooo::MicroOp ops[256];
-        for (uint64_t done = 0; done < want;) {
-            uint64_t chunk =
-                std::min<uint64_t>(want - done, std::size(ops));
-            stream.nextBatch(ops, chunk);
-            for (uint64_t i = 0; i < chunk; ++i) {
-                const ooo::MicroOp &op = ops[i];
-                sum_d1 += static_cast<double>(op.src1_dist);
-                sum_d2 += static_cast<double>(op.src2_dist);
-                with_src2 += op.src2_dist ? 1 : 0;
-                sum_lat += static_cast<double>(op.latency);
-                long_lat += op.latency > 1 ? 1 : 0;
-            }
-            done += chunk;
-        }
+IlpIntervalProfile
+profileIlpIntervalsFromFile(const std::string &path,
+                            uint64_t interval_instrs)
+{
+    capAssert(interval_instrs > 0, "interval length must be positive");
 
-        // Pass 2: rewind and take the dataflow-limit IPC (the core
-        // model's fast-profile mode).
-        stream.restoreCursor(cursor);
-        ooo::RunResult limit = ooo::fastProfile(stream, want);
+    IlpIntervalProfile profile;
+    profile.interval_instrs = interval_instrs;
+    profile.trace_path = path;
 
-        IntervalSignature sig;
-        sig.index = static_cast<uint64_t>(profile.signatures.size());
-        double n = static_cast<double>(want);
-        sig.features.push_back(sum_d1 / n);
-        sig.features.push_back(sum_d2 / n);
-        sig.features.push_back(static_cast<double>(with_src2) / n);
-        sig.features.push_back(sum_lat / n);
-        sig.features.push_back(static_cast<double>(long_lat) / n);
-        sig.features.push_back(limit.ipc());
-        profile.signatures.push_back(std::move(sig));
-        produced += want;
-    }
+    ooo::UopFileSource source(path);
+    profileIlpSource(
+        profile, source, UINT64_MAX, interval_instrs, /*exact=*/false,
+        [&] { profile.file_cursors.push_back(source.saveCursor()); },
+        [&] { profile.file_cursors.pop_back(); });
+    capAssert(profile.total_instrs > 0, "uop trace file %s has no records",
+              path.c_str());
     return profile;
 }
 

@@ -129,8 +129,14 @@ struct IlpIntervalProfile
     /** Run length profiled, instructions. */
     uint64_t total_instrs = 0;
     std::vector<IntervalSignature> signatures;
-    /** Generator cursor at the *start* of each interval. */
+    /** Generator cursor at the *start* of each interval (synthetic
+     *  profiles; empty for file-backed ones). */
     std::vector<ooo::InstructionStream::Cursor> cursors;
+    /** File cursor at the *start* of each interval (file-backed
+     *  profiles; empty for synthetic ones). */
+    std::vector<trace::FileTraceSource::Cursor> file_cursors;
+    /** Path of the backing uop trace file; empty for synthetic. */
+    std::string trace_path;
 
     /** Length of interval @p index, instructions. */
     uint64_t lengthOf(size_t index) const;
@@ -138,14 +144,27 @@ struct IlpIntervalProfile
 
 /**
  * Profile @p instructions of (@p behavior, @p seed) in intervals of
- * @p interval_instrs.  Each interval is generated twice: once for the
- * dependency/latency moments and once (cursor-rewound) through
- * ooo::fastProfile() for the dataflow-limit IPC feature.
+ * @p interval_instrs.  Each interval is generated once into a buffer
+ * that feeds both feature passes: the dependency/latency moments and
+ * ooo::fastProfileBuffer() for the dataflow-limit IPC feature.
  */
 IlpIntervalProfile profileIlpIntervals(const trace::IlpBehavior &behavior,
                                        uint64_t seed,
                                        uint64_t instructions,
                                        uint64_t interval_instrs);
+
+/**
+ * Profile a uop trace file (`capsim gen-trace --study iq` /
+ * ooo::writeUopTraceFile output) in intervals of @p interval_instrs,
+ * reading to end of file; the final interval may be short.  The replay
+ * cursors are file offsets (stored in file_cursors), so the sampler
+ * fast-forwards the file exactly as it fast-forwards a synthetic
+ * generator.  The uop format round-trips dependency distances and
+ * latencies exactly, so a file profile of a written synthetic trace is
+ * bit-identical to the synthetic profile it came from.
+ */
+IlpIntervalProfile profileIlpIntervalsFromFile(const std::string &path,
+                                               uint64_t interval_instrs);
 
 } // namespace cap::sample
 

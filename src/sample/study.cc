@@ -234,7 +234,7 @@ SampledIqStudy
 runSampledIqStudy(const core::AdaptiveIqModel &model,
                   const std::vector<trace::AppProfile> &apps,
                   uint64_t instructions, const SampleParams &params,
-                  int jobs, const obs::Hooks &hooks)
+                  int jobs, const obs::Hooks &hooks, bool one_pass)
 {
     capAssert(!apps.empty(), "sampled IQ study needs applications");
     capAssert(jobs >= 1, "study needs at least one worker");
@@ -256,27 +256,47 @@ runSampledIqStudy(const core::AdaptiveIqModel &model,
                                                   instructions, params);
     });
 
+    // Phase 2: replay.  Per-config mode fans every (app, config, rep)
+    // triple across the pool; one-pass mode fans (app, rep) chains,
+    // each replaying its warmup+measure window once through a
+    // WindowSweeper lane per queue size -- measurements bit-identical
+    // by construction (docs/PERF.md), so phase 3 is shared unchanged.
     std::vector<RepCell> cells;
     std::vector<std::vector<std::vector<IqRepMeasurement>>> meas(
         apps.size());
     for (size_t a = 0; a < apps.size(); ++a) {
         meas[a].assign(configs, std::vector<IqRepMeasurement>(
                                     samplers[a]->repCount()));
-        for (size_t c = 0; c < configs; ++c) {
+        if (one_pass) {
             for (size_t r = 0; r < samplers[a]->repCount(); ++r)
-                cells.push_back({a, c, r});
+                cells.push_back({a, 0, r});
+        } else {
+            for (size_t c = 0; c < configs; ++c) {
+                for (size_t r = 0; r < samplers[a]->repCount(); ++r)
+                    cells.push_back({a, c, r});
+            }
         }
     }
     study.telemetry.cells.assign(cells.size(), {});
     parallelFor(pool, cells.size(), [&](size_t i) {
         const RepCell &cell = cells[i];
         SteadyClock::time_point cell_start = SteadyClock::now();
-        meas[cell.app][cell.config][cell.rep] =
-            samplers[cell.app]->measureRep(sizes[cell.config], cell.rep);
         core::CellTelemetry &ct = study.telemetry.cells[i];
+        if (one_pass) {
+            std::vector<IqRepMeasurement> per_cfg =
+                samplers[cell.app]->measureRepAllConfigs(cell.rep);
+            for (size_t c = 0; c < configs; ++c)
+                meas[cell.app][c][cell.rep] = per_cfg[c];
+            ct.config = "onepass x" + std::to_string(configs) + "#rep" +
+                        std::to_string(cell.rep);
+        } else {
+            meas[cell.app][cell.config][cell.rep] =
+                samplers[cell.app]->measureRep(sizes[cell.config],
+                                               cell.rep);
+            ct.config = std::to_string(sizes[cell.config]) +
+                        " entries#rep" + std::to_string(cell.rep);
+        }
         ct.app = apps[cell.app].name;
-        ct.config = std::to_string(sizes[cell.config]) + " entries#rep" +
-                    std::to_string(cell.rep);
         ct.sim_seconds = secondsSince(cell_start);
         ct.worker = currentWorkerId();
     });
@@ -336,6 +356,11 @@ runSampledIqStudy(const core::AdaptiveIqModel &model,
     }
     foldSampleCounters(sinks.registry, intervals, clusters, cells.size(),
                        warmup_total, study.simulatedInstrs(), "instrs");
+    if (one_pass && sinks.registry) {
+        sinks.registry->counter("windowsweep.sweeps").add(cells.size());
+        sinks.registry->counter("windowsweep.lanes")
+            .add(cells.size() * configs);
+    }
     return study;
 }
 

@@ -85,12 +85,24 @@ struct SampledIqStudy
     uint64_t simulatedInstrs() const;
 };
 
-/** Run the sampled instruction-queue study. */
+/**
+ * Run the sampled instruction-queue study.
+ * @param one_pass Replay each representative's warmup+measure chain
+ *        once through ooo::WindowSweeper and score every queue size
+ *        from it (IqSampler::measureRepAllConfigs) instead of one
+ *        CoreModel replay per (app, config, rep) triple.  Results,
+ *        Representative trace records and `sample.*` counters are
+ *        bit-identical to the per-config path (docs/PERF.md);
+ *        telemetry then has one cell per (app, rep) and
+ *        `sample.rep_simulations` counts each representative once
+ *        instead of once per queue size.
+ */
 SampledIqStudy runSampledIqStudy(const core::AdaptiveIqModel &model,
                                  const std::vector<trace::AppProfile> &apps,
                                  uint64_t instructions,
                                  const SampleParams &params, int jobs = 1,
-                                 const obs::Hooks &hooks = {});
+                                 const obs::Hooks &hooks = {},
+                                 bool one_pass = true);
 
 /**
  * Sampled per-interval oracle: the representatives are measured once

@@ -4,6 +4,8 @@
  * (panic) handling across the public API.
  */
 
+#include <fstream>
+
 #include <gtest/gtest.h>
 
 #include "core/adaptive_cache.h"
@@ -12,7 +14,10 @@
 #include "core/config_manager.h"
 #include "core/interval_controller.h"
 #include "core/multiprogram.h"
+#include "ooo/stream.h"
+#include "ooo/uop_file.h"
 #include "sample/online_phase.h"
+#include "sample/signature.h"
 #include "trace/file_trace.h"
 #include "trace/patterns.h"
 #include "trace/stream.h"
@@ -125,6 +130,66 @@ TEST(ErrorPathsTest, TraceWriterValidatesLimit)
     trace::SyntheticTraceSource source(app.cache, app.seed, 10);
     EXPECT_DEATH(trace::writeTraceFile("/tmp/x.din", source, 0),
                  "empty trace");
+}
+
+TEST(ErrorPathsTest, TraceFileProfilingValidated)
+{
+    // Missing files die cleanly on both study sides.
+    EXPECT_DEATH(trace::FileTraceSource("/nonexistent/capsim.din"),
+                 "cannot open trace file");
+    EXPECT_DEATH(ooo::UopFileSource("/nonexistent/capsim.uop"),
+                 "cannot open uop trace file");
+
+    // A file with no usable records cannot seed a sampling plan.
+    std::string empty_din = testing::TempDir() + "/capsim_empty.din";
+    std::ofstream(empty_din).close();
+    EXPECT_DEATH(sample::profileCacheIntervalsFromFile(empty_din, 1000),
+                 "has no records");
+    std::string corrupt_uop = testing::TempDir() + "/capsim_corrupt.uop";
+    {
+        std::ofstream out(corrupt_uop);
+        out << "# comments only\nnot a record\n3 1\n";
+    }
+    EXPECT_DEATH(sample::profileIlpIntervalsFromFile(corrupt_uop, 1000),
+                 "has no records");
+    EXPECT_DEATH(sample::profileIlpIntervalsFromFile(corrupt_uop, 0),
+                 "positive");
+}
+
+TEST(ErrorPathsTest, UopWriterValidatesLimit)
+{
+    const trace::AppProfile &app = trace::findApp("li");
+    ooo::InstructionStream stream(app.ilp, app.seed);
+    EXPECT_DEATH(ooo::writeUopTraceFile("/tmp/capsim_x.uop", stream, 0),
+                 "empty uop trace");
+}
+
+TEST(ErrorPathsTest, UopReaderSkipsCorruptRecords)
+{
+    // Truncated or corrupt lines are skipped with a warning; the
+    // valid records around them still flow.
+    std::string path = testing::TempDir() + "/capsim_mixed.uop";
+    {
+        std::ofstream out(path);
+        out << "# header\n"
+               "1 0 2\n"     // valid (distance clamps to stream start)
+               "bogus line\n" // corrupt
+               "3 1\n"        // truncated record
+               "0 0 0\n"      // zero latency
+               "999 0 1\n"    // distance beyond kMaxDepDistance
+               "2 1 3\n";     // valid
+    }
+    ooo::UopFileSource source(path);
+    ooo::MicroOp op;
+    ASSERT_TRUE(source.next(op));
+    EXPECT_EQ(op.src1_dist, 0u); // clamped: no prior instruction
+    EXPECT_EQ(op.latency, 2u);
+    ASSERT_TRUE(source.next(op));
+    EXPECT_EQ(op.src1_dist, 1u);
+    EXPECT_EQ(op.latency, 3u);
+    EXPECT_FALSE(source.next(op));
+    EXPECT_EQ(source.produced(), 2u);
+    EXPECT_EQ(source.skipped(), 4u);
 }
 
 TEST(ErrorPathsTest, SelectionNeedsInput)

@@ -261,7 +261,7 @@ TEST(ParallelStudyTest, TelemetryJsonIsWellFormed)
     EXPECT_NE(json.find("\"jobs\": 2"), std::string::npos);
     EXPECT_NE(json.find("\"per_cell\": ["), std::string::npos);
     EXPECT_NE(json.find("\"app\": \"li\""), std::string::npos);
-    EXPECT_NE(json.find("\"config\": \"16 entries\""), std::string::npos);
+    EXPECT_NE(json.find("\"config\": \"onepass x8\""), std::string::npos);
     EXPECT_EQ(json.front(), '{');
     EXPECT_EQ(json[json.size() - 2], '}');
 }

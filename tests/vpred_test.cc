@@ -9,6 +9,7 @@
 #include "core/adaptive_iq.h"
 #include "core/adaptive_vpred.h"
 #include "ooo/core_model.h"
+#include "ooo/stream.h"
 #include "ooo/value_predictor.h"
 #include "trace/workloads.h"
 
