@@ -14,6 +14,15 @@
  * they cancel host speed, so CI can hold them against a committed
  * baseline (bench/perf_baseline.json) across runner generations.
  *
+ * The run also measures the host-side span profiler (obs/span_profiler):
+ * the per-span cost of the CAPSIM_SPAN macro disarmed and armed, and
+ * the estimated share of study wall time the disarmed macro costs in
+ * the orchestration hot paths.  The estimate must stay under 2% or the
+ * bench fails -- the contract that lets the spans live in the hot
+ * paths permanently.  The stage-attribution rows for the studies land
+ * in the JSON next to the speedups; with CAPSIM_HOST_PROFILE=PATH set
+ * (the CI artifact), the full Chrome trace is flushed to PATH at exit.
+ *
  * Flags:
  *   --json PATH      machine-readable result (default BENCH_sweep.json)
  *   --baseline PATH  fail (exit 1) when a measured speedup falls
@@ -21,15 +30,19 @@
  *                    "iq_speedup" value
  */
 
+#include <chrono>
 #include <cmath>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "bench_common.h"
 #include "bench_study.h"
+#include "obs/span_profiler.h"
 
 namespace {
 
@@ -91,6 +104,21 @@ gateAgainstBaseline(const std::string &path, const std::string &key_name,
     return 0;
 }
 
+/** ns per CAPSIM_SPAN open/close pair over @p reps iterations. */
+double
+spanCostNs(uint64_t reps)
+{
+    auto start = std::chrono::steady_clock::now();
+    for (uint64_t i = 0; i < reps; ++i) {
+        CAPSIM_SPAN("bench.span_cost");
+    }
+    double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    return seconds * 1e9 / static_cast<double>(reps);
+}
+
 } // namespace
 
 int
@@ -117,6 +145,18 @@ main(int argc, char **argv)
            "stack-distance pass, all 8 queue sizes from one window "
            "sweep -- so both static studies run several times faster "
            "with bit-identical results");
+
+    // Profile the studies' orchestration: reuse the env-armed profiler
+    // (CAPSIM_HOST_PROFILE=PATH, which also flushes a Chrome trace at
+    // exit) or arm a private one so the stage breakdown always lands
+    // in the JSON.
+    obs::SpanProfiler *stage_profiler = obs::effectiveHooks({}).profiler;
+    std::unique_ptr<obs::SpanProfiler> local_profiler;
+    if (!stage_profiler) {
+        local_profiler = std::make_unique<obs::SpanProfiler>();
+        local_profiler->arm();
+        stage_profiler = local_profiler.get();
+    }
 
     const uint64_t refs = cacheRefs();
     const int jobs = benchJobs();
@@ -220,6 +260,46 @@ main(int argc, char **argv)
                      Cell(iq_fast_rate, 0), Cell(iq_speedup, 2)});
     emit(iq_table);
 
+    // ---- Host-profiler cost: the spans in the orchestration hot
+    // paths must be ~free when no profiler is armed. ----
+    std::vector<obs::StageRow> stages = stage_profiler->stageTable();
+    const size_t study_spans = stage_profiler->spanCount();
+    stage_profiler->disarm(); // stop recording; measure the off path
+    if (local_profiler)
+        local_profiler.reset();
+
+    const double disarmed_ns = spanCostNs(2000000);
+    obs::SpanProfiler cost_profiler;
+    cost_profiler.arm();
+    const double armed_ns = spanCostNs(100000);
+    cost_profiler.disarm();
+
+    const double study_wall_s = slow_s + fast_s + iq_slow_s + iq_fast_s;
+    const double overhead_pct =
+        study_wall_s > 0.0
+            ? 100.0 * static_cast<double>(study_spans) * disarmed_ns /
+                  (study_wall_s * 1e9)
+            : 0.0;
+
+    std::cout << "\n";
+    TableWriter span_table("host-profiler span cost");
+    span_table.setHeader({"quantity", "value"});
+    span_table.addRow(
+        {Cell("disarmed ns/span"), Cell(disarmed_ns, 2)});
+    span_table.addRow({Cell("armed ns/span"), Cell(armed_ns, 2)});
+    span_table.addRow({Cell("study spans"),
+                       Cell(static_cast<uint64_t>(study_spans))});
+    span_table.addRow(
+        {Cell("est. disarmed overhead %"), Cell(overhead_pct, 4)});
+    emit(span_table);
+
+    if (overhead_pct >= 2.0) {
+        std::cerr << "perf_smoke: disarmed span overhead "
+                  << Cell(overhead_pct, 3).str()
+                  << "% breaches the 2% budget\n";
+        return 1;
+    }
+
     if (!json_path.empty()) {
         std::ofstream out(json_path);
         if (!out) {
@@ -247,8 +327,24 @@ main(int argc, char **argv)
             << ",\n"
             << "  \"iq_onepass_seconds\": " << Cell(iq_fast_s, 6).str()
             << ",\n"
-            << "  \"iq_speedup\": " << Cell(iq_speedup, 3).str() << "\n"
-            << "}\n";
+            << "  \"iq_speedup\": " << Cell(iq_speedup, 3).str() << ",\n"
+            << "  \"span_disarmed_ns\": " << Cell(disarmed_ns, 3).str()
+            << ",\n"
+            << "  \"span_armed_ns\": " << Cell(armed_ns, 3).str() << ",\n"
+            << "  \"span_overhead_pct\": " << Cell(overhead_pct, 5).str()
+            << ",\n"
+            << "  \"stages\": [";
+        for (size_t s = 0; s < stages.size(); ++s) {
+            const obs::StageRow &row = stages[s];
+            out << (s ? ",\n" : "\n") << "    {\"stage\": "
+                << Cell(row.name).jsonStr()
+                << ", \"calls\": " << row.calls
+                << ", \"total_s\": " << Cell(row.total_s, 6).str()
+                << ", \"self_s\": " << Cell(row.self_s, 6).str()
+                << ", \"share_pct\": " << Cell(row.share_pct, 2).str()
+                << "}";
+        }
+        out << (stages.empty() ? "]\n" : "\n  ]\n") << "}\n";
         std::cout << "wrote " << json_path << "\n";
     }
 

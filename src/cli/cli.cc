@@ -1,11 +1,14 @@
 #include "cli.h"
 
 #include <algorithm>
+#include <array>
+#include <chrono>
 #include <cmath>
 #include <cstdlib>
 #include <fstream>
 #include <limits>
 #include <map>
+#include <memory>
 #include <set>
 
 #include "core/adaptive_cache.h"
@@ -140,6 +143,7 @@ cmdHelp(std::ostream &out)
            "                               trace file instead of the\n"
            "                               synthetic generator (either\n"
            "                               study side, single app)\n"
+           "      [--telemetry-json PATH]  write execution telemetry\n"
            "  interval-run <app>           Section-6 interval controller\n"
            "      [--instrs N]             instructions to run\n"
            "      [--entries N]            initial queue size\n"
@@ -155,6 +159,7 @@ cmdHelp(std::ostream &out)
            "      [--compare-triggers]     run period/phase/hybrid plus\n"
            "                               the oracle and report the\n"
            "                               TPI gap each mode closes\n"
+           "      [--telemetry-json PATH]  write execution telemetry\n"
            "  analyze-trace <path>         per-interval tables from a\n"
            "                               JSONL decision trace\n"
            "      [--app NAME]             filter by application\n"
@@ -169,13 +174,21 @@ cmdHelp(std::ostream &out)
            "      [--limit N] [--block B]  records to read, block bytes\n"
            "  help                         this text\n"
            "\n"
-           "observability (sweeps and interval-run):\n"
-           "  --trace PATH         JSONL decision trace to PATH, plus a\n"
-           "                       Chrome trace to PATH.chrome.json\n"
-           "  --chrome-trace PATH  Chrome trace_event JSON destination\n"
-           "  --metrics-json PATH  telemetry + counter registry as JSON\n"
-           "  (env: CAPSIM_TRACE / CAPSIM_METRICS do the same for the\n"
-           "  bench binaries; see docs/OBSERVABILITY.md)\n";
+           "observability (sweeps, sample-*, and interval-run):\n"
+           "  --trace PATH          JSONL decision trace to PATH, plus a\n"
+           "                        Chrome trace to PATH.chrome.json\n"
+           "  --chrome-trace PATH   Chrome trace_event JSON destination\n"
+           "  --metrics-json PATH   telemetry + counter registry as JSON\n"
+           "  --host-profile[=P]    host-side span profiler: stage table\n"
+           "                        to stderr, Chrome trace of the spans\n"
+           "                        to P when given (results unchanged)\n"
+           "  --progress[=P]        live heartbeats: cells done, rate,\n"
+           "                        ETA, worker utilization; bare = text\n"
+           "                        on stderr, P = JSONL events appended\n"
+           "  (use --flag=value before positional arguments; env:\n"
+           "  CAPSIM_TRACE / CAPSIM_METRICS / CAPSIM_HOST_PROFILE /\n"
+           "  CAPSIM_PROGRESS do the same for the bench binaries; see\n"
+           "  docs/OBSERVABILITY.md)\n";
     return 0;
 }
 
@@ -282,14 +295,22 @@ writeTelemetry(const Options &options,
 }
 
 /**
- * The observation flags shared by the sweep / interval commands:
- *   --trace PATH         JSONL decision trace to PATH, and a Chrome
- *                        trace to PATH.chrome.json
- *   --chrome-trace PATH  Chrome trace destination (overrides the
- *                        derived name; usable without --trace)
- *   --metrics-json PATH  telemetry + counter registry as one JSON doc
+ * The observation flags shared by the sweep / sample / interval
+ * commands:
+ *   --trace PATH          JSONL decision trace to PATH, and a Chrome
+ *                         trace to PATH.chrome.json
+ *   --chrome-trace PATH   Chrome trace destination (overrides the
+ *                         derived name; usable without --trace)
+ *   --metrics-json PATH   telemetry + counter registry as one JSON doc
+ *   --host-profile[=PATH] host-side span profiler: stage-attribution
+ *                         table to stderr, plus a Chrome trace of the
+ *                         spans to PATH when given
+ *   --progress[=PATH]     live heartbeats; bare/stderr = text lines
+ *                         to stderr, PATH = JSONL events appended
  * With none of the flags given, hooks() is inert and the run pays
- * nothing for the instrumentation.
+ * nothing for the instrumentation.  The host-profile and progress
+ * sinks observe host time only, never simulated state, so results
+ * are bit-identical with them on or off (docs/MODEL.md section 11).
  */
 struct ObsSession
 {
@@ -298,6 +319,10 @@ struct ObsSession
     std::string jsonl_path;
     std::string chrome_path;
     std::string metrics_path;
+    std::string host_profile_path;
+    std::unique_ptr<obs::SpanProfiler> profiler;
+    std::unique_ptr<std::ofstream> progress_file;
+    std::unique_ptr<obs::ProgressMeter> progress;
 
     obs::Hooks hooks()
     {
@@ -306,12 +331,26 @@ struct ObsSession
             h.trace = &trace;
         if (!metrics_path.empty())
             h.registry = &registry;
+        h.profiler = profiler.get();
+        h.progress = progress.get();
         return h;
+    }
+
+    ObsSession() = default;
+    ObsSession(ObsSession &&) = default;
+    ObsSession &operator=(ObsSession &&) = default;
+
+    ~ObsSession()
+    {
+        // Error paths return before writeHostProfile; make sure no
+        // dangling global span pointer survives this session.
+        if (profiler)
+            profiler->disarm();
     }
 };
 
 ObsSession
-obsSessionFromFlags(const Options &options)
+obsSessionFromFlags(const Options &options, std::ostream &err)
 {
     ObsSession session;
     session.jsonl_path = options.get("trace");
@@ -319,11 +358,59 @@ obsSessionFromFlags(const Options &options)
     if (session.chrome_path.empty() && !session.jsonl_path.empty())
         session.chrome_path = session.jsonl_path + ".chrome.json";
     session.metrics_path = options.get("metrics-json");
+    if (options.flags.count("host-profile")) {
+        session.host_profile_path = options.get("host-profile");
+        session.profiler = std::make_unique<obs::SpanProfiler>();
+        session.profiler->arm();
+    }
+    if (options.flags.count("progress")) {
+        std::string spec = options.get("progress");
+        if (spec.empty() || spec == "1" || spec == "stderr") {
+            session.progress =
+                std::make_unique<obs::ProgressMeter>(err, false);
+        } else {
+            session.progress_file = std::make_unique<std::ofstream>(
+                spec, std::ios::app);
+            if (*session.progress_file) {
+                session.progress = std::make_unique<obs::ProgressMeter>(
+                    *session.progress_file, true);
+            } else {
+                err << "capsim: cannot write progress to '" << spec
+                    << "', heartbeats disabled\n";
+                session.progress_file.reset();
+            }
+        }
+    }
     return session;
 }
 
+/**
+ * Finish --host-profile: stop accepting spans, then emit the Chrome
+ * trace (when a PATH was given) and the stage-attribution table to
+ * @p err.  Safe to call when the flag was absent (no-op), and usable
+ * without telemetry (sample-profile has none).
+ */
 int
-writeObsOutputs(const ObsSession &session,
+writeHostProfile(ObsSession &session, std::ostream &err)
+{
+    if (!session.profiler)
+        return 0;
+    session.profiler->disarm();
+    if (!session.host_profile_path.empty()) {
+        std::ofstream file(session.host_profile_path);
+        if (!file) {
+            err << "capsim: cannot write '"
+                << session.host_profile_path << "'\n";
+            return 2;
+        }
+        session.profiler->writeChromeTrace(file);
+    }
+    session.profiler->writeStageTable(err);
+    return 0;
+}
+
+int
+writeObsOutputs(ObsSession &session,
                 const core::RunTelemetry &telemetry, std::ostream &err)
 {
     auto open = [&err](const std::string &path, std::ofstream &file) {
@@ -350,7 +437,7 @@ writeObsOutputs(const ObsSession &session,
             return 2;
         telemetry.writeJson(file, &session.registry);
     }
-    return 0;
+    return writeHostProfile(session, err);
 }
 
 /**
@@ -433,7 +520,7 @@ cmdCacheSweep(const Options &options, std::ostream &out, std::ostream &err)
     if (!sampleFlag(options, sparams, err, sampled))
         return 2;
 
-    ObsSession session = obsSessionFromFlags(options);
+    ObsSession session = obsSessionFromFlags(options, err);
     core::AdaptiveCacheModel model;
 
     if (sampled) {
@@ -519,7 +606,7 @@ cmdIqSweep(const Options &options, std::ostream &out, std::ostream &err)
     if (!sampleFlag(options, sparams, err, sampled))
         return 2;
 
-    ObsSession session = obsSessionFromFlags(options);
+    ObsSession session = obsSessionFromFlags(options, err);
     core::AdaptiveIqModel model;
 
     if (sampled) {
@@ -696,7 +783,7 @@ cmdIntervalRun(const Options &options, std::ostream &out,
         return 0;
     }
 
-    ObsSession session = obsSessionFromFlags(options);
+    ObsSession session = obsSessionFromFlags(options, err);
     core::IntervalAdaptiveIq controller(model, params);
     core::IntervalRunResult result =
         controller.run(apps[0], instrs, entries, session.hooks());
@@ -798,6 +885,7 @@ cmdAnalyzeTrace(const Options &options, std::ostream &out,
         uint64_t retired = 0;
         uint64_t cycles = 0;
         double sim_ns = 0.0;
+        std::vector<double> tpi;
     };
     std::map<std::string, LaneStats> lane_stats;
     for (const obs::TraceEvent &event : trace.events()) {
@@ -810,11 +898,33 @@ cmdAnalyzeTrace(const Options &options, std::ostream &out,
         stats.retired += event.retired;
         stats.cycles += event.cycles;
         stats.sim_ns += event.duration_ns;
+        if (event.tpi_ns > 0.0)
+            stats.tpi.push_back(event.tpi_ns);
     }
+    // Bucket each lane's per-interval TPI into a FixedHistogram so the
+    // rollup reports the same p50/p90/p99 estimator as --metrics-json.
+    auto tpiPercentiles = [](const std::vector<double> &tpi) {
+        std::array<double, 3> p{0.0, 0.0, 0.0};
+        if (tpi.empty())
+            return p;
+        auto [lo_it, hi_it] = std::minmax_element(tpi.begin(), tpi.end());
+        double lo = *lo_it;
+        double hi = *hi_it;
+        if (!(hi > lo))
+            hi = lo + 1e-9; // degenerate: all intervals identical
+        obs::FixedHistogram hist(lo, hi, 128);
+        for (double t : tpi)
+            hist.add(t);
+        p = {hist.percentile(50), hist.percentile(90),
+             hist.percentile(99)};
+        return p;
+    };
     TableWriter lane_table("Per-lane rollup");
-    lane_table.setHeader(
-        {"lane", "intervals", "retired", "ipc", "sim_us"});
+    lane_table.setHeader({"lane", "intervals", "retired", "ipc",
+                          "sim_us", "p50_tpi_ns", "p90_tpi_ns",
+                          "p99_tpi_ns"});
     for (const auto &[lane, stats] : lane_stats) {
+        std::array<double, 3> p = tpiPercentiles(stats.tpi);
         lane_table.addRow(
             {Cell(lane), Cell(stats.intervals), Cell(stats.retired),
              Cell(stats.cycles
@@ -822,7 +932,10 @@ cmdAnalyzeTrace(const Options &options, std::ostream &out,
                             static_cast<double>(stats.cycles)
                       : 0.0,
                   3),
-             Cell(stats.sim_ns / 1000.0, 3)});
+             Cell(stats.sim_ns / 1000.0, 3),
+             stats.tpi.empty() ? Cell("-") : Cell(p[0], 4),
+             stats.tpi.empty() ? Cell("-") : Cell(p[1], 4),
+             stats.tpi.empty() ? Cell("-") : Cell(p[2], 4)});
     }
     lane_table.renderAscii(out);
 
@@ -987,6 +1100,9 @@ cmdSampleProfile(const Options &options, std::ostream &out,
         return 2;
     }
     sample::SampleParams params = sampleParamsFromKnobs(options);
+    // --host-profile attributes the profile -> cluster pipeline;
+    // sample-profile has no telemetry, so only that sink applies.
+    ObsSession session = obsSessionFromFlags(options, err);
 
     if (side == "cache") {
         uint64_t refs = options.getU64("refs", 600000);
@@ -999,7 +1115,7 @@ cmdSampleProfile(const Options &options, std::ostream &out,
         sample::IqSampler sampler(model, apps[0], instrs, params);
         printSamplePlan(out, side, apps[0].name, instrs, sampler.plan());
     }
-    return 0;
+    return writeHostProfile(session, err);
 }
 
 int
@@ -1027,7 +1143,7 @@ cmdSampleRun(const Options &options, std::ostream &out, std::ostream &err)
         err << "capsim: --check requires --validate\n";
         return 2;
     }
-    ObsSession session = obsSessionFromFlags(options);
+    ObsSession session = obsSessionFromFlags(options, err);
 
     std::string trace_file = options.get("trace-file");
     if (!trace_file.empty()) {
@@ -1044,6 +1160,27 @@ cmdSampleRun(const Options &options, std::ostream &out, std::ostream &err)
                    "or --oracle (no synthetic reference run)\n";
             return 2;
         }
+        // The file replay runs serially in this thread; give
+        // --telemetry-json / --metrics-json one wall-clock cell so
+        // the run-health flags work here like everywhere else.
+        core::RunTelemetry file_telemetry;
+        file_telemetry.jobs = 1;
+        file_telemetry.cells.assign(1, {});
+        auto file_start = std::chrono::steady_clock::now();
+        auto finishFileRun = [&]() {
+            file_telemetry.wall_seconds =
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - file_start)
+                    .count();
+            core::CellTelemetry &ct = file_telemetry.cells[0];
+            ct.app = apps[0].name;
+            ct.config = "trace-file replay";
+            ct.sim_seconds = file_telemetry.wall_seconds;
+            ct.worker = 0;
+            if (int rc = writeTelemetry(options, file_telemetry, err))
+                return rc;
+            return writeObsOutputs(session, file_telemetry, err);
+        };
         if (side == "cache") {
             core::AdaptiveCacheModel model;
             sample::CacheSampler sampler(model, apps[0], trace_file,
@@ -1081,7 +1218,7 @@ cmdSampleRun(const Options &options, std::ostream &out, std::ostream &err)
                 << sampler.plan().num_intervals << " intervals, "
                 << sampler.repCount() << " representatives, best "
                 << 8 * (best + 1) << "KB\n";
-            return 0;
+            return finishFileRun();
         }
         // IQ side: the file is a uop trace (gen-trace --study iq /
         // writeUopTraceFile output).
@@ -1122,7 +1259,7 @@ cmdSampleRun(const Options &options, std::ostream &out, std::ostream &err)
             << sampler.plan().num_intervals << " intervals, "
             << sampler.repCount() << " representatives, best "
             << sizes[best] << " entries\n";
-        return 0;
+        return finishFileRun();
     }
 
     if (options.flags.count("oracle")) {

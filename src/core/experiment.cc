@@ -29,10 +29,15 @@ secondsSince(SteadyClock::time_point start)
  * sinks, the private buffers are merged into them serially in cell
  * order after the fan-out, so the emitted trace/metrics are
  * bit-identical for every @p jobs (docs/MODEL.md section 11).
+ *
+ * @p progress_label names the run in --progress heartbeats.  Spans,
+ * heartbeats, and pool stats only observe the fan-out, so the merged
+ * results stay bit-identical with them on or off.
  */
 void
-runStudyCells(RunTelemetry &telemetry, size_t n_apps, size_t n_configs,
-              int jobs, const obs::Hooks &hooks,
+runStudyCells(RunTelemetry &telemetry, const char *progress_label,
+              size_t n_apps, size_t n_configs, int jobs,
+              const obs::Hooks &hooks,
               const std::function<std::string(size_t app, size_t config,
                                               obs::DecisionTrace *,
                                               obs::CounterRegistry *)>
@@ -47,23 +52,37 @@ runStudyCells(RunTelemetry &telemetry, size_t n_apps, size_t n_configs,
     std::vector<obs::CounterRegistry> registries(
         hooks.registry ? n_cells : 0);
 
+    if (hooks.progress)
+        hooks.progress->beginRun(progress_label, n_cells, jobs);
     SteadyClock::time_point start = SteadyClock::now();
     ThreadPool pool(jobs);
-    parallelFor(pool, n_cells, [&](size_t cell) {
-        size_t app = cell / n_configs;
-        size_t config = cell % n_configs;
-        SteadyClock::time_point cell_start = SteadyClock::now();
-        std::string label =
-            run_cell(app, config,
-                     hooks.trace ? &traces[cell] : nullptr,
-                     hooks.registry ? &registries[cell] : nullptr);
-        CellTelemetry &ct = telemetry.cells[cell];
-        ct.config = std::move(label);
-        ct.sim_seconds = secondsSince(cell_start);
-        ct.worker = currentWorkerId();
-    });
+    {
+        CAPSIM_SPAN("study.fanout");
+        parallelFor(pool, n_cells, [&](size_t cell) {
+            CAPSIM_SPAN("study.cell");
+            size_t app = cell / n_configs;
+            size_t config = cell % n_configs;
+            SteadyClock::time_point cell_start = SteadyClock::now();
+            std::string label =
+                run_cell(app, config,
+                         hooks.trace ? &traces[cell] : nullptr,
+                         hooks.registry ? &registries[cell] : nullptr);
+            CellTelemetry &ct = telemetry.cells[cell];
+            ct.config = std::move(label);
+            ct.sim_seconds = secondsSince(cell_start);
+            ct.worker = currentWorkerId();
+            if (hooks.progress)
+                hooks.progress->noteCellDone(
+                    ct.worker,
+                    static_cast<uint64_t>(ct.sim_seconds * 1e9));
+        });
+    }
     telemetry.wall_seconds = secondsSince(start);
+    telemetry.recordPool(pool);
+    if (hooks.progress)
+        hooks.progress->endRun();
 
+    CAPSIM_SPAN("study.merge");
     if (hooks.trace) {
         size_t total = hooks.trace->size();
         for (const obs::DecisionTrace &t : traces)
@@ -131,6 +150,7 @@ runCacheStudy(const AdaptiveCacheModel &model,
               bool one_pass)
 {
     capAssert(!apps.empty(), "cache study needs applications");
+    CAPSIM_SPAN("study.cache");
     CacheStudy study;
     study.apps = apps;
     for (int k = 1; k <= max_l1_increments; ++k)
@@ -144,7 +164,8 @@ runCacheStudy(const AdaptiveCacheModel &model,
         // boundary; each per-app cell emits its boundaries' Cell
         // records in ascending-k order, so the serially merged trace
         // matches the per-config path byte for byte.
-        runStudyCells(study.telemetry, apps.size(), 1, jobs, sinks,
+        runStudyCells(study.telemetry, "cache-sweep", apps.size(), 1,
+                      jobs, sinks,
                       [&](size_t a, size_t, obs::DecisionTrace *trace,
                           obs::CounterRegistry *registry) {
                           study.perf[a] = model.sweepOnePassObserved(
@@ -155,8 +176,8 @@ runCacheStudy(const AdaptiveCacheModel &model,
                                  std::to_string(max_l1_increments);
                       });
     } else {
-        runStudyCells(study.telemetry, apps.size(), configs, jobs,
-                      sinks,
+        runStudyCells(study.telemetry, "cache-sweep", apps.size(),
+                      configs, jobs, sinks,
                       [&](size_t a, size_t c, obs::DecisionTrace *trace,
                           obs::CounterRegistry *registry) {
                           int k = static_cast<int>(c) + 1;
@@ -196,6 +217,7 @@ runIqStudy(const AdaptiveIqModel &model,
            bool one_pass)
 {
     capAssert(!apps.empty(), "IQ study needs applications");
+    CAPSIM_SPAN("study.iq");
     IqStudy study;
     study.apps = apps;
     study.timings = model.allTimings();
@@ -209,7 +231,8 @@ runIqStudy(const AdaptiveIqModel &model,
         // size; each per-app cell emits its sizes' Interval records
         // in ascending-size order, so the serially merged trace
         // matches the per-config path byte for byte.
-        runStudyCells(study.telemetry, apps.size(), 1, jobs, sinks,
+        runStudyCells(study.telemetry, "iq-sweep", apps.size(), 1,
+                      jobs, sinks,
                       [&](size_t a, size_t, obs::DecisionTrace *trace,
                           obs::CounterRegistry *registry) {
                           study.perf[a] = model.sweepOnePassObserved(
@@ -219,8 +242,8 @@ runIqStudy(const AdaptiveIqModel &model,
                           return "onepass x" + std::to_string(configs);
                       });
     } else {
-        runStudyCells(study.telemetry, apps.size(), configs, jobs,
-                      sinks,
+        runStudyCells(study.telemetry, "iq-sweep", apps.size(),
+                      configs, jobs, sinks,
                       [&](size_t a, size_t c, obs::DecisionTrace *trace,
                           obs::CounterRegistry *registry) {
                           study.perf[a][c] = model.evaluateObserved(

@@ -60,6 +60,7 @@ IntervalAdaptiveIq::run(const trace::AppProfile &app, uint64_t instructions,
               initial_entries);
     size_t current = static_cast<size_t>(pos - candidates.begin());
 
+    CAPSIM_SPAN("interval.run");
     SteadyClock::time_point start = SteadyClock::now();
 
     ooo::InstructionStream stream(app.ilp, app.seed);
@@ -615,28 +616,42 @@ runIntervalOracle(const AdaptiveIqModel &model,
 
     SteadyClock::time_point start = SteadyClock::now();
     ThreadPool pool(jobs);
-    parallelFor(pool, candidates.size(), [&](size_t li) {
-        SteadyClock::time_point lane_start = SteadyClock::now();
-        ooo::InstructionStream stream(app.ilp, app.seed);
-        ooo::CoreParams params;
-        params.queue_entries = candidates[li];
-        params.dispatch_width = IqMachine::kDispatchWidth;
-        params.issue_width = IqMachine::kIssueWidth;
-        ooo::CoreModel core(stream, params);
+    if (sinks.progress)
+        sinks.progress->beginRun("interval-oracle", candidates.size(),
+                                 jobs);
+    {
+        CAPSIM_SPAN("oracle.lanes");
+        parallelFor(pool, candidates.size(), [&](size_t li) {
+            CAPSIM_SPAN("oracle.lane");
+            SteadyClock::time_point lane_start = SteadyClock::now();
+            ooo::InstructionStream stream(app.ilp, app.seed);
+            ooo::CoreParams params;
+            params.queue_entries = candidates[li];
+            params.dispatch_width = IqMachine::kDispatchWidth;
+            params.issue_width = IqMachine::kIssueWidth;
+            ooo::CoreModel core(stream, params);
 
-        std::vector<IntervalCost> &costs = lane_costs[li];
-        costs.reserve(total_intervals);
-        for (uint64_t interval = 0; interval < full_intervals; ++interval) {
-            ooo::RunResult run = core.step(interval_instrs);
-            costs.push_back({run.cycles, run.instructions});
-        }
-        if (tail_instrs) {
-            ooo::RunResult run = core.step(tail_instrs);
-            costs.push_back({run.cycles, run.instructions});
-        }
-        lane_seconds[li] = secondsSince(lane_start);
-        lane_workers[li] = currentWorkerId();
-    });
+            std::vector<IntervalCost> &costs = lane_costs[li];
+            costs.reserve(total_intervals);
+            for (uint64_t interval = 0; interval < full_intervals; ++interval) {
+                ooo::RunResult run = core.step(interval_instrs);
+                costs.push_back({run.cycles, run.instructions});
+            }
+            if (tail_instrs) {
+                ooo::RunResult run = core.step(tail_instrs);
+                costs.push_back({run.cycles, run.instructions});
+            }
+            lane_seconds[li] = secondsSince(lane_start);
+            lane_workers[li] = currentWorkerId();
+            if (sinks.progress)
+                sinks.progress->noteCellDone(
+                    lane_workers[li],
+                    static_cast<uint64_t>(lane_seconds[li] * 1e9));
+        });
+    }
+    if (sinks.progress)
+        sinks.progress->endRun();
+    CAPSIM_SPAN("oracle.reduce");
 
     // Serial winner reduction; the trace (like the result) is emitted
     // here, on the orchestrator thread only.
@@ -727,6 +742,7 @@ runIntervalOracle(const AdaptiveIqModel &model,
 
     result.telemetry.jobs = pool.threadCount();
     result.telemetry.wall_seconds = secondsSince(start);
+    result.telemetry.recordPool(pool);
     result.telemetry.reconfigurations =
         static_cast<uint64_t>(result.reconfigurations);
     for (size_t li = 0; li < candidates.size(); ++li) {

@@ -49,6 +49,13 @@ RunTelemetry::workerImbalance() const
 }
 
 void
+RunTelemetry::recordPool(const ThreadPool &source)
+{
+    pool = source.stats();
+    pool_recorded = true;
+}
+
+void
 RunTelemetry::fold(obs::CounterRegistry &registry) const
 {
     registry.counter("telemetry.jobs").add(static_cast<uint64_t>(jobs));
@@ -58,6 +65,21 @@ RunTelemetry::fold(obs::CounterRegistry &registry) const
     registry.gauge("telemetry.wall_seconds").set(wall_seconds);
     registry.gauge("telemetry.cells_per_second").set(cellsPerSecond());
     registry.gauge("telemetry.worker_imbalance").set(workerImbalance());
+    if (pool_recorded) {
+        registry.counter("telemetry.pool_submitted").add(pool.submitted);
+        registry.gauge("telemetry.pool_max_queue_depth")
+            .set(static_cast<double>(pool.max_queue_depth));
+        registry.gauge("telemetry.pool_submit_block_seconds")
+            .set(pool.submit_block_seconds);
+        double busy = 0.0;
+        double idle = 0.0;
+        for (const ThreadPool::Stats::Worker &w : pool.workers) {
+            busy += w.busy_seconds;
+            idle += w.idle_seconds;
+        }
+        registry.gauge("telemetry.pool_busy_seconds").set(busy);
+        registry.gauge("telemetry.pool_idle_seconds").set(idle);
+    }
 }
 
 void
@@ -120,6 +142,31 @@ RunTelemetry::writeJson(std::ostream &os,
     per_cell.renderJson(os, 2);
     os << ",\n  \"workers\": ";
     workers.renderJson(os, 2);
+    if (pool_recorded) {
+        TableWriter pool_map("pool");
+        pool_map.setHeader({"field", "value"});
+        pool_map.addRow({Cell("submitted"), Cell(pool.submitted)});
+        pool_map.addRow(
+            {Cell("max_queue_depth"), Cell(pool.max_queue_depth)});
+        pool_map.addRow({Cell("submit_block_seconds"),
+                         Cell(pool.submit_block_seconds, 6)});
+
+        TableWriter pool_workers("pool_workers");
+        pool_workers.setHeader(
+            {"worker", "tasks", "indices", "busy_seconds",
+             "idle_seconds"});
+        for (size_t w = 0; w < pool.workers.size(); ++w) {
+            const ThreadPool::Stats::Worker &worker = pool.workers[w];
+            pool_workers.addRow(
+                {Cell(static_cast<int>(w)), Cell(worker.tasks),
+                 Cell(worker.indices), Cell(worker.busy_seconds, 6),
+                 Cell(worker.idle_seconds, 6)});
+        }
+        os << ",\n  \"pool\": ";
+        pool_map.renderJsonMap(os, 2);
+        os << ",\n  \"pool_workers\": ";
+        pool_workers.renderJson(os, 2);
+    }
     if (registry) {
         os << ",\n";
         registry->renderJsonFields(os, 2);

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "obs/registry.h"
+#include "util/parallel.h"
 
 namespace cap::core {
 
@@ -61,6 +62,10 @@ struct RunTelemetry
     uint64_t reconfigurations = 0;
     /** Per-cell cost, one entry per (app, config) simulation. */
     std::vector<CellTelemetry> cells;
+    /** Thread-pool health counters (recordPool(); `recorded` stays
+     *  false on serial runs that never build a pool). */
+    ThreadPool::Stats pool;
+    bool pool_recorded = false;
 
     /** Aggregate sweep throughput, cells per wall-clock second
      *  (0.0 when wall_seconds is zero -- never a division by zero). */
@@ -78,8 +83,16 @@ struct RunTelemetry
      */
     double workerImbalance() const;
 
+    /**
+     * Snapshot a pool's health counters (queue depth, per-worker
+     * busy/idle/claimed-index accounting) into this telemetry.  Call
+     * after the pool's last wait(), while it is idle.
+     */
+    void recordPool(const ThreadPool &source);
+
     /** Fold the summary scalars into @p registry as gauges/counters
-     *  (`telemetry.*`) -- the registry-backed emission path. */
+     *  (`telemetry.*`, and `telemetry.pool_*` once recordPool() ran)
+     *  -- the registry-backed emission path. */
     void fold(obs::CounterRegistry &registry) const;
 
     /**

@@ -1,8 +1,11 @@
 #include "hooks.h"
 
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <functional>
+#include <iostream>
+#include <memory>
 
 #include "util/status.h"
 
@@ -16,8 +19,13 @@ struct GlobalSession
     bool armed = false;
     std::string trace_path;
     std::string metrics_path;
+    std::string host_profile_path;
     DecisionTrace trace;
     CounterRegistry registry;
+    std::unique_ptr<SpanProfiler> profiler;
+    /** Owns the JSONL sink when CAPSIM_PROGRESS names a file. */
+    std::unique_ptr<std::ofstream> progress_file;
+    std::unique_ptr<ProgressMeter> progress;
 };
 
 GlobalSession &
@@ -56,6 +64,8 @@ globalHooks()
         hooks.trace = &s.trace;
     if (!s.metrics_path.empty())
         hooks.registry = &s.registry;
+    hooks.profiler = s.profiler.get();
+    hooks.progress = s.progress.get();
     return hooks;
 }
 
@@ -70,7 +80,30 @@ initGlobalFromEnv()
         s.trace_path = path;
     if (const char *path = std::getenv("CAPSIM_METRICS"))
         s.metrics_path = path;
-    if (!s.trace_path.empty() || !s.metrics_path.empty())
+    if (const char *path = std::getenv("CAPSIM_HOST_PROFILE")) {
+        s.host_profile_path = path;
+        s.profiler = std::make_unique<SpanProfiler>();
+        s.profiler->arm();
+    }
+    if (const char *spec = std::getenv("CAPSIM_PROGRESS")) {
+        if (std::strcmp(spec, "1") == 0 ||
+            std::strcmp(spec, "stderr") == 0) {
+            s.progress = std::make_unique<ProgressMeter>(
+                std::cerr, /*jsonl=*/false);
+        } else if (*spec != '\0') {
+            s.progress_file =
+                std::make_unique<std::ofstream>(spec, std::ios::app);
+            if (*s.progress_file) {
+                s.progress = std::make_unique<ProgressMeter>(
+                    *s.progress_file, /*jsonl=*/true);
+            } else {
+                warn("obs: cannot write CAPSIM_PROGRESS '%s'", spec);
+                s.progress_file.reset();
+            }
+        }
+    }
+    if (!s.trace_path.empty() || !s.metrics_path.empty() ||
+        !s.host_profile_path.empty())
         std::atexit(flushGlobal);
 }
 
@@ -93,6 +126,14 @@ flushGlobal()
             s.registry.renderJsonFields(os, 2);
             os << "\n}\n";
         });
+    }
+    if (!s.host_profile_path.empty() && s.profiler) {
+        // No disarm: flushGlobal may run mid-process (benches flush
+        // between phases); emission only reads completed records.
+        writeFileOrWarn(s.host_profile_path, [&](std::ostream &os) {
+            s.profiler->writeChromeTrace(os);
+        });
+        s.profiler->writeStageTable(std::cerr);
     }
 }
 

@@ -29,7 +29,9 @@
 #include <string>
 
 #include "obs/decision_trace.h"
+#include "obs/progress.h"
 #include "obs/registry.h"
+#include "obs/span_profiler.h"
 
 namespace cap::obs {
 
@@ -46,13 +48,23 @@ namespace cap::obs {
             (handle)->add(x);                                             \
     } while (0)
 
-/** Where a run should record; inert when both pointers are null. */
+/** Where a run should record; inert when every pointer is null. */
 struct Hooks
 {
     DecisionTrace *trace = nullptr;
     CounterRegistry *registry = nullptr;
+    /** Host-side stage profiler (also reachable via CAPSIM_SPAN /
+     *  SpanProfiler::active(); carried here so runners can annotate). */
+    SpanProfiler *profiler = nullptr;
+    /** Live heartbeat; runners bracket fan-outs with beginRun/endRun
+     *  and report cells through noteCellDone. */
+    ProgressMeter *progress = nullptr;
 
-    bool any() const { return trace != nullptr || registry != nullptr; }
+    bool any() const
+    {
+        return trace != nullptr || registry != nullptr ||
+               profiler != nullptr || progress != nullptr;
+    }
 };
 
 /**
@@ -68,6 +80,11 @@ Hooks effectiveHooks(const Hooks &hooks);
  *                        Chrome trace to PATH.chrome.json at exit
  *   CAPSIM_METRICS=PATH  write the global counter registry as JSON to
  *                        PATH at exit
+ *   CAPSIM_HOST_PROFILE=PATH  arm a process-global SpanProfiler; at
+ *                        exit write its Chrome trace to PATH and the
+ *                        stage-attribution table to stderr
+ *   CAPSIM_PROGRESS=1|stderr  heartbeat lines to stderr every second;
+ *   CAPSIM_PROGRESS=PATH      JSONL heartbeats appended to PATH
  */
 void initGlobalFromEnv();
 

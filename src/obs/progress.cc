@@ -1,0 +1,170 @@
+#include "obs/progress.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+namespace cap::obs {
+
+namespace {
+
+std::string escapeJson(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        out += c;
+    }
+    return out;
+}
+
+} // namespace
+
+ProgressMeter::ProgressMeter(std::ostream &os, bool jsonl, double period_s)
+    : os_(os), jsonl_(jsonl),
+      period_(std::chrono::nanoseconds(static_cast<int64_t>(
+          std::max(period_s, 1e-3) * 1e9)))
+{
+    reporter_ = std::thread([this] { reporterLoop(); });
+}
+
+ProgressMeter::~ProgressMeter()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (run_active_) {
+            emitReport(true);
+            run_active_ = false;
+        }
+        stopping_ = true;
+    }
+    cv_.notify_all();
+    reporter_.join();
+}
+
+void ProgressMeter::beginRun(const std::string &label, uint64_t total_cells,
+                             int workers)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    label_ = label;
+    total_ = total_cells;
+    workers_ = std::min(std::max(workers, 1), kMaxWorkers);
+    done_.store(0, std::memory_order_relaxed);
+    for (Slot &slot : slots_) {
+        slot.cells.store(0, std::memory_order_relaxed);
+        slot.busy_ns.store(0, std::memory_order_relaxed);
+    }
+    run_start_ = std::chrono::steady_clock::now();
+    run_active_ = true;
+    cv_.notify_all();
+}
+
+void ProgressMeter::noteCellDone(int worker, uint64_t busy_ns)
+{
+    if (worker < 0)
+        worker = 0;
+    if (worker >= kMaxWorkers)
+        worker = kMaxWorkers - 1;
+    Slot &slot = slots_[static_cast<size_t>(worker)];
+    slot.cells.fetch_add(1, std::memory_order_relaxed);
+    slot.busy_ns.fetch_add(busy_ns, std::memory_order_relaxed);
+    done_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ProgressMeter::endRun()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!run_active_)
+        return;
+    emitReport(true);
+    run_active_ = false;
+}
+
+uint64_t ProgressMeter::reportCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return reports_;
+}
+
+void ProgressMeter::reporterLoop()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (!stopping_) {
+        if (!run_active_) {
+            cv_.wait(lock,
+                     [this] { return stopping_ || run_active_; });
+            continue;
+        }
+        // Wake early on endRun()/destruction; otherwise heartbeat.
+        cv_.wait_for(lock, period_,
+                     [this] { return stopping_ || !run_active_; });
+        if (stopping_ || !run_active_)
+            continue;
+        emitReport(false);
+    }
+}
+
+void ProgressMeter::emitReport(bool final_report)
+{
+    const auto now = std::chrono::steady_clock::now();
+    const double elapsed_s = std::max(
+        std::chrono::duration<double>(now - run_start_).count(), 1e-9);
+    const uint64_t done = done_.load(std::memory_order_relaxed);
+    const double rate = static_cast<double>(done) / elapsed_s;
+    const double eta_s =
+        (rate > 0.0 && total_ > done)
+            ? static_cast<double>(total_ - done) / rate
+            : 0.0;
+
+    const int n = std::max(workers_, 1);
+    if (jsonl_) {
+        std::ostringstream line;
+        line << std::fixed << std::setprecision(3);
+        line << "{\"event\":\"" << (final_report ? "progress_final"
+                                                 : "progress")
+             << "\",\"label\":\"" << escapeJson(label_) << "\""
+             << ",\"done\":" << done << ",\"total\":" << total_
+             << ",\"elapsed_s\":" << elapsed_s
+             << ",\"cells_per_s\":" << rate << ",\"eta_s\":" << eta_s
+             << ",\"workers\":[";
+        for (int w = 0; w < n; ++w) {
+            const Slot &slot = slots_[static_cast<size_t>(w)];
+            const double busy_s =
+                static_cast<double>(
+                    slot.busy_ns.load(std::memory_order_relaxed)) *
+                1e-9;
+            if (w > 0)
+                line << ",";
+            line << "{\"worker\":" << w << ",\"cells\":"
+                 << slot.cells.load(std::memory_order_relaxed)
+                 << ",\"busy_s\":" << busy_s
+                 << ",\"util\":" << std::min(busy_s / elapsed_s, 1.0)
+                 << "}";
+        }
+        line << "]}";
+        os_ << line.str() << "\n";
+    } else {
+        double busy_sum_s = 0.0;
+        for (int w = 0; w < n; ++w)
+            busy_sum_s += static_cast<double>(
+                              slots_[static_cast<size_t>(w)].busy_ns.load(
+                                  std::memory_order_relaxed)) *
+                          1e-9;
+        const double util =
+            std::min(busy_sum_s / (elapsed_s * static_cast<double>(n)),
+                     1.0);
+        std::ostringstream line;
+        line << "[capsim] " << label_ << ": " << done << "/" << total_
+             << " cells, " << std::fixed << std::setprecision(1) << rate
+             << " cells/s, eta " << eta_s << "s, " << n
+             << " workers at " << std::setprecision(0) << util * 100.0
+             << "% util" << (final_report ? " (done)" : "");
+        os_ << line.str() << "\n";
+    }
+    os_.flush();
+    ++reports_;
+}
+
+} // namespace cap::obs

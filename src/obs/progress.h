@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Live progress/heartbeat emitter for long-running studies.
+ *
+ * A ProgressMeter watches a run from a private reporter thread and
+ * periodically emits one heartbeat -- completed cells, cells/sec, ETA,
+ * per-worker utilization -- either as a human-readable line (stderr)
+ * or as a JSONL record (docs/OBSERVABILITY.md documents the schema).
+ * Armed by `--progress[=PATH]` on the study verbs or the
+ * CAPSIM_PROGRESS environment variable.
+ *
+ * The meter only *observes*: workers bump per-worker atomic slots
+ * (relaxed; each slot is written by exactly one worker and padded to
+ * its own cache line), and the reporter thread reads them without
+ * synchronizing with the run.  No simulator state is touched, so
+ * results are bit-identical with the meter on or off (pinned by
+ * tests/obs_test.cc Progress* differentials).
+ *
+ * beginRun()/endRun() bracket one study; the pair can be reused for
+ * consecutive runs (e.g. the profile → cluster → replay stages of a
+ * sampled sweep).  endRun() always emits a final report so short runs
+ * that finish inside one period still leave a record.
+ */
+
+#ifndef CAPSIM_OBS_PROGRESS_H
+#define CAPSIM_OBS_PROGRESS_H
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <thread>
+
+namespace cap::obs {
+
+class ProgressMeter
+{
+  public:
+    /** Worker indices at or above this are folded into the last slot. */
+    static constexpr int kMaxWorkers = 256;
+
+    /**
+     * @param os       Sink for heartbeat lines (stderr or a file).
+     * @param jsonl    Emit JSONL records instead of human text.
+     * @param period_s Seconds between heartbeats (min 1 ms).
+     */
+    ProgressMeter(std::ostream &os, bool jsonl, double period_s = 1.0);
+    ~ProgressMeter();
+
+    ProgressMeter(const ProgressMeter &) = delete;
+    ProgressMeter &operator=(const ProgressMeter &) = delete;
+
+    /**
+     * Start watching a run of @p total_cells cells on @p workers
+     * workers.  Resets the counters; call from the orchestrator.
+     */
+    void beginRun(const std::string &label, uint64_t total_cells,
+                  int workers);
+
+    /**
+     * Record one finished cell that kept worker @p worker busy for
+     * @p busy_ns host-nanoseconds.  Callable from any worker thread.
+     */
+    void noteCellDone(int worker, uint64_t busy_ns);
+
+    /** Stop watching and emit the final report. */
+    void endRun();
+
+    /** Heartbeats emitted so far (final reports included). */
+    uint64_t reportCount() const;
+
+  private:
+    struct alignas(64) Slot
+    {
+        std::atomic<uint64_t> cells{0};
+        std::atomic<uint64_t> busy_ns{0};
+    };
+
+    void reporterLoop();
+    /** Emit one heartbeat; caller holds mutex_. */
+    void emitReport(bool final_report);
+
+    std::ostream &os_;
+    bool jsonl_;
+    std::chrono::nanoseconds period_;
+
+    std::array<Slot, kMaxWorkers> slots_;
+    std::atomic<uint64_t> done_{0};
+
+    mutable std::mutex mutex_;
+    std::condition_variable cv_;
+    std::string label_;
+    uint64_t total_ = 0;
+    int workers_ = 0;
+    std::chrono::steady_clock::time_point run_start_;
+    uint64_t reports_ = 0;
+    bool run_active_ = false;
+    bool stopping_ = false;
+    std::thread reporter_;
+};
+
+} // namespace cap::obs
+
+#endif // CAPSIM_OBS_PROGRESS_H

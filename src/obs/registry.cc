@@ -40,6 +40,33 @@ FixedHistogram::add(double x, uint64_t count)
     total_ += count;
 }
 
+double
+FixedHistogram::percentile(double p) const
+{
+    if (total_ == 0)
+        return lo_;
+    p = std::clamp(p, 0.0, 100.0);
+    double rank = p / 100.0 * static_cast<double>(total_);
+    double width =
+        (hi_ - lo_) / static_cast<double>(counts_.size());
+    uint64_t below = 0;
+    for (size_t bin = 0; bin < counts_.size(); ++bin) {
+        uint64_t count = counts_[bin];
+        if (count &&
+            static_cast<double>(below + count) >= rank) {
+            // Clamp the interpolation weight so rank == below (p = 0,
+            // or an exact edge) lands on the bucket's lower bound.
+            double into = std::clamp(
+                (rank - static_cast<double>(below)) /
+                    static_cast<double>(count),
+                0.0, 1.0);
+            return lo_ + width * (static_cast<double>(bin) + into);
+        }
+        below += count;
+    }
+    return hi_;
+}
+
 void
 FixedHistogram::merge(const FixedHistogram &other)
 {
@@ -148,7 +175,11 @@ CounterRegistry::renderJsonFields(std::ostream &os, int indent) const
            << Cell(name).jsonStr()
            << ", \"lo\": " << Cell(h->lo(), 6).jsonStr()
            << ", \"hi\": " << Cell(h->hi(), 6).jsonStr()
-           << ", \"total\": " << h->totalCount() << ", \"buckets\": [";
+           << ", \"total\": " << h->totalCount()
+           << ", \"p50\": " << Cell(h->percentile(50), 6).jsonStr()
+           << ", \"p90\": " << Cell(h->percentile(90), 6).jsonStr()
+           << ", \"p99\": " << Cell(h->percentile(99), 6).jsonStr()
+           << ", \"buckets\": [";
         for (size_t bin = 0; bin < h->binCount(); ++bin)
             os << (bin ? ", " : "") << h->binValue(bin);
         os << "]}";

@@ -76,6 +76,14 @@ class FixedHistogram
     /** Bin-wise sum; shapes (lo, hi, bins) must match exactly. */
     void merge(const FixedHistogram &other);
 
+    /**
+     * Estimated value below which @p p percent of the samples fall
+     * (@p p in [0, 100], clamped).  Linear interpolation inside the
+     * crossing bucket; exact at bucket edges, bucket-width accurate
+     * inside.  An empty histogram reports lo().
+     */
+    double percentile(double p) const;
+
   private:
     double lo_;
     double hi_;

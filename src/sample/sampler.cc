@@ -5,6 +5,7 @@
 
 #include "cache/stack_sim.h"
 #include "core/machine.h"
+#include "obs/span_profiler.h"
 #include "ooo/core_model.h"
 #include "ooo/stream.h"
 #include "ooo/uop_file.h"
@@ -213,8 +214,11 @@ planFromSignatures(const std::vector<IntervalSignature> &signatures,
     std::vector<IntervalSignature> normalized = signatures;
     normalizeSignatures(normalized);
     size_t k = std::min(params.clusters, signatures.size());
-    plan.clustering =
-        kMedoids(normalized, k, params.cluster_seed, params.max_sweeps);
+    {
+        CAPSIM_SPAN("sample.cluster");
+        plan.clustering = kMedoids(normalized, k, params.cluster_seed,
+                                   params.max_sweeps);
+    }
 
     auto lengthOf = [&](size_t i) {
         return i + 1 < plan.num_intervals

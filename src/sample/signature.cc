@@ -5,6 +5,7 @@
 #include <cmath>
 #include <unordered_map>
 
+#include "obs/span_profiler.h"
 #include "ooo/core_model.h"
 #include "ooo/uop_file.h"
 #include "trace/record.h"
@@ -246,6 +247,7 @@ profileCacheIntervals(const trace::CacheBehavior &behavior, uint64_t seed,
 {
     capAssert(refs > 0, "profiling needs references");
     capAssert(interval_refs > 0, "interval length must be positive");
+    CAPSIM_SPAN("sample.profile.intervals");
 
     CacheIntervalProfile profile;
     profile.interval_refs = interval_refs;
@@ -263,6 +265,7 @@ profileCacheIntervalsFromFile(const std::string &path,
                               uint64_t interval_refs)
 {
     capAssert(interval_refs > 0, "interval length must be positive");
+    CAPSIM_SPAN("sample.profile.intervals");
 
     CacheIntervalProfile profile;
     profile.interval_refs = interval_refs;
@@ -364,6 +367,7 @@ profileIlpIntervals(const trace::IlpBehavior &behavior, uint64_t seed,
 {
     capAssert(instructions > 0, "profiling needs instructions");
     capAssert(interval_instrs > 0, "interval length must be positive");
+    CAPSIM_SPAN("sample.profile.intervals");
 
     IlpIntervalProfile profile;
     profile.interval_instrs = interval_instrs;
@@ -381,6 +385,7 @@ profileIlpIntervalsFromFile(const std::string &path,
                             uint64_t interval_instrs)
 {
     capAssert(interval_instrs > 0, "interval length must be positive");
+    CAPSIM_SPAN("sample.profile.intervals");
 
     IlpIntervalProfile profile;
     profile.interval_instrs = interval_instrs;

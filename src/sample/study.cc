@@ -101,10 +101,25 @@ runSampledCacheStudy(const core::AdaptiveCacheModel &model,
 
     // Phase 1: profile + cluster each application (simulator-free).
     std::vector<std::unique_ptr<CacheSampler>> samplers(apps.size());
-    parallelFor(pool, apps.size(), [&](size_t a) {
-        samplers[a] = std::make_unique<CacheSampler>(model, apps[a], refs,
-                                                     params);
-    });
+    if (sinks.progress)
+        sinks.progress->beginRun("sample-cache/profile", apps.size(),
+                                 jobs);
+    {
+        CAPSIM_SPAN("sample.profile");
+        parallelFor(pool, apps.size(), [&](size_t a) {
+            CAPSIM_SPAN("sample.profile.app");
+            SteadyClock::time_point app_start = SteadyClock::now();
+            samplers[a] = std::make_unique<CacheSampler>(model, apps[a],
+                                                         refs, params);
+            if (sinks.progress)
+                sinks.progress->noteCellDone(
+                    currentWorkerId(),
+                    static_cast<uint64_t>(secondsSince(app_start) *
+                                          1e9));
+        });
+    }
+    if (sinks.progress)
+        sinks.progress->endRun();
 
     // Phase 2: replay.  Per-config mode fans the (app, config) chains
     // across the pool (the stale-state warmup makes one
@@ -120,9 +135,15 @@ runSampledCacheStudy(const core::AdaptiveCacheModel &model,
     size_t rep_sims = 0;
     for (size_t a = 0; a < apps.size(); ++a)
         rep_sims += samplers[a]->repCount() * (one_pass ? 1 : configs);
+    if (sinks.progress)
+        sinks.progress->beginRun(
+            "sample-cache/replay",
+            one_pass ? apps.size() : apps.size() * configs, jobs);
     if (one_pass) {
+        CAPSIM_SPAN("sample.replay");
         study.telemetry.cells.assign(apps.size(), {});
         parallelFor(pool, apps.size(), [&](size_t a) {
+            CAPSIM_SPAN("sample.replay.cell");
             SteadyClock::time_point cell_start = SteadyClock::now();
             meas[a] = samplers[a]->measureAllConfigs(max_l1_increments);
             core::CellTelemetry &ct = study.telemetry.cells[a];
@@ -131,10 +152,16 @@ runSampledCacheStudy(const core::AdaptiveCacheModel &model,
                 "onepass x" + std::to_string(max_l1_increments);
             ct.sim_seconds = secondsSince(cell_start);
             ct.worker = currentWorkerId();
+            if (sinks.progress)
+                sinks.progress->noteCellDone(
+                    ct.worker,
+                    static_cast<uint64_t>(ct.sim_seconds * 1e9));
         });
     } else {
+        CAPSIM_SPAN("sample.replay");
         study.telemetry.cells.assign(apps.size() * configs, {});
         parallelFor(pool, apps.size() * configs, [&](size_t i) {
+            CAPSIM_SPAN("sample.replay.cell");
             size_t a = i / configs;
             size_t c = i % configs;
             SteadyClock::time_point cell_start = SteadyClock::now();
@@ -145,11 +172,19 @@ runSampledCacheStudy(const core::AdaptiveCacheModel &model,
             ct.config = cacheConfigLabel(study.timings[c]);
             ct.sim_seconds = secondsSince(cell_start);
             ct.worker = currentWorkerId();
+            if (sinks.progress)
+                sinks.progress->noteCellDone(
+                    ct.worker,
+                    static_cast<uint64_t>(ct.sim_seconds * 1e9));
         });
     }
     study.telemetry.wall_seconds = secondsSince(start);
+    study.telemetry.recordPool(pool);
+    if (sinks.progress)
+        sinks.progress->endRun();
 
     // Phase 3: serial reconstruction + emission, in cell order.
+    CAPSIM_SPAN("sample.reconstruct");
     study.perf.assign(apps.size(),
                       std::vector<SampledCachePerf>(configs));
     uint64_t warmup_total = 0;
@@ -251,10 +286,24 @@ runSampledIqStudy(const core::AdaptiveIqModel &model,
     ThreadPool pool(jobs);
 
     std::vector<std::unique_ptr<IqSampler>> samplers(apps.size());
-    parallelFor(pool, apps.size(), [&](size_t a) {
-        samplers[a] = std::make_unique<IqSampler>(model, apps[a],
-                                                  instructions, params);
-    });
+    if (sinks.progress)
+        sinks.progress->beginRun("sample-iq/profile", apps.size(), jobs);
+    {
+        CAPSIM_SPAN("sample.profile");
+        parallelFor(pool, apps.size(), [&](size_t a) {
+            CAPSIM_SPAN("sample.profile.app");
+            SteadyClock::time_point app_start = SteadyClock::now();
+            samplers[a] = std::make_unique<IqSampler>(
+                model, apps[a], instructions, params);
+            if (sinks.progress)
+                sinks.progress->noteCellDone(
+                    currentWorkerId(),
+                    static_cast<uint64_t>(secondsSince(app_start) *
+                                          1e9));
+        });
+    }
+    if (sinks.progress)
+        sinks.progress->endRun();
 
     // Phase 2: replay.  Per-config mode fans every (app, config, rep)
     // triple across the pool; one-pass mode fans (app, rep) chains,
@@ -278,30 +327,44 @@ runSampledIqStudy(const core::AdaptiveIqModel &model,
         }
     }
     study.telemetry.cells.assign(cells.size(), {});
-    parallelFor(pool, cells.size(), [&](size_t i) {
-        const RepCell &cell = cells[i];
-        SteadyClock::time_point cell_start = SteadyClock::now();
-        core::CellTelemetry &ct = study.telemetry.cells[i];
-        if (one_pass) {
-            std::vector<IqRepMeasurement> per_cfg =
-                samplers[cell.app]->measureRepAllConfigs(cell.rep);
-            for (size_t c = 0; c < configs; ++c)
-                meas[cell.app][c][cell.rep] = per_cfg[c];
-            ct.config = "onepass x" + std::to_string(configs) + "#rep" +
-                        std::to_string(cell.rep);
-        } else {
-            meas[cell.app][cell.config][cell.rep] =
-                samplers[cell.app]->measureRep(sizes[cell.config],
-                                               cell.rep);
-            ct.config = std::to_string(sizes[cell.config]) +
-                        " entries#rep" + std::to_string(cell.rep);
-        }
-        ct.app = apps[cell.app].name;
-        ct.sim_seconds = secondsSince(cell_start);
-        ct.worker = currentWorkerId();
-    });
+    if (sinks.progress)
+        sinks.progress->beginRun("sample-iq/replay", cells.size(), jobs);
+    {
+        CAPSIM_SPAN("sample.replay");
+        parallelFor(pool, cells.size(), [&](size_t i) {
+            CAPSIM_SPAN("sample.replay.cell");
+            const RepCell &cell = cells[i];
+            SteadyClock::time_point cell_start = SteadyClock::now();
+            core::CellTelemetry &ct = study.telemetry.cells[i];
+            if (one_pass) {
+                std::vector<IqRepMeasurement> per_cfg =
+                    samplers[cell.app]->measureRepAllConfigs(cell.rep);
+                for (size_t c = 0; c < configs; ++c)
+                    meas[cell.app][c][cell.rep] = per_cfg[c];
+                ct.config = "onepass x" + std::to_string(configs) + "#rep" +
+                            std::to_string(cell.rep);
+            } else {
+                meas[cell.app][cell.config][cell.rep] =
+                    samplers[cell.app]->measureRep(sizes[cell.config],
+                                                   cell.rep);
+                ct.config = std::to_string(sizes[cell.config]) +
+                            " entries#rep" + std::to_string(cell.rep);
+            }
+            ct.app = apps[cell.app].name;
+            ct.sim_seconds = secondsSince(cell_start);
+            ct.worker = currentWorkerId();
+            if (sinks.progress)
+                sinks.progress->noteCellDone(
+                    ct.worker,
+                    static_cast<uint64_t>(ct.sim_seconds * 1e9));
+        });
+    }
     study.telemetry.wall_seconds = secondsSince(start);
+    study.telemetry.recordPool(pool);
+    if (sinks.progress)
+        sinks.progress->endRun();
 
+    CAPSIM_SPAN("sample.reconstruct");
     study.perf.assign(apps.size(), std::vector<SampledIqPerf>(configs));
     uint64_t warmup_total = 0;
     for (size_t a = 0; a < apps.size(); ++a) {
@@ -377,7 +440,13 @@ runSampledIntervalOracle(const core::AdaptiveIqModel &model,
     capAssert(jobs >= 1, "oracle needs at least one worker");
 
     obs::Hooks sinks = obs::effectiveHooks(hooks);
-    IqSampler sampler(model, app, instructions, params);
+    std::unique_ptr<IqSampler> sampler_holder;
+    {
+        CAPSIM_SPAN("sample.profile");
+        sampler_holder = std::make_unique<IqSampler>(model, app,
+                                                     instructions, params);
+    }
+    IqSampler &sampler = *sampler_holder;
     const SamplePlan &plan = sampler.plan();
     size_t n_cand = candidates.size();
     size_t n_rep = sampler.repCount();
@@ -394,19 +463,35 @@ runSampledIntervalOracle(const core::AdaptiveIqModel &model,
         n_cand, std::vector<IqRepMeasurement>(n_rep));
     SteadyClock::time_point start = SteadyClock::now();
     ThreadPool pool(jobs);
-    parallelFor(pool, n_cand * n_rep, [&](size_t i) {
-        size_t cand = i / n_rep;
-        size_t rep = i % n_rep;
-        SteadyClock::time_point cell_start = SteadyClock::now();
-        meas[cand][rep] = sampler.measureRep(candidates[cand], rep);
-        core::CellTelemetry &ct = result.telemetry.cells[i];
-        ct.app = app.name;
-        ct.config = std::to_string(candidates[cand]) + " entries#rep" +
-                    std::to_string(rep);
-        ct.sim_seconds = secondsSince(cell_start);
-        ct.worker = currentWorkerId();
-    });
+    if (sinks.progress)
+        sinks.progress->beginRun("sample-oracle/replay", n_cand * n_rep,
+                                 jobs);
+    {
+        CAPSIM_SPAN("sample.replay");
+        parallelFor(pool, n_cand * n_rep, [&](size_t i) {
+            CAPSIM_SPAN("sample.replay.cell");
+            size_t cand = i / n_rep;
+            size_t rep = i % n_rep;
+            SteadyClock::time_point cell_start = SteadyClock::now();
+            meas[cand][rep] = sampler.measureRep(candidates[cand], rep);
+            core::CellTelemetry &ct = result.telemetry.cells[i];
+            ct.app = app.name;
+            ct.config = std::to_string(candidates[cand]) +
+                        " entries#rep" + std::to_string(rep);
+            ct.sim_seconds = secondsSince(cell_start);
+            ct.worker = currentWorkerId();
+            if (sinks.progress)
+                sinks.progress->noteCellDone(
+                    ct.worker,
+                    static_cast<uint64_t>(ct.sim_seconds * 1e9));
+        });
+    }
     result.telemetry.wall_seconds = secondsSince(start);
+    result.telemetry.recordPool(pool);
+    if (sinks.progress)
+        sinks.progress->endRun();
+
+    CAPSIM_SPAN("sample.reconstruct");
 
     // Per-cluster winner: the candidate minimizing the medoid's
     // per-instruction time (ties: lowest candidate index).  Medoids

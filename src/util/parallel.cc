@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 
 namespace cap {
@@ -24,11 +25,12 @@ ThreadPool::ThreadPool(int threads, size_t queue_capacity)
     int count = std::max(threads, 1);
     capacity_ = queue_capacity ? queue_capacity
                                : static_cast<size_t>(count) * 4;
+    stats_.workers.resize(static_cast<size_t>(count));
     workers_.reserve(static_cast<size_t>(count));
     for (int i = 0; i < count; ++i) {
         workers_.emplace_back([this, i] {
             t_worker_id = i;
-            workerLoop();
+            workerLoop(i);
         });
     }
 }
@@ -49,8 +51,20 @@ ThreadPool::submit(std::function<void()> task)
 {
     {
         std::unique_lock<std::mutex> lock(mutex_);
-        not_full_.wait(lock, [this] { return tasks_.size() < capacity_; });
+        if (tasks_.size() >= capacity_) {
+            const auto blocked = std::chrono::steady_clock::now();
+            not_full_.wait(lock,
+                           [this] { return tasks_.size() < capacity_; });
+            stats_.submit_block_seconds +=
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - blocked)
+                    .count();
+        }
         tasks_.push(std::move(task));
+        ++stats_.submitted;
+        stats_.max_queue_depth =
+            std::max(stats_.max_queue_depth,
+                     static_cast<uint64_t>(tasks_.size()));
     }
     not_empty_.notify_one();
 }
@@ -68,15 +82,22 @@ ThreadPool::wait()
 }
 
 void
-ThreadPool::workerLoop()
+ThreadPool::workerLoop(int worker_id)
 {
+    Stats::Worker &me = stats_.workers[static_cast<size_t>(worker_id)];
     for (;;) {
         std::function<void()> task;
+        std::chrono::steady_clock::time_point started;
         {
             std::unique_lock<std::mutex> lock(mutex_);
+            const auto idle_from = std::chrono::steady_clock::now();
             not_empty_.wait(lock, [this] {
                 return stopping_ || !tasks_.empty();
             });
+            started = std::chrono::steady_clock::now();
+            me.idle_seconds +=
+                std::chrono::duration<double>(started - idle_from)
+                    .count();
             if (tasks_.empty())
                 return; // stopping_ with a drained queue
             task = std::move(tasks_.front());
@@ -95,11 +116,35 @@ ThreadPool::workerLoop()
 
         {
             std::lock_guard<std::mutex> lock(mutex_);
+            ++me.tasks;
+            me.busy_seconds +=
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - started)
+                    .count();
             --running_;
             if (tasks_.empty() && running_ == 0)
                 idle_.notify_all();
         }
     }
+}
+
+ThreadPool::Stats
+ThreadPool::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+void
+ThreadPool::noteIndicesClaimed(uint64_t count)
+{
+    if (count == 0)
+        return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    size_t worker = static_cast<size_t>(t_worker_id);
+    if (worker >= stats_.workers.size())
+        worker = 0;
+    stats_.workers[worker].indices += count;
 }
 
 int
@@ -124,6 +169,7 @@ parallelFor(ThreadPool &pool, size_t count,
     if (pool.threadCount() <= 1 || count == 1) {
         for (size_t i = 0; i < count; ++i)
             body(i);
+        pool.noteIndicesClaimed(count);
         return;
     }
 
@@ -133,17 +179,21 @@ parallelFor(ThreadPool &pool, size_t count,
     std::atomic<bool> failed{false};
     size_t lanes = std::min(static_cast<size_t>(pool.threadCount()), count);
     for (size_t lane = 0; lane < lanes; ++lane) {
-        pool.submit([&cursor, &failed, &body, count] {
+        pool.submit([&cursor, &failed, &body, &pool, count] {
             size_t i;
+            uint64_t claimed = 0;
             while (!failed.load(std::memory_order_relaxed) &&
                    (i = cursor.fetch_add(1)) < count) {
+                ++claimed;
                 try {
                     body(i);
                 } catch (...) {
                     failed.store(true, std::memory_order_relaxed);
+                    pool.noteIndicesClaimed(claimed);
                     throw;
                 }
             }
+            pool.noteIndicesClaimed(claimed);
         });
     }
     pool.wait();

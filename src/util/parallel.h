@@ -26,6 +26,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <exception>
 #include <functional>
 #include <mutex>
@@ -48,6 +49,32 @@ namespace cap {
 class ThreadPool
 {
   public:
+    /** Cumulative health counters of a pool (see stats()). */
+    struct Stats
+    {
+        /** Per-worker accounting, one entry per pool worker. */
+        struct Worker
+        {
+            /** Tasks the worker executed. */
+            uint64_t tasks = 0;
+            /** parallelFor indices the worker claimed from shared
+             *  cursors (its share of the self-scheduled work). */
+            uint64_t indices = 0;
+            /** Seconds spent inside task bodies. */
+            double busy_seconds = 0.0;
+            /** Seconds spent blocked waiting for work. */
+            double idle_seconds = 0.0;
+        };
+
+        uint64_t submitted = 0;
+        /** Deepest the central queue ever got. */
+        uint64_t max_queue_depth = 0;
+        /** Seconds submit() spent blocked on a full queue
+         *  (backpressure felt by the orchestrator). */
+        double submit_block_seconds = 0.0;
+        std::vector<Worker> workers;
+    };
+
     /**
      * @param threads Worker count; clamped to at least 1.
      * @param queue_capacity Task-queue bound; 0 selects 4x threads.
@@ -70,10 +97,25 @@ class ThreadPool
      */
     void wait();
 
-  private:
-    void workerLoop();
+    /**
+     * Snapshot the cumulative health counters.  All accounting is
+     * updated under the pool mutex at task granularity (never inside
+     * a task body), so the gauge costs nothing on the hot path; a
+     * worker currently blocked for work has its in-progress idle
+     * stretch credited on wake.
+     */
+    Stats stats() const;
 
-    std::mutex mutex_;
+    /**
+     * Credit @p count parallelFor index claims to the calling worker
+     * (called once per lane, not per index).
+     */
+    void noteIndicesClaimed(uint64_t count);
+
+  private:
+    void workerLoop(int worker_id);
+
+    mutable std::mutex mutex_;
     std::condition_variable not_empty_;
     std::condition_variable not_full_;
     std::condition_variable idle_;
@@ -82,6 +124,7 @@ class ThreadPool
     size_t running_ = 0;
     bool stopping_ = false;
     std::exception_ptr first_error_;
+    Stats stats_;
     std::vector<std::thread> workers_;
 };
 

@@ -6,10 +6,13 @@
  * through `--trace` / `analyze-trace` / `--metrics-json`.
  */
 
+#include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -23,7 +26,9 @@
 #include "core/telemetry.h"
 #include "obs/decision_trace.h"
 #include "obs/hooks.h"
+#include "obs/progress.h"
 #include "obs/registry.h"
+#include "obs/span_profiler.h"
 #include "obs/trace_reader.h"
 #include "trace/workloads.h"
 #include "util/parallel.h"
@@ -542,6 +547,527 @@ TEST(ObsCliTest, SweepWithoutObsFlagsWritesNothing)
         cli::runCommand({"iq-sweep", "li", "--instrs", "6000"}, out, err);
     EXPECT_EQ(rc, 0) << err.str();
     EXPECT_NE(out.str().find("avg TPI"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// FixedHistogram percentiles
+// ---------------------------------------------------------------------
+
+TEST(ObsRegistryTest, PercentileInterpolatesAcrossUniformBuckets)
+{
+    obs::FixedHistogram hist(0.0, 100.0, 100);
+    for (int i = 0; i < 100; ++i)
+        hist.add(i + 0.5); // one sample per unit-wide bucket
+    EXPECT_DOUBLE_EQ(hist.percentile(0), 0.0);
+    EXPECT_NEAR(hist.percentile(50), 50.0, 1.0);
+    EXPECT_NEAR(hist.percentile(90), 90.0, 1.0);
+    EXPECT_NEAR(hist.percentile(99), 99.0, 1.0);
+    EXPECT_DOUBLE_EQ(hist.percentile(100), 100.0);
+    // Out-of-range p clamps instead of extrapolating.
+    EXPECT_DOUBLE_EQ(hist.percentile(-5), hist.percentile(0));
+    EXPECT_DOUBLE_EQ(hist.percentile(400), hist.percentile(100));
+}
+
+TEST(ObsRegistryTest, PercentileOfEmptyAndDegenerateHistograms)
+{
+    obs::FixedHistogram empty(1.0, 2.0, 4);
+    EXPECT_DOUBLE_EQ(empty.percentile(50), 1.0);
+
+    // Every sample in one bucket: percentiles stay inside it.
+    obs::FixedHistogram point(0.0, 8.0, 8);
+    point.add(3.5, 1000);
+    for (double p : {1.0, 50.0, 99.0}) {
+        EXPECT_GE(point.percentile(p), 3.0);
+        EXPECT_LE(point.percentile(p), 4.0);
+    }
+}
+
+TEST(ObsRegistryTest, HistogramJsonCarriesPercentiles)
+{
+    obs::CounterRegistry registry;
+    obs::FixedHistogram &hist =
+        registry.histogram("core.occupancy", 0.0, 10.0, 10);
+    for (int i = 0; i < 10; ++i)
+        hist.add(i + 0.5);
+    std::ostringstream os;
+    registry.renderJsonFields(os, 0);
+    std::string json = os.str();
+    EXPECT_NE(json.find("\"p50\": "), std::string::npos) << json;
+    EXPECT_NE(json.find("\"p90\": "), std::string::npos) << json;
+    EXPECT_NE(json.find("\"p99\": "), std::string::npos) << json;
+}
+
+// ---------------------------------------------------------------------
+// Host-side span profiler (runs under TSan in CI)
+// ---------------------------------------------------------------------
+
+TEST(HostProfileTest, DisarmedSpansRecordNothing)
+{
+    obs::SpanProfiler profiler; // never armed
+    {
+        CAPSIM_SPAN("never.recorded");
+    }
+    EXPECT_EQ(obs::SpanProfiler::active(), nullptr);
+    EXPECT_EQ(profiler.spanCount(), 0u);
+    EXPECT_EQ(profiler.laneCount(), 0);
+}
+
+TEST(HostProfileTest, NestingComputesDepthSelfTimeAndStageTable)
+{
+    obs::SpanProfiler profiler;
+    profiler.arm();
+    {
+        CAPSIM_SPAN("outer");
+        {
+            CAPSIM_SPAN("inner");
+        }
+        {
+            CAPSIM_SPAN("inner");
+        }
+    }
+    profiler.disarm();
+    EXPECT_EQ(obs::SpanProfiler::active(), nullptr);
+
+    ASSERT_EQ(profiler.spanCount(), 3u);
+    const std::vector<obs::SpanRecord> &lane = profiler.lane(0);
+    // Completion order: both inner spans close before the outer.
+    EXPECT_STREQ(lane[0].name, "inner");
+    EXPECT_EQ(lane[0].depth, 1);
+    EXPECT_STREQ(lane[1].name, "inner");
+    EXPECT_STREQ(lane[2].name, "outer");
+    EXPECT_EQ(lane[2].depth, 0);
+    // The outer's self time excludes both children exactly.
+    uint64_t inner_total = lane[0].dur_ns + lane[1].dur_ns;
+    EXPECT_GE(lane[2].dur_ns, inner_total);
+    EXPECT_EQ(lane[2].self_ns, lane[2].dur_ns - inner_total);
+    EXPECT_GE(lane[2].start_ns + lane[2].dur_ns,
+              lane[1].start_ns + lane[1].dur_ns);
+
+    std::vector<obs::StageRow> rows = profiler.stageTable();
+    ASSERT_EQ(rows.size(), 2u);
+    uint64_t calls = 0;
+    double share = 0.0;
+    for (const obs::StageRow &row : rows) {
+        calls += row.calls;
+        share += row.share_pct;
+        EXPECT_GE(row.total_s, row.self_s);
+    }
+    EXPECT_EQ(calls, 3u);
+    EXPECT_NEAR(share, 100.0, 1e-6);
+}
+
+TEST(HostProfileTest, DisarmMidSpanStaysBalanced)
+{
+    obs::SpanProfiler profiler;
+    profiler.arm();
+    {
+        CAPSIM_SPAN("outlives.the.arm");
+        profiler.disarm();
+        // The scoped span cached the profiler at construction; its
+        // close must still land there instead of being dropped.
+    }
+    EXPECT_EQ(profiler.spanCount(), 1u);
+    EXPECT_STREQ(profiler.lane(0)[0].name, "outlives.the.arm");
+}
+
+TEST(HostProfileTest, WorkerLanesRecordIndependentlyUnderParallelFor)
+{
+    obs::SpanProfiler profiler;
+    profiler.arm();
+    constexpr size_t kCells = 48;
+    std::atomic<uint64_t> sum{0};
+    {
+        CAPSIM_SPAN("test.fanout");
+        parallelFor(4, kCells, [&](size_t i) {
+            CAPSIM_SPAN("test.cell");
+            sum.fetch_add(i + 1, std::memory_order_relaxed);
+        });
+    }
+    profiler.disarm();
+    EXPECT_EQ(sum.load(), kCells * (kCells + 1) / 2);
+
+    EXPECT_EQ(profiler.spanCount(), kCells + 1);
+    size_t cell_records = 0;
+    for (int l = 0; l < profiler.laneCount(); ++l) {
+        for (const obs::SpanRecord &r : profiler.lane(l)) {
+            if (std::string(r.name) == "test.cell")
+                ++cell_records;
+        }
+    }
+    EXPECT_EQ(cell_records, kCells);
+
+    std::vector<obs::StageRow> rows = profiler.stageTable();
+    ASSERT_EQ(rows.size(), 2u);
+    for (const obs::StageRow &row : rows) {
+        if (row.name == "test.cell")
+            EXPECT_EQ(row.calls, kCells);
+        else
+            EXPECT_EQ(row.name, "test.fanout");
+    }
+}
+
+TEST(HostProfileTest, ChromeTraceHasWorkerLanesAndNestedSpans)
+{
+    obs::SpanProfiler profiler;
+    profiler.arm();
+    {
+        CAPSIM_SPAN("chrome.outer");
+        CAPSIM_SPAN("chrome.inner");
+    }
+    profiler.disarm();
+
+    std::ostringstream os;
+    profiler.writeChromeTrace(os);
+    std::string json = os.str();
+    EXPECT_NE(json.find("\"process_name\""), std::string::npos) << json;
+    EXPECT_NE(json.find("worker 0"), std::string::npos) << json;
+    EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos) << json;
+    EXPECT_NE(json.find("chrome.outer"), std::string::npos) << json;
+    EXPECT_NE(json.find("\"depth\":1"), std::string::npos)
+        << "the inner span is nested one level down: " << json;
+
+    std::ostringstream table;
+    profiler.writeStageTable(table);
+    EXPECT_NE(table.str().find("stage attribution"), std::string::npos);
+    EXPECT_NE(table.str().find("chrome.inner"), std::string::npos);
+}
+
+TEST(HostProfileTest, StageTableMergeIsDeterministicAcrossJobCounts)
+{
+    // Same work on 1 and 4 workers: wall-clock timings differ, but the
+    // aggregated structure (names, order domain, call counts) must not.
+    auto runOnce = [](int jobs) {
+        obs::SpanProfiler profiler;
+        profiler.arm();
+        {
+            CAPSIM_SPAN("det.fanout");
+            parallelFor(jobs, 32, [&](size_t) {
+                CAPSIM_SPAN("det.cell");
+            });
+        }
+        profiler.disarm();
+        std::vector<std::pair<std::string, uint64_t>> shape;
+        for (const obs::StageRow &row : profiler.stageTable())
+            shape.emplace_back(row.name, row.calls);
+        std::sort(shape.begin(), shape.end());
+        return shape;
+    };
+    EXPECT_EQ(runOnce(1), runOnce(4));
+}
+
+// ---------------------------------------------------------------------
+// Progress meter (runs under TSan in CI)
+// ---------------------------------------------------------------------
+
+TEST(ProgressTest, FinalJsonlReportAccountsEveryCell)
+{
+    std::ostringstream os;
+    {
+        // Period far beyond the test: only endRun's final report fires.
+        obs::ProgressMeter meter(os, /*jsonl=*/true, /*period_s=*/3600.0);
+        meter.beginRun("unit-test", 3, 2);
+        meter.noteCellDone(0, 1000000);
+        meter.noteCellDone(1, 2000000);
+        meter.noteCellDone(0, 500000);
+        meter.endRun();
+        EXPECT_GE(meter.reportCount(), 1u);
+    }
+    std::string text = os.str();
+    EXPECT_NE(text.find("\"event\":\"progress_final\""), std::string::npos)
+        << text;
+    EXPECT_NE(text.find("\"label\":\"unit-test\""), std::string::npos);
+    EXPECT_NE(text.find("\"done\":3"), std::string::npos) << text;
+    EXPECT_NE(text.find("\"total\":3"), std::string::npos);
+    EXPECT_NE(text.find("\"worker\":1"), std::string::npos)
+        << "per-worker utilization breakdown";
+}
+
+TEST(ProgressTest, TextHeartbeatNamesTheRun)
+{
+    std::ostringstream os;
+    {
+        obs::ProgressMeter meter(os, false, 3600.0);
+        meter.beginRun("text-run", 2, 1);
+        meter.noteCellDone(0, 1000);
+        meter.noteCellDone(0, 1000);
+        meter.endRun();
+    }
+    EXPECT_NE(os.str().find("text-run: 2/2 cells"), std::string::npos)
+        << os.str();
+}
+
+TEST(ProgressTest, MeterIsReusableAcrossConsecutiveRuns)
+{
+    std::ostringstream os;
+    obs::ProgressMeter meter(os, true, 3600.0);
+    meter.beginRun("first", 1, 1);
+    meter.noteCellDone(0, 10);
+    meter.endRun();
+    meter.beginRun("second", 2, 1);
+    meter.noteCellDone(0, 10);
+    meter.noteCellDone(0, 10);
+    meter.endRun();
+    std::string text = os.str();
+    EXPECT_NE(text.find("\"label\":\"first\""), std::string::npos);
+    EXPECT_NE(text.find("\"label\":\"second\""), std::string::npos);
+    // The second run's counters started fresh.
+    EXPECT_NE(text.find("\"done\":2,\"total\":2"), std::string::npos)
+        << text;
+}
+
+TEST(ProgressTest, OutOfRangeWorkerIndicesAreClampedNotLost)
+{
+    std::ostringstream os;
+    {
+        obs::ProgressMeter meter(os, true, 3600.0);
+        meter.beginRun("clamped", 2, 1);
+        meter.noteCellDone(-3, 10);
+        meter.noteCellDone(obs::ProgressMeter::kMaxWorkers + 7, 10);
+        meter.endRun();
+    }
+    EXPECT_NE(os.str().find("\"done\":2"), std::string::npos) << os.str();
+}
+
+TEST(ProgressTest, ObservingWorkersDoesNotPerturbTheRun)
+{
+    // The differential the docs promise: a watched parallel fan-out
+    // produces bit-identical results to an unwatched one.
+    auto runOnce = [](obs::ProgressMeter *meter) {
+        std::vector<uint64_t> out(64);
+        parallelFor(4, out.size(), [&](size_t i) {
+            out[i] = i * 2654435761u;
+            if (meter)
+                meter->noteCellDone(currentWorkerId(), 100);
+        });
+        return out;
+    };
+    std::ostringstream os;
+    obs::ProgressMeter meter(os, true, 3600.0);
+    meter.beginRun("diff", 64, 4);
+    std::vector<uint64_t> watched = runOnce(&meter);
+    meter.endRun();
+    std::vector<uint64_t> plain = runOnce(nullptr);
+    EXPECT_EQ(watched, plain);
+}
+
+// ---------------------------------------------------------------------
+// RunTelemetry edge cases and pool instrumentation
+// ---------------------------------------------------------------------
+
+TEST(ObsTelemetryTest, WorkerLoadsWithIdleWorkers)
+{
+    core::RunTelemetry telemetry;
+    telemetry.jobs = 4;
+    telemetry.wall_seconds = 1.0;
+    telemetry.cells.push_back({"a", "c0", 1.0, 0}); // workers 1-3 idle
+
+    std::vector<core::WorkerLoad> loads = telemetry.workerLoads();
+    ASSERT_EQ(loads.size(), 4u);
+    EXPECT_EQ(loads[0].cells, 1u);
+    for (size_t w = 1; w < 4; ++w) {
+        EXPECT_EQ(loads[w].cells, 0u);
+        EXPECT_DOUBLE_EQ(loads[w].sim_seconds, 0.0);
+    }
+    // busiest 1.0 over mean 0.25
+    EXPECT_NEAR(telemetry.workerImbalance(), 4.0, 1e-12);
+}
+
+TEST(ObsTelemetryTest, ZeroCellRunIsWellDefined)
+{
+    core::RunTelemetry telemetry;
+    telemetry.jobs = 2;
+    telemetry.wall_seconds = 0.5;
+
+    EXPECT_EQ(telemetry.workerLoads().size(), 2u);
+    EXPECT_DOUBLE_EQ(telemetry.workerImbalance(), 0.0);
+    EXPECT_DOUBLE_EQ(telemetry.cellsPerSecond(), 0.0);
+
+    std::ostringstream os;
+    telemetry.writeJson(os);
+    EXPECT_NE(os.str().find("\"cells\": 0"), std::string::npos)
+        << os.str();
+}
+
+TEST(ObsTelemetryTest, CellOnAWorkerBeyondJobsGrowsTheBreakdown)
+{
+    // A cell attributed past the declared job count (e.g. a recorded
+    // trace merged from elsewhere) must widen the table, not crash.
+    core::RunTelemetry telemetry;
+    telemetry.jobs = 1;
+    telemetry.cells.push_back({"a", "c0", 1.0, 5});
+    std::vector<core::WorkerLoad> loads = telemetry.workerLoads();
+    ASSERT_EQ(loads.size(), 6u);
+    EXPECT_EQ(loads[5].cells, 1u);
+}
+
+TEST(ObsTelemetryTest, RecordedPoolStatsAppearInJsonAndFold)
+{
+    ThreadPool pool(3);
+    parallelFor(pool, 8, [](size_t) {});
+    core::RunTelemetry telemetry;
+    telemetry.jobs = 3;
+    telemetry.wall_seconds = 1.0;
+    telemetry.recordPool(pool);
+
+    ASSERT_TRUE(telemetry.pool_recorded);
+    ASSERT_EQ(telemetry.pool.workers.size(), 3u);
+    uint64_t tasks = 0;
+    uint64_t indices = 0;
+    for (const ThreadPool::Stats::Worker &w : telemetry.pool.workers) {
+        tasks += w.tasks;
+        indices += w.indices;
+    }
+    EXPECT_EQ(indices, 8u) << "every parallelFor index claimed once";
+    EXPECT_EQ(tasks, telemetry.pool.submitted)
+        << "every submitted task ran";
+    EXPECT_GE(telemetry.pool.max_queue_depth, 1u);
+
+    std::ostringstream os;
+    telemetry.writeJson(os);
+    std::string json = os.str();
+    EXPECT_NE(json.find("\"pool\": {"), std::string::npos) << json;
+    EXPECT_NE(json.find("\"pool_workers\": ["), std::string::npos);
+    EXPECT_NE(json.find("\"max_queue_depth\""), std::string::npos);
+
+    obs::CounterRegistry registry;
+    telemetry.fold(registry);
+    EXPECT_EQ(registry.counterValue("telemetry.pool_submitted"),
+              telemetry.pool.submitted);
+}
+
+TEST(ObsTelemetryTest, UnrecordedPoolStaysOutOfTheJson)
+{
+    core::RunTelemetry telemetry;
+    telemetry.jobs = 1;
+    std::ostringstream os;
+    telemetry.writeJson(os);
+    EXPECT_EQ(os.str().find("\"pool\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// CLI differentials: --host-profile / --progress must not perturb
+// results (the run-health flags only observe host time)
+// ---------------------------------------------------------------------
+
+TEST(HostProfileTest, CliStudyIsBitIdenticalWithProfilingOnAndOff)
+{
+    for (int jobs : {1, 4}) {
+        std::string chrome = tempPath("hp_diff_chrome.json");
+        std::string progress = tempPath("hp_diff_progress.jsonl");
+
+        // One run per instrumentation state; stdout (the study tables)
+        // and the decision trace must match byte for byte.
+        auto runStudy = [&](bool instrumented) {
+            std::string jsonl = tempPath("hp_diff_trace.jsonl");
+            std::vector<std::string> args = {
+                "iq-sweep",  "li",
+                "--instrs",  "9000",
+                "--jobs",    std::to_string(jobs),
+                "--trace",   jsonl};
+            if (instrumented) {
+                args.push_back("--host-profile=" + chrome);
+                args.push_back("--progress=" + progress);
+            }
+            std::ostringstream out;
+            std::ostringstream err;
+            EXPECT_EQ(cli::runCommand(args, out, err), 0) << err.str();
+            std::stringstream trace_text;
+            trace_text << std::ifstream(jsonl).rdbuf();
+            std::remove(jsonl.c_str());
+            std::remove((jsonl + ".chrome.json").c_str());
+            return out.str() + "\n--trace--\n" + trace_text.str();
+        };
+
+        std::string plain = runStudy(false);
+        std::string profiled = runStudy(true);
+        EXPECT_EQ(plain, profiled) << "jobs=" << jobs;
+
+        // The instrumented run left its artifacts behind.
+        std::stringstream chrome_text;
+        chrome_text << std::ifstream(chrome).rdbuf();
+        EXPECT_NE(chrome_text.str().find("study.cell"),
+                  std::string::npos);
+        EXPECT_NE(chrome_text.str().find("worker 0"), std::string::npos);
+        std::stringstream progress_text;
+        progress_text << std::ifstream(progress).rdbuf();
+        EXPECT_NE(progress_text.str().find("\"event\":\"progress_final\""),
+                  std::string::npos);
+        EXPECT_NE(progress_text.str().find("\"label\":\"iq-sweep\""),
+                  std::string::npos);
+        std::remove(chrome.c_str());
+        std::remove(progress.c_str());
+    }
+}
+
+TEST(HostProfileTest, SampledStudyIsIdenticalWithProfilingOn)
+{
+    auto runStudy = [&](bool instrumented) {
+        std::vector<std::string> args = {
+            "sample-run", "li", "--study", "iq", "--instrs", "30000",
+            "--jobs", "3"};
+        if (instrumented) {
+            args.push_back("--host-profile");
+            args.push_back("--progress");
+        }
+        std::ostringstream out;
+        std::ostringstream err;
+        EXPECT_EQ(cli::runCommand(args, out, err), 0) << err.str();
+        if (instrumented) {
+            EXPECT_NE(err.str().find("stage attribution"),
+                      std::string::npos)
+                << err.str();
+            EXPECT_NE(err.str().find("sample.replay"), std::string::npos)
+                << err.str();
+        }
+        return out.str();
+    };
+    EXPECT_EQ(runStudy(false), runStudy(true));
+}
+
+TEST(HostProfileTest, SampleProfileEmitsStageTable)
+{
+    std::ostringstream out;
+    std::ostringstream err;
+    int rc = cli::runCommand({"sample-profile", "li", "--study", "iq",
+                              "--instrs", "30000", "--host-profile"},
+                             out, err);
+    ASSERT_EQ(rc, 0) << err.str();
+    EXPECT_NE(out.str().find("sampling plan"), std::string::npos);
+    EXPECT_NE(err.str().find("stage attribution"), std::string::npos)
+        << err.str();
+    EXPECT_NE(err.str().find("sample.cluster"), std::string::npos)
+        << err.str();
+}
+
+TEST(HostProfileTest, TelemetryJsonOnIntervalRunAndSampleRun)
+{
+    // Satellite of the run-health work: --telemetry-json is accepted
+    // by interval-run and sample-run and lands the standard document.
+    std::string path = tempPath("hp_interval_telemetry.json");
+    std::ostringstream out;
+    std::ostringstream err;
+    int rc = cli::runCommand({"interval-run", "li", "--instrs", "30000",
+                              "--telemetry-json", path},
+                             out, err);
+    ASSERT_EQ(rc, 0) << err.str();
+    std::stringstream doc;
+    doc << std::ifstream(path).rdbuf();
+    EXPECT_NE(doc.str().find("\"wall_seconds\""), std::string::npos);
+    std::remove(path.c_str());
+
+    std::string sample_path = tempPath("hp_sample_telemetry.json");
+    rc = cli::runCommand({"sample-run", "li", "--study", "iq",
+                          "--instrs", "30000", "--jobs", "2",
+                          "--telemetry-json", sample_path},
+                         out, err);
+    ASSERT_EQ(rc, 0) << err.str();
+    std::stringstream sample_doc;
+    sample_doc << std::ifstream(sample_path).rdbuf();
+    EXPECT_NE(sample_doc.str().find("\"wall_seconds\""),
+              std::string::npos);
+    EXPECT_NE(sample_doc.str().find("\"pool\""), std::string::npos)
+        << "sampled runs record thread-pool health";
+    std::remove(sample_path.c_str());
 }
 
 } // namespace
