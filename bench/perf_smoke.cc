@@ -43,6 +43,7 @@
 #include "bench_common.h"
 #include "bench_study.h"
 #include "obs/span_profiler.h"
+#include "serve/job.h"
 
 namespace {
 
@@ -260,6 +261,86 @@ main(int argc, char **argv)
                      Cell(iq_fast_rate, 0), Cell(iq_speedup, 2)});
     emit(iq_table);
 
+    // ---- Study server: cold vs warm. The warm pass replays the same
+    // submissions against a populated ResultCache, so it measures the
+    // cache + render path alone; the gate holds the warm pass to at
+    // least 5x the cold pass (ISSUE 8). ----
+    serve::ResultCache serve_cache(4096);
+    serve::JobExecutor serve_executor(serve_cache, jobs);
+    serve::JobSpec serve_cache_job;
+    serve_cache_job.kind = serve::JobKind::CacheSweep;
+    serve_cache_job.refs = refs;
+    for (const trace::AppProfile &app : apps)
+        serve_cache_job.apps.push_back(app.name);
+    serve::JobSpec serve_iq_job;
+    serve_iq_job.kind = serve::JobKind::IqSweep;
+    serve_iq_job.instrs = instrs;
+    for (const trace::AppProfile &app : iq_apps)
+        serve_iq_job.apps.push_back(app.name);
+
+    auto serveStudy = [&](uint64_t &hits, uint64_t &cells,
+                          std::string &output) {
+        auto start = std::chrono::steady_clock::now();
+        serve::JobOutcome a =
+            serve_executor.run(serve_cache_job, {}, {}, nullptr);
+        serve::JobOutcome b =
+            serve_executor.run(serve_iq_job, {}, {}, nullptr);
+        double seconds = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - start)
+                             .count();
+        if (!a.ok() || !b.ok()) {
+            std::cerr << "perf_smoke: serve job failed: " << a.error
+                      << b.error << "\n";
+            std::exit(1);
+        }
+        hits = a.cell_hits + b.cell_hits;
+        cells = a.cells + b.cells;
+        output = a.output + b.output;
+        return seconds;
+    };
+
+    uint64_t cold_hits = 0, cold_cells = 0;
+    uint64_t warm_hits = 0, warm_cells = 0;
+    std::string cold_output, warm_output;
+    const double serve_cold_s =
+        serveStudy(cold_hits, cold_cells, cold_output);
+    const double serve_warm_s =
+        serveStudy(warm_hits, warm_cells, warm_output);
+    if (cold_output != warm_output) {
+        std::cerr << "perf_smoke: warm serve output diverges from the "
+                     "cold run\n";
+        return 1;
+    }
+    const double serve_hit_ratio =
+        warm_cells ? static_cast<double>(warm_hits) /
+                         static_cast<double>(warm_cells)
+                   : 0.0;
+    const double serve_warm_speedup =
+        serve_warm_s > 0.0 ? serve_cold_s / serve_warm_s : 0.0;
+
+    std::cout << "\n";
+    TableWriter serve_table(
+        "study server, cold vs warm (cache sweep + IQ sweep)");
+    serve_table.setHeader({"pass", "wall_s", "cell_hits", "speedup"});
+    serve_table.addRow({Cell("cold"), Cell(serve_cold_s, 3),
+                        Cell(cold_hits), Cell(1.0, 2)});
+    serve_table.addRow({Cell("warm"), Cell(serve_warm_s, 3),
+                        Cell(warm_hits), Cell(serve_warm_speedup, 2)});
+    emit(serve_table);
+
+    if (cold_hits != 0 || warm_hits != warm_cells) {
+        std::cerr << "perf_smoke: unexpected serve hit pattern (cold "
+                  << cold_hits << " hits, warm " << warm_hits << "/"
+                  << warm_cells << ")\n";
+        return 1;
+    }
+    if (serve_warm_speedup < 5.0) {
+        std::cerr << "perf_smoke: warm serve pass only "
+                  << Cell(serve_warm_speedup, 2).str()
+                  << "x faster than cold (gate: 5x)\n";
+        return 1;
+    }
+
     // ---- Host-profiler cost: the spans in the orchestration hot
     // paths must be ~free when no profiler is armed. ----
     std::vector<obs::StageRow> stages = stage_profiler->stageTable();
@@ -274,7 +355,8 @@ main(int argc, char **argv)
     const double armed_ns = spanCostNs(100000);
     cost_profiler.disarm();
 
-    const double study_wall_s = slow_s + fast_s + iq_slow_s + iq_fast_s;
+    const double study_wall_s = slow_s + fast_s + iq_slow_s +
+                                iq_fast_s + serve_cold_s + serve_warm_s;
     const double overhead_pct =
         study_wall_s > 0.0
             ? 100.0 * static_cast<double>(study_spans) * disarmed_ns /
@@ -328,6 +410,14 @@ main(int argc, char **argv)
             << "  \"iq_onepass_seconds\": " << Cell(iq_fast_s, 6).str()
             << ",\n"
             << "  \"iq_speedup\": " << Cell(iq_speedup, 3).str() << ",\n"
+            << "  \"serve_cold_seconds\": " << Cell(serve_cold_s, 6).str()
+            << ",\n"
+            << "  \"serve_warm_seconds\": " << Cell(serve_warm_s, 6).str()
+            << ",\n"
+            << "  \"serve_hit_ratio\": " << Cell(serve_hit_ratio, 4).str()
+            << ",\n"
+            << "  \"serve_warm_speedup\": "
+            << Cell(serve_warm_speedup, 3).str() << ",\n"
             << "  \"span_disarmed_ns\": " << Cell(disarmed_ns, 3).str()
             << ",\n"
             << "  \"span_armed_ns\": " << Cell(armed_ns, 3).str() << ",\n"

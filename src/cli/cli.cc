@@ -6,6 +6,7 @@
 #include <cmath>
 #include <cstdlib>
 #include <fstream>
+#include <iostream>
 #include <limits>
 #include <map>
 #include <memory>
@@ -22,6 +23,9 @@
 #include "ooo/stream.h"
 #include "ooo/uop_file.h"
 #include "sample/study.h"
+#include "serve/render.h"
+#include "serve/server.h"
+#include "serve/transport.h"
 #include "trace/analysis.h"
 #include "trace/file_trace.h"
 #include "trace/stream.h"
@@ -172,6 +176,22 @@ cmdHelp(std::ostream &out)
            "      [--refs N | --instrs N]  records / uops to write\n"
            "  analyze <path>               characterize a trace file\n"
            "      [--limit N] [--block B]  records to read, block bytes\n"
+           "  serve                        study-server daemon: JSONL\n"
+           "                               protocol, cached cells\n"
+           "                               (docs/SERVER.md)\n"
+           "      --socket PATH | --stdio  transport\n"
+           "      [--jobs N]               cell workers (0 = all cores)\n"
+           "      [--queue N]              submit-queue bound\n"
+           "      [--cache N]              in-memory cache entries\n"
+           "      [--spill PATH]           JSONL cache spill file\n"
+           "      [--heartbeats]           stream progress events\n"
+           "      [--heartbeat-period S]   seconds between heartbeats\n"
+           "  client <study-file>          submit a study to a daemon,\n"
+           "                               print the offline verbs'\n"
+           "                               exact bytes\n"
+           "      --socket PATH            daemon socket\n"
+           "      [--events PATH]          append protocol events\n"
+           "      [--shutdown]             stop the daemon afterwards\n"
            "  help                         this text\n"
            "\n"
            "observability (sweeps, sample-*, and interval-run):\n"
@@ -523,38 +543,15 @@ cmdCacheSweep(const Options &options, std::ostream &out, std::ostream &err)
     ObsSession session = obsSessionFromFlags(options, err);
     core::AdaptiveCacheModel model;
 
+    std::vector<std::string> names;
+    for (const trace::AppProfile &app : apps)
+        names.push_back(app.name);
+
     if (sampled) {
         sample::SampledCacheStudy study = sample::runSampledCacheStudy(
             model, apps, refs, sparams, 8, jobsFlag(options),
             session.hooks(), onePassFlag(options));
-        TableWriter table("sampled avg TPI (ns) vs L1 size, " +
-                          std::to_string(refs) + " refs per run");
-        std::vector<std::string> header{"app"};
-        for (int k = 1; k <= 8; ++k)
-            header.push_back(std::to_string(8 * k) + "KB");
-        header.push_back("best");
-        table.setHeader(header);
-        for (size_t a = 0; a < apps.size(); ++a) {
-            std::vector<Cell> row{Cell(apps[a].name)};
-            const auto &sweep = study.perf[a];
-            size_t best = 0;
-            for (size_t i = 0; i < sweep.size(); ++i) {
-                row.emplace_back(sweep[i].perf.tpi_ns, 3);
-                if (sweep[i].perf.tpi_ns < sweep[best].perf.tpi_ns)
-                    best = i;
-            }
-            row.emplace_back(std::to_string(8 * (best + 1)) + "KB");
-            table.addRow(row);
-        }
-        table.renderAscii(out);
-        uint64_t full_refs = refs * apps.size() * 8;
-        out << "sampled: " << study.simulatedRefs()
-            << " refs simulated of " << full_refs << " ("
-            << Cell(static_cast<double>(full_refs) /
-                        static_cast<double>(study.simulatedRefs()),
-                    1)
-                   .str()
-            << "x fewer)\n";
+        serve::renderSampledCacheSweep(out, names, study.perf, refs);
         if (int rc = writeTelemetry(options, study.telemetry, err))
             return rc;
         return writeObsOutputs(session, study.telemetry, err);
@@ -563,27 +560,7 @@ cmdCacheSweep(const Options &options, std::ostream &out, std::ostream &err)
     core::CacheStudy study = core::runCacheStudy(
         model, apps, refs, 8, jobsFlag(options), session.hooks(),
         onePassFlag(options));
-
-    TableWriter table("avg TPI (ns) vs L1 size, " + std::to_string(refs) +
-                      " refs per run");
-    std::vector<std::string> header{"app"};
-    for (int k = 1; k <= 8; ++k)
-        header.push_back(std::to_string(8 * k) + "KB");
-    header.push_back("best");
-    table.setHeader(header);
-    for (size_t a = 0; a < apps.size(); ++a) {
-        std::vector<Cell> row{Cell(apps[a].name)};
-        const auto &sweep = study.perf[a];
-        size_t best = 0;
-        for (size_t i = 0; i < sweep.size(); ++i) {
-            row.emplace_back(sweep[i].tpi_ns, 3);
-            if (sweep[i].tpi_ns < sweep[best].tpi_ns)
-                best = i;
-        }
-        row.emplace_back(std::to_string(8 * (best + 1)) + "KB");
-        table.addRow(row);
-    }
-    table.renderAscii(out);
+    serve::renderCacheSweep(out, names, study.perf, refs);
     if (int rc = writeTelemetry(options, study.telemetry, err))
         return rc;
     return writeObsOutputs(session, study.telemetry, err);
@@ -609,41 +586,15 @@ cmdIqSweep(const Options &options, std::ostream &out, std::ostream &err)
     ObsSession session = obsSessionFromFlags(options, err);
     core::AdaptiveIqModel model;
 
+    std::vector<std::string> names;
+    for (const trace::AppProfile &app : apps)
+        names.push_back(app.name);
+
     if (sampled) {
         sample::SampledIqStudy study = sample::runSampledIqStudy(
             model, apps, instrs, sparams, jobsFlag(options),
             session.hooks(), onePassFlag(options));
-        TableWriter table("sampled avg TPI (ns) vs queue size, " +
-                          std::to_string(instrs) +
-                          " instructions per run");
-        std::vector<std::string> header{"app"};
-        for (int entries : core::AdaptiveIqModel::studySizes())
-            header.push_back(std::to_string(entries));
-        header.push_back("best");
-        table.setHeader(header);
-        for (size_t a = 0; a < apps.size(); ++a) {
-            std::vector<Cell> row{Cell(apps[a].name)};
-            const auto &sweep = study.perf[a];
-            size_t best = 0;
-            for (size_t i = 0; i < sweep.size(); ++i) {
-                row.emplace_back(sweep[i].perf.tpi_ns, 3);
-                if (sweep[i].perf.tpi_ns < sweep[best].perf.tpi_ns)
-                    best = i;
-            }
-            row.emplace_back(std::to_string(sweep[best].perf.entries));
-            table.addRow(row);
-        }
-        table.renderAscii(out);
-        uint64_t full_instrs =
-            instrs * apps.size() *
-            core::AdaptiveIqModel::studySizes().size();
-        out << "sampled: " << study.simulatedInstrs()
-            << " instrs simulated of " << full_instrs << " ("
-            << Cell(static_cast<double>(full_instrs) /
-                        static_cast<double>(study.simulatedInstrs()),
-                    1)
-                   .str()
-            << "x fewer)\n";
+        serve::renderSampledIqSweep(out, names, study.perf, instrs);
         if (int rc = writeTelemetry(options, study.telemetry, err))
             return rc;
         return writeObsOutputs(session, study.telemetry, err);
@@ -653,27 +604,7 @@ cmdIqSweep(const Options &options, std::ostream &out, std::ostream &err)
                                            jobsFlag(options),
                                            session.hooks(),
                                            onePassFlag(options));
-
-    TableWriter table("avg TPI (ns) vs queue size, " +
-                      std::to_string(instrs) + " instructions per run");
-    std::vector<std::string> header{"app"};
-    for (int entries : core::AdaptiveIqModel::studySizes())
-        header.push_back(std::to_string(entries));
-    header.push_back("best");
-    table.setHeader(header);
-    for (size_t a = 0; a < apps.size(); ++a) {
-        std::vector<Cell> row{Cell(apps[a].name)};
-        const auto &sweep = study.perf[a];
-        size_t best = 0;
-        for (size_t i = 0; i < sweep.size(); ++i) {
-            row.emplace_back(sweep[i].tpi_ns, 3);
-            if (sweep[i].tpi_ns < sweep[best].tpi_ns)
-                best = i;
-        }
-        row.emplace_back(std::to_string(sweep[best].entries));
-        table.addRow(row);
-    }
-    table.renderAscii(out);
+    serve::renderIqSweep(out, names, study.perf, instrs);
     if (int rc = writeTelemetry(options, study.telemetry, err))
         return rc;
     return writeObsOutputs(session, study.telemetry, err);
@@ -788,30 +719,12 @@ cmdIntervalRun(const Options &options, std::ostream &out,
     core::IntervalRunResult result =
         controller.run(apps[0], instrs, entries, session.hooks());
 
-    TableWriter table("interval controller, " + apps[0].name + ", " +
-                      std::to_string(instrs) + " instructions");
-    table.setHeader({"quantity", "value"});
-    table.addRow({Cell("instructions"), Cell(result.instructions)});
-    table.addRow({Cell("intervals"),
-                  Cell(static_cast<uint64_t>(
-                      result.config_trace.size()))});
-    table.addRow({Cell("avg TPI (ns)"), Cell(result.tpi(), 4)});
-    table.addRow({Cell("total time (us)"),
-                  Cell(result.total_time_ns / 1000.0, 3)});
-    table.addRow(
-        {Cell("reconfigurations"), Cell(result.reconfigurations)});
-    table.addRow(
-        {Cell("committed moves"), Cell(result.committed_moves)});
-    if (params.trigger != core::IntervalTrigger::Period) {
-        table.addRow({Cell("phase transitions"),
-                      Cell(result.phase_transitions)});
-        table.addRow({Cell("phase snaps"), Cell(result.phase_snaps)});
-    }
-    table.addRow({Cell("final config"),
-                  Cell(result.config_trace.empty()
-                           ? entries
-                           : result.config_trace.back())});
-    table.renderAscii(out);
+    serve::IntervalSummary summary =
+        serve::summarizeIntervalRun(result, entries);
+    serve::renderIntervalRun(out, apps[0].name, instrs,
+                             params.trigger !=
+                                 core::IntervalTrigger::Period,
+                             summary);
 
     if (int rc = writeTelemetry(options, result.telemetry, err))
         return rc;
@@ -1484,6 +1397,59 @@ cmdAnalyze(const Options &options, std::ostream &out, std::ostream &err)
     return 0;
 }
 
+int
+cmdServe(const Options &options, std::ostream &out, std::ostream &err)
+{
+    serve::ServerConfig config;
+    config.queue_capacity =
+        static_cast<size_t>(options.getU64("queue", 16));
+    config.cache_capacity =
+        static_cast<size_t>(options.getU64("cache", 4096));
+    config.spill_path = options.get("spill");
+    uint64_t jobs = options.getU64("jobs", 0);
+    config.jobs = static_cast<int>(jobs);
+    config.heartbeats = options.flags.count("heartbeats") > 0;
+    config.heartbeat_period_s =
+        options.getDouble("heartbeat-period", 1.0);
+    if (config.queue_capacity == 0 || config.heartbeat_period_s <= 0.0) {
+        err << "capsim: invalid serve parameters\n";
+        return 2;
+    }
+
+    std::string socket_path = options.get("socket");
+    bool stdio = options.flags.count("stdio") > 0;
+    if (socket_path.empty() == !stdio) {
+        err << "capsim: serve needs exactly one of --socket PATH or "
+               "--stdio\n";
+        return 2;
+    }
+
+    serve::StudyServer server(config);
+    if (stdio)
+        return serve::serveStdio(server, std::cin, out);
+    err << "capsim: serving on " << socket_path << "\n";
+    return serve::serveSocket(server, socket_path, err);
+}
+
+int
+cmdClient(const Options &options, std::ostream &out, std::ostream &err)
+{
+    if (options.positional.empty()) {
+        err << "capsim: client needs a study file\n";
+        return 2;
+    }
+    serve::ClientOptions copts;
+    copts.socket_path = options.get("socket");
+    copts.study_path = options.positional[0];
+    copts.events_path = options.get("events");
+    copts.request_shutdown = options.flags.count("shutdown") > 0;
+    if (copts.socket_path.empty()) {
+        err << "capsim: client needs --socket PATH\n";
+        return 2;
+    }
+    return serve::runClient(copts, out, err);
+}
+
 } // namespace
 
 int
@@ -1518,10 +1484,19 @@ runCommand(const std::vector<std::string> &args, std::ostream &out,
         return cmdGenTrace(options, out, err);
     if (command == "analyze")
         return cmdAnalyze(options, out, err);
+    if (command == "serve")
+        return cmdServe(options, out, err);
+    if (command == "client")
+        return cmdClient(options, out, err);
 
-    err << "capsim: unknown command '" << command
-        << "' (try 'capsim help')\n";
-    return 2;
+    err << "capsim: unknown command '" << command << "'\n"
+        << "known commands: apps, timing, cache-sweep, iq-sweep, "
+           "sample-profile,\n"
+           "  sample-run, interval-run, analyze-trace, gen-trace, "
+           "analyze, serve,\n"
+           "  client, help\n"
+           "(try 'capsim help')\n";
+    return kUnknownCommandExit;
 }
 
 } // namespace cap::cli

@@ -50,6 +50,8 @@ Options parseArgs(const std::vector<std::string> &args);
  *                                 decision trace
  *   gen-trace <app> <path>        export a synthetic trace file
  *   analyze <path>                characterize a trace file
+ *   serve --socket P|--stdio      study-server daemon (docs/SERVER.md)
+ *   client <study> --socket P     submit a study file to a daemon
  *   help                          usage
  *
  * The sweep commands accept --jobs N (worker threads for the
@@ -62,10 +64,15 @@ Options parseArgs(const std::vector<std::string> &args);
  * PATH.chrome.json), --chrome-trace PATH, and --metrics-json PATH
  * (telemetry + counter registry); see docs/OBSERVABILITY.md.
  *
- * @return Process exit code (0 on success).
+ * @return Process exit code (0 on success; kUnknownCommandExit for an
+ *         unrecognized command word).
  */
 int runCommand(const std::vector<std::string> &args, std::ostream &out,
                std::ostream &err);
+
+/** Exit code for an unknown command word (distinct from the usage
+ *  errors' 2, mirroring BSD sysexits EX_USAGE). */
+constexpr int kUnknownCommandExit = 64;
 
 } // namespace cap::cli
 

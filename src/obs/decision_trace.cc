@@ -2,6 +2,7 @@
 
 #include <map>
 
+#include "util/json.h"
 #include "util/status.h"
 #include "util/table.h"
 
@@ -55,7 +56,7 @@ namespace {
 void
 field(std::ostream &os, const char *key, const Cell &value)
 {
-    os << ", \"" << key << "\": " << value.jsonStr();
+    json::rawField(os, key, value.jsonStr());
 }
 
 void

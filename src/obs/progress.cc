@@ -4,23 +4,9 @@
 #include <iomanip>
 #include <sstream>
 
+#include "util/json.h"
+
 namespace cap::obs {
-
-namespace {
-
-std::string escapeJson(const std::string &s)
-{
-    std::string out;
-    out.reserve(s.size());
-    for (char c : s) {
-        if (c == '"' || c == '\\')
-            out += '\\';
-        out += c;
-    }
-    return out;
-}
-
-} // namespace
 
 ProgressMeter::ProgressMeter(std::ostream &os, bool jsonl, double period_s)
     : os_(os), jsonl_(jsonl),
@@ -124,7 +110,7 @@ void ProgressMeter::emitReport(bool final_report)
         line << std::fixed << std::setprecision(3);
         line << "{\"event\":\"" << (final_report ? "progress_final"
                                                  : "progress")
-             << "\",\"label\":\"" << escapeJson(label_) << "\""
+             << "\",\"label\":\"" << json::escape(label_) << "\""
              << ",\"done\":" << done << ",\"total\":" << total_
              << ",\"elapsed_s\":" << elapsed_s
              << ",\"cells_per_s\":" << rate << ",\"eta_s\":" << eta_s

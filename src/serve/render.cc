@@ -1,0 +1,194 @@
+#include "render.h"
+
+#include "util/table.h"
+
+namespace cap::serve {
+
+namespace {
+
+std::vector<std::string>
+cacheSweepHeader()
+{
+    std::vector<std::string> header{"app"};
+    for (int k = 1; k <= 8; ++k)
+        header.push_back(std::to_string(8 * k) + "KB");
+    header.push_back("best");
+    return header;
+}
+
+std::vector<std::string>
+iqSweepHeader()
+{
+    std::vector<std::string> header{"app"};
+    for (int entries : core::AdaptiveIqModel::studySizes())
+        header.push_back(std::to_string(entries));
+    header.push_back("best");
+    return header;
+}
+
+void
+sampledTrailer(std::ostream &out, uint64_t simulated, uint64_t full,
+               const char *unit)
+{
+    out << "sampled: " << simulated << " " << unit << " simulated of "
+        << full << " ("
+        << Cell(static_cast<double>(full) /
+                    static_cast<double>(simulated),
+                1)
+               .str()
+        << "x fewer)\n";
+}
+
+} // namespace
+
+void
+renderCacheSweep(std::ostream &out,
+                 const std::vector<std::string> &app_names,
+                 const std::vector<std::vector<core::CachePerf>> &perf,
+                 uint64_t refs)
+{
+    TableWriter table("avg TPI (ns) vs L1 size, " + std::to_string(refs) +
+                      " refs per run");
+    table.setHeader(cacheSweepHeader());
+    for (size_t a = 0; a < app_names.size(); ++a) {
+        std::vector<Cell> row{Cell(app_names[a])};
+        const auto &sweep = perf[a];
+        size_t best = 0;
+        for (size_t i = 0; i < sweep.size(); ++i) {
+            row.emplace_back(sweep[i].tpi_ns, 3);
+            if (sweep[i].tpi_ns < sweep[best].tpi_ns)
+                best = i;
+        }
+        row.emplace_back(std::to_string(8 * (best + 1)) + "KB");
+        table.addRow(row);
+    }
+    table.renderAscii(out);
+}
+
+void
+renderSampledCacheSweep(
+    std::ostream &out, const std::vector<std::string> &app_names,
+    const std::vector<std::vector<sample::SampledCachePerf>> &perf,
+    uint64_t refs)
+{
+    TableWriter table("sampled avg TPI (ns) vs L1 size, " +
+                      std::to_string(refs) + " refs per run");
+    table.setHeader(cacheSweepHeader());
+    uint64_t simulated = 0;
+    for (size_t a = 0; a < app_names.size(); ++a) {
+        std::vector<Cell> row{Cell(app_names[a])};
+        const auto &sweep = perf[a];
+        size_t best = 0;
+        for (size_t i = 0; i < sweep.size(); ++i) {
+            row.emplace_back(sweep[i].perf.tpi_ns, 3);
+            if (sweep[i].perf.tpi_ns < sweep[best].perf.tpi_ns)
+                best = i;
+            simulated += sweep[i].simulated_refs;
+        }
+        row.emplace_back(std::to_string(8 * (best + 1)) + "KB");
+        table.addRow(row);
+    }
+    table.renderAscii(out);
+    sampledTrailer(out, simulated, refs * app_names.size() * 8, "refs");
+}
+
+void
+renderIqSweep(std::ostream &out,
+              const std::vector<std::string> &app_names,
+              const std::vector<std::vector<core::IqPerf>> &perf,
+              uint64_t instrs)
+{
+    TableWriter table("avg TPI (ns) vs queue size, " +
+                      std::to_string(instrs) + " instructions per run");
+    table.setHeader(iqSweepHeader());
+    for (size_t a = 0; a < app_names.size(); ++a) {
+        std::vector<Cell> row{Cell(app_names[a])};
+        const auto &sweep = perf[a];
+        size_t best = 0;
+        for (size_t i = 0; i < sweep.size(); ++i) {
+            row.emplace_back(sweep[i].tpi_ns, 3);
+            if (sweep[i].tpi_ns < sweep[best].tpi_ns)
+                best = i;
+        }
+        row.emplace_back(std::to_string(sweep[best].entries));
+        table.addRow(row);
+    }
+    table.renderAscii(out);
+}
+
+void
+renderSampledIqSweep(
+    std::ostream &out, const std::vector<std::string> &app_names,
+    const std::vector<std::vector<sample::SampledIqPerf>> &perf,
+    uint64_t instrs)
+{
+    TableWriter table("sampled avg TPI (ns) vs queue size, " +
+                      std::to_string(instrs) + " instructions per run");
+    table.setHeader(iqSweepHeader());
+    uint64_t simulated = 0;
+    for (size_t a = 0; a < app_names.size(); ++a) {
+        std::vector<Cell> row{Cell(app_names[a])};
+        const auto &sweep = perf[a];
+        size_t best = 0;
+        for (size_t i = 0; i < sweep.size(); ++i) {
+            row.emplace_back(sweep[i].perf.tpi_ns, 3);
+            if (sweep[i].perf.tpi_ns < sweep[best].perf.tpi_ns)
+                best = i;
+            simulated += sweep[i].simulated_instrs;
+        }
+        row.emplace_back(std::to_string(sweep[best].perf.entries));
+        table.addRow(row);
+    }
+    table.renderAscii(out);
+    sampledTrailer(out, simulated,
+                   instrs * app_names.size() *
+                       core::AdaptiveIqModel::studySizes().size(),
+                   "instrs");
+}
+
+IntervalSummary
+summarizeIntervalRun(const core::IntervalRunResult &result,
+                     int initial_entries)
+{
+    IntervalSummary summary;
+    summary.instructions = result.instructions;
+    summary.intervals =
+        static_cast<uint64_t>(result.config_trace.size());
+    summary.total_time_ns = result.total_time_ns;
+    summary.reconfigurations = result.reconfigurations;
+    summary.committed_moves = result.committed_moves;
+    summary.phase_transitions = result.phase_transitions;
+    summary.phase_snaps = result.phase_snaps;
+    summary.final_config = result.config_trace.empty()
+                               ? initial_entries
+                               : result.config_trace.back();
+    return summary;
+}
+
+void
+renderIntervalRun(std::ostream &out, const std::string &app_name,
+                  uint64_t instrs, bool show_phase_rows,
+                  const IntervalSummary &summary)
+{
+    TableWriter table("interval controller, " + app_name + ", " +
+                      std::to_string(instrs) + " instructions");
+    table.setHeader({"quantity", "value"});
+    table.addRow({Cell("instructions"), Cell(summary.instructions)});
+    table.addRow({Cell("intervals"), Cell(summary.intervals)});
+    table.addRow({Cell("avg TPI (ns)"), Cell(summary.tpi(), 4)});
+    table.addRow({Cell("total time (us)"),
+                  Cell(summary.total_time_ns / 1000.0, 3)});
+    table.addRow(
+        {Cell("reconfigurations"), Cell(summary.reconfigurations)});
+    table.addRow(
+        {Cell("committed moves"), Cell(summary.committed_moves)});
+    if (show_phase_rows) {
+        table.addRow({Cell("phase transitions"),
+                      Cell(summary.phase_transitions)});
+        table.addRow({Cell("phase snaps"), Cell(summary.phase_snaps)});
+    }
+    table.addRow({Cell("final config"), Cell(summary.final_config)});
+    table.renderAscii(out);
+}
+
+} // namespace cap::serve

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Shared result renderers: the exact tables the offline sweep verbs
+ * print, factored out of the CLI so the study server can assemble the
+ * same bytes from cached per-application rows.
+ *
+ * Byte-identity by construction: `capsim cache-sweep` / `iq-sweep` /
+ * `interval-run` call these renderers directly, and the server's job
+ * executor calls them over rows it fetched from the ResultCache (or
+ * just simulated).  Any format drift would break both sides at once,
+ * which is what keeps the differential tests in tests/serve_test.cc
+ * trivially strict.
+ */
+
+#ifndef CAPSIM_SERVE_RENDER_H
+#define CAPSIM_SERVE_RENDER_H
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "core/adaptive_cache.h"
+#include "core/adaptive_iq.h"
+#include "core/interval_controller.h"
+#include "sample/sampler.h"
+
+namespace cap::serve {
+
+/** The full cache-study table (TPI vs L1 size + best column). */
+void renderCacheSweep(std::ostream &out,
+                      const std::vector<std::string> &app_names,
+                      const std::vector<std::vector<core::CachePerf>> &perf,
+                      uint64_t refs);
+
+/** Sampled cache-study table plus the "sampled: ..." cost trailer. */
+void renderSampledCacheSweep(
+    std::ostream &out, const std::vector<std::string> &app_names,
+    const std::vector<std::vector<sample::SampledCachePerf>> &perf,
+    uint64_t refs);
+
+/** The full IQ-study table (TPI vs queue size + best column). */
+void renderIqSweep(std::ostream &out,
+                   const std::vector<std::string> &app_names,
+                   const std::vector<std::vector<core::IqPerf>> &perf,
+                   uint64_t instrs);
+
+/** Sampled IQ-study table plus the "sampled: ..." cost trailer. */
+void renderSampledIqSweep(
+    std::ostream &out, const std::vector<std::string> &app_names,
+    const std::vector<std::vector<sample::SampledIqPerf>> &perf,
+    uint64_t instrs);
+
+/**
+ * The rendering-relevant slice of an IntervalRunResult.  The server
+ * caches this instead of the full result (the config trace can be
+ * thousands of entries; the table needs only its length and tail).
+ */
+struct IntervalSummary
+{
+    uint64_t instructions = 0;
+    /** config_trace.size() of the underlying run. */
+    uint64_t intervals = 0;
+    double total_time_ns = 0.0;
+    int reconfigurations = 0;
+    int committed_moves = 0;
+    int phase_transitions = 0;
+    int phase_snaps = 0;
+    /** config_trace.back(), or the initial entries for an empty run. */
+    int final_config = 0;
+
+    double tpi() const
+    {
+        return instructions
+                   ? total_time_ns / static_cast<double>(instructions)
+                   : 0.0;
+    }
+};
+
+/** Summarize a controller run for rendering/caching. */
+IntervalSummary summarizeIntervalRun(const core::IntervalRunResult &result,
+                                     int initial_entries);
+
+/**
+ * The interval-controller summary table.  @p show_phase_rows matches
+ * the offline verb: phase rows appear for the phase/hybrid triggers.
+ */
+void renderIntervalRun(std::ostream &out, const std::string &app_name,
+                       uint64_t instrs, bool show_phase_rows,
+                       const IntervalSummary &summary);
+
+} // namespace cap::serve
+
+#endif // CAPSIM_SERVE_RENDER_H

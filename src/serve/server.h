@@ -1,0 +1,189 @@
+/**
+ * @file
+ * StudyServer: capsim as a persistent, cache-backed sweep service.
+ *
+ * The server speaks a JSONL line protocol (docs/SERVER.md): each
+ * request is one JSON object per line carrying an "op" (submit,
+ * status, cancel, stats, shutdown), each response/event is one JSON
+ * object per line carrying an "event".  Jobs execute on a single
+ * executor thread that owns the ResultCache and a JobExecutor (whose
+ * persistent ThreadPool fans a job's cells); results stream back to
+ * the submitting connection as cell / progress / result events.
+ *
+ * Thread model:
+ *  - connection threads call handleLine(); all queue/table/counter
+ *    state is guarded by one server mutex.  obs::Counter is
+ *    single-thread-owned, so server counters are only ever touched
+ *    with that mutex held.
+ *  - the executor thread pops jobs, runs them unlocked (the cache and
+ *    the models are executor-owned), and re-acquires the mutex only
+ *    to publish terminal state and counter deltas.
+ *  - Connection::send() serializes concurrent emitters (pool workers
+ *    posting cell events, the heartbeat reporter, handleLine acks)
+ *    onto the transport one whole line at a time.
+ *
+ * Backpressure: the submit queue is bounded; a submit that would
+ * exceed it is shed immediately with an "overloaded" event (counted
+ * in serve.shed) -- the server never blocks a connection on queue
+ * space.  Jobs may carry a deadline (measured from enqueue) and can
+ * be cancelled; both are polled cooperatively between cells.
+ * shutdown() stops admissions, drains everything queued, then stops
+ * the executor.
+ */
+
+#ifndef CAPSIM_SERVE_SERVER_H
+#define CAPSIM_SERVE_SERVER_H
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+
+#include "obs/registry.h"
+#include "serve/job.h"
+#include "serve/result_cache.h"
+
+namespace cap::serve {
+
+struct ServerConfig
+{
+    /** Bound on queued (not yet running) jobs; submits beyond it are
+     *  shed with an "overloaded" event. */
+    size_t queue_capacity = 16;
+    /** In-memory ResultCache entries. */
+    size_t cache_capacity = 4096;
+    /** JSONL spill file; empty disables spilling. */
+    std::string spill_path;
+    /** Cell fan-out width; <= 0 selects defaultJobs(). */
+    int jobs = 0;
+    /** Multiplex per-job progress heartbeats onto the connection. */
+    bool heartbeats = false;
+    /** Seconds between heartbeats. */
+    double heartbeat_period_s = 1.0;
+};
+
+class StudyServer;
+
+/**
+ * One client connection.  Created by StudyServer::connect() with an
+ * emit callback that writes a single protocol line to the transport;
+ * send() may be called from any thread (connection thread, executor,
+ * pool workers, heartbeat reporter) and serializes whole lines.
+ */
+class Connection
+{
+  public:
+    using Emit = std::function<void(const std::string &line)>;
+
+    /** Emit one protocol line (no trailing newline in @p line). */
+    void send(const std::string &line);
+
+    /** Detach the transport; subsequent sends are dropped.  Call
+     *  before the transport's file descriptor goes away. */
+    void close();
+
+  private:
+    friend class StudyServer;
+    explicit Connection(Emit emit) : emit_(std::move(emit)) {}
+
+    std::mutex mutex_;
+    Emit emit_;
+};
+
+class StudyServer
+{
+  public:
+    explicit StudyServer(ServerConfig config = {});
+    ~StudyServer();
+
+    StudyServer(const StudyServer &) = delete;
+    StudyServer &operator=(const StudyServer &) = delete;
+
+    /** Register a transport; events for jobs submitted through the
+     *  returned connection are delivered to @p emit. */
+    std::shared_ptr<Connection> connect(Connection::Emit emit);
+
+    /**
+     * Process one request line on behalf of @p conn.  Responses (and
+     * any later asynchronous events) go through the connection's
+     * emit.  Returns false when the connection should close (the
+     * client asked for shutdown and has been sent "bye").
+     */
+    bool handleLine(const std::shared_ptr<Connection> &conn,
+                    const std::string &line);
+
+    /** Stop admitting jobs and let the executor drain the queue. */
+    void shutdown();
+
+    /** Block until the executor has drained and exited. */
+    void drain();
+
+    bool shuttingDown() const;
+
+    /** Queued (not running) jobs right now. */
+    size_t queueDepth() const;
+
+    /** A serve.* counter's current value (mutex-guarded read). */
+    uint64_t counterValue(const std::string &name) const;
+
+    /**
+     * Test hooks: hold the executor before it dequeues its next job
+     * (running jobs finish first), releasing it again on resume.
+     * Lets tests fill the bounded queue deterministically.
+     */
+    void pauseExecutor();
+    void resumeExecutor();
+
+    const ServerConfig &config() const { return config_; }
+
+  private:
+    struct Job
+    {
+        uint64_t id = 0;
+        JobSpec spec;
+        std::weak_ptr<Connection> conn;
+        std::chrono::steady_clock::time_point enqueued;
+        enum class State { Queued, Running, Done } state = State::Queued;
+        /** Terminal status string once Done ("ok", "cancelled", ...). */
+        std::string terminal;
+        std::atomic<bool> cancel{false};
+    };
+
+    void executorLoop();
+    JobOutcome runJob(const std::shared_ptr<Job> &job);
+    /** Build the stats event line; caller holds mutex_. */
+    std::string statsLineLocked();
+    void sendError(const std::shared_ptr<Connection> &conn,
+                   const std::string &message);
+
+    ServerConfig config_;
+    ResultCache cache_;     ///< Executor-thread-owned after start.
+    JobExecutor executor_;  ///< Executor-thread-owned.
+
+    mutable std::mutex mutex_;
+    std::condition_variable cv_;
+    std::deque<std::shared_ptr<Job>> queue_;
+    std::unordered_map<uint64_t, std::shared_ptr<Job>> jobs_;
+    std::shared_ptr<Job> running_;
+    uint64_t next_id_ = 1;
+    bool shutting_down_ = false;
+    bool paused_ = false;
+    bool executor_done_ = false;
+    /** Snapshot of cache_.size(), refreshed after each job (the live
+     *  cache is executor-owned and must not be read cross-thread). */
+    size_t cache_entries_ = 0;
+    obs::CounterRegistry registry_;  ///< Guarded by mutex_.
+
+    std::mutex drain_mutex_;
+    std::thread executor_thread_;
+};
+
+} // namespace cap::serve
+
+#endif // CAPSIM_SERVE_SERVER_H

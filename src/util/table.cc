@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdio>
 
+#include "json.h"
 #include "status.h"
 
 namespace cap {
@@ -37,25 +38,7 @@ Cell::jsonStr() const
     }
     if (!std::holds_alternative<std::string>(value_))
         return str();
-    std::string out = "\"";
-    for (char ch : std::get<std::string>(value_)) {
-        switch (ch) {
-        case '"': out += "\\\""; break;
-        case '\\': out += "\\\\"; break;
-        case '\n': out += "\\n"; break;
-        case '\t': out += "\\t"; break;
-        default:
-            if (static_cast<unsigned char>(ch) < 0x20) {
-                char buf[8];
-                std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
-                out += buf;
-            } else {
-                out += ch;
-            }
-        }
-    }
-    out += '"';
-    return out;
+    return json::quote(std::get<std::string>(value_));
 }
 
 void

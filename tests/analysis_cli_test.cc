@@ -171,8 +171,11 @@ TEST(CliTest, HelpAndUnknownCommand)
     EXPECT_EQ(run({"help"}, &text), 0);
     EXPECT_NE(text.find("cache-sweep"), std::string::npos);
     EXPECT_EQ(run({}, &text), 0);
-    EXPECT_EQ(run({"frobnicate"}, &text), 2);
+    // Unknown commands get a distinct exit code and the command list.
+    EXPECT_EQ(run({"frobnicate"}, &text), cli::kUnknownCommandExit);
     EXPECT_NE(text.find("unknown command"), std::string::npos);
+    EXPECT_NE(text.find("known commands:"), std::string::npos);
+    EXPECT_NE(text.find("cache-sweep"), std::string::npos);
 }
 
 TEST(CliTest, AppsListsSuite)

@@ -5,9 +5,11 @@
  */
 
 #include <fstream>
+#include <sstream>
 
 #include <gtest/gtest.h>
 
+#include "cli/cli.h"
 #include "core/adaptive_cache.h"
 #include "core/adaptive_iq.h"
 #include "core/concert.h"
@@ -219,6 +221,24 @@ TEST(ErrorPathsTest, SingleConfigurationSelectionWorks)
     EXPECT_EQ(sel.best_conventional, 0u);
     EXPECT_EQ(sel.per_app_best[0], 0u);
     EXPECT_DOUBLE_EQ(sel.meanReduction(), 0.0);
+}
+
+TEST(ErrorPathsTest, UnknownCliCommandListsKnownCommands)
+{
+    // An unrecognized command word is not a usage error of a known
+    // command (exit 2): it gets its own exit code and the full
+    // command list so typos are self-diagnosing.
+    std::ostringstream out, err;
+    int code = cli::runCommand({"cache-swep"}, out, err);
+    EXPECT_EQ(code, cli::kUnknownCommandExit);
+    EXPECT_NE(code, 2);
+    EXPECT_NE(err.str().find("unknown command 'cache-swep'"),
+              std::string::npos);
+    EXPECT_NE(err.str().find("known commands:"), std::string::npos);
+    for (const char *name :
+         {"apps", "timing", "cache-sweep", "iq-sweep", "interval-run",
+          "serve", "client", "help"})
+        EXPECT_NE(err.str().find(name), std::string::npos) << name;
 }
 
 } // namespace

@@ -4,12 +4,14 @@
  */
 
 #include <cmath>
+#include <cstring>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "util/json.h"
 #include "util/rng.h"
 #include "util/stats.h"
 #include "util/status.h"
@@ -397,6 +399,110 @@ TEST(UnitsTest, DivCeil)
     EXPECT_EQ(divCeil(10, 5), 2u);
     EXPECT_EQ(divCeil(11, 5), 3u);
     EXPECT_EQ(divCeil(1, 100), 1u);
+}
+
+// ---------------------------------------------------------------------
+// JSON helpers
+// ---------------------------------------------------------------------
+
+TEST(JsonTest, EscapeCoversControlCharacters)
+{
+    EXPECT_EQ(json::escape("plain"), "plain");
+    EXPECT_EQ(json::escape("a\"b\\c"), "a\\\"b\\\\c");
+    EXPECT_EQ(json::escape("line\nbreak\ttab"),
+              "line\\nbreak\\ttab");
+    EXPECT_EQ(json::escape(std::string("\x01", 1)), "\\u0001");
+    EXPECT_EQ(json::quote("x"), "\"x\"");
+}
+
+TEST(JsonTest, WriterProducesCompactJson)
+{
+    std::ostringstream os;
+    json::Writer w(os);
+    w.beginObject()
+        .key("s").value("a\"b")
+        .key("n").value(uint64_t{42})
+        .key("neg").value(int64_t{-3})
+        .key("b").value(true)
+        .key("d").value(1.5, 3)
+        .key("arr").beginArray().value(1).value(2).endArray()
+        .key("raw").rawValue("{\"x\":1}")
+        .endObject();
+    EXPECT_EQ(os.str(),
+              "{\"s\":\"a\\\"b\",\"n\":42,\"neg\":-3,\"b\":true,"
+              "\"d\":1.500,\"arr\":[1,2],\"raw\":{\"x\":1}}");
+}
+
+TEST(JsonTest, ParseRoundTripsWriterOutput)
+{
+    std::ostringstream os;
+    json::Writer w(os);
+    w.beginObject()
+        .key("label").value("serve:\ncache")
+        .key("count").value(uint64_t{18446744073709551615ull} /* 2^64-1 */)
+        .key("flag").value(false)
+        .key("nested").beginObject().key("k").value("v").endObject()
+        .endObject();
+
+    json::Value parsed;
+    std::string error;
+    ASSERT_TRUE(json::parse(os.str(), parsed, error)) << error;
+    ASSERT_TRUE(parsed.isObject());
+    EXPECT_EQ(parsed.stringOr("label"), "serve:\ncache");
+    EXPECT_EQ(parsed.boolOr("flag", true), false);
+    const json::Value *nested = parsed.find("nested");
+    ASSERT_NE(nested, nullptr);
+    EXPECT_EQ(nested->stringOr("k"), "v");
+}
+
+TEST(JsonTest, ParseRejectsGarbage)
+{
+    json::Value out;
+    std::string error;
+    EXPECT_FALSE(json::parse("{\"a\":", out, error));
+    EXPECT_FALSE(json::parse("{} trailing", out, error));
+    EXPECT_FALSE(json::parse("", out, error));
+    EXPECT_FALSE(json::parse("{\"a\" 1}", out, error));
+    // Depth guard: 100 nested arrays exceed the 64-level limit.
+    std::string deep(100, '[');
+    deep += std::string(100, ']');
+    EXPECT_FALSE(json::parse(deep, out, error));
+}
+
+TEST(JsonTest, U64AndDoubleBitsRoundTripExactly)
+{
+    uint64_t big = 0xFFFFFFFFFFFFFFFFull;
+    uint64_t out = 0;
+    ASSERT_TRUE(json::parseU64(std::to_string(big), out));
+    EXPECT_EQ(out, big);
+    EXPECT_FALSE(json::parseU64("18446744073709551616", out)); // 2^64
+    EXPECT_FALSE(json::parseU64("12x", out));
+    EXPECT_FALSE(json::parseU64("", out));
+
+    for (double x : {0.1, 1.0 / 3.0, 1e-300, -2.5, 0.0,
+                     6755399441055744.0}) {
+        double back = 0.0;
+        ASSERT_TRUE(json::doubleFromBits(json::doubleBits(x), back));
+        EXPECT_EQ(std::memcmp(&x, &back, sizeof x), 0);
+    }
+
+    // u64Or accepts both JSON numbers and decimal strings.
+    json::Value parsed;
+    std::string error;
+    ASSERT_TRUE(json::parse(
+        "{\"a\":7,\"b\":\"18446744073709551615\"}", parsed, error));
+    EXPECT_EQ(parsed.u64Or("a", 0), 7u);
+    EXPECT_EQ(parsed.u64Or("b", 0), 18446744073709551615ull);
+}
+
+TEST(JsonTest, StringEscapeRoundTripThroughParser)
+{
+    std::string nasty = "quote\" slash\\ nl\n tab\t ctl\x02 unicode";
+    json::Value parsed;
+    std::string error;
+    ASSERT_TRUE(json::parse(json::quote(nasty), parsed, error)) << error;
+    ASSERT_TRUE(parsed.isString());
+    EXPECT_EQ(parsed.string, nasty);
 }
 
 } // namespace
