@@ -27,7 +27,8 @@
  *   --json PATH      machine-readable result (default BENCH_sweep.json)
  *   --baseline PATH  fail (exit 1) when a measured speedup falls
  *                    below 80% of the baseline's "speedup" /
- *                    "iq_speedup" value
+ *                    "iq_speedup" / "oracle_iq_speedup" /
+ *                    "oracle_cache_speedup" value
  */
 
 #include <chrono>
@@ -42,6 +43,8 @@
 
 #include "bench_common.h"
 #include "bench_study.h"
+#include "core/interval_cache.h"
+#include "core/interval_controller.h"
 #include "obs/span_profiler.h"
 #include "serve/job.h"
 
@@ -261,6 +264,92 @@ main(int argc, char **argv)
                      Cell(iq_fast_rate, 0), Cell(iq_speedup, 2)});
     emit(iq_table);
 
+    // ---- Interval oracles: per-candidate lanes vs one-pass.  Both
+    // engines run serially (jobs=1) so the ratio is the algorithmic
+    // speedup, not a parallelism artefact; the exactness check is the
+    // whole result, trace included. ----
+    auto seconds = [](auto fn) {
+        auto start = std::chrono::steady_clock::now();
+        fn();
+        return std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - start)
+            .count();
+    };
+
+    const trace::AppProfile &oracle_app = iq_apps.front();
+    const std::vector<int> oracle_sizes =
+        core::AdaptiveIqModel::studySizes();
+    core::IntervalRunResult oracle_lanes, oracle_onepass;
+    const double oracle_iq_slow_s = seconds([&] {
+        oracle_lanes = core::runIntervalOracle(
+            iq_model, oracle_app, instrs, oracle_sizes,
+            core::kIntervalInstructions, true,
+            core::kClockSwitchPenaltyCycles, 1, {}, false);
+    });
+    const double oracle_iq_fast_s = seconds([&] {
+        oracle_onepass = core::runIntervalOracle(
+            iq_model, oracle_app, instrs, oracle_sizes,
+            core::kIntervalInstructions, true,
+            core::kClockSwitchPenaltyCycles, 1, {}, true);
+    });
+    if (oracle_lanes.instructions != oracle_onepass.instructions ||
+        oracle_lanes.total_time_ns != oracle_onepass.total_time_ns ||
+        oracle_lanes.reconfigurations !=
+            oracle_onepass.reconfigurations ||
+        oracle_lanes.config_trace != oracle_onepass.config_trace) {
+        std::cerr << "perf_smoke: one-pass IQ oracle diverges at "
+                  << oracle_app.name << "\n";
+        return 1;
+    }
+
+    const trace::AppProfile &oracle_cache_app = apps.front();
+    core::CacheIntervalResult cache_oracle_lanes, cache_oracle_onepass;
+    const double oracle_cache_slow_s = seconds([&] {
+        cache_oracle_lanes = core::runCacheIntervalOracle(
+            model, oracle_cache_app, refs, {1, 2, 3, 4, 5, 6, 7, 8},
+            1000, true, core::kClockSwitchPenaltyCycles, 1, {}, false);
+    });
+    const double oracle_cache_fast_s = seconds([&] {
+        cache_oracle_onepass = core::runCacheIntervalOracle(
+            model, oracle_cache_app, refs, {1, 2, 3, 4, 5, 6, 7, 8},
+            1000, true, core::kClockSwitchPenaltyCycles, 1, {}, true);
+    });
+    if (cache_oracle_lanes.refs != cache_oracle_onepass.refs ||
+        cache_oracle_lanes.instructions !=
+            cache_oracle_onepass.instructions ||
+        cache_oracle_lanes.total_time_ns !=
+            cache_oracle_onepass.total_time_ns ||
+        cache_oracle_lanes.reconfigurations !=
+            cache_oracle_onepass.reconfigurations ||
+        cache_oracle_lanes.boundary_trace !=
+            cache_oracle_onepass.boundary_trace) {
+        std::cerr << "perf_smoke: one-pass cache oracle diverges at "
+                  << oracle_cache_app.name << "\n";
+        return 1;
+    }
+
+    const double oracle_iq_speedup =
+        oracle_iq_fast_s > 0.0 ? oracle_iq_slow_s / oracle_iq_fast_s
+                               : 0.0;
+    const double oracle_cache_speedup =
+        oracle_cache_fast_s > 0.0
+            ? oracle_cache_slow_s / oracle_cache_fast_s
+            : 0.0;
+
+    std::cout << "\n";
+    TableWriter oracle_table(
+        "interval oracles, per-candidate lanes vs one-pass (" +
+        oracle_app.name + " " + std::to_string(instrs) + " instrs, " +
+        oracle_cache_app.name + " " + std::to_string(refs) + " refs)");
+    oracle_table.setHeader({"oracle", "lanes_s", "onepass_s", "speedup"});
+    oracle_table.addRow({Cell("iq"), Cell(oracle_iq_slow_s, 3),
+                         Cell(oracle_iq_fast_s, 3),
+                         Cell(oracle_iq_speedup, 2)});
+    oracle_table.addRow({Cell("cache"), Cell(oracle_cache_slow_s, 3),
+                         Cell(oracle_cache_fast_s, 3),
+                         Cell(oracle_cache_speedup, 2)});
+    emit(oracle_table);
+
     // ---- Study server: cold vs warm. The warm pass replays the same
     // submissions against a populated ResultCache, so it measures the
     // cache + render path alone; the gate holds the warm pass to at
@@ -356,7 +445,10 @@ main(int argc, char **argv)
     cost_profiler.disarm();
 
     const double study_wall_s = slow_s + fast_s + iq_slow_s +
-                                iq_fast_s + serve_cold_s + serve_warm_s;
+                                iq_fast_s + oracle_iq_slow_s +
+                                oracle_iq_fast_s + oracle_cache_slow_s +
+                                oracle_cache_fast_s + serve_cold_s +
+                                serve_warm_s;
     const double overhead_pct =
         study_wall_s > 0.0
             ? 100.0 * static_cast<double>(study_spans) * disarmed_ns /
@@ -410,6 +502,18 @@ main(int argc, char **argv)
             << "  \"iq_onepass_seconds\": " << Cell(iq_fast_s, 6).str()
             << ",\n"
             << "  \"iq_speedup\": " << Cell(iq_speedup, 3).str() << ",\n"
+            << "  \"oracle_iq_lanes_seconds\": "
+            << Cell(oracle_iq_slow_s, 6).str() << ",\n"
+            << "  \"oracle_iq_onepass_seconds\": "
+            << Cell(oracle_iq_fast_s, 6).str() << ",\n"
+            << "  \"oracle_iq_speedup\": "
+            << Cell(oracle_iq_speedup, 3).str() << ",\n"
+            << "  \"oracle_cache_lanes_seconds\": "
+            << Cell(oracle_cache_slow_s, 6).str() << ",\n"
+            << "  \"oracle_cache_onepass_seconds\": "
+            << Cell(oracle_cache_fast_s, 6).str() << ",\n"
+            << "  \"oracle_cache_speedup\": "
+            << Cell(oracle_cache_speedup, 3).str() << ",\n"
             << "  \"serve_cold_seconds\": " << Cell(serve_cold_s, 6).str()
             << ",\n"
             << "  \"serve_warm_seconds\": " << Cell(serve_warm_s, 6).str()
@@ -444,6 +548,13 @@ main(int argc, char **argv)
             return rc;
         if (int rc = gateAgainstBaseline(baseline_path, "iq_speedup",
                                          iq_speedup))
+            return rc;
+        if (int rc = gateAgainstBaseline(
+                baseline_path, "oracle_iq_speedup", oracle_iq_speedup))
+            return rc;
+        if (int rc = gateAgainstBaseline(baseline_path,
+                                         "oracle_cache_speedup",
+                                         oracle_cache_speedup))
             return rc;
     }
     return 0;

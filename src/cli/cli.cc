@@ -142,7 +142,8 @@ cmdHelp(std::ostream &out)
            "      [--no-onepass]           per-config replay instead of\n"
            "                               the one-pass sweep\n"
            "      [--oracle]               sampled per-interval oracle\n"
-           "                               (iq side, single app)\n"
+           "                               (iq side, single app; honors\n"
+           "                               --no-onepass)\n"
            "      [--trace-file PATH]      profile + replay a recorded\n"
            "                               trace file instead of the\n"
            "                               synthetic generator (either\n"
@@ -163,6 +164,9 @@ cmdHelp(std::ostream &out)
            "      [--compare-triggers]     run period/phase/hybrid plus\n"
            "                               the oracle and report the\n"
            "                               TPI gap each mode closes\n"
+           "      [--no-onepass]           per-candidate oracle lanes\n"
+           "                               instead of the one-pass\n"
+           "                               window sweep\n"
            "      [--telemetry-json PATH]  write execution telemetry\n"
            "  analyze-trace <path>         per-interval tables from a\n"
            "                               JSONL decision trace\n"
@@ -285,10 +289,12 @@ jobsFlag(const Options &options)
     return jobs == 0 ? defaultJobs() : static_cast<int>(jobs);
 }
 
-/** The --onepass / --no-onepass pair: cache sweeps default to the
- *  one-pass stack-distance engine (docs/PERF.md); --no-onepass is the
- *  escape hatch back to one hierarchy per boundary.  Both are bare
- *  flags -- place them after the positional argument. */
+/** The --onepass / --no-onepass pair: sweeps and interval oracles
+ *  default to the one-pass counterfactual engines (the stack-distance
+ *  walk on the cache side, the window sweep on the IQ side; see
+ *  docs/PERF.md); --no-onepass is the escape hatch back to one
+ *  simulation per candidate.  Both are bare flags -- place them after
+ *  the positional argument. */
 bool
 onePassFlag(const Options &options)
 {
@@ -687,7 +693,8 @@ cmdIntervalRun(const Options &options, std::ostream &out,
             runMode(core::IntervalTrigger::Hybrid);
         core::IntervalRunResult oracle = core::runIntervalOracle(
             model, apps[0], instrs, sizes, params.interval_instrs, true,
-            params.switch_penalty_cycles, jobsFlag(options));
+            params.switch_penalty_cycles, jobsFlag(options), {},
+            onePassFlag(options));
 
         double gap = period.tpi() - oracle.tpi();
         TableWriter table("trigger comparison, " + apps[0].name + ", " +
@@ -1186,7 +1193,7 @@ cmdSampleRun(const Options &options, std::ostream &out, std::ostream &err)
         core::IntervalRunResult result = sample::runSampledIntervalOracle(
             model, apps[0], instrs, core::AdaptiveIqModel::studySizes(),
             params, true, core::kClockSwitchPenaltyCycles, jobs,
-            session.hooks());
+            session.hooks(), onePassFlag(options));
         TableWriter table("sampled interval oracle, " + apps[0].name +
                           ", " + std::to_string(instrs) + " instructions");
         table.setHeader({"quantity", "value"});

@@ -5,14 +5,14 @@
 #include <memory>
 
 #include "cache/exclusive_hierarchy.h"
+#include "cache/stack_sim.h"
 #include "trace/stream.h"
+#include "util/parallel.h"
 #include "util/status.h"
 
 namespace cap::core {
 
 namespace {
-
-constexpr Cycles kClockSwitchCycles = 30;
 
 /** Run one interval on a live hierarchy; returns the time in ns. */
 double
@@ -84,7 +84,7 @@ IntervalAdaptiveCache::run(const trace::AppProfile &app, uint64_t refs,
         // No data motion or draining; only the clock pause, at the
         // incoming configuration's clock.
         result.total_time_ns +=
-            static_cast<double>(kClockSwitchCycles) *
+            static_cast<double>(kClockSwitchPenaltyCycles) *
             model_->boundaryTiming(to).cycle_ns;
         ++result.reconfigurations;
         current = to;
@@ -195,7 +195,7 @@ PhasePredictiveCache::run(const trace::AppProfile &app, uint64_t refs,
             return;
         hierarchy.setBoundary(to);
         result.total_time_ns +=
-            static_cast<double>(kClockSwitchCycles) *
+            static_cast<double>(kClockSwitchPenaltyCycles) *
             model_->boundaryTiming(to).cycle_ns;
         ++result.reconfigurations;
         current = to;
@@ -303,59 +303,183 @@ CacheIntervalResult
 runCacheIntervalOracle(const AdaptiveCacheModel &model,
                        const trace::AppProfile &app, uint64_t refs,
                        const std::vector<int> &boundaries,
-                       uint64_t interval_refs, bool charge_switches)
+                       uint64_t interval_refs, bool charge_switches,
+                       Cycles switch_penalty_cycles, int jobs,
+                       const obs::Hooks &hooks, bool one_pass)
 {
     capAssert(!boundaries.empty(), "oracle needs boundaries");
     capAssert(interval_refs > 0, "empty interval");
+    capAssert(jobs >= 1, "oracle needs at least one worker");
 
-    struct Lane
+    obs::Hooks sinks = obs::effectiveHooks(hooks);
+
+    uint64_t full_intervals = refs / interval_refs;
+    uint64_t tail_refs = refs % interval_refs;
+    uint64_t total_intervals = full_intervals + (tail_refs ? 1 : 0);
+
+    // Phase 1: per-candidate per-interval costs.  Both engines fill
+    // the same table; the reduction below never knows which ran.
+    struct IntervalCost
     {
-        std::unique_ptr<cache::ExclusiveHierarchy> hierarchy;
-        std::unique_ptr<trace::SyntheticTraceSource> source;
-        CacheBoundaryTiming timing;
-        int boundary;
+        double time_ns;
+        uint64_t instructions;
     };
-    std::vector<Lane> lanes;
-    for (int boundary : boundaries) {
-        Lane lane;
-        lane.hierarchy = std::make_unique<cache::ExclusiveHierarchy>(
-            model.geometry(), boundary);
-        lane.source = std::make_unique<trace::SyntheticTraceSource>(
-            app.cache, app.seed, refs);
-        lane.timing = model.boundaryTiming(boundary);
-        lane.boundary = boundary;
-        lanes.push_back(std::move(lane));
-    }
+    std::vector<std::vector<IntervalCost>> lane_costs(boundaries.size());
+    std::vector<CacheBoundaryTiming> timings;
+    timings.reserve(boundaries.size());
+    for (int boundary : boundaries)
+        timings.push_back(model.boundaryTiming(boundary));
 
-    CacheIntervalResult result;
-    int previous = -1;
-    uint64_t total_intervals = refs / interval_refs;
-    for (uint64_t interval = 0; interval < total_intervals; ++interval) {
-        double best_time = std::numeric_limits<double>::infinity();
-        uint64_t best_instrs = 0;
-        int winner = boundaries.front();
-        for (Lane &lane : lanes) {
-            uint64_t instrs = 0;
-            double time_ns = runInterval(model, *lane.hierarchy,
-                                         *lane.source, interval_refs,
-                                         lane.timing,
-                                         app.cache.refs_per_instr, instrs);
-            if (time_ns < best_time) {
-                best_time = time_ns;
-                best_instrs = instrs;
-                winner = lane.boundary;
+    if (one_pass) {
+        // One trace walk through the Mattson stack engine.  statsFor()
+        // is an exact cumulative reconstruction at any point of the
+        // walk, so the delta between consecutive interval-boundary
+        // reconstructions equals the interval's stats delta on a
+        // dedicated static hierarchy bit for bit -- the same CacheStats
+        // runInterval() feeds perfFromStats() in the lane engine.
+        CAPSIM_SPAN("oracle.onepass");
+        if (sinks.progress)
+            sinks.progress->beginRun("cache-interval-oracle", 1, 1);
+        trace::SyntheticTraceSource source(app.cache, app.seed, refs);
+        cache::StackSimulator stack(model.geometry());
+        std::vector<cache::CacheStats> previous_cum(boundaries.size());
+        trace::TraceRecord batch[trace::kTraceBatch];
+        for (size_t li = 0; li < boundaries.size(); ++li)
+            lane_costs[li].reserve(total_intervals);
+        for (uint64_t interval = 0; interval < total_intervals;
+             ++interval) {
+            uint64_t want = interval < full_intervals ? interval_refs
+                                                      : tail_refs;
+            for (uint64_t left = want; left > 0;) {
+                uint64_t n = source.nextBatch(
+                    batch, std::min<uint64_t>(left, trace::kTraceBatch));
+                if (n == 0)
+                    break;
+                stack.accessBatch(batch, n);
+                left -= n;
+            }
+            for (size_t li = 0; li < boundaries.size(); ++li) {
+                cache::CacheStats cum = stack.statsFor(boundaries[li]);
+                cache::CacheStats delta = cum - previous_cum[li];
+                previous_cum[li] = cum;
+                CachePerf perf = model.perfFromStats(
+                    delta, timings[li], app.cache.refs_per_instr);
+                lane_costs[li].push_back(
+                    {perf.tpi_ns * static_cast<double>(perf.instructions),
+                     perf.instructions});
             }
         }
-        result.total_time_ns += best_time;
-        result.refs += interval_refs;
-        result.instructions += best_instrs;
-        result.boundary_trace.push_back(winner);
-        if (previous >= 0 && winner != previous) {
-            ++result.reconfigurations;
-            if (charge_switches) {
-                result.total_time_ns +=
-                    30.0 * model.boundaryTiming(winner).cycle_ns;
+        if (sinks.progress) {
+            sinks.progress->noteCellDone(0, 0);
+            sinks.progress->endRun();
+        }
+    } else {
+        // One static hierarchy per boundary; lanes are independent
+        // simulations and fan across the pool, the reduction stays
+        // serial in candidate order, so results are bit-identical for
+        // every job count.
+        ThreadPool pool(jobs);
+        if (sinks.progress)
+            sinks.progress->beginRun("cache-interval-oracle",
+                                     boundaries.size(), jobs);
+        CAPSIM_SPAN("oracle.lanes");
+        parallelFor(pool, boundaries.size(), [&](size_t li) {
+            CAPSIM_SPAN("oracle.lane");
+            cache::ExclusiveHierarchy hierarchy(model.geometry(),
+                                                boundaries[li]);
+            trace::SyntheticTraceSource source(app.cache, app.seed, refs);
+            lane_costs[li].reserve(total_intervals);
+            for (uint64_t interval = 0; interval < total_intervals;
+                 ++interval) {
+                uint64_t want = interval < full_intervals ? interval_refs
+                                                          : tail_refs;
+                uint64_t instrs = 0;
+                double time_ns = runInterval(model, hierarchy, source,
+                                             want, timings[li],
+                                             app.cache.refs_per_instr,
+                                             instrs);
+                lane_costs[li].push_back({time_ns, instrs});
             }
+            if (sinks.progress)
+                sinks.progress->noteCellDone(currentWorkerId(), 0);
+        });
+        if (sinks.progress)
+            sinks.progress->endRun();
+    }
+
+    // Phase 2: serial winner reduction, shared by both engines; obs
+    // emission happens here only, on the orchestrator thread.
+    CAPSIM_SPAN("oracle.reduce");
+    CacheIntervalResult result;
+    obs::Counter *oracle_switches =
+        sinks.registry
+            ? &sinks.registry->counter("oracle.reconfigurations")
+            : nullptr;
+    obs::Counter *oracle_intervals =
+        sinks.registry ? &sinks.registry->counter("oracle.intervals")
+                       : nullptr;
+    std::string oracle_lane = app.name + "/oracle";
+    int previous = -1;
+    for (uint64_t interval = 0; interval < total_intervals; ++interval) {
+        uint64_t want =
+            interval < full_intervals ? interval_refs : tail_refs;
+        double best_time = std::numeric_limits<double>::infinity();
+        size_t winner_lane = 0;
+        int winner = boundaries.front();
+        for (size_t li = 0; li < boundaries.size(); ++li) {
+            double time_ns = lane_costs[li][interval].time_ns;
+            if (time_ns < best_time) {
+                best_time = time_ns;
+                winner = boundaries[li];
+                winner_lane = li;
+            }
+        }
+        double interval_start_ns = result.total_time_ns;
+        bool switched = previous >= 0 && winner != previous;
+        double penalty_ns =
+            switched && charge_switches
+                ? static_cast<double>(switch_penalty_cycles) *
+                      model.boundaryTiming(winner).cycle_ns
+                : 0.0;
+        result.total_time_ns += best_time;
+        result.refs += want;
+        uint64_t retired = lane_costs[winner_lane][interval].instructions;
+        result.instructions += retired;
+        result.boundary_trace.push_back(winner);
+        CAPSIM_OBS_COUNT(oracle_intervals, 1);
+        if (switched) {
+            ++result.reconfigurations;
+            CAPSIM_OBS_COUNT(oracle_switches, 1);
+            if (charge_switches)
+                result.total_time_ns += penalty_ns;
+            if (sinks.trace) {
+                obs::TraceEvent event;
+                event.kind = obs::EventKind::Reconfig;
+                event.lane = oracle_lane;
+                event.app = app.name;
+                event.config = std::to_string(winner);
+                event.start_ns = interval_start_ns;
+                event.duration_ns = penalty_ns;
+                event.from_config = previous;
+                event.to_config = winner;
+                event.penalty_ns = penalty_ns;
+                sinks.trace->add(std::move(event));
+            }
+        }
+        if (sinks.trace) {
+            obs::TraceEvent event;
+            event.kind = obs::EventKind::Interval;
+            event.lane = oracle_lane;
+            event.app = app.name;
+            event.config = std::to_string(winner);
+            event.interval = interval;
+            event.retired = retired;
+            event.start_ns = interval_start_ns + penalty_ns;
+            event.duration_ns = best_time;
+            event.tpi_ns = retired ? best_time /
+                                         static_cast<double>(retired)
+                                   : 0.0;
+            sinks.trace->add(std::move(event));
         }
         previous = winner;
     }

@@ -18,6 +18,8 @@
 #include <vector>
 
 #include "core/adaptive_cache.h"
+#include "core/machine.h"
+#include "obs/hooks.h"
 #include "trace/profile.h"
 #include "util/units.h"
 
@@ -81,15 +83,39 @@ class IntervalAdaptiveCache
 };
 
 /**
- * Per-interval oracle: each candidate boundary runs its own hierarchy
- * in lockstep; each interval is charged the best candidate's time
- * (plus the clock pause when the winner changes, if
- * @p charge_switches).
+ * Per-interval oracle: each interval is charged the best candidate
+ * boundary's time (plus @p switch_penalty_cycles at the incoming
+ * clock when the winner changes, if @p charge_switches).  The final
+ * partial interval (refs % interval_refs) is simulated and credited
+ * like any other.
+ *
+ * With @p one_pass (the default) a single walk of the trace through
+ * the Mattson stack engine (cache::StackSimulator) scores every
+ * boundary: the cumulative stats reconstruction statsFor(k) is exact
+ * at *any* point of the walk, so per-interval deltas of consecutive
+ * reconstructions equal the per-interval stats deltas of a dedicated
+ * static hierarchy bit for bit, and the winner reduction -- shared
+ * with the lane engine -- produces identical results in
+ * O(refs + intervals * ways) instead of O(boundaries * refs)
+ * (docs/PERF.md).  The walk is serial; callers scale across
+ * applications instead.
+ *
+ * With @p one_pass off, each boundary replays the trace on its own
+ * ExclusiveHierarchy, fanned across @p jobs worker threads; results
+ * are bit-identical for every job count (the reduction is serial, in
+ * candidate order).
+ *
+ * Observation: when @p hooks carry sinks, the reduction emits one
+ * Interval record per interval and a Reconfig record on winner
+ * changes (lane "app/oracle"), and the registry gains the `oracle.*`
+ * counters -- matching runIntervalOracle on the IQ side.
  */
 CacheIntervalResult runCacheIntervalOracle(
     const AdaptiveCacheModel &model, const trace::AppProfile &app,
     uint64_t refs, const std::vector<int> &boundaries,
-    uint64_t interval_refs, bool charge_switches);
+    uint64_t interval_refs, bool charge_switches,
+    Cycles switch_penalty_cycles = kClockSwitchPenaltyCycles,
+    int jobs = 1, const obs::Hooks &hooks = {}, bool one_pass = true);
 
 /** Tunables of the phase-predictive controller. */
 struct PhasePredictorParams : CacheIntervalParams

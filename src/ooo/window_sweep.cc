@@ -384,11 +384,36 @@ WindowSweeper::laneFor(int entries, bool create)
         entries, base_params_.dispatch_width, base_params_.issue_width,
         base_));
     max_entries_ = std::max(max_entries_, entries);
-    capAssert(kChunk + static_cast<uint64_t>(max_entries_) +
+    capAssert(std::max(kChunk, reserved_span_) +
+                      static_cast<uint64_t>(max_entries_) +
                       static_cast<uint64_t>(base_params_.issue_width) + 1 <=
-                  kRingOps,
+                  ring_.size(),
               "queue ladder too large for the shared op ring");
     return lanes_.size() - 1;
+}
+
+void
+WindowSweeper::reserveSpan(uint64_t span)
+{
+    capAssert(last_sync_ == 0 && !started_ && produced_ == base_,
+              "reserveSpan must precede any advance");
+    reserved_span_ = std::max(reserved_span_, span);
+    uint64_t need = reserved_span_ + static_cast<uint64_t>(max_entries_) +
+                    static_cast<uint64_t>(base_params_.issue_width) + 2;
+    if (need <= ring_.size())
+        return;
+    ring_.assign(nextPow2(need), MicroOp{});
+    ring_mask_ = ring_.size() - 1;
+}
+
+void
+WindowSweeper::disableHistory()
+{
+    capAssert(!fallback_, "history already feeds the fallback model");
+    record_history_ = false;
+    history_available_ = false;
+    history_.clear();
+    history_.shrink_to_fit();
 }
 
 int
@@ -424,6 +449,18 @@ WindowSweeper::laneMarkTicks(size_t lane) const
 void
 WindowSweeper::ensureOps(uint64_t upto)
 {
+    // Overwrite guard: a slot recycled by the producer must already
+    // have been dispatched by every lane (a lane copies everything it
+    // needs out of the ring at dispatch).  Only per-lane advancement
+    // can spread lanes far enough to trip this; reserveSpan() sizes
+    // the ring for the expected spread.
+    if (!fallback_ && upto > base_ + ring_.size()) {
+        uint64_t floor = upto - ring_.size();
+        for (const auto &lane : lanes_)
+            capAssert(lane->nextIndex() >= floor,
+                      "shared op ring too small for the lane spread "
+                      "(reserveSpan() before advancing per lane)");
+    }
     while (produced_ < upto && !exhausted_) {
         uint64_t slot = produced_ & ring_mask_;
         uint64_t contiguous =
@@ -435,6 +472,22 @@ WindowSweeper::ensureOps(uint64_t upto)
         produced_ += got;
         if (got < contiguous)
             exhausted_ = true;
+    }
+}
+
+void
+WindowSweeper::advanceLaneTo(size_t lane, uint64_t target)
+{
+    capAssert(!fallback_,
+              "per-lane advance is a one-pass-only operation");
+    WindowLane &l = *lanes_.at(lane);
+    started_ = true;
+    while (l.issued() < target) {
+        uint64_t next = std::min(target, l.issued() + kChunk);
+        ensureOps(base_ + next + static_cast<uint64_t>(max_entries_) +
+                  static_cast<uint64_t>(base_params_.issue_width) + 1);
+        l.advanceTo(next, ring_.data(), ring_mask_, produced_,
+                    exhausted_);
     }
 }
 
@@ -496,6 +549,9 @@ void
 WindowSweeper::engageFallback()
 {
     capAssert(!fallback_, "fallback already engaged");
+    capAssert(history_available_,
+              "fallback needs the op history (disableHistory() makes "
+              "the sweeper counterfactual-only)");
     history_cutoff_ = history_.size();
     record_history_ = false;
     replay_source_ = std::make_unique<ReplaySource>(*this, base_);

@@ -204,6 +204,35 @@ class WindowSweeper
     void advanceAllTo(uint64_t target);
 
     /**
+     * Advance only lane @p lane until its issued count reaches
+     * @p target (absolute, counted from the base index) -- the
+     * building block of the one-pass interval oracle, where each
+     * lane's interval boundaries chain off its own overshoot and the
+     * lanes therefore advance through an interval one at a time.
+     * Lanes may drift apart by up to the span the shared ring was
+     * sized for; call reserveSpan() first when per-lane targets can
+     * spread further than one lockstep chunk.
+     */
+    void advanceLaneTo(size_t lane, uint64_t target);
+
+    /**
+     * Grow the shared op ring so lanes may drift up to @p span
+     * instructions apart (plus queue and width headroom) without the
+     * producer overwriting ops a lagging lane still needs.  Must be
+     * called before any lane advances.
+     */
+    void reserveSpan(uint64_t span);
+
+    /**
+     * Stop recording op history.  The history exists only to feed the
+     * live facade's CoreModel fallback (resize()/stall() mid-run);
+     * counterfactual-only walks (the interval oracle) never engage it
+     * and would otherwise pay O(instructions) memory.  Irreversible:
+     * resize()/stall() after the first step become illegal.
+     */
+    void disableHistory();
+
+    /**
      * Fold one lane's counters into @p registry under @p prefix with
      * the exact names and occupancy-histogram shape of
      * CoreModel::attachMetrics(), so a one-pass cell merges
@@ -260,6 +289,7 @@ class WindowSweeper
     uint64_t base_ = 0;
     std::vector<MicroOp> ring_;
     uint64_t ring_mask_;
+    uint64_t reserved_span_ = 0;
     uint64_t produced_ = 0;
     bool exhausted_ = false;
     uint64_t last_sync_ = 0;
@@ -267,6 +297,7 @@ class WindowSweeper
     /** Ops generated since base, for the fallback replay. */
     std::vector<MicroOp> history_;
     bool record_history_ = true;
+    bool history_available_ = true;
     uint64_t history_cutoff_ = 0;
 
     bool started_ = false;

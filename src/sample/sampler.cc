@@ -603,24 +603,33 @@ IqSampler::measureRepFrom(ooo::OpSource &source, int entries, size_t start,
 std::vector<IqRepMeasurement>
 IqSampler::measureRepAllConfigs(size_t rep_index) const
 {
+    return measureRepConfigs(core::AdaptiveIqModel::studySizes(),
+                             rep_index);
+}
+
+std::vector<IqRepMeasurement>
+IqSampler::measureRepConfigs(const std::vector<int> &entries,
+                             size_t rep_index) const
+{
     RepWindow w = repWindow(plan_, params_, rep_index);
     if (!profile_.trace_path.empty()) {
         ooo::UopFileSource source(profile_.trace_path);
         source.restoreCursor(profile_.file_cursors[w.warm_start]);
-        return measureRepChainFrom(source, w.start, w.warm_instrs);
+        return measureRepChainFrom(source, entries, w.start,
+                                   w.warm_instrs);
     }
     ooo::InstructionStream stream(app_.ilp, app_.seed);
     stream.restoreCursor(profile_.cursors[w.warm_start]);
     CappedOpSource source(stream, profile_.total_instrs);
-    return measureRepChainFrom(source, w.start, w.warm_instrs);
+    return measureRepChainFrom(source, entries, w.start, w.warm_instrs);
 }
 
 std::vector<IqRepMeasurement>
-IqSampler::measureRepChainFrom(ooo::OpSource &source, size_t start,
-                               uint64_t warm_instrs) const
+IqSampler::measureRepChainFrom(ooo::OpSource &source,
+                               const std::vector<int> &sizes,
+                               size_t start, uint64_t warm_instrs) const
 {
     const uint64_t start_position = source.position();
-    std::vector<int> sizes = core::AdaptiveIqModel::studySizes();
     ooo::CoreParams cp;
     cp.queue_entries = sizes.front();
     cp.dispatch_width = core::IqMachine::kDispatchWidth;

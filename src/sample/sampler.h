@@ -297,6 +297,17 @@ class IqSampler
      */
     std::vector<IqRepMeasurement> measureRepAllConfigs(size_t rep) const;
 
+    /**
+     * As measureRepAllConfigs(), but for an arbitrary candidate list:
+     * one replay of representative @p rep scores every queue size in
+     * @p entries (one counterfactual lane each, results in input
+     * order), each bit-identical to measureRep(size, rep).  The lanes
+     * never interact, so the list's composition does not change any
+     * individual measurement.
+     */
+    std::vector<IqRepMeasurement>
+    measureRepConfigs(const std::vector<int> &entries, size_t rep) const;
+
     /** measureRepAllConfigs() over every representative, as
      *  [config][rep slot] (ladder order x plan order). */
     std::vector<std::vector<IqRepMeasurement>> measureAllConfigs() const;
@@ -312,7 +323,8 @@ class IqSampler
                                     size_t start,
                                     uint64_t warm_instrs) const;
     std::vector<IqRepMeasurement>
-    measureRepChainFrom(ooo::OpSource &source, size_t start,
+    measureRepChainFrom(ooo::OpSource &source,
+                        const std::vector<int> &sizes, size_t start,
                         uint64_t warm_instrs) const;
 
     const core::AdaptiveIqModel *model_;

@@ -434,7 +434,7 @@ runSampledIntervalOracle(const core::AdaptiveIqModel &model,
                          const std::vector<int> &candidates,
                          const SampleParams &params, bool charge_switches,
                          Cycles switch_penalty_cycles, int jobs,
-                         const obs::Hooks &hooks)
+                         const obs::Hooks &hooks, bool one_pass)
 {
     capAssert(!candidates.empty(), "oracle needs candidates");
     capAssert(jobs >= 1, "oracle needs at least one worker");
@@ -455,29 +455,43 @@ runSampledIntervalOracle(const core::AdaptiveIqModel &model,
     core::IntervalRunResult result;
     result.instructions = instructions;
     result.telemetry.jobs = jobs;
-    result.telemetry.cells.assign(n_cand * n_rep, {});
+    size_t n_cells = one_pass ? n_rep : n_cand * n_rep;
+    result.telemetry.cells.assign(n_cells, {});
 
-    // The representatives are measured once per candidate lane; the
-    // lanes share the sampler (const) and write disjoint slots.
+    // Replay: per-config mode measures every (candidate, rep) cell
+    // independently; one-pass mode replays each representative once,
+    // scoring the whole candidate list in a single warmup+measure
+    // chain (bit-identical by construction, see measureRepConfigs).
+    // Either way the lanes share the sampler (const) and write
+    // disjoint slots.
     std::vector<std::vector<IqRepMeasurement>> meas(
         n_cand, std::vector<IqRepMeasurement>(n_rep));
     SteadyClock::time_point start = SteadyClock::now();
     ThreadPool pool(jobs);
     if (sinks.progress)
-        sinks.progress->beginRun("sample-oracle/replay", n_cand * n_rep,
-                                 jobs);
+        sinks.progress->beginRun("sample-oracle/replay", n_cells, jobs);
     {
         CAPSIM_SPAN("sample.replay");
-        parallelFor(pool, n_cand * n_rep, [&](size_t i) {
+        parallelFor(pool, n_cells, [&](size_t i) {
             CAPSIM_SPAN("sample.replay.cell");
-            size_t cand = i / n_rep;
-            size_t rep = i % n_rep;
             SteadyClock::time_point cell_start = SteadyClock::now();
-            meas[cand][rep] = sampler.measureRep(candidates[cand], rep);
             core::CellTelemetry &ct = result.telemetry.cells[i];
+            if (one_pass) {
+                std::vector<IqRepMeasurement> per_cand =
+                    sampler.measureRepConfigs(candidates, i);
+                for (size_t cand = 0; cand < n_cand; ++cand)
+                    meas[cand][i] = per_cand[cand];
+                ct.config = "onepass x" + std::to_string(n_cand) +
+                            "#rep" + std::to_string(i);
+            } else {
+                size_t cand = i / n_rep;
+                size_t rep = i % n_rep;
+                meas[cand][rep] =
+                    sampler.measureRep(candidates[cand], rep);
+                ct.config = std::to_string(candidates[cand]) +
+                            " entries#rep" + std::to_string(rep);
+            }
             ct.app = app.name;
-            ct.config = std::to_string(candidates[cand]) +
-                        " entries#rep" + std::to_string(rep);
             ct.sim_seconds = secondsSince(cell_start);
             ct.worker = currentWorkerId();
             if (sinks.progress)
@@ -545,8 +559,12 @@ runSampledIntervalOracle(const core::AdaptiveIqModel &model,
                          sampler.profile().lengthOf(plan.reps[r].interval);
         }
     }
-    foldSampleCounters(sinks.registry, plan.num_intervals, k,
-                       n_cand * n_rep, warmup_total, simulated, "instrs");
+    foldSampleCounters(sinks.registry, plan.num_intervals, k, n_cells,
+                       warmup_total, simulated, "instrs");
+    if (one_pass && sinks.registry) {
+        sinks.registry->counter("windowsweep.sweeps").add(n_rep);
+        sinks.registry->counter("windowsweep.lanes").add(n_rep * n_cand);
+    }
     return result;
 }
 

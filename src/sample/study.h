@@ -106,21 +106,29 @@ SampledIqStudy runSampledIqStudy(const core::AdaptiveIqModel &model,
 
 /**
  * Sampled per-interval oracle: the representatives are measured once
- * per candidate configuration (fanning across @p jobs), each cluster
- * picks its per-interval winner, and the whole-run time is
- * reconstructed from cluster weights.  Winner changes along the
- * reconstructed interval sequence are charged the clock-switch
- * penalty when @p charge_switches is set, mirroring
- * core::runIntervalOracle.  The registry (when armed) gains the
- * `sample.*` counters; no per-interval trace records are emitted --
- * the reconstructed sequence is cluster-quantized, not measured.
+ * per candidate configuration, each cluster picks its per-interval
+ * winner, and the whole-run time is reconstructed from cluster
+ * weights.  Winner changes along the reconstructed interval sequence
+ * are charged the clock-switch penalty when @p charge_switches is
+ * set, mirroring core::runIntervalOracle.  The registry (when armed)
+ * gains the `sample.*` counters; no per-interval trace records are
+ * emitted -- the reconstructed sequence is cluster-quantized, not
+ * measured.
+ *
+ * With @p one_pass (the default) each representative is replayed once
+ * through IqSampler::measureRepConfigs(), scoring the whole candidate
+ * list in a single warmup+measure chain; the (rep) chains fan across
+ * @p jobs.  Measurements are bit-identical to measureRep(), so the
+ * reduction -- shared with per-config mode -- produces identical
+ * results.  With @p one_pass off, every (candidate, rep) cell is an
+ * independent replay fanned across @p jobs.
  */
 core::IntervalRunResult runSampledIntervalOracle(
     const core::AdaptiveIqModel &model, const trace::AppProfile &app,
     uint64_t instructions, const std::vector<int> &candidates,
     const SampleParams &params, bool charge_switches,
     Cycles switch_penalty_cycles = core::kClockSwitchPenaltyCycles,
-    int jobs = 1, const obs::Hooks &hooks = {});
+    int jobs = 1, const obs::Hooks &hooks = {}, bool one_pass = true);
 
 } // namespace cap::sample
 

@@ -1,0 +1,390 @@
+/**
+ * @file
+ * Differential tests for the one-pass interval oracles: the single
+ * WindowSweeper walk (IQ side) and the single stack-distance walk
+ * (cache side) must reproduce the per-candidate lane oracles bit for
+ * bit -- results, traces and counters -- for every application and
+ * every job count.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "cli/cli.h"
+#include "core/interval_cache.h"
+#include "core/interval_controller.h"
+#include "obs/decision_trace.h"
+#include "obs/registry.h"
+#include "sample/sampler.h"
+#include "sample/study.h"
+#include "trace/workloads.h"
+
+namespace cap {
+namespace {
+
+void
+expectSameIqResult(const core::IntervalRunResult &want,
+                   const core::IntervalRunResult &got,
+                   const std::string &context)
+{
+    EXPECT_EQ(want.instructions, got.instructions) << context;
+    EXPECT_EQ(want.total_time_ns, got.total_time_ns) << context;
+    EXPECT_EQ(want.reconfigurations, got.reconfigurations) << context;
+    EXPECT_EQ(want.config_trace, got.config_trace) << context;
+}
+
+void
+expectSameCacheResult(const core::CacheIntervalResult &want,
+                      const core::CacheIntervalResult &got,
+                      const std::string &context)
+{
+    EXPECT_EQ(want.refs, got.refs) << context;
+    EXPECT_EQ(want.instructions, got.instructions) << context;
+    EXPECT_EQ(want.total_time_ns, got.total_time_ns) << context;
+    EXPECT_EQ(want.reconfigurations, got.reconfigurations) << context;
+    EXPECT_EQ(want.boundary_trace, got.boundary_trace) << context;
+}
+
+// ---------------------------------------------------------------------
+// IQ side
+// ---------------------------------------------------------------------
+
+TEST(OnePassOracleTest, IqBitIdenticalAcrossAllApps)
+{
+    core::AdaptiveIqModel model;
+    std::vector<int> candidates = {16, 64, 128};
+    constexpr uint64_t kInstrs = 30000;
+    for (const trace::AppProfile &app : trace::workloadSuite()) {
+        core::IntervalRunResult lanes = core::runIntervalOracle(
+            model, app, kInstrs, candidates, core::kIntervalInstructions,
+            true, core::kClockSwitchPenaltyCycles, 1, {}, false);
+        for (int jobs : {1, 4}) {
+            core::IntervalRunResult onepass = core::runIntervalOracle(
+                model, app, kInstrs, candidates,
+                core::kIntervalInstructions, true,
+                core::kClockSwitchPenaltyCycles, jobs, {}, true);
+            expectSameIqResult(lanes, onepass,
+                               app.name + " jobs=" +
+                                   std::to_string(jobs));
+        }
+    }
+}
+
+TEST(OnePassOracleTest, IqFullLadderWithTailInterval)
+{
+    core::AdaptiveIqModel model;
+    std::vector<int> sizes = core::AdaptiveIqModel::studySizes();
+    const trace::AppProfile &app = trace::findApp("vortex");
+    // 90500 = 45 full intervals plus a 500-instruction tail.
+    constexpr uint64_t kInstrs = 90500;
+    core::IntervalRunResult lanes = core::runIntervalOracle(
+        model, app, kInstrs, sizes, core::kIntervalInstructions, true,
+        core::kClockSwitchPenaltyCycles, 4, {}, false);
+    core::IntervalRunResult onepass = core::runIntervalOracle(
+        model, app, kInstrs, sizes, core::kIntervalInstructions, true,
+        core::kClockSwitchPenaltyCycles, 1, {}, true);
+    expectSameIqResult(lanes, onepass, app.name);
+    EXPECT_EQ(onepass.instructions, kInstrs);
+    EXPECT_EQ(onepass.config_trace.size(), 46u);
+}
+
+TEST(OnePassOracleTest, IqShortIntervalsStressLaneDrift)
+{
+    // Short intervals maximize the relative per-lane overshoot drift
+    // the chained advancement must reproduce.
+    core::AdaptiveIqModel model;
+    std::vector<int> sizes = core::AdaptiveIqModel::studySizes();
+    const trace::AppProfile &app = trace::findApp("turb3d");
+    core::IntervalRunResult lanes = core::runIntervalOracle(
+        model, app, 20000, sizes, 100, true,
+        core::kClockSwitchPenaltyCycles, 4, {}, false);
+    core::IntervalRunResult onepass = core::runIntervalOracle(
+        model, app, 20000, sizes, 100, true,
+        core::kClockSwitchPenaltyCycles, 1, {}, true);
+    expectSameIqResult(lanes, onepass, app.name);
+}
+
+TEST(OnePassOracleTest, IqLongIntervalsNeedRingReserve)
+{
+    // An interval longer than the default shared ring: reserveSpan()
+    // must grow the ring so per-lane advancement can spread the lanes
+    // a whole interval apart.
+    core::AdaptiveIqModel model;
+    const trace::AppProfile &app = trace::findApp("li");
+    std::vector<int> candidates = {16, 128};
+    core::IntervalRunResult lanes = core::runIntervalOracle(
+        model, app, 120000, candidates, 40000, false,
+        core::kClockSwitchPenaltyCycles, 1, {}, false);
+    core::IntervalRunResult onepass = core::runIntervalOracle(
+        model, app, 120000, candidates, 40000, false,
+        core::kClockSwitchPenaltyCycles, 1, {}, true);
+    expectSameIqResult(lanes, onepass, app.name);
+}
+
+TEST(OnePassOracleTest, IqObsTraceAndCountersMatchLaneOracle)
+{
+    core::AdaptiveIqModel model;
+    const trace::AppProfile &app = trace::findApp("vortex");
+    std::vector<int> candidates = {16, 64};
+
+    obs::DecisionTrace lane_trace;
+    obs::CounterRegistry lane_registry;
+    obs::Hooks lane_hooks{&lane_trace, &lane_registry};
+    core::IntervalRunResult lanes = core::runIntervalOracle(
+        model, app, 50000, candidates, core::kIntervalInstructions, true,
+        core::kClockSwitchPenaltyCycles, 2, lane_hooks, false);
+
+    obs::DecisionTrace onepass_trace;
+    obs::CounterRegistry onepass_registry;
+    obs::Hooks onepass_hooks{&onepass_trace, &onepass_registry};
+    core::IntervalRunResult onepass = core::runIntervalOracle(
+        model, app, 50000, candidates, core::kIntervalInstructions, true,
+        core::kClockSwitchPenaltyCycles, 1, onepass_hooks, true);
+
+    expectSameIqResult(lanes, onepass, app.name);
+    ASSERT_EQ(onepass_trace.size(), lane_trace.size());
+    for (size_t i = 0; i < lane_trace.size(); ++i) {
+        const obs::TraceEvent &a = lane_trace.events()[i];
+        const obs::TraceEvent &b = onepass_trace.events()[i];
+        EXPECT_EQ(a.kind, b.kind) << "event " << i;
+        EXPECT_EQ(a.lane, b.lane) << "event " << i;
+        EXPECT_EQ(a.config, b.config) << "event " << i;
+        EXPECT_EQ(a.retired, b.retired) << "event " << i;
+        EXPECT_EQ(a.cycles, b.cycles) << "event " << i;
+        EXPECT_EQ(a.start_ns, b.start_ns) << "event " << i;
+        EXPECT_EQ(a.duration_ns, b.duration_ns) << "event " << i;
+        EXPECT_EQ(a.penalty_ns, b.penalty_ns) << "event " << i;
+    }
+    EXPECT_EQ(lane_registry.counter("oracle.intervals").value(),
+              onepass_registry.counter("oracle.intervals").value());
+    EXPECT_EQ(lane_registry.counter("oracle.reconfigurations").value(),
+              onepass_registry.counter("oracle.reconfigurations").value());
+}
+
+// ---------------------------------------------------------------------
+// Cache side
+// ---------------------------------------------------------------------
+
+TEST(OnePassOracleTest, CacheBitIdenticalAcrossAllApps)
+{
+    core::AdaptiveCacheModel model;
+    std::vector<int> boundaries = {1, 2, 3, 4, 5, 6, 7, 8};
+    constexpr uint64_t kRefs = 40000;
+    for (const trace::AppProfile &app : trace::workloadSuite()) {
+        core::CacheIntervalResult lanes = core::runCacheIntervalOracle(
+            model, app, kRefs, boundaries, 1000, true,
+            core::kClockSwitchPenaltyCycles, 1, {}, false);
+        for (int jobs : {1, 4}) {
+            core::CacheIntervalResult onepass =
+                core::runCacheIntervalOracle(
+                    model, app, kRefs, boundaries, 1000, true,
+                    core::kClockSwitchPenaltyCycles, jobs, {}, true);
+            expectSameCacheResult(lanes, onepass,
+                                  app.name + " jobs=" +
+                                      std::to_string(jobs));
+        }
+    }
+}
+
+TEST(OnePassOracleTest, CacheLaneOracleBitIdenticalAcrossJobs)
+{
+    core::AdaptiveCacheModel model;
+    std::vector<int> boundaries = {1, 2, 3, 4, 5, 6, 7, 8};
+    trace::AppProfile demo = trace::phasedCacheDemo();
+    core::CacheIntervalResult serial = core::runCacheIntervalOracle(
+        model, demo, 60000, boundaries, 1000, true,
+        core::kClockSwitchPenaltyCycles, 1, {}, false);
+    for (int jobs : {2, 4}) {
+        core::CacheIntervalResult parallel =
+            core::runCacheIntervalOracle(
+                model, demo, 60000, boundaries, 1000, true,
+                core::kClockSwitchPenaltyCycles, jobs, {}, false);
+        expectSameCacheResult(serial, parallel,
+                              "jobs=" + std::to_string(jobs));
+    }
+}
+
+// Regression: the cache oracle used to truncate the run at the last
+// full interval -- refs % interval_refs references were silently
+// dropped from both the walk and the accounting.
+TEST(OnePassOracleTest, CacheFinalPartialIntervalIsCredited)
+{
+    core::AdaptiveCacheModel model;
+    const trace::AppProfile &app = trace::findApp("li");
+    for (bool one_pass : {false, true}) {
+        core::CacheIntervalResult result = core::runCacheIntervalOracle(
+            model, app, 2500, {1, 2, 3, 4}, 1000, false,
+            core::kClockSwitchPenaltyCycles, 1, {}, one_pass);
+        EXPECT_EQ(result.refs, 2500u) << one_pass;
+        EXPECT_EQ(result.boundary_trace.size(), 3u) << one_pass;
+        EXPECT_GT(result.instructions, 0u) << one_pass;
+        EXPECT_TRUE(std::isfinite(result.tpi())) << one_pass;
+    }
+}
+
+// Regression: the 30-cycle switch penalty was a hard-coded literal;
+// it now comes from the shared kClockSwitchPenaltyCycles parameter.
+TEST(OnePassOracleTest, CacheSwitchPenaltyParameterScalesCharge)
+{
+    core::AdaptiveCacheModel model;
+    trace::AppProfile demo = trace::phasedCacheDemo();
+    std::vector<int> boundaries = {1, 2, 3, 4, 5, 6, 7, 8};
+    core::CacheIntervalResult uncharged = core::runCacheIntervalOracle(
+        model, demo, 60000, boundaries, 1000, false);
+    core::CacheIntervalResult zero_penalty =
+        core::runCacheIntervalOracle(model, demo, 60000, boundaries,
+                                     1000, true, 0);
+    core::CacheIntervalResult expensive = core::runCacheIntervalOracle(
+        model, demo, 60000, boundaries, 1000, true, 300);
+    EXPECT_EQ(zero_penalty.total_time_ns, uncharged.total_time_ns);
+    EXPECT_EQ(zero_penalty.reconfigurations, expensive.reconfigurations);
+    ASSERT_GT(zero_penalty.reconfigurations, 0);
+    EXPECT_GT(expensive.total_time_ns, zero_penalty.total_time_ns);
+}
+
+TEST(OnePassOracleTest, CacheObsTraceAndCountersMatchBothEngines)
+{
+    core::AdaptiveCacheModel model;
+    trace::AppProfile demo = trace::phasedCacheDemo();
+    std::vector<int> boundaries = {1, 2, 3, 4, 5, 6, 7, 8};
+
+    obs::DecisionTrace lane_trace;
+    obs::CounterRegistry lane_registry;
+    obs::Hooks lane_hooks{&lane_trace, &lane_registry};
+    core::CacheIntervalResult lanes = core::runCacheIntervalOracle(
+        model, demo, 60000, boundaries, 1000, true,
+        core::kClockSwitchPenaltyCycles, 2, lane_hooks, false);
+
+    obs::DecisionTrace onepass_trace;
+    obs::CounterRegistry onepass_registry;
+    obs::Hooks onepass_hooks{&onepass_trace, &onepass_registry};
+    core::CacheIntervalResult onepass = core::runCacheIntervalOracle(
+        model, demo, 60000, boundaries, 1000, true,
+        core::kClockSwitchPenaltyCycles, 1, onepass_hooks, true);
+
+    expectSameCacheResult(lanes, onepass, "phased demo");
+    EXPECT_EQ(lane_trace.countKind(obs::EventKind::Interval),
+              lanes.boundary_trace.size());
+    EXPECT_EQ(lane_trace.countKind(obs::EventKind::Reconfig),
+              static_cast<size_t>(lanes.reconfigurations));
+    EXPECT_EQ(lane_trace.intervalRetiredTotal(), lanes.instructions);
+    ASSERT_EQ(onepass_trace.size(), lane_trace.size());
+    for (size_t i = 0; i < lane_trace.size(); ++i) {
+        const obs::TraceEvent &a = lane_trace.events()[i];
+        const obs::TraceEvent &b = onepass_trace.events()[i];
+        EXPECT_EQ(a.kind, b.kind) << "event " << i;
+        EXPECT_EQ(a.config, b.config) << "event " << i;
+        EXPECT_EQ(a.retired, b.retired) << "event " << i;
+        EXPECT_EQ(a.start_ns, b.start_ns) << "event " << i;
+        EXPECT_EQ(a.duration_ns, b.duration_ns) << "event " << i;
+    }
+    EXPECT_EQ(lane_registry.counter("oracle.intervals").value(),
+              onepass_registry.counter("oracle.intervals").value());
+    EXPECT_EQ(lane_registry.counter("oracle.reconfigurations").value(),
+              onepass_registry.counter("oracle.reconfigurations").value());
+}
+
+// ---------------------------------------------------------------------
+// Sampled oracle and CLI round trips
+// ---------------------------------------------------------------------
+
+TEST(OnePassOracleTest, SamplerRepConfigsMatchesPerConfigMeasurement)
+{
+    core::AdaptiveIqModel model;
+    const trace::AppProfile &app = trace::findApp("vortex");
+    sample::SampleParams params;
+    params.interval_len = 2000;
+    params.clusters = 6;
+    params.warmup_len = 2000;
+    params.cold_prefix_len = 10000;
+    sample::IqSampler sampler(model, app, 60000, params);
+    std::vector<int> candidates = {24, 48, 96};
+    for (size_t rep = 0; rep < sampler.repCount(); ++rep) {
+        std::vector<sample::IqRepMeasurement> chained =
+            sampler.measureRepConfigs(candidates, rep);
+        ASSERT_EQ(chained.size(), candidates.size());
+        for (size_t c = 0; c < candidates.size(); ++c) {
+            sample::IqRepMeasurement solo =
+                sampler.measureRep(candidates[c], rep);
+            EXPECT_EQ(chained[c].cycles, solo.cycles)
+                << "rep " << rep << " entries " << candidates[c];
+            EXPECT_EQ(chained[c].instructions, solo.instructions);
+            EXPECT_EQ(chained[c].warmup_instrs, solo.warmup_instrs);
+        }
+    }
+}
+
+TEST(OnePassOracleTest, SampledOracleBitIdenticalAcrossEngines)
+{
+    core::AdaptiveIqModel model;
+    const trace::AppProfile &app = trace::findApp("turb3d");
+    sample::SampleParams params;
+    params.interval_len = 2000;
+    params.clusters = 6;
+    params.warmup_len = 2000;
+    params.cold_prefix_len = 10000;
+    std::vector<int> candidates = {32, 64, 128};
+
+    core::IntervalRunResult per_config = sample::runSampledIntervalOracle(
+        model, app, 60000, candidates, params, true,
+        core::kClockSwitchPenaltyCycles, 2, {}, false);
+    for (int jobs : {1, 4}) {
+        core::IntervalRunResult onepass =
+            sample::runSampledIntervalOracle(
+                model, app, 60000, candidates, params, true,
+                core::kClockSwitchPenaltyCycles, jobs, {}, true);
+        expectSameIqResult(per_config, onepass,
+                           "jobs=" + std::to_string(jobs));
+    }
+}
+
+TEST(OnePassOracleTest, CompareTriggersCliIdenticalWithAndWithoutOnePass)
+{
+    std::ostringstream out_default, out_lanes, err;
+    int rc_default = cli::runCommand(
+        {"interval-run", "vortex", "--instrs", "60000",
+         "--compare-triggers"},
+        out_default, err);
+    int rc_lanes = cli::runCommand(
+        {"interval-run", "vortex", "--instrs", "60000",
+         "--compare-triggers", "--no-onepass", "--jobs", "4"},
+        out_lanes, err);
+    ASSERT_EQ(rc_default, 0) << err.str();
+    ASSERT_EQ(rc_lanes, 0) << err.str();
+    EXPECT_EQ(out_default.str(), out_lanes.str());
+}
+
+TEST(OnePassOracleTest, SampleRunOracleCliIdenticalWithAndWithoutOnePass)
+{
+    std::ostringstream out_default, out_lanes, err;
+    int rc_default = cli::runCommand(
+        {"sample-run", "vortex", "--study", "iq", "--instrs", "60000",
+         "--oracle"},
+        out_default, err);
+    int rc_lanes = cli::runCommand(
+        {"sample-run", "vortex", "--study", "iq", "--instrs", "60000",
+         "--oracle", "--no-onepass", "--jobs", "4"},
+        out_lanes, err);
+    ASSERT_EQ(rc_default, 0) << err.str();
+    ASSERT_EQ(rc_lanes, 0) << err.str();
+    EXPECT_EQ(out_default.str(), out_lanes.str());
+}
+
+TEST(OnePassOracleTest, CacheOracleStillBeatsEveryFixedBoundary)
+{
+    core::AdaptiveCacheModel model;
+    trace::AppProfile demo = trace::phasedCacheDemo();
+    uint64_t refs = 900000;
+    core::CacheIntervalResult oracle = core::runCacheIntervalOracle(
+        model, demo, refs, {1, 2, 3, 4, 5, 6, 7, 8}, 1000, false);
+    for (int k = 1; k <= 8; ++k) {
+        double fixed = model.evaluate(demo, k, refs).tpi_ns;
+        EXPECT_LE(oracle.tpi(), fixed + 1e-9) << k;
+    }
+    EXPECT_GT(oracle.reconfigurations, 0);
+}
+
+} // namespace
+} // namespace cap
