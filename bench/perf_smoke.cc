@@ -45,6 +45,7 @@
 #include "bench_study.h"
 #include "core/interval_cache.h"
 #include "core/interval_controller.h"
+#include "mem/mem_model.h"
 #include "obs/span_profiler.h"
 #include "serve/job.h"
 
@@ -210,6 +211,74 @@ main(int argc, char **argv)
     table.addRow({Cell("one-pass"), Cell(fast_s, 3), Cell(fast_rate, 0),
                   Cell(speedup, 2)});
     emit(table);
+
+    // ---- Memory backends: --mem=flat must be free (bit-identical to
+    // the default-constructed model), and the dram walk's bank/MSHR
+    // bookkeeping must stay cheap -- under 2x the flat per-config
+    // lane it extends. ----
+    core::AdaptiveCacheModel flat_model;
+    {
+        mem::MemConfig flat_config;
+        std::string mem_error;
+        if (!mem::parseMemSpec("flat", flat_config, mem_error)) {
+            std::cerr << "perf_smoke: " << mem_error << "\n";
+            return 1;
+        }
+        flat_model.setMemConfig(flat_config);
+    }
+    core::CacheStudy explicit_flat =
+        core::runCacheStudy(flat_model, apps, refs, 8, jobs, {}, false);
+    for (size_t a = 0; a < apps.size(); ++a) {
+        for (size_t c = 0; c < per_config.perf[a].size(); ++c) {
+            const core::CachePerf &def = per_config.perf[a][c];
+            const core::CachePerf &flat = explicit_flat.perf[a][c];
+            if (def.tpi_ns != flat.tpi_ns ||
+                def.tpi_miss_ns != flat.tpi_miss_ns ||
+                def.l1_miss_ratio != flat.l1_miss_ratio ||
+                def.instructions != flat.instructions) {
+                std::cerr << "perf_smoke: explicit --mem=flat diverges "
+                             "from the default at "
+                          << apps[a].name << " config " << c << "\n";
+                return 1;
+            }
+        }
+    }
+
+    core::AdaptiveCacheModel dram_model;
+    {
+        mem::MemConfig dram_config;
+        std::string mem_error;
+        if (!mem::parseMemSpec("dram", dram_config, mem_error)) {
+            std::cerr << "perf_smoke: " << mem_error << "\n";
+            return 1;
+        }
+        dram_model.setMemConfig(dram_config);
+    }
+    core::CacheStudy dram_study =
+        core::runCacheStudy(dram_model, apps, refs, 8, jobs, {}, true);
+    const double dram_s = dram_study.telemetry.wall_seconds;
+    const double flat_lane_s = explicit_flat.telemetry.wall_seconds;
+    const double dram_overhead =
+        flat_lane_s > 0.0 ? dram_s / flat_lane_s : 0.0;
+
+    std::cout << "\n";
+    TableWriter mem_table("miss backends, per-config lanes (" +
+                          std::to_string(refs) + " refs x " +
+                          std::to_string(apps.size()) +
+                          " apps x 8 boundaries)");
+    mem_table.setHeader({"backend", "wall_s", "overhead_x"});
+    mem_table.addRow(
+        {Cell("flat"), Cell(flat_lane_s, 3), Cell(1.0, 2)});
+    mem_table.addRow(
+        {Cell("dram"), Cell(dram_s, 3), Cell(dram_overhead, 2)});
+    emit(mem_table);
+
+    if (dram_overhead >= 2.0) {
+        std::cerr << "perf_smoke: dram walk costs "
+                  << Cell(dram_overhead, 2).str()
+                  << "x the flat lane (gate: 2x)\n";
+        return 1;
+    }
 
     const uint64_t instrs = iqInstrs();
     std::vector<trace::AppProfile> iq_apps = trace::iqStudyApps();
@@ -444,11 +513,10 @@ main(int argc, char **argv)
     const double armed_ns = spanCostNs(100000);
     cost_profiler.disarm();
 
-    const double study_wall_s = slow_s + fast_s + iq_slow_s +
-                                iq_fast_s + oracle_iq_slow_s +
-                                oracle_iq_fast_s + oracle_cache_slow_s +
-                                oracle_cache_fast_s + serve_cold_s +
-                                serve_warm_s;
+    const double study_wall_s =
+        slow_s + fast_s + flat_lane_s + dram_s + iq_slow_s + iq_fast_s +
+        oracle_iq_slow_s + oracle_iq_fast_s + oracle_cache_slow_s +
+        oracle_cache_fast_s + serve_cold_s + serve_warm_s;
     const double overhead_pct =
         study_wall_s > 0.0
             ? 100.0 * static_cast<double>(study_spans) * disarmed_ns /
@@ -494,6 +562,11 @@ main(int argc, char **argv)
             << "  \"onepass_refs_per_s\": " << Cell(fast_rate, 0).str()
             << ",\n"
             << "  \"speedup\": " << Cell(speedup, 3).str() << ",\n"
+            << "  \"flat_lane_seconds\": " << Cell(flat_lane_s, 6).str()
+            << ",\n"
+            << "  \"dram_seconds\": " << Cell(dram_s, 6).str() << ",\n"
+            << "  \"dram_overhead_x\": " << Cell(dram_overhead, 3).str()
+            << ",\n"
             << "  \"instrs\": " << instrs << ",\n"
             << "  \"iq_apps\": " << iq_apps.size() << ",\n"
             << "  \"iq_sizes\": " << sizes << ",\n"

@@ -14,6 +14,7 @@
 
 #include "core/adaptive_cache.h"
 #include "core/adaptive_iq.h"
+#include "mem/mem_model.h"
 #include "core/experiment.h"
 #include "core/interval_controller.h"
 #include "obs/decision_trace.h"
@@ -110,6 +111,9 @@ cmdHelp(std::ostream &out)
            "      [--no-onepass]           one hierarchy per boundary\n"
            "                               instead of the one-pass\n"
            "                               stack-distance sweep\n"
+           "      [--mem SPEC]             miss backend: flat (default)\n"
+           "                               or dram[:k=v,..] -- banked\n"
+           "                               DRAM + MSHRs (docs/MEMORY.md)\n"
            "      [--telemetry-json PATH]  write execution telemetry\n"
            "  iq-sweep <app|all>           TPI vs instruction-queue size\n"
            "      [--instrs N]             instructions per run\n"
@@ -119,6 +123,8 @@ cmdHelp(std::ostream &out)
            "      [--no-onepass]           one core per queue size\n"
            "                               instead of the one-pass\n"
            "                               window sweep\n"
+           "      [--mem SPEC]             accepted for symmetry; the\n"
+           "                               IQ machine models no memory\n"
            "      [--telemetry-json PATH]  write execution telemetry\n"
            "  sample-profile <app>         cluster one app's intervals and\n"
            "                               print the sampling plan\n"
@@ -148,6 +154,8 @@ cmdHelp(std::ostream &out)
            "                               trace file instead of the\n"
            "                               synthetic generator (either\n"
            "                               study side, single app)\n"
+           "      [--mem SPEC]             cache side requires flat;\n"
+           "                               iq side accepts and ignores\n"
            "      [--telemetry-json PATH]  write execution telemetry\n"
            "  interval-run <app>           Section-6 interval controller\n"
            "      [--instrs N]             instructions to run\n"
@@ -167,6 +175,8 @@ cmdHelp(std::ostream &out)
            "      [--no-onepass]           per-candidate oracle lanes\n"
            "                               instead of the one-pass\n"
            "                               window sweep\n"
+           "      [--mem SPEC]             accepted for symmetry; the\n"
+           "                               IQ machine models no memory\n"
            "      [--telemetry-json PATH]  write execution telemetry\n"
            "  analyze-trace <path>         per-interval tables from a\n"
            "                               JSONL decision trace\n"
@@ -300,6 +310,22 @@ onePassFlag(const Options &options)
 {
     if (options.flags.count("no-onepass"))
         return false;
+    return true;
+}
+
+/** The --mem flag: "flat" (default) keeps the fixed-latency miss
+ *  model; "dram[:k=v,..]" selects the banked DRAM + MSHR backend
+ *  (docs/MEMORY.md).  Returns false (with a message) on a bad spec;
+ *  @p config is untouched then. */
+bool
+memFlag(const Options &options, mem::MemConfig &config, std::ostream &err)
+{
+    std::string spec = options.get("mem", "flat");
+    std::string error;
+    if (!mem::parseMemSpec(spec, config, error)) {
+        err << "capsim: " << error << "\n";
+        return false;
+    }
     return true;
 }
 
@@ -545,9 +571,19 @@ cmdCacheSweep(const Options &options, std::ostream &out, std::ostream &err)
     bool sampled = false;
     if (!sampleFlag(options, sparams, err, sampled))
         return 2;
+    mem::MemConfig mem_config;
+    if (!memFlag(options, mem_config, err))
+        return 2;
+    if (sampled && mem_config.isDram()) {
+        err << "capsim: --sample supports --mem=flat only (sampled "
+               "reconstruction assumes a position-independent miss "
+               "cost)\n";
+        return 2;
+    }
 
     ObsSession session = obsSessionFromFlags(options, err);
     core::AdaptiveCacheModel model;
+    model.setMemConfig(mem_config);
 
     std::vector<std::string> names;
     for (const trace::AppProfile &app : apps)
@@ -588,6 +624,14 @@ cmdIqSweep(const Options &options, std::ostream &out, std::ostream &err)
     bool sampled = false;
     if (!sampleFlag(options, sparams, err, sampled))
         return 2;
+    mem::MemConfig mem_config;
+    if (!memFlag(options, mem_config, err))
+        return 2;
+    if (mem_config.isDram()) {
+        err << "capsim: note: the IQ-side machine models no memory "
+               "hierarchy; --mem=dram is accepted but has no effect "
+               "here (docs/MEMORY.md)\n";
+    }
 
     ObsSession session = obsSessionFromFlags(options, err);
     core::AdaptiveIqModel model;
@@ -671,6 +715,14 @@ cmdIntervalRun(const Options &options, std::ostream &out,
     } else {
         err << "capsim: --trigger must be period, phase, or hybrid\n";
         return 2;
+    }
+    mem::MemConfig mem_config;
+    if (!memFlag(options, mem_config, err))
+        return 2;
+    if (mem_config.isDram()) {
+        err << "capsim: note: the IQ-side machine models no memory "
+               "hierarchy; --mem=dram is accepted but has no effect "
+               "here (docs/MEMORY.md)\n";
     }
 
     core::AdaptiveIqModel model;
@@ -1020,6 +1072,13 @@ cmdSampleProfile(const Options &options, std::ostream &out,
         return 2;
     }
     sample::SampleParams params = sampleParamsFromKnobs(options);
+    mem::MemConfig mem_config;
+    if (!memFlag(options, mem_config, err))
+        return 2;
+    if (mem_config.isDram()) {
+        err << "capsim: note: the sampling plan depends only on the "
+               "profile; --mem has no effect on sample-profile\n";
+    }
     // --host-profile attributes the profile -> cluster pipeline;
     // sample-profile has no telemetry, so only that sink applies.
     ObsSession session = obsSessionFromFlags(options, err);
@@ -1062,6 +1121,20 @@ cmdSampleRun(const Options &options, std::ostream &out, std::ostream &err)
     if (check && !validate) {
         err << "capsim: --check requires --validate\n";
         return 2;
+    }
+    mem::MemConfig mem_config;
+    if (!memFlag(options, mem_config, err))
+        return 2;
+    if (mem_config.isDram()) {
+        if (side == "cache") {
+            err << "capsim: sample-run --study cache supports "
+                   "--mem=flat only (sampled reconstruction assumes "
+                   "a position-independent miss cost)\n";
+            return 2;
+        }
+        err << "capsim: note: the IQ-side machine models no memory "
+               "hierarchy; --mem=dram is accepted but has no effect "
+               "here (docs/MEMORY.md)\n";
     }
     ObsSession session = obsSessionFromFlags(options, err);
 

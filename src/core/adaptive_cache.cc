@@ -58,6 +58,31 @@ foldCacheCounters(obs::CounterRegistry &registry,
 
 } // namespace
 
+namespace detail {
+
+void
+foldMemCounters(obs::CounterRegistry &registry,
+                const mem::DramBackend &backend)
+{
+    const mem::DramStats &dram = backend.dramStats();
+    const mem::MshrStats &mshr = backend.mshrStats();
+    registry.counter("dram.accesses").add(dram.accesses);
+    registry.counter("dram.row_hits").add(dram.row_hits);
+    registry.counter("dram.row_misses").add(dram.row_misses);
+    registry.counter("dram.row_conflicts").add(dram.row_conflicts);
+    registry.counter("dram.service_ns")
+        .add(static_cast<uint64_t>(dram.service_ns));
+    registry.counter("dram.queue_ns")
+        .add(static_cast<uint64_t>(dram.queue_ns));
+    registry.counter("mshr.allocs").add(mshr.allocs);
+    registry.counter("mshr.merges").add(mshr.merges);
+    registry.counter("mshr.full_stalls").add(mshr.full_stalls);
+    registry.counter("mshr.stall_ns")
+        .add(static_cast<uint64_t>(mshr.stall_ns));
+}
+
+} // namespace detail
+
 AdaptiveCacheModel::AdaptiveCacheModel(
     const cache::HierarchyGeometry &geometry,
     const timing::Technology &tech)
@@ -111,10 +136,8 @@ AdaptiveCacheModel::boundaryTiming(int l1_increments) const
     Nanoseconds l2_access = 2.0 * increment_access_ns_ +
                             2.0 * busDelayNs(geometry_.increments) +
                             kL2FixedNs;
-    t.l2_hit_cycles =
-        static_cast<Cycles>(std::ceil(l2_access / t.cycle_ns - 1e-9));
-    t.miss_cycles = static_cast<Cycles>(
-        std::ceil(CacheMachine::kL2MissNs / t.cycle_ns - 1e-9));
+    t.l2_hit_cycles = missCycles(l2_access, t.cycle_ns);
+    t.miss_cycles = missCycles(CacheMachine::kL2MissNs, t.cycle_ns);
     return t;
 }
 
@@ -158,9 +181,92 @@ AdaptiveCacheModel::perfFromStats(const cache::CacheStats &stats,
 }
 
 CachePerf
+AdaptiveCacheModel::perfFromDram(const cache::CacheStats &stats,
+                                 const CacheBoundaryTiming &timing,
+                                 double refs_per_instr,
+                                 Nanoseconds dram_stall_ns) const
+{
+    capAssert(refs_per_instr > 0.0, "refs_per_instr must be positive");
+    CachePerf perf;
+    perf.l1_increments = timing.l1_increments;
+    perf.refs = stats.refs;
+    perf.instructions = static_cast<uint64_t>(
+        static_cast<double>(stats.refs) / refs_per_instr);
+    perf.l1_miss_ratio = stats.l1MissRatio();
+    perf.global_miss_ratio = stats.globalMissRatio();
+    if (perf.instructions == 0)
+        return perf;
+
+    double base_cycles =
+        static_cast<double>(perf.instructions) / CacheMachine::kBaseIpc;
+    double l2_hit_ns = timing.cycle_ns *
+                       static_cast<double>(stats.l2_hits) *
+                       static_cast<double>(timing.l2_hit_cycles);
+
+    double instrs = static_cast<double>(perf.instructions);
+    perf.tpi_miss_ns = (l2_hit_ns + dram_stall_ns) / instrs;
+    perf.tpi_ns =
+        timing.cycle_ns * base_cycles / instrs + perf.tpi_miss_ns;
+    return perf;
+}
+
+CachePerf
+AdaptiveCacheModel::evaluateDram(const trace::AppProfile &app,
+                                 int l1_increments, uint64_t refs,
+                                 obs::DecisionTrace *trace,
+                                 obs::CounterRegistry *registry) const
+{
+    capAssert(refs > 0, "evaluation needs references");
+    CacheBoundaryTiming timing = boundaryTiming(l1_increments);
+
+    cache::ExclusiveHierarchy hierarchy(geometry_, l1_increments);
+    if (registry)
+        hierarchy.attachMetrics(*registry);
+    mem::DramBackend backend(mem_.dram);
+    trace::SyntheticTraceSource source(app.cache, app.seed, refs);
+    trace::TraceRecord batch[trace::kTraceBatch];
+
+    // Pipeline clock of the dram walk: misses arrive at realistic
+    // spacings so bank/MSHR state reflects the reference stream.
+    Nanoseconds now_ns = 0.0;
+    const Nanoseconds ref_ns =
+        timing.cycle_ns /
+        (CacheMachine::kBaseIpc * app.cache.refs_per_instr);
+    const Nanoseconds l2_hit_ns =
+        timing.cycle_ns * static_cast<double>(timing.l2_hit_cycles);
+    Nanoseconds dram_stall_ns = 0.0;
+    for (;;) {
+        uint64_t n = source.nextBatch(batch, trace::kTraceBatch);
+        if (n == 0)
+            break;
+        for (uint64_t i = 0; i < n; ++i) {
+            cache::AccessOutcome outcome = hierarchy.access(batch[i]);
+            now_ns += ref_ns;
+            if (outcome == cache::AccessOutcome::L2Hit) {
+                now_ns += l2_hit_ns;
+            } else if (outcome == cache::AccessOutcome::Miss) {
+                Nanoseconds stall = backend.onMiss(batch[i].addr, now_ns);
+                now_ns += stall;
+                dram_stall_ns += stall;
+            }
+        }
+    }
+
+    CachePerf perf = perfFromDram(hierarchy.stats(), timing,
+                                  app.cache.refs_per_instr, dram_stall_ns);
+    if (registry)
+        detail::foldMemCounters(*registry, backend);
+    if (trace)
+        trace->add(cellEvent(app, timing, perf));
+    return perf;
+}
+
+CachePerf
 AdaptiveCacheModel::evaluate(const trace::AppProfile &app,
                              int l1_increments, uint64_t refs) const
 {
+    if (mem_.isDram())
+        return evaluateDram(app, l1_increments, refs, nullptr, nullptr);
     capAssert(refs > 0, "evaluation needs references");
     CacheBoundaryTiming timing = boundaryTiming(l1_increments);
 
@@ -185,6 +291,8 @@ AdaptiveCacheModel::evaluateObserved(const trace::AppProfile &app,
                                      obs::DecisionTrace *trace,
                                      obs::CounterRegistry *registry) const
 {
+    if (mem_.isDram())
+        return evaluateDram(app, l1_increments, refs, trace, registry);
     if (!trace && !registry)
         return evaluate(app, l1_increments, refs);
     capAssert(refs > 0, "evaluation needs references");
@@ -241,6 +349,21 @@ AdaptiveCacheModel::sweepOnePassObserved(
     capAssert(max_l1_increments >= 1 &&
               max_l1_increments < geometry_.increments,
               "sweep bound out of range");
+
+    if (mem_.isDram()) {
+        // Stack distances cannot price a dram miss: its cost depends
+        // on the address order (row locality, bank overlap), which
+        // the depth histogram discards.  Fall back to the per-config
+        // lane engine -- exactness over speed (docs/PERF.md).
+        std::vector<CachePerf> results;
+        results.reserve(static_cast<size_t>(max_l1_increments));
+        for (int k = 1; k <= max_l1_increments; ++k)
+            results.push_back(
+                evaluateObserved(app, k, refs, trace, registry));
+        if (registry)
+            registry->counter("stacksim.dram_fallbacks").add(1);
+        return results;
+    }
 
     cache::StackSimulator stack(geometry_);
     trace::SyntheticTraceSource source(app.cache, app.seed, refs);

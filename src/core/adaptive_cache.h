@@ -17,6 +17,7 @@
 
 #include "cache/exclusive_hierarchy.h"
 #include "core/machine.h"
+#include "mem/mem_model.h"
 #include "obs/decision_trace.h"
 #include "obs/registry.h"
 #include "timing/cacti.h"
@@ -27,6 +28,13 @@
 #include "util/units.h"
 
 namespace cap::core {
+
+namespace detail {
+/** Fold one dram backend's `dram.*`/`mshr.*` statistics into a
+ *  counter registry (shared by every dram-mode evaluation loop). */
+void foldMemCounters(obs::CounterRegistry &registry,
+                     const mem::DramBackend &backend);
+} // namespace detail
 
 /** Timing of one boundary placement. */
 struct CacheBoundaryTiming
@@ -93,6 +101,16 @@ class AdaptiveCacheModel
     timing::ClockTable &clockTable() { return clock_table_; }
 
     /**
+     * Select the memory backend serving L2 misses.  The default Flat
+     * config reproduces the historical fixed kL2MissNs edge exactly
+     * (every flat-mode code path is untouched); Dram routes misses
+     * through a mem::DramBackend, making miss cost depend on row
+     * locality, bank contention and MSHR overlap (docs/MEMORY.md).
+     */
+    void setMemConfig(const mem::MemConfig &config) { mem_ = config; }
+    const mem::MemConfig &memConfig() const { return mem_; }
+
+    /**
      * Trace-driven evaluation: run @p refs references of @p app with
      * the boundary fixed at @p l1_increments and derive TPI/TPImiss.
      */
@@ -150,7 +168,23 @@ class AdaptiveCacheModel
                             const CacheBoundaryTiming &timing,
                             double refs_per_instr) const;
 
+    /**
+     * Dram-mode counterpart of perfFromStats(): the miss term is the
+     * backend-measured stall @p dram_stall_ns instead of
+     * misses * miss_cycles (L2 hits still cost l2_hit_cycles each).
+     */
+    CachePerf perfFromDram(const cache::CacheStats &stats,
+                           const CacheBoundaryTiming &timing,
+                           double refs_per_instr,
+                           Nanoseconds dram_stall_ns) const;
+
   private:
+    /** The per-access dram evaluation loop behind evaluate() and
+     *  evaluateObserved() when the configured backend is Dram. */
+    CachePerf evaluateDram(const trace::AppProfile &app, int l1_increments,
+                           uint64_t refs, obs::DecisionTrace *trace,
+                           obs::CounterRegistry *registry) const;
+
     cache::HierarchyGeometry geometry_;
     const timing::Technology *tech_;
     timing::WireModel wires_;
@@ -158,6 +192,7 @@ class AdaptiveCacheModel
     Nanoseconds increment_access_ns_;
     /** Physical pitch of one increment along the bus, mm. */
     double increment_pitch_mm_;
+    mem::MemConfig mem_;
 };
 
 } // namespace cap::core

@@ -31,6 +31,16 @@ AsyncCacheModel::evaluate(const trace::AppProfile &app, int l1_increments,
     trace::SyntheticTraceSource source(app.cache, app.seed, refs);
     trace::TraceRecord record;
 
+    const bool dram = model.memConfig().isDram();
+    mem::DramBackend backend(model.memConfig().dram);
+    const Nanoseconds ref_ns =
+        base_stage / (CacheMachine::kBaseIpc * app.cache.refs_per_instr);
+    const Nanoseconds l2_access_step =
+        static_cast<double>(sync_timing.l2_hit_cycles) *
+        sync_timing.cycle_ns;
+    Nanoseconds now_ns = 0.0;
+    Nanoseconds dram_stall_ns = 0.0;
+
     double access_time_sum = 0.0;
     double extra_stage_ns = 0.0;
     while (source.next(record)) {
@@ -48,6 +58,16 @@ AsyncCacheModel::evaluate(const trace::AppProfile &app, int l1_increments,
             // Misses pay the near-increment stage plus their miss
             // stalls (added below from the stats).
             access_time_sum += worst_access;
+        }
+        if (!dram)
+            continue;
+        now_ns += ref_ns;
+        if (detail.outcome == cache::AccessOutcome::L2Hit) {
+            now_ns += l2_access_step;
+        } else if (detail.outcome == cache::AccessOutcome::Miss) {
+            Nanoseconds stall = backend.onMiss(record.addr, now_ns);
+            now_ns += stall;
+            dram_stall_ns += stall;
         }
     }
     const cache::CacheStats &stats = hierarchy.stats();
@@ -70,8 +90,9 @@ AsyncCacheModel::evaluate(const trace::AppProfile &app, int l1_increments,
     double l2_access_ns = static_cast<double>(sync_timing.l2_hit_cycles) *
                           sync_timing.cycle_ns;
     double miss_ns = static_cast<double>(stats.l2_hits) * l2_access_ns +
-                     static_cast<double>(stats.misses) *
-                         CacheMachine::kL2MissNs;
+                     (dram ? dram_stall_ns
+                           : static_cast<double>(stats.misses) *
+                                 CacheMachine::kL2MissNs);
     perf.tpi_ns = (base_ns + extra_stage_ns + miss_ns) / instrs;
     return perf;
 }

@@ -65,6 +65,8 @@ struct AppMeasurements
 {
     /** Cache stats per boundary (index 0 = boundary 1). */
     std::vector<cache::CacheStats> cache_stats;
+    /** Dram-mode miss stall per boundary (physical ns; unused flat). */
+    std::vector<Nanoseconds> dram_stall_ns;
     /** TLB miss ratio per study size. */
     std::vector<double> tlb_miss;
     /** Mispredict ratio per study size. */
@@ -74,7 +76,8 @@ struct AppMeasurements
 } // namespace
 
 ConcertStudy
-runConcertStudy(const std::vector<trace::AppProfile> &apps, uint64_t refs)
+runConcertStudy(const std::vector<trace::AppProfile> &apps, uint64_t refs,
+                const mem::MemConfig &mem)
 {
     capAssert(!apps.empty(), "concert study needs applications");
     capAssert(refs > 0, "concert study needs references");
@@ -108,8 +111,38 @@ runConcertStudy(const std::vector<trace::AppProfile> &apps, uint64_t refs)
             cache::ExclusiveHierarchy hierarchy(cache_model.geometry(), k);
             trace::SyntheticTraceSource source(app.cache, app.seed, refs);
             trace::TraceRecord record;
-            while (source.next(record))
-                hierarchy.access(record);
+            if (mem.isDram()) {
+                // Walk at this boundary's native clock so the backend
+                // sees realistic miss spacings; the measured stall is
+                // physical ns, reused at every joint clock.
+                mem::DramBackend backend(mem.dram);
+                CacheBoundaryTiming native = cache_model.boundaryTiming(k);
+                const Nanoseconds ref_ns =
+                    native.cycle_ns /
+                    (CacheMachine::kBaseIpc * app.cache.refs_per_instr);
+                const Nanoseconds l2_hit_ns =
+                    native.cycle_ns *
+                    static_cast<double>(native.l2_hit_cycles);
+                Nanoseconds now_ns = 0.0;
+                Nanoseconds stall_ns = 0.0;
+                while (source.next(record)) {
+                    cache::AccessOutcome outcome = hierarchy.access(record);
+                    now_ns += ref_ns;
+                    if (outcome == cache::AccessOutcome::L2Hit) {
+                        now_ns += l2_hit_ns;
+                    } else if (outcome == cache::AccessOutcome::Miss) {
+                        Nanoseconds stall =
+                            backend.onMiss(record.addr, now_ns);
+                        now_ns += stall;
+                        stall_ns += stall;
+                    }
+                }
+                m.dram_stall_ns.push_back(stall_ns);
+            } else {
+                while (source.next(record))
+                    hierarchy.access(record);
+                m.dram_stall_ns.push_back(0.0);
+            }
             m.cache_stats.push_back(hierarchy.stats());
         }
         uint64_t tlb_accesses = refs / 4;
@@ -156,13 +189,23 @@ runConcertStudy(const std::vector<trace::AppProfile> &apps, uint64_t refs)
             perf.cycle_ns = cycle;
             perf.base_ns = cycle / CacheMachine::kBaseIpc;
             double l2_hit_cycles = std::ceil(l2_access_ns / cycle);
-            double miss_cycles =
-                std::ceil(CacheMachine::kL2MissNs / cycle);
-            perf.cache_miss_ns =
-                cycle *
-                (static_cast<double>(stats.l2_hits) * l2_hit_cycles +
-                 static_cast<double>(stats.misses) * miss_cycles) /
-                instrs;
+            double miss_cycles = static_cast<double>(
+                missCycles(CacheMachine::kL2MissNs, cycle));
+            if (mem.isDram()) {
+                perf.cache_miss_ns =
+                    (cycle * static_cast<double>(stats.l2_hits) *
+                         l2_hit_cycles +
+                     m.dram_stall_ns[static_cast<size_t>(
+                                         config.cache_boundary) -
+                                     1]) /
+                    instrs;
+            } else {
+                perf.cache_miss_ns =
+                    cycle *
+                    (static_cast<double>(stats.l2_hits) * l2_hit_cycles +
+                     static_cast<double>(stats.misses) * miss_cycles) /
+                    instrs;
+            }
             double walk_cycles = std::ceil(AdaptiveTlbModel::kWalkNs /
                                            cycle);
             perf.tlb_walk_ns = cycle * walk_cycles * m.tlb_miss[ti] *

@@ -74,9 +74,14 @@ struct ConcertStudy
  * Run the concert study.
  * @param refs Data references per (app, cache boundary) run; TLB and
  *        predictor streams are scaled from it.
+ * @param mem Memory backend serving L2 misses; the default Flat
+ *        config reproduces the historical fixed miss cost.  Under
+ *        Dram the per-boundary miss stall is measured along the trace
+ *        walk (physical ns, independent of the joint clock).
  */
 ConcertStudy runConcertStudy(const std::vector<trace::AppProfile> &apps,
-                             uint64_t refs);
+                             uint64_t refs,
+                             const mem::MemConfig &mem = {});
 
 } // namespace cap::core
 

@@ -14,26 +14,70 @@ namespace cap::core {
 
 namespace {
 
-/** Run one interval on a live hierarchy; returns the time in ns. */
+/** Run one interval on a live hierarchy; returns the time in ns.
+ *  When @p backend is non-null (dram mode) the walk is per-record:
+ *  misses are priced by the backend at pipeline time @p *mem_now_ns
+ *  (carried across intervals so bank/MSHR state persists), and the
+ *  interval's measured miss stall is returned via @p mem_stall_out. */
 double
 runInterval(const AdaptiveCacheModel &model,
             cache::ExclusiveHierarchy &hierarchy,
             trace::SyntheticTraceSource &source, uint64_t interval_refs,
             const CacheBoundaryTiming &timing, double refs_per_instr,
-            uint64_t &instructions_out)
+            uint64_t &instructions_out,
+            mem::DramBackend *backend = nullptr,
+            Nanoseconds *mem_now_ns = nullptr,
+            Nanoseconds *mem_stall_out = nullptr)
 {
     cache::CacheStats before = hierarchy.stats();
     trace::TraceRecord batch[trace::kTraceBatch];
-    for (uint64_t left = interval_refs; left > 0;) {
-        uint64_t n = source.nextBatch(
-            batch, std::min<uint64_t>(left, trace::kTraceBatch));
-        if (n == 0)
-            break;
-        for (uint64_t i = 0; i < n; ++i)
-            hierarchy.access(batch[i]);
-        left -= n;
+    Nanoseconds stall_total = 0.0;
+    if (backend) {
+        Nanoseconds now_ns = *mem_now_ns;
+        const Nanoseconds ref_ns =
+            timing.cycle_ns / (CacheMachine::kBaseIpc * refs_per_instr);
+        const Nanoseconds l2_hit_ns =
+            timing.cycle_ns * static_cast<double>(timing.l2_hit_cycles);
+        for (uint64_t left = interval_refs; left > 0;) {
+            uint64_t n = source.nextBatch(
+                batch, std::min<uint64_t>(left, trace::kTraceBatch));
+            if (n == 0)
+                break;
+            for (uint64_t i = 0; i < n; ++i) {
+                cache::AccessOutcome outcome = hierarchy.access(batch[i]);
+                now_ns += ref_ns;
+                if (outcome == cache::AccessOutcome::L2Hit) {
+                    now_ns += l2_hit_ns;
+                } else if (outcome == cache::AccessOutcome::Miss) {
+                    Nanoseconds stall =
+                        backend->onMiss(batch[i].addr, now_ns);
+                    now_ns += stall;
+                    stall_total += stall;
+                }
+            }
+            left -= n;
+        }
+        *mem_now_ns = now_ns;
+    } else {
+        for (uint64_t left = interval_refs; left > 0;) {
+            uint64_t n = source.nextBatch(
+                batch, std::min<uint64_t>(left, trace::kTraceBatch));
+            if (n == 0)
+                break;
+            for (uint64_t i = 0; i < n; ++i)
+                hierarchy.access(batch[i]);
+            left -= n;
+        }
     }
     cache::CacheStats delta = hierarchy.stats() - before;
+    if (mem_stall_out)
+        *mem_stall_out = stall_total;
+    if (backend) {
+        CachePerf perf =
+            model.perfFromDram(delta, timing, refs_per_instr, stall_total);
+        instructions_out = perf.instructions;
+        return perf.tpi_ns * static_cast<double>(perf.instructions);
+    }
     CachePerf perf = model.perfFromStats(delta, timing, refs_per_instr);
     instructions_out = perf.instructions;
     return perf.tpi_ns * static_cast<double>(perf.instructions);
@@ -64,6 +108,11 @@ IntervalAdaptiveCache::run(const trace::AppProfile &app, uint64_t refs,
     cache::ExclusiveHierarchy hierarchy(model_->geometry(),
                                         initial_boundary);
     trace::SyntheticTraceSource source(app.cache, app.seed, refs);
+    std::unique_ptr<mem::DramBackend> backend;
+    Nanoseconds mem_now_ns = 0.0;
+    if (model_->memConfig().isDram())
+        backend =
+            std::make_unique<mem::DramBackend>(model_->memConfig().dram);
 
     int current = initial_boundary;
     std::vector<double> estimate(static_cast<size_t>(max_boundary) + 1,
@@ -95,7 +144,8 @@ IntervalAdaptiveCache::run(const trace::AppProfile &app, uint64_t refs,
         uint64_t instrs = 0;
         double time_ns =
             runInterval(*model_, hierarchy, source, params_.interval_refs,
-                        timing, app.cache.refs_per_instr, instrs);
+                        timing, app.cache.refs_per_instr, instrs,
+                        backend.get(), &mem_now_ns);
         result.total_time_ns += time_ns;
         result.refs += params_.interval_refs;
         result.instructions += instrs;
@@ -186,6 +236,11 @@ PhasePredictiveCache::run(const trace::AppProfile &app, uint64_t refs,
     cache::ExclusiveHierarchy hierarchy(model_->geometry(),
                                         initial_boundary);
     trace::SyntheticTraceSource source(app.cache, app.seed, refs);
+    std::unique_ptr<mem::DramBackend> backend;
+    Nanoseconds mem_now_ns = 0.0;
+    if (model_->memConfig().isDram())
+        backend =
+            std::make_unique<mem::DramBackend>(model_->memConfig().dram);
 
     int current = initial_boundary;
     CacheIntervalResult result;
@@ -225,7 +280,8 @@ PhasePredictiveCache::run(const trace::AppProfile &app, uint64_t refs,
         uint64_t instrs = 0;
         double time_ns =
             runInterval(*model_, hierarchy, source, params_.interval_refs,
-                        timing, app.cache.refs_per_instr, instrs);
+                        timing, app.cache.refs_per_instr, instrs,
+                        backend.get(), &mem_now_ns);
         result.total_time_ns += time_ns;
         result.refs += params_.interval_refs;
         result.instructions += instrs;
@@ -313,6 +369,12 @@ runCacheIntervalOracle(const AdaptiveCacheModel &model,
 
     obs::Hooks sinks = obs::effectiveHooks(hooks);
 
+    // Stack distances cannot price a dram miss (the cost depends on
+    // address order, which the depth histogram discards), so dram
+    // mode always runs the per-boundary lane engine (docs/PERF.md).
+    const bool dram = model.memConfig().isDram();
+    one_pass = one_pass && !dram;
+
     uint64_t full_intervals = refs / interval_refs;
     uint64_t tail_refs = refs % interval_refs;
     uint64_t total_intervals = full_intervals + (tail_refs ? 1 : 0);
@@ -323,6 +385,7 @@ runCacheIntervalOracle(const AdaptiveCacheModel &model,
     {
         double time_ns;
         uint64_t instructions;
+        Nanoseconds mem_stall_ns = 0.0;
     };
     std::vector<std::vector<IntervalCost>> lane_costs(boundaries.size());
     std::vector<CacheBoundaryTiming> timings;
@@ -388,17 +451,24 @@ runCacheIntervalOracle(const AdaptiveCacheModel &model,
             cache::ExclusiveHierarchy hierarchy(model.geometry(),
                                                 boundaries[li]);
             trace::SyntheticTraceSource source(app.cache, app.seed, refs);
+            std::unique_ptr<mem::DramBackend> backend;
+            Nanoseconds mem_now_ns = 0.0;
+            if (dram)
+                backend = std::make_unique<mem::DramBackend>(
+                    model.memConfig().dram);
             lane_costs[li].reserve(total_intervals);
             for (uint64_t interval = 0; interval < total_intervals;
                  ++interval) {
                 uint64_t want = interval < full_intervals ? interval_refs
                                                           : tail_refs;
                 uint64_t instrs = 0;
+                Nanoseconds mem_stall_ns = 0.0;
                 double time_ns = runInterval(model, hierarchy, source,
                                              want, timings[li],
                                              app.cache.refs_per_instr,
-                                             instrs);
-                lane_costs[li].push_back({time_ns, instrs});
+                                             instrs, backend.get(),
+                                             &mem_now_ns, &mem_stall_ns);
+                lane_costs[li].push_back({time_ns, instrs, mem_stall_ns});
             }
             if (sinks.progress)
                 sinks.progress->noteCellDone(currentWorkerId(), 0);
@@ -479,6 +549,10 @@ runCacheIntervalOracle(const AdaptiveCacheModel &model,
             event.tpi_ns = retired ? best_time /
                                          static_cast<double>(retired)
                                    : 0.0;
+            // 0.0 under flat; the JSONL writer omits the field then,
+            // keeping flat trace bytes unchanged.
+            event.mem_stall_ns =
+                lane_costs[winner_lane][interval].mem_stall_ns;
             sinks.trace->add(std::move(event));
         }
         previous = winner;

@@ -38,8 +38,7 @@ LatencyAdaptiveCache::timing(int l1_increments) const
         static_cast<double>(at_k.l2_hit_cycles) * at_k.cycle_ns /
             t.cycle_ns -
         1e-9));
-    t.miss_cycles = static_cast<Cycles>(
-        std::ceil(CacheMachine::kL2MissNs / t.cycle_ns - 1e-9));
+    t.miss_cycles = missCycles(CacheMachine::kL2MissNs, t.cycle_ns);
     return t;
 }
 
@@ -53,8 +52,27 @@ LatencyAdaptiveCache::evaluate(const trace::AppProfile &app,
     cache::ExclusiveHierarchy hierarchy(model_->geometry(), l1_increments);
     trace::SyntheticTraceSource source(app.cache, app.seed, refs);
     trace::TraceRecord record;
-    while (source.next(record))
-        hierarchy.access(record);
+    const bool dram = model_->memConfig().isDram();
+    mem::DramBackend backend(model_->memConfig().dram);
+    Nanoseconds now_ns = 0.0;
+    Nanoseconds dram_stall_ns = 0.0;
+    const Nanoseconds ref_ns =
+        t.cycle_ns / (CacheMachine::kBaseIpc * app.cache.refs_per_instr);
+    const Nanoseconds l2_hit_ns =
+        t.cycle_ns * static_cast<double>(t.l2_hit_cycles);
+    while (source.next(record)) {
+        cache::AccessOutcome outcome = hierarchy.access(record);
+        if (!dram)
+            continue;
+        now_ns += ref_ns;
+        if (outcome == cache::AccessOutcome::L2Hit) {
+            now_ns += l2_hit_ns;
+        } else if (outcome == cache::AccessOutcome::Miss) {
+            Nanoseconds stall = backend.onMiss(record.addr, now_ns);
+            now_ns += stall;
+            dram_stall_ns += stall;
+        }
+    }
     const cache::CacheStats &stats = hierarchy.stats();
 
     CachePerf perf;
@@ -79,6 +97,20 @@ LatencyAdaptiveCache::evaluate(const trace::AppProfile &app,
                                 load_use_stall_factor_ *
                                 static_cast<double>(extra_latency)
                           : 0.0;
+
+    if (dram) {
+        // The miss term is the backend-measured stall instead of the
+        // fixed per-miss cost; L2 hits still cost l2_hit_cycles each.
+        double miss_stall_ns = t.cycle_ns *
+                                   static_cast<double>(stats.l2_hits) *
+                                   static_cast<double>(t.l2_hit_cycles) +
+                               dram_stall_ns;
+        perf.tpi_ns =
+            (t.cycle_ns * (base_cycles + latency_stalls) + miss_stall_ns) /
+            instrs;
+        perf.tpi_miss_ns = miss_stall_ns / instrs;
+        return perf;
+    }
 
     double miss_stalls =
         static_cast<double>(stats.l2_hits) *

@@ -6,6 +6,8 @@
 #ifndef CAPSIM_CORE_MACHINE_H
 #define CAPSIM_CORE_MACHINE_H
 
+#include <cmath>
+
 #include "util/units.h"
 
 namespace cap::core {
@@ -42,6 +44,19 @@ constexpr uint64_t kIntervalInstructions = 2000;
  * silently diverge on the cost of a move.
  */
 constexpr Cycles kClockSwitchPenaltyCycles = 30;
+
+/**
+ * Cycles needed to cover a fixed latency at a given cycle time.  The
+ * 1e-9 epsilon keeps exact divisions exact (30 ns at a 1.0 ns clock
+ * is 30 cycles, not 31) despite floating-point representation error.
+ * Every model's miss-cost conversion must go through this helper so
+ * the rounding convention can never diverge between studies.
+ */
+inline Cycles
+missCycles(Nanoseconds latency_ns, Nanoseconds cycle_ns)
+{
+    return static_cast<Cycles>(std::ceil(latency_ns / cycle_ns - 1e-9));
+}
 
 } // namespace cap::core
 

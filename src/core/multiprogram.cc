@@ -97,6 +97,12 @@ runMultiprogram(const AdaptiveCacheModel &model,
     int previous = -1;
     uint64_t live_tasks = tasks.size();
 
+    // One shared dram backend, like the shared hierarchy: quanta
+    // inherit each other's open rows and in-flight misses.
+    const bool dram = model.memConfig().isDram();
+    mem::DramBackend backend(model.memConfig().dram);
+    Nanoseconds mem_now_ns = 0.0;
+
     while (live_tasks > 0) {
         Task &task = tasks[current];
         if (task.remaining == 0) {
@@ -114,7 +120,10 @@ runMultiprogram(const AdaptiveCacheModel &model,
                 if (tasks[static_cast<size_t>(previous)].result.boundary !=
                     task.result.boundary) {
                     // Clock pause at the incoming clock.
-                    overhead_ns += 30.0 * task.timing.cycle_ns;
+                    overhead_ns +=
+                        static_cast<double>(
+                            params.clock_switch_penalty_cycles) *
+                        task.timing.cycle_ns;
                 }
                 result.switch_overhead_ns += overhead_ns;
             }
@@ -126,14 +135,42 @@ runMultiprogram(const AdaptiveCacheModel &model,
         uint64_t quantum = std::min(params.quantum_refs, task.remaining);
         cache::CacheStats before = hierarchy.stats();
         trace::TraceRecord record;
-        for (uint64_t i = 0; i < quantum && task.source->next(record); ++i)
-            hierarchy.access(record);
+        const trace::AppProfile &profile = apps[current];
+        Nanoseconds quantum_stall_ns = 0.0;
+        if (dram) {
+            const Nanoseconds ref_ns =
+                task.timing.cycle_ns /
+                (CacheMachine::kBaseIpc * profile.cache.refs_per_instr);
+            const Nanoseconds l2_hit_ns =
+                task.timing.cycle_ns *
+                static_cast<double>(task.timing.l2_hit_cycles);
+            for (uint64_t i = 0;
+                 i < quantum && task.source->next(record); ++i) {
+                cache::AccessOutcome outcome = hierarchy.access(record);
+                mem_now_ns += ref_ns;
+                if (outcome == cache::AccessOutcome::L2Hit) {
+                    mem_now_ns += l2_hit_ns;
+                } else if (outcome == cache::AccessOutcome::Miss) {
+                    Nanoseconds stall =
+                        backend.onMiss(record.addr, mem_now_ns);
+                    mem_now_ns += stall;
+                    quantum_stall_ns += stall;
+                }
+            }
+        } else {
+            for (uint64_t i = 0;
+                 i < quantum && task.source->next(record); ++i)
+                hierarchy.access(record);
+        }
         cache::CacheStats delta = hierarchy.stats() - before;
         task.remaining -= quantum;
 
-        const trace::AppProfile &profile = apps[current];
-        CachePerf perf = model.perfFromStats(delta, task.timing,
-                                             profile.cache.refs_per_instr);
+        CachePerf perf =
+            dram ? model.perfFromDram(delta, task.timing,
+                                      profile.cache.refs_per_instr,
+                                      quantum_stall_ns)
+                 : model.perfFromStats(delta, task.timing,
+                                       profile.cache.refs_per_instr);
         task.result.refs += delta.refs;
         task.result.instructions += perf.instructions;
         task.result.time_ns +=

@@ -44,6 +44,12 @@ struct MultiprogramParams
     uint64_t profile_refs = 100000;
     /** Largest boundary the adaptive profiling may choose. */
     int max_boundary = 8;
+    /**
+     * Clock pause on a cross-boundary switch, cycles at the incoming
+     * clock (the same knob the interval controller and the oracle
+     * share; see machine.h).
+     */
+    Cycles clock_switch_penalty_cycles = kClockSwitchPenaltyCycles;
 };
 
 /** Per-application outcome of a multiprogrammed run. */

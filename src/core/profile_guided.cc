@@ -88,7 +88,7 @@ buildScheduleFromProfile(const AdaptiveIqModel &model,
 IntervalRunResult
 runWithSchedule(const AdaptiveIqModel &model, const trace::AppProfile &app,
                 uint64_t instructions, const ConfigSchedule &schedule,
-                uint64_t interval_instrs)
+                uint64_t interval_instrs, Cycles switch_penalty_cycles)
 {
     capAssert(!schedule.empty(), "empty schedule");
     for (size_t i = 1; i < schedule.size(); ++i) {
@@ -118,7 +118,9 @@ runWithSchedule(const AdaptiveIqModel &model, const trace::AppProfile &app,
                 Cycles drained = core.resize(target);
                 result.total_time_ns +=
                     static_cast<double>(drained) * old_cycle;
-                result.total_time_ns += 30.0 * model.cycleNs(target);
+                result.total_time_ns +=
+                    static_cast<double>(switch_penalty_cycles) *
+                    model.cycleNs(target);
                 ++result.reconfigurations;
                 ++result.committed_moves;
                 current = target;

@@ -58,11 +58,16 @@ ConfigSchedule buildScheduleFromProfile(
 /**
  * Execute @p app once, applying @p schedule at interval boundaries
  * (drain + clock-pause costs included).
+ *
+ * @param switch_penalty_cycles Clock pause per reconfiguration, in
+ *        cycles at the new clock -- the same knob the interval
+ *        controller and the oracle share (machine.h).
  */
 IntervalRunResult runWithSchedule(
     const AdaptiveIqModel &model, const trace::AppProfile &app,
     uint64_t instructions, const ConfigSchedule &schedule,
-    uint64_t interval_instrs = kIntervalInstructions);
+    uint64_t interval_instrs = kIntervalInstructions,
+    Cycles switch_penalty_cycles = kClockSwitchPenaltyCycles);
 
 } // namespace cap::core
 

@@ -86,6 +86,8 @@ DecisionTrace::writeJsonl(std::ostream &os) const
             field(os, "ipc", Cell(e.ipc, 9));
             field(os, "tpi_ns", Cell(e.tpi_ns, 9));
             field(os, "ewma_tpi_ns", Cell(e.ewma_tpi_ns, 6));
+            if (e.mem_stall_ns != 0.0)
+                field(os, "mem_stall_ns", Cell(e.mem_stall_ns, 6));
             break;
         case EventKind::Representative:
             field(os, "interval", Cell(e.interval));

@@ -82,6 +82,12 @@ struct TraceEvent
     double tpi_ns = 0.0;
     /** EWMA TPI estimate of the active configuration; < 0 = none. */
     double ewma_tpi_ns = -1.0;
+    /**
+     * Memory-backend stall inside the interval, ns (dram mode only;
+     * 0 under the flat backend, and then omitted from the JSONL
+     * record so flat traces are byte-identical to pre-dram output).
+     */
+    double mem_stall_ns = 0.0;
 
     // --- Decision fields ---
     /** "commit", "revert", or "reject" (margin not met). */

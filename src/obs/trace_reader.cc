@@ -194,6 +194,7 @@ parseTraceLine(const std::string &line, TraceEvent &event,
     event.tpi_ns = num("tpi_ns");
     event.ewma_tpi_ns =
         numbers.count("ewma_tpi_ns") ? num("ewma_tpi_ns") : -1.0;
+    event.mem_stall_ns = num("mem_stall_ns");
     event.decision = str("decision");
     event.candidate = static_cast<int>(num("candidate"));
     event.chosen = static_cast<int>(num("chosen"));

@@ -131,6 +131,22 @@ jobFromJson(const json::Value &job, JobSpec &spec, std::string &error)
         return false;
     }
 
+    if (const json::Value *mem = job.find("mem")) {
+        if (!mem->isString()) {
+            error = "\"mem\" must be a spec string "
+                    "(\"flat\" or \"dram[:k=v,..]\")";
+            return false;
+        }
+        if (!mem::parseMemSpec(mem->string, spec.mem, error))
+            return false;
+    }
+    if (spec.mem.isDram() && spec.sampled) {
+        error = "sampled mode supports mem=flat only (sampled "
+                "reconstruction assumes a position-independent miss "
+                "cost)";
+        return false;
+    }
+
     if (const json::Value *sample = job.find("sample")) {
         if (!sample->isObject()) {
             error = "\"sample\" must be an object";
@@ -210,6 +226,22 @@ cellKey(const JobSpec &spec, const trace::AppProfile &app)
     case JobKind::CacheSweep:
         key.add("refs", spec.refs);
         key.add("boundaries", static_cast<uint64_t>(8));
+        // The miss backend changes the simulated result, so it is
+        // part of the content hash -- but only when dram, so every
+        // pre-dram cache entry (and spill file) still matches the
+        // flat requests it was computed for.
+        if (spec.mem.isDram()) {
+            const mem::DramParams &d = spec.mem.dram;
+            key.add("mem", spec.mem.canonical());
+            key.add("mem.banks", static_cast<uint64_t>(d.banks));
+            key.add("mem.row_bytes", d.row_bytes);
+            key.addBits("mem.row_hit_ns", d.row_hit_ns);
+            key.addBits("mem.row_miss_ns", d.row_miss_ns);
+            key.addBits("mem.row_conflict_ns", d.row_conflict_ns);
+            key.addBits("mem.burst_ns", d.burst_ns);
+            key.add("mem.mshr", static_cast<uint64_t>(d.mshr_entries));
+            key.add("mem.policy", static_cast<int64_t>(d.page_policy));
+        }
         break;
     case JobKind::IqSweep: {
         key.add("instrs", spec.instrs);
@@ -734,6 +766,28 @@ JobExecutor::run(const JobSpec &spec,
                     const std::vector<std::vector<sample::SampledCachePerf>>
                         &perf) {
                     renderSampledCacheSweep(os, names, perf, spec.refs);
+                });
+        }
+        // A dram job gets a job-local model carrying its memory
+        // config; flat jobs keep using the shared flat model, so
+        // their cells stay bit-identical to pre-dram serves.
+        if (spec.mem.isDram()) {
+            core::AdaptiveCacheModel dram_model;
+            dram_model.setMemConfig(spec.mem);
+            return runSweep<std::vector<core::CachePerf>>(
+                spec, interrupted, onCell, progress,
+                [&](const trace::AppProfile &app) {
+                    return core::runCacheStudy(dram_model, {app},
+                                               spec.refs, 8, 1, {},
+                                               spec.one_pass)
+                        .perf[0];
+                },
+                encodeCacheRow, decodeCacheRow,
+                [&](std::ostream &os,
+                    const std::vector<std::string> &names,
+                    const std::vector<std::vector<core::CachePerf>>
+                        &perf) {
+                    renderCacheSweep(os, names, perf, spec.refs);
                 });
         }
         return runSweep<std::vector<core::CachePerf>>(

@@ -31,6 +31,7 @@
 #include "core/adaptive_cache.h"
 #include "core/adaptive_iq.h"
 #include "core/interval_controller.h"
+#include "mem/mem_model.h"
 #include "obs/progress.h"
 #include "sample/sampler.h"
 #include "serve/render.h"
@@ -61,6 +62,10 @@ struct JobSpec
     bool one_pass = true;
     /** Sampling knobs (sweep kinds, when sampled). */
     sample::SampleParams sample;
+    /** Miss backend (cache sweep; "mem" spec string).  Part of the
+     *  cell key when dram -- a cached flat row must never answer a
+     *  dram query.  The IQ kinds model no memory and ignore it. */
+    mem::MemConfig mem;
     /** Controller tunables (interval-run). */
     core::IntervalPolicyParams params;
     /** Initial queue size (interval-run). */
